@@ -1,0 +1,60 @@
+//! Criterion benches for the EVM substrate: hashing, disassembly (the BDM's
+//! per-contract cost), assembly and interpretation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use phishinghook_data::{Corpus, CorpusConfig};
+use phishinghook_evm::disasm::disassemble;
+use phishinghook_evm::interp::Interpreter;
+use phishinghook_evm::keccak::keccak256;
+
+fn corpus_codes() -> Vec<Vec<u8>> {
+    let corpus = Corpus::generate(&CorpusConfig {
+        n_contracts: 64,
+        seed: 0xBE7C,
+        ..Default::default()
+    });
+    corpus.records.into_iter().map(|r| r.bytecode).collect()
+}
+
+fn bench_keccak(c: &mut Criterion) {
+    let data = vec![0xABu8; 1024];
+    let mut group = c.benchmark_group("keccak256");
+    group.throughput(Throughput::Bytes(1024));
+    group.bench_function("1KiB", |b| b.iter(|| keccak256(std::hint::black_box(&data))));
+    group.finish();
+}
+
+fn bench_disassemble(c: &mut Criterion) {
+    let codes = corpus_codes();
+    let total: usize = codes.iter().map(Vec::len).sum();
+    let mut group = c.benchmark_group("disassemble");
+    group.throughput(Throughput::Bytes(total as u64));
+    group.bench_function("corpus-64", |b| {
+        b.iter(|| {
+            let mut instructions = 0usize;
+            for code in &codes {
+                instructions += disassemble(std::hint::black_box(code)).len();
+            }
+            instructions
+        })
+    });
+    group.finish();
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let codes = corpus_codes();
+    c.bench_function("interpret/fallback-call", |b| {
+        b.iter_batched(
+            Interpreter::new,
+            |mut interp| {
+                for code in codes.iter().take(16) {
+                    std::hint::black_box(interp.run_call(code, &[]));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_keccak, bench_disassemble, bench_interpreter);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion benches for the four feature-extraction paths (per-contract
+//! preprocessing cost of each model family).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phishinghook_data::{Corpus, CorpusConfig};
+use phishinghook_features::{
+    freq_image, r2d2_image, tokenize, BigramVocab, FreqLookup, HistogramExtractor, Tokenization,
+};
+
+fn codes() -> Vec<Vec<u8>> {
+    let corpus = Corpus::generate(&CorpusConfig {
+        n_contracts: 64,
+        seed: 0xFEA7,
+        ..Default::default()
+    });
+    corpus.records.into_iter().map(|r| r.bytecode).collect()
+}
+
+fn bench_features(c: &mut Criterion) {
+    let codes = codes();
+    let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
+
+    let histogram = HistogramExtractor::fit(&refs);
+    c.bench_function("features/histogram-64", |b| {
+        b.iter(|| histogram.transform(std::hint::black_box(&refs)))
+    });
+
+    c.bench_function("features/r2d2-image", |b| {
+        b.iter(|| {
+            for code in &codes {
+                std::hint::black_box(r2d2_image(code, 16));
+            }
+        })
+    });
+
+    let lookup = FreqLookup::fit(&refs);
+    c.bench_function("features/freq-image", |b| {
+        b.iter(|| {
+            for code in &codes {
+                std::hint::black_box(freq_image(code, &lookup, 16));
+            }
+        })
+    });
+
+    let vocab = BigramVocab::fit(&refs, 512, 96);
+    c.bench_function("features/scsguard-ngram", |b| {
+        b.iter(|| {
+            for code in &codes {
+                std::hint::black_box(vocab.encode(code));
+            }
+        })
+    });
+
+    c.bench_function("features/tokenize-beta", |b| {
+        b.iter(|| {
+            for code in &codes {
+                std::hint::black_box(tokenize(
+                    code,
+                    Tokenization::SlidingWindow { window: 96, stride: 64 },
+                ));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_features);
+criterion_main!(benches);

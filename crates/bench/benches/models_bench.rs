@@ -1,0 +1,83 @@
+//! Criterion benches for model training/inference — the micro-scale version
+//! of the paper's Fig. 7 cost axis (Random Forest vs the deep models).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use phishinghook_data::{Corpus, CorpusConfig};
+use phishinghook_models::{
+    Detector, HscDetector, LanguageConfig, ScsGuardDetector, VisionConfig, VisionDetector,
+};
+
+fn dataset(n: usize) -> (Vec<Vec<u8>>, Vec<usize>) {
+    let corpus = Corpus::generate(&CorpusConfig {
+        n_contracts: n,
+        seed: 0x0DE1,
+        ..Default::default()
+    });
+    (
+        corpus.records.iter().map(|r| r.bytecode.clone()).collect(),
+        corpus.records.iter().map(|r| r.label.as_index()).collect(),
+    )
+}
+
+fn bench_training(c: &mut Criterion) {
+    let (codes, labels) = dataset(128);
+    let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
+    let mut group = c.benchmark_group("train-128");
+    group.sample_size(10);
+
+    group.bench_function("random-forest", |b| {
+        b.iter_batched(
+            || HscDetector::random_forest(1),
+            |mut det| det.fit(&refs, &labels),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("eca-efficientnet", |b| {
+        b.iter_batched(
+            || {
+                VisionDetector::eca_efficientnet(VisionConfig {
+                    epochs: 1,
+                    ..VisionConfig::default()
+                })
+            },
+            |mut det| det.fit(&refs, &labels),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("scsguard", |b| {
+        b.iter_batched(
+            || {
+                ScsGuardDetector::new(LanguageConfig {
+                    epochs: 1,
+                    max_len: 48,
+                    ..LanguageConfig::default()
+                })
+            },
+            |mut det| det.fit(&refs, &labels),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let (codes, labels) = dataset(128);
+    let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
+    let mut rf = HscDetector::random_forest(2);
+    rf.fit(&refs, &labels);
+    let mut scs = ScsGuardDetector::new(LanguageConfig {
+        epochs: 1,
+        max_len: 48,
+        ..LanguageConfig::default()
+    });
+    scs.fit(&refs, &labels);
+
+    let mut group = c.benchmark_group("infer-128");
+    group.sample_size(10);
+    group.bench_function("random-forest", |b| b.iter(|| rf.predict(std::hint::black_box(&refs))));
+    group.bench_function("scsguard", |b| b.iter(|| scs.predict(std::hint::black_box(&refs))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_training, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benches for the post hoc statistics: TreeSHAP (the Fig. 9
+//! bottleneck) and the hypothesis tests.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phishinghook_ml::classical::forest::ForestConfig;
+use phishinghook_ml::{Classifier, Matrix, RandomForest, SplitMix};
+use phishinghook_stats::{forest_shap, kruskal_wallis, shapiro_wilk};
+
+fn bench_shap(c: &mut Criterion) {
+    let mut rng = SplitMix::new(3);
+    let rows: Vec<Vec<f64>> =
+        (0..400).map(|_| (0..30).map(|_| rng.normal()).collect()).collect();
+    let y: Vec<usize> = rows.iter().map(|r| usize::from(r[0] + r[1] > 0.0)).collect();
+    let x = Matrix::from_rows(&rows);
+    let mut forest = RandomForest::new(ForestConfig {
+        n_trees: 20,
+        max_depth: 10,
+        ..ForestConfig::default()
+    });
+    forest.fit(&x, &y);
+    let sample = x.row(0).to_vec();
+    c.bench_function("stats/forest-shap-1-sample", |b| {
+        b.iter(|| forest_shap(&forest, std::hint::black_box(&sample)))
+    });
+}
+
+fn bench_tests(c: &mut Criterion) {
+    let mut rng = SplitMix::new(4);
+    let groups: Vec<Vec<f64>> = (0..13)
+        .map(|g| (0..30).map(|_| rng.normal() + g as f64 * 0.05).collect())
+        .collect();
+    c.bench_function("stats/kruskal-wallis-13x30", |b| {
+        b.iter(|| kruskal_wallis(std::hint::black_box(&groups)))
+    });
+    let sample: Vec<f64> = (0..30).map(|_| rng.normal()).collect();
+    c.bench_function("stats/shapiro-wilk-30", |b| {
+        b.iter(|| shapiro_wilk(std::hint::black_box(&sample)))
+    });
+}
+
+criterion_group!(benches, bench_shap, bench_tests);
+criterion_main!(benches);

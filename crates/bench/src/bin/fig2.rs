@@ -1,0 +1,31 @@
+//! Fig. 2: number of phishing contracts per month (Oct 2023 – Oct 2024),
+//! obtained (duplicate-inclusive) vs unique bytecodes.
+
+use phishinghook_bench::banner;
+use phishinghook_core::experiments::{dataset_stats, ExperimentScale};
+use phishinghook_core::report::{render_table, save_csv};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = ExperimentScale::from_args(&args);
+    banner("Fig. 2 (phishing contracts per month)", &scale);
+
+    let stats = dataset_stats::run(&scale);
+    let rows: Vec<Vec<String>> = stats
+        .monthly
+        .iter()
+        .map(|r| vec![r.month.to_string(), r.obtained.to_string(), r.unique.to_string()])
+        .collect();
+    println!("{}", render_table(&["Month", "Obtained", "Unique"], &rows));
+    println!(
+        "totals: {} obtained / {} unique (paper: 17,455 / 3,458; ratio ≈ {:.1}× vs paper ≈ 5.0×)",
+        stats.obtained_phishing,
+        stats.unique_phishing,
+        stats.obtained_phishing as f64 / stats.unique_phishing.max(1) as f64
+    );
+    println!("expected shape: slow start in late 2023, spring-2024 surge, taper by Oct 2024");
+
+    if let Ok(path) = save_csv("fig2", &["month", "obtained", "unique"], &rows) {
+        println!("series written to {path}");
+    }
+}

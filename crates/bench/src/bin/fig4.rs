@@ -1,0 +1,70 @@
+//! Fig. 4: Dunn's pairwise comparisons (Holm-adjusted) between the 13
+//! models, per metric, with the within/cross-category significance
+//! breakdown the paper quotes.
+//!
+//! Reuses `results/table2_trials.csv` when present.
+
+use phishinghook_bench::{banner, load_cached_trials};
+use phishinghook_core::experiments::{main_eval, posthoc, ExperimentScale};
+use phishinghook_core::report::{render_table, save_csv};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = ExperimentScale::from_args(&args);
+    banner("Fig. 4 (Dunn's pairwise tests)", &scale);
+
+    let trials = match load_cached_trials() {
+        Some(t) => {
+            println!("using cached trials from results/table2_trials.csv ({} rows)\n", t.len());
+            t
+        }
+        None => {
+            println!("no cached trials; running the main evaluation first\n");
+            main_eval::run(&scale).trials
+        }
+    };
+    let analysis = posthoc::run(&trials);
+
+    println!("significance rates (adjusted p < 0.05):");
+    let rows: Vec<Vec<String>> = analysis
+        .rates
+        .iter()
+        .map(|(metric, r)| {
+            vec![
+                (*metric).to_owned(),
+                format!("{:.2}%", r.overall * 100.0),
+                format!("{:.2}%", r.within_category * 100.0),
+                format!("{:.2}%", r.cross_category * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["Metric", "Overall", "Within-category", "Cross-category"], &rows)
+    );
+    println!("paper: overall 65.4% (Acc/F1/Prec) and 61.5% (Rec);");
+    println!("       within-category ≈ 33–41%, cross-category ≈ 76–80%");
+    println!("expected shape: cross-category ≫ within-category\n");
+
+    // Per-pair matrix cells → CSV.
+    let csv_rows: Vec<Vec<String>> = analysis
+        .pairwise
+        .iter()
+        .map(|p| {
+            vec![
+                p.metric.to_owned(),
+                p.model_a.clone(),
+                p.model_b.clone(),
+                p.same_category.to_string(),
+                p.p_adjusted.to_string(),
+            ]
+        })
+        .collect();
+    if let Ok(path) = save_csv(
+        "fig4",
+        &["metric", "model_a", "model_b", "same_category", "p_adj"],
+        &csv_rows,
+    ) {
+        println!("all pairwise cells written to {path}");
+    }
+}

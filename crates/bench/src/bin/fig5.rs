@@ -1,0 +1,53 @@
+//! Fig. 5: performance metrics of the best model per category across data
+//! splits (1/3, 2/3, 3/3).
+
+use phishinghook_bench::banner;
+use phishinghook_core::experiments::{scalability, ExperimentScale};
+use phishinghook_core::report::{pct, render_table, save_csv};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = ExperimentScale::from_args(&args);
+    banner("Fig. 5 (scalability: metrics per data split)", &scale);
+
+    let result = scalability::run(&scale);
+    let rows: Vec<Vec<String>> = result
+        .measurements
+        .iter()
+        .map(|m| {
+            vec![
+                m.model.to_owned(),
+                format!("{:.2}", m.split),
+                pct(m.metrics.accuracy),
+                pct(m.metrics.precision),
+                pct(m.metrics.recall),
+                pct(m.metrics.f1),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["Model", "Split", "Acc%", "Prec%", "Rec%", "F1%"], &rows)
+    );
+    println!("expected shape: Random Forest best and stable across splits;");
+    println!("SCSGuard and ECA+EfficientNet improve as the split grows.");
+
+    let _ = save_csv(
+        "fig5",
+        &["model", "split", "accuracy", "precision", "recall", "f1"],
+        &result
+            .measurements
+            .iter()
+            .map(|m| {
+                vec![
+                    m.model.to_owned(),
+                    m.split.to_string(),
+                    m.metrics.accuracy.to_string(),
+                    m.metrics.precision.to_string(),
+                    m.metrics.recall.to_string(),
+                    m.metrics.f1.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}

@@ -1,0 +1,71 @@
+//! Fig. 6: critical difference diagram of the scalability experiment
+//! (Friedman test → pairwise Wilcoxon with Holm correction → rank line with
+//! connected cliques), plus Cliff's δ effect sizes.
+
+use phishinghook_bench::banner;
+use phishinghook_core::experiments::{scalability, ExperimentScale};
+use phishinghook_core::report::{render_table, save_csv, sci};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = ExperimentScale::from_args(&args);
+    banner("Fig. 6 (critical difference diagram)", &scale);
+
+    let result = scalability::run(&scale);
+    let models = scalability::MODELS;
+
+    for (metric, cdd) in &result.cdd {
+        println!("{metric}: Friedman p = {}", sci(cdd.friedman_p));
+        let mut ranked: Vec<(usize, f64)> =
+            cdd.mean_ranks.iter().copied().enumerate().collect();
+        ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite ranks"));
+        let line: Vec<String> = ranked
+            .iter()
+            .map(|(i, r)| format!("{} ({r:.2})", models[*i]))
+            .collect();
+        println!("  rank line (left = worst): {}", line.join("  <  "));
+        for clique in &cdd.cliques {
+            let names: Vec<&str> = clique.iter().map(|&i| models[i]).collect();
+            println!("  connected (no significant difference): {}", names.join(" ═ "));
+        }
+        for ((a, b), p) in &cdd.pairwise_p {
+            println!("  Wilcoxon {} vs {}: p_adj = {}", models[*a], models[*b], sci(*p));
+        }
+        println!();
+    }
+
+    println!("Cliff's δ effect sizes (paper: SCSGuard vs ECA+EfficientNet = -0.778 Acc/F1,");
+    println!("-0.333 Prec, -1.0 Rec — large effects that the tiny sample cannot certify):");
+    let rows: Vec<Vec<String>> = result
+        .effect_sizes
+        .iter()
+        .map(|e| {
+            vec![
+                e.metric.to_owned(),
+                e.model_a.to_owned(),
+                e.model_b.to_owned(),
+                format!("{:.3}", e.delta),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["Metric", "A", "B", "Cliff's δ"], &rows));
+    println!("expected shape: Random Forest holds the best (rightmost) rank for all metrics;");
+    println!("pairwise Wilcoxon p-values stay ≥ 0.25 (n = 3 splits is too small for significance).");
+
+    let _ = save_csv(
+        "fig6",
+        &["metric", "model_a", "model_b", "cliffs_delta"],
+        &result
+            .effect_sizes
+            .iter()
+            .map(|e| {
+                vec![
+                    e.metric.to_owned(),
+                    e.model_a.to_owned(),
+                    e.model_b.to_owned(),
+                    e.delta.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}

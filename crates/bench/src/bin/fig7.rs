@@ -1,0 +1,67 @@
+//! Fig. 7: training and inference time of the best models per data split.
+
+use phishinghook_bench::banner;
+use phishinghook_core::experiments::{scalability, ExperimentScale};
+use phishinghook_core::report::{render_table, save_csv};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = ExperimentScale::from_args(&args);
+    banner("Fig. 7 (training/inference time per data split)", &scale);
+
+    let result = scalability::run(&scale);
+    let rows: Vec<Vec<String>> = result
+        .measurements
+        .iter()
+        .map(|m| {
+            vec![
+                m.model.to_owned(),
+                format!("{:.2}", m.split),
+                format!("{:.3}", m.train_secs),
+                format!("{:.4}", m.infer_secs),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["Model", "Split", "Train (s)", "Infer (s)"], &rows)
+    );
+
+    // The paper's cost narrative: SCSGuard's costs dominate and grow with
+    // the data; Random Forest stays flat and cheap.
+    let avg = |model: &str, f: fn(&scalability::SplitMeasurement) -> f64| -> f64 {
+        let xs: Vec<f64> =
+            result.measurements.iter().filter(|m| m.model == model).map(f).collect();
+        xs.iter().sum::<f64>() / xs.len() as f64
+    };
+    let rf_train = avg("Random Forest", |m| m.train_secs);
+    let scs_train = avg("SCSGuard", |m| m.train_secs);
+    let eca_train = avg("ECA+EfficientNet", |m| m.train_secs);
+    println!(
+        "mean training time — SCSGuard {:.2}s vs Random Forest {:.3}s ({:+.1}%) and ECA+EfficientNet {:.2}s ({:+.1}%)",
+        scs_train,
+        rf_train,
+        (scs_train / rf_train - 1.0) * 100.0,
+        eca_train,
+        (scs_train / eca_train - 1.0) * 100.0,
+    );
+    println!("paper: SCSGuard +64733% vs RF and +1031% vs ECA+EfficientNet on training time");
+    println!("expected shape: SCSGuard ≫ ECA+EfficientNet ≫ Random Forest, growing with split");
+
+    let _ = save_csv(
+        "fig7",
+        &["model", "split", "train_secs", "infer_secs"],
+        &result
+            .measurements
+            .iter()
+            .map(|m| {
+                vec![
+                    m.model.to_owned(),
+                    m.split.to_string(),
+                    m.train_secs.to_string(),
+                    m.infer_secs.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}

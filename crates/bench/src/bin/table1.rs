@@ -1,0 +1,38 @@
+//! Table I: EVM opcodes for the Shanghai fork.
+//!
+//! Prints the registry rows the paper excerpts (STOP, ADD, MUL, …, REVERT,
+//! INVALID, SELFDESTRUCT) plus the full 144-opcode count, and writes the
+//! complete registry to `results/table1.csv`.
+
+use phishinghook_core::report::{render_table, save_csv};
+use phishinghook_evm::opcode::SHANGHAI_OPCODES;
+
+fn main() {
+    println!("PhishingHook reproduction — Table I (Shanghai opcode registry)\n");
+
+    let rows: Vec<Vec<String>> = SHANGHAI_OPCODES
+        .iter()
+        .map(|o| {
+            vec![
+                format!("0x{:02X}", o.byte),
+                o.mnemonic.to_owned(),
+                o.gas.to_string(),
+                o.description.to_owned(),
+            ]
+        })
+        .collect();
+
+    // The paper's excerpt rows.
+    let excerpt: Vec<Vec<String>> = rows
+        .iter()
+        .filter(|r| ["0x00", "0x01", "0x02", "0xFD", "0xFE", "0xFF"].contains(&r[0].as_str()))
+        .cloned()
+        .collect();
+    println!("{}", render_table(&["Opcode", "Name", "Gas", "Description"], &excerpt));
+    println!("Defined opcodes at Shanghai: {} (paper: 144)", SHANGHAI_OPCODES.len());
+
+    match save_csv("table1", &["opcode", "name", "gas", "description"], &rows) {
+        Ok(path) => println!("full registry written to {path}"),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

@@ -1,0 +1,75 @@
+//! Table II: averaged performance metrics for all 16 models, paper vs
+//! measured, with category means. Writes per-trial results to
+//! `results/table2_trials.csv` (reused by the `table3` and `fig4` binaries).
+
+use phishinghook_bench::{banner, trials_to_csv};
+use phishinghook_core::experiments::main_eval::{self, PAPER_TABLE2};
+use phishinghook_core::experiments::ExperimentScale;
+use phishinghook_core::report::{pct, render_table, save_csv};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = ExperimentScale::from_args(&args);
+    banner("Table II (16 models × 4 metrics)", &scale);
+    println!("(deep models train from scratch on CPU; use `--scale paper` for the full protocol)\n");
+
+    let evaluation = main_eval::run(&scale);
+
+    let mut rows = Vec::new();
+    for summary in &evaluation.summaries {
+        let paper = PAPER_TABLE2.iter().find(|(name, ..)| *name == summary.model);
+        let m = &summary.metrics;
+        rows.push(vec![
+            summary.model.clone(),
+            format!("{}", summary.category),
+            pct(m.accuracy),
+            pct(m.f1),
+            pct(m.precision),
+            pct(m.recall),
+            paper.map_or("-".into(), |(_, acc, ..)| format!("{acc:.2}")),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["Model", "Category", "Acc%", "F1%", "Prec%", "Rec%", "Paper Acc%"],
+            &rows
+        )
+    );
+
+    println!("category mean accuracy (expected ordering: HSC > LM > VM >> ESCORT):");
+    for (cat, mean) in main_eval::category_means(&evaluation.summaries) {
+        println!("  {cat}: {}", pct(mean));
+    }
+    let best = evaluation
+        .summaries
+        .iter()
+        .max_by(|a, b| a.metrics.accuracy.partial_cmp(&b.metrics.accuracy).expect("finite"))
+        .expect("non-empty");
+    println!("\nbest model: {} at {}% (paper: Random Forest at 93.63%)", best.model, pct(best.metrics.accuracy));
+
+    if std::fs::create_dir_all("results").is_ok() {
+        match std::fs::write("results/table2_trials.csv", trials_to_csv(&evaluation.trials)) {
+            Ok(()) => println!("per-trial results written to results/table2_trials.csv"),
+            Err(e) => eprintln!("could not write trials: {e}"),
+        }
+    }
+    let _ = save_csv(
+        "table2",
+        &["model", "category", "accuracy", "f1", "precision", "recall"],
+        &evaluation
+            .summaries
+            .iter()
+            .map(|s| {
+                vec![
+                    s.model.clone(),
+                    s.category.to_string(),
+                    s.metrics.accuracy.to_string(),
+                    s.metrics.f1.to_string(),
+                    s.metrics.precision.to_string(),
+                    s.metrics.recall.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}

@@ -1,0 +1,55 @@
+//! Table III: Kruskal-Wallis test per metric with Holm-Bonferroni
+//! correction, over the Table II trials (13 models after the paper's
+//! exclusions).
+//!
+//! Reuses `results/table2_trials.csv` when present (run `table2` first);
+//! otherwise runs a fresh evaluation at the requested scale.
+
+use phishinghook_bench::{banner, load_cached_trials};
+use phishinghook_core::experiments::{main_eval, posthoc, ExperimentScale};
+use phishinghook_core::report::{render_table, save_csv, sci};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = ExperimentScale::from_args(&args);
+    banner("Table III (Kruskal-Wallis per metric)", &scale);
+
+    let trials = match load_cached_trials() {
+        Some(t) => {
+            println!("using cached trials from results/table2_trials.csv ({} rows)\n", t.len());
+            t
+        }
+        None => {
+            println!("no cached trials; running the main evaluation first\n");
+            main_eval::run(&scale).trials
+        }
+    };
+
+    let analysis = posthoc::run(&trials);
+    println!(
+        "normality: Shapiro-Wilk rejected {}/{} model-metric pairs (paper: 20/52)\n",
+        analysis.normality_violations, analysis.normality_tests
+    );
+
+    let rows: Vec<Vec<String>> = analysis
+        .kruskal
+        .iter()
+        .map(|r| {
+            vec![r.metric.to_owned(), format!("{:.2}", r.h), sci(r.p), sci(r.p_adjusted)]
+        })
+        .collect();
+    println!("{}", render_table(&["Metric", "H", "p", "p_adj"], &rows));
+    println!("expected shape: all four metrics significant (paper: p_adj ≤ 2.9e-69 .. 1.1e-61)");
+
+    let _ = save_csv(
+        "table3",
+        &["metric", "h", "p", "p_adj"],
+        &analysis
+            .kruskal
+            .iter()
+            .map(|r| {
+                vec![r.metric.to_owned(), r.h.to_string(), r.p.to_string(), r.p_adjusted.to_string()]
+            })
+            .collect::<Vec<_>>(),
+    );
+}

@@ -1,0 +1,67 @@
+//! Hyperparameter search demo (the paper's §IV-C, Optuna substitute):
+//! grid search over the Random Forest's space with a cross-validated
+//! accuracy objective.
+
+use phishinghook_bench::banner;
+use phishinghook_core::cv::stratified_kfold;
+use phishinghook_core::experiments::ExperimentScale;
+use phishinghook_core::metrics::BinaryMetrics;
+use phishinghook_core::tuning::{grid_search, SearchSpace};
+use phishinghook_data::{Corpus, CorpusConfig};
+use phishinghook_features::HistogramExtractor;
+use phishinghook_ml::classical::forest::ForestConfig;
+use phishinghook_ml::{Classifier, RandomForest};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = ExperimentScale::from_args(&args);
+    banner("hyperparameter search (grid, CV objective)", &scale);
+
+    let corpus = Corpus::generate(&CorpusConfig {
+        n_contracts: scale.n_contracts,
+        seed: scale.seed,
+        ..Default::default()
+    });
+    let (codes, labels) = corpus.as_dataset();
+    let folds = stratified_kfold(&labels, scale.folds.max(3), scale.seed);
+
+    // Precompute histograms per fold (feature extraction is fold-local).
+    let space = SearchSpace::new()
+        .with("n_trees", &[25.0, 50.0, 100.0])
+        .with("max_depth", &[8.0, 14.0, 20.0]);
+    println!("search space: {} grid points × {} folds\n", space.grid_size(), folds.len());
+
+    let result = grid_search(&space, |params| {
+        let mut accs = Vec::new();
+        for fold in &folds {
+            let train_x: Vec<&[u8]> = fold.train.iter().map(|&i| codes[i]).collect();
+            let train_y: Vec<usize> = fold.train.iter().map(|&i| labels[i]).collect();
+            let test_x: Vec<&[u8]> = fold.test.iter().map(|&i| codes[i]).collect();
+            let test_y: Vec<usize> = fold.test.iter().map(|&i| labels[i]).collect();
+            let extractor = HistogramExtractor::fit(&train_x);
+            let mut forest = RandomForest::new(ForestConfig {
+                n_trees: params["n_trees"] as usize,
+                max_depth: params["max_depth"] as usize,
+                seed: scale.seed,
+                ..ForestConfig::default()
+            });
+            forest.fit(&extractor.transform(&train_x), &train_y);
+            let preds = forest.predict(&extractor.transform(&test_x));
+            accs.push(BinaryMetrics::from_predictions(&preds, &test_y).accuracy);
+        }
+        accs.iter().sum::<f64>() / accs.len() as f64
+    });
+
+    for (params, score) in &result.trials {
+        println!(
+            "  n_trees={:<4} max_depth={:<3} → CV accuracy {:.2}%",
+            params["n_trees"], params["max_depth"], score * 100.0
+        );
+    }
+    println!(
+        "\nbest: n_trees={} max_depth={} at {:.2}%",
+        result.best_params["n_trees"],
+        result.best_params["max_depth"],
+        result.best_score * 100.0
+    );
+}

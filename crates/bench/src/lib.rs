@@ -1,0 +1,125 @@
+//! Shared helpers for the experiment binaries and Criterion benches.
+//!
+//! The interesting entry points are the binaries in `src/bin/` — one per
+//! paper table/figure (`table1`, `fig2`, `fig3`, `table2`, `table3`,
+//! `fig4`–`fig9`) — and the benches in `benches/`.
+//!
+//! Heavy experiments share work through `results/table2_trials.csv`: the
+//! `table2` binary writes the per-trial results, and `table3`/`fig4` reuse
+//! them when present instead of retraining all 16 models.
+
+use phishinghook_core::metrics::BinaryMetrics;
+use phishinghook_core::pipeline::TrialResult;
+use phishinghook_models::Category;
+
+/// Prints the standard experiment banner.
+pub fn banner(what: &str, scale: &phishinghook_core::experiments::ExperimentScale) {
+    println!("PhishingHook reproduction — {what}");
+    println!(
+        "scale: {} contracts, {}-fold CV × {} run(s), seed {}",
+        scale.n_contracts, scale.folds, scale.runs, scale.seed
+    );
+    println!();
+}
+
+/// Serializes trials into the interchange CSV used by `table3`/`fig4`.
+pub fn trials_to_csv(trials: &[TrialResult]) -> String {
+    let mut out = String::from(
+        "model,category,run,fold,accuracy,precision,recall,f1,train_secs,infer_secs\n",
+    );
+    for t in trials {
+        use std::fmt::Write;
+        writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{}",
+            t.model,
+            t.category,
+            t.run,
+            t.fold,
+            t.metrics.accuracy,
+            t.metrics.precision,
+            t.metrics.recall,
+            t.metrics.f1,
+            t.train_secs,
+            t.infer_secs
+        )
+        .expect("write to String");
+    }
+    out
+}
+
+/// Parses the interchange CSV produced by [`trials_to_csv`]; returns `None`
+/// on any malformed row.
+pub fn trials_from_csv(text: &str) -> Option<Vec<TrialResult>> {
+    let mut out = Vec::new();
+    for line in text.lines().skip(1) {
+        if line.is_empty() {
+            continue;
+        }
+        let cols: Vec<&str> = line.split(',').collect();
+        if cols.len() != 10 {
+            return None;
+        }
+        let category = match cols[1] {
+            "Histogram" => Category::Histogram,
+            "Vision" => Category::Vision,
+            "Language" => Category::Language,
+            "Vulnerability" => Category::VulnerabilityDetection,
+            _ => return None,
+        };
+        out.push(TrialResult {
+            model: cols[0].to_owned(),
+            category,
+            run: cols[2].parse().ok()?,
+            fold: cols[3].parse().ok()?,
+            metrics: BinaryMetrics {
+                accuracy: cols[4].parse().ok()?,
+                precision: cols[5].parse().ok()?,
+                recall: cols[6].parse().ok()?,
+                f1: cols[7].parse().ok()?,
+            },
+            train_secs: cols[8].parse().ok()?,
+            infer_secs: cols[9].parse().ok()?,
+        });
+    }
+    Some(out)
+}
+
+/// Loads cached table2 trials from `results/table2_trials.csv`, if present.
+pub fn load_cached_trials() -> Option<Vec<TrialResult>> {
+    let text = std::fs::read_to_string("results/table2_trials.csv").ok()?;
+    let trials = trials_from_csv(&text)?;
+    if trials.is_empty() {
+        None
+    } else {
+        Some(trials)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trials_roundtrip() {
+        let trials = vec![TrialResult {
+            model: "Random Forest".into(),
+            category: Category::Histogram,
+            run: 1,
+            fold: 2,
+            metrics: BinaryMetrics { accuracy: 0.9, precision: 0.91, recall: 0.89, f1: 0.9 },
+            train_secs: 0.5,
+            infer_secs: 0.01,
+        }];
+        let csv = trials_to_csv(&trials);
+        let parsed = trials_from_csv(&csv).expect("parses");
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].model, "Random Forest");
+        assert_eq!(parsed[0].metrics, trials[0].metrics);
+    }
+
+    #[test]
+    fn malformed_csv_rejected() {
+        assert!(trials_from_csv("header\nbad,row\n").is_none());
+    }
+}

@@ -1,0 +1,271 @@
+//! Implementation of the `phishinghook` command-line tool.
+//!
+//! Kept as a library so every subcommand is unit-testable without spawning
+//! processes; [`run`] maps an argument vector to rendered output.
+
+use phishinghook_core::cv::stratified_kfold;
+use phishinghook_core::metrics::BinaryMetrics;
+use phishinghook_data::csv::{from_csv, to_csv};
+use phishinghook_data::{ContractRecord, Corpus, CorpusConfig, Label};
+use phishinghook_evm::disasm::{disassemble, to_csv as disasm_csv};
+use phishinghook_evm::keccak::from_hex;
+use phishinghook_models::{all_hscs, Detector, HscDetector};
+use std::fmt;
+
+/// CLI failure modes.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad invocation; the message is the usage text.
+    Usage(String),
+    /// Malformed hex payload.
+    BadHex(String),
+    /// Dataset file problems.
+    Io(std::io::Error),
+    /// Dataset CSV parse problems.
+    Csv(phishinghook_data::csv::CsvError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}"),
+            CliError::BadHex(s) => write!(f, "not valid hex bytecode: `{s}`"),
+            CliError::Io(e) => write!(f, "{e}"),
+            CliError::Csv(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<phishinghook_data::csv::CsvError> for CliError {
+    fn from(e: phishinghook_data::csv::CsvError) -> Self {
+        CliError::Csv(e)
+    }
+}
+
+const USAGE: &str = "\
+phishinghook — opcode-based phishing detection for EVM bytecode
+
+USAGE:
+  phishinghook disasm   <hex | ->              disassemble bytecode (BDM)
+  phishinghook generate <n> <out.csv> [seed]   emit a synthetic labeled dataset
+  phishinghook eval     <dataset.csv> [folds]  cross-validate the 7 HSC models
+  phishinghook scan     <dataset.csv> <hex…>   train Random Forest, classify bytecodes
+";
+
+/// Executes a CLI invocation, returning the text to print.
+///
+/// # Errors
+/// Returns [`CliError::Usage`] for malformed invocations and I/O / parse
+/// errors otherwise.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    match args.first().map(String::as_str) {
+        Some("disasm") => disasm(args.get(1).map(String::as_str)),
+        Some("generate") => generate(&args[1..]),
+        Some("eval") => eval(&args[1..]),
+        Some("scan") => scan(&args[1..]),
+        _ => Err(CliError::Usage(USAGE.to_owned())),
+    }
+}
+
+fn read_hex(payload: &str) -> Result<Vec<u8>, CliError> {
+    let text = if payload == "-" {
+        use std::io::Read;
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf)?;
+        buf.trim().to_owned()
+    } else {
+        payload.to_owned()
+    };
+    from_hex(&text).ok_or(CliError::BadHex(text))
+}
+
+fn disasm(payload: Option<&str>) -> Result<String, CliError> {
+    let payload = payload.ok_or_else(|| CliError::Usage(USAGE.to_owned()))?;
+    let code = read_hex(payload)?;
+    let instructions = disassemble(&code);
+    let mut out = disasm_csv(&instructions);
+    out.push_str(&format!(
+        "# {} bytes, {} instructions\n",
+        code.len(),
+        instructions.len()
+    ));
+    Ok(out)
+}
+
+fn generate(args: &[String]) -> Result<String, CliError> {
+    let (Some(n), Some(path)) = (args.first(), args.get(1)) else {
+        return Err(CliError::Usage(USAGE.to_owned()));
+    };
+    let n: usize = n
+        .parse()
+        .map_err(|_| CliError::Usage(format!("`{n}` is not a sample count\n\n{USAGE}")))?;
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0xC0FFEE);
+    let corpus = Corpus::generate(&CorpusConfig { n_contracts: n, seed, ..Default::default() });
+    std::fs::write(path, to_csv(&corpus.records))?;
+    Ok(format!(
+        "wrote {} contracts ({} phishing / {} benign) to {path}\n",
+        corpus.records.len(),
+        corpus.phishing().count(),
+        corpus.benign().count()
+    ))
+}
+
+fn load_dataset(path: &str) -> Result<Vec<ContractRecord>, CliError> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(from_csv(&text)?)
+}
+
+fn eval(args: &[String]) -> Result<String, CliError> {
+    let path = args.first().ok_or_else(|| CliError::Usage(USAGE.to_owned()))?;
+    let folds: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let records = load_dataset(path)?;
+    let codes: Vec<&[u8]> = records.iter().map(|r| r.bytecode.as_slice()).collect();
+    let labels: Vec<usize> = records.iter().map(|r| r.label.as_index()).collect();
+    let splits = stratified_kfold(&labels, folds, 7);
+
+    let mut out = format!("{}-fold cross-validation on {} contracts\n\n", folds, records.len());
+    out.push_str(&format!("{:<20} {:>7} {:>7} {:>7} {:>7}\n", "Model", "Acc%", "F1%", "Prec%", "Rec%"));
+    for template in all_hscs(7) {
+        let name = template.name();
+        let mut sums = [0.0f64; 4];
+        for fold in &splits {
+            let train_x: Vec<&[u8]> = fold.train.iter().map(|&i| codes[i]).collect();
+            let train_y: Vec<usize> = fold.train.iter().map(|&i| labels[i]).collect();
+            let test_x: Vec<&[u8]> = fold.test.iter().map(|&i| codes[i]).collect();
+            let test_y: Vec<usize> = fold.test.iter().map(|&i| labels[i]).collect();
+            let mut det = rebuild(name);
+            det.fit(&train_x, &train_y);
+            let m = BinaryMetrics::from_predictions(&det.predict(&test_x), &test_y);
+            sums[0] += m.accuracy;
+            sums[1] += m.f1;
+            sums[2] += m.precision;
+            sums[3] += m.recall;
+        }
+        let k = splits.len() as f64;
+        out.push_str(&format!(
+            "{:<20} {:>7.2} {:>7.2} {:>7.2} {:>7.2}\n",
+            name,
+            sums[0] / k * 100.0,
+            sums[1] / k * 100.0,
+            sums[2] / k * 100.0,
+            sums[3] / k * 100.0
+        ));
+    }
+    Ok(out)
+}
+
+fn rebuild(name: &str) -> Box<dyn Detector> {
+    all_hscs(7)
+        .into_iter()
+        .find(|d| d.name() == name)
+        .map(|d| Box::new(d) as Box<dyn Detector>)
+        .expect("known HSC name")
+}
+
+fn scan(args: &[String]) -> Result<String, CliError> {
+    let path = args.first().ok_or_else(|| CliError::Usage(USAGE.to_owned()))?;
+    if args.len() < 2 {
+        return Err(CliError::Usage(USAGE.to_owned()));
+    }
+    let records = load_dataset(path)?;
+    let codes: Vec<&[u8]> = records.iter().map(|r| r.bytecode.as_slice()).collect();
+    let labels: Vec<usize> = records.iter().map(|r| r.label.as_index()).collect();
+    let mut det = HscDetector::random_forest(7);
+    det.fit(&codes, &labels);
+
+    let mut out = format!("detector trained on {} labeled contracts\n", records.len());
+    for payload in &args[1..] {
+        let code = read_hex(payload)?;
+        let verdict = Label::from_index(det.predict(&[code.as_slice()])[0]);
+        let preview = if payload.len() > 18 { &payload[..18] } else { payload };
+        out.push_str(&format!("{preview}…  →  {verdict}\n"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phishinghook_evm::keccak::to_hex;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn usage_on_no_command() {
+        assert!(matches!(run(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(run(&args(&["bogus"])), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn disasm_renders_instructions() {
+        let out = run(&args(&["disasm", "0x6080604052"])).expect("disassembles");
+        assert!(out.contains("PUSH1,0x80,3"));
+        assert!(out.contains("MSTORE"));
+        assert!(out.contains("5 bytes, 3 instructions"));
+    }
+
+    #[test]
+    fn disasm_rejects_bad_hex() {
+        assert!(matches!(run(&args(&["disasm", "0xzz"])), Err(CliError::BadHex(_))));
+    }
+
+    #[test]
+    fn generate_then_eval_then_scan_roundtrip() {
+        let dir = std::env::temp_dir().join("phishinghook-cli-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let csv = dir.join("ds.csv");
+        let csv_str = csv.to_str().expect("utf8 path");
+
+        let out = run(&args(&["generate", "120", csv_str, "5"])).expect("generates");
+        assert!(out.contains("120 contracts"));
+
+        // Scan one phishing and one benign bytecode from a *fresh* corpus.
+        let probe = Corpus::generate(&CorpusConfig {
+            n_contracts: 20,
+            seed: 77,
+            ..Default::default()
+        });
+        let phishing = probe.phishing().next().expect("phishing sample");
+        let benign = probe.benign().next().expect("benign sample");
+        let out = run(&args(&[
+            "scan",
+            csv_str,
+            &format!("0x{}", to_hex(&phishing.bytecode)),
+            &format!("0x{}", to_hex(&benign.bytecode)),
+        ]))
+        .expect("scans");
+        assert!(out.contains("trained on 120"));
+        assert_eq!(out.matches('→').count(), 2);
+    }
+
+    #[test]
+    fn eval_reports_all_hscs() {
+        let dir = std::env::temp_dir().join("phishinghook-cli-test2");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let csv = dir.join("ds.csv");
+        let csv_str = csv.to_str().expect("utf8 path");
+        run(&args(&["generate", "90", csv_str])).expect("generates");
+        let out = run(&args(&["eval", csv_str, "3"])).expect("evaluates");
+        for model in ["Random Forest", "k-NN", "SVM", "Logistic Regression", "XGBoost"] {
+            assert!(out.contains(model), "missing {model} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn missing_dataset_file_is_io_error() {
+        assert!(matches!(
+            run(&args(&["eval", "/nonexistent/ds.csv"])),
+            Err(CliError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,29 @@
+//! `phishinghook` — the command-line front end of the reproduction.
+//!
+//! ```text
+//! phishinghook disasm  <hex-bytecode | ->        # BDM: opcode listing
+//! phishinghook generate <n> <out.csv> [seed]     # synthetic labeled dataset
+//! phishinghook eval    <dataset.csv> [folds]     # HSC cross-validation
+//! phishinghook scan    <dataset.csv> <hex…>      # train RF, classify bytecodes
+//! ```
+//!
+//! The CSV format is the crate's interchange format
+//! (`address,month,label,family,bytecode`), produced by `generate` or by the
+//! `dataset_builder` example.
+
+use phishinghook_cli::{run, CliError};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(CliError::Usage(msg)) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
+}

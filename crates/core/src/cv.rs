@@ -1,0 +1,118 @@
+//! Stratified k-fold cross-validation (the paper's 10-fold × 3-run
+//! evaluation protocol).
+
+use phishinghook_ml::SplitMix;
+
+/// One train/test index split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fold {
+    /// Indices of training samples.
+    pub train: Vec<usize>,
+    /// Indices of test samples.
+    pub test: Vec<usize>,
+}
+
+/// Produces `k` stratified folds: each fold's test set preserves the class
+/// balance of `labels`.
+///
+/// # Panics
+/// Panics when `k < 2` or `k` exceeds the size of the smallest class.
+pub fn stratified_kfold(labels: &[usize], k: usize, seed: u64) -> Vec<Fold> {
+    assert!(k >= 2, "k-fold needs k >= 2");
+    let mut rng = SplitMix::new(seed);
+    // Shuffle within each class, then deal class members round-robin.
+    let mut per_class: Vec<Vec<usize>> = Vec::new();
+    for (i, &y) in labels.iter().enumerate() {
+        if y >= per_class.len() {
+            per_class.resize_with(y + 1, Vec::new);
+        }
+        per_class[y].push(i);
+    }
+    for class in &per_class {
+        assert!(
+            class.is_empty() || class.len() >= k,
+            "class with {} samples cannot fill {k} folds",
+            class.len()
+        );
+    }
+    let mut fold_of = vec![0usize; labels.len()];
+    for class in &mut per_class {
+        rng.shuffle(class);
+        for (pos, &idx) in class.iter().enumerate() {
+            fold_of[idx] = pos % k;
+        }
+    }
+    (0..k)
+        .map(|f| {
+            let test: Vec<usize> =
+                (0..labels.len()).filter(|&i| fold_of[i] == f).collect();
+            let train: Vec<usize> =
+                (0..labels.len()).filter(|&i| fold_of[i] != f).collect();
+            Fold { train, test }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(n: usize) -> Vec<usize> {
+        (0..n).map(|i| i % 2).collect()
+    }
+
+    #[test]
+    fn folds_partition_the_dataset() {
+        let y = labels(100);
+        let folds = stratified_kfold(&y, 10, 1);
+        assert_eq!(folds.len(), 10);
+        let mut seen = vec![false; 100];
+        for f in &folds {
+            for &i in &f.test {
+                assert!(!seen[i], "index {i} in two test folds");
+                seen[i] = true;
+            }
+            assert_eq!(f.train.len() + f.test.len(), 100);
+            // Train and test are disjoint.
+            for &i in &f.test {
+                assert!(!f.train.contains(&i));
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn folds_are_stratified() {
+        // 60/40 imbalance must be preserved in every test fold.
+        let y: Vec<usize> = (0..100).map(|i| usize::from(i < 40)).collect();
+        for f in stratified_kfold(&y, 5, 2) {
+            let positives = f.test.iter().filter(|&&i| y[i] == 1).count();
+            assert_eq!(positives, 8, "test fold has {positives} positives");
+            assert_eq!(f.test.len(), 20);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let y = labels(50);
+        assert_eq!(stratified_kfold(&y, 5, 3), stratified_kfold(&y, 5, 3));
+        assert_ne!(stratified_kfold(&y, 5, 3), stratified_kfold(&y, 5, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fill")]
+    fn too_many_folds_panics() {
+        let y = vec![0, 0, 0, 1, 1, 1];
+        let _ = stratified_kfold(&y, 4, 1);
+    }
+
+    #[test]
+    fn uneven_sizes_differ_by_at_most_one() {
+        let y = labels(103);
+        let folds = stratified_kfold(&y, 10, 5);
+        let sizes: Vec<usize> = folds.iter().map(|f| f.test.len()).collect();
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        assert!(max - min <= 2, "{sizes:?}");
+    }
+}

@@ -1,0 +1,161 @@
+//! Figs. 2 and 3: dataset statistics.
+//!
+//! Fig. 2 plots obtained vs unique phishing contracts per month; Fig. 3
+//! shows, for the 20 most influential opcodes, that benign and phishing
+//! contracts use each opcode at similar rates (single-opcode frequency is
+//! not a reliable filter).
+
+use super::ExperimentScale;
+use phishinghook_data::{Corpus, CorpusConfig, Label, Month};
+use phishinghook_evm::disasm::disassemble;
+
+/// The 20 opcodes of the paper's Fig. 3/Fig. 9 axis.
+pub const FIG3_OPCODES: [&str; 20] = [
+    "RETURNDATASIZE",
+    "RETURNDATACOPY",
+    "GAS",
+    "OR",
+    "ADDRESS",
+    "STATICCALL",
+    "LT",
+    "SHL",
+    "LOG3",
+    "RETURN",
+    "PUSH1",
+    "SWAP3",
+    "REVERT",
+    "MLOAD",
+    "CALLDATALOAD",
+    "POP",
+    "ISZERO",
+    "SELFBALANCE",
+    "MSTORE",
+    "AND",
+];
+
+/// Fig. 2 row: one month's obtained/unique phishing counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonthlyRow {
+    /// Month.
+    pub month: Month,
+    /// Obtained (duplicate-inclusive) phishing deployments.
+    pub obtained: usize,
+    /// Unique phishing bytecodes.
+    pub unique: usize,
+}
+
+/// Fig. 3 row: per-class usage distribution of one opcode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpcodeUsageRow {
+    /// Opcode mnemonic.
+    pub opcode: &'static str,
+    /// (q1, median, q3) of per-contract usage counts among benign samples.
+    pub benign_quartiles: (f64, f64, f64),
+    /// (q1, median, q3) among phishing samples.
+    pub phishing_quartiles: (f64, f64, f64),
+}
+
+/// Dataset statistics output.
+#[derive(Debug, Clone)]
+pub struct DatasetStats {
+    /// Fig. 2 series.
+    pub monthly: Vec<MonthlyRow>,
+    /// Fig. 3 rows.
+    pub usage: Vec<OpcodeUsageRow>,
+    /// Total unique / obtained phishing counts (paper: 3,458 / 17,455).
+    pub unique_phishing: usize,
+    /// Total obtained phishing deployments.
+    pub obtained_phishing: usize,
+}
+
+fn quartiles(mut xs: Vec<f64>) -> (f64, f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite counts"));
+    let q = |p: f64| xs[((xs.len() - 1) as f64 * p).round() as usize];
+    (q(0.25), q(0.5), q(0.75))
+}
+
+/// Computes dataset statistics at the given scale.
+pub fn run(scale: &ExperimentScale) -> DatasetStats {
+    let corpus = Corpus::generate(&CorpusConfig {
+        n_contracts: scale.n_contracts,
+        seed: scale.seed,
+        ..Default::default()
+    });
+
+    let monthly: Vec<MonthlyRow> = corpus
+        .monthly_phishing_counts()
+        .into_iter()
+        .map(|(month, obtained, unique)| MonthlyRow { month, obtained, unique })
+        .collect();
+
+    // Per-contract opcode usage counts by class.
+    let mut usage = Vec::with_capacity(FIG3_OPCODES.len());
+    let counts_for = |label: Label, opcode: &str| -> Vec<f64> {
+        corpus
+            .records
+            .iter()
+            .filter(|r| r.label == label)
+            .map(|r| {
+                disassemble(&r.bytecode)
+                    .iter()
+                    .filter(|i| i.mnemonic() == opcode)
+                    .count() as f64
+            })
+            .collect()
+    };
+    for opcode in FIG3_OPCODES {
+        usage.push(OpcodeUsageRow {
+            opcode,
+            benign_quartiles: quartiles(counts_for(Label::Benign, opcode)),
+            phishing_quartiles: quartiles(counts_for(Label::Phishing, opcode)),
+        });
+    }
+
+    DatasetStats {
+        unique_phishing: corpus.phishing().count(),
+        obtained_phishing: corpus.raw_phishing.len(),
+        monthly,
+        usage,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monthly_series_covers_window() {
+        let stats = run(&ExperimentScale { n_contracts: 400, ..ExperimentScale::smoke() });
+        assert_eq!(stats.monthly.len(), 13);
+        assert_eq!(stats.unique_phishing, 200);
+        assert!(stats.obtained_phishing > stats.unique_phishing);
+        let total: usize = stats.monthly.iter().map(|r| r.unique).sum();
+        assert_eq!(total, stats.unique_phishing);
+    }
+
+    #[test]
+    fn usage_rows_cover_all_20_opcodes() {
+        let stats = run(&ExperimentScale { n_contracts: 300, ..ExperimentScale::smoke() });
+        assert_eq!(stats.usage.len(), 20);
+        // Quartiles are ordered.
+        for row in &stats.usage {
+            let (q1, q2, q3) = row.benign_quartiles;
+            assert!(q1 <= q2 && q2 <= q3, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn classes_overlap_on_common_opcodes() {
+        // Fig. 3's message: both classes use the common opcodes. PUSH1 and
+        // MSTORE medians must be positive for both classes.
+        let stats = run(&ExperimentScale { n_contracts: 300, ..ExperimentScale::smoke() });
+        for opcode in ["PUSH1", "MSTORE", "POP"] {
+            let row = stats.usage.iter().find(|r| r.opcode == opcode).expect("row exists");
+            assert!(row.benign_quartiles.1 > 0.0, "{opcode} benign median 0");
+            assert!(row.phishing_quartiles.1 > 0.0, "{opcode} phishing median 0");
+        }
+    }
+}

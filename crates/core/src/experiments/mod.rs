@@ -1,0 +1,144 @@
+//! Experiment drivers — one module per paper table/figure group.
+//!
+//! | Module | Reproduces |
+//! |--------|-----------|
+//! | [`dataset_stats`] | Fig. 2 (monthly phishing counts), Fig. 3 (opcode usage by class) |
+//! | [`main_eval`] | Table II (16 models × 4 metrics) |
+//! | [`posthoc`] | Table III (Kruskal-Wallis), Fig. 4 (Dunn's pairwise tests) |
+//! | [`scalability`] | Fig. 5 (metrics vs data split), Fig. 6 (CDD), Fig. 7 (time costs) |
+//! | [`time_resistance`] | Fig. 8 (temporal decay + AUT) |
+//! | [`shap_analysis`] | Fig. 9 (SHAP values of the best HSC) |
+
+pub mod dataset_stats;
+pub mod main_eval;
+pub mod posthoc;
+pub mod scalability;
+pub mod shap_analysis;
+pub mod time_resistance;
+
+use phishinghook_models::Preset;
+
+/// How big an experiment run should be. The paper's full protocol (7,000
+/// contracts × 10 folds × 3 runs, GPU-trained deep models) is impractical
+/// on CPU; these presets keep the *shape* of every experiment while scaling
+/// compute. Binaries accept `--scale {smoke|small|medium|paper}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentScale {
+    /// Corpus size (balanced).
+    pub n_contracts: usize,
+    /// Cross-validation folds.
+    pub folds: usize,
+    /// Repeated runs.
+    pub runs: usize,
+    /// Deep-model preset.
+    pub preset: Preset,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl ExperimentScale {
+    /// Tiny smoke-test scale (CI).
+    pub fn smoke() -> Self {
+        ExperimentScale { n_contracts: 240, folds: 3, runs: 1, preset: Preset::Fast, seed: 0xF00D }
+    }
+
+    /// Small scale: minutes on a laptop, all 16 models.
+    pub fn small() -> Self {
+        ExperimentScale { n_contracts: 700, folds: 5, runs: 1, preset: Preset::Fast, seed: 0xF00D }
+    }
+
+    /// Medium scale: tens of minutes.
+    pub fn medium() -> Self {
+        ExperimentScale {
+            n_contracts: 2000,
+            folds: 5,
+            runs: 2,
+            preset: Preset::Standard,
+            seed: 0xF00D,
+        }
+    }
+
+    /// The paper's protocol (7,000 contracts, 10-fold × 3 runs).
+    pub fn paper() -> Self {
+        ExperimentScale {
+            n_contracts: 7000,
+            folds: 10,
+            runs: 3,
+            preset: Preset::Standard,
+            seed: 0xF00D,
+        }
+    }
+
+    /// Parses `--scale <name>` style CLI args (first match wins); defaults
+    /// to [`ExperimentScale::small`].
+    pub fn from_args(args: &[String]) -> Self {
+        let mut scale = ExperimentScale::small();
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    if let Some(v) = iter.next() {
+                        scale = match v.as_str() {
+                            "smoke" => ExperimentScale::smoke(),
+                            "small" => ExperimentScale::small(),
+                            "medium" => ExperimentScale::medium(),
+                            "paper" => ExperimentScale::paper(),
+                            other => {
+                                eprintln!("unknown scale `{other}`, using small");
+                                ExperimentScale::small()
+                            }
+                        };
+                    }
+                }
+                "--contracts" => {
+                    if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
+                        scale.n_contracts = v;
+                    }
+                }
+                "--folds" => {
+                    if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
+                        scale.folds = v;
+                    }
+                }
+                "--runs" => {
+                    if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
+                        scale.runs = v;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
+                        scale.seed = v;
+                    }
+                }
+                _ => {}
+            }
+        }
+        scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> =
+            ["--scale", "medium", "--contracts", "500", "--seed", "9"].iter().map(|s| s.to_string()).collect();
+        let s = ExperimentScale::from_args(&args);
+        assert_eq!(s.folds, ExperimentScale::medium().folds);
+        assert_eq!(s.n_contracts, 500);
+        assert_eq!(s.seed, 9);
+    }
+
+    #[test]
+    fn default_is_small() {
+        assert_eq!(ExperimentScale::from_args(&[]), ExperimentScale::small());
+    }
+
+    #[test]
+    fn paper_scale_matches_protocol() {
+        let p = ExperimentScale::paper();
+        assert_eq!((p.n_contracts, p.folds, p.runs), (7000, 10, 3));
+    }
+}

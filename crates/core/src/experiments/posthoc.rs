@@ -1,0 +1,269 @@
+//! Table III + Fig. 4: the post hoc analysis over the Table II trials.
+//!
+//! Mirrors the paper's PAM protocol exactly: Shapiro-Wilk normality per
+//! model-metric pair; Kruskal-Wallis per metric with Holm-Bonferroni across
+//! the four metrics; Dunn's pairwise test per metric, with the
+//! within-category vs cross-category significance breakdown the paper
+//! reports (65.4% of pairs significant overall; ~37% within category,
+//! ~80% across categories).
+
+use crate::metrics::METRIC_NAMES;
+use crate::pipeline::TrialResult;
+use phishinghook_models::Category;
+use phishinghook_stats::{
+    dunn_test, holm_bonferroni, kruskal_wallis, shapiro_wilk, DunnComparison,
+};
+
+/// Models the paper excludes from the post hoc analysis.
+pub const EXCLUDED: [&str; 3] = ["ESCORT", "GPT-2β", "T5β"];
+
+/// Kruskal-Wallis row (one per metric) — the paper's Table III.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KruskalRow {
+    /// Metric name.
+    pub metric: &'static str,
+    /// H statistic.
+    pub h: f64,
+    /// Raw p-value.
+    pub p: f64,
+    /// Holm-adjusted p-value (across the four metrics).
+    pub p_adjusted: f64,
+}
+
+/// One Dunn comparison annotated with model names and categories.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairwiseRow {
+    /// Metric the comparison is on.
+    pub metric: &'static str,
+    /// First model.
+    pub model_a: String,
+    /// Second model.
+    pub model_b: String,
+    /// Whether the two models share a category.
+    pub same_category: bool,
+    /// Holm-adjusted p-value.
+    pub p_adjusted: f64,
+}
+
+/// Aggregate significance rates (the percentages quoted in §IV-E).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignificanceRates {
+    /// Fraction of all pairs with adjusted p < 0.05.
+    pub overall: f64,
+    /// Fraction among same-category pairs.
+    pub within_category: f64,
+    /// Fraction among cross-category pairs.
+    pub cross_category: f64,
+}
+
+/// Full post hoc analysis output.
+#[derive(Debug, Clone)]
+pub struct PosthocAnalysis {
+    /// Models analyzed, in first-seen order (13 at paper scale).
+    pub models: Vec<(String, Category)>,
+    /// Count of model-metric pairs where Shapiro-Wilk rejected normality
+    /// (p < 0.05), out of `models × 4` pairs.
+    pub normality_violations: usize,
+    /// Total model-metric pairs tested.
+    pub normality_tests: usize,
+    /// Table III rows.
+    pub kruskal: Vec<KruskalRow>,
+    /// All Dunn comparisons for all four metrics (Fig. 4's cells).
+    pub pairwise: Vec<PairwiseRow>,
+    /// Significance rates per metric, `(metric, rates)`.
+    pub rates: Vec<(&'static str, SignificanceRates)>,
+}
+
+/// Runs the post hoc analysis on main-evaluation trials.
+///
+/// # Panics
+/// Panics when fewer than two models remain after exclusions or a model has
+/// fewer than 4 trials (Shapiro-Wilk's minimum).
+pub fn run(trials: &[TrialResult]) -> PosthocAnalysis {
+    let mut models: Vec<(String, Category)> = Vec::new();
+    for t in trials {
+        if EXCLUDED.contains(&t.model.as_str()) {
+            continue;
+        }
+        if !models.iter().any(|(m, _)| *m == t.model) {
+            models.push((t.model.clone(), t.category));
+        }
+    }
+    assert!(models.len() >= 2, "post hoc needs at least two models");
+
+    let series = |model: &str, metric: &str| -> Vec<f64> {
+        trials
+            .iter()
+            .filter(|t| t.model == model)
+            .map(|t| t.metrics.by_name(metric))
+            .collect()
+    };
+
+    // Shapiro-Wilk per model-metric pair (constant series count as
+    // violations of usability, not normality; the paper had 20/52 rejected).
+    let mut normality_violations = 0;
+    let mut normality_tests = 0;
+    for (model, _) in &models {
+        for metric in METRIC_NAMES {
+            let xs = series(model, metric);
+            normality_tests += 1;
+            let range = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            if range <= 0.0 {
+                continue; // constant: SW undefined, not counted as rejection
+            }
+            if shapiro_wilk(&xs).p_value < 0.05 {
+                normality_violations += 1;
+            }
+        }
+    }
+
+    // Kruskal-Wallis per metric, Holm across the four metrics (Table III).
+    let mut raw_ps = Vec::with_capacity(4);
+    let mut hs = Vec::with_capacity(4);
+    for metric in METRIC_NAMES {
+        let groups: Vec<Vec<f64>> = models.iter().map(|(m, _)| series(m, metric)).collect();
+        let kw = kruskal_wallis(&groups);
+        raw_ps.push(kw.p_value);
+        hs.push(kw.h);
+    }
+    let adjusted = holm_bonferroni(&raw_ps);
+    let kruskal: Vec<KruskalRow> = METRIC_NAMES
+        .iter()
+        .zip(hs)
+        .zip(raw_ps.iter().zip(&adjusted))
+        .map(|((metric, h), (&p, &p_adjusted))| KruskalRow { metric, h, p, p_adjusted })
+        .collect();
+
+    // Dunn's pairwise tests per metric (Fig. 4).
+    let mut pairwise = Vec::new();
+    let mut rates = Vec::new();
+    for metric in METRIC_NAMES {
+        let groups: Vec<Vec<f64>> = models.iter().map(|(m, _)| series(m, metric)).collect();
+        let comparisons: Vec<DunnComparison> = dunn_test(&groups);
+        let mut overall = (0usize, 0usize);
+        let mut within = (0usize, 0usize);
+        let mut cross = (0usize, 0usize);
+        for c in &comparisons {
+            let (ma, ca) = &models[c.group_a];
+            let (mb, cb) = &models[c.group_b];
+            let same = ca == cb;
+            let sig = c.significant();
+            overall.1 += 1;
+            overall.0 += usize::from(sig);
+            if same {
+                within.1 += 1;
+                within.0 += usize::from(sig);
+            } else {
+                cross.1 += 1;
+                cross.0 += usize::from(sig);
+            }
+            pairwise.push(PairwiseRow {
+                metric,
+                model_a: ma.clone(),
+                model_b: mb.clone(),
+                same_category: same,
+                p_adjusted: c.p_adjusted,
+            });
+        }
+        let rate = |(s, n): (usize, usize)| if n == 0 { 0.0 } else { s as f64 / n as f64 };
+        rates.push((
+            metric,
+            SignificanceRates {
+                overall: rate(overall),
+                within_category: rate(within),
+                cross_category: rate(cross),
+            },
+        ));
+    }
+
+    PosthocAnalysis { models, normality_violations, normality_tests, kruskal, pairwise, rates }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::BinaryMetrics;
+    use phishinghook_ml::SplitMix;
+
+    /// Synthesizes trials for named models with given mean accuracy.
+    fn fake_trials(specs: &[(&str, Category, f64)], n: usize, seed: u64) -> Vec<TrialResult> {
+        let mut rng = SplitMix::new(seed);
+        let mut out = Vec::new();
+        for (model, category, mean) in specs {
+            for i in 0..n {
+                let jitter = rng.normal() * 0.01;
+                let v = (mean + jitter).clamp(0.01, 0.99);
+                out.push(TrialResult {
+                    model: (*model).to_owned(),
+                    category: *category,
+                    run: i / 10,
+                    fold: i % 10,
+                    metrics: BinaryMetrics { accuracy: v, precision: v, recall: v, f1: v },
+                    train_secs: 0.1,
+                    infer_secs: 0.01,
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn separated_models_yield_significant_tests() {
+        let trials = fake_trials(
+            &[
+                ("A", Category::Histogram, 0.93),
+                ("B", Category::Histogram, 0.92),
+                ("C", Category::Vision, 0.80),
+            ],
+            30,
+            1,
+        );
+        let analysis = run(&trials);
+        assert_eq!(analysis.models.len(), 3);
+        for row in &analysis.kruskal {
+            assert!(row.p_adjusted < 0.05, "{row:?}");
+            assert!(row.p_adjusted >= row.p);
+        }
+        // Cross-category pairs (A-C, B-C) should be significant far more
+        // often than the within-category A-B pair.
+        for (_, r) in &analysis.rates {
+            assert!(r.cross_category >= r.within_category);
+        }
+    }
+
+    #[test]
+    fn excluded_models_are_dropped() {
+        let trials = fake_trials(
+            &[
+                ("A", Category::Histogram, 0.9),
+                ("ESCORT", Category::VulnerabilityDetection, 0.55),
+                ("GPT-2β", Category::Language, 0.88),
+                ("B", Category::Language, 0.89),
+            ],
+            30,
+            2,
+        );
+        let analysis = run(&trials);
+        let names: Vec<&str> = analysis.models.iter().map(|(m, _)| m.as_str()).collect();
+        assert_eq!(names, vec!["A", "B"]);
+    }
+
+    #[test]
+    fn pairwise_count_matches_combinatorics() {
+        let trials = fake_trials(
+            &[
+                ("A", Category::Histogram, 0.93),
+                ("B", Category::Histogram, 0.91),
+                ("C", Category::Vision, 0.85),
+                ("D", Category::Language, 0.88),
+            ],
+            30,
+            3,
+        );
+        let analysis = run(&trials);
+        // 4 models → 6 pairs × 4 metrics.
+        assert_eq!(analysis.pairwise.len(), 24);
+        assert_eq!(analysis.normality_tests, 16);
+    }
+}

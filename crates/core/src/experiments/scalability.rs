@@ -1,0 +1,203 @@
+//! Figs. 5–7: model scalability across data splits.
+//!
+//! Trains the best model of each category (Random Forest, ECA+EfficientNet,
+//! SCSGuard) on 1/3, 2/3 and 3/3 of the corpus, recording metrics (Fig. 5),
+//! training/inference wall-clock time (Fig. 7), and the Friedman/Wilcoxon/
+//! Cliff's-δ critical-difference analysis (Fig. 6).
+
+use super::ExperimentScale;
+use crate::cv::stratified_kfold;
+use crate::metrics::{BinaryMetrics, METRIC_NAMES};
+use phishinghook_data::{Corpus, CorpusConfig};
+use phishinghook_models::{Detector, HscDetector, ScsGuardDetector, VisionDetector};
+use phishinghook_stats::{cliffs_delta, critical_difference, CriticalDifference};
+use std::time::Instant;
+
+/// The three models of the experiment, in the paper's order.
+pub const MODELS: [&str; 3] = ["Random Forest", "ECA+EfficientNet", "SCSGuard"];
+
+/// The data-split ratios.
+pub const SPLITS: [f64; 3] = [1.0 / 3.0, 2.0 / 3.0, 1.0];
+
+/// One (model, split) measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitMeasurement {
+    /// Model name.
+    pub model: &'static str,
+    /// Fraction of the corpus used.
+    pub split: f64,
+    /// Held-out metrics.
+    pub metrics: BinaryMetrics,
+    /// Training seconds.
+    pub train_secs: f64,
+    /// Inference seconds over the held-out set.
+    pub infer_secs: f64,
+}
+
+/// Cliff's δ between two models on one metric (over the split series).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EffectSize {
+    /// Metric name.
+    pub metric: &'static str,
+    /// First model.
+    pub model_a: &'static str,
+    /// Second model.
+    pub model_b: &'static str,
+    /// Cliff's δ of a's series vs b's.
+    pub delta: f64,
+}
+
+/// Full scalability experiment output.
+#[derive(Debug, Clone)]
+pub struct ScalabilityResult {
+    /// All nine (model, split) measurements.
+    pub measurements: Vec<SplitMeasurement>,
+    /// Critical-difference data per metric (Fig. 6's four rows).
+    pub cdd: Vec<(&'static str, CriticalDifference)>,
+    /// Cliff's δ for every model pair and metric.
+    pub effect_sizes: Vec<EffectSize>,
+}
+
+fn make_model(name: &str, scale: &ExperimentScale, seed: u64) -> Box<dyn Detector> {
+    match name {
+        "Random Forest" => Box::new(HscDetector::random_forest(seed)),
+        "ECA+EfficientNet" => Box::new(VisionDetector::eca_efficientnet(scale.preset.vision_cnn(seed))),
+        "SCSGuard" => Box::new(ScsGuardDetector::new(scale.preset.language(seed))),
+        other => panic!("unknown scalability model `{other}`"),
+    }
+}
+
+/// Runs the scalability experiment.
+pub fn run(scale: &ExperimentScale) -> ScalabilityResult {
+    let corpus = Corpus::generate(&CorpusConfig {
+        n_contracts: scale.n_contracts,
+        seed: scale.seed ^ 0x5CA1E,
+        ..Default::default()
+    });
+    let (codes, labels) = corpus.as_dataset();
+
+    // A fixed stratified 80/20 split; the training side is subsampled per
+    // ratio so splits are nested (1/3 ⊂ 2/3 ⊂ 3/3), as in a data-growth
+    // study.
+    let folds = stratified_kfold(&labels, 5, scale.seed);
+    let eval_fold = &folds[0];
+    let train_pool: Vec<usize> = eval_fold.train.clone();
+    let test_idx: Vec<usize> = eval_fold.test.clone();
+    let test_x: Vec<&[u8]> = test_idx.iter().map(|&i| codes[i]).collect();
+    let test_y: Vec<usize> = test_idx.iter().map(|&i| labels[i]).collect();
+
+    let mut measurements = Vec::new();
+    for &split in &SPLITS {
+        let n = ((train_pool.len() as f64) * split).round() as usize;
+        let subset: Vec<usize> = train_pool[..n].to_vec();
+        let train_x: Vec<&[u8]> = subset.iter().map(|&i| codes[i]).collect();
+        let train_y: Vec<usize> = subset.iter().map(|&i| labels[i]).collect();
+        for model in MODELS {
+            let mut det = make_model(model, scale, scale.seed ^ (split * 100.0) as u64);
+            let t0 = Instant::now();
+            det.fit(&train_x, &train_y);
+            let train_secs = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let preds = det.predict(&test_x);
+            let infer_secs = t1.elapsed().as_secs_f64();
+            measurements.push(SplitMeasurement {
+                model,
+                split,
+                metrics: BinaryMetrics::from_predictions(&preds, &test_y),
+                train_secs,
+                infer_secs,
+            });
+        }
+    }
+
+    // Fig. 6: per metric, blocks = splits, treatments = models.
+    let mut cdd = Vec::new();
+    let mut effect_sizes = Vec::new();
+    for metric in METRIC_NAMES {
+        let series = |model: &str| -> Vec<f64> {
+            SPLITS
+                .iter()
+                .map(|&s| {
+                    measurements
+                        .iter()
+                        .find(|m| m.model == model && m.split == s)
+                        .expect("measurement exists")
+                        .metrics
+                        .by_name(metric)
+                })
+                .collect()
+        };
+        let blocks: Vec<Vec<f64>> = SPLITS
+            .iter()
+            .map(|&s| {
+                MODELS
+                    .iter()
+                    .map(|model| {
+                        measurements
+                            .iter()
+                            .find(|m| m.model == *model && m.split == s)
+                            .expect("measurement exists")
+                            .metrics
+                            .by_name(metric)
+                    })
+                    .collect()
+            })
+            .collect();
+        cdd.push((metric, critical_difference(&blocks, 0.05)));
+        for a in 0..MODELS.len() {
+            for b in (a + 1)..MODELS.len() {
+                effect_sizes.push(EffectSize {
+                    metric,
+                    model_a: MODELS[a],
+                    model_b: MODELS[b],
+                    delta: cliffs_delta(&series(MODELS[a]), &series(MODELS[b])),
+                });
+            }
+        }
+    }
+
+    ScalabilityResult { measurements, cdd, effect_sizes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_has_expected_shape() {
+        let scale = ExperimentScale {
+            n_contracts: 240,
+            ..ExperimentScale::smoke()
+        };
+        let result = run(&scale);
+        assert_eq!(result.measurements.len(), 9);
+        assert_eq!(result.cdd.len(), 4);
+        assert_eq!(result.effect_sizes.len(), 12); // 3 pairs × 4 metrics
+        // Larger splits never shrink the training time for SCSGuard (the
+        // cost-scaling claim of Fig. 7) — allow small timer noise.
+        let scs: Vec<&SplitMeasurement> =
+            result.measurements.iter().filter(|m| m.model == "SCSGuard").collect();
+        assert!(scs[2].train_secs > scs[0].train_secs * 0.8);
+        // Every Cliff's delta is in [-1, 1].
+        for e in &result.effect_sizes {
+            assert!((-1.0..=1.0).contains(&e.delta));
+        }
+    }
+
+    #[test]
+    fn random_forest_metrics_present_per_split() {
+        let scale = ExperimentScale {
+            n_contracts: 240,
+            ..ExperimentScale::smoke()
+        };
+        let result = run(&scale);
+        for &s in &SPLITS {
+            let m = result
+                .measurements
+                .iter()
+                .find(|m| m.model == "Random Forest" && m.split == s)
+                .expect("missing measurement");
+            assert!(m.metrics.accuracy > 0.5);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Fig. 9: SHAP values of the best classifier (Random Forest HSC).
+//!
+//! Trains a random forest on opcode histograms, computes exact TreeSHAP
+//! values for a held-out test fold, and summarizes the most influential
+//! opcodes — including the paper's headline observation that *low* GAS
+//! usage pushes the prediction toward phishing.
+
+use super::ExperimentScale;
+use crate::cv::stratified_kfold;
+use phishinghook_data::{Corpus, CorpusConfig};
+use phishinghook_features::HistogramExtractor;
+use phishinghook_ml::classical::forest::ForestConfig;
+use phishinghook_ml::{Classifier, RandomForest};
+use phishinghook_stats::{forest_expected_value, forest_shap};
+
+/// Per-opcode SHAP summary over the test fold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpcodeInfluence {
+    /// Opcode mnemonic (histogram feature).
+    pub opcode: &'static str,
+    /// Mean |SHAP| — the influence ranking key.
+    pub mean_abs_shap: f64,
+    /// Mean SHAP among samples using the opcode *less* than the median.
+    pub low_usage_mean_shap: f64,
+    /// Mean SHAP among samples using the opcode *at least* the median.
+    pub high_usage_mean_shap: f64,
+}
+
+/// Full SHAP experiment output.
+#[derive(Debug, Clone)]
+pub struct ShapAnalysis {
+    /// Opcodes ranked by mean |SHAP| descending (top 20 kept, as in Fig. 9).
+    pub top: Vec<OpcodeInfluence>,
+    /// SHAP base value (mean phishing probability — "the base value (i.e.,
+    /// the mean probability of phishing across all contracts)").
+    pub base_value: f64,
+    /// Largest additivity residual |Σφ + base − f(x)| observed (sanity).
+    pub max_additivity_error: f64,
+    /// Number of test samples explained.
+    pub n_explained: usize,
+}
+
+/// Runs the SHAP analysis at the given scale.
+pub fn run(scale: &ExperimentScale) -> ShapAnalysis {
+    let corpus = Corpus::generate(&CorpusConfig {
+        n_contracts: scale.n_contracts,
+        seed: scale.seed ^ 0x54A9,
+        ..Default::default()
+    });
+    let (codes, labels) = corpus.as_dataset();
+
+    // One stratified fold, as the paper does ("the test set of a random
+    // fold from §IV-D").
+    let folds = stratified_kfold(&labels, scale.folds.max(2), scale.seed);
+    let fold = &folds[0];
+    let train_x: Vec<&[u8]> = fold.train.iter().map(|&i| codes[i]).collect();
+    let train_y: Vec<usize> = fold.train.iter().map(|&i| labels[i]).collect();
+    // Cap explained samples: TreeSHAP is O(trees · leaves · depth²) per row.
+    let test_idx: Vec<usize> = fold.test.iter().copied().take(400).collect();
+
+    let extractor = HistogramExtractor::fit(&train_x);
+    let x_train = extractor.transform(&train_x);
+    // A moderate forest keeps exact SHAP affordable without hurting
+    // accuracy much.
+    let mut forest = RandomForest::new(ForestConfig {
+        n_trees: 40,
+        max_depth: 12,
+        seed: scale.seed,
+        ..ForestConfig::default()
+    });
+    forest.fit(&x_train, &train_y);
+
+    let base_value = forest_expected_value(&forest);
+    let mut shap_rows: Vec<Vec<f64>> = Vec::with_capacity(test_idx.len());
+    let mut feature_rows: Vec<Vec<f64>> = Vec::with_capacity(test_idx.len());
+    let mut max_additivity_error = 0.0f64;
+    for &i in &test_idx {
+        let features = extractor.transform_one(codes[i]);
+        let phi = forest_shap(&forest, &features);
+        let prediction = forest
+            .predict_proba(&phishinghook_ml::Matrix::from_rows(&[features.clone()]))[0];
+        let residual = (phi.iter().sum::<f64>() + base_value - prediction).abs();
+        max_additivity_error = max_additivity_error.max(residual);
+        shap_rows.push(phi);
+        feature_rows.push(features);
+    }
+
+    // Aggregate per opcode.
+    let n = shap_rows.len().max(1) as f64;
+    let d = extractor.n_features();
+    let mut influences = Vec::with_capacity(d);
+    for j in 0..d {
+        let shap_j: Vec<f64> = shap_rows.iter().map(|r| r[j]).collect();
+        let usage_j: Vec<f64> = feature_rows.iter().map(|r| r[j]).collect();
+        let mut sorted = usage_j.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite counts"));
+        let median = sorted[sorted.len() / 2];
+        let (mut low_sum, mut low_n, mut high_sum, mut high_n) = (0.0, 0usize, 0.0, 0usize);
+        for (&s, &u) in shap_j.iter().zip(&usage_j) {
+            if u < median {
+                low_sum += s;
+                low_n += 1;
+            } else {
+                high_sum += s;
+                high_n += 1;
+            }
+        }
+        influences.push(OpcodeInfluence {
+            opcode: extractor.columns()[j],
+            mean_abs_shap: shap_j.iter().map(|v| v.abs()).sum::<f64>() / n,
+            low_usage_mean_shap: if low_n == 0 { 0.0 } else { low_sum / low_n as f64 },
+            high_usage_mean_shap: if high_n == 0 { 0.0 } else { high_sum / high_n as f64 },
+        });
+    }
+    influences.sort_by(|a, b| {
+        b.mean_abs_shap.partial_cmp(&a.mean_abs_shap).expect("finite SHAP")
+    });
+    influences.truncate(20);
+
+    ShapAnalysis {
+        top: influences,
+        base_value,
+        max_additivity_error,
+        n_explained: test_idx.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn additivity_holds_and_top_is_ranked() {
+        let scale = ExperimentScale { n_contracts: 200, ..ExperimentScale::smoke() };
+        let analysis = run(&scale);
+        assert!(analysis.max_additivity_error < 1e-9, "{}", analysis.max_additivity_error);
+        assert!(!analysis.top.is_empty());
+        for w in analysis.top.windows(2) {
+            assert!(w[0].mean_abs_shap >= w[1].mean_abs_shap);
+        }
+        assert!((0.0..=1.0).contains(&analysis.base_value));
+    }
+
+    #[test]
+    fn gas_under_use_leans_phishing() {
+        // The paper's Fig. 9 reading: contracts that rarely use GAS get
+        // positive (phishing-leaning) SHAP contributions from the GAS
+        // feature, because benign code checks gas before external calls.
+        let scale = ExperimentScale { n_contracts: 400, ..ExperimentScale::smoke() };
+        let analysis = run(&scale);
+        if let Some(gas) = analysis.top.iter().find(|o| o.opcode == "GAS") {
+            assert!(
+                gas.low_usage_mean_shap > gas.high_usage_mean_shap,
+                "low={} high={}",
+                gas.low_usage_mean_shap,
+                gas.high_usage_mean_shap
+            );
+        }
+    }
+}

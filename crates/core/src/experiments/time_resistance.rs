@@ -1,0 +1,134 @@
+//! Fig. 8: time-resistance analysis (TESSERACT-style temporal evaluation).
+//!
+//! A second 7,000-sample dataset is built with benign deployments matching
+//! the phishing monthly profile. Models train on October 2023 – January 2024
+//! and are evaluated on nine monthly test sets (February – October 2024);
+//! stability is summarized by the AUT of the phishing-class F1 curve.
+
+use super::ExperimentScale;
+use crate::metrics::BinaryMetrics;
+use phishinghook_data::{Corpus, CorpusConfig, Month};
+use phishinghook_models::{Detector, HscDetector, ScsGuardDetector, VisionDetector};
+use phishinghook_stats::area_under_time;
+
+/// Last month (inclusive) of the training window: January 2024.
+pub const TRAIN_END: u8 = 3;
+
+/// Metrics of one monthly test period.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonthlyMetrics {
+    /// The test month.
+    pub month: Month,
+    /// Phishing-class precision/recall/F1.
+    pub phishing: BinaryMetrics,
+    /// Benign-class precision/recall/F1.
+    pub benign: BinaryMetrics,
+    /// Number of test samples that month.
+    pub n_samples: usize,
+}
+
+/// One model's temporal decay curve.
+#[derive(Debug, Clone)]
+pub struct DecayCurve {
+    /// Model name.
+    pub model: &'static str,
+    /// Metrics per test month, February through October 2024.
+    pub months: Vec<MonthlyMetrics>,
+    /// Area under the phishing-class F1 curve.
+    pub aut_f1: f64,
+}
+
+/// Full time-resistance output.
+#[derive(Debug, Clone)]
+pub struct TimeResistance {
+    /// One decay curve per evaluated model.
+    pub curves: Vec<DecayCurve>,
+}
+
+/// Runs the time-resistance experiment for the three best-in-category
+/// models.
+pub fn run(scale: &ExperimentScale) -> TimeResistance {
+    let corpus = Corpus::generate(&CorpusConfig {
+        n_contracts: scale.n_contracts,
+        seed: scale.seed ^ 0x7173,
+        benign_months_match_phishing: true,
+        ..Default::default()
+    });
+
+    let train: Vec<(&[u8], usize)> = corpus
+        .records
+        .iter()
+        .filter(|r| r.month.0 <= TRAIN_END)
+        .map(|r| (r.bytecode.as_slice(), r.label.as_index()))
+        .collect();
+    let train_x: Vec<&[u8]> = train.iter().map(|(c, _)| *c).collect();
+    let train_y: Vec<usize> = train.iter().map(|(_, y)| *y).collect();
+
+    let models: Vec<(&'static str, Box<dyn Detector>)> = vec![
+        ("Random Forest", Box::new(HscDetector::random_forest(scale.seed))),
+        (
+            "ECA+EfficientNet",
+            Box::new(VisionDetector::eca_efficientnet(scale.preset.vision_cnn(scale.seed ^ 1))),
+        ),
+        ("SCSGuard", Box::new(ScsGuardDetector::new(scale.preset.language(scale.seed ^ 2)))),
+    ];
+
+    let mut curves = Vec::new();
+    for (name, mut det) in models {
+        det.fit(&train_x, &train_y);
+        let mut months = Vec::new();
+        for m in (TRAIN_END + 1)..Month::COUNT as u8 {
+            let month = Month(m);
+            let test: Vec<(&[u8], usize)> = corpus
+                .records
+                .iter()
+                .filter(|r| r.month == month)
+                .map(|r| (r.bytecode.as_slice(), r.label.as_index()))
+                .collect();
+            if test.is_empty() {
+                continue;
+            }
+            let test_x: Vec<&[u8]> = test.iter().map(|(c, _)| *c).collect();
+            let test_y: Vec<usize> = test.iter().map(|(_, y)| *y).collect();
+            let preds = det.predict(&test_x);
+            months.push(MonthlyMetrics {
+                month,
+                phishing: BinaryMetrics::from_predictions_for_class(&preds, &test_y, 1),
+                benign: BinaryMetrics::from_predictions_for_class(&preds, &test_y, 0),
+                n_samples: test.len(),
+            });
+        }
+        let f1_series: Vec<f64> = months.iter().map(|m| m.phishing.f1).collect();
+        let aut_f1 = if f1_series.len() >= 2 { area_under_time(&f1_series) } else { 0.0 };
+        curves.push(DecayCurve { model: name, months, aut_f1 });
+    }
+    TimeResistance { curves }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_nine_monthly_periods_at_reasonable_scale() {
+        // 600 contracts spread over 13 months leaves enough per test month.
+        let scale = ExperimentScale { n_contracts: 600, ..ExperimentScale::smoke() };
+        let result = run(&scale);
+        assert_eq!(result.curves.len(), 3);
+        for curve in &result.curves {
+            assert_eq!(curve.months.len(), 9, "{}", curve.model);
+            assert!((0.0..=1.0).contains(&curve.aut_f1), "{}", curve.model);
+            for m in &curve.months {
+                assert!(m.n_samples > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn random_forest_stays_predictive_over_time() {
+        let scale = ExperimentScale { n_contracts: 600, ..ExperimentScale::smoke() };
+        let result = run(&scale);
+        let rf = result.curves.iter().find(|c| c.model == "Random Forest").expect("RF curve");
+        assert!(rf.aut_f1 > 0.6, "AUT = {}", rf.aut_f1);
+    }
+}

@@ -1,0 +1,39 @@
+//! The PhishingHook framework: pipelines, evaluation protocol, tuning and
+//! the experiment drivers that regenerate every table and figure of the
+//! paper.
+//!
+//! Architecture (paper Fig. 1): data gathering and the bytecode extraction
+//! module live in `phishinghook-data`; the bytecode disassembler module in
+//! `phishinghook-evm`; the 16 models in `phishinghook-models`; the post hoc
+//! statistics in `phishinghook-stats`. This crate is the conductor:
+//!
+//! * [`cv`] — stratified k-fold cross-validation (10-fold × 3 runs at paper
+//!   scale);
+//! * [`metrics`] — accuracy / precision / recall / F1;
+//! * [`pipeline`] — the model evaluation module (MEM): trains every
+//!   detector per fold and records metrics and wall-clock costs;
+//! * [`tuning`] — grid/random hyperparameter search (Optuna substitute);
+//! * [`experiments`] — one driver per table/figure (II, III, 2–9);
+//! * [`report`] — fixed-width tables and CSV output for the binaries.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use phishinghook_core::experiments::{dataset_stats, ExperimentScale};
+//!
+//! let scale = ExperimentScale { n_contracts: 120, ..ExperimentScale::smoke() };
+//! let stats = dataset_stats::run(&scale);
+//! assert_eq!(stats.monthly.len(), 13);
+//! ```
+
+pub mod cv;
+pub mod experiments;
+pub mod metrics;
+pub mod pipeline;
+pub mod report;
+pub mod tuning;
+
+pub use cv::stratified_kfold;
+pub use metrics::{BinaryMetrics, Confusion, METRIC_NAMES};
+pub use pipeline::{evaluate, summarize, ModelSummary, TrialResult};
+pub use tuning::{grid_search, random_search, SearchSpace};

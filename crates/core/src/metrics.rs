@@ -1,0 +1,189 @@
+//! Binary classification metrics (phishing = positive class).
+
+/// Confusion counts for a binary task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Confusion {
+    /// Phishing predicted phishing.
+    pub tp: usize,
+    /// Benign predicted benign.
+    pub tn: usize,
+    /// Benign predicted phishing.
+    pub fp: usize,
+    /// Phishing predicted benign.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Tallies predictions against ground truth.
+    ///
+    /// # Panics
+    /// Panics when lengths differ.
+    pub fn from_predictions(predictions: &[usize], labels: &[usize]) -> Self {
+        assert_eq!(predictions.len(), labels.len(), "one prediction per label");
+        let mut c = Confusion::default();
+        for (&p, &y) in predictions.iter().zip(labels) {
+            match (y, p) {
+                (1, 1) => c.tp += 1,
+                (0, 0) => c.tn += 1,
+                (0, 1) => c.fp += 1,
+                _ => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Total sample count.
+    pub fn total(&self) -> usize {
+        self.tp + self.tn + self.fp + self.fn_
+    }
+}
+
+/// The four metrics of the paper's Table II.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BinaryMetrics {
+    /// Fraction of correct predictions.
+    pub accuracy: f64,
+    /// `TP / (TP + FP)` (1.0 when no positive predictions exist).
+    pub precision: f64,
+    /// `TP / (TP + FN)` (1.0 when no positives exist).
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+impl BinaryMetrics {
+    /// Computes metrics from a confusion matrix.
+    pub fn from_confusion(c: &Confusion) -> Self {
+        let total = c.total().max(1) as f64;
+        let accuracy = (c.tp + c.tn) as f64 / total;
+        let precision =
+            if c.tp + c.fp == 0 { 1.0 } else { c.tp as f64 / (c.tp + c.fp) as f64 };
+        let recall = if c.tp + c.fn_ == 0 { 1.0 } else { c.tp as f64 / (c.tp + c.fn_) as f64 };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        BinaryMetrics { accuracy, precision, recall, f1 }
+    }
+
+    /// Computes metrics directly from predictions.
+    pub fn from_predictions(predictions: &[usize], labels: &[usize]) -> Self {
+        Self::from_confusion(&Confusion::from_predictions(predictions, labels))
+    }
+
+    /// Metrics with the class polarity flipped (benign as positive) — the
+    /// Fig. 8 plot reports the benign class' curves alongside phishing's.
+    pub fn from_predictions_for_class(
+        predictions: &[usize],
+        labels: &[usize],
+        positive: usize,
+    ) -> Self {
+        let flip = |v: usize| usize::from(v == positive);
+        let p: Vec<usize> = predictions.iter().map(|&v| flip(v)).collect();
+        let y: Vec<usize> = labels.iter().map(|&v| flip(v)).collect();
+        Self::from_predictions(&p, &y)
+    }
+
+    /// The metric by paper column name (`"Accuracy"`, `"F1 Score"`,
+    /// `"Precision"`, `"Recall"`).
+    ///
+    /// # Panics
+    /// Panics on an unknown name.
+    pub fn by_name(&self, name: &str) -> f64 {
+        match name {
+            "Accuracy" => self.accuracy,
+            "F1 Score" => self.f1,
+            "Precision" => self.precision,
+            "Recall" => self.recall,
+            _ => panic!("unknown metric `{name}`"),
+        }
+    }
+}
+
+/// The paper's metric column names, in Table II order.
+pub const METRIC_NAMES: [&str; 4] = ["Accuracy", "F1 Score", "Precision", "Recall"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let m = BinaryMetrics::from_predictions(&[1, 0, 1, 0], &[1, 0, 1, 0]);
+        assert_eq!(m.accuracy, 1.0);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1, 1.0);
+    }
+
+    #[test]
+    fn hand_computed_example() {
+        // tp=2 fp=1 fn=1 tn=1 → acc 3/5, prec 2/3, rec 2/3, f1 2/3.
+        let m = BinaryMetrics::from_predictions(&[1, 1, 1, 0, 0], &[1, 1, 0, 1, 0]);
+        assert!((m.accuracy - 0.6).abs() < 1e-12);
+        assert!((m.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_negative_predictions() {
+        let m = BinaryMetrics::from_predictions(&[0, 0, 0], &[1, 0, 1]);
+        assert_eq!(m.precision, 1.0); // vacuous
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.f1, 0.0);
+    }
+
+    #[test]
+    fn class_flip() {
+        let preds = [1, 0, 0, 0];
+        let labels = [1, 1, 0, 0];
+        let phishing = BinaryMetrics::from_predictions_for_class(&preds, &labels, 1);
+        let benign = BinaryMetrics::from_predictions_for_class(&preds, &labels, 0);
+        assert_eq!(phishing.recall, 0.5);
+        assert_eq!(benign.recall, 1.0);
+        assert_eq!(phishing.accuracy, benign.accuracy);
+    }
+
+    #[test]
+    fn metric_lookup() {
+        let m = BinaryMetrics::from_predictions(&[1, 0], &[1, 0]);
+        for name in METRIC_NAMES {
+            assert_eq!(m.by_name(name), 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown metric")]
+    fn unknown_metric_panics() {
+        let m = BinaryMetrics::from_predictions(&[1], &[1]);
+        let _ = m.by_name("AUC");
+    }
+
+    proptest! {
+        #[test]
+        fn metrics_are_bounded(
+            preds in proptest::collection::vec(0usize..2, 1..50),
+            seed in any::<u64>()
+        ) {
+            let labels: Vec<usize> = preds
+                .iter()
+                .enumerate()
+                .map(|(i, _)| usize::from((seed >> (i % 60)) & 1 == 1))
+                .collect();
+            let m = BinaryMetrics::from_predictions(&preds, &labels);
+            for v in [m.accuracy, m.precision, m.recall, m.f1] {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+        }
+
+        #[test]
+        fn confusion_totals(preds in proptest::collection::vec(0usize..2, 1..50)) {
+            let labels: Vec<usize> = preds.iter().rev().copied().collect();
+            let c = Confusion::from_predictions(&preds, &labels);
+            prop_assert_eq!(c.total(), preds.len());
+        }
+    }
+}

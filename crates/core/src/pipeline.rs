@@ -1,0 +1,187 @@
+//! The model evaluation module (MEM): trains every detector under repeated
+//! stratified cross-validation and records the paper's metrics plus wall-
+//! clock costs.
+
+use crate::cv::stratified_kfold;
+use crate::metrics::BinaryMetrics;
+use phishinghook_models::{Category, Detector};
+use std::time::Instant;
+
+/// One (model, run, fold) evaluation outcome — the unit of the paper's
+/// "30 trials per model".
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialResult {
+    /// Model name (Table II row).
+    pub model: String,
+    /// Model category.
+    pub category: Category,
+    /// Run index (0-based).
+    pub run: usize,
+    /// Fold index (0-based).
+    pub fold: usize,
+    /// Test-fold metrics.
+    pub metrics: BinaryMetrics,
+    /// Training wall-clock seconds.
+    pub train_secs: f64,
+    /// Inference wall-clock seconds over the test fold.
+    pub infer_secs: f64,
+}
+
+/// A factory producing fresh detectors for a given seed; models must be
+/// rebuilt per fold so no state leaks between folds.
+pub type DetectorFactory<'a> = dyn Fn(u64) -> Vec<Box<dyn Detector>> + 'a;
+
+/// Runs the full MEM protocol: `runs` repetitions of stratified `folds`-fold
+/// cross-validation for every detector the factory produces.
+///
+/// # Panics
+/// Panics when `codes.len() != labels.len()`.
+pub fn evaluate(
+    codes: &[&[u8]],
+    labels: &[usize],
+    factory: &DetectorFactory<'_>,
+    folds: usize,
+    runs: usize,
+    seed: u64,
+) -> Vec<TrialResult> {
+    assert_eq!(codes.len(), labels.len(), "one label per bytecode");
+    let mut results = Vec::new();
+    for run in 0..runs {
+        let run_seed = seed.wrapping_add(run as u64).wrapping_mul(0x9E37_79B9);
+        let splits = stratified_kfold(labels, folds, run_seed);
+        for (fold_idx, fold) in splits.iter().enumerate() {
+            let train_x: Vec<&[u8]> = fold.train.iter().map(|&i| codes[i]).collect();
+            let train_y: Vec<usize> = fold.train.iter().map(|&i| labels[i]).collect();
+            let test_x: Vec<&[u8]> = fold.test.iter().map(|&i| codes[i]).collect();
+            let test_y: Vec<usize> = fold.test.iter().map(|&i| labels[i]).collect();
+
+            for mut detector in factory(run_seed ^ fold_idx as u64) {
+                let t0 = Instant::now();
+                detector.fit(&train_x, &train_y);
+                let train_secs = t0.elapsed().as_secs_f64();
+
+                let t1 = Instant::now();
+                let predictions = detector.predict(&test_x);
+                let infer_secs = t1.elapsed().as_secs_f64();
+
+                results.push(TrialResult {
+                    model: detector.name().to_owned(),
+                    category: detector.category(),
+                    run,
+                    fold: fold_idx,
+                    metrics: BinaryMetrics::from_predictions(&predictions, &test_y),
+                    train_secs,
+                    infer_secs,
+                });
+            }
+        }
+    }
+    results
+}
+
+/// Per-model averages over all trials — the rows of the paper's Table II.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSummary {
+    /// Model name.
+    pub model: String,
+    /// Model category.
+    pub category: Category,
+    /// Mean metrics over trials.
+    pub metrics: BinaryMetrics,
+    /// Mean training seconds.
+    pub train_secs: f64,
+    /// Mean inference seconds.
+    pub infer_secs: f64,
+    /// Number of trials aggregated.
+    pub trials: usize,
+}
+
+/// Aggregates trials into per-model summaries, preserving first-seen order.
+pub fn summarize(results: &[TrialResult]) -> Vec<ModelSummary> {
+    let mut order: Vec<String> = Vec::new();
+    for r in results {
+        if !order.contains(&r.model) {
+            order.push(r.model.clone());
+        }
+    }
+    order
+        .into_iter()
+        .map(|name| {
+            let trials: Vec<&TrialResult> =
+                results.iter().filter(|r| r.model == name).collect();
+            let n = trials.len() as f64;
+            let mean = |f: fn(&TrialResult) -> f64| trials.iter().map(|t| f(t)).sum::<f64>() / n;
+            ModelSummary {
+                category: trials[0].category,
+                metrics: BinaryMetrics {
+                    accuracy: mean(|t| t.metrics.accuracy),
+                    precision: mean(|t| t.metrics.precision),
+                    recall: mean(|t| t.metrics.recall),
+                    f1: mean(|t| t.metrics.f1),
+                },
+                train_secs: mean(|t| t.train_secs),
+                infer_secs: mean(|t| t.infer_secs),
+                trials: trials.len(),
+                model: name,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phishinghook_data::{Corpus, CorpusConfig};
+    use phishinghook_models::HscDetector;
+
+    fn corpus(n: usize) -> (Vec<Vec<u8>>, Vec<usize>) {
+        let c = Corpus::generate(&CorpusConfig { n_contracts: n, seed: 12, ..Default::default() });
+        (
+            c.records.iter().map(|r| r.bytecode.clone()).collect(),
+            c.records.iter().map(|r| r.label.as_index()).collect(),
+        )
+    }
+
+    #[test]
+    fn evaluate_produces_folds_times_runs_trials() {
+        let (codes, labels) = corpus(120);
+        let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
+        let factory = |seed: u64| -> Vec<Box<dyn Detector>> {
+            vec![Box::new(HscDetector::random_forest(seed)), Box::new(HscDetector::knn())]
+        };
+        let results = evaluate(&refs, &labels, &factory, 3, 2, 7);
+        assert_eq!(results.len(), 3 * 2 * 2);
+        assert!(results.iter().all(|r| r.metrics.accuracy > 0.5));
+        assert!(results.iter().all(|r| r.train_secs >= 0.0 && r.infer_secs >= 0.0));
+    }
+
+    #[test]
+    fn summaries_average_trials() {
+        let (codes, labels) = corpus(120);
+        let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
+        let factory = |seed: u64| -> Vec<Box<dyn Detector>> {
+            vec![Box::new(HscDetector::random_forest(seed))]
+        };
+        let results = evaluate(&refs, &labels, &factory, 3, 2, 7);
+        let summaries = summarize(&results);
+        assert_eq!(summaries.len(), 1);
+        assert_eq!(summaries[0].trials, 6);
+        let manual: f64 =
+            results.iter().map(|r| r.metrics.accuracy).sum::<f64>() / results.len() as f64;
+        assert!((summaries[0].metrics.accuracy - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_for_deterministic_models() {
+        let (codes, labels) = corpus(100);
+        let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
+        let factory = |seed: u64| -> Vec<Box<dyn Detector>> {
+            vec![Box::new(HscDetector::random_forest(seed))]
+        };
+        let a = evaluate(&refs, &labels, &factory, 3, 1, 9);
+        let b = evaluate(&refs, &labels, &factory, 3, 1, 9);
+        let ma: Vec<f64> = a.iter().map(|r| r.metrics.accuracy).collect();
+        let mb: Vec<f64> = b.iter().map(|r| r.metrics.accuracy).collect();
+        assert_eq!(ma, mb);
+    }
+}

@@ -1,0 +1,124 @@
+//! Plain-text table rendering and CSV output for the experiment binaries.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Renders a fixed-width table with a header row.
+///
+/// # Panics
+/// Panics when a row's width differs from the header's.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let write_row = |out: &mut String, cells: &[String]| {
+        for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let pad = w - cell.chars().count();
+            out.push_str(cell);
+            for _ in 0..pad {
+                out.push(' ');
+            }
+        }
+        out.push('\n');
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| (*s).to_owned()).collect();
+    write_row(&mut out, &header_cells);
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    for _ in 0..total {
+        out.push('-');
+    }
+    out.push('\n');
+    for row in rows {
+        write_row(&mut out, row);
+    }
+    out
+}
+
+/// Serializes rows as CSV (no quoting; cells must not contain commas).
+pub fn to_csv(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    writeln!(out, "{}", header.join(",")).expect("write to String");
+    for row in rows {
+        writeln!(out, "{}", row.join(",")).expect("write to String");
+    }
+    out
+}
+
+/// Writes CSV into `results/<name>.csv` relative to the workspace root
+/// (best effort: falls back to the current directory if `results/` cannot
+/// be created). Returns the path written.
+pub fn save_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> std::io::Result<String> {
+    let dir = if Path::new("results").exists() || std::fs::create_dir_all("results").is_ok() {
+        "results"
+    } else {
+        "."
+    };
+    let path = format!("{dir}/{name}.csv");
+    std::fs::write(&path, to_csv(header, rows))?;
+    Ok(path)
+}
+
+/// Formats a fraction as a percentage with two decimals (Table II style).
+pub fn pct(v: f64) -> String {
+    format!("{:.2}", v * 100.0)
+}
+
+/// Formats a p-value in scientific notation like the paper's Table III.
+pub fn sci(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_owned()
+    } else if v >= 0.001 {
+        format!("{v:.4}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(
+            &["Model", "Acc"],
+            &[
+                vec!["Random Forest".into(), "93.63".into()],
+                vec!["k-NN".into(), "90.60".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Model"));
+        assert!(lines[2].starts_with("Random Forest  93.63"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_row_panics() {
+        let _ = render_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let csv = to_csv(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(csv, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.9363), "93.63");
+        assert_eq!(sci(0.25), "0.2500");
+        assert_eq!(sci(7.35e-70), "7.35e-70");
+        assert_eq!(sci(0.0), "0");
+    }
+}

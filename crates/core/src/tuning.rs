@@ -1,0 +1,173 @@
+//! Hyperparameter search (the paper's Optuna substitute).
+//!
+//! The paper "conducted grid search over an arbitrary search space on the
+//! same task as the main evaluation, using 10-fold cross-validation". This
+//! module provides deterministic grid and random search over named numeric
+//! parameters with any user-supplied objective (typically CV accuracy).
+
+use phishinghook_ml::SplitMix;
+use std::collections::BTreeMap;
+
+/// One hyperparameter assignment (name → value).
+pub type Params = BTreeMap<String, f64>;
+
+/// A search space: each parameter with its candidate values.
+#[derive(Debug, Clone, Default)]
+pub struct SearchSpace {
+    dims: Vec<(String, Vec<f64>)>,
+}
+
+impl SearchSpace {
+    /// Creates an empty space.
+    pub fn new() -> Self {
+        SearchSpace::default()
+    }
+
+    /// Adds a parameter with candidate values (builder style).
+    pub fn with(mut self, name: &str, values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "parameter `{name}` needs candidates");
+        self.dims.push((name.to_owned(), values.to_vec()));
+        self
+    }
+
+    /// Number of grid points.
+    pub fn grid_size(&self) -> usize {
+        self.dims.iter().map(|(_, v)| v.len()).product()
+    }
+
+    /// Enumerates the full Cartesian grid, in deterministic order.
+    pub fn grid(&self) -> Vec<Params> {
+        let mut combos = vec![Params::new()];
+        for (name, values) in &self.dims {
+            let mut next = Vec::with_capacity(combos.len() * values.len());
+            for combo in &combos {
+                for &v in values {
+                    let mut c = combo.clone();
+                    c.insert(name.clone(), v);
+                    next.push(c);
+                }
+            }
+            combos = next;
+        }
+        combos
+    }
+
+    /// Samples `n` random grid points (with replacement), deterministic
+    /// under `seed`.
+    pub fn sample(&self, n: usize, seed: u64) -> Vec<Params> {
+        let mut rng = SplitMix::new(seed);
+        (0..n)
+            .map(|_| {
+                self.dims
+                    .iter()
+                    .map(|(name, values)| (name.clone(), values[rng.below(values.len())]))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Outcome of a search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// The best assignment found.
+    pub best_params: Params,
+    /// Its objective value.
+    pub best_score: f64,
+    /// Every `(params, score)` trial, in evaluation order.
+    pub trials: Vec<(Params, f64)>,
+}
+
+/// Exhaustive grid search maximizing `objective`.
+///
+/// # Panics
+/// Panics on an empty search space.
+pub fn grid_search(space: &SearchSpace, mut objective: impl FnMut(&Params) -> f64) -> SearchResult {
+    run_search(space.grid(), &mut objective)
+}
+
+/// Random search over `n` sampled points, maximizing `objective`.
+pub fn random_search(
+    space: &SearchSpace,
+    n: usize,
+    seed: u64,
+    mut objective: impl FnMut(&Params) -> f64,
+) -> SearchResult {
+    run_search(space.sample(n, seed), &mut objective)
+}
+
+fn run_search(candidates: Vec<Params>, objective: &mut dyn FnMut(&Params) -> f64) -> SearchResult {
+    assert!(!candidates.is_empty(), "empty search space");
+    let mut trials = Vec::with_capacity(candidates.len());
+    let mut best: Option<(Params, f64)> = None;
+    for params in candidates {
+        let score = objective(&params);
+        trials.push((params.clone(), score));
+        if best.as_ref().is_none_or(|(_, s)| score > *s) {
+            best = Some((params, score));
+        }
+    }
+    let (best_params, best_score) = best.expect("at least one candidate");
+    SearchResult { best_params, best_score, trials }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> SearchSpace {
+        SearchSpace::new()
+            .with("depth", &[2.0, 4.0, 8.0])
+            .with("lr", &[0.1, 0.2])
+    }
+
+    #[test]
+    fn grid_enumerates_cartesian_product() {
+        let s = space();
+        assert_eq!(s.grid_size(), 6);
+        let grid = s.grid();
+        assert_eq!(grid.len(), 6);
+        // All combinations distinct.
+        for i in 0..grid.len() {
+            for j in i + 1..grid.len() {
+                assert_ne!(grid[i], grid[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_search_finds_known_optimum() {
+        // Objective peaks at depth=4, lr=0.2.
+        let result = grid_search(&space(), |p| {
+            -(p["depth"] - 4.0).powi(2) - (p["lr"] - 0.2).powi(2)
+        });
+        assert_eq!(result.best_params["depth"], 4.0);
+        assert_eq!(result.best_params["lr"], 0.2);
+        assert_eq!(result.trials.len(), 6);
+    }
+
+    #[test]
+    fn random_search_is_deterministic() {
+        let a = random_search(&space(), 10, 42, |p| p["depth"]);
+        let b = random_search(&space(), 10, 42, |p| p["depth"]);
+        assert_eq!(a.trials, b.trials);
+        assert_eq!(a.best_params["depth"], 8.0);
+    }
+
+    #[test]
+    fn best_score_is_max_of_trials() {
+        let result = grid_search(&space(), |p| p["depth"] * p["lr"]);
+        let max = result
+            .trials
+            .iter()
+            .map(|(_, s)| *s)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(result.best_score, max);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs candidates")]
+    fn empty_parameter_panics() {
+        let _ = SearchSpace::new().with("x", &[]);
+    }
+}

@@ -1,0 +1,195 @@
+//! Simulated chain services: the BEM's `eth_getCode` endpoint and the
+//! Etherscan-style labeling oracle.
+//!
+//! The paper's data-gathering phase queries BigQuery for contract hashes,
+//! scrapes etherscan.io for "Phish/Hack" flags, and extracts bytecode via a
+//! JSON-RPC `eth_getCode` endpoint. This module provides the same three
+//! interfaces over the synthetic corpus so the framework's pipeline code is
+//! shaped exactly like the real one.
+
+use crate::contract::{ContractRecord, Label};
+use phishinghook_ml::SplitMix;
+use std::collections::HashMap;
+
+/// An in-memory contract store with an `eth_getCode`-shaped API.
+#[derive(Debug, Clone, Default)]
+pub struct SimulatedChain {
+    code: HashMap<[u8; 20], Vec<u8>>,
+}
+
+impl SimulatedChain {
+    /// Creates an empty chain.
+    pub fn new() -> Self {
+        SimulatedChain::default()
+    }
+
+    /// Builds a chain hosting every record of a corpus (raw view included).
+    pub fn from_records<'a>(records: impl IntoIterator<Item = &'a ContractRecord>) -> Self {
+        let mut chain = SimulatedChain::new();
+        for r in records {
+            chain.deploy(r.address, r.bytecode.clone());
+        }
+        chain
+    }
+
+    /// Deploys code at an address (overwrites silently, like a re-org test
+    /// fixture would).
+    pub fn deploy(&mut self, address: [u8; 20], code: Vec<u8>) {
+        self.code.insert(address, code);
+    }
+
+    /// `eth_getCode`: the runtime bytecode at `address`, or the empty slice
+    /// for externally-owned accounts — exactly the JSON-RPC semantics.
+    pub fn eth_get_code(&self, address: [u8; 20]) -> &[u8] {
+        self.code.get(&address).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of deployed contracts.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether no contracts are deployed.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// All deployed addresses (unordered).
+    pub fn addresses(&self) -> impl Iterator<Item = &[u8; 20]> {
+        self.code.keys()
+    }
+}
+
+/// An etherscan.io-style labeling oracle with configurable flag noise.
+///
+/// `miss_rate` is the probability that a phishing contract is *not* flagged
+/// (community labeling lag); `false_flag_rate` the probability a benign
+/// contract is wrongly flagged. Both default to zero (the paper treats
+/// Etherscan labels as ground truth).
+#[derive(Debug, Clone)]
+pub struct LabelOracle {
+    labels: HashMap<[u8; 20], Label>,
+    /// Probability a phishing contract goes unflagged.
+    pub miss_rate: f64,
+    /// Probability a benign contract is wrongly flagged.
+    pub false_flag_rate: f64,
+    seed: u64,
+}
+
+impl LabelOracle {
+    /// Builds an oracle over the given records with exact labels.
+    pub fn from_records<'a>(records: impl IntoIterator<Item = &'a ContractRecord>) -> Self {
+        let labels = records.into_iter().map(|r| (r.address, r.label)).collect();
+        LabelOracle { labels, miss_rate: 0.0, false_flag_rate: 0.0, seed: 0x5EED }
+    }
+
+    /// Sets label-noise rates (returns `self` for chaining).
+    pub fn with_noise(mut self, miss_rate: f64, false_flag_rate: f64, seed: u64) -> Self {
+        self.miss_rate = miss_rate;
+        self.false_flag_rate = false_flag_rate;
+        self.seed = seed;
+        self
+    }
+
+    /// The oracle's (possibly noisy) verdict: is `address` flagged
+    /// "Phish/Hack"? Unknown addresses are never flagged.
+    pub fn is_flagged(&self, address: [u8; 20]) -> bool {
+        let Some(&label) = self.labels.get(&address) else {
+            return false;
+        };
+        // Deterministic per-address noise so repeated queries agree.
+        let mut rng = SplitMix::new(self.seed ^ u64::from_le_bytes(address[..8].try_into().expect("8 bytes")));
+        match label {
+            Label::Phishing => rng.unit() >= self.miss_rate,
+            Label::Benign => rng.unit() < self.false_flag_rate,
+        }
+    }
+
+    /// Number of known addresses.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the oracle knows no addresses.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// The bytecode extraction module (BEM): resolves flagged/unflagged
+/// addresses into a labeled bytecode dataset, mirroring Fig. 1 steps ➋–➍.
+pub fn extract_labeled_bytecodes(
+    chain: &SimulatedChain,
+    oracle: &LabelOracle,
+    addresses: &[[u8; 20]],
+) -> Vec<(Vec<u8>, Label)> {
+    addresses
+        .iter()
+        .filter_map(|&addr| {
+            let code = chain.eth_get_code(addr);
+            if code.is_empty() {
+                return None; // EOA or undeployed — skipped, as in the paper
+            }
+            let label = if oracle.is_flagged(addr) { Label::Phishing } else { Label::Benign };
+            Some((code.to_vec(), label))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::Month;
+
+    fn record(addr: u8, label: Label) -> ContractRecord {
+        ContractRecord {
+            address: [addr; 20],
+            bytecode: vec![0x60, 0x80, addr],
+            label,
+            month: Month(0),
+            family: "test",
+        }
+    }
+
+    #[test]
+    fn eth_get_code_roundtrip() {
+        let records = [record(1, Label::Benign), record(2, Label::Phishing)];
+        let chain = SimulatedChain::from_records(&records);
+        assert_eq!(chain.eth_get_code([1; 20]), &[0x60, 0x80, 1]);
+        assert_eq!(chain.eth_get_code([9; 20]), &[] as &[u8]);
+        assert_eq!(chain.len(), 2);
+    }
+
+    #[test]
+    fn exact_oracle_matches_ground_truth() {
+        let records = [record(1, Label::Benign), record(2, Label::Phishing)];
+        let oracle = LabelOracle::from_records(&records);
+        assert!(!oracle.is_flagged([1; 20]));
+        assert!(oracle.is_flagged([2; 20]));
+        assert!(!oracle.is_flagged([99; 20]));
+    }
+
+    #[test]
+    fn noisy_oracle_is_deterministic_per_address() {
+        let records: Vec<ContractRecord> =
+            (0..100).map(|i| record(i, Label::Phishing)).collect();
+        let oracle = LabelOracle::from_records(&records).with_noise(0.3, 0.0, 42);
+        let first: Vec<bool> = (0..100).map(|i| oracle.is_flagged([i; 20])).collect();
+        let second: Vec<bool> = (0..100).map(|i| oracle.is_flagged([i; 20])).collect();
+        assert_eq!(first, second);
+        let missed = first.iter().filter(|&&f| !f).count();
+        assert!((10..=50).contains(&missed), "missed {missed}/100");
+    }
+
+    #[test]
+    fn bem_extracts_labeled_dataset() {
+        let records = [record(1, Label::Benign), record(2, Label::Phishing)];
+        let chain = SimulatedChain::from_records(&records);
+        let oracle = LabelOracle::from_records(&records);
+        let addrs = [[1u8; 20], [2; 20], [50; 20]];
+        let out = extract_labeled_bytecodes(&chain, &oracle, &addrs);
+        assert_eq!(out.len(), 2); // EOA dropped
+        assert_eq!(out[0].1, Label::Benign);
+        assert_eq!(out[1].1, Label::Phishing);
+    }
+}

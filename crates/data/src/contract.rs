@@ -1,0 +1,167 @@
+//! Contract records and dataset labels.
+
+use phishinghook_evm::keccak::{keccak256, to_hex};
+use std::fmt;
+
+/// Ground-truth class of a contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Label {
+    /// Not flagged on the (simulated) explorer.
+    Benign,
+    /// Flagged "Phish/Hack".
+    Phishing,
+}
+
+impl Label {
+    /// `1` for phishing, `0` for benign — the classifier convention.
+    pub fn as_index(self) -> usize {
+        match self {
+            Label::Benign => 0,
+            Label::Phishing => 1,
+        }
+    }
+
+    /// Inverse of [`Label::as_index`].
+    pub fn from_index(i: usize) -> Self {
+        if i == 1 {
+            Label::Phishing
+        } else {
+            Label::Benign
+        }
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Label::Benign => write!(f, "benign"),
+            Label::Phishing => write!(f, "phishing"),
+        }
+    }
+}
+
+/// Deployment month, indexed from October 2023 (`0`) to October 2024 (`12`)
+/// — the paper's collection window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Month(pub u8);
+
+impl Month {
+    /// Number of months in the collection window.
+    pub const COUNT: usize = 13;
+
+    /// Human-readable form, e.g. `"2023-10"`.
+    pub fn as_str(self) -> String {
+        let (year, month) = self.year_month();
+        format!("{year}-{month:02}")
+    }
+
+    /// `(year, month)` pair.
+    pub fn year_month(self) -> (u32, u32) {
+        let idx = u32::from(self.0);
+        let absolute = 9 + idx; // 0 = October 2023 (month index 9 zero-based)
+        (2023 + absolute / 12, absolute % 12 + 1)
+    }
+}
+
+impl fmt::Display for Month {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// One deployed contract in the corpus.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ContractRecord {
+    /// 20-byte account address (derived from the bytecode + a nonce).
+    pub address: [u8; 20],
+    /// Deployed (runtime) bytecode.
+    pub bytecode: Vec<u8>,
+    /// Ground-truth label.
+    pub label: Label,
+    /// Deployment month.
+    pub month: Month,
+    /// Generator family name (e.g. `"erc20"`, `"approval-drainer"`).
+    pub family: &'static str,
+}
+
+impl ContractRecord {
+    /// Keccak-256 of the bytecode — the deduplication key (the paper dedups
+    /// 17,455 phishing bytecodes to 3,458 bit-identical uniques).
+    pub fn code_hash(&self) -> [u8; 32] {
+        keccak256(&self.bytecode)
+    }
+
+    /// `0x…` hex form of the address.
+    pub fn address_hex(&self) -> String {
+        format!("0x{}", to_hex(&self.address))
+    }
+
+    /// `0x…` hex form of the bytecode.
+    pub fn bytecode_hex(&self) -> String {
+        format!("0x{}", to_hex(&self.bytecode))
+    }
+}
+
+/// Derives a synthetic deterministic address from bytecode and nonce
+/// (CREATE-like: hash of payload, truncated to 20 bytes).
+pub fn derive_address(bytecode: &[u8], nonce: u64) -> [u8; 20] {
+    let mut payload = bytecode.to_vec();
+    payload.extend_from_slice(&nonce.to_be_bytes());
+    let digest = keccak256(&payload);
+    digest[12..].try_into().expect("20 bytes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_index_roundtrip() {
+        assert_eq!(Label::from_index(Label::Phishing.as_index()), Label::Phishing);
+        assert_eq!(Label::from_index(Label::Benign.as_index()), Label::Benign);
+    }
+
+    #[test]
+    fn month_names_span_window() {
+        assert_eq!(Month(0).as_str(), "2023-10");
+        assert_eq!(Month(2).as_str(), "2023-12");
+        assert_eq!(Month(3).as_str(), "2024-01");
+        assert_eq!(Month(12).as_str(), "2024-10");
+    }
+
+    #[test]
+    fn addresses_differ_by_nonce() {
+        let a = derive_address(&[0x60, 0x80], 0);
+        let b = derive_address(&[0x60, 0x80], 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn code_hash_detects_duplicates() {
+        let r1 = ContractRecord {
+            address: [1; 20],
+            bytecode: vec![0x60, 0x80, 0x60, 0x40, 0x52],
+            label: Label::Phishing,
+            month: Month(0),
+            family: "test",
+        };
+        let mut r2 = r1.clone();
+        r2.address = [2; 20];
+        assert_eq!(r1.code_hash(), r2.code_hash());
+        r2.bytecode.push(0x00);
+        assert_ne!(r1.code_hash(), r2.code_hash());
+    }
+
+    #[test]
+    fn hex_forms_are_prefixed() {
+        let r = ContractRecord {
+            address: [0xAB; 20],
+            bytecode: vec![0x60, 0x80],
+            label: Label::Benign,
+            month: Month(1),
+            family: "test",
+        };
+        assert!(r.address_hex().starts_with("0x"));
+        assert_eq!(r.bytecode_hex(), "0x6080");
+    }
+}

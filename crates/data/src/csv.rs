@@ -1,0 +1,193 @@
+//! CSV import/export of contract datasets.
+//!
+//! The paper releases its dataset as hex bytecodes with labels; this module
+//! reads and writes that interchange format (`address,month,label,family,
+//! bytecode` with `0x…` hex payloads).
+
+use crate::contract::{ContractRecord, Label, Month};
+use phishinghook_evm::keccak::from_hex;
+use std::fmt;
+
+/// Errors produced when parsing a dataset CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// A row had the wrong number of columns.
+    BadColumnCount {
+        /// 1-based row number.
+        row: usize,
+        /// Number of columns found.
+        found: usize,
+    },
+    /// A field failed to parse.
+    BadField {
+        /// 1-based row number.
+        row: usize,
+        /// Column name.
+        column: &'static str,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::BadColumnCount { row, found } => {
+                write!(f, "row {row}: expected 5 columns, found {found}")
+            }
+            CsvError::BadField { row, column } => write!(f, "row {row}: bad {column}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Serializes records to the interchange CSV (with header).
+pub fn to_csv(records: &[ContractRecord]) -> String {
+    let mut out = String::from("address,month,label,family,bytecode\n");
+    for r in records {
+        use fmt::Write;
+        writeln!(
+            out,
+            "{},{},{},{},{}",
+            r.address_hex(),
+            r.month,
+            r.label,
+            r.family,
+            r.bytecode_hex()
+        )
+        .expect("writing to a String cannot fail");
+    }
+    out
+}
+
+/// Parses the interchange CSV produced by [`to_csv`].
+///
+/// Family strings are interned into a small static set (unknown families
+/// parse as `"imported"` — the field is informational only).
+///
+/// # Errors
+/// Returns a [`CsvError`] describing the first malformed row.
+pub fn from_csv(text: &str) -> Result<Vec<ContractRecord>, CsvError> {
+    const FAMILIES: &[&str] = &[
+        "erc20",
+        "erc721",
+        "vault",
+        "multisig",
+        "ownable",
+        "minimal-proxy",
+        "approval-drainer",
+        "fake-airdrop",
+        "sweeper",
+        "hidden-fee-token",
+        "wallet-verifier",
+        "test",
+    ];
+    let mut records = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if idx == 0 || line.is_empty() {
+            continue; // header / trailing newline
+        }
+        let row = idx + 1;
+        let cols: Vec<&str> = line.split(',').collect();
+        if cols.len() != 5 {
+            return Err(CsvError::BadColumnCount { row, found: cols.len() });
+        }
+        let address_bytes =
+            from_hex(cols[0]).ok_or(CsvError::BadField { row, column: "address" })?;
+        let address: [u8; 20] =
+            address_bytes.try_into().map_err(|_| CsvError::BadField { row, column: "address" })?;
+        let month = parse_month(cols[1]).ok_or(CsvError::BadField { row, column: "month" })?;
+        let label = match cols[2] {
+            "benign" => Label::Benign,
+            "phishing" => Label::Phishing,
+            _ => return Err(CsvError::BadField { row, column: "label" }),
+        };
+        let family = FAMILIES.iter().find(|f| **f == cols[3]).copied().unwrap_or("imported");
+        let bytecode = from_hex(cols[4]).ok_or(CsvError::BadField { row, column: "bytecode" })?;
+        records.push(ContractRecord { address, bytecode, label, month, family });
+    }
+    Ok(records)
+}
+
+fn parse_month(s: &str) -> Option<Month> {
+    let (year, month) = s.split_once('-')?;
+    let year: i32 = year.parse().ok()?;
+    let month: i32 = month.parse().ok()?;
+    let index = (year - 2023) * 12 + (month - 10);
+    if (0..Month::COUNT as i32).contains(&index) {
+        Some(Month(index as u8))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<ContractRecord> {
+        vec![
+            ContractRecord {
+                address: [0x11; 20],
+                bytecode: vec![0x60, 0x80, 0x60, 0x40, 0x52],
+                label: Label::Benign,
+                month: Month(0),
+                family: "erc20",
+            },
+            ContractRecord {
+                address: [0x22; 20],
+                bytecode: vec![0x33, 0xFF],
+                label: Label::Phishing,
+                month: Month(12),
+                family: "sweeper",
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let records = sample();
+        let text = to_csv(&records);
+        let parsed = from_csv(&text).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn header_present() {
+        let text = to_csv(&sample());
+        assert!(text.starts_with("address,month,label,family,bytecode\n"));
+    }
+
+    #[test]
+    fn rejects_bad_label() {
+        let text = "address,month,label,family,bytecode\n0x1111111111111111111111111111111111111111,2023-10,dubious,erc20,0x6080\n";
+        assert_eq!(
+            from_csv(text),
+            Err(CsvError::BadField { row: 2, column: "label" })
+        );
+    }
+
+    #[test]
+    fn rejects_bad_month() {
+        let text = "address,month,label,family,bytecode\n0x1111111111111111111111111111111111111111,2025-01,benign,erc20,0x6080\n";
+        assert_eq!(from_csv(text), Err(CsvError::BadField { row: 2, column: "month" }));
+    }
+
+    #[test]
+    fn rejects_short_address() {
+        let text = "address,month,label,family,bytecode\n0x11,2023-10,benign,erc20,0x6080\n";
+        assert_eq!(from_csv(text), Err(CsvError::BadField { row: 2, column: "address" }));
+    }
+
+    #[test]
+    fn rejects_wrong_column_count() {
+        let text = "address,month,label,family,bytecode\na,b,c\n";
+        assert_eq!(from_csv(text), Err(CsvError::BadColumnCount { row: 2, found: 3 }));
+    }
+
+    #[test]
+    fn unknown_family_is_interned_as_imported() {
+        let text = "address,month,label,family,bytecode\n0x1111111111111111111111111111111111111111,2023-10,benign,mystery,0x6080\n";
+        let parsed = from_csv(text).unwrap();
+        assert_eq!(parsed[0].family, "imported");
+    }
+}

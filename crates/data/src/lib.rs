@@ -1,0 +1,40 @@
+//! Synthetic Ethereum contract corpus for the PhishingHook reproduction.
+//!
+//! The paper trains on 7,000 real contracts (3,458 unique phishing bytecodes
+//! from Etherscan's "Phish/Hack" flag plus matched benign samples). That
+//! dataset is not reachable offline, so this crate *builds the substrate*:
+//! a deterministic generator that emits realistic EVM runtime bytecode from
+//! Solidity-style templates, with the dataset properties the paper's
+//! experiments rely on:
+//!
+//! * shared opcode vocabulary across classes (Fig. 3's observation),
+//! * bit-identical duplicates from proxy/clone deployments (the paper's
+//!   17,455 → 3,458 dedup step),
+//! * a monthly deployment profile shaped like Fig. 2, and
+//! * temporal drift in phishing patterns (the Fig. 8 time-resistance
+//!   experiment).
+//!
+//! See `DESIGN.md` §2 for the substitution rationale.
+//!
+//! ```
+//! use phishinghook_data::{Corpus, CorpusConfig};
+//!
+//! let corpus = Corpus::generate(&CorpusConfig {
+//!     n_contracts: 50,
+//!     seed: 7,
+//!     ..Default::default()
+//! });
+//! assert_eq!(corpus.records.len(), 50);
+//! let (codes, labels) = corpus.as_dataset();
+//! assert_eq!(codes.len(), labels.len());
+//! ```
+
+pub mod chain;
+pub mod contract;
+pub mod corpus;
+pub mod csv;
+pub mod templates;
+
+pub use chain::{extract_labeled_bytecodes, LabelOracle, SimulatedChain};
+pub use contract::{ContractRecord, Label, Month};
+pub use corpus::{Corpus, CorpusConfig};

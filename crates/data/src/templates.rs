@@ -1,0 +1,761 @@
+//! Contract templates: Solidity-style runtime-bytecode construction.
+//!
+//! Every synthetic contract is a [`ContractSpec`]: an optional non-payable
+//! guard, a selector dispatcher, function bodies composed of [`Gadget`]s, a
+//! terminator per function, and a solc-style CBOR metadata trailer. Benign
+//! and phishing contracts share this scaffolding and *most* of the gadget
+//! vocabulary — exactly why the paper's Fig. 3 finds that no single opcode
+//! frequency separates the classes — and differ only in gadget mixture
+//! weights chosen by the corpus generator.
+//!
+//! All emitted bodies are stack-neutral and interpreter-validated: generated
+//! contracts really execute (dispatch, storage, calls) rather than being
+//! random byte soup.
+
+use phishinghook_evm::asm::{Asm, AsmError};
+use phishinghook_evm::keccak::keccak256;
+
+/// First four bytes of `keccak256(signature)` — the Solidity selector.
+pub fn selector(signature: &str) -> [u8; 4] {
+    let d = keccak256(signature.as_bytes());
+    [d[0], d[1], d[2], d[3]]
+}
+
+/// A stack-neutral code fragment used inside function bodies.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Gadget {
+    /// `SSTORE(slot, calldata[4..36])` — setter.
+    StoreArg {
+        /// Storage slot written.
+        slot: u64,
+    },
+    /// `SLOAD(slot)` then discard — storage touch.
+    LoadStorage {
+        /// Storage slot read.
+        slot: u64,
+    },
+    /// `require(msg.sender == owner)` with owner in `slot`.
+    RequireOwner {
+        /// Storage slot holding the owner address.
+        slot: u64,
+    },
+    /// `LOG<topics>` event emission over one memory word.
+    EmitEvent {
+        /// Topic count (0..=4).
+        topics: u8,
+        /// Topic seed (topics are derived deterministically from it).
+        seed: u64,
+    },
+    /// Solidity 0.8-style checked addition of two calldata words, stored.
+    CheckedAdd {
+        /// Storage slot receiving the sum.
+        slot: u64,
+    },
+    /// `require(gasleft() > min_gas)` — the "well-structured contracts
+    /// manage gas" pattern the paper's SHAP analysis surfaces.
+    GasCheck {
+        /// Minimum gas required to proceed.
+        min_gas: u16,
+    },
+    /// External call to an address held in storage, zero value.
+    ExternalCall {
+        /// Storage slot holding the callee.
+        slot: u64,
+        /// Whether to bubble failure (`ISZERO`-guarded revert) and touch
+        /// return data.
+        check_returndata: bool,
+        /// `true` forwards a hardcoded gas amount (`call{gas: N}`), `false`
+        /// forwards the remaining gas via `GAS`. Both appear in real code
+        /// of both classes, diluting the gas-opcode signal.
+        fixed_gas: bool,
+    },
+    /// Transfers the entire contract balance via `CALL`.
+    DrainBalance {
+        /// `true` sends to `msg.sender` (a legitimate "withdraw all");
+        /// `false` sends to a hardcoded address (the drainer signature).
+        to_caller: bool,
+        /// Hardcoded recipient when `to_caller` is false.
+        attacker: [u8; 20],
+    },
+    /// Crafts a `transferFrom(victim, attacker, amount)` call against a
+    /// token held in storage — the approval-phishing signature.
+    TransferFromSweep {
+        /// Storage slot holding the token address.
+        token_slot: u64,
+        /// Sweep destination.
+        attacker: [u8; 20],
+    },
+    /// Junk arithmetic (obfuscation / compiler noise).
+    JunkArith {
+        /// Number of push-push-op-pop rounds.
+        ops: u8,
+        /// Seed for operand/op selection.
+        seed: u64,
+    },
+    /// `mapping(address => x)` read: keccak of (caller, slot), `SLOAD`.
+    MappingRead {
+        /// Mapping base slot.
+        slot: u64,
+    },
+    /// `mapping(address => x)` write from calldata.
+    MappingWrite {
+        /// Mapping base slot.
+        slot: u64,
+    },
+    /// `require(block.timestamp >/< deadline)`.
+    TimestampGate {
+        /// Unix-time deadline.
+        deadline: u32,
+        /// `true` requires `timestamp > deadline`, `false` the opposite.
+        after: bool,
+    },
+    /// XOR-decoded constant (obfuscated address/selector material).
+    ObfuscatedConst {
+        /// First operand.
+        a: u64,
+        /// Second operand.
+        b: u64,
+    },
+    /// `AND`-masking of a hardcoded address.
+    MaskedAddress {
+        /// The address material.
+        addr: [u8; 20],
+    },
+    /// `DELEGATECALL` forward to an implementation in storage.
+    DelegateForward {
+        /// Storage slot holding the implementation.
+        slot: u64,
+    },
+    /// Touches `SELFBALANCE` and `BALANCE`.
+    BalanceCheck,
+}
+
+/// How a function body ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Terminator {
+    /// `STOP`.
+    Stop,
+    /// Returns the word at `slot`.
+    ReturnWord {
+        /// Storage slot returned.
+        slot: u64,
+    },
+    /// Returns `true` (the ERC-20 convention).
+    ReturnTrue,
+    /// Reverts with a one-word message.
+    RevertMsg {
+        /// Message material.
+        code: u64,
+    },
+    /// `SELFDESTRUCT` to an address in storage.
+    SelfDestruct {
+        /// Storage slot holding the beneficiary.
+        slot: u64,
+    },
+}
+
+/// One externally callable function.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FnSpec {
+    /// 4-byte dispatcher selector.
+    pub selector: [u8; 4],
+    /// Body fragments, emitted in order.
+    pub gadgets: Vec<Gadget>,
+    /// Body terminator.
+    pub terminator: Terminator,
+}
+
+/// A complete synthetic contract.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ContractSpec {
+    /// Emit the non-payable `CALLVALUE` guard.
+    pub payable_guard: bool,
+    /// Dispatcher functions.
+    pub functions: Vec<FnSpec>,
+    /// Solc-style CBOR metadata trailer content (32-byte digest material).
+    pub metadata_seed: Option<u64>,
+}
+
+impl ContractSpec {
+    /// Assembles the spec into runtime bytecode.
+    ///
+    /// # Errors
+    /// Returns the underlying assembler error (cannot occur for specs built
+    /// from this module's vocabulary; surfaced for API honesty).
+    pub fn build(&self) -> Result<Vec<u8>, AsmError> {
+        let mut asm = Asm::new();
+        let mut labels = LabelGen::default();
+
+        // Solidity free-memory-pointer preamble.
+        asm.push(&[0x80]).push(&[0x40]).op("MSTORE");
+
+        if self.payable_guard {
+            let ok = labels.fresh("nonpayable");
+            asm.op("CALLVALUE").op("ISZERO");
+            asm.jumpi(&ok);
+            asm.op("PUSH0").op("PUSH0").op("REVERT");
+            asm.label(&ok);
+        }
+
+        // Dispatcher.
+        asm.push(&[0x04]).op("CALLDATASIZE").op("LT");
+        asm.jumpi("fallback");
+        asm.op("PUSH0").op("CALLDATALOAD").push(&[0xE0]).op("SHR");
+        let fn_labels: Vec<String> =
+            (0..self.functions.len()).map(|i| format!("fn_{i}")).collect();
+        for (f, label) in self.functions.iter().zip(&fn_labels) {
+            asm.op("DUP1").push_selector(f.selector).op("EQ");
+            asm.jumpi(label);
+        }
+        asm.op("POP");
+        asm.jump("fallback");
+
+        // Function bodies.
+        for (f, label) in self.functions.iter().zip(&fn_labels) {
+            asm.label(label);
+            asm.op("POP"); // drop the dispatched selector
+            for g in &f.gadgets {
+                emit_gadget(&mut asm, g, &mut labels);
+            }
+            emit_terminator(&mut asm, f.terminator);
+        }
+
+        // Fallback: plain receive.
+        asm.label("fallback");
+        asm.op("STOP");
+
+        // Designated-invalid separator + metadata trailer, as solc emits.
+        if let Some(seed) = self.metadata_seed {
+            asm.raw(&[0xFE]);
+            asm.raw(&metadata_trailer(seed));
+        }
+        asm.assemble()
+    }
+}
+
+#[derive(Default)]
+struct LabelGen {
+    n: usize,
+}
+
+impl LabelGen {
+    fn fresh(&mut self, prefix: &str) -> String {
+        self.n += 1;
+        format!("{prefix}_{}", self.n)
+    }
+}
+
+fn push_u64(asm: &mut Asm, v: u64) {
+    asm.push_u64(v);
+}
+
+fn emit_gadget(asm: &mut Asm, gadget: &Gadget, labels: &mut LabelGen) {
+    match gadget {
+        Gadget::StoreArg { slot } => {
+            asm.push(&[0x04]).op("CALLDATALOAD");
+            push_u64(asm, *slot);
+            asm.op("SSTORE");
+        }
+        Gadget::LoadStorage { slot } => {
+            push_u64(asm, *slot);
+            asm.op("SLOAD").op("POP");
+        }
+        Gadget::RequireOwner { slot } => {
+            let ok = labels.fresh("owner_ok");
+            asm.op("CALLER");
+            push_u64(asm, *slot);
+            asm.op("SLOAD").op("EQ");
+            asm.jumpi(&ok);
+            asm.op("PUSH0").op("PUSH0").op("REVERT");
+            asm.label(&ok);
+        }
+        Gadget::EmitEvent { topics, seed } => {
+            // One memory word of event data, then LOGn.
+            asm.push(&[0x2A]).op("PUSH0").op("MSTORE");
+            let topics = (*topics).min(4);
+            for t in 0..topics {
+                let topic = seed.wrapping_mul(0x9E37).wrapping_add(u64::from(t));
+                let mut word = [0u8; 32];
+                word[24..].copy_from_slice(&topic.to_be_bytes());
+                asm.push(&word);
+            }
+            asm.push(&[0x20]).op("PUSH0");
+            asm.op(match topics {
+                0 => "LOG0",
+                1 => "LOG1",
+                2 => "LOG2",
+                3 => "LOG3",
+                _ => "LOG4",
+            });
+        }
+        Gadget::CheckedAdd { slot } => {
+            let ok = labels.fresh("add_ok");
+            asm.push(&[0x04]).op("CALLDATALOAD");
+            asm.push(&[0x24]).op("CALLDATALOAD");
+            asm.op("DUP2").op("ADD");
+            asm.op("DUP2").op("DUP2").op("LT").op("ISZERO");
+            asm.jumpi(&ok);
+            asm.op("PUSH0").op("PUSH0").op("REVERT");
+            asm.label(&ok);
+            push_u64(asm, *slot);
+            asm.op("SSTORE").op("POP");
+        }
+        Gadget::GasCheck { min_gas } => {
+            let ok = labels.fresh("gas_ok");
+            asm.op("GAS");
+            asm.push(&min_gas.to_be_bytes());
+            // Stack [gas, min]; LT pops min, gas → min < gas.
+            asm.op("LT");
+            asm.jumpi(&ok);
+            asm.op("PUSH0").op("PUSH0").op("REVERT");
+            asm.label(&ok);
+        }
+        Gadget::ExternalCall { slot, check_returndata, fixed_gas } => {
+            asm.op("PUSH0").op("PUSH0").op("PUSH0").op("PUSH0").op("PUSH0");
+            push_u64(asm, *slot);
+            asm.op("SLOAD");
+            if *fixed_gas {
+                asm.push(&[0x01, 0x86, 0xA0]);
+            } else {
+                asm.op("GAS");
+            }
+            asm.op("CALL");
+            if *check_returndata {
+                let ok = labels.fresh("call_ok");
+                asm.jumpi(&ok);
+                asm.op("PUSH0").op("PUSH0").op("REVERT");
+                asm.label(&ok);
+                asm.op("RETURNDATASIZE").op("POP");
+            } else {
+                asm.op("POP");
+            }
+        }
+        Gadget::DrainBalance { to_caller, attacker } => {
+            asm.op("PUSH0").op("PUSH0").op("PUSH0").op("PUSH0");
+            asm.op("SELFBALANCE");
+            if *to_caller {
+                // Legitimate "withdraw all to msg.sender": Solidity forwards
+                // the remaining gas via GAS.
+                asm.op("CALLER");
+                asm.op("GAS");
+            } else {
+                // Drainer signature: hardcoded recipient AND hardcoded gas
+                // (hand-written sweep code rarely calls gasleft()).
+                asm.push(attacker);
+                asm.push(&[0x03, 0x0D, 0x40]);
+            }
+            asm.op("CALL").op("POP");
+        }
+        Gadget::TransferFromSweep { token_slot, attacker } => {
+            // calldata: transferFrom(caller, attacker, calldata[0x44..])
+            asm.push_selector(selector("transferFrom(address,address,uint256)"));
+            asm.push(&[0xE0]).op("SHL").op("PUSH0").op("MSTORE");
+            asm.op("CALLER").push(&[0x04]).op("MSTORE");
+            asm.push(attacker).push(&[0x24]).op("MSTORE");
+            asm.push(&[0x44]).op("CALLDATALOAD").push(&[0x44]).op("MSTORE");
+            asm.op("PUSH0").op("PUSH0"); // retLen retOff
+            asm.push(&[0x64]).op("PUSH0").op("PUSH0"); // argsLen argsOff value
+            push_u64(asm, *token_slot);
+            // Hardcoded gas, as hand-rolled sweep scripts do.
+            asm.op("SLOAD").push(&[0x01, 0x86, 0xA0]).op("CALL").op("POP");
+        }
+        Gadget::JunkArith { ops, seed } => {
+            let mut s = *seed;
+            for _ in 0..*ops {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let a = (s >> 16) & 0xFF;
+                let b = (s >> 32) & 0xFF;
+                asm.push(&[a.max(1) as u8]).push(&[b.max(1) as u8]);
+                asm.op(match (s >> 48) % 6 {
+                    0 => "ADD",
+                    1 => "MUL",
+                    2 => "XOR",
+                    3 => "AND",
+                    4 => "OR",
+                    _ => "SUB",
+                });
+                asm.op("POP");
+            }
+        }
+        Gadget::MappingRead { slot } => {
+            asm.op("CALLER").op("PUSH0").op("MSTORE");
+            push_u64(asm, *slot);
+            asm.push(&[0x20]).op("MSTORE");
+            asm.push(&[0x40]).op("PUSH0").op("SHA3");
+            asm.op("SLOAD").op("POP");
+        }
+        Gadget::MappingWrite { slot } => {
+            asm.op("CALLER").op("PUSH0").op("MSTORE");
+            push_u64(asm, *slot);
+            asm.push(&[0x20]).op("MSTORE");
+            asm.push(&[0x40]).op("PUSH0").op("SHA3");
+            asm.push(&[0x04]).op("CALLDATALOAD");
+            asm.op("SWAP1").op("SSTORE");
+        }
+        Gadget::TimestampGate { deadline, after } => {
+            let ok = labels.fresh("time_ok");
+            asm.op("TIMESTAMP");
+            asm.push(&deadline.to_be_bytes());
+            // Stack [ts, deadline]; LT → deadline < ts (i.e. after).
+            asm.op(if *after { "LT" } else { "GT" });
+            asm.jumpi(&ok);
+            asm.op("PUSH0").op("PUSH0").op("REVERT");
+            asm.label(&ok);
+        }
+        Gadget::ObfuscatedConst { a, b } => {
+            push_u64(asm, (*a).max(1));
+            push_u64(asm, (*b).max(1));
+            asm.op("XOR").op("PUSH0").op("MSTORE");
+        }
+        Gadget::MaskedAddress { addr } => {
+            asm.push(addr);
+            asm.push(&[0xFF; 20]);
+            asm.op("AND").op("POP");
+        }
+        Gadget::DelegateForward { slot } => {
+            asm.op("PUSH0").op("PUSH0").op("PUSH0").op("PUSH0");
+            push_u64(asm, *slot);
+            asm.op("SLOAD").op("GAS").op("DELEGATECALL").op("POP");
+        }
+        Gadget::BalanceCheck => {
+            asm.op("SELFBALANCE").op("PUSH0").op("MSTORE");
+            asm.op("ADDRESS").op("BALANCE").op("POP");
+        }
+    }
+}
+
+fn emit_terminator(asm: &mut Asm, terminator: Terminator) {
+    match terminator {
+        Terminator::Stop => {
+            asm.op("STOP");
+        }
+        Terminator::ReturnWord { slot } => {
+            push_u64(asm, slot);
+            asm.op("SLOAD").op("PUSH0").op("MSTORE");
+            asm.push(&[0x20]).op("PUSH0").op("RETURN");
+        }
+        Terminator::ReturnTrue => {
+            asm.push(&[0x01]).op("PUSH0").op("MSTORE");
+            asm.push(&[0x20]).op("PUSH0").op("RETURN");
+        }
+        Terminator::RevertMsg { code } => {
+            push_u64(asm, code.max(1));
+            asm.op("PUSH0").op("MSTORE");
+            asm.push(&[0x20]).op("PUSH0").op("REVERT");
+        }
+        Terminator::SelfDestruct { slot } => {
+            push_u64(asm, slot);
+            asm.op("SLOAD").op("SELFDESTRUCT");
+        }
+    }
+}
+
+/// Solc-style CBOR metadata trailer (`ipfs` digest + `solc` version).
+pub fn metadata_trailer(seed: u64) -> Vec<u8> {
+    let digest = keccak256(&seed.to_be_bytes());
+    let mut out = Vec::with_capacity(53);
+    out.extend_from_slice(&[0xA2, 0x64]);
+    out.extend_from_slice(b"ipfs");
+    out.extend_from_slice(&[0x58, 0x22, 0x12, 0x20]);
+    out.extend_from_slice(&digest);
+    out.extend_from_slice(&[0x64]);
+    out.extend_from_slice(b"solc");
+    out.extend_from_slice(&[0x43, 0x00, 0x08, 0x13]);
+    out.extend_from_slice(&[0x00, 0x33]);
+    out
+}
+
+/// EIP-1167 minimal proxy for `target` — the 45-byte clone bytecode whose
+/// bit-identical duplicates motivate the paper's deduplication step.
+pub fn minimal_proxy(target: [u8; 20]) -> Vec<u8> {
+    let mut code = Vec::with_capacity(45);
+    code.extend_from_slice(&[0x36, 0x3D, 0x3D, 0x37, 0x3D, 0x3D, 0x3D, 0x36, 0x3D, 0x73]);
+    code.extend_from_slice(&target);
+    code.extend_from_slice(&[
+        0x5A, 0xF4, 0x3D, 0x82, 0x80, 0x3E, 0x90, 0x3D, 0x91, 0x60, 0x2B, 0x57, 0xFD, 0x5B, 0xF3,
+    ]);
+    code
+}
+
+/// Well-known Solidity selectors used by the corpus families.
+pub mod selectors {
+    use super::selector;
+
+    /// `(name, signature)` pairs for benign ERC-20-style functions.
+    pub fn erc20() -> Vec<[u8; 4]> {
+        [
+            "transfer(address,uint256)",
+            "transferFrom(address,address,uint256)",
+            "approve(address,uint256)",
+            "balanceOf(address)",
+            "allowance(address,address)",
+            "totalSupply()",
+        ]
+        .iter()
+        .map(|s| selector(s))
+        .collect()
+    }
+
+    /// Vault/staking functions.
+    pub fn vault() -> Vec<[u8; 4]> {
+        ["deposit(uint256)", "withdraw(uint256)", "balanceOf(address)", "totalAssets()"]
+            .iter()
+            .map(|s| selector(s))
+            .collect()
+    }
+
+    /// Multisig wallet functions.
+    pub fn multisig() -> Vec<[u8; 4]> {
+        [
+            "submitTransaction(address,uint256,bytes)",
+            "confirmTransaction(uint256)",
+            "executeTransaction(uint256)",
+            "revokeConfirmation(uint256)",
+        ]
+        .iter()
+        .map(|s| selector(s))
+        .collect()
+    }
+
+    /// Admin/ownable utility functions.
+    pub fn ownable() -> Vec<[u8; 4]> {
+        [
+            "owner()",
+            "transferOwnership(address)",
+            "renounceOwnership()",
+            "pause()",
+            "unpause()",
+        ]
+        .iter()
+        .map(|s| selector(s))
+        .collect()
+    }
+
+    /// NFT-style functions.
+    pub fn erc721() -> Vec<[u8; 4]> {
+        [
+            "ownerOf(uint256)",
+            "safeTransferFrom(address,address,uint256)",
+            "mint(address)",
+            "tokenURI(uint256)",
+            "setApprovalForAll(address,bool)",
+        ]
+        .iter()
+        .map(|s| selector(s))
+        .collect()
+    }
+
+    /// Router / payment-forwarder functions — legitimate `transferFrom`
+    /// users (DEX routers pull approved tokens), the benign side of the
+    /// approval-pattern overlap.
+    pub fn router() -> Vec<[u8; 4]> {
+        [
+            "swapExactTokensForTokens(uint256,uint256,address[],address,uint256)",
+            "forwardPayment(address,uint256)",
+            "batchTransfer(address[],uint256[])",
+            "collectFee(address)",
+        ]
+        .iter()
+        .map(|s| selector(s))
+        .collect()
+    }
+
+    /// Bait selectors used by phishing claim/airdrop pages (early wave).
+    pub fn phishing_early() -> Vec<[u8; 4]> {
+        ["claim()", "claimReward()", "airdrop()", "register()", "connect()"]
+            .iter()
+            .map(|s| selector(s))
+            .collect()
+    }
+
+    /// Bait selectors of the later 2024 wave (drift for the time-resistance
+    /// experiment).
+    pub fn phishing_late() -> Vec<[u8; 4]> {
+        [
+            "multicall(bytes[])",
+            "execute(address,bytes)",
+            "claimRewards(address)",
+            "securityUpdate()",
+            "verifyWallet()",
+        ]
+        .iter()
+        .map(|s| selector(s))
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phishinghook_evm::disasm::disassemble;
+    use phishinghook_evm::interp::{Interpreter, Status};
+
+    fn spec_with(gadgets: Vec<Gadget>, terminator: Terminator) -> ContractSpec {
+        ContractSpec {
+            payable_guard: true,
+            functions: vec![FnSpec {
+                selector: selector("claim()"),
+                gadgets,
+                terminator,
+            }],
+            metadata_seed: Some(7),
+        }
+    }
+
+    fn call(code: &[u8], sel: [u8; 4]) -> Status {
+        let mut interp = Interpreter::new();
+        // Pre-populate a few storage slots so SLOAD'ed addresses are sane.
+        for slot in 0..8u64 {
+            interp
+                .storage
+                .insert(phishinghook_evm::U256::from_u64(slot), phishinghook_evm::U256::from_u64(0xBEEF));
+        }
+        let mut calldata = sel.to_vec();
+        calldata.extend_from_slice(&[0u8; 0x80]);
+        interp.run_call(code, &calldata).status
+    }
+
+    #[test]
+    fn selector_matches_solidity() {
+        assert_eq!(selector("transfer(address,uint256)"), [0xA9, 0x05, 0x9C, 0xBB]);
+        assert_eq!(selector("transferFrom(address,address,uint256)"), [0x23, 0xB8, 0x72, 0xDD]);
+    }
+
+    #[test]
+    fn every_gadget_executes_cleanly() {
+        let attacker = [0x66; 20];
+        let all: Vec<(&str, Gadget)> = vec![
+            ("store", Gadget::StoreArg { slot: 3 }),
+            ("load", Gadget::LoadStorage { slot: 3 }),
+            ("event", Gadget::EmitEvent { topics: 3, seed: 5 }),
+            ("checked_add", Gadget::CheckedAdd { slot: 4 }),
+            ("gas", Gadget::GasCheck { min_gas: 1000 }),
+            ("call", Gadget::ExternalCall { slot: 1, check_returndata: true, fixed_gas: false }),
+            ("call_plain", Gadget::ExternalCall { slot: 1, check_returndata: false, fixed_gas: true }),
+            ("drain_caller", Gadget::DrainBalance { to_caller: true, attacker }),
+            ("drain_attacker", Gadget::DrainBalance { to_caller: false, attacker }),
+            ("sweep", Gadget::TransferFromSweep { token_slot: 2, attacker }),
+            ("junk", Gadget::JunkArith { ops: 4, seed: 9 }),
+            ("map_read", Gadget::MappingRead { slot: 6 }),
+            ("map_write", Gadget::MappingWrite { slot: 6 }),
+            ("time", Gadget::TimestampGate { deadline: 1_000_000, after: true }),
+            ("obf", Gadget::ObfuscatedConst { a: 123, b: 456 }),
+            ("mask", Gadget::MaskedAddress { addr: attacker }),
+            ("delegate", Gadget::DelegateForward { slot: 1 }),
+            ("balance", Gadget::BalanceCheck),
+        ];
+        for (name, gadget) in all {
+            let spec = spec_with(vec![gadget], Terminator::Stop);
+            let code = spec.build().unwrap_or_else(|e| panic!("{name}: {e}"));
+            let status = call(&code, selector("claim()"));
+            assert!(
+                matches!(status, Status::Success),
+                "{name} did not run cleanly: {status:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn require_owner_reverts_for_non_owner() {
+        let spec = spec_with(vec![Gadget::RequireOwner { slot: 0 }], Terminator::Stop);
+        let code = spec.build().unwrap();
+        // Caller (0xCA11E4) != owner (0xBEEF) → revert.
+        assert_eq!(call(&code, selector("claim()")), Status::Revert);
+    }
+
+    #[test]
+    fn terminators_behave() {
+        for (t, expect) in [
+            (Terminator::Stop, Status::Success),
+            (Terminator::ReturnWord { slot: 1 }, Status::Success),
+            (Terminator::ReturnTrue, Status::Success),
+            (Terminator::RevertMsg { code: 9 }, Status::Revert),
+            (Terminator::SelfDestruct { slot: 1 }, Status::SelfDestructed),
+        ] {
+            let spec = spec_with(vec![], t);
+            let code = spec.build().unwrap();
+            assert_eq!(call(&code, selector("claim()")), expect, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_selector_hits_fallback() {
+        let spec = spec_with(vec![Gadget::StoreArg { slot: 1 }], Terminator::Stop);
+        let code = spec.build().unwrap();
+        assert_eq!(call(&code, [0xDE, 0xAD, 0xBE, 0xEF]), Status::Success);
+    }
+
+    #[test]
+    fn empty_calldata_hits_fallback() {
+        let spec = spec_with(vec![Gadget::StoreArg { slot: 1 }], Terminator::Stop);
+        let code = spec.build().unwrap();
+        let mut interp = Interpreter::new();
+        assert_eq!(interp.run_call(&code, &[]).status, Status::Success);
+    }
+
+    #[test]
+    fn nonpayable_guard_rejects_value() {
+        let spec = spec_with(vec![], Terminator::Stop);
+        let code = spec.build().unwrap();
+        let mut interp = Interpreter::new();
+        interp.env.callvalue = phishinghook_evm::U256::from_u64(1);
+        assert_eq!(interp.run_call(&code, &[]).status, Status::Revert);
+    }
+
+    #[test]
+    fn multi_function_dispatch() {
+        let spec = ContractSpec {
+            payable_guard: false,
+            functions: vec![
+                FnSpec {
+                    selector: selector("a()"),
+                    gadgets: vec![],
+                    terminator: Terminator::ReturnTrue,
+                },
+                FnSpec {
+                    selector: selector("b()"),
+                    gadgets: vec![],
+                    terminator: Terminator::RevertMsg { code: 1 },
+                },
+            ],
+            metadata_seed: None,
+        };
+        let code = spec.build().unwrap();
+        assert_eq!(call(&code, selector("a()")), Status::Success);
+        assert_eq!(call(&code, selector("b()")), Status::Revert);
+    }
+
+    #[test]
+    fn metadata_trailer_after_invalid() {
+        let spec = spec_with(vec![], Terminator::Stop);
+        let code = spec.build().unwrap();
+        let ins = disassemble(&code);
+        // The trailer begins with 0xA2 after the 0xFE separator; both are
+        // reported as INVALID-class instructions by the disassembler.
+        assert!(ins.iter().any(|i| i.byte == 0xFE));
+        let trailer = metadata_trailer(7);
+        assert_eq!(trailer.len(), 53);
+        assert!(code.ends_with(&[0x00, 0x33]));
+    }
+
+    #[test]
+    fn minimal_proxy_is_exactly_45_bytes() {
+        let proxy = minimal_proxy([0xAA; 20]);
+        assert_eq!(proxy.len(), 45);
+        // Canonical prefix/suffix of EIP-1167.
+        assert_eq!(&proxy[..10], &[0x36, 0x3D, 0x3D, 0x37, 0x3D, 0x3D, 0x3D, 0x36, 0x3D, 0x73]);
+        assert_eq!(proxy[proxy.len() - 1], 0xF3);
+        // Same target → identical bytecode (the duplicate story).
+        assert_eq!(minimal_proxy([0xAA; 20]), minimal_proxy([0xAA; 20]));
+        assert_ne!(minimal_proxy([0xAA; 20]), minimal_proxy([0xAB; 20]));
+    }
+
+    #[test]
+    fn specs_are_deterministic() {
+        let spec = spec_with(
+            vec![Gadget::JunkArith { ops: 3, seed: 42 }, Gadget::MappingWrite { slot: 2 }],
+            Terminator::ReturnTrue,
+        );
+        assert_eq!(spec.build().unwrap(), spec.build().unwrap());
+    }
+}

@@ -1,0 +1,329 @@
+//! A small EVM assembler with label resolution.
+//!
+//! The synthetic corpus generator builds contracts as instruction streams and
+//! assembles them into runtime bytecode with this builder. Labels compile to
+//! `JUMPDEST`s and label references to fixed-width `PUSH2` immediates patched
+//! in a second pass, so realistic Solidity-style function dispatchers can be
+//! expressed directly.
+//!
+//! ```
+//! use phishinghook_evm::asm::Asm;
+//!
+//! let mut asm = Asm::new();
+//! asm.push_u64(1).push_u64(2).op("ADD").push_u64(3).op("EQ");
+//! asm.jumpi("ok");
+//! asm.op("PUSH0").op("PUSH0").op("REVERT");
+//! asm.label("ok");
+//! asm.op("STOP");
+//! let code = asm.assemble().unwrap();
+//! assert!(!code.is_empty());
+//! ```
+
+use crate::opcode::ShanghaiRegistry;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors produced while assembling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A mnemonic not defined at the Shanghai fork was used.
+    UnknownMnemonic(String),
+    /// A label was referenced but never defined.
+    UndefinedLabel(String),
+    /// A label was defined more than once.
+    DuplicateLabel(String),
+    /// A `push` payload longer than 32 bytes.
+    PushTooWide(usize),
+    /// A label landed at an offset above `u16::MAX` (PUSH2 width).
+    LabelOutOfRange(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnknownMnemonic(m) => write!(f, "unknown mnemonic `{m}`"),
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::PushTooWide(n) => write!(f, "push payload of {n} bytes exceeds 32"),
+            AsmError::LabelOutOfRange(l) => write!(f, "label `{l}` beyond PUSH2 range"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Debug, Clone)]
+enum Item {
+    Op(u8),
+    Push(Vec<u8>),
+    PushLabel(String),
+    Label(String),
+    Raw(Vec<u8>),
+}
+
+/// Incremental bytecode builder. See the [module docs](self) for an example.
+#[derive(Debug, Clone, Default)]
+pub struct Asm {
+    items: Vec<Item>,
+}
+
+impl Asm {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Asm::default()
+    }
+
+    /// Appends a bare opcode by mnemonic (validated at assembly time).
+    pub fn op(&mut self, mnemonic: &str) -> &mut Self {
+        // Resolve eagerly when possible so typos fail fast in assemble().
+        self.items.push(
+            match ShanghaiRegistry::shared().by_mnemonic(mnemonic) {
+                Some(info) => Item::Op(info.byte),
+                None => Item::Raw(vec![]), // placeholder; reported in assemble()
+            },
+        );
+        if ShanghaiRegistry::shared().by_mnemonic(mnemonic).is_none() {
+            // Store the bad mnemonic so assemble() can report it.
+            *self.items.last_mut().expect("just pushed") =
+                Item::PushLabel(format!("\u{0}bad-op:{mnemonic}"));
+        }
+        self
+    }
+
+    /// Appends the smallest `PUSHn` that fits `payload` (`PUSH0` for empty
+    /// or all-zero single byte handled by [`Asm::push_u64`]).
+    pub fn push(&mut self, payload: &[u8]) -> &mut Self {
+        self.items.push(Item::Push(payload.to_vec()));
+        self
+    }
+
+    /// Pushes an integer using the minimal encoding (`PUSH0` for zero).
+    pub fn push_u64(&mut self, value: u64) -> &mut Self {
+        if value == 0 {
+            self.items.push(Item::Op(0x5F)); // PUSH0
+        } else {
+            let be = value.to_be_bytes();
+            let start = be.iter().position(|&b| b != 0).expect("value is nonzero");
+            self.items.push(Item::Push(be[start..].to_vec()));
+        }
+        self
+    }
+
+    /// Pushes a 4-byte function selector (as Solidity dispatchers do).
+    pub fn push_selector(&mut self, selector: [u8; 4]) -> &mut Self {
+        self.items.push(Item::Push(selector.to_vec()));
+        self
+    }
+
+    /// Defines `name` here: emits a `JUMPDEST` and binds the label to it.
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        self.items.push(Item::Label(name.to_owned()));
+        self
+    }
+
+    /// Pushes the offset of label `name` (a `PUSH2` patched later).
+    pub fn push_label(&mut self, name: &str) -> &mut Self {
+        self.items.push(Item::PushLabel(name.to_owned()));
+        self
+    }
+
+    /// `PUSH2 <name>; JUMP`.
+    pub fn jump(&mut self, name: &str) -> &mut Self {
+        self.push_label(name);
+        self.items.push(Item::Op(0x56));
+        self
+    }
+
+    /// `PUSH2 <name>; JUMPI`.
+    pub fn jumpi(&mut self, name: &str) -> &mut Self {
+        self.push_label(name);
+        self.items.push(Item::Op(0x57));
+        self
+    }
+
+    /// Appends raw bytes verbatim (metadata trailers, embedded addresses…).
+    pub fn raw(&mut self, bytes: &[u8]) -> &mut Self {
+        self.items.push(Item::Raw(bytes.to_vec()));
+        self
+    }
+
+    /// Appends every item of another program.
+    pub fn extend(&mut self, other: &Asm) -> &mut Self {
+        self.items.extend(other.items.iter().cloned());
+        self
+    }
+
+    /// Number of items queued (not bytes).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no items have been queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Resolves labels and emits the final bytecode.
+    ///
+    /// # Errors
+    /// Returns an [`AsmError`] for unknown mnemonics, duplicate or undefined
+    /// labels, oversized push payloads, or labels beyond `PUSH2` range.
+    pub fn assemble(&self) -> Result<Vec<u8>, AsmError> {
+        // Pass 1: compute item sizes and label offsets.
+        let mut offsets = HashMap::new();
+        let mut pc = 0usize;
+        for item in &self.items {
+            match item {
+                Item::Op(_) => pc += 1,
+                Item::Push(p) => {
+                    if p.len() > 32 {
+                        return Err(AsmError::PushTooWide(p.len()));
+                    }
+                    pc += 1 + p.len();
+                }
+                Item::PushLabel(name) => {
+                    if let Some(bad) = name.strip_prefix("\u{0}bad-op:") {
+                        return Err(AsmError::UnknownMnemonic(bad.to_owned()));
+                    }
+                    pc += 3; // PUSH2 + 2 bytes
+                }
+                Item::Label(name) => {
+                    if offsets.insert(name.clone(), pc).is_some() {
+                        return Err(AsmError::DuplicateLabel(name.clone()));
+                    }
+                    pc += 1; // JUMPDEST
+                }
+                Item::Raw(bytes) => pc += bytes.len(),
+            }
+        }
+
+        // Pass 2: emit.
+        let mut out = Vec::with_capacity(pc);
+        for item in &self.items {
+            match item {
+                Item::Op(b) => out.push(*b),
+                Item::Push(p) => {
+                    out.push(0x5F + p.len() as u8);
+                    out.extend_from_slice(p);
+                }
+                Item::PushLabel(name) => {
+                    let &target = offsets
+                        .get(name)
+                        .ok_or_else(|| AsmError::UndefinedLabel(name.clone()))?;
+                    let target = u16::try_from(target)
+                        .map_err(|_| AsmError::LabelOutOfRange(name.clone()))?;
+                    out.push(0x61); // PUSH2
+                    out.extend_from_slice(&target.to_be_bytes());
+                }
+                Item::Label(_) => out.push(0x5B), // JUMPDEST
+                Item::Raw(bytes) => out.extend_from_slice(bytes),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disasm::disassemble;
+
+    #[test]
+    fn minimal_push_encoding() {
+        let mut asm = Asm::new();
+        asm.push_u64(0).push_u64(1).push_u64(0x100).push_u64(u64::MAX);
+        let code = asm.assemble().unwrap();
+        let ins = disassemble(&code);
+        assert_eq!(ins[0].mnemonic(), "PUSH0");
+        assert_eq!(ins[1].mnemonic(), "PUSH1");
+        assert_eq!(ins[2].mnemonic(), "PUSH2");
+        assert_eq!(ins[3].mnemonic(), "PUSH8");
+    }
+
+    #[test]
+    fn labels_resolve_to_jumpdests() {
+        let mut asm = Asm::new();
+        asm.jump("end");
+        asm.op("STOP");
+        asm.label("end");
+        asm.op("STOP");
+        let code = asm.assemble().unwrap();
+        // PUSH2 0x0005, JUMP, STOP, JUMPDEST, STOP
+        assert_eq!(code, vec![0x61, 0x00, 0x05, 0x56, 0x00, 0x5B, 0x00]);
+    }
+
+    #[test]
+    fn forward_and_backward_references() {
+        let mut asm = Asm::new();
+        asm.label("loop");
+        asm.push_u64(1).op("POP");
+        asm.jump("loop");
+        asm.jumpi("loop"); // unreachable, but assembles
+        let code = asm.assemble().unwrap();
+        let ins = disassemble(&code);
+        assert_eq!(ins[0].mnemonic(), "JUMPDEST");
+        // Both label references point at offset 0.
+        assert_eq!(ins[3].operand, vec![0x00, 0x00]);
+    }
+
+    #[test]
+    fn unknown_mnemonic_errors() {
+        let mut asm = Asm::new();
+        asm.op("FROBNICATE");
+        assert_eq!(
+            asm.assemble(),
+            Err(AsmError::UnknownMnemonic("FROBNICATE".to_owned()))
+        );
+    }
+
+    #[test]
+    fn duplicate_label_errors() {
+        let mut asm = Asm::new();
+        asm.label("x").label("x");
+        assert_eq!(asm.assemble(), Err(AsmError::DuplicateLabel("x".to_owned())));
+    }
+
+    #[test]
+    fn undefined_label_errors() {
+        let mut asm = Asm::new();
+        asm.jump("nowhere");
+        assert_eq!(
+            asm.assemble(),
+            Err(AsmError::UndefinedLabel("nowhere".to_owned()))
+        );
+    }
+
+    #[test]
+    fn push_too_wide_errors() {
+        let mut asm = Asm::new();
+        asm.push(&[0u8; 33]);
+        assert_eq!(asm.assemble(), Err(AsmError::PushTooWide(33)));
+    }
+
+    #[test]
+    fn raw_bytes_are_verbatim() {
+        let mut asm = Asm::new();
+        asm.op("STOP").raw(&[0xDE, 0xAD]);
+        assert_eq!(asm.assemble().unwrap(), vec![0x00, 0xDE, 0xAD]);
+    }
+
+    #[test]
+    fn selector_is_push4() {
+        let mut asm = Asm::new();
+        asm.push_selector([0xa9, 0x05, 0x9c, 0xbb]);
+        let code = asm.assemble().unwrap();
+        let ins = disassemble(&code);
+        assert_eq!(ins[0].mnemonic(), "PUSH4");
+        assert_eq!(ins[0].operand, vec![0xa9, 0x05, 0x9c, 0xbb]);
+    }
+
+    #[test]
+    fn extend_concatenates_programs() {
+        let mut a = Asm::new();
+        a.op("STOP");
+        let mut b = Asm::new();
+        b.op("ADD");
+        a.extend(&b);
+        assert_eq!(a.assemble().unwrap(), vec![0x00, 0x01]);
+    }
+}

@@ -1,0 +1,222 @@
+//! The bytecode disassembler module (BDM).
+//!
+//! Disassembles deployed runtime bytecode into `(mnemonic, operand, gas)`
+//! instruction triplets, exactly as the paper's enhanced `evmdasm` does:
+//! `0x6080604052` becomes `(PUSH1, 0x80, 3), (PUSH1, 0x40, 3), (MSTORE, NaN→3)`.
+//!
+//! Two behaviours the paper calls out explicitly are reproduced here:
+//!
+//! * `PUSH0` (`0x5F`, added post-Arrow-Glacier) is a first-class opcode;
+//! * every byte not defined at the Shanghai fork is reported as an `INVALID`
+//!   instruction (the designated `0xFE` and all unassigned bytes alike), so
+//!   histogram features get a single INVALID bucket.
+
+use crate::opcode::{Gas, OpcodeInfo, ShanghaiRegistry};
+use std::fmt;
+
+/// One disassembled instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instruction {
+    /// Byte offset of the opcode within the bytecode.
+    pub offset: usize,
+    /// The raw opcode byte.
+    pub byte: u8,
+    /// Registry metadata, `None` when the byte is undefined at Shanghai.
+    pub info: Option<&'static OpcodeInfo>,
+    /// Immediate operand bytes (`PUSH1..=PUSH32` payload), empty otherwise.
+    pub operand: Vec<u8>,
+    /// `true` if this was a `PUSH` whose operand ran past the end of the code.
+    pub truncated: bool,
+}
+
+impl Instruction {
+    /// Human-readable mnemonic. Undefined bytes report `"INVALID"`.
+    pub fn mnemonic(&self) -> &'static str {
+        self.info.map_or("INVALID", |i| i.mnemonic)
+    }
+
+    /// Base gas cost; undefined bytes report [`Gas::Nan`].
+    pub fn gas(&self) -> Gas {
+        self.info.map_or(Gas::Nan, |i| i.gas)
+    }
+
+    /// Whether the byte is defined at the Shanghai fork.
+    pub fn is_defined(&self) -> bool {
+        self.info.is_some()
+    }
+
+    /// Operand formatted as `0x…` hex, or `NaN` when there is no operand —
+    /// the textual form the paper's `.csv` output uses.
+    pub fn operand_hex(&self) -> String {
+        if self.operand.is_empty() {
+            "NaN".to_owned()
+        } else {
+            format!("0x{}", crate::keccak::to_hex(&self.operand))
+        }
+    }
+
+    /// Total encoded length (opcode byte + operand bytes actually present).
+    pub fn encoded_len(&self) -> usize {
+        1 + self.operand.len()
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.mnemonic(), self.operand_hex(), self.gas())
+    }
+}
+
+/// Disassembles `code` into its instruction sequence.
+///
+/// Never fails: undefined bytes become `INVALID` instructions and a `PUSH`
+/// whose immediate runs past the end of the code yields a truncated operand
+/// (flagged via [`Instruction::truncated`]), mirroring `evmdasm`'s permissive
+/// behaviour on real-world (often metadata-suffixed) bytecode.
+pub fn disassemble(code: &[u8]) -> Vec<Instruction> {
+    let reg = ShanghaiRegistry::shared();
+    let mut out = Vec::with_capacity(code.len());
+    let mut pc = 0usize;
+    while pc < code.len() {
+        let byte = code[pc];
+        let info = reg.get(byte);
+        let imm = info.map_or(0, |i| usize::from(i.immediate_bytes));
+        let avail = code.len() - pc - 1;
+        let take = imm.min(avail);
+        out.push(Instruction {
+            offset: pc,
+            byte,
+            info,
+            operand: code[pc + 1..pc + 1 + take].to_vec(),
+            truncated: take < imm,
+        });
+        pc += 1 + take;
+    }
+    out
+}
+
+/// Re-encodes an instruction sequence back into bytecode.
+///
+/// `assemble(&disassemble(code)) == code` holds for every input (the
+/// round-trip property tested below), because truncated operands are stored
+/// verbatim.
+pub fn assemble_instructions(instructions: &[Instruction]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(instructions.iter().map(Instruction::encoded_len).sum());
+    for ins in instructions {
+        out.push(ins.byte);
+        out.extend_from_slice(&ins.operand);
+    }
+    out
+}
+
+/// Renders the paper's `.csv` disassembly format: one
+/// `offset,mnemonic,operand,gas` row per instruction, with a header.
+pub fn to_csv(instructions: &[Instruction]) -> String {
+    let mut s = String::from("offset,mnemonic,operand,gas\n");
+    for ins in instructions {
+        use std::fmt::Write;
+        writeln!(s, "{},{},{},{}", ins.offset, ins.mnemonic(), ins.operand_hex(), ins.gas())
+            .expect("writing to a String cannot fail");
+    }
+    s
+}
+
+/// Extracts just the mnemonic sequence (the input to sequence models).
+pub fn mnemonics(instructions: &[Instruction]) -> Vec<&'static str> {
+    instructions.iter().map(Instruction::mnemonic).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_example_6080604052() {
+        // The paper: 0x6080604052 disassembles to
+        // (PUSH1, 0x80, 3), (PUSH1, 0x40, 3), (MSTORE, NaN, 3).
+        let ins = disassemble(&[0x60, 0x80, 0x60, 0x40, 0x52]);
+        assert_eq!(ins.len(), 3);
+        assert_eq!(ins[0].to_string(), "(PUSH1, 0x80, 3)");
+        assert_eq!(ins[1].to_string(), "(PUSH1, 0x40, 3)");
+        assert_eq!(ins[2].to_string(), "(MSTORE, NaN, 3)");
+        assert_eq!(ins[2].offset, 4);
+    }
+
+    #[test]
+    fn push0_supported() {
+        let ins = disassemble(&[0x5F, 0x00]);
+        assert_eq!(ins[0].mnemonic(), "PUSH0");
+        assert!(ins[0].operand.is_empty());
+        assert_eq!(ins[1].mnemonic(), "STOP");
+    }
+
+    #[test]
+    fn undefined_bytes_become_invalid() {
+        let ins = disassemble(&[0x0C, 0xFE, 0xEF]);
+        assert_eq!(ins.len(), 3);
+        for i in &ins {
+            assert_eq!(i.mnemonic(), "INVALID");
+            assert_eq!(i.gas(), crate::opcode::Gas::Nan);
+        }
+        // Only 0xFE is *defined* as INVALID; the others are undefined bytes.
+        assert!(!ins[0].is_defined());
+        assert!(ins[1].is_defined());
+        assert!(!ins[2].is_defined());
+    }
+
+    #[test]
+    fn truncated_push_at_end() {
+        // PUSH32 with only 2 operand bytes available.
+        let ins = disassemble(&[0x7F, 0xAA, 0xBB]);
+        assert_eq!(ins.len(), 1);
+        assert!(ins[0].truncated);
+        assert_eq!(ins[0].operand, vec![0xAA, 0xBB]);
+    }
+
+    #[test]
+    fn empty_code() {
+        assert!(disassemble(&[]).is_empty());
+    }
+
+    #[test]
+    fn csv_format() {
+        let csv = to_csv(&disassemble(&[0x60, 0x80, 0x00]));
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("offset,mnemonic,operand,gas"));
+        assert_eq!(lines.next(), Some("0,PUSH1,0x80,3"));
+        assert_eq!(lines.next(), Some("2,STOP,NaN,0"));
+    }
+
+    #[test]
+    fn offsets_account_for_immediates() {
+        // PUSH2 0x0102, ADD, PUSH1 0x00
+        let ins = disassemble(&[0x61, 0x01, 0x02, 0x01, 0x60, 0x00]);
+        assert_eq!(ins[0].offset, 0);
+        assert_eq!(ins[1].offset, 3);
+        assert_eq!(ins[2].offset, 4);
+    }
+
+    proptest! {
+        #[test]
+        fn disassemble_assemble_roundtrip(code in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let ins = disassemble(&code);
+            prop_assert_eq!(assemble_instructions(&ins), code);
+        }
+
+        #[test]
+        fn encoded_lengths_sum_to_code_len(code in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let ins = disassemble(&code);
+            let total: usize = ins.iter().map(Instruction::encoded_len).sum();
+            prop_assert_eq!(total, code.len());
+        }
+
+        #[test]
+        fn offsets_are_strictly_increasing(code in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let ins = disassemble(&code);
+            for w in ins.windows(2) {
+                prop_assert!(w[0].offset < w[1].offset);
+            }
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Interpreter conformance suite: one assertion per opcode semantics,
+//! expressed as (program → returned word) table tests.
+
+use phishinghook_evm::asm::Asm;
+use phishinghook_evm::interp::{Interpreter, Status};
+use phishinghook_evm::U256;
+
+/// Runs `build` on a fresh program that must end by returning one word.
+fn run_word(build: impl FnOnce(&mut Asm)) -> U256 {
+    let mut asm = Asm::new();
+    build(&mut asm);
+    asm.op("PUSH0").op("MSTORE");
+    asm.push_u64(32).op("PUSH0").op("RETURN");
+    let code = asm.assemble().expect("program assembles");
+    let result = Interpreter::new().run(&code);
+    assert_eq!(result.status, Status::Success, "program halted: {result:?}");
+    U256::from_be_bytes(&result.output)
+}
+
+fn w(v: u64) -> U256 {
+    U256::from_u64(v)
+}
+
+#[test]
+fn arithmetic_opcodes() {
+    assert_eq!(run_word(|a| { a.push_u64(3).push_u64(10).op("ADD"); }), w(13));
+    assert_eq!(run_word(|a| { a.push_u64(3).push_u64(10).op("MUL"); }), w(30));
+    assert_eq!(run_word(|a| { a.push_u64(3).push_u64(10).op("SUB"); }), w(7));
+    assert_eq!(run_word(|a| { a.push_u64(3).push_u64(10).op("DIV"); }), w(3));
+    assert_eq!(run_word(|a| { a.push_u64(3).push_u64(10).op("MOD"); }), w(1));
+    assert_eq!(run_word(|a| { a.push_u64(0).push_u64(10).op("DIV"); }), U256::ZERO);
+    // EXP: 2^8. Stack order: EXP pops base first.
+    assert_eq!(run_word(|a| { a.push_u64(8).push_u64(2).op("EXP"); }), w(256));
+}
+
+#[test]
+fn modular_arithmetic_opcodes() {
+    // ADDMOD pops a, b, N: (10 + 9) % 8 = 3.
+    assert_eq!(
+        run_word(|a| { a.push_u64(8).push_u64(9).push_u64(10).op("ADDMOD"); }),
+        w(3)
+    );
+    // MULMOD: (10 * 9) % 8 = 2.
+    assert_eq!(
+        run_word(|a| { a.push_u64(8).push_u64(9).push_u64(10).op("MULMOD"); }),
+        w(2)
+    );
+}
+
+#[test]
+fn signed_opcodes() {
+    // SDIV: -8 / 2 = -4.
+    let minus_eight = U256::ZERO.wrapping_sub(w(8));
+    let got = run_word(|a| {
+        a.push_u64(2).push(&minus_eight.to_be_bytes()).op("SDIV");
+    });
+    assert_eq!(got, U256::ZERO.wrapping_sub(w(4)));
+    // SIGNEXTEND byte 0 of 0xFF → all ones.
+    let got = run_word(|a| {
+        a.push_u64(0xFF).push_u64(0).op("SIGNEXTEND");
+    });
+    assert_eq!(got, U256::MAX);
+    // SLT: -1 < 0 → 1.
+    let got = run_word(|a| {
+        a.push_u64(0).push(&U256::MAX.to_be_bytes()).op("SLT");
+    });
+    assert_eq!(got, w(1));
+    // SGT: 1 > -1 → 1.
+    let got = run_word(|a| {
+        a.push(&U256::MAX.to_be_bytes()).push_u64(1).op("SGT");
+    });
+    assert_eq!(got, w(1));
+}
+
+#[test]
+fn comparison_and_bitwise_opcodes() {
+    assert_eq!(run_word(|a| { a.push_u64(5).push_u64(3).op("LT"); }), w(1));
+    assert_eq!(run_word(|a| { a.push_u64(3).push_u64(5).op("GT"); }), w(1));
+    assert_eq!(run_word(|a| { a.push_u64(7).push_u64(7).op("EQ"); }), w(1));
+    assert_eq!(run_word(|a| { a.push_u64(0).op("ISZERO"); }), w(1));
+    assert_eq!(run_word(|a| { a.push_u64(0b1100).push_u64(0b1010).op("AND"); }), w(0b1000));
+    assert_eq!(run_word(|a| { a.push_u64(0b1100).push_u64(0b1010).op("OR"); }), w(0b1110));
+    assert_eq!(run_word(|a| { a.push_u64(0b1100).push_u64(0b1010).op("XOR"); }), w(0b0110));
+    assert_eq!(run_word(|a| { a.push_u64(0).op("NOT"); }), U256::MAX);
+    // BYTE 31 of 0xAB = 0xAB.
+    assert_eq!(run_word(|a| { a.push_u64(0xAB).push_u64(31).op("BYTE"); }), w(0xAB));
+}
+
+#[test]
+fn shift_opcodes() {
+    // SHL pops shift then value.
+    assert_eq!(run_word(|a| { a.push_u64(1).push_u64(4).op("SHL"); }), w(16));
+    assert_eq!(run_word(|a| { a.push_u64(16).push_u64(4).op("SHR"); }), w(1));
+    // SAR on -16 by 2 = -4.
+    let minus_sixteen = U256::ZERO.wrapping_sub(w(16));
+    let got = run_word(|a| {
+        a.push(&minus_sixteen.to_be_bytes()).push_u64(2).op("SAR");
+    });
+    assert_eq!(got, U256::ZERO.wrapping_sub(w(4)));
+}
+
+#[test]
+fn memory_opcodes() {
+    // MSTORE8 writes a single byte; MLOAD reads the word around it.
+    let got = run_word(|a| {
+        a.push_u64(0xAB).push_u64(31).op("MSTORE8");
+        a.op("PUSH0").op("MLOAD");
+    });
+    assert_eq!(got, w(0xAB));
+    // MSIZE reflects the touched extent (one word after an MSTORE8 at 0).
+    let got = run_word(|a| {
+        a.push_u64(1).push_u64(0).op("MSTORE8");
+        a.op("MSIZE");
+    });
+    assert_eq!(got, w(32));
+}
+
+#[test]
+fn pc_and_codesize() {
+    // PC at offset 0 is 0.
+    assert_eq!(run_word(|a| { a.op("PC"); }), U256::ZERO);
+    let got = run_word(|a| {
+        a.op("CODESIZE");
+    });
+    // Program: CODESIZE PUSH0 MSTORE PUSH1 32 PUSH0 RETURN = 1+1+1+2+1+1 = 7 bytes.
+    assert_eq!(got, w(7));
+}
+
+#[test]
+fn codecopy_reads_own_code() {
+    // Copy the first byte of code (CODESIZE = 0x38) to memory and return it.
+    let mut asm = Asm::new();
+    asm.push_u64(1).op("PUSH0").op("PUSH0").op("CODECOPY");
+    asm.op("PUSH0").op("MLOAD");
+    asm.op("PUSH0").op("MSTORE");
+    asm.push_u64(32).op("PUSH0").op("RETURN");
+    let code = asm.assemble().expect("assembles");
+    let result = Interpreter::new().run(&code);
+    assert_eq!(result.status, Status::Success);
+    // First code byte is PUSH1 (0x60), placed at the top byte of the word.
+    assert_eq!(result.output[0], 0x60);
+}
+
+#[test]
+fn calldatacopy_and_size() {
+    let mut asm = Asm::new();
+    asm.push_u64(32).op("PUSH0").op("PUSH0").op("CALLDATACOPY");
+    asm.op("PUSH0").op("MLOAD").op("PUSH0").op("MSTORE");
+    asm.push_u64(32).op("PUSH0").op("RETURN");
+    let code = asm.assemble().expect("assembles");
+    let mut interp = Interpreter::new();
+    let mut calldata = vec![0u8; 32];
+    calldata[0] = 0x7F;
+    let result = interp.run_call(&code, &calldata);
+    assert_eq!(result.output[0], 0x7F);
+
+    let got = run_word(|a| {
+        a.op("CALLDATASIZE");
+    });
+    assert_eq!(got, U256::ZERO);
+}
+
+#[test]
+fn log_charges_per_byte() {
+    // LOG1 over 64 bytes costs more than over 0 bytes.
+    let run_gas = |len: u64| {
+        let mut asm = Asm::new();
+        asm.push_u64(7); // topic
+        asm.push_u64(len).op("PUSH0").op("LOG1").op("STOP");
+        let code = asm.assemble().expect("assembles");
+        Interpreter::new().run(&code).gas_used
+    };
+    assert!(run_gas(64) > run_gas(0) + 8 * 63);
+}
+
+#[test]
+fn environment_block_opcodes() {
+    let mut interp = Interpreter::new();
+    interp.env.chain_id = U256::from_u64(5);
+    interp.env.base_fee = U256::from_u64(9);
+    let mut asm = Asm::new();
+    asm.op("CHAINID").op("BASEFEE").op("ADD");
+    asm.op("PUSH0").op("MSTORE");
+    asm.push_u64(32).op("PUSH0").op("RETURN");
+    let code = asm.assemble().expect("assembles");
+    let result = interp.run(&code);
+    assert_eq!(U256::from_be_bytes(&result.output), w(14));
+}
+
+#[test]
+fn deep_dup_and_swap() {
+    // DUP16 and SWAP16 at full depth.
+    let got = run_word(|a| {
+        for i in 1..=16u64 {
+            a.push_u64(i);
+        }
+        a.op("DUP16"); // duplicates the deepest (value 1)
+        for _ in 0..16 {
+            a.op("SWAP1").op("POP");
+        }
+    });
+    assert_eq!(got, w(1));
+}
+
+#[test]
+fn stack_overflow_detected() {
+    let mut asm = Asm::new();
+    asm.label("loop");
+    asm.push_u64(1);
+    asm.jump("loop");
+    let code = asm.assemble().expect("assembles");
+    let mut interp = Interpreter::new();
+    interp.gas_limit = 100_000_000;
+    let result = interp.run(&code);
+    assert!(matches!(
+        result.status,
+        Status::Halted(phishinghook_evm::Halt::StackOverflow)
+    ));
+}

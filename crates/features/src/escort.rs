@@ -1,0 +1,144 @@
+//! ESCORT's bytecode embedding features and vulnerability pseudo-labels.
+//!
+//! ESCORT (paper §IV-B) "embeds the smart contract bytecode into a vector
+//! space" and feeds a DNN whose trunk is trained on *code-vulnerability*
+//! classes, then transferred to new tasks by attaching a fresh head. The
+//! paper finds it ineffective on phishing — a social-engineering class —
+//! because its transferred representation encodes technical code properties,
+//! not scam intent.
+//!
+//! This module supplies both halves of that mechanism: a hashed byte-trigram
+//! embedding (the vector space) and the vulnerability-style pseudo-labels
+//! (`SELFDESTRUCT` presence, `DELEGATECALL` presence, state-write-after-call
+//! reentrancy shape) the trunk pretrains on.
+
+use phishinghook_evm::disasm::disassemble;
+use phishinghook_ml::Matrix;
+
+/// Dimension of the hashed embedding.
+pub const EMBED_DIM: usize = 64;
+
+/// Hashed byte-trigram embedding of a bytecode (feature hashing into
+/// [`EMBED_DIM`] buckets, L2-normalized).
+pub fn embed(code: &[u8]) -> Vec<f64> {
+    let mut out = vec![0.0f64; EMBED_DIM];
+    for window in code.windows(3) {
+        let mut h = 0xcbf29ce484222325u64; // FNV-1a
+        for &b in window {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        out[(h % EMBED_DIM as u64) as usize] += 1.0;
+    }
+    let norm = out.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for v in &mut out {
+            *v /= norm;
+        }
+    }
+    out
+}
+
+/// Embeds many bytecodes into a feature matrix.
+pub fn embed_all(codes: &[&[u8]]) -> Matrix {
+    Matrix::from_rows(&codes.iter().map(|c| embed(c)).collect::<Vec<_>>())
+}
+
+/// The vulnerability classes ESCORT's trunk pretrains on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VulnerabilityClass {
+    /// Contains `SELFDESTRUCT`.
+    SelfDestruct,
+    /// Contains `DELEGATECALL`.
+    DelegateCall,
+    /// Writes storage after an external call (the reentrancy shape).
+    StateWriteAfterCall,
+}
+
+/// All pretraining classes, in label order.
+pub const VULN_CLASSES: [VulnerabilityClass; 3] = [
+    VulnerabilityClass::SelfDestruct,
+    VulnerabilityClass::DelegateCall,
+    VulnerabilityClass::StateWriteAfterCall,
+];
+
+/// Multi-hot vulnerability pseudo-labels of a bytecode, derived statically
+/// from its disassembly (this is what a vulnerability-detection corpus
+/// would provide).
+pub fn vulnerability_labels(code: &[u8]) -> [bool; 3] {
+    let ins = disassemble(code);
+    let mut has_selfdestruct = false;
+    let mut has_delegatecall = false;
+    let mut seen_call = false;
+    let mut write_after_call = false;
+    for i in &ins {
+        match i.mnemonic() {
+            "SELFDESTRUCT" => has_selfdestruct = true,
+            "DELEGATECALL" => has_delegatecall = true,
+            "CALL" | "CALLCODE" | "STATICCALL" => seen_call = true,
+            "SSTORE" if seen_call => write_after_call = true,
+            _ => {}
+        }
+    }
+    [has_selfdestruct, has_delegatecall, write_after_call]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn embedding_is_unit_norm() {
+        let v = embed(&[0x60, 0x80, 0x60, 0x40, 0x52, 0x00, 0xFF]);
+        let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_code_embeds_to_zero() {
+        assert_eq!(embed(&[0x60]), vec![0.0; EMBED_DIM]);
+    }
+
+    #[test]
+    fn labels_detect_selfdestruct() {
+        // PUSH0 SELFDESTRUCT
+        let labels = vulnerability_labels(&[0x5F, 0xFF]);
+        assert_eq!(labels, [true, false, false]);
+    }
+
+    #[test]
+    fn labels_detect_delegatecall() {
+        let labels = vulnerability_labels(&[0xF4]);
+        assert_eq!(labels, [false, true, false]);
+    }
+
+    #[test]
+    fn labels_detect_write_after_call() {
+        // CALL … SSTORE = reentrancy shape; SSTORE before CALL is not.
+        assert_eq!(vulnerability_labels(&[0xF1, 0x55]), [false, false, true]);
+        assert_eq!(vulnerability_labels(&[0x55, 0xF1]), [false, false, false]);
+    }
+
+    #[test]
+    fn matrix_shape() {
+        let a: &[u8] = &[1, 2, 3, 4];
+        let b: &[u8] = &[5, 6, 7];
+        let m = embed_all(&[a, b]);
+        assert_eq!((m.rows(), m.cols()), (2, EMBED_DIM));
+    }
+
+    proptest! {
+        #[test]
+        fn embedding_deterministic(code in proptest::collection::vec(any::<u8>(), 0..128)) {
+            prop_assert_eq!(embed(&code), embed(&code));
+        }
+
+        #[test]
+        fn norm_is_zero_or_one(code in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let v = embed(&code);
+            let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            prop_assert!(norm.abs() < 1e-9 || (norm - 1.0).abs() < 1e-9);
+        }
+    }
+}

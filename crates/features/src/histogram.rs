@@ -1,0 +1,121 @@
+//! Opcode-occurrence histograms — the HSC feature (paper §IV-B).
+//!
+//! "For each contract bytecode, a histogram of the occurrences of opcodes is
+//! created. It builds a vector of length equal to the number of unique
+//! opcodes inside the training set. The vector is directly served as input
+//! (i.e., without normalized nor standardized steps)…"
+
+use phishinghook_evm::disasm::disassemble;
+use phishinghook_ml::Matrix;
+use std::collections::HashMap;
+
+/// Maps opcode mnemonics to histogram columns. The vocabulary is fixed at
+/// fit time from the *training* bytecodes only (mnemonics never seen in
+/// training are ignored at transform time, matching the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramExtractor {
+    columns: Vec<&'static str>,
+    index: HashMap<&'static str, usize>,
+}
+
+impl HistogramExtractor {
+    /// Builds the vocabulary from training bytecodes.
+    pub fn fit(train: &[&[u8]]) -> Self {
+        let mut index = HashMap::new();
+        let mut columns = Vec::new();
+        for code in train {
+            for ins in disassemble(code) {
+                let m = ins.mnemonic();
+                if !index.contains_key(m) {
+                    index.insert(m, columns.len());
+                    columns.push(m);
+                }
+            }
+        }
+        HistogramExtractor { columns, index }
+    }
+
+    /// The histogram column names, in column order.
+    pub fn columns(&self) -> &[&'static str] {
+        &self.columns
+    }
+
+    /// Number of features (unique training-set opcodes).
+    pub fn n_features(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Histogram of one bytecode (raw counts, unnormalized).
+    pub fn transform_one(&self, code: &[u8]) -> Vec<f64> {
+        let mut row = vec![0.0; self.columns.len()];
+        for ins in disassemble(code) {
+            if let Some(&j) = self.index.get(ins.mnemonic()) {
+                row[j] += 1.0;
+            }
+        }
+        row
+    }
+
+    /// Histograms of many bytecodes as a feature matrix.
+    pub fn transform(&self, codes: &[&[u8]]) -> Matrix {
+        let rows: Vec<Vec<f64>> = codes.iter().map(|c| self.transform_one(c)).collect();
+        Matrix::from_rows(&rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn vocabulary_comes_from_training_set() {
+        // Train on PUSH1/MSTORE only; ADD at transform time is ignored.
+        let train: Vec<&[u8]> = vec![&[0x60, 0x80, 0x52]];
+        let ex = HistogramExtractor::fit(&train);
+        assert_eq!(ex.n_features(), 2);
+        let row = ex.transform_one(&[0x60, 0x01, 0x01, 0x01]); // PUSH1 + ADDs
+        assert_eq!(row, vec![1.0, 0.0]); // only PUSH1 counted
+    }
+
+    #[test]
+    fn counts_match_disassembly() {
+        let code = [0x60, 0x80, 0x60, 0x40, 0x52, 0x00]; // PUSH1 ×2, MSTORE, STOP
+        let ex = HistogramExtractor::fit(&[&code]);
+        let row = ex.transform_one(&code);
+        let push1 = ex.columns().iter().position(|&m| m == "PUSH1").unwrap();
+        let mstore = ex.columns().iter().position(|&m| m == "MSTORE").unwrap();
+        assert_eq!(row[push1], 2.0);
+        assert_eq!(row[mstore], 1.0);
+    }
+
+    #[test]
+    fn invalid_bytes_share_one_bucket() {
+        let code = [0x0C, 0xFE, 0xEF]; // three INVALID-class bytes
+        let ex = HistogramExtractor::fit(&[&code]);
+        assert_eq!(ex.n_features(), 1);
+        assert_eq!(ex.columns()[0], "INVALID");
+        assert_eq!(ex.transform_one(&code), vec![3.0]);
+    }
+
+    #[test]
+    fn matrix_shape() {
+        let a: &[u8] = &[0x60, 0x80];
+        let b: &[u8] = &[0x00];
+        let ex = HistogramExtractor::fit(&[a, b]);
+        let m = ex.transform(&[a, b]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), ex.n_features());
+    }
+
+    proptest! {
+        #[test]
+        fn histogram_sums_to_instruction_count(code in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let ex = HistogramExtractor::fit(&[code.as_slice()]);
+            let row = ex.transform_one(&code);
+            let total: f64 = row.iter().sum();
+            let n_ins = disassemble(&code).len();
+            prop_assert_eq!(total as usize, n_ins);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Bytecode-to-image encodings for the vision models.
+//!
+//! * [`r2d2_image`] — the R2D2 encoding (paper §IV-B, ViT+R2D2 and
+//!   ECA+EfficientNet): consecutive bytecode bytes become RGB pixel
+//!   channels, arranged into a fixed-size square tensor with zero padding.
+//! * [`FreqLookup`] / [`freq_image`] — the ViT+Freq encoding: each
+//!   disassembled instruction becomes one pixel whose R/G/B intensities are
+//!   the *training-set frequencies* of its mnemonic, operand and gas cost
+//!   ("assigning higher pixel intensity values … to the most frequently
+//!   encountered mnemonics, operands and gas consumptions"). The lookup
+//!   table is built exactly once on the training set.
+
+use phishinghook_evm::disasm::{disassemble, Instruction};
+use std::collections::HashMap;
+
+/// Encodes bytecode as a `[3, size, size]` channel-first tensor in `[0, 1]`
+/// (bytes beyond `3·size²` are truncated; shorter inputs are zero-padded).
+pub fn r2d2_image(code: &[u8], size: usize) -> Vec<f32> {
+    let hw = size * size;
+    let mut out = vec![0.0f32; 3 * hw];
+    for (i, &byte) in code.iter().take(3 * hw).enumerate() {
+        // Byte stream is interleaved RGB: pixel p channel c at index 3p+c.
+        let (pixel, channel) = (i / 3, i % 3);
+        out[channel * hw + pixel] = f32::from(byte) / 255.0;
+    }
+    out
+}
+
+/// Frequency lookup table fitted on the training disassemblies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FreqLookup {
+    mnemonic_freq: HashMap<&'static str, f32>,
+    operand_freq: HashMap<Vec<u8>, f32>,
+    gas_freq: HashMap<u64, f32>,
+}
+
+impl FreqLookup {
+    /// Builds the table from training bytecodes ("constructed exactly once
+    /// on the entire contract training set").
+    pub fn fit(train: &[&[u8]]) -> Self {
+        let mut mnemonic_counts: HashMap<&'static str, u64> = HashMap::new();
+        let mut operand_counts: HashMap<Vec<u8>, u64> = HashMap::new();
+        let mut gas_counts: HashMap<u64, u64> = HashMap::new();
+        let mut total = 0u64;
+        for code in train {
+            for ins in disassemble(code) {
+                *mnemonic_counts.entry(ins.mnemonic()).or_default() += 1;
+                *operand_counts.entry(ins.operand.clone()).or_default() += 1;
+                *gas_counts.entry(ins.gas().as_u64().unwrap_or(0)).or_default() += 1;
+                total += 1;
+            }
+        }
+        fn normalize<K: std::hash::Hash + Eq>(max: u64, counts: HashMap<K, u64>) -> HashMap<K, f32> {
+            counts
+                .into_iter()
+                .map(|(k, v)| (k, (v as f32 / max.max(1) as f32).min(1.0)))
+                .collect()
+        }
+        let max_mn = mnemonic_counts.values().copied().max().unwrap_or(1);
+        let max_op = operand_counts.values().copied().max().unwrap_or(1);
+        let max_gas = gas_counts.values().copied().max().unwrap_or(1);
+        let _ = total;
+        FreqLookup {
+            mnemonic_freq: normalize(max_mn, mnemonic_counts),
+            operand_freq: normalize(max_op, operand_counts),
+            gas_freq: normalize(max_gas, gas_counts),
+        }
+    }
+
+    /// The `(R, G, B)` intensity of one instruction (zero for unseen keys).
+    pub fn pixel(&self, ins: &Instruction) -> (f32, f32, f32) {
+        let r = self.mnemonic_freq.get(ins.mnemonic()).copied().unwrap_or(0.0);
+        let g = self.operand_freq.get(&ins.operand).copied().unwrap_or(0.0);
+        let b = self
+            .gas_freq
+            .get(&ins.gas().as_u64().unwrap_or(0))
+            .copied()
+            .unwrap_or(0.0);
+        (r, g, b)
+    }
+}
+
+/// Encodes a bytecode as a `[3, size, size]` frequency image: one pixel per
+/// instruction, truncated/zero-padded to `size²` instructions.
+pub fn freq_image(code: &[u8], lookup: &FreqLookup, size: usize) -> Vec<f32> {
+    let hw = size * size;
+    let mut out = vec![0.0f32; 3 * hw];
+    for (p, ins) in disassemble(code).iter().take(hw).enumerate() {
+        let (r, g, b) = lookup.pixel(ins);
+        out[p] = r;
+        out[hw + p] = g;
+        out[2 * hw + p] = b;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn r2d2_maps_bytes_to_channels() {
+        let img = r2d2_image(&[255, 0, 128], 2);
+        let hw = 4;
+        assert_eq!(img.len(), 12);
+        assert_eq!(img[0], 1.0); // R of pixel 0
+        assert_eq!(img[hw], 0.0); // G of pixel 0
+        assert!((img[2 * hw] - 128.0 / 255.0).abs() < 1e-6); // B of pixel 0
+    }
+
+    #[test]
+    fn r2d2_zero_pads_and_truncates() {
+        let short = r2d2_image(&[10], 4);
+        assert_eq!(short.iter().filter(|&&v| v != 0.0).count(), 1);
+        let long = r2d2_image(&vec![1u8; 1000], 2); // 3*4 = 12 bytes kept
+        assert_eq!(long.len(), 12);
+        assert!(long.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn freq_lookup_prefers_frequent_mnemonics() {
+        // PUSH1 appears twice as often as MSTORE.
+        let train: Vec<&[u8]> = vec![&[0x60, 0x01, 0x60, 0x02, 0x52]];
+        let lookup = FreqLookup::fit(&train);
+        let ins = disassemble(&[0x60, 0x01, 0x52]);
+        let (r_push, _, _) = lookup.pixel(&ins[0]);
+        let (r_mstore, _, _) = lookup.pixel(&ins[1]);
+        assert!(r_push > r_mstore, "push={r_push} mstore={r_mstore}");
+        assert_eq!(r_push, 1.0); // most frequent mnemonic saturates
+    }
+
+    #[test]
+    fn unseen_keys_are_zero() {
+        let train: Vec<&[u8]> = vec![&[0x60, 0x01]];
+        let lookup = FreqLookup::fit(&train);
+        let ins = disassemble(&[0x00]); // STOP never seen in training
+        assert_eq!(lookup.pixel(&ins[0]), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn freq_image_places_one_pixel_per_instruction() {
+        let code = [0x60, 0x80, 0x60, 0x40, 0x52];
+        let lookup = FreqLookup::fit(&[&code]);
+        let img = freq_image(&code, &lookup, 4);
+        let hw = 16;
+        // Three instructions → three non-zero R pixels.
+        let r_nonzero = img[..hw].iter().filter(|&&v| v > 0.0).count();
+        assert_eq!(r_nonzero, 3);
+    }
+
+    proptest! {
+        #[test]
+        fn images_are_bounded(code in proptest::collection::vec(any::<u8>(), 0..512)) {
+            for v in r2d2_image(&code, 8) {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+            let lookup = FreqLookup::fit(&[code.as_slice()]);
+            for v in freq_image(&code, &lookup, 8) {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+        }
+
+        #[test]
+        fn image_sizes_are_exact(code in proptest::collection::vec(any::<u8>(), 0..128), size in 1usize..12) {
+            prop_assert_eq!(r2d2_image(&code, size).len(), 3 * size * size);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Feature extraction for opcode-based phishing detection.
+//!
+//! One module per feature path in the paper's model zoo:
+//!
+//! | Module | Models served | Paper feature |
+//! |--------|---------------|---------------|
+//! | [`histogram`] | the 7 HSCs | raw opcode-occurrence histograms |
+//! | [`image`] | ViT+R2D2, ECA+EfficientNet, ViT+Freq | RGB byte images / frequency-encoded images |
+//! | [`ngram`] | SCSGuard | 3-byte ("6 hex chars") bigram vocabulary |
+//! | [`tokenize`] | GPT-2α/β, T5α/β | byte tokens, truncation (α) vs sliding window (β) |
+//! | [`escort`] | ESCORT | hashed bytecode embedding + vulnerability pseudo-labels |
+
+pub mod escort;
+pub mod histogram;
+pub mod image;
+pub mod ngram;
+pub mod tokenize;
+
+pub use histogram::HistogramExtractor;
+pub use image::{freq_image, r2d2_image, FreqLookup};
+pub use ngram::BigramVocab;
+pub use tokenize::{tokenize, Tokenization};

@@ -1,0 +1,134 @@
+//! SCSGuard's n-gram encoding (paper §IV-B).
+//!
+//! "Each hexadecimal string within the bytecode is read as a bigram
+//! (sequences of 6 characters). These bigrams are numerically encoded to
+//! create a vocabulary (i.e., a list of integers), and the sequences are
+//! padded to uniform lengths…" — six hex characters are three raw bytes, so
+//! the unit is a 3-byte chunk.
+
+use std::collections::HashMap;
+
+/// Reserved id for padding.
+pub const PAD: usize = 0;
+/// Reserved id for out-of-vocabulary chunks.
+pub const UNK: usize = 1;
+
+/// Vocabulary over 3-byte bytecode chunks, fitted on the training set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BigramVocab {
+    ids: HashMap<[u8; 3], usize>,
+    max_len: usize,
+}
+
+impl BigramVocab {
+    /// Builds a vocabulary of the `max_vocab` most frequent chunks and
+    /// fixes the padded sequence length to `max_len`.
+    pub fn fit(train: &[&[u8]], max_vocab: usize, max_len: usize) -> Self {
+        let mut counts: HashMap<[u8; 3], u64> = HashMap::new();
+        for code in train {
+            for chunk in Self::chunks(code) {
+                *counts.entry(chunk).or_default() += 1;
+            }
+        }
+        let mut by_freq: Vec<([u8; 3], u64)> = counts.into_iter().collect();
+        by_freq.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let ids = by_freq
+            .into_iter()
+            .take(max_vocab.saturating_sub(2))
+            .enumerate()
+            .map(|(i, (chunk, _))| (chunk, i + 2)) // 0 = PAD, 1 = UNK
+            .collect();
+        BigramVocab { ids, max_len }
+    }
+
+    fn chunks(code: &[u8]) -> impl Iterator<Item = [u8; 3]> + '_ {
+        code.chunks(3).map(|c| {
+            let mut chunk = [0u8; 3];
+            chunk[..c.len()].copy_from_slice(c);
+            chunk
+        })
+    }
+
+    /// Vocabulary size including the two reserved ids.
+    pub fn len(&self) -> usize {
+        self.ids.len() + 2
+    }
+
+    /// `true` when only the reserved ids exist.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Padded/truncated id sequence for one bytecode.
+    pub fn encode(&self, code: &[u8]) -> Vec<usize> {
+        let mut out: Vec<usize> = Self::chunks(code)
+            .take(self.max_len)
+            .map(|chunk| self.ids.get(&chunk).copied().unwrap_or(UNK))
+            .collect();
+        out.resize(self.max_len, PAD);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reserved_ids_are_stable() {
+        let vocab = BigramVocab::fit(&[&[1, 2, 3, 4, 5, 6]], 100, 4);
+        let seq = vocab.encode(&[1, 2, 3]);
+        assert!(seq[0] >= 2, "content ids start at 2");
+        assert_eq!(seq[1], PAD);
+    }
+
+    #[test]
+    fn oov_maps_to_unk() {
+        let vocab = BigramVocab::fit(&[&[1, 2, 3]], 100, 2);
+        let seq = vocab.encode(&[9, 9, 9]);
+        assert_eq!(seq[0], UNK);
+    }
+
+    #[test]
+    fn vocab_caps_at_max() {
+        // 10 distinct chunks but max_vocab 5 → 3 content ids + PAD + UNK.
+        let code: Vec<u8> = (0..30).collect();
+        let vocab = BigramVocab::fit(&[code.as_slice()], 5, 10);
+        assert_eq!(vocab.len(), 5);
+    }
+
+    #[test]
+    fn frequent_chunks_win_vocabulary_slots() {
+        // AAA appears 3×, BBB once; with room for one content id, AAA wins.
+        let train: Vec<u8> =
+            vec![0xA, 0xA, 0xA, 0xA, 0xA, 0xA, 0xA, 0xA, 0xA, 0xB, 0xB, 0xB];
+        let vocab = BigramVocab::fit(&[train.as_slice()], 3, 4);
+        assert_eq!(vocab.encode(&[0xA, 0xA, 0xA])[0], 2);
+        assert_eq!(vocab.encode(&[0xB, 0xB, 0xB])[0], UNK);
+    }
+
+    #[test]
+    fn trailing_partial_chunk_is_zero_padded() {
+        let vocab = BigramVocab::fit(&[&[1, 2]], 10, 2);
+        // The training chunk was [1, 2, 0].
+        assert_eq!(vocab.encode(&[1, 2])[0], 2);
+        assert_eq!(vocab.encode(&[1, 2, 0])[0], 2);
+    }
+
+    proptest! {
+        #[test]
+        fn encoded_length_is_fixed(code in proptest::collection::vec(any::<u8>(), 0..200), max_len in 1usize..64) {
+            let vocab = BigramVocab::fit(&[code.as_slice()], 50, max_len);
+            prop_assert_eq!(vocab.encode(&code).len(), max_len);
+        }
+
+        #[test]
+        fn ids_are_within_vocab(code in proptest::collection::vec(any::<u8>(), 0..200)) {
+            let vocab = BigramVocab::fit(&[code.as_slice()], 20, 16);
+            for id in vocab.encode(&code) {
+                prop_assert!(id < vocab.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Byte-level tokenizers for the GPT-2- and T5-style language models.
+//!
+//! The paper uses HuggingFace's `GPT2Tokenizer`/`T5Tokenizer` over the
+//! bytecode text. Offline, the equivalent is a byte-level vocabulary
+//! (256 byte ids + specials) with the two sequence policies the paper
+//! evaluates:
+//!
+//! * **α** — "opcode sequences are truncated to fit model token limits":
+//!   [`Tokenization::Truncate`];
+//! * **β** — "full bytecodes are processed in chunks using a sliding
+//!   window": [`Tokenization::SlidingWindow`].
+
+/// Token id offset of raw bytes (`byte b` ⇒ `id b + 2`).
+pub const BYTE_OFFSET: usize = 2;
+/// Padding token.
+pub const PAD: usize = 0;
+/// Classification/begin-of-sequence token.
+pub const CLS: usize = 1;
+/// Total vocabulary size (256 bytes + 2 specials).
+pub const VOCAB_SIZE: usize = 258;
+
+/// Sequence policy: the α/β distinction from the paper's Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tokenization {
+    /// α: keep the first `max_len` tokens.
+    Truncate {
+        /// Sequence length (CLS included).
+        max_len: usize,
+    },
+    /// β: split into overlapping windows of `window` tokens advancing by
+    /// `stride`.
+    SlidingWindow {
+        /// Window length (CLS included).
+        window: usize,
+        /// Window advance; must be positive.
+        stride: usize,
+    },
+}
+
+/// Tokenizes a bytecode into one or more fixed-length id sequences
+/// (one for α, possibly several for β). Every sequence starts with [`CLS`]
+/// and is padded with [`PAD`].
+pub fn tokenize(code: &[u8], policy: Tokenization) -> Vec<Vec<usize>> {
+    match policy {
+        Tokenization::Truncate { max_len } => {
+            assert!(max_len >= 2, "max_len must fit CLS plus content");
+            vec![window_tokens(code, 0, max_len)]
+        }
+        Tokenization::SlidingWindow { window, stride } => {
+            assert!(window >= 2, "window must fit CLS plus content");
+            assert!(stride > 0, "stride must be positive");
+            let body = window - 1; // CLS occupies one slot
+            let mut out = Vec::new();
+            let mut start = 0;
+            loop {
+                out.push(window_tokens(code, start, window));
+                if start + body >= code.len() {
+                    break;
+                }
+                start += stride;
+            }
+            out
+        }
+    }
+}
+
+fn window_tokens(code: &[u8], start: usize, len: usize) -> Vec<usize> {
+    let mut seq = Vec::with_capacity(len);
+    seq.push(CLS);
+    seq.extend(
+        code.iter()
+            .skip(start)
+            .take(len - 1)
+            .map(|&b| usize::from(b) + BYTE_OFFSET),
+    );
+    seq.resize(len, PAD);
+    seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn alpha_truncates_and_pads() {
+        let seqs = tokenize(&[0x60, 0x80], Tokenization::Truncate { max_len: 5 });
+        assert_eq!(seqs.len(), 1);
+        assert_eq!(seqs[0], vec![CLS, 0x60 + 2, 0x80 + 2, PAD, PAD]);
+
+        let long: Vec<u8> = (0..100).collect();
+        let seqs = tokenize(&long, Tokenization::Truncate { max_len: 5 });
+        assert_eq!(seqs[0].len(), 5);
+        assert_eq!(seqs[0][1], 0 + 2);
+    }
+
+    #[test]
+    fn beta_covers_the_whole_bytecode() {
+        let code: Vec<u8> = (0..10).collect();
+        let seqs = tokenize(&code, Tokenization::SlidingWindow { window: 5, stride: 2 });
+        // Window body = 4 bytes; strides at 0,2,4,6 cover byte 9 (6+4 >= 10).
+        assert_eq!(seqs.len(), 4);
+        // Every byte appears in at least one window.
+        let mut seen = [false; 10];
+        for w in &seqs {
+            for &t in &w[1..] {
+                if t >= BYTE_OFFSET {
+                    seen[t - BYTE_OFFSET] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn beta_on_empty_code_yields_one_padded_window() {
+        let seqs = tokenize(&[], Tokenization::SlidingWindow { window: 4, stride: 2 });
+        assert_eq!(seqs, vec![vec![CLS, PAD, PAD, PAD]]);
+    }
+
+    #[test]
+    fn windows_overlap_with_small_stride() {
+        let code: Vec<u8> = (0..8).collect();
+        let seqs = tokenize(&code, Tokenization::SlidingWindow { window: 5, stride: 2 });
+        // Second window starts at byte 2.
+        assert_eq!(seqs[1][1], 2 + BYTE_OFFSET);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn zero_stride_panics() {
+        let _ = tokenize(&[1], Tokenization::SlidingWindow { window: 4, stride: 0 });
+    }
+
+    proptest! {
+        #[test]
+        fn all_ids_in_vocab(code in proptest::collection::vec(any::<u8>(), 0..300)) {
+            for seq in tokenize(&code, Tokenization::SlidingWindow { window: 16, stride: 8 }) {
+                prop_assert_eq!(seq.len(), 16);
+                for id in seq {
+                    prop_assert!(id < VOCAB_SIZE);
+                }
+            }
+        }
+
+        #[test]
+        fn alpha_always_fixed_length(code in proptest::collection::vec(any::<u8>(), 0..300), n in 2usize..64) {
+            let seqs = tokenize(&code, Tokenization::Truncate { max_len: n });
+            prop_assert_eq!(seqs.len(), 1);
+            prop_assert_eq!(seqs[0].len(), n);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! k-nearest-neighbours classification (brute force, Euclidean metric).
+//!
+//! One of the paper's seven HSCs (90.60% accuracy). Histogram feature vectors
+//! are short (≈ number of distinct opcodes), so brute-force search is fast
+//! enough and exact.
+
+use crate::matrix::Matrix;
+use crate::Classifier;
+
+/// A fitted k-NN model (stores the training set).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct KNearestNeighbors {
+    /// Number of neighbours consulted per prediction.
+    pub k: usize,
+    train_x: Matrix,
+    train_y: Vec<usize>,
+}
+
+impl KNearestNeighbors {
+    /// Creates an unfitted model.
+    ///
+    /// # Panics
+    /// Panics when `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        KNearestNeighbors { k, train_x: Matrix::zeros(0, 0), train_y: Vec::new() }
+    }
+
+    fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+}
+
+impl Classifier for KNearestNeighbors {
+    fn fit(&mut self, x: &Matrix, y: &[usize]) {
+        assert_eq!(x.rows(), y.len(), "x rows must match label count");
+        assert!(x.rows() > 0, "cannot fit on an empty dataset");
+        self.train_x = x.clone();
+        self.train_y = y.to_vec();
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+        assert!(self.train_x.rows() > 0, "predict before fit");
+        let k = self.k.min(self.train_x.rows());
+        x.iter_rows()
+            .map(|row| {
+                let mut dists: Vec<(f64, usize)> = self
+                    .train_x
+                    .iter_rows()
+                    .zip(&self.train_y)
+                    .map(|(t, &label)| (Self::squared_distance(row, t), label))
+                    .collect();
+                // Partial selection of the k smallest distances.
+                dists.select_nth_unstable_by(k - 1, |a, b| {
+                    a.0.partial_cmp(&b.0).expect("finite distances")
+                });
+                let ones: usize = dists[..k].iter().map(|&(_, l)| l).sum();
+                ones as f64 / k as f64
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "k-NN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_nn_memorizes_training_set() {
+        let x = Matrix::from_rows(&[vec![0.0, 0.0], vec![10.0, 10.0], vec![0.0, 10.0]]);
+        let y = vec![0, 1, 0];
+        let mut knn = KNearestNeighbors::new(1);
+        knn.fit(&x, &y);
+        assert_eq!(knn.predict(&x), y);
+    }
+
+    #[test]
+    fn k_larger_than_train_is_clamped() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
+        let y = vec![0, 1];
+        let mut knn = KNearestNeighbors::new(50);
+        knn.fit(&x, &y);
+        assert_eq!(knn.predict_proba(&x), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn majority_vote() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![0.1], vec![0.2], vec![5.0]]);
+        let y = vec![1, 1, 0, 0];
+        let mut knn = KNearestNeighbors::new(3);
+        knn.fit(&x, &y);
+        // Query near the cluster of three: neighbours are labels {1,1,0}.
+        let q = Matrix::from_rows(&[vec![0.05]]);
+        let p = knn.predict_proba(&q);
+        assert!((p[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(knn.predict(&q), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _ = KNearestNeighbors::new(0);
+    }
+
+    #[test]
+    fn distances_use_all_features() {
+        let x = Matrix::from_rows(&[vec![0.0, 0.0], vec![0.0, 100.0]]);
+        let y = vec![0, 1];
+        let mut knn = KNearestNeighbors::new(1);
+        knn.fit(&x, &y);
+        let q = Matrix::from_rows(&[vec![0.0, 99.0]]);
+        assert_eq!(knn.predict(&q), vec![1]);
+    }
+}

@@ -1,0 +1,498 @@
+//! Convolution and pooling ops for the vision models.
+//!
+//! Implements `conv2d` (im2col), `depthwise_conv2d` (per-channel conv, the
+//! ECA/EfficientNet building block) and `global_avg_pool` as custom autograd
+//! ops on [`Tensor`]. Layouts follow PyTorch: activations are `[B, C, H, W]`,
+//! conv weights `[O, C, kH, kW]`, depthwise weights `[C, kH, kW]`.
+
+use super::tensor::Tensor;
+
+fn out_dim(input: usize, kernel: usize, stride: usize, padding: usize) -> usize {
+    (input + 2 * padding - kernel) / stride + 1
+}
+
+impl Tensor {
+    /// 2-D convolution: `self` is `[B, C, H, W]`, `weight` is `[O, C, kH, kW]`.
+    /// Produces `[B, O, H', W']`.
+    ///
+    /// # Panics
+    /// Panics on rank/shape mismatch or when the kernel does not fit.
+    pub fn conv2d(&self, weight: &Tensor, stride: usize, padding: usize) -> Tensor {
+        assert_eq!(self.shape().len(), 4, "conv2d input must be [B, C, H, W]");
+        assert_eq!(weight.shape().len(), 4, "conv2d weight must be [O, C, kH, kW]");
+        let (b, c, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
+        let (o, wc, kh, kw) =
+            (weight.shape()[0], weight.shape()[1], weight.shape()[2], weight.shape()[3]);
+        assert_eq!(c, wc, "conv2d channel mismatch");
+        assert!(stride > 0, "stride must be positive");
+        let oh = out_dim(h, kh, stride, padding);
+        let ow = out_dim(w, kw, stride, padding);
+
+        let x = self.to_vec();
+        let wv = weight.to_vec();
+        let mut out = vec![0.0f32; b * o * oh * ow];
+        let get = |x: &[f32], bi: usize, ci: usize, yi: isize, xi: isize| -> f32 {
+            if yi < 0 || xi < 0 || yi >= h as isize || xi >= w as isize {
+                0.0
+            } else {
+                x[((bi * c + ci) * h + yi as usize) * w + xi as usize]
+            }
+        };
+        for bi in 0..b {
+            for oi in 0..o {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0;
+                        for ci in 0..c {
+                            for ky in 0..kh {
+                                for kx in 0..kw {
+                                    let iy = (oy * stride + ky) as isize - padding as isize;
+                                    let ix = (ox * stride + kx) as isize - padding as isize;
+                                    acc += get(&x, bi, ci, iy, ix)
+                                        * wv[((oi * c + ci) * kh + ky) * kw + kx];
+                                }
+                            }
+                        }
+                        out[((bi * o + oi) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+
+        let (tx, tw) = (self.clone(), weight.clone());
+        Tensor::from_op(
+            out,
+            &[b, o, oh, ow],
+            vec![self.clone(), weight.clone()],
+            Box::new(move |g| {
+                let x = tx.to_vec();
+                let wv = tw.to_vec();
+                if tx.requires_grad() {
+                    let mut dx = vec![0.0f32; x.len()];
+                    for bi in 0..b {
+                        for oi in 0..o {
+                            for oy in 0..oh {
+                                for ox in 0..ow {
+                                    let gv = g[((bi * o + oi) * oh + oy) * ow + ox];
+                                    if gv == 0.0 {
+                                        continue;
+                                    }
+                                    for ci in 0..c {
+                                        for ky in 0..kh {
+                                            for kx in 0..kw {
+                                                let iy = (oy * stride + ky) as isize
+                                                    - padding as isize;
+                                                let ix = (ox * stride + kx) as isize
+                                                    - padding as isize;
+                                                if iy >= 0
+                                                    && ix >= 0
+                                                    && iy < h as isize
+                                                    && ix < w as isize
+                                                {
+                                                    dx[((bi * c + ci) * h + iy as usize) * w
+                                                        + ix as usize] += gv
+                                                        * wv[((oi * c + ci) * kh + ky) * kw + kx];
+                                                }
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    tx.accumulate_grad(&dx);
+                }
+                if tw.requires_grad() {
+                    let mut dw = vec![0.0f32; wv.len()];
+                    for bi in 0..b {
+                        for oi in 0..o {
+                            for oy in 0..oh {
+                                for ox in 0..ow {
+                                    let gv = g[((bi * o + oi) * oh + oy) * ow + ox];
+                                    if gv == 0.0 {
+                                        continue;
+                                    }
+                                    for ci in 0..c {
+                                        for ky in 0..kh {
+                                            for kx in 0..kw {
+                                                let iy = (oy * stride + ky) as isize
+                                                    - padding as isize;
+                                                let ix = (ox * stride + kx) as isize
+                                                    - padding as isize;
+                                                if iy >= 0
+                                                    && ix >= 0
+                                                    && iy < h as isize
+                                                    && ix < w as isize
+                                                {
+                                                    dw[((oi * c + ci) * kh + ky) * kw + kx] += gv
+                                                        * x[((bi * c + ci) * h + iy as usize) * w
+                                                            + ix as usize];
+                                                }
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    tw.accumulate_grad(&dw);
+                }
+            }),
+        )
+    }
+
+    /// Depthwise 2-D convolution: `self` is `[B, C, H, W]`, `weight` is
+    /// `[C, kH, kW]` (one kernel per channel). Produces `[B, C, H', W']`.
+    ///
+    /// # Panics
+    /// Panics on rank/shape mismatch.
+    pub fn depthwise_conv2d(&self, weight: &Tensor, stride: usize, padding: usize) -> Tensor {
+        assert_eq!(self.shape().len(), 4, "depthwise input must be [B, C, H, W]");
+        assert_eq!(weight.shape().len(), 3, "depthwise weight must be [C, kH, kW]");
+        let (b, c, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
+        let (wc, kh, kw) = (weight.shape()[0], weight.shape()[1], weight.shape()[2]);
+        assert_eq!(c, wc, "depthwise channel mismatch");
+        let oh = out_dim(h, kh, stride, padding);
+        let ow = out_dim(w, kw, stride, padding);
+
+        let x = self.to_vec();
+        let wv = weight.to_vec();
+        let mut out = vec![0.0f32; b * c * oh * ow];
+        for bi in 0..b {
+            for ci in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0;
+                        for ky in 0..kh {
+                            for kx in 0..kw {
+                                let iy = (oy * stride + ky) as isize - padding as isize;
+                                let ix = (ox * stride + kx) as isize - padding as isize;
+                                if iy >= 0 && ix >= 0 && iy < h as isize && ix < w as isize {
+                                    acc += x[((bi * c + ci) * h + iy as usize) * w + ix as usize]
+                                        * wv[(ci * kh + ky) * kw + kx];
+                                }
+                            }
+                        }
+                        out[((bi * c + ci) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+
+        let (tx, tw) = (self.clone(), weight.clone());
+        Tensor::from_op(
+            out,
+            &[b, c, oh, ow],
+            vec![self.clone(), weight.clone()],
+            Box::new(move |g| {
+                let x = tx.to_vec();
+                let wv = tw.to_vec();
+                if tx.requires_grad() {
+                    let mut dx = vec![0.0f32; x.len()];
+                    for bi in 0..b {
+                        for ci in 0..c {
+                            for oy in 0..oh {
+                                for ox in 0..ow {
+                                    let gv = g[((bi * c + ci) * oh + oy) * ow + ox];
+                                    if gv == 0.0 {
+                                        continue;
+                                    }
+                                    for ky in 0..kh {
+                                        for kx in 0..kw {
+                                            let iy =
+                                                (oy * stride + ky) as isize - padding as isize;
+                                            let ix =
+                                                (ox * stride + kx) as isize - padding as isize;
+                                            if iy >= 0
+                                                && ix >= 0
+                                                && iy < h as isize
+                                                && ix < w as isize
+                                            {
+                                                dx[((bi * c + ci) * h + iy as usize) * w
+                                                    + ix as usize] +=
+                                                    gv * wv[(ci * kh + ky) * kw + kx];
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    tx.accumulate_grad(&dx);
+                }
+                if tw.requires_grad() {
+                    let mut dw = vec![0.0f32; wv.len()];
+                    for bi in 0..b {
+                        for ci in 0..c {
+                            for oy in 0..oh {
+                                for ox in 0..ow {
+                                    let gv = g[((bi * c + ci) * oh + oy) * ow + ox];
+                                    if gv == 0.0 {
+                                        continue;
+                                    }
+                                    for ky in 0..kh {
+                                        for kx in 0..kw {
+                                            let iy =
+                                                (oy * stride + ky) as isize - padding as isize;
+                                            let ix =
+                                                (ox * stride + kx) as isize - padding as isize;
+                                            if iy >= 0
+                                                && ix >= 0
+                                                && iy < h as isize
+                                                && ix < w as isize
+                                            {
+                                                dw[(ci * kh + ky) * kw + kx] += gv
+                                                    * x[((bi * c + ci) * h + iy as usize) * w
+                                                        + ix as usize];
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    tw.accumulate_grad(&dw);
+                }
+            }),
+        )
+    }
+
+    /// Global average pooling: `[B, C, H, W] -> [B, C]`.
+    ///
+    /// # Panics
+    /// Panics when the tensor is not 4-D.
+    pub fn global_avg_pool(&self) -> Tensor {
+        assert_eq!(self.shape().len(), 4, "global_avg_pool input must be [B, C, H, W]");
+        let (b, c, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
+        let hw = (h * w) as f32;
+        let x = self.data();
+        let mut out = vec![0.0f32; b * c];
+        for bi in 0..b {
+            for ci in 0..c {
+                let base = (bi * c + ci) * h * w;
+                out[bi * c + ci] = x[base..base + h * w].iter().sum::<f32>() / hw;
+            }
+        }
+        drop(x);
+        let t = self.clone();
+        Tensor::from_op(
+            out,
+            &[b, c],
+            vec![self.clone()],
+            Box::new(move |g| {
+                if t.requires_grad() {
+                    let mut dx = vec![0.0f32; b * c * h * w];
+                    for bi in 0..b {
+                        for ci in 0..c {
+                            let gv = g[bi * c + ci] / hw;
+                            let base = (bi * c + ci) * h * w;
+                            for v in &mut dx[base..base + h * w] {
+                                *v = gv;
+                            }
+                        }
+                    }
+                    t.accumulate_grad(&dx);
+                }
+            }),
+        )
+    }
+
+    /// Channel-wise scaling: multiplies `[B, C, H, W]` activations by a
+    /// `[B, C]` gate (the ECA attention apply step).
+    ///
+    /// # Panics
+    /// Panics on rank/shape mismatch.
+    pub fn scale_channels(&self, gate: &Tensor) -> Tensor {
+        assert_eq!(self.shape().len(), 4, "scale_channels input must be [B, C, H, W]");
+        assert_eq!(gate.shape().len(), 2, "gate must be [B, C]");
+        let (b, c, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
+        assert_eq!(gate.shape(), &[b, c], "gate shape mismatch");
+        let hw = h * w;
+        let mut out = vec![0.0f32; b * c * hw];
+        {
+            let x = self.data();
+            let g = gate.data();
+            for bi in 0..b {
+                for ci in 0..c {
+                    let gv = g[bi * c + ci];
+                    let base = (bi * c + ci) * hw;
+                    for k in 0..hw {
+                        out[base + k] = x[base + k] * gv;
+                    }
+                }
+            }
+        }
+        let (tx, tg) = (self.clone(), gate.clone());
+        Tensor::from_op(
+            out,
+            self.shape(),
+            vec![self.clone(), gate.clone()],
+            Box::new(move |grad| {
+                if tx.requires_grad() {
+                    let g = tg.to_vec();
+                    let mut dx = vec![0.0f32; b * c * hw];
+                    for bi in 0..b {
+                        for ci in 0..c {
+                            let gv = g[bi * c + ci];
+                            let base = (bi * c + ci) * hw;
+                            for k in 0..hw {
+                                dx[base + k] = grad[base + k] * gv;
+                            }
+                        }
+                    }
+                    tx.accumulate_grad(&dx);
+                }
+                if tg.requires_grad() {
+                    let x = tx.to_vec();
+                    let mut dg = vec![0.0f32; b * c];
+                    for bi in 0..b {
+                        for ci in 0..c {
+                            let base = (bi * c + ci) * hw;
+                            let mut s = 0.0;
+                            for k in 0..hw {
+                                s += grad[base + k] * x[base + k];
+                            }
+                            dg[bi * c + ci] = s;
+                        }
+                    }
+                    tg.accumulate_grad(&dg);
+                }
+            }),
+        )
+    }
+
+    /// Extracts row `i` of a 2-D tensor as a `[1, D]` tensor; the gradient
+    /// scatters back into that row. Used by the GRU timestep loop.
+    ///
+    /// # Panics
+    /// Panics when the tensor is not 2-D or `i` is out of bounds.
+    pub fn row_slice(&self, i: usize) -> Tensor {
+        assert_eq!(self.shape().len(), 2, "row_slice expects a 2-D tensor");
+        let (n, d) = (self.shape()[0], self.shape()[1]);
+        assert!(i < n, "row {i} out of bounds ({n} rows)");
+        let data = self.data()[i * d..(i + 1) * d].to_vec();
+        let t = self.clone();
+        Tensor::from_op(
+            data,
+            &[1, d],
+            vec![self.clone()],
+            Box::new(move |g| {
+                if t.requires_grad() {
+                    let mut dx = vec![0.0f32; n * d];
+                    dx[i * d..(i + 1) * d].copy_from_slice(g);
+                    t.accumulate_grad(&dx);
+                }
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_grad(t: &Tensor, loss_fn: impl Fn() -> Tensor, tol: f32) {
+        t.zero_grad();
+        let loss = loss_fn();
+        loss.backward();
+        let analytic = t.grad();
+        let eps = 1e-2;
+        for i in 0..t.len() {
+            let orig = t.data()[i];
+            t.update_data(|d| d[i] = orig + eps);
+            let up = loss_fn().item();
+            t.update_data(|d| d[i] = orig - eps);
+            let down = loss_fn().item();
+            t.update_data(|d| d[i] = orig);
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (analytic[i] - numeric).abs() < tol,
+                "grad[{i}]: analytic={} numeric={}",
+                analytic[i],
+                numeric
+            );
+        }
+    }
+
+    #[test]
+    fn conv2d_identity_kernel() {
+        // 1x1 kernel of weight 1.0 = identity.
+        let x = Tensor::new((0..9).map(|i| i as f32).collect(), &[1, 1, 3, 3], false);
+        let w = Tensor::new(vec![1.0], &[1, 1, 1, 1], false);
+        let y = x.conv2d(&w, 1, 0);
+        assert_eq!(y.shape(), &[1, 1, 3, 3]);
+        assert_eq!(y.to_vec(), x.to_vec());
+    }
+
+    #[test]
+    fn conv2d_known_sum_kernel() {
+        // 2x2 all-ones kernel computes sliding-window sums.
+        let x = Tensor::new(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2], false);
+        let w = Tensor::new(vec![1.0; 4], &[1, 1, 2, 2], false);
+        let y = x.conv2d(&w, 1, 0);
+        assert_eq!(y.shape(), &[1, 1, 1, 1]);
+        assert_eq!(y.to_vec(), vec![10.0]);
+    }
+
+    #[test]
+    fn conv2d_stride_and_padding_shapes() {
+        let x = Tensor::zeros(&[2, 3, 8, 8], false);
+        let w = Tensor::zeros(&[4, 3, 3, 3], false);
+        assert_eq!(x.conv2d(&w, 2, 1).shape(), &[2, 4, 4, 4]);
+        assert_eq!(x.conv2d(&w, 1, 1).shape(), &[2, 4, 8, 8]);
+    }
+
+    #[test]
+    fn conv2d_grads() {
+        let x = Tensor::new((0..16).map(|i| 0.1 * i as f32 - 0.8).collect(), &[1, 1, 4, 4], true);
+        let w = Tensor::new(vec![0.5, -0.3, 0.2, 0.7], &[1, 1, 2, 2], true);
+        check_grad(&x, || x.conv2d(&w, 1, 0).sum_all(), 5e-2);
+        check_grad(&w, || x.conv2d(&w, 1, 0).sum_all(), 5e-2);
+        // With stride+padding too.
+        check_grad(&x, || x.conv2d(&w, 2, 1).sum_all(), 5e-2);
+    }
+
+    #[test]
+    fn depthwise_keeps_channels_independent() {
+        // Two channels, kernel scales channel 0 by 1 and channel 1 by 2.
+        let x = Tensor::new(vec![1.0, 1.0, 1.0, 1.0, 3.0, 3.0, 3.0, 3.0], &[1, 2, 2, 2], false);
+        let w = Tensor::new(vec![1.0, 2.0], &[2, 1, 1], false);
+        let y = x.depthwise_conv2d(&w, 1, 0);
+        assert_eq!(y.to_vec(), vec![1.0, 1.0, 1.0, 1.0, 6.0, 6.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn depthwise_grads() {
+        let x = Tensor::new((0..18).map(|i| 0.1 * i as f32).collect(), &[1, 2, 3, 3], true);
+        let w = Tensor::new(vec![0.3, -0.2, 0.5, 0.1, 0.9, -0.4, 0.2, 0.8], &[2, 2, 2], true);
+        check_grad(&x, || x.depthwise_conv2d(&w, 1, 0).sum_all(), 5e-2);
+        check_grad(&w, || x.depthwise_conv2d(&w, 1, 0).sum_all(), 5e-2);
+    }
+
+    #[test]
+    fn global_avg_pool_values_and_grads() {
+        let x = Tensor::new(vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0], &[1, 2, 2, 2], true);
+        let y = x.global_avg_pool();
+        assert_eq!(y.to_vec(), vec![2.5, 10.0]);
+        check_grad(&x, || x.global_avg_pool().sum_all(), 1e-2);
+    }
+
+    #[test]
+    fn scale_channels_values_and_grads() {
+        let x = Tensor::new(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0], &[1, 2, 2, 2], true);
+        let g = Tensor::new(vec![2.0, 0.5], &[1, 2], true);
+        let y = x.scale_channels(&g);
+        assert_eq!(y.to_vec(), vec![2.0, 4.0, 6.0, 8.0, 2.5, 3.0, 3.5, 4.0]);
+        check_grad(&x, || x.scale_channels(&g).sum_all(), 1e-2);
+        check_grad(&g, || x.scale_channels(&g).sum_all(), 5e-2);
+    }
+
+    #[test]
+    fn row_slice_gathers_and_scatters() {
+        let x = Tensor::new(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2], true);
+        let r = x.row_slice(1);
+        assert_eq!(r.to_vec(), vec![3.0, 4.0]);
+        r.sum_all().backward();
+        assert_eq!(x.grad(), vec![0.0, 0.0, 1.0, 1.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,433 @@
+//! Neural-network layers built on the autograd [`Tensor`].
+//!
+//! Covers exactly what the paper's deep models need: dense projections,
+//! token/patch embeddings, layer norm, multi-head self-attention (with an
+//! optional causal mask for the GPT-2-style model), a GRU (SCSGuard's
+//! recurrent core) and a full pre-norm transformer encoder block.
+
+use super::tensor::Tensor;
+use crate::classical::SplitMix;
+
+/// Glorot-uniform initialized weight tensor.
+pub fn glorot(rng: &mut SplitMix, shape: &[usize]) -> Tensor {
+    let fan_in = shape[0] as f64;
+    let fan_out = *shape.last().expect("non-empty shape") as f64;
+    let limit = (6.0 / (fan_in + fan_out)).sqrt();
+    let n: usize = shape.iter().product();
+    let data: Vec<f32> = (0..n).map(|_| ((rng.unit() * 2.0 - 1.0) * limit) as f32).collect();
+    Tensor::new(data, shape, true)
+}
+
+/// Normal(0, σ)-initialized weight tensor.
+pub fn normal_init(rng: &mut SplitMix, shape: &[usize], sigma: f64) -> Tensor {
+    let n: usize = shape.iter().product();
+    let data: Vec<f32> = (0..n).map(|_| (rng.normal() * sigma) as f32).collect();
+    Tensor::new(data, shape, true)
+}
+
+/// A fully connected layer `y = xW + b`.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    /// Weight `[in, out]`.
+    pub w: Tensor,
+    /// Bias `[out]`.
+    pub b: Tensor,
+}
+
+impl Dense {
+    /// Creates a Glorot-initialized layer.
+    pub fn new(rng: &mut SplitMix, input: usize, output: usize) -> Self {
+        Dense { w: glorot(rng, &[input, output]), b: Tensor::zeros(&[output], true) }
+    }
+
+    /// Applies the layer to `[N, in]`, producing `[N, out]`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        x.matmul(&self.w).add_bias(&self.b)
+    }
+
+    /// The trainable parameters.
+    pub fn params(&self) -> Vec<Tensor> {
+        vec![self.w.clone(), self.b.clone()]
+    }
+}
+
+/// A learned embedding table.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    /// Table `[vocab, dim]`.
+    pub table: Tensor,
+}
+
+impl Embedding {
+    /// Creates an N(0, 0.02)-initialized table (GPT-2 convention).
+    pub fn new(rng: &mut SplitMix, vocab: usize, dim: usize) -> Self {
+        Embedding { table: normal_init(rng, &[vocab, dim], 0.02) }
+    }
+
+    /// Gathers rows: `ids -> [ids.len(), dim]`.
+    pub fn forward(&self, ids: &[usize]) -> Tensor {
+        self.table.embedding(ids)
+    }
+
+    /// The trainable parameters.
+    pub fn params(&self) -> Vec<Tensor> {
+        vec![self.table.clone()]
+    }
+}
+
+/// Layer normalization with learnable affine parameters.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    /// Scale `[dim]`, initialized to ones.
+    pub gamma: Tensor,
+    /// Shift `[dim]`, initialized to zeros.
+    pub beta: Tensor,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// Creates an identity-initialized layer norm.
+    pub fn new(dim: usize) -> Self {
+        LayerNorm {
+            gamma: Tensor::new(vec![1.0; dim], &[dim], true),
+            beta: Tensor::zeros(&[dim], true),
+            eps: 1e-5,
+        }
+    }
+
+    /// Normalizes the last axis.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        x.layer_norm(&self.gamma, &self.beta, self.eps)
+    }
+
+    /// The trainable parameters.
+    pub fn params(&self) -> Vec<Tensor> {
+        vec![self.gamma.clone(), self.beta.clone()]
+    }
+}
+
+/// Multi-head self-attention over a `[T, D]` sequence.
+#[derive(Debug, Clone)]
+pub struct MultiHeadAttention {
+    wq: Dense,
+    wk: Dense,
+    wv: Dense,
+    wo: Dense,
+    n_heads: usize,
+    head_dim: usize,
+}
+
+impl MultiHeadAttention {
+    /// Creates an attention block with `n_heads` heads over model dim `dim`.
+    ///
+    /// # Panics
+    /// Panics when `dim % n_heads != 0`.
+    pub fn new(rng: &mut SplitMix, dim: usize, n_heads: usize) -> Self {
+        assert_eq!(dim % n_heads, 0, "dim must be divisible by n_heads");
+        MultiHeadAttention {
+            wq: Dense::new(rng, dim, dim),
+            wk: Dense::new(rng, dim, dim),
+            wv: Dense::new(rng, dim, dim),
+            wo: Dense::new(rng, dim, dim),
+            n_heads,
+            head_dim: dim / n_heads,
+        }
+    }
+
+    /// Self-attention. With `causal = true`, position `t` only attends to
+    /// positions `<= t` (the GPT-2 mask).
+    pub fn forward(&self, x: &Tensor, causal: bool) -> Tensor {
+        let t = x.shape()[0];
+        let d = x.shape()[1];
+        let (h, dh) = (self.n_heads, self.head_dim);
+
+        // [T, D] -> [T, H, Dh] -> [H, T, Dh]
+        let split = |y: Tensor| y.reshape(&[t, h, dh]).swap_axes01();
+        let q = split(self.wq.forward(x));
+        let k = split(self.wk.forward(x));
+        let v = split(self.wv.forward(x));
+
+        // Scores [H, T, T].
+        let mut scores = q.matmul(&k.transpose()).scale(1.0 / (dh as f32).sqrt());
+        if causal {
+            // Additive mask: -1e9 above the diagonal, replicated per head.
+            let mut mask = vec![0.0f32; h * t * t];
+            for head in 0..h {
+                for i in 0..t {
+                    for j in (i + 1)..t {
+                        mask[(head * t + i) * t + j] = -1e9;
+                    }
+                }
+            }
+            scores = scores.add(&Tensor::new(mask, &[h, t, t], false));
+        }
+        let attn = scores.softmax_last();
+        // [H, T, Dh] -> [T, H, Dh] -> [T, D]
+        let ctx = attn.matmul(&v).swap_axes01().reshape(&[t, d]);
+        self.wo.forward(&ctx)
+    }
+
+    /// The trainable parameters.
+    pub fn params(&self) -> Vec<Tensor> {
+        [&self.wq, &self.wk, &self.wv, &self.wo]
+            .iter()
+            .flat_map(|d| d.params())
+            .collect()
+    }
+}
+
+/// A pre-norm transformer encoder block (LN → MHA → residual, LN → MLP →
+/// residual), the unit shared by the ViT, GPT-2-style and T5-style models.
+#[derive(Debug, Clone)]
+pub struct TransformerBlock {
+    ln1: LayerNorm,
+    attn: MultiHeadAttention,
+    ln2: LayerNorm,
+    fc1: Dense,
+    fc2: Dense,
+}
+
+impl TransformerBlock {
+    /// Creates a block with hidden MLP width `mlp_dim`.
+    pub fn new(rng: &mut SplitMix, dim: usize, n_heads: usize, mlp_dim: usize) -> Self {
+        TransformerBlock {
+            ln1: LayerNorm::new(dim),
+            attn: MultiHeadAttention::new(rng, dim, n_heads),
+            ln2: LayerNorm::new(dim),
+            fc1: Dense::new(rng, dim, mlp_dim),
+            fc2: Dense::new(rng, mlp_dim, dim),
+        }
+    }
+
+    /// Applies the block to a `[T, D]` sequence.
+    pub fn forward(&self, x: &Tensor, causal: bool) -> Tensor {
+        let attended = self.attn.forward(&self.ln1.forward(x), causal);
+        let x = x.add(&attended);
+        let mlp = self.fc2.forward(&self.fc1.forward(&self.ln2.forward(&x)).gelu());
+        x.add(&mlp)
+    }
+
+    /// The trainable parameters.
+    pub fn params(&self) -> Vec<Tensor> {
+        let mut p = self.ln1.params();
+        p.extend(self.attn.params());
+        p.extend(self.ln2.params());
+        p.extend(self.fc1.params());
+        p.extend(self.fc2.params());
+        p
+    }
+}
+
+/// A gated recurrent unit layer (SCSGuard's sequence core).
+#[derive(Debug, Clone)]
+pub struct Gru {
+    wz: Dense,
+    uz: Dense,
+    wr: Dense,
+    ur: Dense,
+    wh: Dense,
+    uh: Dense,
+    hidden: usize,
+}
+
+impl Gru {
+    /// Creates a GRU mapping `input`-dim vectors to `hidden`-dim state.
+    pub fn new(rng: &mut SplitMix, input: usize, hidden: usize) -> Self {
+        Gru {
+            wz: Dense::new(rng, input, hidden),
+            uz: Dense::new(rng, hidden, hidden),
+            wr: Dense::new(rng, input, hidden),
+            ur: Dense::new(rng, hidden, hidden),
+            wh: Dense::new(rng, input, hidden),
+            uh: Dense::new(rng, hidden, hidden),
+            hidden,
+        }
+    }
+
+    /// Runs the GRU over a `[T, D]` sequence, returning the final hidden
+    /// state `[1, H]`.
+    pub fn forward_last(&self, x: &Tensor) -> Tensor {
+        let t = x.shape()[0];
+        let mut hstate = Tensor::zeros(&[1, self.hidden], false);
+        for step in 0..t {
+            let xt = x.row_slice(step);
+            let z = self.wz.forward(&xt).add(&self.uz.forward(&hstate)).sigmoid();
+            let r = self.wr.forward(&xt).add(&self.ur.forward(&hstate)).sigmoid();
+            let h_cand = self
+                .wh
+                .forward(&xt)
+                .add(&self.uh.forward(&r.mul(&hstate)))
+                .tanh();
+            // h = (1 - z) * h + z * h_cand
+            let one_minus_z = z.scale(-1.0).add_scalar(1.0);
+            hstate = one_minus_z.mul(&hstate).add(&z.mul(&h_cand));
+        }
+        hstate
+    }
+
+    /// The trainable parameters.
+    pub fn params(&self) -> Vec<Tensor> {
+        [&self.wz, &self.uz, &self.wr, &self.ur, &self.wh, &self.uh]
+            .iter()
+            .flat_map(|d| d.params())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::optim::{Adam, Optimizer};
+
+    fn rng() -> SplitMix {
+        SplitMix::new(99)
+    }
+
+    #[test]
+    fn dense_shapes() {
+        let mut r = rng();
+        let d = Dense::new(&mut r, 4, 3);
+        let x = Tensor::zeros(&[5, 4], false);
+        assert_eq!(d.forward(&x).shape(), &[5, 3]);
+        assert_eq!(d.params().len(), 2);
+    }
+
+    #[test]
+    fn attention_shapes_and_softmax_rows() {
+        let mut r = rng();
+        let mha = MultiHeadAttention::new(&mut r, 8, 2);
+        let x = Tensor::new((0..32).map(|i| 0.01 * i as f32).collect(), &[4, 8], false);
+        let y = mha.forward(&x, false);
+        assert_eq!(y.shape(), &[4, 8]);
+    }
+
+    #[test]
+    fn causal_mask_blocks_future() {
+        // With a causal mask, the output at position 0 must not change when
+        // we perturb tokens at positions > 0.
+        let mut r = rng();
+        let mha = MultiHeadAttention::new(&mut r, 8, 2);
+        let base: Vec<f32> = (0..24).map(|i| 0.05 * i as f32).collect();
+        let x1 = Tensor::new(base.clone(), &[3, 8], false);
+        let mut perturbed = base;
+        for v in &mut perturbed[8..] {
+            *v += 10.0;
+        }
+        let x2 = Tensor::new(perturbed, &[3, 8], false);
+        let y1 = mha.forward(&x1, true).to_vec();
+        let y2 = mha.forward(&x2, true).to_vec();
+        for j in 0..8 {
+            assert!((y1[j] - y2[j]).abs() < 1e-4, "position 0 leaked future info");
+        }
+        // Sanity: without the mask it must change.
+        let y1u = mha.forward(&x1, false).to_vec();
+        let y2u = mha.forward(&x2, false).to_vec();
+        assert!((y1u[0] - y2u[0]).abs() > 1e-4);
+    }
+
+    #[test]
+    fn transformer_block_preserves_shape() {
+        let mut r = rng();
+        let block = TransformerBlock::new(&mut r, 8, 2, 16);
+        let x = Tensor::new((0..40).map(|i| 0.02 * i as f32).collect(), &[5, 8], false);
+        assert_eq!(block.forward(&x, false).shape(), &[5, 8]);
+        assert_eq!(block.params().len(), 2 + 8 + 2 + 2 + 2);
+    }
+
+    #[test]
+    fn gru_final_state_shape() {
+        let mut r = rng();
+        let gru = Gru::new(&mut r, 6, 4);
+        let x = Tensor::new((0..18).map(|i| 0.1 * i as f32).collect(), &[3, 6], false);
+        assert_eq!(gru.forward_last(&x).shape(), &[1, 4]);
+    }
+
+    #[test]
+    fn gru_learns_first_token_rule() {
+        // Task: label = (first element of first token > 0). The GRU must
+        // carry information across the whole sequence.
+        let mut r = rng();
+        let gru = Gru::new(&mut r, 2, 6);
+        let head = Dense::new(&mut r, 6, 2);
+        let mut params = gru.params();
+        params.extend(head.params());
+        let mut opt = Adam::new(params, 0.02);
+
+        let make = |flag: bool, r: &mut SplitMix| {
+            let mut seq = vec![0.0f32; 10];
+            seq[0] = if flag { 1.0 } else { -1.0 };
+            for v in seq.iter_mut().skip(2) {
+                *v = r.normal() as f32 * 0.1;
+            }
+            Tensor::new(seq, &[5, 2], false)
+        };
+
+        for _ in 0..120 {
+            let flag = r.unit() > 0.5;
+            let x = make(flag, &mut r);
+            let logits = head.forward(&gru.forward_last(&x));
+            let loss = logits.cross_entropy_logits(&[usize::from(flag)]);
+            opt.zero_grad();
+            loss.backward();
+            opt.step();
+        }
+        // Evaluate.
+        let mut correct = 0;
+        for i in 0..20 {
+            let flag = i % 2 == 0;
+            let x = make(flag, &mut r);
+            let logits = head.forward(&gru.forward_last(&x)).to_vec();
+            let pred = usize::from(logits[1] > logits[0]);
+            if pred == usize::from(flag) {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 18, "GRU failed to learn: {correct}/20");
+    }
+
+    #[test]
+    fn transformer_learns_token_presence() {
+        // Task: does token id 3 appear in the sequence?
+        let mut r = rng();
+        let emb = Embedding::new(&mut r, 8, 16);
+        let block = TransformerBlock::new(&mut r, 16, 2, 32);
+        let head = Dense::new(&mut r, 16, 2);
+        let mut params = emb.params();
+        params.extend(block.params());
+        params.extend(head.params());
+        let mut opt = Adam::new(params, 0.01);
+
+        let make = |has: bool, r: &mut SplitMix| {
+            let mut ids: Vec<usize> = (0..6).map(|_| 4 + r.below(4)).collect();
+            if has {
+                ids[r.below(6)] = 3;
+            }
+            ids
+        };
+
+        for _ in 0..150 {
+            let has = r.unit() > 0.5;
+            let ids = make(has, &mut r);
+            let x = emb.forward(&ids);
+            let enc = block.forward(&x, false);
+            let pooled = enc.mean_rows().reshape(&[1, 16]);
+            let loss = head.forward(&pooled).cross_entropy_logits(&[usize::from(has)]);
+            opt.zero_grad();
+            loss.backward();
+            opt.step();
+        }
+        let mut correct = 0;
+        for i in 0..20 {
+            let has = i % 2 == 0;
+            let ids = make(has, &mut r);
+            let x = emb.forward(&ids);
+            let enc = block.forward(&x, false);
+            let pooled = enc.mean_rows().reshape(&[1, 16]);
+            let logits = head.forward(&pooled).to_vec();
+            if usize::from(logits[1] > logits[0]) == usize::from(has) {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 18, "transformer failed to learn: {correct}/20");
+    }
+}

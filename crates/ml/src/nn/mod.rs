@@ -1,0 +1,13 @@
+//! Neural-network stack: autograd tensors, layers, convolutions, optimizers.
+//!
+//! See [`tensor::Tensor`] for the autodiff engine and [`layers`] for the
+//! building blocks the paper's deep models are assembled from.
+
+pub mod conv;
+pub mod layers;
+pub mod optim;
+pub mod tensor;
+
+pub use layers::{Dense, Embedding, Gru, LayerNorm, MultiHeadAttention, TransformerBlock};
+pub use optim::{Adam, Optimizer, Sgd};
+pub use tensor::Tensor;

@@ -1,0 +1,172 @@
+//! Parameter optimizers: SGD with momentum and Adam.
+
+use super::tensor::Tensor;
+
+/// Gradient-descent parameter updater.
+pub trait Optimizer {
+    /// Applies one update step using the accumulated gradients.
+    fn step(&mut self);
+
+    /// Zeroes all parameter gradients.
+    fn zero_grad(&self);
+
+    /// The parameters being optimized.
+    fn params(&self) -> &[Tensor];
+}
+
+/// Stochastic gradient descent with classical momentum.
+#[derive(Debug)]
+pub struct Sgd {
+    params: Vec<Tensor>,
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 = plain SGD).
+    pub momentum: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates an optimizer over `params`.
+    pub fn new(params: Vec<Tensor>, lr: f32, momentum: f32) -> Self {
+        let velocity = params.iter().map(|p| vec![0.0; p.len()]).collect();
+        Sgd { params, lr, momentum, velocity }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self) {
+        for (p, v) in self.params.iter().zip(&mut self.velocity) {
+            let g = p.grad();
+            p.update_data(|data| {
+                for i in 0..data.len() {
+                    v[i] = self.momentum * v[i] - self.lr * g[i];
+                    data[i] += v[i];
+                }
+            });
+        }
+    }
+
+    fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn params(&self) -> &[Tensor] {
+        &self.params
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug)]
+pub struct Adam {
+    params: Vec<Tensor>,
+    /// Learning rate.
+    pub lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+    t: i32,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with standard betas (0.9, 0.999).
+    pub fn new(params: Vec<Tensor>, lr: f32) -> Self {
+        let m = params.iter().map(|p| vec![0.0; p.len()]).collect();
+        let v = params.iter().map(|p| vec![0.0; p.len()]).collect();
+        Adam { params, lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, m, v, t: 0 }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+        for (p, (m, v)) in self.params.iter().zip(self.m.iter_mut().zip(&mut self.v)) {
+            let g = p.grad();
+            p.update_data(|data| {
+                for i in 0..data.len() {
+                    m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g[i];
+                    v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g[i] * g[i];
+                    let mhat = m[i] / bc1;
+                    let vhat = v[i] / bc2;
+                    data[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+                }
+            });
+        }
+    }
+
+    fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn params(&self) -> &[Tensor] {
+        &self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes f(w) = (w - 3)² with each optimizer.
+    fn converges_to_three(mut opt: impl Optimizer, w: &Tensor, iters: usize) {
+        for _ in 0..iters {
+            let loss = w.add_scalar(-3.0).mul(&w.add_scalar(-3.0)).sum_all();
+            opt.zero_grad();
+            loss.backward();
+            opt.step();
+        }
+        assert!((w.item() - 3.0).abs() < 0.05, "w = {}", w.item());
+    }
+
+    #[test]
+    fn sgd_converges() {
+        let w = Tensor::new(vec![0.0], &[1], true);
+        converges_to_three(Sgd::new(vec![w.clone()], 0.05, 0.0), &w, 100);
+    }
+
+    #[test]
+    fn sgd_with_momentum_converges() {
+        let w = Tensor::new(vec![0.0], &[1], true);
+        converges_to_three(Sgd::new(vec![w.clone()], 0.02, 0.9), &w, 100);
+    }
+
+    #[test]
+    fn adam_converges() {
+        let w = Tensor::new(vec![0.0], &[1], true);
+        converges_to_three(Adam::new(vec![w.clone()], 0.2), &w, 120);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let w = Tensor::new(vec![1.0], &[1], true);
+        let opt = Sgd::new(vec![w.clone()], 0.1, 0.0);
+        let loss = w.mul(&w).sum_all();
+        loss.backward();
+        assert_ne!(w.grad(), vec![0.0]);
+        opt.zero_grad();
+        assert_eq!(w.grad(), vec![0.0]);
+    }
+
+    #[test]
+    fn multi_param_update() {
+        let a = Tensor::new(vec![5.0], &[1], true);
+        let b = Tensor::new(vec![-5.0], &[1], true);
+        let mut opt = Adam::new(vec![a.clone(), b.clone()], 0.3);
+        for _ in 0..200 {
+            // minimize a² + b²
+            let loss = a.mul(&a).add(&b.mul(&b)).sum_all();
+            opt.zero_grad();
+            loss.backward();
+            opt.step();
+        }
+        assert!(a.item().abs() < 0.05);
+        assert!(b.item().abs() < 0.05);
+    }
+}

@@ -1,0 +1,1249 @@
+//! Reverse-mode autograd tensors.
+//!
+//! A small tape-based autodiff engine sufficient for the paper's deep
+//! models: dense layers, embeddings, layer norm, multi-head attention
+//! (batched matmul + softmax), GRUs (elementwise gates through time) and
+//! convolutions (im2col). Tensors are `f32`, shapes are explicit, and the
+//! graph is destroyed after each backward pass (define-by-run).
+//!
+//! Gradients are verified against central finite differences in the tests.
+
+use std::cell::{Ref, RefCell};
+use std::fmt;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static NEXT_ID: AtomicUsize = AtomicUsize::new(0);
+
+pub(crate) type BackwardFn = Box<dyn Fn(&[f32])>;
+
+struct Inner {
+    id: usize,
+    shape: Vec<usize>,
+    data: RefCell<Vec<f32>>,
+    grad: RefCell<Vec<f32>>,
+    parents: Vec<Tensor>,
+    backward_fn: Option<BackwardFn>,
+    requires_grad: bool,
+}
+
+/// A reference-counted tensor node in the autograd graph.
+///
+/// Cloning is cheap (it clones the handle, not the buffer).
+#[derive(Clone)]
+pub struct Tensor {
+    inner: Rc<Inner>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor(id={}, shape={:?})", self.inner.id, self.inner.shape)
+    }
+}
+
+fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+impl Tensor {
+    /// Creates a tensor from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics when `data.len()` does not match the shape's element count.
+    pub fn new(data: Vec<f32>, shape: &[usize], requires_grad: bool) -> Self {
+        assert_eq!(data.len(), numel(shape), "buffer/shape mismatch");
+        let n = data.len();
+        Tensor {
+            inner: Rc::new(Inner {
+                id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+                shape: shape.to_vec(),
+                data: RefCell::new(data),
+                grad: RefCell::new(vec![0.0; n]),
+                parents: Vec::new(),
+                backward_fn: None,
+                requires_grad,
+            }),
+        }
+    }
+
+    pub(crate) fn from_op(
+        data: Vec<f32>,
+        shape: &[usize],
+        parents: Vec<Tensor>,
+        f: BackwardFn,
+    ) -> Self {
+        assert_eq!(data.len(), numel(shape), "op produced wrong element count");
+        let n = data.len();
+        let requires_grad = parents.iter().any(Tensor::requires_grad);
+        Tensor {
+            inner: Rc::new(Inner {
+                id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+                shape: shape.to_vec(),
+                data: RefCell::new(data),
+                grad: RefCell::new(vec![0.0; n]),
+                parents,
+                backward_fn: if requires_grad { Some(f) } else { None },
+                requires_grad,
+            }),
+        }
+    }
+
+    /// A tensor of zeros.
+    pub fn zeros(shape: &[usize], requires_grad: bool) -> Self {
+        Tensor::new(vec![0.0; numel(shape)], shape, requires_grad)
+    }
+
+    /// A scalar constant.
+    pub fn scalar(v: f32) -> Self {
+        Tensor::new(vec![v], &[1], false)
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.inner.shape
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        numel(&self.inner.shape)
+    }
+
+    /// `true` when the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether gradients flow to this tensor.
+    pub fn requires_grad(&self) -> bool {
+        self.inner.requires_grad
+    }
+
+    /// Borrow of the value buffer.
+    pub fn data(&self) -> Ref<'_, Vec<f32>> {
+        self.inner.data.borrow()
+    }
+
+    /// Copies the value buffer out.
+    pub fn to_vec(&self) -> Vec<f32> {
+        self.inner.data.borrow().clone()
+    }
+
+    /// The single value of a scalar tensor.
+    ///
+    /// # Panics
+    /// Panics when the tensor is not a scalar.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.len(), 1, "item() on non-scalar tensor");
+        self.inner.data.borrow()[0]
+    }
+
+    /// Copies the gradient buffer out.
+    pub fn grad(&self) -> Vec<f32> {
+        self.inner.grad.borrow().clone()
+    }
+
+    /// Zeroes the gradient buffer.
+    pub fn zero_grad(&self) {
+        for g in self.inner.grad.borrow_mut().iter_mut() {
+            *g = 0.0;
+        }
+    }
+
+    /// Applies `f` to the raw value buffer (optimizer updates).
+    pub fn update_data(&self, f: impl FnOnce(&mut [f32])) {
+        f(&mut self.inner.data.borrow_mut());
+    }
+
+    pub(crate) fn accumulate_grad(&self, delta: &[f32]) {
+        let mut g = self.inner.grad.borrow_mut();
+        debug_assert_eq!(g.len(), delta.len());
+        for (gi, di) in g.iter_mut().zip(delta) {
+            *gi += di;
+        }
+    }
+
+    /// Runs reverse-mode autodiff from this (scalar) tensor.
+    ///
+    /// # Panics
+    /// Panics when called on a non-scalar tensor.
+    pub fn backward(&self) {
+        assert_eq!(self.len(), 1, "backward() requires a scalar loss");
+        // Topological order: node ids are monotonically increasing with
+        // creation, so sorting reachable nodes by id descending gives a
+        // valid reverse topological order.
+        let mut visited = std::collections::HashSet::new();
+        let mut nodes: Vec<Tensor> = Vec::new();
+        fn collect(
+            t: &Tensor,
+            visited: &mut std::collections::HashSet<usize>,
+            out: &mut Vec<Tensor>,
+        ) {
+            if !visited.insert(t.inner.id) {
+                return;
+            }
+            for p in &t.inner.parents {
+                collect(p, visited, out);
+            }
+            out.push(t.clone());
+        }
+        collect(self, &mut visited, &mut nodes);
+        nodes.sort_by(|a, b| b.inner.id.cmp(&a.inner.id));
+
+        self.inner.grad.borrow_mut()[0] = 1.0;
+        for node in &nodes {
+            if let Some(f) = &node.inner.backward_fn {
+                let grad = node.inner.grad.borrow().clone();
+                f(&grad);
+            }
+        }
+    }
+
+    // ---- elementwise ops ---------------------------------------------
+
+    fn same_shape(&self, other: &Tensor, op: &str) {
+        assert_eq!(self.shape(), other.shape(), "{op}: shape mismatch");
+    }
+
+    /// Elementwise addition.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.same_shape(other, "add");
+        let data: Vec<f32> = self
+            .data()
+            .iter()
+            .zip(other.data().iter())
+            .map(|(a, b)| a + b)
+            .collect();
+        let (a, b) = (self.clone(), other.clone());
+        Tensor::from_op(
+            data,
+            self.shape(),
+            vec![self.clone(), other.clone()],
+            Box::new(move |g| {
+                if a.requires_grad() {
+                    a.accumulate_grad(g);
+                }
+                if b.requires_grad() {
+                    b.accumulate_grad(g);
+                }
+            }),
+        )
+    }
+
+    /// Elementwise subtraction.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.add(&other.scale(-1.0))
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.same_shape(other, "mul");
+        let data: Vec<f32> = self
+            .data()
+            .iter()
+            .zip(other.data().iter())
+            .map(|(a, b)| a * b)
+            .collect();
+        let (a, b) = (self.clone(), other.clone());
+        Tensor::from_op(
+            data,
+            self.shape(),
+            vec![self.clone(), other.clone()],
+            Box::new(move |g| {
+                if a.requires_grad() {
+                    let delta: Vec<f32> = {
+                        let bd = b.data();
+                        g.iter().zip(bd.iter()).map(|(gi, bi)| gi * bi).collect()
+                    };
+                    a.accumulate_grad(&delta);
+                }
+                if b.requires_grad() {
+                    let delta: Vec<f32> = {
+                        let ad = a.data();
+                        g.iter().zip(ad.iter()).map(|(gi, ai)| gi * ai).collect()
+                    };
+                    b.accumulate_grad(&delta);
+                }
+            }),
+        )
+    }
+
+    /// Multiplies every element by a constant.
+    pub fn scale(&self, c: f32) -> Tensor {
+        let data: Vec<f32> = self.data().iter().map(|a| a * c).collect();
+        let a = self.clone();
+        Tensor::from_op(
+            data,
+            self.shape(),
+            vec![self.clone()],
+            Box::new(move |g| {
+                if a.requires_grad() {
+                    let delta: Vec<f32> = g.iter().map(|gi| gi * c).collect();
+                    a.accumulate_grad(&delta);
+                }
+            }),
+        )
+    }
+
+    /// Adds a constant to every element.
+    pub fn add_scalar(&self, c: f32) -> Tensor {
+        let data: Vec<f32> = self.data().iter().map(|a| a + c).collect();
+        let a = self.clone();
+        Tensor::from_op(
+            data,
+            self.shape(),
+            vec![self.clone()],
+            Box::new(move |g| {
+                if a.requires_grad() {
+                    a.accumulate_grad(g);
+                }
+            }),
+        )
+    }
+
+    /// Broadcast-adds a `[D]` vector over the last dimension.
+    pub fn add_bias(&self, bias: &Tensor) -> Tensor {
+        let d = *self.shape().last().expect("add_bias on 0-d tensor");
+        assert_eq!(bias.shape(), &[d], "bias must be [last_dim]");
+        let bd = bias.to_vec();
+        let data: Vec<f32> = self
+            .data()
+            .iter()
+            .enumerate()
+            .map(|(i, a)| a + bd[i % d])
+            .collect();
+        let (a, b) = (self.clone(), bias.clone());
+        Tensor::from_op(
+            data,
+            self.shape(),
+            vec![self.clone(), bias.clone()],
+            Box::new(move |g| {
+                if a.requires_grad() {
+                    a.accumulate_grad(g);
+                }
+                if b.requires_grad() {
+                    let mut delta = vec![0.0; d];
+                    for (i, gi) in g.iter().enumerate() {
+                        delta[i % d] += gi;
+                    }
+                    b.accumulate_grad(&delta);
+                }
+            }),
+        )
+    }
+
+    /// ReLU.
+    pub fn relu(&self) -> Tensor {
+        let data: Vec<f32> = self.data().iter().map(|&a| a.max(0.0)).collect();
+        let a = self.clone();
+        let mask: Vec<f32> = self.data().iter().map(|&v| f32::from(v > 0.0)).collect();
+        Tensor::from_op(
+            data,
+            self.shape(),
+            vec![self.clone()],
+            Box::new(move |g| {
+                if a.requires_grad() {
+                    let delta: Vec<f32> = g.iter().zip(&mask).map(|(gi, m)| gi * m).collect();
+                    a.accumulate_grad(&delta);
+                }
+            }),
+        )
+    }
+
+    /// GELU (tanh approximation, as used by GPT-2).
+    pub fn gelu(&self) -> Tensor {
+        const C: f32 = 0.797_884_6; // sqrt(2/pi)
+        let xs = self.to_vec();
+        let data: Vec<f32> = xs
+            .iter()
+            .map(|&x| 0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh()))
+            .collect();
+        let a = self.clone();
+        Tensor::from_op(
+            data,
+            self.shape(),
+            vec![self.clone()],
+            Box::new(move |g| {
+                if a.requires_grad() {
+                    let delta: Vec<f32> = g
+                        .iter()
+                        .zip(&xs)
+                        .map(|(gi, &x)| {
+                            let u = C * (x + 0.044715 * x * x * x);
+                            let t = u.tanh();
+                            let du = C * (1.0 + 3.0 * 0.044715 * x * x);
+                            gi * (0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du)
+                        })
+                        .collect();
+                    a.accumulate_grad(&delta);
+                }
+            }),
+        )
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self) -> Tensor {
+        let data: Vec<f32> = self
+            .data()
+            .iter()
+            .map(|&x| {
+                if x >= 0.0 {
+                    1.0 / (1.0 + (-x).exp())
+                } else {
+                    let e = x.exp();
+                    e / (1.0 + e)
+                }
+            })
+            .collect();
+        let out_vals = data.clone();
+        let a = self.clone();
+        Tensor::from_op(
+            data,
+            self.shape(),
+            vec![self.clone()],
+            Box::new(move |g| {
+                if a.requires_grad() {
+                    let delta: Vec<f32> = g
+                        .iter()
+                        .zip(&out_vals)
+                        .map(|(gi, &s)| gi * s * (1.0 - s))
+                        .collect();
+                    a.accumulate_grad(&delta);
+                }
+            }),
+        )
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self) -> Tensor {
+        let data: Vec<f32> = self.data().iter().map(|&x| x.tanh()).collect();
+        let out_vals = data.clone();
+        let a = self.clone();
+        Tensor::from_op(
+            data,
+            self.shape(),
+            vec![self.clone()],
+            Box::new(move |g| {
+                if a.requires_grad() {
+                    let delta: Vec<f32> = g
+                        .iter()
+                        .zip(&out_vals)
+                        .map(|(gi, &t)| gi * (1.0 - t * t))
+                        .collect();
+                    a.accumulate_grad(&delta);
+                }
+            }),
+        )
+    }
+
+    // ---- reductions ----------------------------------------------------
+
+    /// Sum of all elements (scalar output).
+    pub fn sum_all(&self) -> Tensor {
+        let s: f32 = self.data().iter().sum();
+        let a = self.clone();
+        let n = self.len();
+        Tensor::from_op(
+            vec![s],
+            &[1],
+            vec![self.clone()],
+            Box::new(move |g| {
+                if a.requires_grad() {
+                    a.accumulate_grad(&vec![g[0]; n]);
+                }
+            }),
+        )
+    }
+
+    /// Mean of all elements (scalar output).
+    pub fn mean_all(&self) -> Tensor {
+        self.sum_all().scale(1.0 / self.len() as f32)
+    }
+
+    /// Mean over the first axis: `[N, D] -> [D]`.
+    pub fn mean_rows(&self) -> Tensor {
+        assert_eq!(self.shape().len(), 2, "mean_rows expects a 2-D tensor");
+        let (n, d) = (self.shape()[0], self.shape()[1]);
+        let mut out = vec![0.0; d];
+        {
+            let src = self.data();
+            for i in 0..n {
+                for j in 0..d {
+                    out[j] += src[i * d + j];
+                }
+            }
+        }
+        let inv = 1.0 / n as f32;
+        for o in &mut out {
+            *o *= inv;
+        }
+        let a = self.clone();
+        Tensor::from_op(
+            out,
+            &[d],
+            vec![self.clone()],
+            Box::new(move |g| {
+                if a.requires_grad() {
+                    let mut delta = vec![0.0; n * d];
+                    for i in 0..n {
+                        for j in 0..d {
+                            delta[i * d + j] = g[j] * inv;
+                        }
+                    }
+                    a.accumulate_grad(&delta);
+                }
+            }),
+        )
+    }
+
+    // ---- shape ops ------------------------------------------------------
+
+    /// Reinterprets the buffer with a new shape (same element count).
+    ///
+    /// # Panics
+    /// Panics when element counts differ.
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        assert_eq!(self.len(), numel(shape), "reshape element count mismatch");
+        let a = self.clone();
+        Tensor::from_op(
+            self.to_vec(),
+            shape,
+            vec![self.clone()],
+            Box::new(move |g| {
+                if a.requires_grad() {
+                    a.accumulate_grad(g);
+                }
+            }),
+        )
+    }
+
+    /// Transposes a 2-D tensor, or the last two axes of a 3-D tensor.
+    ///
+    /// # Panics
+    /// Panics for other ranks.
+    pub fn transpose(&self) -> Tensor {
+        match self.shape().len() {
+            2 => {
+                let (r, c) = (self.shape()[0], self.shape()[1]);
+                let mut out = vec![0.0; r * c];
+                {
+                    let src = self.data();
+                    for i in 0..r {
+                        for j in 0..c {
+                            out[j * r + i] = src[i * c + j];
+                        }
+                    }
+                }
+                let a = self.clone();
+                Tensor::from_op(
+                    out,
+                    &[c, r],
+                    vec![self.clone()],
+                    Box::new(move |g| {
+                        if a.requires_grad() {
+                            let mut delta = vec![0.0; r * c];
+                            for i in 0..r {
+                                for j in 0..c {
+                                    delta[i * c + j] = g[j * r + i];
+                                }
+                            }
+                            a.accumulate_grad(&delta);
+                        }
+                    }),
+                )
+            }
+            3 => {
+                let (b, r, c) = (self.shape()[0], self.shape()[1], self.shape()[2]);
+                let mut out = vec![0.0; b * r * c];
+                {
+                    let src = self.data();
+                    for k in 0..b {
+                        for i in 0..r {
+                            for j in 0..c {
+                                out[k * r * c + j * r + i] = src[k * r * c + i * c + j];
+                            }
+                        }
+                    }
+                }
+                let a = self.clone();
+                Tensor::from_op(
+                    out,
+                    &[b, c, r],
+                    vec![self.clone()],
+                    Box::new(move |g| {
+                        if a.requires_grad() {
+                            let mut delta = vec![0.0; b * r * c];
+                            for k in 0..b {
+                                for i in 0..r {
+                                    for j in 0..c {
+                                        delta[k * r * c + i * c + j] = g[k * r * c + j * r + i];
+                                    }
+                                }
+                            }
+                            a.accumulate_grad(&delta);
+                        }
+                    }),
+                )
+            }
+            n => panic!("transpose expects 2-D or 3-D tensor, got {n}-D"),
+        }
+    }
+
+    /// Swaps the first two axes of a 3-D tensor: `[A, B, C] -> [B, A, C]`.
+    /// Used to regroup `[T, H, Dh]` token-major attention heads into
+    /// `[H, T, Dh]` head-major batches.
+    ///
+    /// # Panics
+    /// Panics when the tensor is not 3-D.
+    pub fn swap_axes01(&self) -> Tensor {
+        assert_eq!(self.shape().len(), 3, "swap_axes01 expects a 3-D tensor");
+        let (a0, a1, a2) = (self.shape()[0], self.shape()[1], self.shape()[2]);
+        let mut out = vec![0.0; a0 * a1 * a2];
+        {
+            let src = self.data();
+            for i in 0..a0 {
+                for j in 0..a1 {
+                    let s = (i * a1 + j) * a2;
+                    let d = (j * a0 + i) * a2;
+                    out[d..d + a2].copy_from_slice(&src[s..s + a2]);
+                }
+            }
+        }
+        let t = self.clone();
+        Tensor::from_op(
+            out,
+            &[a1, a0, a2],
+            vec![self.clone()],
+            Box::new(move |g| {
+                if t.requires_grad() {
+                    let mut delta = vec![0.0; a0 * a1 * a2];
+                    for i in 0..a0 {
+                        for j in 0..a1 {
+                            let s = (i * a1 + j) * a2;
+                            let d = (j * a0 + i) * a2;
+                            delta[s..s + a2].copy_from_slice(&g[d..d + a2]);
+                        }
+                    }
+                    t.accumulate_grad(&delta);
+                }
+            }),
+        )
+    }
+
+    // ---- matmul ---------------------------------------------------------
+
+    /// Matrix product. Supports `[M,K]·[K,N]` and batched `[B,M,K]·[B,K,N]`.
+    ///
+    /// # Panics
+    /// Panics on rank or dimension mismatch.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        match (self.shape().len(), other.shape().len()) {
+            (2, 2) => self.matmul2(other),
+            (3, 3) => self.matmul3(other),
+            (a, b) => panic!("matmul expects 2-Dx2-D or 3-Dx3-D, got {a}-D x {b}-D"),
+        }
+    }
+
+    fn matmul2(&self, other: &Tensor) -> Tensor {
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (other.shape()[0], other.shape()[1]);
+        assert_eq!(k, k2, "matmul inner dimension mismatch");
+        let mut out = vec![0.0; m * n];
+        matmul_kernel(&self.data(), &other.data(), &mut out, m, k, n);
+        let (ta, tb) = (self.clone(), other.clone());
+        Tensor::from_op(
+            out,
+            &[m, n],
+            vec![self.clone(), other.clone()],
+            Box::new(move |g| {
+                // dA = g · Bᵀ ; dB = Aᵀ · g
+                if ta.requires_grad() {
+                    let mut delta = vec![0.0; m * k];
+                    matmul_nt(g, &tb.data(), &mut delta, m, n, k);
+                    ta.accumulate_grad(&delta);
+                }
+                if tb.requires_grad() {
+                    let mut delta = vec![0.0; k * n];
+                    matmul_tn(&ta.data(), g, &mut delta, m, k, n);
+                    tb.accumulate_grad(&delta);
+                }
+            }),
+        )
+    }
+
+    fn matmul3(&self, other: &Tensor) -> Tensor {
+        let (bsz, m, k) = (self.shape()[0], self.shape()[1], self.shape()[2]);
+        let (bsz2, k2, n) = (other.shape()[0], other.shape()[1], other.shape()[2]);
+        assert_eq!(bsz, bsz2, "batched matmul batch mismatch");
+        assert_eq!(k, k2, "matmul inner dimension mismatch");
+        let mut out = vec![0.0; bsz * m * n];
+        {
+            let a = self.data();
+            let b = other.data();
+            for i in 0..bsz {
+                matmul_kernel(
+                    &a[i * m * k..(i + 1) * m * k],
+                    &b[i * k * n..(i + 1) * k * n],
+                    &mut out[i * m * n..(i + 1) * m * n],
+                    m,
+                    k,
+                    n,
+                );
+            }
+        }
+        let (ta, tb) = (self.clone(), other.clone());
+        Tensor::from_op(
+            out,
+            &[bsz, m, n],
+            vec![self.clone(), other.clone()],
+            Box::new(move |g| {
+                if ta.requires_grad() {
+                    let mut delta = vec![0.0; bsz * m * k];
+                    {
+                        let b = tb.data();
+                        for i in 0..bsz {
+                            matmul_nt(
+                                &g[i * m * n..(i + 1) * m * n],
+                                &b[i * k * n..(i + 1) * k * n],
+                                &mut delta[i * m * k..(i + 1) * m * k],
+                                m,
+                                n,
+                                k,
+                            );
+                        }
+                    }
+                    ta.accumulate_grad(&delta);
+                }
+                if tb.requires_grad() {
+                    let mut delta = vec![0.0; bsz * k * n];
+                    {
+                        let a = ta.data();
+                        for i in 0..bsz {
+                            matmul_tn(
+                                &a[i * m * k..(i + 1) * m * k],
+                                &g[i * m * n..(i + 1) * m * n],
+                                &mut delta[i * k * n..(i + 1) * k * n],
+                                m,
+                                k,
+                                n,
+                            );
+                        }
+                    }
+                    tb.accumulate_grad(&delta);
+                }
+            }),
+        )
+    }
+
+    // ---- softmax & losses -------------------------------------------------
+
+    /// Softmax over the last axis.
+    pub fn softmax_last(&self) -> Tensor {
+        let d = *self.shape().last().expect("softmax on 0-d tensor");
+        let src = self.to_vec();
+        let mut out = vec![0.0; src.len()];
+        for (row_in, row_out) in src.chunks_exact(d).zip(out.chunks_exact_mut(d)) {
+            let max = row_in.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for (o, &x) in row_out.iter_mut().zip(row_in) {
+                *o = (x - max).exp();
+                sum += *o;
+            }
+            for o in row_out.iter_mut() {
+                *o /= sum;
+            }
+        }
+        let out_vals = out.clone();
+        let a = self.clone();
+        Tensor::from_op(
+            out,
+            self.shape(),
+            vec![self.clone()],
+            Box::new(move |g| {
+                if a.requires_grad() {
+                    let mut delta = vec![0.0; g.len()];
+                    for ((grow, srow), drow) in g
+                        .chunks_exact(d)
+                        .zip(out_vals.chunks_exact(d))
+                        .zip(delta.chunks_exact_mut(d))
+                    {
+                        let dot: f32 = grow.iter().zip(srow).map(|(gi, si)| gi * si).sum();
+                        for ((di, &gi), &si) in drow.iter_mut().zip(grow).zip(srow) {
+                            *di = si * (gi - dot);
+                        }
+                    }
+                    a.accumulate_grad(&delta);
+                }
+            }),
+        )
+    }
+
+    /// Mean cross-entropy between `[B, C]` logits and integer labels.
+    ///
+    /// # Panics
+    /// Panics when the tensor is not 2-D or `labels.len() != B`.
+    pub fn cross_entropy_logits(&self, labels: &[usize]) -> Tensor {
+        assert_eq!(self.shape().len(), 2, "cross entropy expects [B, C] logits");
+        let (bsz, c) = (self.shape()[0], self.shape()[1]);
+        assert_eq!(labels.len(), bsz, "one label per row");
+        let logits = self.to_vec();
+        let mut probs = vec![0.0; logits.len()];
+        let mut loss = 0.0;
+        for (i, (row, prow)) in logits.chunks_exact(c).zip(probs.chunks_exact_mut(c)).enumerate() {
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for (p, &x) in prow.iter_mut().zip(row) {
+                *p = (x - max).exp();
+                sum += *p;
+            }
+            for p in prow.iter_mut() {
+                *p /= sum;
+            }
+            loss -= prow[labels[i]].max(1e-12).ln();
+        }
+        loss /= bsz as f32;
+        let labels = labels.to_vec();
+        let a = self.clone();
+        Tensor::from_op(
+            vec![loss],
+            &[1],
+            vec![self.clone()],
+            Box::new(move |g| {
+                if a.requires_grad() {
+                    let scale = g[0] / bsz as f32;
+                    let mut delta = probs.clone();
+                    for (i, row) in delta.chunks_exact_mut(c).enumerate() {
+                        row[labels[i]] -= 1.0;
+                        for v in row.iter_mut() {
+                            *v *= scale;
+                        }
+                    }
+                    a.accumulate_grad(&delta);
+                }
+            }),
+        )
+    }
+
+    // ---- gather / embedding ---------------------------------------------
+
+    /// Treats `self` as an embedding table `[V, D]` and gathers rows by id,
+    /// producing `[ids.len(), D]`. The gradient scatters back into the table.
+    ///
+    /// # Panics
+    /// Panics when an id is out of range or the table is not 2-D.
+    pub fn embedding(&self, ids: &[usize]) -> Tensor {
+        assert_eq!(self.shape().len(), 2, "embedding table must be [V, D]");
+        let (v, d) = (self.shape()[0], self.shape()[1]);
+        let mut out = vec![0.0; ids.len() * d];
+        {
+            let table = self.data();
+            for (k, &id) in ids.iter().enumerate() {
+                assert!(id < v, "embedding id {id} out of range {v}");
+                out[k * d..(k + 1) * d].copy_from_slice(&table[id * d..(id + 1) * d]);
+            }
+        }
+        let ids_cl = ids.to_vec();
+        let a = self.clone();
+        let rows = ids.len();
+        Tensor::from_op(
+            out,
+            &[rows, d],
+            vec![self.clone()],
+            Box::new(move |g| {
+                if a.requires_grad() {
+                    let mut delta = vec![0.0; v * d];
+                    for (k, &id) in ids_cl.iter().enumerate() {
+                        for j in 0..d {
+                            delta[id * d + j] += g[k * d + j];
+                        }
+                    }
+                    a.accumulate_grad(&delta);
+                }
+            }),
+        )
+    }
+
+    /// Layer normalization over the last axis with learnable `gamma`/`beta`.
+    ///
+    /// # Panics
+    /// Panics when `gamma`/`beta` are not `[last_dim]`.
+    pub fn layer_norm(&self, gamma: &Tensor, beta: &Tensor, eps: f32) -> Tensor {
+        let d = *self.shape().last().expect("layer_norm on 0-d tensor");
+        assert_eq!(gamma.shape(), &[d], "gamma must be [last_dim]");
+        assert_eq!(beta.shape(), &[d], "beta must be [last_dim]");
+        let x = self.to_vec();
+        let gv = gamma.to_vec();
+        let bv = beta.to_vec();
+        let rows = x.len() / d;
+        let mut out = vec![0.0; x.len()];
+        let mut xhat = vec![0.0; x.len()];
+        let mut inv_stds = vec![0.0; rows];
+        for r in 0..rows {
+            let row = &x[r * d..(r + 1) * d];
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let inv_std = 1.0 / (var + eps).sqrt();
+            inv_stds[r] = inv_std;
+            for j in 0..d {
+                let h = (row[j] - mean) * inv_std;
+                xhat[r * d + j] = h;
+                out[r * d + j] = h * gv[j] + bv[j];
+            }
+        }
+        let (tx, tg, tb) = (self.clone(), gamma.clone(), beta.clone());
+        Tensor::from_op(
+            out,
+            self.shape(),
+            vec![self.clone(), gamma.clone(), beta.clone()],
+            Box::new(move |g| {
+                let gv = tg.to_vec();
+                if tg.requires_grad() {
+                    let mut dg = vec![0.0; d];
+                    for r in 0..rows {
+                        for j in 0..d {
+                            dg[j] += g[r * d + j] * xhat[r * d + j];
+                        }
+                    }
+                    tg.accumulate_grad(&dg);
+                }
+                if tb.requires_grad() {
+                    let mut db = vec![0.0; d];
+                    for r in 0..rows {
+                        for j in 0..d {
+                            db[j] += g[r * d + j];
+                        }
+                    }
+                    tb.accumulate_grad(&db);
+                }
+                if tx.requires_grad() {
+                    let mut dx = vec![0.0; rows * d];
+                    for r in 0..rows {
+                        let mut sum_dxhat = 0.0;
+                        let mut sum_dxhat_x = 0.0;
+                        for j in 0..d {
+                            let dxh = g[r * d + j] * gv[j];
+                            sum_dxhat += dxh;
+                            sum_dxhat_x += dxh * xhat[r * d + j];
+                        }
+                        let inv_std = inv_stds[r];
+                        for j in 0..d {
+                            let dxh = g[r * d + j] * gv[j];
+                            dx[r * d + j] = inv_std
+                                * (dxh
+                                    - sum_dxhat / d as f32
+                                    - xhat[r * d + j] * sum_dxhat_x / d as f32);
+                        }
+                    }
+                    tx.accumulate_grad(&dx);
+                }
+            }),
+        )
+    }
+
+    /// Concatenates 2-D tensors along axis 0.
+    ///
+    /// # Panics
+    /// Panics on empty input or mismatched widths.
+    pub fn concat_rows(tensors: &[Tensor]) -> Tensor {
+        assert!(!tensors.is_empty(), "concat of nothing");
+        let d = tensors[0].shape()[1];
+        let mut total_rows = 0;
+        let mut data = Vec::new();
+        for t in tensors {
+            assert_eq!(t.shape().len(), 2, "concat_rows expects 2-D tensors");
+            assert_eq!(t.shape()[1], d, "concat width mismatch");
+            total_rows += t.shape()[0];
+            data.extend_from_slice(&t.data());
+        }
+        let parents: Vec<Tensor> = tensors.to_vec();
+        let row_counts: Vec<usize> = tensors.iter().map(|t| t.shape()[0]).collect();
+        let parents_cl = parents.clone();
+        Tensor::from_op(
+            data,
+            &[total_rows, d],
+            parents,
+            Box::new(move |g| {
+                let mut offset = 0;
+                for (t, &rows) in parents_cl.iter().zip(&row_counts) {
+                    let n = rows * d;
+                    if t.requires_grad() {
+                        t.accumulate_grad(&g[offset..offset + n]);
+                    }
+                    offset += n;
+                }
+            }),
+        )
+    }
+}
+
+/// `out += A(m×k) · B(k×n)` — plain ikj kernel.
+fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// `out += A(m×n) · B(k×n)ᵀ` → (m×k).
+fn matmul_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, n: usize, k: usize) {
+    for i in 0..m {
+        for j in 0..k {
+            let mut s = 0.0;
+            let arow = &a[i * n..(i + 1) * n];
+            let brow = &b[j * n..(j + 1) * n];
+            for (x, y) in arow.iter().zip(brow) {
+                s += x * y;
+            }
+            out[i * k + j] += s;
+        }
+    }
+}
+
+/// `out += A(m×k)ᵀ · B(m×n)` → (k×n).
+fn matmul_tn(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for p in 0..m {
+        for i in 0..k {
+            let av = a[p * k + i];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Central finite-difference check of `loss_fn` gradients w.r.t. `t`.
+    fn check_grad(t: &Tensor, loss_fn: impl Fn() -> Tensor, tol: f32) {
+        t.zero_grad();
+        let loss = loss_fn();
+        loss.backward();
+        let analytic = t.grad();
+        let eps = 1e-3;
+        for i in 0..t.len() {
+            let orig = t.data()[i];
+            t.update_data(|d| d[i] = orig + eps);
+            let up = loss_fn().item();
+            t.update_data(|d| d[i] = orig - eps);
+            let down = loss_fn().item();
+            t.update_data(|d| d[i] = orig);
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (analytic[i] - numeric).abs() < tol,
+                "grad[{i}]: analytic={} numeric={}",
+                analytic[i],
+                numeric
+            );
+        }
+    }
+
+    #[test]
+    fn add_mul_grads() {
+        let a = Tensor::new(vec![1.0, -2.0, 3.0], &[3], true);
+        let b = Tensor::new(vec![0.5, 4.0, -1.0], &[3], false);
+        check_grad(&a, || a.add(&b).mul(&a).sum_all(), 1e-2);
+    }
+
+    #[test]
+    fn matmul2_grads() {
+        let a = Tensor::new(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3], true);
+        let b = Tensor::new(vec![0.5, -1.0, 2.0, 1.5, -0.5, 1.0], &[3, 2], true);
+        check_grad(&a, || a.matmul(&b).sum_all(), 1e-2);
+        check_grad(&b, || a.matmul(&b).sum_all(), 1e-2);
+    }
+
+    #[test]
+    fn matmul3_matches_loop_of_matmul2() {
+        let a = Tensor::new((0..12).map(|i| i as f32 * 0.1).collect(), &[2, 2, 3], false);
+        let b = Tensor::new((0..12).map(|i| (11 - i) as f32 * 0.1).collect(), &[2, 3, 2], false);
+        let c = a.matmul(&b);
+        let a0 = Tensor::new(a.to_vec()[..6].to_vec(), &[2, 3], false);
+        let b0 = Tensor::new(b.to_vec()[..6].to_vec(), &[3, 2], false);
+        let c0 = a0.matmul(&b0);
+        assert_eq!(&c.to_vec()[..4], &c0.to_vec()[..]);
+    }
+
+    #[test]
+    fn batched_matmul_grads() {
+        let a = Tensor::new((0..12).map(|i| 0.1 * i as f32 - 0.5).collect(), &[2, 2, 3], true);
+        let b = Tensor::new((0..12).map(|i| 0.2 * i as f32 - 1.0).collect(), &[2, 3, 2], true);
+        check_grad(&a, || a.matmul(&b).sum_all(), 1e-2);
+        check_grad(&b, || a.matmul(&b).sum_all(), 1e-2);
+    }
+
+    #[test]
+    fn activations_grads() {
+        let x = Tensor::new(vec![-1.5, -0.1, 0.2, 2.0], &[4], true);
+        check_grad(&x, || x.relu().sum_all(), 1e-2);
+        check_grad(&x, || x.sigmoid().sum_all(), 1e-2);
+        check_grad(&x, || x.tanh().sum_all(), 1e-2);
+        check_grad(&x, || x.gelu().sum_all(), 1e-2);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::new(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3], false);
+        let s = x.softmax_last();
+        let v = s.to_vec();
+        assert!((v[..3].iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!((v[3..].iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_grads() {
+        let x = Tensor::new(vec![0.3, -0.7, 1.1, 0.2], &[2, 2], true);
+        let w = Tensor::new(vec![1.0, 2.0, -1.0, 0.5], &[2, 2], false);
+        check_grad(&x, || x.softmax_last().mul(&w).sum_all(), 1e-2);
+    }
+
+    #[test]
+    fn cross_entropy_matches_manual() {
+        let logits = Tensor::new(vec![2.0, 0.0, 0.0, 3.0], &[2, 2], true);
+        let loss = logits.cross_entropy_logits(&[0, 1]);
+        let l0 = -(2.0f32.exp() / (2.0f32.exp() + 1.0)).ln();
+        let l1 = -(3.0f32.exp() / (3.0f32.exp() + 1.0)).ln();
+        assert!((loss.item() - (l0 + l1) / 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_grads() {
+        let logits = Tensor::new(vec![0.5, -0.3, 0.8, 1.2, -0.1, 0.0], &[2, 3], true);
+        check_grad(&logits, || logits.cross_entropy_logits(&[2, 0]), 1e-2);
+    }
+
+    #[test]
+    fn embedding_gathers_and_scatters() {
+        let table = Tensor::new(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2], true);
+        let e = table.embedding(&[2, 0, 2]);
+        assert_eq!(e.to_vec(), vec![5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);
+        e.sum_all().backward();
+        // Row 2 used twice, row 0 once, row 1 never.
+        assert_eq!(table.grad(), vec![1.0, 1.0, 0.0, 0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn layer_norm_output_is_normalized() {
+        let x = Tensor::new(vec![1.0, 2.0, 3.0, 4.0], &[1, 4], false);
+        let gamma = Tensor::new(vec![1.0; 4], &[4], false);
+        let beta = Tensor::new(vec![0.0; 4], &[4], false);
+        let y = x.layer_norm(&gamma, &beta, 1e-5).to_vec();
+        let mean: f32 = y.iter().sum::<f32>() / 4.0;
+        let var: f32 = y.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn layer_norm_grads() {
+        let x = Tensor::new(vec![0.5, -1.0, 2.0, 0.1, 1.0, -0.4], &[2, 3], true);
+        let gamma = Tensor::new(vec![1.2, 0.8, 1.0], &[3], true);
+        let beta = Tensor::new(vec![0.1, -0.2, 0.0], &[3], true);
+        let w = Tensor::new(vec![1.0, -1.0, 0.5, 2.0, 0.3, -0.7], &[2, 3], false);
+        check_grad(&x, || x.layer_norm(&gamma, &beta, 1e-5).mul(&w).sum_all(), 2e-2);
+        check_grad(&gamma, || x.layer_norm(&gamma, &beta, 1e-5).mul(&w).sum_all(), 2e-2);
+        check_grad(&beta, || x.layer_norm(&gamma, &beta, 1e-5).mul(&w).sum_all(), 2e-2);
+    }
+
+    #[test]
+    fn transpose_and_swap_axes_grads() {
+        let x = Tensor::new((0..6).map(|i| i as f32).collect(), &[2, 3], true);
+        check_grad(&x, || x.transpose().sum_all(), 1e-2);
+        let y = Tensor::new((0..12).map(|i| i as f32 * 0.3).collect(), &[2, 3, 2], true);
+        let w = Tensor::new((0..12).map(|i| (i % 5) as f32).collect(), &[3, 2, 2], false);
+        check_grad(&y, || y.swap_axes01().mul(&w).sum_all(), 1e-2);
+    }
+
+    #[test]
+    fn swap_axes01_roundtrip() {
+        let y = Tensor::new((0..24).map(|i| i as f32).collect(), &[2, 3, 4], false);
+        let back = y.swap_axes01().swap_axes01();
+        assert_eq!(back.to_vec(), y.to_vec());
+        assert_eq!(back.shape(), y.shape());
+    }
+
+    #[test]
+    fn mean_rows_grads() {
+        let x = Tensor::new(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2], true);
+        let w = Tensor::new(vec![2.0, -1.0], &[2], false);
+        check_grad(&x, || x.mean_rows().mul(&w).sum_all(), 1e-2);
+    }
+
+    #[test]
+    fn add_bias_broadcasts() {
+        let x = Tensor::new(vec![0.0; 6], &[2, 3], true);
+        let b = Tensor::new(vec![1.0, 2.0, 3.0], &[3], true);
+        let y = x.add_bias(&b);
+        assert_eq!(y.to_vec(), vec![1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+        y.sum_all().backward();
+        assert_eq!(b.grad(), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn concat_rows_grads() {
+        let a = Tensor::new(vec![1.0, 2.0], &[1, 2], true);
+        let b = Tensor::new(vec![3.0, 4.0, 5.0, 6.0], &[2, 2], true);
+        let c = Tensor::concat_rows(&[a.clone(), b.clone()]);
+        assert_eq!(c.shape(), &[3, 2]);
+        c.sum_all().backward();
+        assert_eq!(a.grad(), vec![1.0, 1.0]);
+        assert_eq!(b.grad(), vec![1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn grad_accumulates_over_shared_use() {
+        // y = x·x → dy/dx = 2x, checked when x appears twice in the graph.
+        let x = Tensor::new(vec![3.0], &[1], true);
+        let y = x.mul(&x);
+        y.backward();
+        assert_eq!(x.grad(), vec![6.0]);
+    }
+
+    #[test]
+    fn backward_through_deep_chain() {
+        let x = Tensor::new(vec![0.5], &[1], true);
+        let mut y = x.clone();
+        for _ in 0..20 {
+            y = y.tanh();
+        }
+        y.backward();
+        assert!(x.grad()[0].is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "backward() requires a scalar loss")]
+    fn backward_on_vector_panics() {
+        let x = Tensor::new(vec![1.0, 2.0], &[2], true);
+        x.backward();
+    }
+
+    #[test]
+    fn no_grad_tensors_skip_backward_fn() {
+        let a = Tensor::new(vec![1.0], &[1], false);
+        let b = Tensor::new(vec![2.0], &[1], false);
+        let c = a.mul(&b);
+        assert!(!c.requires_grad());
+    }
+
+    #[test]
+    fn reshape_preserves_grads() {
+        let x = Tensor::new(vec![1.0, 2.0, 3.0, 4.0], &[2, 2], true);
+        let y = x.reshape(&[4]);
+        y.sum_all().backward();
+        assert_eq!(x.grad(), vec![1.0; 4]);
+    }
+}

@@ -1,0 +1,50 @@
+//! The common interface all 16 PhishingHook models implement.
+
+use std::fmt;
+
+/// Model category, matching the paper's Table II footnotes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Category {
+    /// † Histogram similarity classifiers.
+    Histogram,
+    /// ‡ Vision models.
+    Vision,
+    /// * Language models.
+    Language,
+    /// § Vulnerability detection models.
+    VulnerabilityDetection,
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Category::Histogram => write!(f, "Histogram"),
+            Category::Vision => write!(f, "Vision"),
+            Category::Language => write!(f, "Language"),
+            Category::VulnerabilityDetection => write!(f, "Vulnerability"),
+        }
+    }
+}
+
+/// A phishing detector over raw deployed bytecode.
+///
+/// Each implementation owns its feature extraction (histograms, images,
+/// token sequences, …) so that anything fitted from data — vocabularies,
+/// frequency lookup tables — is derived from the *training* split only.
+pub trait Detector {
+    /// Model name as it appears in the paper's Table II.
+    fn name(&self) -> &'static str;
+
+    /// Model category.
+    fn category(&self) -> Category;
+
+    /// Trains on bytecodes with binary labels (1 = phishing).
+    ///
+    /// # Panics
+    /// Implementations may panic when `codes.len() != labels.len()` or the
+    /// training set is empty.
+    fn fit(&mut self, codes: &[&[u8]], labels: &[usize]);
+
+    /// Predicts a binary label per bytecode.
+    fn predict(&self, codes: &[&[u8]]) -> Vec<usize>;
+}

@@ -1,0 +1,402 @@
+//! The five language models: SCSGuard, GPT-2α/β and T5α/β.
+//!
+//! * **SCSGuard** — bigram embedding → multi-head attention → GRU → linear
+//!   head, exactly the architecture sketch in the paper's §IV-B.
+//! * **GPT-2-style** — byte tokens, learned positions, *causal* transformer
+//!   encoder, last-token-free mean pooling, classification head.
+//! * **T5-style** — byte tokens, learned positions, bidirectional encoder.
+//!
+//! The α/β split reproduces the paper's Table II variants: α truncates each
+//! bytecode to the model's sequence limit; β covers the full bytecode with
+//! sliding windows and averages window logits.
+//!
+//! Substitution note (DESIGN.md §2): the paper fine-tunes HuggingFace
+//! pretrained GPT-2/T5 checkpoints; offline we train scaled-down instances
+//! of the same architectures from scratch.
+
+use crate::detector::{Category, Detector};
+use phishinghook_features::ngram::BigramVocab;
+use phishinghook_features::tokenize::{tokenize, Tokenization, VOCAB_SIZE};
+use phishinghook_ml::nn::layers::{normal_init, Dense, Embedding, Gru, MultiHeadAttention, TransformerBlock};
+use phishinghook_ml::nn::{Adam, Optimizer, Tensor};
+use phishinghook_ml::SplitMix;
+
+/// Hyperparameters shared by the language models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LanguageConfig {
+    /// Model width.
+    pub dim: usize,
+    /// Transformer depth (GPT-2/T5) — SCSGuard uses one attention block.
+    pub depth: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Sequence length (α truncation / β window size).
+    pub max_len: usize,
+    /// β window stride.
+    pub stride: usize,
+    /// Cap on training windows per contract (β).
+    pub max_windows: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Minibatch size (sequences).
+    pub batch: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for LanguageConfig {
+    fn default() -> Self {
+        LanguageConfig {
+            dim: 32,
+            depth: 2,
+            heads: 2,
+            max_len: 96,
+            stride: 64,
+            max_windows: 3,
+            epochs: 3,
+            batch: 16,
+            lr: 2e-3,
+            seed: 33,
+        }
+    }
+}
+
+// ---------------------------------------------------------------- SCSGuard
+
+/// SCSGuard: bigram embedding + attention + GRU + linear head.
+pub struct ScsGuardDetector {
+    config: LanguageConfig,
+    vocab_size: usize,
+    state: Option<ScsGuardModel>,
+}
+
+struct ScsGuardModel {
+    vocab: BigramVocab,
+    embedding: Embedding,
+    attention: MultiHeadAttention,
+    gru: Gru,
+    head: Dense,
+}
+
+impl ScsGuardModel {
+    fn forward(&self, ids: &[usize]) -> Tensor {
+        let x = self.embedding.forward(ids);
+        let attended = self.attention.forward(&x, false).add(&x);
+        let hidden = self.gru.forward_last(&attended);
+        self.head.forward(&hidden)
+    }
+
+    fn params(&self) -> Vec<Tensor> {
+        let mut p = self.embedding.params();
+        p.extend(self.attention.params());
+        p.extend(self.gru.params());
+        p.extend(self.head.params());
+        p
+    }
+}
+
+impl std::fmt::Debug for ScsGuardDetector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ScsGuardDetector")
+    }
+}
+
+impl ScsGuardDetector {
+    /// Creates an unfitted SCSGuard with a bigram vocabulary of `vocab_size`.
+    pub fn new(config: LanguageConfig) -> Self {
+        ScsGuardDetector { config, vocab_size: 512, state: None }
+    }
+}
+
+impl Detector for ScsGuardDetector {
+    fn name(&self) -> &'static str {
+        "SCSGuard"
+    }
+
+    fn category(&self) -> Category {
+        Category::Language
+    }
+
+    fn fit(&mut self, codes: &[&[u8]], labels: &[usize]) {
+        assert_eq!(codes.len(), labels.len(), "one label per bytecode");
+        let mut rng = SplitMix::new(self.config.seed);
+        let vocab = BigramVocab::fit(codes, self.vocab_size, self.config.max_len);
+        let model = ScsGuardModel {
+            embedding: Embedding::new(&mut rng, vocab.len(), self.config.dim),
+            attention: MultiHeadAttention::new(&mut rng, self.config.dim, self.config.heads),
+            gru: Gru::new(&mut rng, self.config.dim, self.config.dim),
+            head: Dense::new(&mut rng, self.config.dim, 2),
+            vocab,
+        };
+        let sequences: Vec<Vec<usize>> = codes.iter().map(|c| model.vocab.encode(c)).collect();
+        let mut opt = Adam::new(model.params(), self.config.lr);
+        let mut order: Vec<usize> = (0..codes.len()).collect();
+        for _ in 0..self.config.epochs {
+            rng.shuffle(&mut order);
+            for chunk in order.chunks(self.config.batch) {
+                let logits: Vec<Tensor> =
+                    chunk.iter().map(|&i| model.forward(&sequences[i])).collect();
+                let batch_labels: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+                let loss = Tensor::concat_rows(&logits).cross_entropy_logits(&batch_labels);
+                opt.zero_grad();
+                loss.backward();
+                opt.step();
+            }
+        }
+        self.state = Some(model);
+    }
+
+    fn predict(&self, codes: &[&[u8]]) -> Vec<usize> {
+        let model = self.state.as_ref().expect("predict before fit");
+        codes
+            .iter()
+            .map(|c| {
+                let logits = model.forward(&model.vocab.encode(c)).to_vec();
+                usize::from(logits[1] > logits[0])
+            })
+            .collect()
+    }
+}
+
+// ----------------------------------------------------- GPT-2 / T5 variants
+
+/// Architecture flavour of a [`TransformerLm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LmArch {
+    /// Decoder-style causal attention (GPT-2).
+    Gpt2,
+    /// Bidirectional encoder (T5).
+    T5,
+}
+
+/// A transformer language-model classifier (GPT-2α/β, T5α/β).
+pub struct TransformerLm {
+    name: &'static str,
+    arch: LmArch,
+    policy: Tokenization,
+    config: LanguageConfig,
+    state: Option<LmModel>,
+}
+
+struct LmModel {
+    embedding: Embedding,
+    pos: Tensor,
+    blocks: Vec<TransformerBlock>,
+    head: Dense,
+    causal: bool,
+}
+
+impl LmModel {
+    fn forward(&self, ids: &[usize]) -> Tensor {
+        let x = self.embedding.forward(ids);
+        let pos = Tensor::new(
+            self.pos.to_vec()[..ids.len() * x.shape()[1]].to_vec(),
+            &[ids.len(), x.shape()[1]],
+            false,
+        );
+        // Positions participate in training through the stored parameter;
+        // slicing is only needed when ids are shorter than max_len.
+        let mut h = if ids.len() * x.shape()[1] == self.pos.len() {
+            x.add(&self.pos)
+        } else {
+            x.add(&pos)
+        };
+        for b in &self.blocks {
+            h = b.forward(&h, self.causal);
+        }
+        let d = h.shape()[1];
+        let pooled = h.mean_rows().reshape(&[1, d]);
+        self.head.forward(&pooled)
+    }
+
+    fn params(&self) -> Vec<Tensor> {
+        let mut p = self.embedding.params();
+        p.push(self.pos.clone());
+        for b in &self.blocks {
+            p.extend(b.params());
+        }
+        p.extend(self.head.params());
+        p
+    }
+}
+
+impl std::fmt::Debug for TransformerLm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TransformerLm({})", self.name)
+    }
+}
+
+impl TransformerLm {
+    /// GPT-2α: causal, truncated sequences.
+    pub fn gpt2_alpha(config: LanguageConfig) -> Self {
+        let policy = Tokenization::Truncate { max_len: config.max_len };
+        TransformerLm { name: "GPT-2α", arch: LmArch::Gpt2, policy, config, state: None }
+    }
+
+    /// GPT-2β: causal, sliding-window chunks.
+    pub fn gpt2_beta(config: LanguageConfig) -> Self {
+        let policy =
+            Tokenization::SlidingWindow { window: config.max_len, stride: config.stride };
+        TransformerLm { name: "GPT-2β", arch: LmArch::Gpt2, policy, config, state: None }
+    }
+
+    /// T5α: bidirectional, truncated sequences.
+    pub fn t5_alpha(config: LanguageConfig) -> Self {
+        let policy = Tokenization::Truncate { max_len: config.max_len };
+        TransformerLm { name: "T5α", arch: LmArch::T5, policy, config, state: None }
+    }
+
+    /// T5β: bidirectional, sliding-window chunks.
+    pub fn t5_beta(config: LanguageConfig) -> Self {
+        let policy =
+            Tokenization::SlidingWindow { window: config.max_len, stride: config.stride };
+        TransformerLm { name: "T5β", arch: LmArch::T5, policy, config, state: None }
+    }
+}
+
+impl Detector for TransformerLm {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn category(&self) -> Category {
+        Category::Language
+    }
+
+    fn fit(&mut self, codes: &[&[u8]], labels: &[usize]) {
+        assert_eq!(codes.len(), labels.len(), "one label per bytecode");
+        let mut rng = SplitMix::new(self.config.seed);
+        let model = LmModel {
+            embedding: Embedding::new(&mut rng, VOCAB_SIZE, self.config.dim),
+            pos: normal_init(&mut rng, &[self.config.max_len, self.config.dim], 0.02),
+            blocks: (0..self.config.depth)
+                .map(|_| {
+                    TransformerBlock::new(&mut rng, self.config.dim, self.config.heads, self.config.dim * 2)
+                })
+                .collect(),
+            head: Dense::new(&mut rng, self.config.dim, 2),
+            causal: self.arch == LmArch::Gpt2,
+        };
+        // One (sequence, label) pair per window; β caps windows per contract.
+        let mut sequences: Vec<(Vec<usize>, usize)> = Vec::new();
+        for (code, &label) in codes.iter().zip(labels) {
+            for w in tokenize(code, self.policy).into_iter().take(self.config.max_windows) {
+                sequences.push((w, label));
+            }
+        }
+        let mut opt = Adam::new(model.params(), self.config.lr);
+        let mut order: Vec<usize> = (0..sequences.len()).collect();
+        for _ in 0..self.config.epochs {
+            rng.shuffle(&mut order);
+            for chunk in order.chunks(self.config.batch) {
+                let logits: Vec<Tensor> =
+                    chunk.iter().map(|&i| model.forward(&sequences[i].0)).collect();
+                let batch_labels: Vec<usize> = chunk.iter().map(|&i| sequences[i].1).collect();
+                let loss = Tensor::concat_rows(&logits).cross_entropy_logits(&batch_labels);
+                opt.zero_grad();
+                loss.backward();
+                opt.step();
+            }
+        }
+        self.state = Some(model);
+    }
+
+    fn predict(&self, codes: &[&[u8]]) -> Vec<usize> {
+        let model = self.state.as_ref().expect("predict before fit");
+        codes
+            .iter()
+            .map(|c| {
+                // β averages logits over the contract's windows.
+                let mut sum = [0.0f32; 2];
+                let windows = tokenize(c, self.policy);
+                let n = windows.len().min(self.config.max_windows.max(1));
+                for w in windows.into_iter().take(n) {
+                    let l = model.forward(&w).to_vec();
+                    sum[0] += l[0];
+                    sum[1] += l[1];
+                }
+                usize::from(sum[1] > sum[0])
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phishinghook_data::{Corpus, CorpusConfig};
+
+    fn fast_config() -> LanguageConfig {
+        LanguageConfig { max_len: 48, stride: 32, epochs: 8, lr: 3e-3, ..Default::default() }
+    }
+
+    fn corpus_split() -> (Vec<Vec<u8>>, Vec<usize>) {
+        let corpus = Corpus::generate(&CorpusConfig {
+            n_contracts: 240,
+            seed: 6,
+            ..Default::default()
+        });
+        (
+            corpus.records.iter().map(|r| r.bytecode.clone()).collect(),
+            corpus.records.iter().map(|r| r.label.as_index()).collect(),
+        )
+    }
+
+    fn check_beats_chance(det: &mut dyn Detector) {
+        let (codes, labels) = corpus_split();
+        let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
+        let (train_x, test_x) = refs.split_at(180);
+        let (train_y, test_y) = labels.split_at(180);
+        det.fit(train_x, train_y);
+        let preds = det.predict(test_x);
+        let correct = preds.iter().zip(test_y).filter(|(a, b)| a == b).count();
+        let acc = correct as f64 / test_y.len() as f64;
+        assert!(acc > 0.55, "{} accuracy {acc}", det.name());
+    }
+
+    #[test]
+    fn scsguard_beats_chance() {
+        check_beats_chance(&mut ScsGuardDetector::new(fast_config()));
+    }
+
+    #[test]
+    fn gpt2_alpha_beats_chance() {
+        check_beats_chance(&mut TransformerLm::gpt2_alpha(fast_config()));
+    }
+
+    #[test]
+    fn t5_alpha_beats_chance() {
+        check_beats_chance(&mut TransformerLm::t5_alpha(fast_config()));
+    }
+
+    #[test]
+    fn beta_variants_train_and_predict() {
+        // β is heavier; just verify the full path runs and is deterministic.
+        let (codes, labels) = corpus_split();
+        let refs: Vec<&[u8]> = codes.iter().take(30).map(Vec::as_slice).collect();
+        let labels = &labels[..30];
+        let mut det = TransformerLm::gpt2_beta(LanguageConfig {
+            max_len: 32,
+            stride: 24,
+            epochs: 1,
+            max_windows: 2,
+            ..Default::default()
+        });
+        det.fit(&refs, labels);
+        let p1 = det.predict(&refs);
+        let p2 = det.predict(&refs);
+        assert_eq!(p1, p2);
+        assert_eq!(p1.len(), 30);
+    }
+
+    #[test]
+    fn names_match_table2() {
+        let cfg = fast_config();
+        assert_eq!(TransformerLm::gpt2_alpha(cfg.clone()).name(), "GPT-2α");
+        assert_eq!(TransformerLm::gpt2_beta(cfg.clone()).name(), "GPT-2β");
+        assert_eq!(TransformerLm::t5_alpha(cfg.clone()).name(), "T5α");
+        assert_eq!(TransformerLm::t5_beta(cfg).name(), "T5β");
+    }
+}

@@ -1,0 +1,441 @@
+//! The three vision models: ViT+R2D2, ECA+EfficientNet and ViT+Freq.
+//!
+//! Bytecode is rendered to RGB tensors (byte-colour R2D2 encoding, or the
+//! disassembly-frequency encoding) and classified by either a Vision
+//! Transformer or an ECA-attended EfficientNet-style CNN.
+//!
+//! Substitution note (DESIGN.md §2): the paper fine-tunes an ImageNet
+//! pretrained ViT-B/16 at 224×224. Offline and CPU-bound, we train the same
+//! *architectures* from scratch at reduced width/resolution; the encoding
+//! and classification code paths are identical.
+
+use crate::detector::{Category, Detector};
+use phishinghook_features::{freq_image, r2d2_image, FreqLookup};
+use phishinghook_ml::nn::layers::{Dense, LayerNorm, TransformerBlock};
+use phishinghook_ml::nn::{Adam, Optimizer, Tensor};
+use phishinghook_ml::SplitMix;
+
+/// Image-encoding flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Encoding {
+    /// Raw bytes as RGB (R2D2).
+    R2d2,
+    /// Disassembly-frequency pixels (requires a training-set lookup).
+    Freq,
+}
+
+/// Backbone flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackboneKind {
+    /// Vision-Transformer-style patch encoder.
+    VitLite,
+    /// ECA + EfficientNet-style CNN.
+    EcaEffNet,
+}
+
+/// Hyperparameters shared by the vision models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VisionConfig {
+    /// Square image side (paper: 224; reduced default for CPU training).
+    pub image_size: usize,
+    /// ViT patch side.
+    pub patch: usize,
+    /// Model width.
+    pub dim: usize,
+    /// Transformer depth / CNN stage count.
+    pub depth: usize,
+    /// Attention heads (ViT).
+    pub heads: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Parameter-init / shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for VisionConfig {
+    fn default() -> Self {
+        VisionConfig {
+            image_size: 16,
+            patch: 4,
+            dim: 32,
+            depth: 2,
+            heads: 2,
+            epochs: 6,
+            batch: 16,
+            lr: 5e-3,
+            seed: 21,
+        }
+    }
+}
+
+/// ViT-style backbone: patch embedding + transformer encoder + mean pool.
+struct VitLite {
+    patch_embed: Dense,
+    pos: Tensor,
+    blocks: Vec<TransformerBlock>,
+    ln: LayerNorm,
+    head: Dense,
+    cfg: VisionConfig,
+}
+
+impl VitLite {
+    fn new(cfg: &VisionConfig, rng: &mut SplitMix) -> Self {
+        let tokens = (cfg.image_size / cfg.patch).pow(2);
+        let patch_dim = 3 * cfg.patch * cfg.patch;
+        VitLite {
+            patch_embed: Dense::new(rng, patch_dim, cfg.dim),
+            pos: phishinghook_ml::nn::layers::normal_init(rng, &[tokens, cfg.dim], 0.02),
+            blocks: (0..cfg.depth)
+                .map(|_| TransformerBlock::new(rng, cfg.dim, cfg.heads, cfg.dim * 2))
+                .collect(),
+            ln: LayerNorm::new(cfg.dim),
+            head: Dense::new(rng, cfg.dim, 2),
+            cfg: cfg.clone(),
+        }
+    }
+
+    fn params(&self) -> Vec<Tensor> {
+        let mut p = self.patch_embed.params();
+        p.push(self.pos.clone());
+        for b in &self.blocks {
+            p.extend(b.params());
+        }
+        p.extend(self.ln.params());
+        p.extend(self.head.params());
+        p
+    }
+
+    /// `[1, 2]` logits for one channel-first image buffer.
+    fn forward(&self, image: &[f32]) -> Tensor {
+        let s = self.cfg.image_size;
+        let p = self.cfg.patch;
+        let grid = s / p;
+        let tokens = grid * grid;
+        let patch_dim = 3 * p * p;
+        // Patchify: token t gathers a p×p window from each channel.
+        let mut data = vec![0.0f32; tokens * patch_dim];
+        for ty in 0..grid {
+            for tx in 0..grid {
+                let t = ty * grid + tx;
+                for c in 0..3 {
+                    for py in 0..p {
+                        for px in 0..p {
+                            let src = c * s * s + (ty * p + py) * s + (tx * p + px);
+                            let dst = t * patch_dim + c * p * p + py * p + px;
+                            data[dst] = image[src];
+                        }
+                    }
+                }
+            }
+        }
+        let x = Tensor::new(data, &[tokens, patch_dim], false);
+        let mut h = self.patch_embed.forward(&x).add(&self.pos);
+        for b in &self.blocks {
+            h = b.forward(&h, false);
+        }
+        let pooled = self.ln.forward(&h).mean_rows().reshape(&[1, self.cfg.dim]);
+        self.head.forward(&pooled)
+    }
+}
+
+/// ECA + EfficientNet-style backbone: conv stem, depthwise separable block,
+/// efficient channel attention, global average pooling.
+struct EcaEffNet {
+    stem: Tensor,      // [C1, 3, 3, 3]
+    dw: Tensor,        // [C1, 3, 3]
+    pw: Tensor,        // [C2, C1, 1, 1]
+    eca: Dense,        // channel attention (the paper's "modified ECA")
+    head: Dense,       // [C2 -> 2]
+    image_size: usize,
+}
+
+impl EcaEffNet {
+    fn new(cfg: &VisionConfig, rng: &mut SplitMix) -> Self {
+        let (c1, c2) = (8, 16);
+        let conv_init = |rng: &mut SplitMix, shape: &[usize]| {
+            let fan_in: usize = shape[1..].iter().product();
+            let sigma = (2.0 / fan_in as f64).sqrt();
+            phishinghook_ml::nn::layers::normal_init(rng, shape, sigma)
+        };
+        EcaEffNet {
+            stem: conv_init(rng, &[c1, 3, 3, 3]),
+            dw: conv_init(rng, &[c1, 3, 3]),
+            pw: conv_init(rng, &[c2, c1, 1, 1]),
+            eca: Dense::new(rng, c2, c2),
+            head: Dense::new(rng, c2, 2),
+            image_size: cfg.image_size,
+        }
+    }
+
+    fn params(&self) -> Vec<Tensor> {
+        let mut p = vec![self.stem.clone(), self.dw.clone(), self.pw.clone()];
+        p.extend(self.eca.params());
+        p.extend(self.head.params());
+        p
+    }
+
+    fn forward(&self, image: &[f32]) -> Tensor {
+        let s = self.image_size;
+        let x = Tensor::new(image.to_vec(), &[1, 3, s, s], false);
+        let h = x.conv2d(&self.stem, 2, 1).relu(); // [1, C1, s/2, s/2]
+        let h = h.depthwise_conv2d(&self.dw, 1, 1).relu();
+        let h = h.conv2d(&self.pw, 1, 0).relu(); // [1, C2, s/2, s/2]
+        // ECA: channel descriptor → gate → channel-scaled features.
+        let descriptor = h.global_avg_pool(); // [1, C2]
+        let gate = self.eca.forward(&descriptor).sigmoid();
+        let attended = h.scale_channels(&gate);
+        let pooled = attended.global_avg_pool(); // [1, C2]
+        self.head.forward(&pooled)
+    }
+}
+
+enum Backbone {
+    Vit(VitLite),
+    Eff(EcaEffNet),
+}
+
+impl Backbone {
+    fn forward(&self, image: &[f32]) -> Tensor {
+        match self {
+            Backbone::Vit(m) => m.forward(image),
+            Backbone::Eff(m) => m.forward(image),
+        }
+    }
+
+    fn params(&self) -> Vec<Tensor> {
+        match self {
+            Backbone::Vit(m) => m.params(),
+            Backbone::Eff(m) => m.params(),
+        }
+    }
+}
+
+/// A vision-model detector (encoding + backbone + training loop).
+pub struct VisionDetector {
+    name: &'static str,
+    encoding: Encoding,
+    backbone_kind: BackboneKind,
+    config: VisionConfig,
+    backbone: Option<Backbone>,
+    freq_lookup: Option<FreqLookup>,
+}
+
+impl std::fmt::Debug for VisionDetector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "VisionDetector({})", self.name)
+    }
+}
+
+impl VisionDetector {
+    /// ViT over R2D2 byte images.
+    pub fn vit_r2d2(config: VisionConfig) -> Self {
+        VisionDetector {
+            name: "ViT+R2D2",
+            encoding: Encoding::R2d2,
+            backbone_kind: BackboneKind::VitLite,
+            config,
+            backbone: None,
+            freq_lookup: None,
+        }
+    }
+
+    /// ECA+EfficientNet over R2D2 byte images.
+    pub fn eca_efficientnet(config: VisionConfig) -> Self {
+        VisionDetector {
+            name: "ECA+EfficientNet",
+            encoding: Encoding::R2d2,
+            backbone_kind: BackboneKind::EcaEffNet,
+            config,
+            backbone: None,
+            freq_lookup: None,
+        }
+    }
+
+    /// ViT over frequency-encoded disassembly images.
+    pub fn vit_freq(config: VisionConfig) -> Self {
+        VisionDetector {
+            name: "ViT+Freq",
+            encoding: Encoding::Freq,
+            backbone_kind: BackboneKind::VitLite,
+            config,
+            backbone: None,
+            freq_lookup: None,
+        }
+    }
+
+    fn encode(&self, code: &[u8]) -> Vec<f32> {
+        match self.encoding {
+            Encoding::R2d2 => r2d2_image(code, self.config.image_size),
+            Encoding::Freq => freq_image(
+                code,
+                self.freq_lookup.as_ref().expect("freq lookup fitted"),
+                self.config.image_size,
+            ),
+        }
+    }
+}
+
+impl Detector for VisionDetector {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn category(&self) -> Category {
+        Category::Vision
+    }
+
+    fn fit(&mut self, codes: &[&[u8]], labels: &[usize]) {
+        assert_eq!(codes.len(), labels.len(), "one label per bytecode");
+        assert!(!codes.is_empty(), "cannot fit on an empty dataset");
+        let mut rng = SplitMix::new(self.config.seed);
+        if self.encoding == Encoding::Freq {
+            self.freq_lookup = Some(FreqLookup::fit(codes));
+        }
+        let backbone = match self.backbone_kind {
+            BackboneKind::VitLite => Backbone::Vit(VitLite::new(&self.config, &mut rng)),
+            BackboneKind::EcaEffNet => Backbone::Eff(EcaEffNet::new(&self.config, &mut rng)),
+        };
+        let images: Vec<Vec<f32>> = {
+            // encode() borrows freq_lookup, set above.
+            let this = &*self;
+            codes
+                .iter()
+                .map(|c| match this.encoding {
+                    Encoding::R2d2 => r2d2_image(c, this.config.image_size),
+                    Encoding::Freq => freq_image(
+                        c,
+                        this.freq_lookup.as_ref().expect("freq lookup fitted"),
+                        this.config.image_size,
+                    ),
+                })
+                .collect()
+        };
+
+        let mut opt = Adam::new(backbone.params(), self.config.lr);
+        let mut order: Vec<usize> = (0..codes.len()).collect();
+        for _epoch in 0..self.config.epochs {
+            rng.shuffle(&mut order);
+            for chunk in order.chunks(self.config.batch) {
+                let logits: Vec<Tensor> =
+                    chunk.iter().map(|&i| backbone.forward(&images[i])).collect();
+                let batch_labels: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+                let loss = Tensor::concat_rows(&logits).cross_entropy_logits(&batch_labels);
+                opt.zero_grad();
+                loss.backward();
+                opt.step();
+            }
+        }
+        self.backbone = Some(backbone);
+    }
+
+    fn predict(&self, codes: &[&[u8]]) -> Vec<usize> {
+        let backbone = self.backbone.as_ref().expect("predict before fit");
+        codes
+            .iter()
+            .map(|c| {
+                let logits = backbone.forward(&self.encode(c)).to_vec();
+                usize::from(logits[1] > logits[0])
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phishinghook_data::{Corpus, CorpusConfig};
+
+    fn fast_config() -> VisionConfig {
+        VisionConfig { epochs: 20, lr: 3e-3, ..VisionConfig::default() }
+    }
+
+    fn cnn_config() -> VisionConfig {
+        VisionConfig { epochs: 20, lr: 1e-2, ..VisionConfig::default() }
+    }
+
+    fn corpus_split() -> (Vec<Vec<u8>>, Vec<usize>) {
+        let corpus = Corpus::generate(&CorpusConfig {
+            n_contracts: 240,
+            seed: 5,
+            ..Default::default()
+        });
+        (
+            corpus.records.iter().map(|r| r.bytecode.clone()).collect(),
+            corpus.records.iter().map(|r| r.label.as_index()).collect(),
+        )
+    }
+
+    fn check_beats_chance(mut det: VisionDetector) {
+        let (codes, labels) = corpus_split();
+        let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
+        let (train_x, test_x) = refs.split_at(180);
+        let (train_y, test_y) = labels.split_at(180);
+        det.fit(train_x, train_y);
+        let preds = det.predict(test_x);
+        let correct = preds.iter().zip(test_y).filter(|(a, b)| a == b).count();
+        let acc = correct as f64 / test_y.len() as f64;
+        assert!(acc > 0.55, "{} accuracy {acc}", det.name());
+    }
+
+    #[test]
+    fn vit_r2d2_beats_chance() {
+        check_beats_chance(VisionDetector::vit_r2d2(fast_config()));
+    }
+
+    #[test]
+    fn eca_efficientnet_beats_chance() {
+        check_beats_chance(VisionDetector::eca_efficientnet(cnn_config()));
+    }
+
+    #[test]
+    fn vit_freq_beats_chance() {
+        check_beats_chance(VisionDetector::vit_freq(fast_config()));
+    }
+
+    #[test]
+    #[ignore = "debug only"]
+    fn effnet_debug() {
+        let (codes, labels) = corpus_split();
+        let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
+        let (train_x, test_x) = refs.split_at(180);
+        let (train_y, test_y) = labels.split_at(180);
+        for (epochs, lr) in [(12usize, 3e-3f32), (25, 5e-3), (25, 1e-2)] {
+            let mut det = VisionDetector::eca_efficientnet(VisionConfig { epochs, lr, ..Default::default() });
+            det.fit(train_x, train_y);
+            let tr = det.predict(train_x).iter().zip(train_y).filter(|(a, b)| a == b).count() as f64
+                / train_y.len() as f64;
+            let te = det.predict(test_x).iter().zip(test_y).filter(|(a, b)| a == b).count() as f64
+                / test_y.len() as f64;
+            eprintln!("epochs={epochs} lr={lr}: train={tr:.3} test={te:.3}");
+        }
+    }
+
+    #[test]
+    #[ignore = "debug only"]
+    fn vit_debug() {
+        let (codes, labels) = corpus_split();
+        let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
+        let (train_x, test_x) = refs.split_at(180);
+        let (train_y, test_y) = labels.split_at(180);
+        for (epochs, lr) in [(20usize, 3e-3f32), (20, 6e-3), (30, 6e-3), (30, 1e-2), (40, 3e-3)] {
+            let mut det = VisionDetector::vit_r2d2(VisionConfig { epochs, lr, ..Default::default() });
+            det.fit(train_x, train_y);
+            let tr = det.predict(train_x).iter().zip(train_y).filter(|(a, b)| a == b).count() as f64
+                / train_y.len() as f64;
+            let te = det.predict(test_x).iter().zip(test_y).filter(|(a, b)| a == b).count() as f64
+                / test_y.len() as f64;
+            eprintln!("epochs={epochs} lr={lr}: train={tr:.3} test={te:.3}");
+        }
+    }
+
+    #[test]
+    fn categories_and_names() {
+        let det = VisionDetector::vit_r2d2(fast_config());
+        assert_eq!(det.category(), Category::Vision);
+        assert_eq!(det.name(), "ViT+R2D2");
+    }
+}

@@ -1,0 +1,62 @@
+//! Area Under Time (AUT) — the time-resistance stability metric of the
+//! paper's Fig. 8, following TESSERACT (Pendlebury et al., USENIX Sec '19).
+//!
+//! `AUT ∈ [0, 1]` is the trapezoidal area under a metric's curve over the
+//! test periods, normalized by the number of intervals; higher values mean
+//! greater robustness against temporal decay.
+
+/// Computes AUT over a per-period metric series.
+///
+/// # Panics
+/// Panics when the series has fewer than 2 points or values outside `[0, 1]`.
+pub fn area_under_time(series: &[f64]) -> f64 {
+    assert!(series.len() >= 2, "AUT requires at least two periods");
+    assert!(
+        series.iter().all(|v| (0.0..=1.0).contains(v)),
+        "AUT is defined over metrics in [0, 1]"
+    );
+    let intervals = (series.len() - 1) as f64;
+    series.windows(2).map(|w| (w[0] + w[1]) / 2.0).sum::<f64>() / intervals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constant_series_equals_its_value() {
+        assert!((area_under_time(&[0.9; 9]) - 0.9).abs() < 1e-12);
+        assert!((area_under_time(&[0.0, 0.0]) - 0.0).abs() < 1e-12);
+        assert!((area_under_time(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_decay_is_the_midpoint() {
+        assert!((area_under_time(&[1.0, 0.75, 0.5, 0.25, 0.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degrading_model_scores_lower() {
+        let stable = [0.9, 0.89, 0.9, 0.88, 0.9];
+        let decaying = [0.9, 0.8, 0.7, 0.6, 0.5];
+        assert!(area_under_time(&stable) > area_under_time(&decaying));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two periods")]
+    fn single_point_panics() {
+        let _ = area_under_time(&[0.5]);
+    }
+
+    proptest! {
+        #[test]
+        fn aut_bounded(series in proptest::collection::vec(0.0f64..=1.0, 2..20)) {
+            let aut = area_under_time(&series);
+            prop_assert!((0.0..=1.0).contains(&aut));
+            let min = series.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = series.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(aut >= min - 1e-12 && aut <= max + 1e-12);
+        }
+    }
+}

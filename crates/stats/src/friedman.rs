@@ -1,0 +1,319 @@
+//! Friedman test, Wilcoxon signed-rank test and Cliff's δ — the machinery
+//! behind the paper's critical difference diagram (Fig. 6).
+
+use crate::dist::{chi2_sf, normal_sf};
+use crate::ranks::{average_ranks, holm_bonferroni};
+
+/// Result of a Friedman test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Friedman {
+    /// The χ²_F statistic.
+    pub chi2: f64,
+    /// P-value (χ² with k−1 degrees of freedom).
+    pub p_value: f64,
+    /// Mean rank per treatment (lower = better when ranking losses;
+    /// interpretation is the caller's).
+    pub mean_ranks: Vec<f64>,
+}
+
+/// Runs the Friedman test on a `blocks × treatments` table (each row is one
+/// block's measurement of every treatment).
+///
+/// # Panics
+/// Panics when there are fewer than 2 blocks or fewer than 2 treatments, or
+/// when rows have unequal lengths.
+pub fn friedman(blocks: &[Vec<f64>]) -> Friedman {
+    let n = blocks.len();
+    assert!(n >= 2, "Friedman requires at least two blocks");
+    let k = blocks[0].len();
+    assert!(k >= 2, "Friedman requires at least two treatments");
+    assert!(blocks.iter().all(|b| b.len() == k), "ragged block table");
+
+    let mut rank_sums = vec![0.0; k];
+    for row in blocks {
+        for (j, r) in average_ranks(row).into_iter().enumerate() {
+            rank_sums[j] += r;
+        }
+    }
+    let mean_ranks: Vec<f64> = rank_sums.iter().map(|s| s / n as f64).collect();
+    let nf = n as f64;
+    let kf = k as f64;
+    let chi2 = 12.0 * nf / (kf * (kf + 1.0))
+        * mean_ranks
+            .iter()
+            .map(|r| (r - (kf + 1.0) / 2.0).powi(2))
+            .sum::<f64>();
+    Friedman { chi2, p_value: chi2_sf(chi2, k - 1), mean_ranks }
+}
+
+/// Result of a Wilcoxon signed-rank test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Wilcoxon {
+    /// The smaller of the positive/negative rank sums.
+    pub w: f64,
+    /// Two-sided p-value (exact for ≤ 25 non-zero pairs, else normal
+    /// approximation with tie correction).
+    pub p_value: f64,
+}
+
+/// Runs the two-sided Wilcoxon signed-rank test on paired samples.
+///
+/// # Panics
+/// Panics when inputs have different lengths.
+pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> Wilcoxon {
+    assert_eq!(a.len(), b.len(), "paired test requires equal lengths");
+    let diffs: Vec<f64> = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| x - y)
+        .filter(|d| *d != 0.0)
+        .collect();
+    let n = diffs.len();
+    if n == 0 {
+        return Wilcoxon { w: 0.0, p_value: 1.0 };
+    }
+    let abs: Vec<f64> = diffs.iter().map(|d| d.abs()).collect();
+    let ranks = average_ranks(&abs);
+    let w_plus: f64 = ranks
+        .iter()
+        .zip(&diffs)
+        .filter(|(_, d)| **d > 0.0)
+        .map(|(r, _)| r)
+        .sum();
+    let total = n as f64 * (n as f64 + 1.0) / 2.0;
+    let w_minus = total - w_plus;
+    let w = w_plus.min(w_minus);
+
+    let has_ties = crate::ranks::tie_group_sizes(&abs).iter().any(|&t| t >= 2);
+    let p_value = if n <= 25 && !has_ties {
+        exact_wilcoxon_p(w_plus, n)
+    } else {
+        // Normal approximation with tie correction.
+        let nf = n as f64;
+        let tie_sum: f64 = crate::ranks::tie_group_sizes(&abs)
+            .iter()
+            .map(|&t| (t * t * t - t) as f64)
+            .sum();
+        let sigma = (nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0 - tie_sum / 48.0).sqrt();
+        let mu = nf * (nf + 1.0) / 4.0;
+        // Continuity correction toward the mean.
+        let z = (w - mu + 0.5) / sigma;
+        (2.0 * normal_sf(-z)).min(1.0)
+    };
+    Wilcoxon { w, p_value }
+}
+
+/// Exact two-sided p-value: enumerates the distribution of the positive rank
+/// sum over all 2ⁿ sign assignments via dynamic programming.
+fn exact_wilcoxon_p(w_plus: f64, n: usize) -> f64 {
+    let max_sum = n * (n + 1) / 2;
+    // counts[s] = number of sign assignments with positive rank sum s.
+    let mut counts = vec![0.0f64; max_sum + 1];
+    counts[0] = 1.0;
+    for rank in 1..=n {
+        for s in (rank..=max_sum).rev() {
+            counts[s] += counts[s - rank];
+        }
+    }
+    let total: f64 = counts.iter().sum();
+    let mu = max_sum as f64 / 2.0;
+    let dev = (w_plus - mu).abs();
+    // Two-sided: mass at least `dev` away from the mean.
+    let p: f64 = counts
+        .iter()
+        .enumerate()
+        .filter(|(s, _)| (*s as f64 - mu).abs() >= dev - 1e-9)
+        .map(|(_, c)| c)
+        .sum::<f64>()
+        / total;
+    p.min(1.0)
+}
+
+/// Cliff's δ effect size: `(#(a > b) − #(a < b)) / (|a|·|b|)` over all pairs.
+pub fn cliffs_delta(a: &[f64], b: &[f64]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "Cliff's delta needs non-empty samples");
+    let mut more = 0i64;
+    let mut less = 0i64;
+    for x in a {
+        for y in b {
+            if x > y {
+                more += 1;
+            } else if x < y {
+                less += 1;
+            }
+        }
+    }
+    (more - less) as f64 / (a.len() * b.len()) as f64
+}
+
+/// The data behind a critical difference diagram (paper Fig. 6): mean ranks
+/// per model plus the groups of models that are *not* separated by pairwise
+/// Wilcoxon tests (Holm-adjusted) — drawn as the thick connecting bar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalDifference {
+    /// Friedman mean rank per treatment (higher = better here, matching the
+    /// paper's right-is-better orientation when ranking performance).
+    pub mean_ranks: Vec<f64>,
+    /// Friedman test p-value.
+    pub friedman_p: f64,
+    /// Holm-adjusted pairwise Wilcoxon p-values, indexed `[i][j]` (i < j).
+    pub pairwise_p: Vec<((usize, usize), f64)>,
+    /// Maximal sets of treatment indices with no significant pairwise
+    /// difference (the thick bars).
+    pub cliques: Vec<Vec<usize>>,
+}
+
+/// Builds critical-difference-diagram data from a `blocks × treatments`
+/// performance table.
+pub fn critical_difference(blocks: &[Vec<f64>], alpha: f64) -> CriticalDifference {
+    let fr = friedman(blocks);
+    let k = blocks[0].len();
+    let mut pairs = Vec::new();
+    let mut raw = Vec::new();
+    for i in 0..k {
+        for j in (i + 1)..k {
+            let a: Vec<f64> = blocks.iter().map(|b| b[i]).collect();
+            let b: Vec<f64> = blocks.iter().map(|r| r[j]).collect();
+            raw.push(wilcoxon_signed_rank(&a, &b).p_value);
+            pairs.push((i, j));
+        }
+    }
+    let adjusted = holm_bonferroni(&raw);
+    let pairwise_p: Vec<((usize, usize), f64)> =
+        pairs.iter().copied().zip(adjusted.iter().copied()).collect();
+
+    // Cliques: grow intervals over rank-sorted treatments while all pairs
+    // inside stay non-significant (the standard CDD bar construction).
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by(|&a, &b| {
+        fr.mean_ranks[a].partial_cmp(&fr.mean_ranks[b]).expect("finite ranks")
+    });
+    let not_sig = |a: usize, b: usize| {
+        pairwise_p
+            .iter()
+            .find(|((i, j), _)| (*i == a && *j == b) || (*i == b && *j == a))
+            .is_some_and(|(_, p)| *p >= alpha)
+    };
+    let mut cliques: Vec<Vec<usize>> = Vec::new();
+    for start in 0..k {
+        let mut end = start;
+        while end + 1 < k
+            && (start..=end + 1).all(|x| {
+                (start..=end + 1).all(|y| x == y || not_sig(order[x], order[y]))
+            })
+        {
+            end += 1;
+        }
+        if end > start {
+            let clique: Vec<usize> = order[start..=end].to_vec();
+            if !cliques.iter().any(|c| clique.iter().all(|m| c.contains(m))) {
+                cliques.push(clique);
+            }
+        }
+    }
+    CriticalDifference { mean_ranks: fr.mean_ranks, friedman_p: fr.p_value, pairwise_p, cliques }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phishinghook_ml::SplitMix;
+
+    #[test]
+    fn friedman_equal_treatments_not_significant() {
+        let mut rng = SplitMix::new(8);
+        let blocks: Vec<Vec<f64>> = (0..12)
+            .map(|_| {
+                let base = rng.normal();
+                vec![base + rng.normal() * 0.1, base + rng.normal() * 0.1, base + rng.normal() * 0.1]
+            })
+            .collect();
+        assert!(friedman(&blocks).p_value > 0.05);
+    }
+
+    #[test]
+    fn friedman_detects_dominant_treatment() {
+        let mut rng = SplitMix::new(9);
+        let blocks: Vec<Vec<f64>> = (0..15)
+            .map(|_| vec![rng.normal(), rng.normal() + 0.2, rng.normal() + 3.0])
+            .collect();
+        let fr = friedman(&blocks);
+        assert!(fr.p_value < 0.01, "p = {}", fr.p_value);
+        // Treatment 2 should hold the highest mean rank.
+        assert!(fr.mean_ranks[2] > fr.mean_ranks[0]);
+        assert!(fr.mean_ranks[2] > fr.mean_ranks[1]);
+    }
+
+    #[test]
+    fn friedman_reference_value() {
+        // Conover's worked example-style check: perfectly consistent
+        // rankings across n blocks give χ² = n(k−1) for k treatments.
+        let blocks: Vec<Vec<f64>> = (0..6).map(|_| vec![1.0, 2.0, 3.0]).collect();
+        let fr = friedman(&blocks);
+        assert!((fr.chi2 - 12.0).abs() < 1e-9, "chi2 = {}", fr.chi2);
+    }
+
+    #[test]
+    fn wilcoxon_identical_samples() {
+        let a = [1.0, 2.0, 3.0];
+        assert_eq!(wilcoxon_signed_rank(&a, &a).p_value, 1.0);
+    }
+
+    #[test]
+    fn wilcoxon_exact_small_sample() {
+        // n = 4 distinct positive differences: W⁺ = 10 (all positive) is the
+        // most extreme outcome; two-sided exact p = 2/16 = 0.125.
+        let a = [2.0, 4.0, 6.0, 8.0];
+        let b = [1.0, 2.0, 3.0, 4.0];
+        let w = wilcoxon_signed_rank(&a, &b);
+        assert!((w.p_value - 0.125).abs() < 1e-9, "p = {}", w.p_value);
+    }
+
+    #[test]
+    fn wilcoxon_paper_style_tiny_n() {
+        // The paper's scalability CDD reports p ∈ {0.25, 0.75} — these are
+        // the exact two-sided p-values for n = 3 pairs.
+        let a = [3.0, 5.0, 9.0];
+        let b = [1.0, 2.0, 4.0];
+        let w = wilcoxon_signed_rank(&a, &b);
+        assert!((w.p_value - 0.25).abs() < 1e-9, "p = {}", w.p_value);
+    }
+
+    #[test]
+    fn wilcoxon_large_sample_detects_shift() {
+        let mut rng = SplitMix::new(10);
+        let a: Vec<f64> = (0..60).map(|_| rng.normal()).collect();
+        let b: Vec<f64> = a.iter().map(|x| x + 1.5 + rng.normal() * 0.2).collect();
+        assert!(wilcoxon_signed_rank(&a, &b).p_value < 1e-6);
+    }
+
+    #[test]
+    fn cliffs_delta_extremes() {
+        assert_eq!(cliffs_delta(&[5.0, 6.0], &[1.0, 2.0]), 1.0);
+        assert_eq!(cliffs_delta(&[1.0, 2.0], &[5.0, 6.0]), -1.0);
+        assert_eq!(cliffs_delta(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn cliffs_delta_partial_overlap() {
+        // pairs: (1>0), (1<2), (3>0), (3>2) → (3−1)/4 = 0.5
+        assert_eq!(cliffs_delta(&[1.0, 3.0], &[0.0, 2.0]), 0.5);
+    }
+
+    #[test]
+    fn cdd_groups_equivalent_models() {
+        let mut rng = SplitMix::new(11);
+        // Models 0 and 1 are statistically identical; model 2 dominates.
+        let blocks: Vec<Vec<f64>> = (0..20)
+            .map(|_| {
+                let x = rng.normal();
+                vec![x + rng.normal() * 0.05, x + rng.normal() * 0.05, x + 5.0]
+            })
+            .collect();
+        let cdd = critical_difference(&blocks, 0.05);
+        assert!(cdd.friedman_p < 0.05);
+        assert!(cdd.cliques.iter().any(|c| c.contains(&0) && c.contains(&1) && !c.contains(&2)),
+            "cliques: {:?}", cdd.cliques);
+        assert!(cdd.mean_ranks[2] > cdd.mean_ranks[0]);
+    }
+}

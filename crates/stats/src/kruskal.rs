@@ -1,0 +1,202 @@
+//! Kruskal-Wallis H test and Dunn's pairwise post hoc test with
+//! Holm-Bonferroni correction — the paper's Table III and Fig. 4 machinery.
+
+use crate::dist::{chi2_sf, normal_sf};
+use crate::ranks::{average_ranks, holm_bonferroni, tie_group_sizes};
+
+/// Result of a Kruskal-Wallis test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KruskalWallis {
+    /// Tie-corrected H statistic.
+    pub h: f64,
+    /// Raw p-value (χ² with k−1 degrees of freedom).
+    pub p_value: f64,
+    /// Degrees of freedom (k − 1).
+    pub df: usize,
+}
+
+/// Runs the Kruskal-Wallis test over `groups` (each a sample of
+/// observations).
+///
+/// # Panics
+/// Panics with fewer than 2 groups or any empty group.
+pub fn kruskal_wallis(groups: &[Vec<f64>]) -> KruskalWallis {
+    let k = groups.len();
+    assert!(k >= 2, "Kruskal-Wallis requires at least two groups");
+    assert!(groups.iter().all(|g| !g.is_empty()), "groups must be non-empty");
+
+    let pooled: Vec<f64> = groups.iter().flatten().copied().collect();
+    let n = pooled.len() as f64;
+    let ranks = average_ranks(&pooled);
+
+    let mut h = 0.0;
+    let mut offset = 0;
+    for g in groups {
+        let ni = g.len();
+        let r_sum: f64 = ranks[offset..offset + ni].iter().sum();
+        h += r_sum * r_sum / ni as f64;
+        offset += ni;
+    }
+    h = 12.0 / (n * (n + 1.0)) * h - 3.0 * (n + 1.0);
+
+    // Tie correction: divide by 1 − Σ(t³−t)/(N³−N).
+    let tie_sum: f64 = tie_group_sizes(&pooled)
+        .iter()
+        .map(|&t| (t * t * t - t) as f64)
+        .sum();
+    let correction = 1.0 - tie_sum / (n * n * n - n);
+    if correction > 0.0 {
+        h /= correction;
+    }
+
+    KruskalWallis { h, p_value: chi2_sf(h, k - 1), df: k - 1 }
+}
+
+/// One pairwise comparison from Dunn's test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DunnComparison {
+    /// Index of the first group.
+    pub group_a: usize,
+    /// Index of the second group.
+    pub group_b: usize,
+    /// Dunn's z statistic.
+    pub z: f64,
+    /// Raw two-sided p-value.
+    pub p_value: f64,
+    /// Holm-Bonferroni adjusted p-value.
+    pub p_adjusted: f64,
+}
+
+impl DunnComparison {
+    /// Whether the comparison is significant at the paper's α = 0.05
+    /// (adjusted).
+    pub fn significant(&self) -> bool {
+        self.p_adjusted < 0.05
+    }
+}
+
+/// Runs Dunn's test (all pairwise comparisons) with Holm-Bonferroni
+/// adjustment — "the appropriate nonparametric pairwise multiple comparison
+/// procedure when a Kruskal-Wallis test is rejected".
+///
+/// # Panics
+/// Panics with fewer than 2 groups or any empty group.
+pub fn dunn_test(groups: &[Vec<f64>]) -> Vec<DunnComparison> {
+    let k = groups.len();
+    assert!(k >= 2, "Dunn's test requires at least two groups");
+    assert!(groups.iter().all(|g| !g.is_empty()), "groups must be non-empty");
+
+    let pooled: Vec<f64> = groups.iter().flatten().copied().collect();
+    let n = pooled.len() as f64;
+    let ranks = average_ranks(&pooled);
+
+    // Mean rank per group.
+    let mut mean_ranks = Vec::with_capacity(k);
+    let mut offset = 0;
+    for g in groups {
+        let ni = g.len();
+        mean_ranks.push(ranks[offset..offset + ni].iter().sum::<f64>() / ni as f64);
+        offset += ni;
+    }
+
+    // Tie-corrected variance term.
+    let tie_sum: f64 = tie_group_sizes(&pooled)
+        .iter()
+        .map(|&t| (t * t * t - t) as f64)
+        .sum();
+    let variance_base = n * (n + 1.0) / 12.0 - tie_sum / (12.0 * (n - 1.0));
+
+    let mut comparisons = Vec::with_capacity(k * (k - 1) / 2);
+    let mut raw_ps = Vec::new();
+    for a in 0..k {
+        for b in (a + 1)..k {
+            let se = (variance_base
+                * (1.0 / groups[a].len() as f64 + 1.0 / groups[b].len() as f64))
+                .sqrt();
+            let z = (mean_ranks[a] - mean_ranks[b]) / se;
+            let p = 2.0 * normal_sf(z.abs());
+            raw_ps.push(p.min(1.0));
+            comparisons.push(DunnComparison {
+                group_a: a,
+                group_b: b,
+                z,
+                p_value: p.min(1.0),
+                p_adjusted: 0.0,
+            });
+        }
+    }
+    for (c, adj) in comparisons.iter_mut().zip(holm_bonferroni(&raw_ps)) {
+        c.p_adjusted = adj;
+    }
+    comparisons
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phishinghook_ml::SplitMix;
+
+    #[test]
+    fn identical_groups_are_not_significant() {
+        let g = vec![vec![1.0, 2.0, 3.0, 4.0, 5.0]; 3];
+        let kw = kruskal_wallis(&g);
+        assert!(kw.p_value > 0.9, "p = {}", kw.p_value);
+        assert!(dunn_test(&g).iter().all(|c| !c.significant()));
+    }
+
+    #[test]
+    fn shifted_groups_are_detected() {
+        let mut rng = SplitMix::new(5);
+        let a: Vec<f64> = (0..30).map(|_| rng.normal()).collect();
+        let b: Vec<f64> = (0..30).map(|_| rng.normal() + 3.0).collect();
+        let c: Vec<f64> = (0..30).map(|_| rng.normal() + 6.0).collect();
+        let kw = kruskal_wallis(&[a.clone(), b.clone(), c.clone()]);
+        assert!(kw.p_value < 1e-6, "p = {}", kw.p_value);
+        assert_eq!(kw.df, 2);
+        let dunn = dunn_test(&[a, b, c]);
+        assert_eq!(dunn.len(), 3);
+        assert!(dunn.iter().all(DunnComparison::significant));
+    }
+
+    #[test]
+    fn scipy_reference_value() {
+        // scipy.stats.kruskal([1,3,5,7,9],[2,4,6,8,10]) → H≈0.2727, p≈0.6015
+        let kw = kruskal_wallis(&[
+            vec![1.0, 3.0, 5.0, 7.0, 9.0],
+            vec![2.0, 4.0, 6.0, 8.0, 10.0],
+        ]);
+        assert!((kw.h - 0.2727).abs() < 1e-3, "H = {}", kw.h);
+        assert!((kw.p_value - 0.6015).abs() < 1e-3, "p = {}", kw.p_value);
+    }
+
+    #[test]
+    fn tie_correction_increases_h() {
+        // With heavy ties the corrected H must not decrease.
+        let g1 = vec![1.0, 1.0, 1.0, 2.0];
+        let g2 = vec![2.0, 2.0, 3.0, 3.0];
+        let kw = kruskal_wallis(&[g1.clone(), g2.clone()]);
+        assert!(kw.h.is_finite() && kw.h > 0.0);
+    }
+
+    #[test]
+    fn dunn_mixed_significance() {
+        let mut rng = SplitMix::new(6);
+        // a ≈ b, both far from c: exactly two significant pairs expected.
+        let a: Vec<f64> = (0..25).map(|_| rng.normal()).collect();
+        let b: Vec<f64> = (0..25).map(|_| rng.normal() * 1.01).collect();
+        let c: Vec<f64> = (0..25).map(|_| rng.normal() + 8.0).collect();
+        let dunn = dunn_test(&[a, b, c]);
+        let sig: Vec<bool> = dunn.iter().map(DunnComparison::significant).collect();
+        assert_eq!(sig, vec![false, true, true], "{dunn:?}");
+    }
+
+    #[test]
+    fn adjusted_p_never_below_raw() {
+        let mut rng = SplitMix::new(7);
+        let groups: Vec<Vec<f64>> =
+            (0..4).map(|i| (0..15).map(|_| rng.normal() + i as f64).collect()).collect();
+        for c in dunn_test(&groups) {
+            assert!(c.p_adjusted + 1e-12 >= c.p_value);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Post hoc analysis module (PAM) for the PhishingHook reproduction.
+//!
+//! Everything the paper's R scripts and SHAP tooling compute, from scratch:
+//!
+//! * [`shapiro`] — Shapiro-Wilk normality test (Royston AS R94), the PAM's
+//!   parametric-vs-nonparametric gate;
+//! * [`kruskal`] — Kruskal-Wallis H (Table III) and Dunn's pairwise test
+//!   with Holm-Bonferroni correction (Fig. 4);
+//! * [`friedman`] — Friedman test, exact/approximate Wilcoxon signed-rank,
+//!   Cliff's δ, and critical-difference-diagram construction (Fig. 6);
+//! * [`aut`] — the TESSERACT Area-Under-Time stability metric (Fig. 8);
+//! * [`shap`] — exact TreeSHAP over this workspace's trees/forests (Fig. 9),
+//!   verified against brute-force Shapley values;
+//! * [`dist`] / [`ranks`] — the underlying distributions and rank utilities.
+
+pub mod aut;
+pub mod dist;
+pub mod friedman;
+pub mod kruskal;
+pub mod ranks;
+pub mod shap;
+pub mod shapiro;
+
+pub use aut::area_under_time;
+pub use friedman::{cliffs_delta, critical_difference, friedman, wilcoxon_signed_rank, CriticalDifference, Friedman, Wilcoxon};
+pub use kruskal::{dunn_test, kruskal_wallis, DunnComparison, KruskalWallis};
+pub use ranks::holm_bonferroni;
+pub use shap::{forest_expected_value, forest_shap, tree_expected_value, tree_shap};
+pub use shapiro::{shapiro_wilk, ShapiroWilk};

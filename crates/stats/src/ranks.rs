@@ -1,0 +1,134 @@
+//! Ranking utilities shared by the nonparametric tests.
+
+/// Average ranks (1-based) with ties sharing their mean rank — the standard
+/// "midrank" convention used by Kruskal-Wallis, Dunn, Friedman and Wilcoxon.
+///
+/// # Panics
+/// Panics when any value is NaN.
+pub fn average_ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .expect("ranking requires non-NaN values")
+    });
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j (0-based) share the average 1-based rank.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Sizes of tie groups (groups of equal values with size ≥ 2), for tie
+/// corrections.
+pub fn tie_group_sizes(values: &[f64]) -> Vec<usize> {
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN values"));
+    let mut groups = Vec::new();
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i;
+        while j + 1 < sorted.len() && sorted[j + 1] == sorted[i] {
+            j += 1;
+        }
+        if j > i {
+            groups.push(j - i + 1);
+        }
+        i = j + 1;
+    }
+    groups
+}
+
+/// Holm-Bonferroni step-down adjustment of p-values (the paper's correction
+/// for both the Kruskal-Wallis table and Dunn's pairwise tests).
+pub fn holm_bonferroni(p_values: &[f64]) -> Vec<f64> {
+    let m = p_values.len();
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| p_values[a].partial_cmp(&p_values[b]).expect("non-NaN p-values"));
+    let mut adjusted = vec![0.0; m];
+    let mut running_max = 0.0f64;
+    for (k, &idx) in order.iter().enumerate() {
+        let scaled = ((m - k) as f64 * p_values[idx]).min(1.0);
+        running_max = running_max.max(scaled);
+        adjusted[idx] = running_max;
+    }
+    adjusted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn simple_ranking() {
+        assert_eq!(average_ranks(&[10.0, 30.0, 20.0]), vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn ties_share_midranks() {
+        // [5, 5] occupy ranks 1 and 2 → both get 1.5.
+        assert_eq!(average_ranks(&[5.0, 5.0, 9.0]), vec![1.5, 1.5, 3.0]);
+        // Triple tie in the middle.
+        assert_eq!(
+            average_ranks(&[1.0, 2.0, 2.0, 2.0, 3.0]),
+            vec![1.0, 3.0, 3.0, 3.0, 5.0]
+        );
+    }
+
+    #[test]
+    fn tie_groups_detected() {
+        assert_eq!(tie_group_sizes(&[1.0, 2.0, 2.0, 3.0, 3.0, 3.0]), vec![2, 3]);
+        assert!(tie_group_sizes(&[1.0, 2.0, 3.0]).is_empty());
+    }
+
+    #[test]
+    fn holm_adjustment_worked_example() {
+        // Classic example: p = [0.01, 0.04, 0.03] with m=3:
+        // sorted: 0.01→×3=0.03, 0.03→×2=0.06, 0.04→×1=0.04→monotone→0.06.
+        let adj = holm_bonferroni(&[0.01, 0.04, 0.03]);
+        assert!((adj[0] - 0.03).abs() < 1e-12);
+        assert!((adj[1] - 0.06).abs() < 1e-12);
+        assert!((adj[2] - 0.06).abs() < 1e-12);
+    }
+
+    #[test]
+    fn holm_caps_at_one() {
+        let adj = holm_bonferroni(&[0.9, 0.8, 0.7]);
+        assert!(adj.iter().all(|&p| p <= 1.0));
+    }
+
+    proptest! {
+        #[test]
+        fn ranks_sum_is_invariant(values in proptest::collection::vec(-100.0f64..100.0, 1..40)) {
+            let ranks = average_ranks(&values);
+            let n = values.len() as f64;
+            let sum: f64 = ranks.iter().sum();
+            prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn holm_is_monotone_in_sorted_order(ps in proptest::collection::vec(0.0f64..1.0, 1..20)) {
+            let adj = holm_bonferroni(&ps);
+            let mut order: Vec<usize> = (0..ps.len()).collect();
+            order.sort_by(|&a, &b| ps[a].partial_cmp(&ps[b]).unwrap());
+            for w in order.windows(2) {
+                prop_assert!(adj[w[0]] <= adj[w[1]] + 1e-12);
+            }
+            for (&p, &a) in ps.iter().zip(&adj) {
+                prop_assert!(a + 1e-12 >= p);
+            }
+        }
+    }
+}

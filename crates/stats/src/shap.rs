@@ -1,0 +1,332 @@
+//! TreeSHAP — exact Shapley values for tree ensembles (paper Fig. 9).
+//!
+//! Implements Lundberg's polynomial-time TreeSHAP (Algorithm 2 of the
+//! TreeSHAP paper) over this workspace's CART trees and random forests,
+//! using the path-dependent feature perturbation the SHAP package defaults
+//! to. Correctness is pinned by two test suites: additivity
+//! (`Σφ + E[f] = f(x)`) and equality with brute-force Shapley values
+//! computed from the exponential-time definition on small trees.
+
+use phishinghook_ml::classical::tree::{DecisionTree, Node};
+use phishinghook_ml::RandomForest;
+
+#[derive(Clone, Debug)]
+struct PathElement {
+    /// Feature index (`usize::MAX` for the dummy root element).
+    d: usize,
+    /// Fraction of "zero" (feature-unknown) paths flowing through.
+    z: f64,
+    /// Fraction of "one" (feature-known) paths flowing through.
+    o: f64,
+    /// Permutation weight.
+    w: f64,
+}
+
+fn extend(m: &mut Vec<PathElement>, pz: f64, po: f64, pi: usize) {
+    let l = m.len();
+    m.push(PathElement { d: pi, z: pz, o: po, w: if l == 0 { 1.0 } else { 0.0 } });
+    for i in (0..l).rev() {
+        m[i + 1].w += po * m[i].w * (i + 1) as f64 / (l + 1) as f64;
+        m[i].w = pz * m[i].w * (l - i) as f64 / (l + 1) as f64;
+    }
+}
+
+fn unwind(m: &mut Vec<PathElement>, i: usize) {
+    let l = m.len();
+    let (oi, zi) = (m[i].o, m[i].z);
+    let mut n = m[l - 1].w;
+    for j in (0..l - 1).rev() {
+        if oi != 0.0 {
+            let t = m[j].w;
+            m[j].w = n * l as f64 / ((j + 1) as f64 * oi);
+            n = t - m[j].w * zi * (l - j - 1) as f64 / l as f64;
+        } else {
+            m[j].w = m[j].w * l as f64 / (zi * (l - j - 1) as f64);
+        }
+    }
+    for j in i..l - 1 {
+        m[j].d = m[j + 1].d;
+        m[j].z = m[j + 1].z;
+        m[j].o = m[j + 1].o;
+    }
+    m.pop();
+}
+
+fn unwound_sum(m: &[PathElement], i: usize) -> f64 {
+    let l = m.len();
+    let (oi, zi) = (m[i].o, m[i].z);
+    let mut n = m[l - 1].w;
+    let mut total = 0.0;
+    for j in (0..l - 1).rev() {
+        if oi != 0.0 {
+            let tmp = n * l as f64 / ((j + 1) as f64 * oi);
+            total += tmp;
+            n = m[j].w - tmp * zi * (l - j - 1) as f64 / l as f64;
+        } else {
+            total += m[j].w * l as f64 / (zi * (l - j - 1) as f64);
+        }
+    }
+    total
+}
+
+fn node_cover(nodes: &[Node], id: usize) -> f64 {
+    match nodes[id] {
+        Node::Leaf { cover, .. } | Node::Split { cover, .. } => cover,
+    }
+}
+
+fn recurse(
+    nodes: &[Node],
+    x: &[f64],
+    phi: &mut [f64],
+    j: usize,
+    mut m: Vec<PathElement>,
+    pz: f64,
+    po: f64,
+    pi: usize,
+) {
+    extend(&mut m, pz, po, pi);
+    match nodes[j] {
+        Node::Leaf { proba, .. } => {
+            for i in 1..m.len() {
+                let w = unwound_sum(&m, i);
+                phi[m[i].d] += w * (m[i].o - m[i].z) * proba;
+            }
+        }
+        Node::Split { feature, threshold, left, right, cover } => {
+            let (hot, cold) =
+                if x[feature] <= threshold { (left, right) } else { (right, left) };
+            let mut iz = 1.0;
+            let mut io = 1.0;
+            // Undo an earlier occurrence of this feature on the path.
+            if let Some(k) = (1..m.len()).find(|&k| m[k].d == feature) {
+                iz = m[k].z;
+                io = m[k].o;
+                unwind(&mut m, k);
+            }
+            let hot_frac = node_cover(nodes, hot) / cover;
+            let cold_frac = node_cover(nodes, cold) / cover;
+            recurse(nodes, x, phi, hot, m.clone(), iz * hot_frac, io, feature);
+            recurse(nodes, x, phi, cold, m, iz * cold_frac, 0.0, feature);
+        }
+    }
+}
+
+/// SHAP values of one sample under a fitted tree (`phi[f]` per feature).
+///
+/// # Panics
+/// Panics when the tree is unfitted or `x` is shorter than the tree's
+/// feature count.
+pub fn tree_shap(tree: &DecisionTree, x: &[f64]) -> Vec<f64> {
+    assert!(!tree.nodes().is_empty(), "SHAP on an unfitted tree");
+    assert!(x.len() >= tree.n_features(), "sample has too few features");
+    let mut phi = vec![0.0; tree.n_features()];
+    // The dummy root path element (sentinel feature id) sits at index 0 of
+    // the path and is skipped by the leaf loop, so phi only receives real
+    // feature indices.
+    recurse(tree.nodes(), x, &mut phi, 0, Vec::new(), 1.0, 1.0, usize::MAX - 1);
+    phi
+}
+
+/// Cover-weighted expected prediction of a tree (the SHAP base value).
+pub fn tree_expected_value(tree: &DecisionTree) -> f64 {
+    fn walk(nodes: &[Node], id: usize) -> f64 {
+        match nodes[id] {
+            Node::Leaf { proba, cover } => proba * cover,
+            Node::Split { left, right, .. } => walk(nodes, left) + walk(nodes, right),
+        }
+    }
+    let total = node_cover(tree.nodes(), 0);
+    walk(tree.nodes(), 0) / total
+}
+
+/// SHAP values under a random forest: the mean of per-tree SHAP values
+/// (forests predict the mean of tree probabilities, and Shapley values are
+/// linear in the model).
+pub fn forest_shap(forest: &RandomForest, x: &[f64]) -> Vec<f64> {
+    let trees = forest.trees();
+    assert!(!trees.is_empty(), "SHAP on an unfitted forest");
+    let mut phi = vec![0.0; trees[0].n_features()];
+    for tree in trees {
+        for (acc, v) in phi.iter_mut().zip(tree_shap(tree, x)) {
+            *acc += v;
+        }
+    }
+    for v in &mut phi {
+        *v /= trees.len() as f64;
+    }
+    phi
+}
+
+/// Expected prediction of a forest (mean of per-tree base values).
+pub fn forest_expected_value(forest: &RandomForest) -> f64 {
+    let trees = forest.trees();
+    trees.iter().map(tree_expected_value).sum::<f64>() / trees.len() as f64
+}
+
+/// Brute-force Shapley values from the exponential-time definition, using
+/// the tree's path-dependent conditional expectation. Only practical for
+/// small feature counts; used to pin TreeSHAP's correctness in tests and
+/// exposed for auditability.
+///
+/// # Panics
+/// Panics when the tree has more than 20 features.
+pub fn brute_force_shap(tree: &DecisionTree, x: &[f64]) -> Vec<f64> {
+    let d = tree.n_features();
+    assert!(d <= 20, "brute force is exponential; use tree_shap");
+
+    // Conditional expectation with feature subset S known.
+    fn expvalue(nodes: &[Node], id: usize, x: &[f64], s: u32) -> f64 {
+        match nodes[id] {
+            Node::Leaf { proba, .. } => proba,
+            Node::Split { feature, threshold, left, right, cover } => {
+                if s >> feature & 1 == 1 {
+                    let next = if x[feature] <= threshold { left } else { right };
+                    expvalue(nodes, next, x, s)
+                } else {
+                    let wl = node_cover(nodes, left) / cover;
+                    let wr = node_cover(nodes, right) / cover;
+                    wl * expvalue(nodes, left, x, s) + wr * expvalue(nodes, right, x, s)
+                }
+            }
+        }
+    }
+
+    let factorial = |n: usize| -> f64 { (1..=n).map(|v| v as f64).product() };
+    let mut phi = vec![0.0; d];
+    for i in 0..d {
+        for s in 0u32..(1 << d) {
+            if s >> i & 1 == 1 {
+                continue;
+            }
+            let size = s.count_ones() as usize;
+            let weight = factorial(size) * factorial(d - size - 1) / factorial(d);
+            let without = expvalue(tree.nodes(), 0, x, s);
+            let with = expvalue(tree.nodes(), 0, x, s | (1 << i));
+            phi[i] += weight * (with - without);
+        }
+    }
+    phi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phishinghook_ml::classical::forest::ForestConfig;
+    use phishinghook_ml::classical::tree::TreeConfig;
+    use phishinghook_ml::{Classifier, Matrix, SplitMix};
+
+    fn random_dataset(n: usize, d: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = SplitMix::new(seed);
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|_| (0..d).map(|_| rng.normal()).collect()).collect();
+        let y: Vec<usize> = rows
+            .iter()
+            .map(|r| usize::from(r[0] + 0.5 * r[1 % d] > 0.0))
+            .collect();
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn additivity_on_single_tree() {
+        let (x, y) = random_dataset(200, 4, 1);
+        let mut tree = DecisionTree::new(TreeConfig { max_depth: 6, ..Default::default() });
+        tree.fit(&x, &y);
+        let base = tree_expected_value(&tree);
+        for i in 0..20 {
+            let row = x.row(i);
+            let phi = tree_shap(&tree, row);
+            let total: f64 = phi.iter().sum::<f64>() + base;
+            let pred = tree.predict_row(row);
+            assert!((total - pred).abs() < 1e-9, "row {i}: {total} vs {pred}");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_exactly() {
+        let (x, y) = random_dataset(120, 5, 2);
+        let mut tree = DecisionTree::new(TreeConfig { max_depth: 4, ..Default::default() });
+        tree.fit(&x, &y);
+        for i in 0..8 {
+            let row = x.row(i);
+            let fast = tree_shap(&tree, row);
+            let slow = brute_force_shap(&tree, row);
+            for (f, s) in fast.iter().zip(&slow) {
+                assert!((f - s).abs() < 1e-9, "row {i}: {fast:?} vs {slow:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_feature_on_path_is_handled() {
+        // Deep tree on one feature forces the same feature to appear
+        // multiple times along a path — the UNWIND case.
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64, (i % 7) as f64]).collect();
+        let y: Vec<usize> = (0..40).map(|i| usize::from(i % 3 == 0)).collect();
+        let x = Matrix::from_rows(&rows);
+        let mut tree = DecisionTree::new(TreeConfig { max_depth: 8, ..Default::default() });
+        tree.fit(&x, &y);
+        let base = tree_expected_value(&tree);
+        for i in [0, 7, 21, 39] {
+            let row = x.row(i);
+            let phi = tree_shap(&tree, row);
+            let slow = brute_force_shap(&tree, row);
+            for (f, s) in phi.iter().zip(&slow) {
+                assert!((f - s).abs() < 1e-9);
+            }
+            assert!((phi.iter().sum::<f64>() + base - tree.predict_row(row)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn additivity_on_forest() {
+        let (x, y) = random_dataset(150, 4, 3);
+        let mut forest = RandomForest::new(ForestConfig {
+            n_trees: 12,
+            max_depth: 6,
+            ..ForestConfig::default()
+        });
+        forest.fit(&x, &y);
+        let base = forest_expected_value(&forest);
+        let probs = forest.predict_proba(&x);
+        for i in 0..10 {
+            let phi = forest_shap(&forest, x.row(i));
+            let total: f64 = phi.iter().sum::<f64>() + base;
+            assert!((total - probs[i]).abs() < 1e-9, "row {i}: {total} vs {}", probs[i]);
+        }
+    }
+
+    #[test]
+    fn single_leaf_tree_has_zero_shap() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
+        let y = vec![1, 1];
+        let mut tree = DecisionTree::with_defaults();
+        tree.fit(&x, &y);
+        assert_eq!(tree_shap(&tree, &[1.5]), vec![0.0]);
+        assert_eq!(tree_expected_value(&tree), 1.0);
+    }
+
+    #[test]
+    fn influential_feature_gets_larger_attribution() {
+        // Label depends only on feature 0.
+        let mut rng = SplitMix::new(4);
+        let rows: Vec<Vec<f64>> =
+            (0..300).map(|_| vec![rng.normal(), rng.normal(), rng.normal()]).collect();
+        let y: Vec<usize> = rows.iter().map(|r| usize::from(r[0] > 0.0)).collect();
+        let x = Matrix::from_rows(&rows);
+        let mut forest = RandomForest::new(ForestConfig {
+            n_trees: 10,
+            max_depth: 6,
+            ..ForestConfig::default()
+        });
+        forest.fit(&x, &y);
+        let mut importance = [0.0f64; 3];
+        for i in 0..50 {
+            for (imp, phi) in importance.iter_mut().zip(forest_shap(&forest, x.row(i))) {
+                *imp += phi.abs();
+            }
+        }
+        assert!(importance[0] > 3.0 * importance[1], "{importance:?}");
+        assert!(importance[0] > 3.0 * importance[2], "{importance:?}");
+    }
+}

@@ -1,0 +1,102 @@
+//! Cross-test consistency properties of the statistics toolkit — relations
+//! that must hold between the tests, beyond each test's own unit suite.
+
+use phishinghook_ml::SplitMix;
+use phishinghook_stats::{
+    dunn_test, holm_bonferroni, kruskal_wallis, shapiro_wilk, wilcoxon_signed_rank,
+};
+
+#[test]
+fn shapiro_w_is_affine_invariant() {
+    // W is scale- and location-free: W(a·x + b) = W(x).
+    let mut rng = SplitMix::new(1);
+    let xs: Vec<f64> = (0..40).map(|_| rng.normal()).collect();
+    let base = shapiro_wilk(&xs).w;
+    for (a, b) in [(2.0, 0.0), (0.5, 10.0), (100.0, -3.0)] {
+        let ys: Vec<f64> = xs.iter().map(|x| a * x + b).collect();
+        let w = shapiro_wilk(&ys).w;
+        assert!((w - base).abs() < 1e-9, "a={a} b={b}: {w} vs {base}");
+    }
+}
+
+#[test]
+fn wilcoxon_exact_matches_normal_approximation_at_boundary() {
+    // Around n = 25 the implementation switches from the exact DP to the
+    // normal approximation; both must give similar p on the same data.
+    let mut rng = SplitMix::new(2);
+    // Distinct differences so the exact path is taken at n = 24.
+    let a: Vec<f64> = (0..24).map(|i| i as f64 + rng.unit() * 0.4).collect();
+    let b: Vec<f64> = a.iter().map(|x| x - 0.8 - rng.unit() * 0.1).collect();
+    let exact = wilcoxon_signed_rank(&a, &b);
+
+    // Same construction at n = 40 forces the approximation; a stronger
+    // shift should give a smaller p than the weaker-shift exact case.
+    let a2: Vec<f64> = (0..40).map(|i| i as f64 + rng.unit() * 0.4).collect();
+    let b2: Vec<f64> = a2.iter().map(|x| x - 0.8 - rng.unit() * 0.1).collect();
+    let approx = wilcoxon_signed_rank(&a2, &b2);
+    assert!(exact.p_value < 0.01, "exact p = {}", exact.p_value);
+    assert!(approx.p_value < exact.p_value * 10.0, "approx p = {}", approx.p_value);
+}
+
+#[test]
+fn quiet_kruskal_implies_quiet_dunn() {
+    // When Kruskal-Wallis sees nothing (p ≫ 0.05), Dunn's Holm-adjusted
+    // pairwise tests must not fabricate significance.
+    let mut rng = SplitMix::new(3);
+    let groups: Vec<Vec<f64>> =
+        (0..5).map(|_| (0..20).map(|_| rng.normal()).collect()).collect();
+    let kw = kruskal_wallis(&groups);
+    if kw.p_value > 0.5 {
+        for c in dunn_test(&groups) {
+            assert!(!c.significant(), "{c:?} significant while KW p = {}", kw.p_value);
+        }
+    }
+}
+
+#[test]
+fn loud_separation_is_seen_by_both_tests() {
+    let mut rng = SplitMix::new(4);
+    let groups: Vec<Vec<f64>> = (0..4)
+        .map(|g| (0..25).map(|_| rng.normal() + (g * g) as f64 * 2.0).collect())
+        .collect();
+    let kw = kruskal_wallis(&groups);
+    assert!(kw.p_value < 1e-6);
+    let significant = dunn_test(&groups).iter().filter(|c| c.significant()).count();
+    assert!(significant >= 4, "only {significant} Dunn pairs significant");
+}
+
+#[test]
+fn holm_bounded_by_bonferroni() {
+    // Holm is uniformly more powerful than Bonferroni: adjusted p never
+    // exceeds m·p (and never falls below the raw p).
+    let ps = [0.001, 0.012, 0.04, 0.2, 0.6, 0.9];
+    let m = ps.len() as f64;
+    for (raw, adj) in ps.iter().zip(holm_bonferroni(&ps)) {
+        assert!(adj <= (m * raw).min(1.0) + 1e-12);
+        assert!(adj + 1e-12 >= *raw);
+    }
+}
+
+#[test]
+fn dunn_handles_many_groups_of_uneven_size() {
+    let mut rng = SplitMix::new(5);
+    let groups: Vec<Vec<f64>> = (0..13)
+        .map(|g| {
+            (0..(10 + g * 2))
+                .map(|_| rng.normal() + g as f64 * 0.4)
+                .collect()
+        })
+        .collect();
+    let comparisons = dunn_test(&groups);
+    assert_eq!(comparisons.len(), 13 * 12 / 2);
+    for c in &comparisons {
+        assert!(c.p_value.is_finite() && (0.0..=1.0).contains(&c.p_value));
+        assert!(c.p_adjusted + 1e-12 >= c.p_value);
+    }
+    // The extreme pair (group 0 vs group 12) must separate.
+    let extreme = comparisons
+        .iter()
+        .find(|c| c.group_a == 0 && c.group_b == 12)
+        .expect("pair exists");
+    assert!(extreme.significant(), "{extreme:?}");
+}

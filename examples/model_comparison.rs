@@ -1,0 +1,71 @@
+//! Compare one detector per category head-to-head — a miniature of the
+//! paper's Table II, showing the accuracy/cost trade-off (§IV-F's point:
+//! complex models cost orders of magnitude more time).
+//!
+//! ```text
+//! cargo run --release --example model_comparison
+//! ```
+
+use phishinghook_core::metrics::BinaryMetrics;
+use phishinghook_data::{Corpus, CorpusConfig};
+use phishinghook_models::{
+    Detector, EscortConfig, EscortDetector, HscDetector, LanguageConfig, ScsGuardDetector,
+    VisionConfig, VisionDetector,
+};
+use std::time::Instant;
+
+fn main() {
+    let corpus = Corpus::generate(&CorpusConfig {
+        n_contracts: 400,
+        seed: 21,
+        ..Default::default()
+    });
+    let (codes, labels) = corpus.as_dataset();
+    let split = codes.len() * 4 / 5;
+    let (train_x, test_x) = codes.split_at(split);
+    let (train_y, test_y) = labels.split_at(split);
+
+    let contenders: Vec<(&str, Box<dyn Detector>)> = vec![
+        ("Histogram", Box::new(HscDetector::random_forest(3))),
+        (
+            "Vision",
+            Box::new(VisionDetector::eca_efficientnet(VisionConfig {
+                epochs: 10,
+                lr: 6e-3,
+                ..VisionConfig::default()
+            })),
+        ),
+        (
+            "Language",
+            Box::new(ScsGuardDetector::new(LanguageConfig {
+                epochs: 6,
+                lr: 3e-3,
+                ..LanguageConfig::default()
+            })),
+        ),
+        ("Vulnerability", Box::new(EscortDetector::new(EscortConfig::default()))),
+    ];
+
+    println!("{:<14} {:<18} {:>6} {:>6} {:>10} {:>10}", "Category", "Model", "Acc%", "F1%", "Train(s)", "Infer(ms)");
+    println!("{}", "-".repeat(70));
+    for (category, mut det) in contenders {
+        let name = det.name();
+        let t0 = Instant::now();
+        det.fit(train_x, train_y);
+        let train_secs = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let preds = det.predict(test_x);
+        let infer_ms = t1.elapsed().as_secs_f64() * 1e3;
+        let m = BinaryMetrics::from_predictions(&preds, test_y);
+        println!(
+            "{category:<14} {name:<18} {:>6.1} {:>6.1} {:>10.2} {:>10.1}",
+            m.accuracy * 100.0,
+            m.f1 * 100.0,
+            train_secs,
+            infer_ms
+        );
+    }
+    println!("\nexpected shape (paper Table II + Fig. 7): the histogram model wins on");
+    println!("accuracy AND cost; the language model is competitive but orders of");
+    println!("magnitude slower; ESCORT's vulnerability transfer fails on phishing.");
+}

@@ -1,0 +1,13 @@
+//! PhishingHook suite: umbrella crate re-exporting the workspace libraries.
+//!
+//! This crate exists so the repository's `examples/` and `tests/` can exercise
+//! the whole stack through a single dependency. Use the individual crates
+//! (`phishinghook-core`, `phishinghook-evm`, …) directly in downstream code.
+
+pub use phishinghook_core as core;
+pub use phishinghook_data as data;
+pub use phishinghook_evm as evm;
+pub use phishinghook_features as features;
+pub use phishinghook_ml as ml;
+pub use phishinghook_models as models;
+pub use phishinghook_stats as stats;

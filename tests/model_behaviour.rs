@@ -1,0 +1,144 @@
+//! Behavioural contracts of the detection models that the paper's claims
+//! rest on, tested across crates.
+
+use phishinghook_data::{Corpus, CorpusConfig, Label};
+use phishinghook_features::HistogramExtractor;
+use phishinghook_ml::classical::gbdt::GbdtConfig;
+use phishinghook_ml::{BoostVariant, Classifier, GradientBoosting, SplitMix};
+use phishinghook_models::{Detector, HscDetector};
+
+fn corpus(n: usize, seed: u64) -> Corpus {
+    Corpus::generate(&CorpusConfig { n_contracts: n, seed, ..Default::default() })
+}
+
+#[test]
+fn boosting_variants_agree_on_easy_data_but_are_distinct_models() {
+    // The three GBDT flavours must reach similar accuracy while producing
+    // genuinely different decision functions (they are three models in the
+    // paper's Table II, not one model under three names).
+    let c = corpus(300, 21);
+    let (codes, labels) = c.as_dataset();
+    let ex = HistogramExtractor::fit(&codes);
+    let x = ex.transform(&codes);
+
+    let mut predictions = Vec::new();
+    for variant in [BoostVariant::Exact, BoostVariant::Histogram, BoostVariant::Oblivious] {
+        let mut m = GradientBoosting::new(GbdtConfig { variant, seed: 5, ..Default::default() });
+        m.fit(&x, &labels);
+        let correct = m.predict(&x).iter().zip(&labels).filter(|(a, b)| a == b).count();
+        assert!(
+            correct as f64 / labels.len() as f64 > 0.9,
+            "{variant:?} weak on train: {correct}/{}",
+            labels.len()
+        );
+        predictions.push(m.predict_proba(&x));
+    }
+    // Distinct probability surfaces.
+    assert_ne!(predictions[0], predictions[1]);
+    assert_ne!(predictions[1], predictions[2]);
+    assert_ne!(predictions[0], predictions[2]);
+}
+
+#[test]
+fn detector_is_robust_to_unseen_garbage_input() {
+    // A deployed scanner sees arbitrary bytes; prediction must not panic on
+    // inputs wildly unlike the training distribution.
+    let c = corpus(160, 22);
+    let (codes, labels) = c.as_dataset();
+    let mut det = HscDetector::random_forest(1);
+    det.fit(&codes, &labels);
+
+    let mut rng = SplitMix::new(77);
+    let garbage: Vec<Vec<u8>> = (0..20)
+        .map(|i| (0..(i * 37) % 900).map(|_| (rng.next_u64() & 0xFF) as u8).collect())
+        .collect();
+    let mut inputs: Vec<&[u8]> = garbage.iter().map(Vec::as_slice).collect();
+    inputs.push(&[]); // empty bytecode (an EOA's "code")
+    let preds = det.predict(&inputs);
+    assert_eq!(preds.len(), inputs.len());
+    assert!(preds.iter().all(|&p| p <= 1));
+}
+
+#[test]
+fn minimal_proxies_are_classified_by_their_bodies_not_crashes() {
+    // EIP-1167 proxies are 45 bytes — the shortest real inputs. They must
+    // flow through every feature path without panicking.
+    let c = corpus(200, 23);
+    let (codes, labels) = c.as_dataset();
+    let proxies: Vec<&[u8]> = c
+        .records
+        .iter()
+        .filter(|r| r.family == "minimal-proxy")
+        .map(|r| r.bytecode.as_slice())
+        .collect();
+    assert!(!proxies.is_empty(), "corpus should contain proxies");
+    let mut det = HscDetector::random_forest(3);
+    det.fit(&codes, &labels);
+    let preds = det.predict(&proxies);
+    assert_eq!(preds.len(), proxies.len());
+}
+
+#[test]
+fn label_flip_symmetry_of_metrics() {
+    // Swapping the positive class must swap precision/recall consistently
+    // (guards the Fig. 8 dual-class plot).
+    let c = corpus(160, 24);
+    let (codes, labels) = c.as_dataset();
+    let split = codes.len() * 3 / 4;
+    let mut det = HscDetector::random_forest(9);
+    det.fit(&codes[..split], &labels[..split]);
+    let preds = det.predict(&codes[split..]);
+    let truth = &labels[split..];
+
+    use phishinghook_core::metrics::BinaryMetrics;
+    let phishing = BinaryMetrics::from_predictions_for_class(&preds, truth, 1);
+    let benign = BinaryMetrics::from_predictions_for_class(&preds, truth, 0);
+    assert!((phishing.accuracy - benign.accuracy).abs() < 1e-12);
+    // Total error mass is shared: FN of one class are FP of the other.
+    let n_phish = truth.iter().filter(|&&y| y == 1).count() as f64;
+    let n_benign = truth.len() as f64 - n_phish;
+    let missed_phish = (1.0 - phishing.recall) * n_phish;
+    let flagged_benign = (1.0 - benign.recall) * n_benign;
+    let false_preds =
+        preds.iter().zip(truth).filter(|(p, y)| p != y).count() as f64;
+    assert!((missed_phish + flagged_benign - false_preds).abs() < 1e-6);
+}
+
+#[test]
+fn families_receive_plausible_verdicts() {
+    // Trained on one corpus, the detector should flag drainers far more
+    // often than ERC-20s from a *fresh* corpus (generalization across
+    // generator seeds, not memorization).
+    let train = corpus(500, 25);
+    let (codes, labels) = train.as_dataset();
+    let mut det = HscDetector::random_forest(4);
+    det.fit(&codes, &labels);
+
+    let fresh = corpus(400, 26);
+    let rate = |family: &str| -> f64 {
+        let members: Vec<&[u8]> = fresh
+            .records
+            .iter()
+            .filter(|r| r.family == family)
+            .map(|r| r.bytecode.as_slice())
+            .collect();
+        if members.is_empty() {
+            return f64::NAN;
+        }
+        let preds = det.predict(&members);
+        preds.iter().sum::<usize>() as f64 / preds.len() as f64
+    };
+    let drainer = rate("approval-drainer");
+    let erc20 = rate("erc20");
+    assert!(drainer > 0.7, "drainer flag rate {drainer}");
+    assert!(erc20 < 0.3, "erc20 flag rate {erc20}");
+
+    // Ground truth sanity: families carry the right labels.
+    for r in &fresh.records {
+        match r.family {
+            "approval-drainer" | "fake-airdrop" | "sweeper" | "hidden-fee-token"
+            | "wallet-verifier" | "fake-vault" => assert_eq!(r.label, Label::Phishing),
+            _ => assert_eq!(r.label, Label::Benign),
+        }
+    }
+}
