@@ -20,7 +20,9 @@ fn bench_keccak(c: &mut Criterion) {
     let data = vec![0xABu8; 1024];
     let mut group = c.benchmark_group("keccak256");
     group.throughput(Throughput::Bytes(1024));
-    group.bench_function("1KiB", |b| b.iter(|| keccak256(std::hint::black_box(&data))));
+    group.bench_function("1KiB", |b| {
+        b.iter(|| keccak256(std::hint::black_box(&data)))
+    });
     group.finish();
 }
 

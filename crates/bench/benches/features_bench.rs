@@ -56,7 +56,10 @@ fn bench_features(c: &mut Criterion) {
             for code in &codes {
                 std::hint::black_box(tokenize(
                     code,
-                    Tokenization::SlidingWindow { window: 96, stride: 64 },
+                    Tokenization::SlidingWindow {
+                        window: 96,
+                        stride: 64,
+                    },
                 ));
             }
         })

@@ -74,8 +74,12 @@ fn bench_inference(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("infer-128");
     group.sample_size(10);
-    group.bench_function("random-forest", |b| b.iter(|| rf.predict(std::hint::black_box(&refs))));
-    group.bench_function("scsguard", |b| b.iter(|| scs.predict(std::hint::black_box(&refs))));
+    group.bench_function("random-forest", |b| {
+        b.iter(|| rf.predict(std::hint::black_box(&refs)))
+    });
+    group.bench_function("scsguard", |b| {
+        b.iter(|| scs.predict(std::hint::black_box(&refs)))
+    });
     group.finish();
 }
 

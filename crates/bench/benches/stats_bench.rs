@@ -8,9 +8,13 @@ use phishinghook_stats::{forest_shap, kruskal_wallis, shapiro_wilk};
 
 fn bench_shap(c: &mut Criterion) {
     let mut rng = SplitMix::new(3);
-    let rows: Vec<Vec<f64>> =
-        (0..400).map(|_| (0..30).map(|_| rng.normal()).collect()).collect();
-    let y: Vec<usize> = rows.iter().map(|r| usize::from(r[0] + r[1] > 0.0)).collect();
+    let rows: Vec<Vec<f64>> = (0..400)
+        .map(|_| (0..30).map(|_| rng.normal()).collect())
+        .collect();
+    let y: Vec<usize> = rows
+        .iter()
+        .map(|r| usize::from(r[0] + r[1] > 0.0))
+        .collect();
     let x = Matrix::from_rows(&rows);
     let mut forest = RandomForest::new(ForestConfig {
         n_trees: 20,

@@ -16,13 +16,25 @@ use phishinghook_bench::banner;
 use phishinghook_core::cv::stratified_kfold;
 use phishinghook_core::experiments::ExperimentScale;
 use phishinghook_core::metrics::BinaryMetrics;
-use phishinghook_data::{extract_labeled_bytecodes, Corpus, CorpusConfig, Label, LabelOracle, SimulatedChain};
+use phishinghook_data::{
+    extract_labeled_bytecodes, Corpus, CorpusConfig, Label, LabelOracle, SimulatedChain,
+};
 use phishinghook_features::HistogramExtractor;
 use phishinghook_ml::classical::forest::ForestConfig;
 use phishinghook_ml::{Classifier, Matrix, RandomForest};
 
-fn rf_accuracy(x_train: &Matrix, y_train: &[usize], x_test: &Matrix, y_test: &[usize], seed: u64) -> f64 {
-    let mut forest = RandomForest::new(ForestConfig { n_trees: 60, seed, ..Default::default() });
+fn rf_accuracy(
+    x_train: &Matrix,
+    y_train: &[usize],
+    x_test: &Matrix,
+    y_test: &[usize],
+    seed: u64,
+) -> f64 {
+    let mut forest = RandomForest::new(ForestConfig {
+        n_trees: 60,
+        seed,
+        ..Default::default()
+    });
     forest.fit(x_train, y_train);
     BinaryMetrics::from_predictions(&forest.predict(x_test), y_test).accuracy
 }
@@ -48,7 +60,13 @@ fn main() {
         let test_x: Vec<&[u8]> = test.iter().map(|&i| codes[i]).collect();
         let test_y: Vec<usize> = test.iter().map(|&i| labels[i]).collect();
         let ex = HistogramExtractor::fit(&train_x);
-        rf_accuracy(&ex.transform(&train_x), &train_y, &ex.transform(&test_x), &test_y, scale.seed)
+        rf_accuracy(
+            &ex.transform(&train_x),
+            &train_y,
+            &ex.transform(&test_x),
+            &test_y,
+            scale.seed,
+        )
     };
     let dedup_acc = fit_eval(&codes, &labels, &fold.train, &fold.test);
 
@@ -64,10 +82,18 @@ fn main() {
         raw_labels.push(Label::Benign.as_index());
     }
     let raw_folds = stratified_kfold(&raw_labels, 5, scale.seed);
-    let raw_acc = fit_eval(&raw_codes, &raw_labels, &raw_folds[0].train, &raw_folds[0].test);
+    let raw_acc = fit_eval(
+        &raw_codes,
+        &raw_labels,
+        &raw_folds[0].train,
+        &raw_folds[0].test,
+    );
     println!("1. deduplication ablation (Random Forest, one fold):");
     println!("   deduplicated corpus:     {:.2}%", dedup_acc * 100.0);
-    println!("   clone-inclusive corpus:  {:.2}%  ← inflated by duplicate leakage", raw_acc * 100.0);
+    println!(
+        "   clone-inclusive corpus:  {:.2}%  ← inflated by duplicate leakage",
+        raw_acc * 100.0
+    );
     println!("   (the paper dedups 17,455 → 3,458 precisely to avoid this)\n");
 
     // --- 2. Dataset difficulty knob ------------------------------------
@@ -102,7 +128,13 @@ fn main() {
             .collect();
         Matrix::from_rows(&rows)
     };
-    let raw_feats = rf_accuracy(&ex.transform(&train_x), &train_y, &ex.transform(&test_x), &test_y, scale.seed);
+    let raw_feats = rf_accuracy(
+        &ex.transform(&train_x),
+        &train_y,
+        &ex.transform(&test_x),
+        &test_y,
+        scale.seed,
+    );
     let norm_feats = rf_accuracy(
         &normalize(&ex.transform(&train_x)),
         &train_y,

@@ -49,7 +49,11 @@ fn main() {
         let name = det.name();
         det.fit(&train_x, &train_y);
         let m = BinaryMetrics::from_predictions(&det.predict(&test_x), &test_y);
-        println!("  {name:<20} acc {:.2}%  f1 {:.2}%", m.accuracy * 100.0, m.f1 * 100.0);
+        println!(
+            "  {name:<20} acc {:.2}%  f1 {:.2}%",
+            m.accuracy * 100.0,
+            m.f1 * 100.0
+        );
     }
 }
 
@@ -67,7 +71,11 @@ fn sweep(train_x: &[&[u8]], train_y: &[usize], test_x: &[&[u8]], test_y: &[usize
     println!("d = {d}");
 
     for gamma_scale in [0.1, 0.3, 1.0, 3.0] {
-        for (nc, epochs, lambda) in [(512usize, 60usize, 1e-5f64), (768, 120, 1e-4), (768, 120, 1e-6)] {
+        for (nc, epochs, lambda) in [
+            (512usize, 60usize, 1e-5f64),
+            (768, 120, 1e-4),
+            (768, 120, 1e-6),
+        ] {
             let mut svm = RbfSvm::new(RbfSvmConfig {
                 gamma: Some(gamma_scale / d),
                 n_components: nc,

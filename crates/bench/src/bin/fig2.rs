@@ -14,7 +14,13 @@ fn main() {
     let rows: Vec<Vec<String>> = stats
         .monthly
         .iter()
-        .map(|r| vec![r.month.to_string(), r.obtained.to_string(), r.unique.to_string()])
+        .map(|r| {
+            vec![
+                r.month.to_string(),
+                r.obtained.to_string(),
+                r.unique.to_string(),
+            ]
+        })
         .collect();
     println!("{}", render_table(&["Month", "Obtained", "Unique"], &rows));
     println!(

@@ -48,7 +48,15 @@ fn main() {
         .collect();
     if let Ok(path) = save_csv(
         "fig3",
-        &["opcode", "benign_q1", "benign_med", "benign_q3", "phish_q1", "phish_med", "phish_q3"],
+        &[
+            "opcode",
+            "benign_q1",
+            "benign_med",
+            "benign_q3",
+            "phish_q1",
+            "phish_med",
+            "phish_q3",
+        ],
         &csv_rows,
     ) {
         println!("distributions written to {path}");

@@ -15,7 +15,10 @@ fn main() {
 
     let trials = match load_cached_trials() {
         Some(t) => {
-            println!("using cached trials from results/table2_trials.csv ({} rows)\n", t.len());
+            println!(
+                "using cached trials from results/table2_trials.csv ({} rows)\n",
+                t.len()
+            );
             t
         }
         None => {
@@ -40,7 +43,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_table(&["Metric", "Overall", "Within-category", "Cross-category"], &rows)
+        render_table(
+            &["Metric", "Overall", "Within-category", "Cross-category"],
+            &rows
+        )
     );
     println!("paper: overall 65.4% (Acc/F1/Prec) and 61.5% (Rec);");
     println!("       within-category ≈ 33–41%, cross-category ≈ 76–80%");

@@ -16,8 +16,7 @@ fn main() {
 
     for (metric, cdd) in &result.cdd {
         println!("{metric}: Friedman p = {}", sci(cdd.friedman_p));
-        let mut ranked: Vec<(usize, f64)> =
-            cdd.mean_ranks.iter().copied().enumerate().collect();
+        let mut ranked: Vec<(usize, f64)> = cdd.mean_ranks.iter().copied().enumerate().collect();
         ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite ranks"));
         let line: Vec<String> = ranked
             .iter()
@@ -26,10 +25,18 @@ fn main() {
         println!("  rank line (left = worst): {}", line.join("  <  "));
         for clique in &cdd.cliques {
             let names: Vec<&str> = clique.iter().map(|&i| models[i]).collect();
-            println!("  connected (no significant difference): {}", names.join(" ═ "));
+            println!(
+                "  connected (no significant difference): {}",
+                names.join(" ═ ")
+            );
         }
         for ((a, b), p) in &cdd.pairwise_p {
-            println!("  Wilcoxon {} vs {}: p_adj = {}", models[*a], models[*b], sci(*p));
+            println!(
+                "  Wilcoxon {} vs {}: p_adj = {}",
+                models[*a],
+                models[*b],
+                sci(*p)
+            );
         }
         println!();
     }
@@ -48,9 +55,14 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", render_table(&["Metric", "A", "B", "Cliff's δ"], &rows));
+    println!(
+        "{}",
+        render_table(&["Metric", "A", "B", "Cliff's δ"], &rows)
+    );
     println!("expected shape: Random Forest holds the best (rightmost) rank for all metrics;");
-    println!("pairwise Wilcoxon p-values stay ≥ 0.25 (n = 3 splits is too small for significance).");
+    println!(
+        "pairwise Wilcoxon p-values stay ≥ 0.25 (n = 3 splits is too small for significance)."
+    );
 
     let _ = save_csv(
         "fig6",

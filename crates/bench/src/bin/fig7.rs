@@ -30,8 +30,12 @@ fn main() {
     // The paper's cost narrative: SCSGuard's costs dominate and grow with
     // the data; Random Forest stays flat and cheap.
     let avg = |model: &str, f: fn(&scalability::SplitMeasurement) -> f64| -> f64 {
-        let xs: Vec<f64> =
-            result.measurements.iter().filter(|m| m.model == model).map(f).collect();
+        let xs: Vec<f64> = result
+            .measurements
+            .iter()
+            .filter(|m| m.model == model)
+            .map(f)
+            .collect();
         xs.iter().sum::<f64>() / xs.len() as f64
     };
     let rf_train = avg("Random Forest", |m| m.train_secs);

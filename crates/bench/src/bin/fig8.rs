@@ -40,7 +40,14 @@ fn main() {
         println!(
             "{}",
             render_table(
-                &["Period", "Phish P%", "Phish R%", "Phish F1%", "Benign F1%", "n"],
+                &[
+                    "Period",
+                    "Phish P%",
+                    "Phish R%",
+                    "Phish F1%",
+                    "Benign F1%",
+                    "n"
+                ],
                 &rows
             )
         );
@@ -51,7 +58,14 @@ fn main() {
 
     if let Ok(path) = save_csv(
         "fig8",
-        &["model", "month", "phish_precision", "phish_recall", "phish_f1", "benign_f1"],
+        &[
+            "model",
+            "month",
+            "phish_precision",
+            "phish_recall",
+            "phish_f1",
+            "benign_f1",
+        ],
         &csv_rows,
     ) {
         println!("curves written to {path}");

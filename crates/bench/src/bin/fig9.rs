@@ -38,7 +38,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Opcode", "mean |SHAP|", "SHAP @low use", "SHAP @high use", "Reading"],
+            &[
+                "Opcode",
+                "mean |SHAP|",
+                "SHAP @low use",
+                "SHAP @high use",
+                "Reading"
+            ],
             &rows
         )
     );
@@ -47,7 +53,12 @@ fn main() {
 
     let _ = save_csv(
         "fig9",
-        &["opcode", "mean_abs_shap", "low_usage_mean_shap", "high_usage_mean_shap"],
+        &[
+            "opcode",
+            "mean_abs_shap",
+            "low_usage_mean_shap",
+            "high_usage_mean_shap",
+        ],
         &analysis
             .top
             .iter()

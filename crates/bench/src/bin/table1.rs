@@ -28,8 +28,14 @@ fn main() {
         .filter(|r| ["0x00", "0x01", "0x02", "0xFD", "0xFE", "0xFF"].contains(&r[0].as_str()))
         .cloned()
         .collect();
-    println!("{}", render_table(&["Opcode", "Name", "Gas", "Description"], &excerpt));
-    println!("Defined opcodes at Shanghai: {} (paper: 144)", SHANGHAI_OPCODES.len());
+    println!(
+        "{}",
+        render_table(&["Opcode", "Name", "Gas", "Description"], &excerpt)
+    );
+    println!(
+        "Defined opcodes at Shanghai: {} (paper: 144)",
+        SHANGHAI_OPCODES.len()
+    );
 
     match save_csv("table1", &["opcode", "name", "gas", "description"], &rows) {
         Ok(path) => println!("full registry written to {path}"),

@@ -11,13 +11,17 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = ExperimentScale::from_args(&args);
     banner("Table II (16 models × 4 metrics)", &scale);
-    println!("(deep models train from scratch on CPU; use `--scale paper` for the full protocol)\n");
+    println!(
+        "(deep models train from scratch on CPU; use `--scale paper` for the full protocol)\n"
+    );
 
     let evaluation = main_eval::run(&scale);
 
     let mut rows = Vec::new();
     for summary in &evaluation.summaries {
-        let paper = PAPER_TABLE2.iter().find(|(name, ..)| *name == summary.model);
+        let paper = PAPER_TABLE2
+            .iter()
+            .find(|(name, ..)| *name == summary.model);
         let m = &summary.metrics;
         rows.push(vec![
             summary.model.clone(),
@@ -32,7 +36,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Model", "Category", "Acc%", "F1%", "Prec%", "Rec%", "Paper Acc%"],
+            &[
+                "Model",
+                "Category",
+                "Acc%",
+                "F1%",
+                "Prec%",
+                "Rec%",
+                "Paper Acc%"
+            ],
             &rows
         )
     );
@@ -44,12 +56,24 @@ fn main() {
     let best = evaluation
         .summaries
         .iter()
-        .max_by(|a, b| a.metrics.accuracy.partial_cmp(&b.metrics.accuracy).expect("finite"))
+        .max_by(|a, b| {
+            a.metrics
+                .accuracy
+                .partial_cmp(&b.metrics.accuracy)
+                .expect("finite")
+        })
         .expect("non-empty");
-    println!("\nbest model: {} at {}% (paper: Random Forest at 93.63%)", best.model, pct(best.metrics.accuracy));
+    println!(
+        "\nbest model: {} at {}% (paper: Random Forest at 93.63%)",
+        best.model,
+        pct(best.metrics.accuracy)
+    );
 
     if std::fs::create_dir_all("results").is_ok() {
-        match std::fs::write("results/table2_trials.csv", trials_to_csv(&evaluation.trials)) {
+        match std::fs::write(
+            "results/table2_trials.csv",
+            trials_to_csv(&evaluation.trials),
+        ) {
             Ok(()) => println!("per-trial results written to results/table2_trials.csv"),
             Err(e) => eprintln!("could not write trials: {e}"),
         }

@@ -16,7 +16,10 @@ fn main() {
 
     let trials = match load_cached_trials() {
         Some(t) => {
-            println!("using cached trials from results/table2_trials.csv ({} rows)\n", t.len());
+            println!(
+                "using cached trials from results/table2_trials.csv ({} rows)\n",
+                t.len()
+            );
             t
         }
         None => {
@@ -35,7 +38,12 @@ fn main() {
         .kruskal
         .iter()
         .map(|r| {
-            vec![r.metric.to_owned(), format!("{:.2}", r.h), sci(r.p), sci(r.p_adjusted)]
+            vec![
+                r.metric.to_owned(),
+                format!("{:.2}", r.h),
+                sci(r.p),
+                sci(r.p_adjusted),
+            ]
         })
         .collect();
     println!("{}", render_table(&["Metric", "H", "p", "p_adj"], &rows));
@@ -48,7 +56,12 @@ fn main() {
             .kruskal
             .iter()
             .map(|r| {
-                vec![r.metric.to_owned(), r.h.to_string(), r.p.to_string(), r.p_adjusted.to_string()]
+                vec![
+                    r.metric.to_owned(),
+                    r.h.to_string(),
+                    r.p.to_string(),
+                    r.p_adjusted.to_string(),
+                ]
             })
             .collect::<Vec<_>>(),
     );

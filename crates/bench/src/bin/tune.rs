@@ -29,7 +29,11 @@ fn main() {
     let space = SearchSpace::new()
         .with("n_trees", &[25.0, 50.0, 100.0])
         .with("max_depth", &[8.0, 14.0, 20.0]);
-    println!("search space: {} grid points × {} folds\n", space.grid_size(), folds.len());
+    println!(
+        "search space: {} grid points × {} folds\n",
+        space.grid_size(),
+        folds.len()
+    );
 
     let result = grid_search(&space, |params| {
         let mut accs = Vec::new();
@@ -55,7 +59,9 @@ fn main() {
     for (params, score) in &result.trials {
         println!(
             "  n_trees={:<4} max_depth={:<3} → CV accuracy {:.2}%",
-            params["n_trees"], params["max_depth"], score * 100.0
+            params["n_trees"],
+            params["max_depth"],
+            score * 100.0
         );
     }
     println!(

@@ -107,7 +107,12 @@ mod tests {
             category: Category::Histogram,
             run: 1,
             fold: 2,
-            metrics: BinaryMetrics { accuracy: 0.9, precision: 0.91, recall: 0.89, f1: 0.9 },
+            metrics: BinaryMetrics {
+                accuracy: 0.9,
+                precision: 0.91,
+                recall: 0.89,
+                f1: 0.9,
+            },
             train_secs: 0.5,
             infer_secs: 0.01,
         }];

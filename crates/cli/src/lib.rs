@@ -108,7 +108,11 @@ fn generate(args: &[String]) -> Result<String, CliError> {
         .parse()
         .map_err(|_| CliError::Usage(format!("`{n}` is not a sample count\n\n{USAGE}")))?;
     let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0xC0FFEE);
-    let corpus = Corpus::generate(&CorpusConfig { n_contracts: n, seed, ..Default::default() });
+    let corpus = Corpus::generate(&CorpusConfig {
+        n_contracts: n,
+        seed,
+        ..Default::default()
+    });
     std::fs::write(path, to_csv(&corpus.records))?;
     Ok(format!(
         "wrote {} contracts ({} phishing / {} benign) to {path}\n",
@@ -124,15 +128,24 @@ fn load_dataset(path: &str) -> Result<Vec<ContractRecord>, CliError> {
 }
 
 fn eval(args: &[String]) -> Result<String, CliError> {
-    let path = args.first().ok_or_else(|| CliError::Usage(USAGE.to_owned()))?;
+    let path = args
+        .first()
+        .ok_or_else(|| CliError::Usage(USAGE.to_owned()))?;
     let folds: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
     let records = load_dataset(path)?;
     let codes: Vec<&[u8]> = records.iter().map(|r| r.bytecode.as_slice()).collect();
     let labels: Vec<usize> = records.iter().map(|r| r.label.as_index()).collect();
     let splits = stratified_kfold(&labels, folds, 7);
 
-    let mut out = format!("{}-fold cross-validation on {} contracts\n\n", folds, records.len());
-    out.push_str(&format!("{:<20} {:>7} {:>7} {:>7} {:>7}\n", "Model", "Acc%", "F1%", "Prec%", "Rec%"));
+    let mut out = format!(
+        "{}-fold cross-validation on {} contracts\n\n",
+        folds,
+        records.len()
+    );
+    out.push_str(&format!(
+        "{:<20} {:>7} {:>7} {:>7} {:>7}\n",
+        "Model", "Acc%", "F1%", "Prec%", "Rec%"
+    ));
     for template in all_hscs(7) {
         let name = template.name();
         let mut sums = [0.0f64; 4];
@@ -171,7 +184,9 @@ fn rebuild(name: &str) -> Box<dyn Detector> {
 }
 
 fn scan(args: &[String]) -> Result<String, CliError> {
-    let path = args.first().ok_or_else(|| CliError::Usage(USAGE.to_owned()))?;
+    let path = args
+        .first()
+        .ok_or_else(|| CliError::Usage(USAGE.to_owned()))?;
     if args.len() < 2 {
         return Err(CliError::Usage(USAGE.to_owned()));
     }
@@ -185,7 +200,11 @@ fn scan(args: &[String]) -> Result<String, CliError> {
     for payload in &args[1..] {
         let code = read_hex(payload)?;
         let verdict = Label::from_index(det.predict(&[code.as_slice()])[0]);
-        let preview = if payload.len() > 18 { &payload[..18] } else { payload };
+        let preview = if payload.len() > 18 {
+            &payload[..18]
+        } else {
+            payload
+        };
         out.push_str(&format!("{preview}…  →  {verdict}\n"));
     }
     Ok(out)
@@ -216,7 +235,10 @@ mod tests {
 
     #[test]
     fn disasm_rejects_bad_hex() {
-        assert!(matches!(run(&args(&["disasm", "0xzz"])), Err(CliError::BadHex(_))));
+        assert!(matches!(
+            run(&args(&["disasm", "0xzz"])),
+            Err(CliError::BadHex(_))
+        ));
     }
 
     #[test]
@@ -256,7 +278,13 @@ mod tests {
         let csv_str = csv.to_str().expect("utf8 path");
         run(&args(&["generate", "90", csv_str])).expect("generates");
         let out = run(&args(&["eval", csv_str, "3"])).expect("evaluates");
-        for model in ["Random Forest", "k-NN", "SVM", "Logistic Regression", "XGBoost"] {
+        for model in [
+            "Random Forest",
+            "k-NN",
+            "SVM",
+            "Logistic Regression",
+            "XGBoost",
+        ] {
             assert!(out.contains(model), "missing {model} in:\n{out}");
         }
     }

@@ -44,10 +44,8 @@ pub fn stratified_kfold(labels: &[usize], k: usize, seed: u64) -> Vec<Fold> {
     }
     (0..k)
         .map(|f| {
-            let test: Vec<usize> =
-                (0..labels.len()).filter(|&i| fold_of[i] == f).collect();
-            let train: Vec<usize> =
-                (0..labels.len()).filter(|&i| fold_of[i] != f).collect();
+            let test: Vec<usize> = (0..labels.len()).filter(|&i| fold_of[i] == f).collect();
+            let train: Vec<usize> = (0..labels.len()).filter(|&i| fold_of[i] != f).collect();
             Fold { train, test }
         })
         .collect()
@@ -66,7 +64,7 @@ mod tests {
         let y = labels(100);
         let folds = stratified_kfold(&y, 10, 1);
         assert_eq!(folds.len(), 10);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for f in &folds {
             for &i in &f.test {
                 assert!(!seen[i], "index {i} in two test folds");

@@ -88,7 +88,11 @@ pub fn run(scale: &ExperimentScale) -> DatasetStats {
     let monthly: Vec<MonthlyRow> = corpus
         .monthly_phishing_counts()
         .into_iter()
-        .map(|(month, obtained, unique)| MonthlyRow { month, obtained, unique })
+        .map(|(month, obtained, unique)| MonthlyRow {
+            month,
+            obtained,
+            unique,
+        })
         .collect();
 
     // Per-contract opcode usage counts by class.
@@ -128,7 +132,10 @@ mod tests {
 
     #[test]
     fn monthly_series_covers_window() {
-        let stats = run(&ExperimentScale { n_contracts: 400, ..ExperimentScale::smoke() });
+        let stats = run(&ExperimentScale {
+            n_contracts: 400,
+            ..ExperimentScale::smoke()
+        });
         assert_eq!(stats.monthly.len(), 13);
         assert_eq!(stats.unique_phishing, 200);
         assert!(stats.obtained_phishing > stats.unique_phishing);
@@ -138,7 +145,10 @@ mod tests {
 
     #[test]
     fn usage_rows_cover_all_20_opcodes() {
-        let stats = run(&ExperimentScale { n_contracts: 300, ..ExperimentScale::smoke() });
+        let stats = run(&ExperimentScale {
+            n_contracts: 300,
+            ..ExperimentScale::smoke()
+        });
         assert_eq!(stats.usage.len(), 20);
         // Quartiles are ordered.
         for row in &stats.usage {
@@ -151,9 +161,16 @@ mod tests {
     fn classes_overlap_on_common_opcodes() {
         // Fig. 3's message: both classes use the common opcodes. PUSH1 and
         // MSTORE medians must be positive for both classes.
-        let stats = run(&ExperimentScale { n_contracts: 300, ..ExperimentScale::smoke() });
+        let stats = run(&ExperimentScale {
+            n_contracts: 300,
+            ..ExperimentScale::smoke()
+        });
         for opcode in ["PUSH1", "MSTORE", "POP"] {
-            let row = stats.usage.iter().find(|r| r.opcode == opcode).expect("row exists");
+            let row = stats
+                .usage
+                .iter()
+                .find(|r| r.opcode == opcode)
+                .expect("row exists");
             assert!(row.benign_quartiles.1 > 0.0, "{opcode} benign median 0");
             assert!(row.phishing_quartiles.1 > 0.0, "{opcode} phishing median 0");
         }

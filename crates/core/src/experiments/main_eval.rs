@@ -60,18 +60,23 @@ pub fn run_on(codes: &[&[u8]], labels: &[usize], scale: &ExperimentScale) -> Mai
 /// mean ≥ VM mean, with ESCORT far below.
 pub fn category_means(summaries: &[ModelSummary]) -> Vec<(phishinghook_models::Category, f64)> {
     use phishinghook_models::Category;
-    [Category::Histogram, Category::Language, Category::Vision, Category::VulnerabilityDetection]
-        .into_iter()
-        .map(|cat| {
-            let of_cat: Vec<f64> = summaries
-                .iter()
-                .filter(|s| s.category == cat)
-                .map(|s| s.metrics.accuracy)
-                .collect();
-            let mean = of_cat.iter().sum::<f64>() / of_cat.len().max(1) as f64;
-            (cat, mean)
-        })
-        .collect()
+    [
+        Category::Histogram,
+        Category::Language,
+        Category::Vision,
+        Category::VulnerabilityDetection,
+    ]
+    .into_iter()
+    .map(|cat| {
+        let of_cat: Vec<f64> = summaries
+            .iter()
+            .filter(|s| s.category == cat)
+            .map(|s| s.metrics.accuracy)
+            .collect();
+        let mean = of_cat.iter().sum::<f64>() / of_cat.len().max(1) as f64;
+        (cat, mean)
+    })
+    .collect()
 }
 
 #[cfg(test)]
@@ -108,7 +113,12 @@ mod tests {
         assert_eq!(summaries.len(), 7);
         // HSCs should comfortably beat chance on the corpus.
         for s in &summaries {
-            assert!(s.metrics.accuracy > 0.7, "{} at {}", s.model, s.metrics.accuracy);
+            assert!(
+                s.metrics.accuracy > 0.7,
+                "{} at {}",
+                s.model,
+                s.metrics.accuracy
+            );
             assert_eq!(s.category, Category::Histogram);
         }
     }

@@ -39,12 +39,24 @@ pub struct ExperimentScale {
 impl ExperimentScale {
     /// Tiny smoke-test scale (CI).
     pub fn smoke() -> Self {
-        ExperimentScale { n_contracts: 240, folds: 3, runs: 1, preset: Preset::Fast, seed: 0xF00D }
+        ExperimentScale {
+            n_contracts: 240,
+            folds: 3,
+            runs: 1,
+            preset: Preset::Fast,
+            seed: 0xF00D,
+        }
     }
 
     /// Small scale: minutes on a laptop, all 16 models.
     pub fn small() -> Self {
-        ExperimentScale { n_contracts: 700, folds: 5, runs: 1, preset: Preset::Fast, seed: 0xF00D }
+        ExperimentScale {
+            n_contracts: 700,
+            folds: 5,
+            runs: 1,
+            preset: Preset::Fast,
+            seed: 0xF00D,
+        }
     }
 
     /// Medium scale: tens of minutes.
@@ -123,8 +135,10 @@ mod tests {
 
     #[test]
     fn arg_parsing() {
-        let args: Vec<String> =
-            ["--scale", "medium", "--contracts", "500", "--seed", "9"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--scale", "medium", "--contracts", "500", "--seed", "9"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let s = ExperimentScale::from_args(&args);
         assert_eq!(s.folds, ExperimentScale::medium().folds);
         assert_eq!(s.n_contracts, 500);

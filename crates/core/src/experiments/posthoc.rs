@@ -132,7 +132,12 @@ pub fn run(trials: &[TrialResult]) -> PosthocAnalysis {
         .iter()
         .zip(hs)
         .zip(raw_ps.iter().zip(&adjusted))
-        .map(|((metric, h), (&p, &p_adjusted))| KruskalRow { metric, h, p, p_adjusted })
+        .map(|((metric, h), (&p, &p_adjusted))| KruskalRow {
+            metric,
+            h,
+            p,
+            p_adjusted,
+        })
         .collect();
 
     // Dunn's pairwise tests per metric (Fig. 4).
@@ -177,7 +182,14 @@ pub fn run(trials: &[TrialResult]) -> PosthocAnalysis {
         ));
     }
 
-    PosthocAnalysis { models, normality_violations, normality_tests, kruskal, pairwise, rates }
+    PosthocAnalysis {
+        models,
+        normality_violations,
+        normality_tests,
+        kruskal,
+        pairwise,
+        rates,
+    }
 }
 
 #[cfg(test)]
@@ -199,7 +211,12 @@ mod tests {
                     category: *category,
                     run: i / 10,
                     fold: i % 10,
-                    metrics: BinaryMetrics { accuracy: v, precision: v, recall: v, f1: v },
+                    metrics: BinaryMetrics {
+                        accuracy: v,
+                        precision: v,
+                        recall: v,
+                        f1: v,
+                    },
                     train_secs: 0.1,
                     infer_secs: 0.01,
                 });

@@ -61,7 +61,9 @@ pub struct ScalabilityResult {
 fn make_model(name: &str, scale: &ExperimentScale, seed: u64) -> Box<dyn Detector> {
     match name {
         "Random Forest" => Box::new(HscDetector::random_forest(seed)),
-        "ECA+EfficientNet" => Box::new(VisionDetector::eca_efficientnet(scale.preset.vision_cnn(seed))),
+        "ECA+EfficientNet" => Box::new(VisionDetector::eca_efficientnet(
+            scale.preset.vision_cnn(seed),
+        )),
         "SCSGuard" => Box::new(ScsGuardDetector::new(scale.preset.language(seed))),
         other => panic!("unknown scalability model `{other}`"),
     }
@@ -144,19 +146,23 @@ pub fn run(scale: &ExperimentScale) -> ScalabilityResult {
             })
             .collect();
         cdd.push((metric, critical_difference(&blocks, 0.05)));
-        for a in 0..MODELS.len() {
-            for b in (a + 1)..MODELS.len() {
+        for (a, model_a) in MODELS.iter().enumerate() {
+            for model_b in &MODELS[a + 1..] {
                 effect_sizes.push(EffectSize {
                     metric,
-                    model_a: MODELS[a],
-                    model_b: MODELS[b],
-                    delta: cliffs_delta(&series(MODELS[a]), &series(MODELS[b])),
+                    model_a,
+                    model_b,
+                    delta: cliffs_delta(&series(model_a), &series(model_b)),
                 });
             }
         }
     }
 
-    ScalabilityResult { measurements, cdd, effect_sizes }
+    ScalabilityResult {
+        measurements,
+        cdd,
+        effect_sizes,
+    }
 }
 
 #[cfg(test)]
@@ -173,10 +179,13 @@ mod tests {
         assert_eq!(result.measurements.len(), 9);
         assert_eq!(result.cdd.len(), 4);
         assert_eq!(result.effect_sizes.len(), 12); // 3 pairs × 4 metrics
-        // Larger splits never shrink the training time for SCSGuard (the
-        // cost-scaling claim of Fig. 7) — allow small timer noise.
-        let scs: Vec<&SplitMeasurement> =
-            result.measurements.iter().filter(|m| m.model == "SCSGuard").collect();
+                                                   // Larger splits never shrink the training time for SCSGuard (the
+                                                   // cost-scaling claim of Fig. 7) — allow small timer noise.
+        let scs: Vec<&SplitMeasurement> = result
+            .measurements
+            .iter()
+            .filter(|m| m.model == "SCSGuard")
+            .collect();
         assert!(scs[2].train_secs > scs[0].train_secs * 0.8);
         // Every Cliff's delta is in [-1, 1].
         for e in &result.effect_sizes {

@@ -77,8 +77,9 @@ pub fn run(scale: &ExperimentScale) -> ShapAnalysis {
     for &i in &test_idx {
         let features = extractor.transform_one(codes[i]);
         let phi = forest_shap(&forest, &features);
-        let prediction = forest
-            .predict_proba(&phishinghook_ml::Matrix::from_rows(&[features.clone()]))[0];
+        let prediction = forest.predict_proba(&phishinghook_ml::Matrix::from_rows(
+            std::slice::from_ref(&features),
+        ))[0];
         let residual = (phi.iter().sum::<f64>() + base_value - prediction).abs();
         max_additivity_error = max_additivity_error.max(residual);
         shap_rows.push(phi);
@@ -108,12 +109,22 @@ pub fn run(scale: &ExperimentScale) -> ShapAnalysis {
         influences.push(OpcodeInfluence {
             opcode: extractor.columns()[j],
             mean_abs_shap: shap_j.iter().map(|v| v.abs()).sum::<f64>() / n,
-            low_usage_mean_shap: if low_n == 0 { 0.0 } else { low_sum / low_n as f64 },
-            high_usage_mean_shap: if high_n == 0 { 0.0 } else { high_sum / high_n as f64 },
+            low_usage_mean_shap: if low_n == 0 {
+                0.0
+            } else {
+                low_sum / low_n as f64
+            },
+            high_usage_mean_shap: if high_n == 0 {
+                0.0
+            } else {
+                high_sum / high_n as f64
+            },
         });
     }
     influences.sort_by(|a, b| {
-        b.mean_abs_shap.partial_cmp(&a.mean_abs_shap).expect("finite SHAP")
+        b.mean_abs_shap
+            .partial_cmp(&a.mean_abs_shap)
+            .expect("finite SHAP")
     });
     influences.truncate(20);
 
@@ -131,9 +142,16 @@ mod tests {
 
     #[test]
     fn additivity_holds_and_top_is_ranked() {
-        let scale = ExperimentScale { n_contracts: 200, ..ExperimentScale::smoke() };
+        let scale = ExperimentScale {
+            n_contracts: 200,
+            ..ExperimentScale::smoke()
+        };
         let analysis = run(&scale);
-        assert!(analysis.max_additivity_error < 1e-9, "{}", analysis.max_additivity_error);
+        assert!(
+            analysis.max_additivity_error < 1e-9,
+            "{}",
+            analysis.max_additivity_error
+        );
         assert!(!analysis.top.is_empty());
         for w in analysis.top.windows(2) {
             assert!(w[0].mean_abs_shap >= w[1].mean_abs_shap);
@@ -146,7 +164,10 @@ mod tests {
         // The paper's Fig. 9 reading: contracts that rarely use GAS get
         // positive (phishing-leaning) SHAP contributions from the GAS
         // feature, because benign code checks gas before external calls.
-        let scale = ExperimentScale { n_contracts: 400, ..ExperimentScale::smoke() };
+        let scale = ExperimentScale {
+            n_contracts: 400,
+            ..ExperimentScale::smoke()
+        };
         let analysis = run(&scale);
         if let Some(gas) = analysis.top.iter().find(|o| o.opcode == "GAS") {
             assert!(

@@ -65,12 +65,20 @@ pub fn run(scale: &ExperimentScale) -> TimeResistance {
     let train_y: Vec<usize> = train.iter().map(|(_, y)| *y).collect();
 
     let models: Vec<(&'static str, Box<dyn Detector>)> = vec![
-        ("Random Forest", Box::new(HscDetector::random_forest(scale.seed))),
+        (
+            "Random Forest",
+            Box::new(HscDetector::random_forest(scale.seed)),
+        ),
         (
             "ECA+EfficientNet",
-            Box::new(VisionDetector::eca_efficientnet(scale.preset.vision_cnn(scale.seed ^ 1))),
+            Box::new(VisionDetector::eca_efficientnet(
+                scale.preset.vision_cnn(scale.seed ^ 1),
+            )),
         ),
-        ("SCSGuard", Box::new(ScsGuardDetector::new(scale.preset.language(scale.seed ^ 2)))),
+        (
+            "SCSGuard",
+            Box::new(ScsGuardDetector::new(scale.preset.language(scale.seed ^ 2))),
+        ),
     ];
 
     let mut curves = Vec::new();
@@ -99,8 +107,16 @@ pub fn run(scale: &ExperimentScale) -> TimeResistance {
             });
         }
         let f1_series: Vec<f64> = months.iter().map(|m| m.phishing.f1).collect();
-        let aut_f1 = if f1_series.len() >= 2 { area_under_time(&f1_series) } else { 0.0 };
-        curves.push(DecayCurve { model: name, months, aut_f1 });
+        let aut_f1 = if f1_series.len() >= 2 {
+            area_under_time(&f1_series)
+        } else {
+            0.0
+        };
+        curves.push(DecayCurve {
+            model: name,
+            months,
+            aut_f1,
+        });
     }
     TimeResistance { curves }
 }
@@ -112,7 +128,10 @@ mod tests {
     #[test]
     fn produces_nine_monthly_periods_at_reasonable_scale() {
         // 600 contracts spread over 13 months leaves enough per test month.
-        let scale = ExperimentScale { n_contracts: 600, ..ExperimentScale::smoke() };
+        let scale = ExperimentScale {
+            n_contracts: 600,
+            ..ExperimentScale::smoke()
+        };
         let result = run(&scale);
         assert_eq!(result.curves.len(), 3);
         for curve in &result.curves {
@@ -126,9 +145,16 @@ mod tests {
 
     #[test]
     fn random_forest_stays_predictive_over_time() {
-        let scale = ExperimentScale { n_contracts: 600, ..ExperimentScale::smoke() };
+        let scale = ExperimentScale {
+            n_contracts: 600,
+            ..ExperimentScale::smoke()
+        };
         let result = run(&scale);
-        let rf = result.curves.iter().find(|c| c.model == "Random Forest").expect("RF curve");
+        let rf = result
+            .curves
+            .iter()
+            .find(|c| c.model == "Random Forest")
+            .expect("RF curve");
         assert!(rf.aut_f1 > 0.6, "AUT = {}", rf.aut_f1);
     }
 }

@@ -1,7 +1,7 @@
 //! Binary classification metrics (phishing = positive class).
 
 /// Confusion counts for a binary task.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Confusion {
     /// Phishing predicted phishing.
     pub tp: usize,
@@ -39,7 +39,7 @@ impl Confusion {
 }
 
 /// The four metrics of the paper's Table II.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BinaryMetrics {
     /// Fraction of correct predictions.
     pub accuracy: f64,
@@ -56,15 +56,27 @@ impl BinaryMetrics {
     pub fn from_confusion(c: &Confusion) -> Self {
         let total = c.total().max(1) as f64;
         let accuracy = (c.tp + c.tn) as f64 / total;
-        let precision =
-            if c.tp + c.fp == 0 { 1.0 } else { c.tp as f64 / (c.tp + c.fp) as f64 };
-        let recall = if c.tp + c.fn_ == 0 { 1.0 } else { c.tp as f64 / (c.tp + c.fn_) as f64 };
+        let precision = if c.tp + c.fp == 0 {
+            1.0
+        } else {
+            c.tp as f64 / (c.tp + c.fp) as f64
+        };
+        let recall = if c.tp + c.fn_ == 0 {
+            1.0
+        } else {
+            c.tp as f64 / (c.tp + c.fn_) as f64
+        };
         let f1 = if precision + recall == 0.0 {
             0.0
         } else {
             2.0 * precision * recall / (precision + recall)
         };
-        BinaryMetrics { accuracy, precision, recall, f1 }
+        BinaryMetrics {
+            accuracy,
+            precision,
+            recall,
+            f1,
+        }
     }
 
     /// Computes metrics directly from predictions.

@@ -107,8 +107,7 @@ pub fn summarize(results: &[TrialResult]) -> Vec<ModelSummary> {
     order
         .into_iter()
         .map(|name| {
-            let trials: Vec<&TrialResult> =
-                results.iter().filter(|r| r.model == name).collect();
+            let trials: Vec<&TrialResult> = results.iter().filter(|r| r.model == name).collect();
             let n = trials.len() as f64;
             let mean = |f: fn(&TrialResult) -> f64| trials.iter().map(|t| f(t)).sum::<f64>() / n;
             ModelSummary {
@@ -135,7 +134,11 @@ mod tests {
     use phishinghook_models::HscDetector;
 
     fn corpus(n: usize) -> (Vec<Vec<u8>>, Vec<usize>) {
-        let c = Corpus::generate(&CorpusConfig { n_contracts: n, seed: 12, ..Default::default() });
+        let c = Corpus::generate(&CorpusConfig {
+            n_contracts: n,
+            seed: 12,
+            ..Default::default()
+        });
         (
             c.records.iter().map(|r| r.bytecode.clone()).collect(),
             c.records.iter().map(|r| r.label.as_index()).collect(),
@@ -147,12 +150,17 @@ mod tests {
         let (codes, labels) = corpus(120);
         let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
         let factory = |seed: u64| -> Vec<Box<dyn Detector>> {
-            vec![Box::new(HscDetector::random_forest(seed)), Box::new(HscDetector::knn())]
+            vec![
+                Box::new(HscDetector::random_forest(seed)),
+                Box::new(HscDetector::knn()),
+            ]
         };
         let results = evaluate(&refs, &labels, &factory, 3, 2, 7);
         assert_eq!(results.len(), 3 * 2 * 2);
         assert!(results.iter().all(|r| r.metrics.accuracy > 0.5));
-        assert!(results.iter().all(|r| r.train_secs >= 0.0 && r.infer_secs >= 0.0));
+        assert!(results
+            .iter()
+            .all(|r| r.train_secs >= 0.0 && r.infer_secs >= 0.0));
     }
 
     #[test]

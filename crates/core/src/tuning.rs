@@ -108,7 +108,11 @@ fn run_search(candidates: Vec<Params>, objective: &mut dyn FnMut(&Params) -> f64
         }
     }
     let (best_params, best_score) = best.expect("at least one candidate");
-    SearchResult { best_params, best_score, trials }
+    SearchResult {
+        best_params,
+        best_score,
+        trials,
+    }
 }
 
 #[cfg(test)]

@@ -80,7 +80,12 @@ impl LabelOracle {
     /// Builds an oracle over the given records with exact labels.
     pub fn from_records<'a>(records: impl IntoIterator<Item = &'a ContractRecord>) -> Self {
         let labels = records.into_iter().map(|r| (r.address, r.label)).collect();
-        LabelOracle { labels, miss_rate: 0.0, false_flag_rate: 0.0, seed: 0x5EED }
+        LabelOracle {
+            labels,
+            miss_rate: 0.0,
+            false_flag_rate: 0.0,
+            seed: 0x5EED,
+        }
     }
 
     /// Sets label-noise rates (returns `self` for chaining).
@@ -98,7 +103,9 @@ impl LabelOracle {
             return false;
         };
         // Deterministic per-address noise so repeated queries agree.
-        let mut rng = SplitMix::new(self.seed ^ u64::from_le_bytes(address[..8].try_into().expect("8 bytes")));
+        let mut rng = SplitMix::new(
+            self.seed ^ u64::from_le_bytes(address[..8].try_into().expect("8 bytes")),
+        );
         match label {
             Label::Phishing => rng.unit() >= self.miss_rate,
             Label::Benign => rng.unit() < self.false_flag_rate,
@@ -130,7 +137,11 @@ pub fn extract_labeled_bytecodes(
             if code.is_empty() {
                 return None; // EOA or undeployed — skipped, as in the paper
             }
-            let label = if oracle.is_flagged(addr) { Label::Phishing } else { Label::Benign };
+            let label = if oracle.is_flagged(addr) {
+                Label::Phishing
+            } else {
+                Label::Benign
+            };
             Some((code.to_vec(), label))
         })
         .collect()
@@ -171,8 +182,7 @@ mod tests {
 
     #[test]
     fn noisy_oracle_is_deterministic_per_address() {
-        let records: Vec<ContractRecord> =
-            (0..100).map(|i| record(i, Label::Phishing)).collect();
+        let records: Vec<ContractRecord> = (0..100).map(|i| record(i, Label::Phishing)).collect();
         let oracle = LabelOracle::from_records(&records).with_noise(0.3, 0.0, 42);
         let first: Vec<bool> = (0..100).map(|i| oracle.is_flagged([i; 20])).collect();
         let second: Vec<bool> = (0..100).map(|i| oracle.is_flagged([i; 20])).collect();

@@ -4,7 +4,7 @@ use phishinghook_evm::keccak::{keccak256, to_hex};
 use std::fmt;
 
 /// Ground-truth class of a contract.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Label {
     /// Not flagged on the (simulated) explorer.
     Benign,
@@ -42,7 +42,7 @@ impl fmt::Display for Label {
 
 /// Deployment month, indexed from October 2023 (`0`) to October 2024 (`12`)
 /// — the paper's collection window.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Month(pub u8);
 
 impl Month {
@@ -70,7 +70,7 @@ impl fmt::Display for Month {
 }
 
 /// One deployed contract in the corpus.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ContractRecord {
     /// 20-byte account address (derived from the bytecode + a nonce).
     pub address: [u8; 20],
@@ -117,7 +117,10 @@ mod tests {
 
     #[test]
     fn label_index_roundtrip() {
-        assert_eq!(Label::from_index(Label::Phishing.as_index()), Label::Phishing);
+        assert_eq!(
+            Label::from_index(Label::Phishing.as_index()),
+            Label::Phishing
+        );
         assert_eq!(Label::from_index(Label::Benign.as_index()), Label::Benign);
     }
 

@@ -35,7 +35,7 @@ pub const OBTAINED_PROFILE: [f64; Month::COUNT] = [
 ];
 
 /// Configuration for [`Corpus::generate`].
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CorpusConfig {
     /// Total deduplicated, balanced dataset size (paper: 7,000).
     pub n_contracts: usize,
@@ -97,13 +97,25 @@ impl Corpus {
         let mut nonce = 0u64;
 
         for month in phishing_months {
-            let record =
-                unique_record(&mut rng, &mut seen, &mut nonce, month, Label::Phishing, config);
+            let record = unique_record(
+                &mut rng,
+                &mut seen,
+                &mut nonce,
+                month,
+                Label::Phishing,
+                config,
+            );
             records.push(record);
         }
         for month in benign_months {
-            let record =
-                unique_record(&mut rng, &mut seen, &mut nonce, month, Label::Benign, config);
+            let record = unique_record(
+                &mut rng,
+                &mut seen,
+                &mut nonce,
+                month,
+                Label::Benign,
+                config,
+            );
             records.push(record);
         }
         rng.shuffle(&mut records);
@@ -119,14 +131,18 @@ impl Corpus {
                 let mut clone = r.clone();
                 clone.address = derive_address(&clone.bytecode, nonce);
                 let drift = rng.below(3) as i8 - 1;
-                let m = (i16::from(r.month.0) + i16::from(drift))
-                    .clamp(0, Month::COUNT as i16 - 1) as u8;
+                let m = (i16::from(r.month.0) + i16::from(drift)).clamp(0, Month::COUNT as i16 - 1)
+                    as u8;
                 clone.month = Month(m);
                 raw_phishing.push(clone);
             }
         }
 
-        Corpus { records, raw_phishing, config: config.clone() }
+        Corpus {
+            records,
+            raw_phishing,
+            config: config.clone(),
+        }
     }
 
     /// The configuration used to generate this corpus.
@@ -154,7 +170,9 @@ impl Corpus {
         for r in self.phishing() {
             unique[r.month.0 as usize] += 1;
         }
-        (0..Month::COUNT).map(|m| (Month(m as u8), obtained[m], unique[m])).collect()
+        (0..Month::COUNT)
+            .map(|m| (Month(m as u8), obtained[m], unique[m]))
+            .collect()
     }
 
     /// Splits records into (bytecodes, labels) ready for model training.
@@ -274,16 +292,34 @@ fn benign_pool(rng: &mut SplitMix) -> Gadget {
         1 => Gadget::MappingWrite { slot },
         2 => Gadget::StoreArg { slot },
         3 => Gadget::LoadStorage { slot },
-        4 => Gadget::EmitEvent { topics: 1 + rng.below(3) as u8, seed },
+        4 => Gadget::EmitEvent {
+            topics: 1 + rng.below(3) as u8,
+            seed,
+        },
         5 => Gadget::CheckedAdd { slot },
-        6 => Gadget::GasCheck { min_gas: 500 + rng.below(5000) as u16 },
-        7 => Gadget::ExternalCall { slot, check_returndata: true, fixed_gas: rng.unit() < 0.5 },
+        6 => Gadget::GasCheck {
+            min_gas: 500 + rng.below(5000) as u16,
+        },
+        7 => Gadget::ExternalCall {
+            slot,
+            check_returndata: true,
+            fixed_gas: rng.unit() < 0.5,
+        },
         8 => Gadget::BalanceCheck,
-        9 => Gadget::TimestampGate { deadline: 1_700_000_000 + rng.below(40_000_000) as u32, after: rng.unit() < 0.5 },
+        9 => Gadget::TimestampGate {
+            deadline: 1_700_000_000 + rng.below(40_000_000) as u32,
+            after: rng.unit() < 0.5,
+        },
         10 => Gadget::RequireOwner { slot: 0 },
         11 => Gadget::DelegateForward { slot },
-        12 => Gadget::ObfuscatedConst { a: rng.next_u64() >> 32, b: rng.next_u64() >> 32 },
-        _ => Gadget::JunkArith { ops: 1 + rng.below(3) as u8, seed },
+        12 => Gadget::ObfuscatedConst {
+            a: rng.next_u64() >> 32,
+            b: rng.next_u64() >> 32,
+        },
+        _ => Gadget::JunkArith {
+            ops: 1 + rng.below(3) as u8,
+            seed,
+        },
     }
 }
 
@@ -296,39 +332,63 @@ fn phishing_pool(rng: &mut SplitMix, drift: f64) -> Gadget {
     let choice = pick(
         rng,
         &[
-            (2.5 - drift, 0usize),          // balance drain (early wave)
-            (2.0 + 1.5 * drift, 1),         // transferFrom sweep (late wave)
-            (1.5, 2),                       // junk
-            (1.0 + 1.6 * drift, 3),         // obfuscated constants
-            (1.0, 4),                       // fake bookkeeping
-            (1.0, 5),                       // fake events
-            (0.8, 6),                       // claim deadline
-            (0.7 + 0.5 * drift, 7),         // masked address
-            (0.6, 8),                       // setter
-            (0.5, 9),                       // storage touch
-            (0.5, 10),                      // attacker-gated withdraw
-            (0.4, 11),                      // unchecked external call
-            (0.3 + 0.4 * drift, 12),        // delegatecall backdoor
-            (0.25, 13),                     // gas check (rare in scams)
-            (0.3, 14),                      // balance probe
-            (0.2, 15),                      // checked math (rare)
+            (2.5 - drift, 0usize),   // balance drain (early wave)
+            (2.0 + 1.5 * drift, 1),  // transferFrom sweep (late wave)
+            (1.5, 2),                // junk
+            (1.0 + 1.6 * drift, 3),  // obfuscated constants
+            (1.0, 4),                // fake bookkeeping
+            (1.0, 5),                // fake events
+            (0.8, 6),                // claim deadline
+            (0.7 + 0.5 * drift, 7),  // masked address
+            (0.6, 8),                // setter
+            (0.5, 9),                // storage touch
+            (0.5, 10),               // attacker-gated withdraw
+            (0.4, 11),               // unchecked external call
+            (0.3 + 0.4 * drift, 12), // delegatecall backdoor
+            (0.25, 13),              // gas check (rare in scams)
+            (0.3, 14),               // balance probe
+            (0.2, 15),               // checked math (rare)
         ],
     );
     match choice {
-        0 => Gadget::DrainBalance { to_caller: false, attacker },
-        1 => Gadget::TransferFromSweep { token_slot: slot, attacker },
-        2 => Gadget::JunkArith { ops: 2 + rng.below(5) as u8, seed },
-        3 => Gadget::ObfuscatedConst { a: rng.next_u64() >> 24, b: rng.next_u64() >> 24 },
+        0 => Gadget::DrainBalance {
+            to_caller: false,
+            attacker,
+        },
+        1 => Gadget::TransferFromSweep {
+            token_slot: slot,
+            attacker,
+        },
+        2 => Gadget::JunkArith {
+            ops: 2 + rng.below(5) as u8,
+            seed,
+        },
+        3 => Gadget::ObfuscatedConst {
+            a: rng.next_u64() >> 24,
+            b: rng.next_u64() >> 24,
+        },
         4 => Gadget::MappingWrite { slot },
-        5 => Gadget::EmitEvent { topics: 1 + rng.below(3) as u8, seed },
-        6 => Gadget::TimestampGate { deadline: 1_700_000_000 + rng.below(40_000_000) as u32, after: rng.unit() < 0.7 },
+        5 => Gadget::EmitEvent {
+            topics: 1 + rng.below(3) as u8,
+            seed,
+        },
+        6 => Gadget::TimestampGate {
+            deadline: 1_700_000_000 + rng.below(40_000_000) as u32,
+            after: rng.unit() < 0.7,
+        },
         7 => Gadget::MaskedAddress { addr: attacker },
         8 => Gadget::StoreArg { slot },
         9 => Gadget::LoadStorage { slot },
         10 => Gadget::RequireOwner { slot: 0 },
-        11 => Gadget::ExternalCall { slot, check_returndata: false, fixed_gas: rng.unit() < 0.7 },
+        11 => Gadget::ExternalCall {
+            slot,
+            check_returndata: false,
+            fixed_gas: rng.unit() < 0.7,
+        },
         12 => Gadget::DelegateForward { slot },
-        13 => Gadget::GasCheck { min_gas: 500 + rng.below(3000) as u16 },
+        13 => Gadget::GasCheck {
+            min_gas: 500 + rng.below(3000) as u16,
+        },
         14 => Gadget::BalanceCheck,
         _ => Gadget::CheckedAdd { slot },
     }
@@ -398,7 +458,15 @@ fn generate_benign(
     let hard = rng.unit() < config.hard_example_rate;
     let family_choice = pick(
         rng,
-        &[(2.2, 0usize), (1.3, 1), (1.3, 2), (1.0, 3), (1.3, 4), (1.3, 5), (1.1, 6)],
+        &[
+            (2.2, 0usize),
+            (1.3, 1),
+            (1.3, 2),
+            (1.0, 3),
+            (1.3, 4),
+            (1.3, 5),
+            (1.1, 6),
+        ],
     );
     match family_choice {
         // ERC-20 token.
@@ -498,7 +566,9 @@ fn generate_benign(
             );
             if hard {
                 let last = functions.len() - 1;
-                functions[last].gadgets.insert(0, Gadget::RequireOwner { slot: 0 });
+                functions[last]
+                    .gadgets
+                    .insert(0, Gadget::RequireOwner { slot: 0 });
                 functions[last].terminator = Terminator::SelfDestruct { slot: 0 };
                 functions[last].gadgets.push(Gadget::ObfuscatedConst {
                     a: rng.next_u64() >> 24,
@@ -560,8 +630,11 @@ fn generate_phishing(
     let drift = f64::from(month.0) / (Month::COUNT as f64 - 1.0);
     let hard = rng.unit() < config.hard_example_rate;
     let late = month.0 >= 6 && rng.unit() < 0.6;
-    let bait: Vec<[u8; 4]> =
-        if late { selectors::phishing_late() } else { selectors::phishing_early() };
+    let bait: Vec<[u8; 4]> = if late {
+        selectors::phishing_late()
+    } else {
+        selectors::phishing_early()
+    };
 
     // Bare fake vault: a scam that only *collects* (deposits flow in; the
     // rug is off-chain or in a later upgrade). Built entirely from the
@@ -570,14 +643,7 @@ fn generate_phishing(
         let n_fns = 2 + rng.below(3);
         let mut sels = selectors::vault();
         sels.push(bait[0]);
-        let functions = build_functions(
-            rng,
-            &sels,
-            n_fns,
-            benign_pool,
-            benign_terminator,
-            (1, 4),
-        );
+        let functions = build_functions(rng, &sels, n_fns, benign_pool, benign_terminator, (1, 4));
         let spec = ContractSpec {
             payable_guard: false,
             functions,
@@ -599,10 +665,12 @@ fn generate_phishing(
             (1, 4),
         );
         let victim_fn = rng.below(functions.len());
-        functions[victim_fn].gadgets.push(Gadget::TransferFromSweep {
-            token_slot: rng.below(8) as u64,
-            attacker: rand_attacker(rng),
-        });
+        functions[victim_fn]
+            .gadgets
+            .push(Gadget::TransferFromSweep {
+                token_slot: rng.below(8) as u64,
+                attacker: rand_attacker(rng),
+            });
         if rng.unit() < 0.5 {
             functions[victim_fn].gadgets.push(Gadget::DrainBalance {
                 to_caller: false,
@@ -630,14 +698,8 @@ fn generate_phishing(
     match family_choice {
         0 => {
             let n_fns = 1 + rng.below(3);
-            let mut functions = build_functions(
-                rng,
-                &bait,
-                n_fns,
-                pool,
-                phishing_terminator,
-                (2, 5),
-            );
+            let mut functions =
+                build_functions(rng, &bait, n_fns, pool, phishing_terminator, (2, 5));
             // The signature move: a sweep right in the claim path.
             functions[0].gadgets.push(Gadget::TransferFromSweep {
                 token_slot: rng.below(8) as u64,
@@ -652,14 +714,8 @@ fn generate_phishing(
         }
         1 => {
             let n_fns = 1 + rng.below(2);
-            let mut functions = build_functions(
-                rng,
-                &bait,
-                n_fns,
-                pool,
-                phishing_terminator,
-                (2, 4),
-            );
+            let mut functions =
+                build_functions(rng, &bait, n_fns, pool, phishing_terminator, (2, 4));
             functions[0].gadgets.insert(
                 0,
                 Gadget::TimestampGate {
@@ -694,7 +750,9 @@ fn generate_phishing(
             });
             if rng.unit() < 0.4 {
                 let last = functions.len() - 1;
-                functions[last].terminator = Terminator::SelfDestruct { slot: rng.below(4) as u64 };
+                functions[last].terminator = Terminator::SelfDestruct {
+                    slot: rng.below(4) as u64,
+                };
             }
             let spec = ContractSpec {
                 payable_guard: false,
@@ -714,7 +772,9 @@ fn generate_phishing(
                 phishing_terminator,
                 (2, 5),
             );
-            functions[0].gadgets.push(Gadget::DelegateForward { slot: rng.below(4) as u64 });
+            functions[0].gadgets.push(Gadget::DelegateForward {
+                slot: rng.below(4) as u64,
+            });
             functions[0].gadgets.push(Gadget::ObfuscatedConst {
                 a: rng.next_u64() >> 24,
                 b: rng.next_u64() >> 24,
@@ -744,7 +804,11 @@ mod tests {
     use phishinghook_evm::interp::{Interpreter, Status};
 
     fn small(n: usize, seed: u64) -> Corpus {
-        Corpus::generate(&CorpusConfig { n_contracts: n, seed, ..Default::default() })
+        Corpus::generate(&CorpusConfig {
+            n_contracts: n,
+            seed,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -765,9 +829,15 @@ mod tests {
     #[test]
     fn raw_phishing_contains_duplicates() {
         let c = small(200, 3);
-        let unique: HashSet<[u8; 32]> =
-            c.raw_phishing.iter().map(ContractRecord::code_hash).collect();
-        assert!(c.raw_phishing.len() > unique.len() * 2, "duplicate factor too low");
+        let unique: HashSet<[u8; 32]> = c
+            .raw_phishing
+            .iter()
+            .map(ContractRecord::code_hash)
+            .collect();
+        assert!(
+            c.raw_phishing.len() > unique.len() * 2,
+            "duplicate factor too low"
+        );
         // Clones keep the label but live at distinct addresses.
         let addrs: HashSet<[u8; 20]> = c.raw_phishing.iter().map(|r| r.address).collect();
         assert_eq!(addrs.len(), c.raw_phishing.len());
@@ -856,7 +926,7 @@ mod tests {
                 }
             }
             let mut v: Vec<_> = counts.into_iter().collect();
-            v.sort_by(|a, b| b.1.cmp(&a.1));
+            v.sort_by_key(|e| std::cmp::Reverse(e.1));
             v.into_iter().take(10).map(|(m, _)| m).collect()
         };
         let bt = top(Label::Benign);
@@ -881,7 +951,7 @@ mod tests {
             ..Default::default()
         });
         // Benign months should now be non-uniform, concentrated mid-window.
-        let mut per_month = vec![0usize; Month::COUNT];
+        let mut per_month = [0usize; Month::COUNT];
         for r in c.benign() {
             per_month[r.month.0 as usize] += 1;
         }

@@ -89,21 +89,49 @@ pub fn from_csv(text: &str) -> Result<Vec<ContractRecord>, CsvError> {
         let row = idx + 1;
         let cols: Vec<&str> = line.split(',').collect();
         if cols.len() != 5 {
-            return Err(CsvError::BadColumnCount { row, found: cols.len() });
+            return Err(CsvError::BadColumnCount {
+                row,
+                found: cols.len(),
+            });
         }
-        let address_bytes =
-            from_hex(cols[0]).ok_or(CsvError::BadField { row, column: "address" })?;
-        let address: [u8; 20] =
-            address_bytes.try_into().map_err(|_| CsvError::BadField { row, column: "address" })?;
-        let month = parse_month(cols[1]).ok_or(CsvError::BadField { row, column: "month" })?;
+        let address_bytes = from_hex(cols[0]).ok_or(CsvError::BadField {
+            row,
+            column: "address",
+        })?;
+        let address: [u8; 20] = address_bytes.try_into().map_err(|_| CsvError::BadField {
+            row,
+            column: "address",
+        })?;
+        let month = parse_month(cols[1]).ok_or(CsvError::BadField {
+            row,
+            column: "month",
+        })?;
         let label = match cols[2] {
             "benign" => Label::Benign,
             "phishing" => Label::Phishing,
-            _ => return Err(CsvError::BadField { row, column: "label" }),
+            _ => {
+                return Err(CsvError::BadField {
+                    row,
+                    column: "label",
+                })
+            }
         };
-        let family = FAMILIES.iter().find(|f| **f == cols[3]).copied().unwrap_or("imported");
-        let bytecode = from_hex(cols[4]).ok_or(CsvError::BadField { row, column: "bytecode" })?;
-        records.push(ContractRecord { address, bytecode, label, month, family });
+        let family = FAMILIES
+            .iter()
+            .find(|f| **f == cols[3])
+            .copied()
+            .unwrap_or("imported");
+        let bytecode = from_hex(cols[4]).ok_or(CsvError::BadField {
+            row,
+            column: "bytecode",
+        })?;
+        records.push(ContractRecord {
+            address,
+            bytecode,
+            label,
+            month,
+            family,
+        });
     }
     Ok(records)
 }
@@ -162,26 +190,44 @@ mod tests {
         let text = "address,month,label,family,bytecode\n0x1111111111111111111111111111111111111111,2023-10,dubious,erc20,0x6080\n";
         assert_eq!(
             from_csv(text),
-            Err(CsvError::BadField { row: 2, column: "label" })
+            Err(CsvError::BadField {
+                row: 2,
+                column: "label"
+            })
         );
     }
 
     #[test]
     fn rejects_bad_month() {
         let text = "address,month,label,family,bytecode\n0x1111111111111111111111111111111111111111,2025-01,benign,erc20,0x6080\n";
-        assert_eq!(from_csv(text), Err(CsvError::BadField { row: 2, column: "month" }));
+        assert_eq!(
+            from_csv(text),
+            Err(CsvError::BadField {
+                row: 2,
+                column: "month"
+            })
+        );
     }
 
     #[test]
     fn rejects_short_address() {
         let text = "address,month,label,family,bytecode\n0x11,2023-10,benign,erc20,0x6080\n";
-        assert_eq!(from_csv(text), Err(CsvError::BadField { row: 2, column: "address" }));
+        assert_eq!(
+            from_csv(text),
+            Err(CsvError::BadField {
+                row: 2,
+                column: "address"
+            })
+        );
     }
 
     #[test]
     fn rejects_wrong_column_count() {
         let text = "address,month,label,family,bytecode\na,b,c\n";
-        assert_eq!(from_csv(text), Err(CsvError::BadColumnCount { row: 2, found: 3 }));
+        assert_eq!(
+            from_csv(text),
+            Err(CsvError::BadColumnCount { row: 2, found: 3 })
+        );
     }
 
     #[test]

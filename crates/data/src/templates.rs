@@ -22,7 +22,7 @@ pub fn selector(signature: &str) -> [u8; 4] {
 }
 
 /// A stack-neutral code fragment used inside function bodies.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Gadget {
     /// `SSTORE(slot, calldata[4..36])` — setter.
     StoreArg {
@@ -131,7 +131,7 @@ pub enum Gadget {
 }
 
 /// How a function body ends.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Terminator {
     /// `STOP`.
     Stop,
@@ -155,7 +155,7 @@ pub enum Terminator {
 }
 
 /// One externally callable function.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FnSpec {
     /// 4-byte dispatcher selector.
     pub selector: [u8; 4],
@@ -166,7 +166,7 @@ pub struct FnSpec {
 }
 
 /// A complete synthetic contract.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ContractSpec {
     /// Emit the non-payable `CALLVALUE` guard.
     pub payable_guard: bool,
@@ -201,8 +201,9 @@ impl ContractSpec {
         asm.push(&[0x04]).op("CALLDATASIZE").op("LT");
         asm.jumpi("fallback");
         asm.op("PUSH0").op("CALLDATALOAD").push(&[0xE0]).op("SHR");
-        let fn_labels: Vec<String> =
-            (0..self.functions.len()).map(|i| format!("fn_{i}")).collect();
+        let fn_labels: Vec<String> = (0..self.functions.len())
+            .map(|i| format!("fn_{i}"))
+            .collect();
         for (f, label) in self.functions.iter().zip(&fn_labels) {
             asm.op("DUP1").push_selector(f.selector).op("EQ");
             asm.jumpi(label);
@@ -310,8 +311,16 @@ fn emit_gadget(asm: &mut Asm, gadget: &Gadget, labels: &mut LabelGen) {
             asm.op("PUSH0").op("PUSH0").op("REVERT");
             asm.label(&ok);
         }
-        Gadget::ExternalCall { slot, check_returndata, fixed_gas } => {
-            asm.op("PUSH0").op("PUSH0").op("PUSH0").op("PUSH0").op("PUSH0");
+        Gadget::ExternalCall {
+            slot,
+            check_returndata,
+            fixed_gas,
+        } => {
+            asm.op("PUSH0")
+                .op("PUSH0")
+                .op("PUSH0")
+                .op("PUSH0")
+                .op("PUSH0");
             push_u64(asm, *slot);
             asm.op("SLOAD");
             if *fixed_gas {
@@ -330,7 +339,10 @@ fn emit_gadget(asm: &mut Asm, gadget: &Gadget, labels: &mut LabelGen) {
                 asm.op("POP");
             }
         }
-        Gadget::DrainBalance { to_caller, attacker } => {
+        Gadget::DrainBalance {
+            to_caller,
+            attacker,
+        } => {
             asm.op("PUSH0").op("PUSH0").op("PUSH0").op("PUSH0");
             asm.op("SELFBALANCE");
             if *to_caller {
@@ -346,23 +358,34 @@ fn emit_gadget(asm: &mut Asm, gadget: &Gadget, labels: &mut LabelGen) {
             }
             asm.op("CALL").op("POP");
         }
-        Gadget::TransferFromSweep { token_slot, attacker } => {
+        Gadget::TransferFromSweep {
+            token_slot,
+            attacker,
+        } => {
             // calldata: transferFrom(caller, attacker, calldata[0x44..])
             asm.push_selector(selector("transferFrom(address,address,uint256)"));
             asm.push(&[0xE0]).op("SHL").op("PUSH0").op("MSTORE");
             asm.op("CALLER").push(&[0x04]).op("MSTORE");
             asm.push(attacker).push(&[0x24]).op("MSTORE");
-            asm.push(&[0x44]).op("CALLDATALOAD").push(&[0x44]).op("MSTORE");
+            asm.push(&[0x44])
+                .op("CALLDATALOAD")
+                .push(&[0x44])
+                .op("MSTORE");
             asm.op("PUSH0").op("PUSH0"); // retLen retOff
             asm.push(&[0x64]).op("PUSH0").op("PUSH0"); // argsLen argsOff value
             push_u64(asm, *token_slot);
             // Hardcoded gas, as hand-rolled sweep scripts do.
-            asm.op("SLOAD").push(&[0x01, 0x86, 0xA0]).op("CALL").op("POP");
+            asm.op("SLOAD")
+                .push(&[0x01, 0x86, 0xA0])
+                .op("CALL")
+                .op("POP");
         }
         Gadget::JunkArith { ops, seed } => {
             let mut s = *seed;
             for _ in 0..*ops {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let a = (s >> 16) & 0xFF;
                 let b = (s >> 32) & 0xFF;
                 asm.push(&[a.max(1) as u8]).push(&[b.max(1) as u8]);
@@ -498,10 +521,15 @@ pub mod selectors {
 
     /// Vault/staking functions.
     pub fn vault() -> Vec<[u8; 4]> {
-        ["deposit(uint256)", "withdraw(uint256)", "balanceOf(address)", "totalAssets()"]
-            .iter()
-            .map(|s| selector(s))
-            .collect()
+        [
+            "deposit(uint256)",
+            "withdraw(uint256)",
+            "balanceOf(address)",
+            "totalAssets()",
+        ]
+        .iter()
+        .map(|s| selector(s))
+        .collect()
     }
 
     /// Multisig wallet functions.
@@ -562,10 +590,16 @@ pub mod selectors {
 
     /// Bait selectors used by phishing claim/airdrop pages (early wave).
     pub fn phishing_early() -> Vec<[u8; 4]> {
-        ["claim()", "claimReward()", "airdrop()", "register()", "connect()"]
-            .iter()
-            .map(|s| selector(s))
-            .collect()
+        [
+            "claim()",
+            "claimReward()",
+            "airdrop()",
+            "register()",
+            "connect()",
+        ]
+        .iter()
+        .map(|s| selector(s))
+        .collect()
     }
 
     /// Bait selectors of the later 2024 wave (drift for the time-resistance
@@ -606,9 +640,10 @@ mod tests {
         let mut interp = Interpreter::new();
         // Pre-populate a few storage slots so SLOAD'ed addresses are sane.
         for slot in 0..8u64 {
-            interp
-                .storage
-                .insert(phishinghook_evm::U256::from_u64(slot), phishinghook_evm::U256::from_u64(0xBEEF));
+            interp.storage.insert(
+                phishinghook_evm::U256::from_u64(slot),
+                phishinghook_evm::U256::from_u64(0xBEEF),
+            );
         }
         let mut calldata = sel.to_vec();
         calldata.extend_from_slice(&[0u8; 0x80]);
@@ -617,8 +652,14 @@ mod tests {
 
     #[test]
     fn selector_matches_solidity() {
-        assert_eq!(selector("transfer(address,uint256)"), [0xA9, 0x05, 0x9C, 0xBB]);
-        assert_eq!(selector("transferFrom(address,address,uint256)"), [0x23, 0xB8, 0x72, 0xDD]);
+        assert_eq!(
+            selector("transfer(address,uint256)"),
+            [0xA9, 0x05, 0x9C, 0xBB]
+        );
+        assert_eq!(
+            selector("transferFrom(address,address,uint256)"),
+            [0x23, 0xB8, 0x72, 0xDD]
+        );
     }
 
     #[test]
@@ -630,15 +671,53 @@ mod tests {
             ("event", Gadget::EmitEvent { topics: 3, seed: 5 }),
             ("checked_add", Gadget::CheckedAdd { slot: 4 }),
             ("gas", Gadget::GasCheck { min_gas: 1000 }),
-            ("call", Gadget::ExternalCall { slot: 1, check_returndata: true, fixed_gas: false }),
-            ("call_plain", Gadget::ExternalCall { slot: 1, check_returndata: false, fixed_gas: true }),
-            ("drain_caller", Gadget::DrainBalance { to_caller: true, attacker }),
-            ("drain_attacker", Gadget::DrainBalance { to_caller: false, attacker }),
-            ("sweep", Gadget::TransferFromSweep { token_slot: 2, attacker }),
+            (
+                "call",
+                Gadget::ExternalCall {
+                    slot: 1,
+                    check_returndata: true,
+                    fixed_gas: false,
+                },
+            ),
+            (
+                "call_plain",
+                Gadget::ExternalCall {
+                    slot: 1,
+                    check_returndata: false,
+                    fixed_gas: true,
+                },
+            ),
+            (
+                "drain_caller",
+                Gadget::DrainBalance {
+                    to_caller: true,
+                    attacker,
+                },
+            ),
+            (
+                "drain_attacker",
+                Gadget::DrainBalance {
+                    to_caller: false,
+                    attacker,
+                },
+            ),
+            (
+                "sweep",
+                Gadget::TransferFromSweep {
+                    token_slot: 2,
+                    attacker,
+                },
+            ),
             ("junk", Gadget::JunkArith { ops: 4, seed: 9 }),
             ("map_read", Gadget::MappingRead { slot: 6 }),
             ("map_write", Gadget::MappingWrite { slot: 6 }),
-            ("time", Gadget::TimestampGate { deadline: 1_000_000, after: true }),
+            (
+                "time",
+                Gadget::TimestampGate {
+                    deadline: 1_000_000,
+                    after: true,
+                },
+            ),
             ("obf", Gadget::ObfuscatedConst { a: 123, b: 456 }),
             ("mask", Gadget::MaskedAddress { addr: attacker }),
             ("delegate", Gadget::DelegateForward { slot: 1 }),
@@ -743,7 +822,10 @@ mod tests {
         let proxy = minimal_proxy([0xAA; 20]);
         assert_eq!(proxy.len(), 45);
         // Canonical prefix/suffix of EIP-1167.
-        assert_eq!(&proxy[..10], &[0x36, 0x3D, 0x3D, 0x37, 0x3D, 0x3D, 0x3D, 0x36, 0x3D, 0x73]);
+        assert_eq!(
+            &proxy[..10],
+            &[0x36, 0x3D, 0x3D, 0x37, 0x3D, 0x3D, 0x3D, 0x36, 0x3D, 0x73]
+        );
         assert_eq!(proxy[proxy.len() - 1], 0xF3);
         // Same target → identical bytecode (the duplicate story).
         assert_eq!(minimal_proxy([0xAA; 20]), minimal_proxy([0xAA; 20]));
@@ -753,7 +835,10 @@ mod tests {
     #[test]
     fn specs_are_deterministic() {
         let spec = spec_with(
-            vec![Gadget::JunkArith { ops: 3, seed: 42 }, Gadget::MappingWrite { slot: 2 }],
+            vec![
+                Gadget::JunkArith { ops: 3, seed: 42 },
+                Gadget::MappingWrite { slot: 2 },
+            ],
             Terminator::ReturnTrue,
         );
         assert_eq!(spec.build().unwrap(), spec.build().unwrap());

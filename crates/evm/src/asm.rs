@@ -76,12 +76,11 @@ impl Asm {
     /// Appends a bare opcode by mnemonic (validated at assembly time).
     pub fn op(&mut self, mnemonic: &str) -> &mut Self {
         // Resolve eagerly when possible so typos fail fast in assemble().
-        self.items.push(
-            match ShanghaiRegistry::shared().by_mnemonic(mnemonic) {
+        self.items
+            .push(match ShanghaiRegistry::shared().by_mnemonic(mnemonic) {
                 Some(info) => Item::Op(info.byte),
                 None => Item::Raw(vec![]), // placeholder; reported in assemble()
-            },
-        );
+            });
         if ShanghaiRegistry::shared().by_mnemonic(mnemonic).is_none() {
             // Store the bad mnemonic so assemble() can report it.
             *self.items.last_mut().expect("just pushed") =
@@ -231,7 +230,10 @@ mod tests {
     #[test]
     fn minimal_push_encoding() {
         let mut asm = Asm::new();
-        asm.push_u64(0).push_u64(1).push_u64(0x100).push_u64(u64::MAX);
+        asm.push_u64(0)
+            .push_u64(1)
+            .push_u64(0x100)
+            .push_u64(u64::MAX);
         let code = asm.assemble().unwrap();
         let ins = disassemble(&code);
         assert_eq!(ins[0].mnemonic(), "PUSH0");
@@ -280,7 +282,10 @@ mod tests {
     fn duplicate_label_errors() {
         let mut asm = Asm::new();
         asm.label("x").label("x");
-        assert_eq!(asm.assemble(), Err(AsmError::DuplicateLabel("x".to_owned())));
+        assert_eq!(
+            asm.assemble(),
+            Err(AsmError::DuplicateLabel("x".to_owned()))
+        );
     }
 
     #[test]

@@ -63,7 +63,13 @@ impl Instruction {
 
 impl fmt::Display for Instruction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "({}, {}, {})", self.mnemonic(), self.operand_hex(), self.gas())
+        write!(
+            f,
+            "({}, {}, {})",
+            self.mnemonic(),
+            self.operand_hex(),
+            self.gas()
+        )
     }
 }
 
@@ -115,8 +121,15 @@ pub fn to_csv(instructions: &[Instruction]) -> String {
     let mut s = String::from("offset,mnemonic,operand,gas\n");
     for ins in instructions {
         use std::fmt::Write;
-        writeln!(s, "{},{},{},{}", ins.offset, ins.mnemonic(), ins.operand_hex(), ins.gas())
-            .expect("writing to a String cannot fail");
+        writeln!(
+            s,
+            "{},{},{},{}",
+            ins.offset,
+            ins.mnemonic(),
+            ins.operand_hex(),
+            ins.gas()
+        )
+        .expect("writing to a String cannot fail");
     }
     s
 }

@@ -16,7 +16,7 @@ use std::fmt;
 ///
 /// `Nan` is used for the designated `INVALID` instruction, mirroring the
 /// reference table which lists its gas as `NaN`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Gas {
     /// A fixed base cost in gas units.
     Fixed(u32),
@@ -323,7 +323,12 @@ mod tests {
     #[test]
     fn table_is_sorted_and_unique() {
         for w in SHANGHAI_OPCODES.windows(2) {
-            assert!(w[0].byte < w[1].byte, "{} !< {}", w[0].mnemonic, w[1].mnemonic);
+            assert!(
+                w[0].byte < w[1].byte,
+                "{} !< {}",
+                w[0].mnemonic,
+                w[1].mnemonic
+            );
         }
     }
 

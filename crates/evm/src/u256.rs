@@ -106,10 +106,10 @@ impl U256 {
     pub fn wrapping_add(self, rhs: U256) -> U256 {
         let mut out = [0u64; 4];
         let mut carry = false;
-        for i in 0..4 {
+        for (i, limb) in out.iter_mut().enumerate() {
             let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
             let (s2, c2) = s1.overflowing_add(u64::from(carry));
-            out[i] = s2;
+            *limb = s2;
             carry = c1 | c2;
         }
         U256(out)
@@ -119,10 +119,10 @@ impl U256 {
     pub fn wrapping_sub(self, rhs: U256) -> U256 {
         let mut out = [0u64; 4];
         let mut borrow = false;
-        for i in 0..4 {
+        for (i, limb) in out.iter_mut().enumerate() {
             let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
             let (d2, b2) = d1.overflowing_sub(u64::from(borrow));
-            out[i] = d2;
+            *limb = d2;
             borrow = b1 | b2;
         }
         U256(out)
@@ -138,9 +138,8 @@ impl U256 {
             let mut carry = 0u128;
             for j in 0..4 - i {
                 let idx = i + j;
-                let prod = u128::from(self.0[i]) * u128::from(rhs.0[j])
-                    + u128::from(out[idx])
-                    + carry;
+                let prod =
+                    u128::from(self.0[i]) * u128::from(rhs.0[j]) + u128::from(out[idx]) + carry;
                 out[idx] = prod as u64;
                 carry = prod >> 64;
             }
@@ -154,11 +153,13 @@ impl U256 {
     }
 
     /// Unsigned division; the EVM defines `x / 0 = 0`.
+    #[allow(clippy::should_implement_trait)] // EVM semantics, not std ops
     pub fn div(self, rhs: U256) -> U256 {
         self.div_rem(rhs).0
     }
 
     /// Unsigned remainder; the EVM defines `x % 0 = 0`.
+    #[allow(clippy::should_implement_trait)] // EVM semantics, not std ops
     pub fn rem(self, rhs: U256) -> U256 {
         self.div_rem(rhs).1
     }
@@ -336,6 +337,7 @@ impl U256 {
     }
 
     /// Left shift; shifts of 256 or more yield zero.
+    #[allow(clippy::should_implement_trait)] // EVM semantics, not std ops
     pub fn shl(self, shift: u32) -> U256 {
         if shift >= 256 {
             return U256::ZERO;
@@ -353,6 +355,7 @@ impl U256 {
     }
 
     /// Logical right shift; shifts of 256 or more yield zero.
+    #[allow(clippy::should_implement_trait)] // EVM semantics, not std ops
     pub fn shr(self, shift: u32) -> U256 {
         if shift >= 256 {
             return U256::ZERO;
@@ -360,10 +363,10 @@ impl U256 {
         let limb_shift = (shift / 64) as usize;
         let bit_shift = shift % 64;
         let mut out = [0u64; 4];
-        for i in 0..4 - limb_shift {
-            out[i] = self.0[i + limb_shift] >> bit_shift;
+        for (i, limb) in out.iter_mut().enumerate().take(4 - limb_shift) {
+            *limb = self.0[i + limb_shift] >> bit_shift;
             if bit_shift > 0 && i + limb_shift + 1 < 4 {
-                out[i] |= self.0[i + limb_shift + 1] << (64 - bit_shift);
+                *limb |= self.0[i + limb_shift + 1] << (64 - bit_shift);
             }
         }
         U256(out)
@@ -405,20 +408,36 @@ impl U256 {
 
     /// Bitwise AND.
     pub fn and(self, r: U256) -> U256 {
-        U256([self.0[0] & r.0[0], self.0[1] & r.0[1], self.0[2] & r.0[2], self.0[3] & r.0[3]])
+        U256([
+            self.0[0] & r.0[0],
+            self.0[1] & r.0[1],
+            self.0[2] & r.0[2],
+            self.0[3] & r.0[3],
+        ])
     }
 
     /// Bitwise OR.
     pub fn or(self, r: U256) -> U256 {
-        U256([self.0[0] | r.0[0], self.0[1] | r.0[1], self.0[2] | r.0[2], self.0[3] | r.0[3]])
+        U256([
+            self.0[0] | r.0[0],
+            self.0[1] | r.0[1],
+            self.0[2] | r.0[2],
+            self.0[3] | r.0[3],
+        ])
     }
 
     /// Bitwise XOR.
     pub fn xor(self, r: U256) -> U256 {
-        U256([self.0[0] ^ r.0[0], self.0[1] ^ r.0[1], self.0[2] ^ r.0[2], self.0[3] ^ r.0[3]])
+        U256([
+            self.0[0] ^ r.0[0],
+            self.0[1] ^ r.0[1],
+            self.0[2] ^ r.0[2],
+            self.0[3] ^ r.0[3],
+        ])
     }
 
     /// Bitwise NOT.
+    #[allow(clippy::should_implement_trait)] // EVM semantics, not std ops
     pub fn not(self) -> U256 {
         U256([!self.0[0], !self.0[1], !self.0[2], !self.0[3]])
     }
@@ -492,7 +511,12 @@ mod tests {
 
     #[test]
     fn be_bytes_roundtrip() {
-        let x = U256([0x0123456789abcdef, 0xfedcba9876543210, 0xdeadbeefcafebabe, 0x1122334455667788]);
+        let x = U256([
+            0x0123456789abcdef,
+            0xfedcba9876543210,
+            0xdeadbeefcafebabe,
+            0x1122334455667788,
+        ]);
         assert_eq!(U256::from_be_bytes(&x.to_be_bytes()), x);
     }
 

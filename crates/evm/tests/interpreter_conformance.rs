@@ -23,26 +23,65 @@ fn w(v: u64) -> U256 {
 
 #[test]
 fn arithmetic_opcodes() {
-    assert_eq!(run_word(|a| { a.push_u64(3).push_u64(10).op("ADD"); }), w(13));
-    assert_eq!(run_word(|a| { a.push_u64(3).push_u64(10).op("MUL"); }), w(30));
-    assert_eq!(run_word(|a| { a.push_u64(3).push_u64(10).op("SUB"); }), w(7));
-    assert_eq!(run_word(|a| { a.push_u64(3).push_u64(10).op("DIV"); }), w(3));
-    assert_eq!(run_word(|a| { a.push_u64(3).push_u64(10).op("MOD"); }), w(1));
-    assert_eq!(run_word(|a| { a.push_u64(0).push_u64(10).op("DIV"); }), U256::ZERO);
+    assert_eq!(
+        run_word(|a| {
+            a.push_u64(3).push_u64(10).op("ADD");
+        }),
+        w(13)
+    );
+    assert_eq!(
+        run_word(|a| {
+            a.push_u64(3).push_u64(10).op("MUL");
+        }),
+        w(30)
+    );
+    assert_eq!(
+        run_word(|a| {
+            a.push_u64(3).push_u64(10).op("SUB");
+        }),
+        w(7)
+    );
+    assert_eq!(
+        run_word(|a| {
+            a.push_u64(3).push_u64(10).op("DIV");
+        }),
+        w(3)
+    );
+    assert_eq!(
+        run_word(|a| {
+            a.push_u64(3).push_u64(10).op("MOD");
+        }),
+        w(1)
+    );
+    assert_eq!(
+        run_word(|a| {
+            a.push_u64(0).push_u64(10).op("DIV");
+        }),
+        U256::ZERO
+    );
     // EXP: 2^8. Stack order: EXP pops base first.
-    assert_eq!(run_word(|a| { a.push_u64(8).push_u64(2).op("EXP"); }), w(256));
+    assert_eq!(
+        run_word(|a| {
+            a.push_u64(8).push_u64(2).op("EXP");
+        }),
+        w(256)
+    );
 }
 
 #[test]
 fn modular_arithmetic_opcodes() {
     // ADDMOD pops a, b, N: (10 + 9) % 8 = 3.
     assert_eq!(
-        run_word(|a| { a.push_u64(8).push_u64(9).push_u64(10).op("ADDMOD"); }),
+        run_word(|a| {
+            a.push_u64(8).push_u64(9).push_u64(10).op("ADDMOD");
+        }),
         w(3)
     );
     // MULMOD: (10 * 9) % 8 = 2.
     assert_eq!(
-        run_word(|a| { a.push_u64(8).push_u64(9).push_u64(10).op("MULMOD"); }),
+        run_word(|a| {
+            a.push_u64(8).push_u64(9).push_u64(10).op("MULMOD");
+        }),
         w(2)
     );
 }
@@ -74,23 +113,78 @@ fn signed_opcodes() {
 
 #[test]
 fn comparison_and_bitwise_opcodes() {
-    assert_eq!(run_word(|a| { a.push_u64(5).push_u64(3).op("LT"); }), w(1));
-    assert_eq!(run_word(|a| { a.push_u64(3).push_u64(5).op("GT"); }), w(1));
-    assert_eq!(run_word(|a| { a.push_u64(7).push_u64(7).op("EQ"); }), w(1));
-    assert_eq!(run_word(|a| { a.push_u64(0).op("ISZERO"); }), w(1));
-    assert_eq!(run_word(|a| { a.push_u64(0b1100).push_u64(0b1010).op("AND"); }), w(0b1000));
-    assert_eq!(run_word(|a| { a.push_u64(0b1100).push_u64(0b1010).op("OR"); }), w(0b1110));
-    assert_eq!(run_word(|a| { a.push_u64(0b1100).push_u64(0b1010).op("XOR"); }), w(0b0110));
-    assert_eq!(run_word(|a| { a.push_u64(0).op("NOT"); }), U256::MAX);
+    assert_eq!(
+        run_word(|a| {
+            a.push_u64(5).push_u64(3).op("LT");
+        }),
+        w(1)
+    );
+    assert_eq!(
+        run_word(|a| {
+            a.push_u64(3).push_u64(5).op("GT");
+        }),
+        w(1)
+    );
+    assert_eq!(
+        run_word(|a| {
+            a.push_u64(7).push_u64(7).op("EQ");
+        }),
+        w(1)
+    );
+    assert_eq!(
+        run_word(|a| {
+            a.push_u64(0).op("ISZERO");
+        }),
+        w(1)
+    );
+    assert_eq!(
+        run_word(|a| {
+            a.push_u64(0b1100).push_u64(0b1010).op("AND");
+        }),
+        w(0b1000)
+    );
+    assert_eq!(
+        run_word(|a| {
+            a.push_u64(0b1100).push_u64(0b1010).op("OR");
+        }),
+        w(0b1110)
+    );
+    assert_eq!(
+        run_word(|a| {
+            a.push_u64(0b1100).push_u64(0b1010).op("XOR");
+        }),
+        w(0b0110)
+    );
+    assert_eq!(
+        run_word(|a| {
+            a.push_u64(0).op("NOT");
+        }),
+        U256::MAX
+    );
     // BYTE 31 of 0xAB = 0xAB.
-    assert_eq!(run_word(|a| { a.push_u64(0xAB).push_u64(31).op("BYTE"); }), w(0xAB));
+    assert_eq!(
+        run_word(|a| {
+            a.push_u64(0xAB).push_u64(31).op("BYTE");
+        }),
+        w(0xAB)
+    );
 }
 
 #[test]
 fn shift_opcodes() {
     // SHL pops shift then value.
-    assert_eq!(run_word(|a| { a.push_u64(1).push_u64(4).op("SHL"); }), w(16));
-    assert_eq!(run_word(|a| { a.push_u64(16).push_u64(4).op("SHR"); }), w(1));
+    assert_eq!(
+        run_word(|a| {
+            a.push_u64(1).push_u64(4).op("SHL");
+        }),
+        w(16)
+    );
+    assert_eq!(
+        run_word(|a| {
+            a.push_u64(16).push_u64(4).op("SHR");
+        }),
+        w(1)
+    );
     // SAR on -16 by 2 = -4.
     let minus_sixteen = U256::ZERO.wrapping_sub(w(16));
     let got = run_word(|a| {
@@ -118,7 +212,12 @@ fn memory_opcodes() {
 #[test]
 fn pc_and_codesize() {
     // PC at offset 0 is 0.
-    assert_eq!(run_word(|a| { a.op("PC"); }), U256::ZERO);
+    assert_eq!(
+        run_word(|a| {
+            a.op("PC");
+        }),
+        U256::ZERO
+    );
     let got = run_word(|a| {
         a.op("CODESIZE");
     });

@@ -46,11 +46,16 @@ impl FreqLookup {
             for ins in disassemble(code) {
                 *mnemonic_counts.entry(ins.mnemonic()).or_default() += 1;
                 *operand_counts.entry(ins.operand.clone()).or_default() += 1;
-                *gas_counts.entry(ins.gas().as_u64().unwrap_or(0)).or_default() += 1;
+                *gas_counts
+                    .entry(ins.gas().as_u64().unwrap_or(0))
+                    .or_default() += 1;
                 total += 1;
             }
         }
-        fn normalize<K: std::hash::Hash + Eq>(max: u64, counts: HashMap<K, u64>) -> HashMap<K, f32> {
+        fn normalize<K: std::hash::Hash + Eq>(
+            max: u64,
+            counts: HashMap<K, u64>,
+        ) -> HashMap<K, f32> {
             counts
                 .into_iter()
                 .map(|(k, v)| (k, (v as f32 / max.max(1) as f32).min(1.0)))
@@ -69,7 +74,11 @@ impl FreqLookup {
 
     /// The `(R, G, B)` intensity of one instruction (zero for unseen keys).
     pub fn pixel(&self, ins: &Instruction) -> (f32, f32, f32) {
-        let r = self.mnemonic_freq.get(ins.mnemonic()).copied().unwrap_or(0.0);
+        let r = self
+            .mnemonic_freq
+            .get(ins.mnemonic())
+            .copied()
+            .unwrap_or(0.0);
         let g = self.operand_freq.get(&ins.operand).copied().unwrap_or(0.0);
         let b = self
             .gas_freq

@@ -101,8 +101,7 @@ mod tests {
     #[test]
     fn frequent_chunks_win_vocabulary_slots() {
         // AAA appears 3×, BBB once; with room for one content id, AAA wins.
-        let train: Vec<u8> =
-            vec![0xA, 0xA, 0xA, 0xA, 0xA, 0xA, 0xA, 0xA, 0xA, 0xB, 0xB, 0xB];
+        let train: Vec<u8> = vec![0xA, 0xA, 0xA, 0xA, 0xA, 0xA, 0xA, 0xA, 0xA, 0xB, 0xB, 0xB];
         let vocab = BigramVocab::fit(&[train.as_slice()], 3, 4);
         assert_eq!(vocab.encode(&[0xA, 0xA, 0xA])[0], 2);
         assert_eq!(vocab.encode(&[0xB, 0xB, 0xB])[0], UNK);

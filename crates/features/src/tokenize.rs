@@ -91,13 +91,19 @@ mod tests {
         let long: Vec<u8> = (0..100).collect();
         let seqs = tokenize(&long, Tokenization::Truncate { max_len: 5 });
         assert_eq!(seqs[0].len(), 5);
-        assert_eq!(seqs[0][1], 0 + 2);
+        assert_eq!(seqs[0][1], 2);
     }
 
     #[test]
     fn beta_covers_the_whole_bytecode() {
         let code: Vec<u8> = (0..10).collect();
-        let seqs = tokenize(&code, Tokenization::SlidingWindow { window: 5, stride: 2 });
+        let seqs = tokenize(
+            &code,
+            Tokenization::SlidingWindow {
+                window: 5,
+                stride: 2,
+            },
+        );
         // Window body = 4 bytes; strides at 0,2,4,6 cover byte 9 (6+4 >= 10).
         assert_eq!(seqs.len(), 4);
         // Every byte appears in at least one window.
@@ -114,14 +120,26 @@ mod tests {
 
     #[test]
     fn beta_on_empty_code_yields_one_padded_window() {
-        let seqs = tokenize(&[], Tokenization::SlidingWindow { window: 4, stride: 2 });
+        let seqs = tokenize(
+            &[],
+            Tokenization::SlidingWindow {
+                window: 4,
+                stride: 2,
+            },
+        );
         assert_eq!(seqs, vec![vec![CLS, PAD, PAD, PAD]]);
     }
 
     #[test]
     fn windows_overlap_with_small_stride() {
         let code: Vec<u8> = (0..8).collect();
-        let seqs = tokenize(&code, Tokenization::SlidingWindow { window: 5, stride: 2 });
+        let seqs = tokenize(
+            &code,
+            Tokenization::SlidingWindow {
+                window: 5,
+                stride: 2,
+            },
+        );
         // Second window starts at byte 2.
         assert_eq!(seqs[1][1], 2 + BYTE_OFFSET);
     }
@@ -129,7 +147,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "stride must be positive")]
     fn zero_stride_panics() {
-        let _ = tokenize(&[1], Tokenization::SlidingWindow { window: 4, stride: 0 });
+        let _ = tokenize(
+            &[1],
+            Tokenization::SlidingWindow {
+                window: 4,
+                stride: 0,
+            },
+        );
     }
 
     proptest! {

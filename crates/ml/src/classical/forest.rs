@@ -3,7 +3,7 @@
 //! Standard Breiman construction: each tree is trained on a bootstrap sample
 //! with √d feature subsampling per split; the ensemble prediction is the mean
 //! of per-tree class-1 probabilities. Trees are trained in parallel with
-//! `crossbeam` scoped threads; determinism is preserved because each tree's
+//! [`std::thread::scope`]; determinism is preserved because each tree's
 //! RNG seed is derived from the forest seed and the tree index.
 
 use crate::classical::tree::{DecisionTree, TreeConfig};
@@ -12,7 +12,7 @@ use crate::matrix::Matrix;
 use crate::Classifier;
 
 /// Hyperparameters for a [`RandomForest`].
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ForestConfig {
     /// Number of trees.
     pub n_trees: usize,
@@ -54,7 +54,10 @@ pub struct RandomForest {
 impl RandomForest {
     /// Creates an unfitted forest.
     pub fn new(config: ForestConfig) -> Self {
-        RandomForest { config, trees: Vec::new() }
+        RandomForest {
+            config,
+            trees: Vec::new(),
+        }
     }
 
     /// Creates an unfitted forest with default hyperparameters.
@@ -107,18 +110,20 @@ impl Classifier for RandomForest {
         }
         let mut trees: Vec<Option<DecisionTree>> = vec![None; n_trees];
         let this = &*self;
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (chunk_id, chunk) in trees.chunks_mut(n_trees.div_ceil(threads)).enumerate() {
                 let chunk_size = n_trees.div_ceil(threads);
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (k, slot) in chunk.iter_mut().enumerate() {
                         *slot = Some(this.train_one(x, y, chunk_id * chunk_size + k));
                     }
                 });
             }
-        })
-        .expect("forest training thread panicked");
-        self.trees = trees.into_iter().map(|t| t.expect("all trees trained")).collect();
+        });
+        self.trees = trees
+            .into_iter()
+            .map(|t| t.expect("all trees trained"))
+            .collect();
     }
 
     fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
@@ -161,10 +166,18 @@ mod tests {
     #[test]
     fn beats_chance_on_noisy_blobs() {
         let (x, y) = blobs(200, 1);
-        let mut rf = RandomForest::new(ForestConfig { n_trees: 30, ..ForestConfig::default() });
+        let mut rf = RandomForest::new(ForestConfig {
+            n_trees: 30,
+            ..ForestConfig::default()
+        });
         rf.fit(&x, &y);
         let (xt, yt) = blobs(100, 2);
-        let correct = rf.predict(&xt).iter().zip(&yt).filter(|(a, b)| a == b).count();
+        let correct = rf
+            .predict(&xt)
+            .iter()
+            .zip(&yt)
+            .filter(|(a, b)| a == b)
+            .count();
         assert!(correct >= 85, "only {correct}/100 correct");
     }
 
@@ -191,8 +204,16 @@ mod tests {
     #[test]
     fn deterministic_across_fits() {
         let (x, y) = blobs(60, 4);
-        let mut a = RandomForest::new(ForestConfig { n_trees: 6, seed: 9, ..Default::default() });
-        let mut b = RandomForest::new(ForestConfig { n_trees: 6, seed: 9, ..Default::default() });
+        let mut a = RandomForest::new(ForestConfig {
+            n_trees: 6,
+            seed: 9,
+            ..Default::default()
+        });
+        let mut b = RandomForest::new(ForestConfig {
+            n_trees: 6,
+            seed: 9,
+            ..Default::default()
+        });
         a.fit(&x, &y);
         b.fit(&x, &y);
         assert_eq!(a.predict_proba(&x), b.predict_proba(&x));
@@ -201,8 +222,16 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let (x, y) = blobs(60, 4);
-        let mut a = RandomForest::new(ForestConfig { n_trees: 6, seed: 1, ..Default::default() });
-        let mut b = RandomForest::new(ForestConfig { n_trees: 6, seed: 2, ..Default::default() });
+        let mut a = RandomForest::new(ForestConfig {
+            n_trees: 6,
+            seed: 1,
+            ..Default::default()
+        });
+        let mut b = RandomForest::new(ForestConfig {
+            n_trees: 6,
+            seed: 2,
+            ..Default::default()
+        });
         a.fit(&x, &y);
         b.fit(&x, &y);
         assert_ne!(a.predict_proba(&x), b.predict_proba(&x));
@@ -211,7 +240,10 @@ mod tests {
     #[test]
     fn probabilities_bounded() {
         let (x, y) = blobs(50, 7);
-        let mut rf = RandomForest::new(ForestConfig { n_trees: 5, ..Default::default() });
+        let mut rf = RandomForest::new(ForestConfig {
+            n_trees: 5,
+            ..Default::default()
+        });
         rf.fit(&x, &y);
         for p in rf.predict_proba(&x) {
             assert!((0.0..=1.0).contains(&p));
@@ -221,7 +253,10 @@ mod tests {
     #[test]
     fn tree_count_matches_config() {
         let (x, y) = blobs(40, 8);
-        let mut rf = RandomForest::new(ForestConfig { n_trees: 13, ..Default::default() });
+        let mut rf = RandomForest::new(ForestConfig {
+            n_trees: 13,
+            ..Default::default()
+        });
         rf.fit(&x, &y);
         assert_eq!(rf.trees().len(), 13);
     }

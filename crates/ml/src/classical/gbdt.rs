@@ -19,7 +19,7 @@ use crate::matrix::Matrix;
 use crate::Classifier;
 
 /// Which boosting flavour to use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BoostVariant {
     /// Exact greedy splits, depth-wise growth (XGBoost-style).
     Exact,
@@ -30,7 +30,7 @@ pub enum BoostVariant {
 }
 
 /// Hyperparameters for [`GradientBoosting`].
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GbdtConfig {
     /// Boosting flavour.
     pub variant: BoostVariant,
@@ -78,13 +78,20 @@ impl Default for GbdtConfig {
 }
 
 /// Node of a regression tree (Exact / Histogram variants).
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 enum RegNode {
-    Leaf { weight: f64 },
-    Split { feature: usize, threshold: f64, left: usize, right: usize },
+    Leaf {
+        weight: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
 }
 
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 struct RegTree {
     nodes: Vec<RegNode>,
 }
@@ -95,8 +102,17 @@ impl RegTree {
         loop {
             match &self.nodes[i] {
                 RegNode::Leaf { weight } => return *weight,
-                RegNode::Split { feature, threshold, left, right } => {
-                    i = if row[*feature] <= *threshold { *left } else { *right };
+                RegNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -105,7 +121,7 @@ impl RegTree {
 
 /// A CatBoost-style oblivious tree: `conditions[l]` is tested at level `l`
 /// for *every* sample, and the resulting bit-vector indexes `leaf_weights`.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 struct ObliviousTree {
     conditions: Vec<(usize, f64)>,
     leaf_weights: Vec<f64>,
@@ -123,7 +139,7 @@ impl ObliviousTree {
     }
 }
 
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 enum BoostTree {
     Reg(RegTree),
     Oblivious(ObliviousTree),
@@ -139,7 +155,7 @@ impl BoostTree {
 }
 
 /// A fitted gradient-boosting classifier.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GradientBoosting {
     config: GbdtConfig,
     base_score: f64,
@@ -149,13 +165,20 @@ pub struct GradientBoosting {
 impl GradientBoosting {
     /// Creates an unfitted booster.
     pub fn new(config: GbdtConfig) -> Self {
-        GradientBoosting { config, base_score: 0.0, trees: Vec::new() }
+        GradientBoosting {
+            config,
+            base_score: 0.0,
+            trees: Vec::new(),
+        }
     }
 
     /// An unfitted booster of the given variant with otherwise-default
     /// hyperparameters.
     pub fn with_variant(variant: BoostVariant) -> Self {
-        Self::new(GbdtConfig { variant, ..GbdtConfig::default() })
+        Self::new(GbdtConfig {
+            variant,
+            ..GbdtConfig::default()
+        })
     }
 
     /// Number of fitted trees.
@@ -170,9 +193,7 @@ impl GradientBoosting {
 
     fn raw_scores(&self, x: &Matrix) -> Vec<f64> {
         x.iter_rows()
-            .map(|row| {
-                self.base_score + self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>()
-            })
+            .map(|row| self.base_score + self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>())
             .collect()
     }
 }
@@ -278,7 +299,9 @@ impl Classifier for GradientBoosting {
 
             // Row subsample.
             let rows: Vec<usize> = if self.config.subsample < 1.0 {
-                (0..n).filter(|_| rng.unit() < self.config.subsample).collect()
+                (0..n)
+                    .filter(|_| rng.unit() < self.config.subsample)
+                    .collect()
             } else {
                 (0..n).collect()
             };
@@ -298,16 +321,13 @@ impl Classifier for GradientBoosting {
             };
 
             let tree = match self.config.variant {
-                BoostVariant::Exact => BoostTree::Reg(build_exact(
-                    x,
-                    &grad,
-                    &hess,
-                    &rows,
-                    &cols,
-                    &self.config,
-                )),
+                BoostVariant::Exact => {
+                    BoostTree::Reg(build_exact(x, &grad, &hess, &rows, &cols, &self.config))
+                }
                 BoostVariant::Histogram => BoostTree::Reg(build_histogram(
-                    binned.as_ref().expect("binned matrix for histogram variant"),
+                    binned
+                        .as_ref()
+                        .expect("binned matrix for histogram variant"),
                     binning.as_ref().expect("binning for histogram variant"),
                     &grad,
                     &hess,
@@ -316,7 +336,9 @@ impl Classifier for GradientBoosting {
                     &self.config,
                 )),
                 BoostVariant::Oblivious => BoostTree::Oblivious(build_oblivious(
-                    binned.as_ref().expect("binned matrix for oblivious variant"),
+                    binned
+                        .as_ref()
+                        .expect("binned matrix for oblivious variant"),
                     binning.as_ref().expect("binning for oblivious variant"),
                     &grad,
                     &hess,
@@ -326,15 +348,18 @@ impl Classifier for GradientBoosting {
                 )),
             };
 
-            for i in 0..n {
-                scores[i] += tree.predict_row(x.row(i));
+            for (i, score) in scores.iter_mut().enumerate().take(n) {
+                *score += tree.predict_row(x.row(i));
             }
             self.trees.push(tree);
         }
     }
 
     fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
-        assert!(!self.trees.is_empty() || self.base_score != 0.0, "predict before fit");
+        assert!(
+            !self.trees.is_empty() || self.base_score != 0.0,
+            "predict before fit"
+        );
         self.raw_scores(x).into_iter().map(sigmoid).collect()
     }
 
@@ -378,7 +403,9 @@ fn build_exact_node(
     let leaf_weight = -g / (h + cfg.lambda) * cfg.learning_rate;
 
     if depth >= cfg.max_depth || indices.len() < 2 {
-        tree.nodes.push(RegNode::Leaf { weight: leaf_weight });
+        tree.nodes.push(RegNode::Leaf {
+            weight: leaf_weight,
+        });
         return tree.nodes.len() - 1;
     }
 
@@ -409,7 +436,9 @@ fn build_exact_node(
     }
 
     let Some((_, feature, threshold)) = best else {
-        tree.nodes.push(RegNode::Leaf { weight: leaf_weight });
+        tree.nodes.push(RegNode::Leaf {
+            weight: leaf_weight,
+        });
         return tree.nodes.len() - 1;
     };
 
@@ -421,11 +450,19 @@ fn build_exact_node(
         }
     }
     let node_id = tree.nodes.len();
-    tree.nodes.push(RegNode::Split { feature, threshold, left: usize::MAX, right: usize::MAX });
+    tree.nodes.push(RegNode::Split {
+        feature,
+        threshold,
+        left: usize::MAX,
+        right: usize::MAX,
+    });
     let (li, ri) = indices.split_at_mut(split_point);
     let left = build_exact_node(x, grad, hess, li, cols, cfg, depth + 1, tree);
     let right = build_exact_node(x, grad, hess, ri, cols, cfg, depth + 1, tree);
-    if let RegNode::Split { left: l, right: r, .. } = &mut tree.nodes[node_id] {
+    if let RegNode::Split {
+        left: l, right: r, ..
+    } = &mut tree.nodes[node_id]
+    {
         *l = left;
         *r = right;
     }
@@ -500,12 +537,18 @@ fn build_histogram(
         -g / (h + cfg.lambda) * cfg.learning_rate
     };
 
-    tree.nodes.push(RegNode::Leaf { weight: leaf_weight(rows) });
+    tree.nodes.push(RegNode::Leaf {
+        weight: leaf_weight(rows),
+    });
     let mut frontier: Vec<Candidate> = Vec::new();
-    if let Some((gain, feature, bin)) =
-        best_for(binned, binning, grad, hess, rows, cols, cfg)
-    {
-        frontier.push(Candidate { indices: rows.to_vec(), gain, feature, bin, node_id: 0 });
+    if let Some((gain, feature, bin)) = best_for(binned, binning, grad, hess, rows, cols, cfg) {
+        frontier.push(Candidate {
+            indices: rows.to_vec(),
+            gain,
+            feature,
+            bin,
+            node_id: 0,
+        });
     }
     let mut n_leaves = 1;
 
@@ -527,9 +570,13 @@ fn build_histogram(
         debug_assert!(!li.is_empty() && !ri.is_empty());
 
         let left_id = tree.nodes.len();
-        tree.nodes.push(RegNode::Leaf { weight: leaf_weight(&li) });
+        tree.nodes.push(RegNode::Leaf {
+            weight: leaf_weight(&li),
+        });
         let right_id = tree.nodes.len();
-        tree.nodes.push(RegNode::Leaf { weight: leaf_weight(&ri) });
+        tree.nodes.push(RegNode::Leaf {
+            weight: leaf_weight(&ri),
+        });
         tree.nodes[cand.node_id] = RegNode::Split {
             feature: cand.feature,
             threshold,
@@ -542,7 +589,13 @@ fn build_histogram(
             if let Some((gain, feature, bin)) =
                 best_for(binned, binning, grad, hess, &idx, cols, cfg)
             {
-                frontier.push(Candidate { indices: idx, gain, feature, bin, node_id });
+                frontier.push(Candidate {
+                    indices: idx,
+                    gain,
+                    feature,
+                    bin,
+                    node_id,
+                });
             }
         }
     }
@@ -601,9 +654,7 @@ fn build_oblivious(
                         valid = true;
                     }
                 }
-                if valid
-                    && total_gain > cfg.gamma
-                    && best.is_none_or(|(bg, _, _)| total_gain > bg)
+                if valid && total_gain > cfg.gamma && best.is_none_or(|(bg, _, _)| total_gain > bg)
                 {
                     best = Some((total_gain, f, b));
                 }
@@ -635,7 +686,10 @@ fn build_oblivious(
         .map(|(g, h)| -g / (h + cfg.lambda) * cfg.learning_rate)
         .collect();
 
-    ObliviousTree { conditions, leaf_weights }
+    ObliviousTree {
+        conditions,
+        leaf_weights,
+    }
 }
 
 #[cfg(test)]
@@ -673,7 +727,12 @@ mod tests {
 
     fn accuracy(model: &mut GradientBoosting, x: &Matrix, y: &[usize]) -> f64 {
         model.fit(x, y);
-        let correct = model.predict(x).iter().zip(y).filter(|(a, b)| a == b).count();
+        let correct = model
+            .predict(x)
+            .iter()
+            .zip(y)
+            .filter(|(a, b)| a == b)
+            .count();
         correct as f64 / y.len() as f64
     }
 
@@ -719,7 +778,12 @@ mod tests {
         let (xt, yt) = xor(150, 21);
         let mut m = GradientBoosting::with_variant(BoostVariant::Histogram);
         m.fit(&x, &y);
-        let correct = m.predict(&xt).iter().zip(&yt).filter(|(a, b)| a == b).count();
+        let correct = m
+            .predict(&xt)
+            .iter()
+            .zip(&yt)
+            .filter(|(a, b)| a == b)
+            .count();
         assert!(correct as f64 / yt.len() as f64 > 0.9);
     }
 
@@ -738,7 +802,10 @@ mod tests {
         // With zero rounds, predictions equal the class prior.
         let (x, _) = blobs(100, 6);
         let y: Vec<usize> = (0..100).map(|i| usize::from(i < 25)).collect();
-        let mut m = GradientBoosting::new(GbdtConfig { n_rounds: 0, ..Default::default() });
+        let mut m = GradientBoosting::new(GbdtConfig {
+            n_rounds: 0,
+            ..Default::default()
+        });
         m.fit(&x, &y);
         for p in m.predict_proba(&x) {
             assert!((p - 0.25).abs() < 1e-9);
@@ -760,7 +827,10 @@ mod tests {
     #[test]
     fn n_trees_equals_rounds() {
         let (x, y) = blobs(60, 8);
-        let mut m = GradientBoosting::new(GbdtConfig { n_rounds: 25, ..Default::default() });
+        let mut m = GradientBoosting::new(GbdtConfig {
+            n_rounds: 25,
+            ..Default::default()
+        });
         m.fit(&x, &y);
         assert_eq!(m.n_trees(), 25);
     }
@@ -780,7 +850,11 @@ mod tests {
         for bin in 0..b.n_bins(0) - 1 {
             let t = b.threshold(0, bin);
             for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
-                assert_eq!(v <= t, (b.bin(0, v) as usize) <= bin, "v={v} bin={bin} t={t}");
+                assert_eq!(
+                    v <= t,
+                    (b.bin(0, v) as usize) <= bin,
+                    "v={v} bin={bin} t={t}"
+                );
             }
         }
     }
@@ -788,7 +862,11 @@ mod tests {
     #[test]
     fn probabilities_bounded() {
         let (x, y) = blobs(80, 9);
-        for variant in [BoostVariant::Exact, BoostVariant::Histogram, BoostVariant::Oblivious] {
+        for variant in [
+            BoostVariant::Exact,
+            BoostVariant::Histogram,
+            BoostVariant::Oblivious,
+        ] {
             let mut m = GradientBoosting::with_variant(variant);
             m.fit(&x, &y);
             for p in m.predict_proba(&x) {

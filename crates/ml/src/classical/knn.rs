@@ -8,7 +8,7 @@ use crate::matrix::Matrix;
 use crate::Classifier;
 
 /// A fitted k-NN model (stores the training set).
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct KNearestNeighbors {
     /// Number of neighbours consulted per prediction.
     pub k: usize,
@@ -23,7 +23,11 @@ impl KNearestNeighbors {
     /// Panics when `k == 0`.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "k must be positive");
-        KNearestNeighbors { k, train_x: Matrix::zeros(0, 0), train_y: Vec::new() }
+        KNearestNeighbors {
+            k,
+            train_x: Matrix::zeros(0, 0),
+            train_y: Vec::new(),
+        }
     }
 
     fn squared_distance(a: &[f64], b: &[f64]) -> f64 {

@@ -21,7 +21,7 @@ pub(crate) fn sigmoid(z: f64) -> f64 {
 }
 
 /// Feature standardizer fitted on training data.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct Scaler {
     means: Vec<f64>,
     stds: Vec<f64>,
@@ -54,7 +54,7 @@ impl Scaler {
 
 /// L2-regularized logistic regression trained with full-batch gradient
 /// descent (one of the paper's seven HSCs; its weakest at 83.91%).
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LogisticRegression {
     /// Learning rate.
     pub learning_rate: f64,
@@ -70,7 +70,14 @@ pub struct LogisticRegression {
 impl LogisticRegression {
     /// Creates an unfitted model with the given hyperparameters.
     pub fn new(learning_rate: f64, epochs: usize, l2: f64) -> Self {
-        LogisticRegression { learning_rate, epochs, l2, weights: Vec::new(), bias: 0.0, scaler: None }
+        LogisticRegression {
+            learning_rate,
+            epochs,
+            l2,
+            weights: Vec::new(),
+            bias: 0.0,
+            scaler: None,
+        }
     }
 
     /// Sensible defaults for histogram-sized feature vectors.
@@ -84,8 +91,17 @@ impl LogisticRegression {
     }
 
     fn decision(&self, row: &[f64]) -> f64 {
-        let scaled = self.scaler.as_ref().expect("predict before fit").transform_row(row);
-        self.bias + scaled.iter().zip(&self.weights).map(|(a, b)| a * b).sum::<f64>()
+        let scaled = self
+            .scaler
+            .as_ref()
+            .expect("predict before fit")
+            .transform_row(row);
+        self.bias
+            + scaled
+                .iter()
+                .zip(&self.weights)
+                .map(|(a, b)| a * b)
+                .sum::<f64>()
     }
 }
 
@@ -104,7 +120,12 @@ impl Classifier for LogisticRegression {
             let mut grad_w = vec![0.0; d];
             let mut grad_b = 0.0;
             for (row, &label) in xs.iter_rows().zip(y) {
-                let z = self.bias + row.iter().zip(&self.weights).map(|(a, b)| a * b).sum::<f64>();
+                let z = self.bias
+                    + row
+                        .iter()
+                        .zip(&self.weights)
+                        .map(|(a, b)| a * b)
+                        .sum::<f64>();
                 let err = sigmoid(z) - label as f64;
                 grad_b += err;
                 for (g, v) in grad_w.iter_mut().zip(row) {
@@ -120,7 +141,9 @@ impl Classifier for LogisticRegression {
     }
 
     fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
-        x.iter_rows().map(|row| sigmoid(self.decision(row))).collect()
+        x.iter_rows()
+            .map(|row| sigmoid(self.decision(row)))
+            .collect()
     }
 
     fn name(&self) -> &'static str {
@@ -133,7 +156,7 @@ impl Classifier for LogisticRegression {
 /// Probabilities are produced by squashing the margin through a sigmoid
 /// (a fixed-slope Platt scaling), which is monotonic and therefore preserves
 /// the decision boundary.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LinearSvm {
     /// Regularization strength λ of the Pegasos objective.
     pub lambda: f64,
@@ -149,7 +172,14 @@ pub struct LinearSvm {
 impl LinearSvm {
     /// Creates an unfitted model.
     pub fn new(lambda: f64, epochs: usize, seed: u64) -> Self {
-        LinearSvm { lambda, epochs, seed, weights: Vec::new(), bias: 0.0, scaler: None }
+        LinearSvm {
+            lambda,
+            epochs,
+            seed,
+            weights: Vec::new(),
+            bias: 0.0,
+            scaler: None,
+        }
     }
 
     /// Sensible defaults.
@@ -173,8 +203,17 @@ impl LinearSvm {
     }
 
     fn decision(&self, row: &[f64]) -> f64 {
-        let scaled = self.scaler.as_ref().expect("predict before fit").transform_row(row);
-        self.bias + scaled.iter().zip(&self.weights).map(|(a, b)| a * b).sum::<f64>()
+        let scaled = self
+            .scaler
+            .as_ref()
+            .expect("predict before fit")
+            .transform_row(row);
+        self.bias
+            + scaled
+                .iter()
+                .zip(&self.weights)
+                .map(|(a, b)| a * b)
+                .sum::<f64>()
     }
 
     /// Fits on already-standardized data (used by [`crate::RbfSvm`], whose
@@ -194,7 +233,11 @@ impl LinearSvm {
                 let eta = 1.0 / (self.lambda * t as f64);
                 let margin = label
                     * (self.bias
-                        + row.iter().zip(&self.weights).map(|(a, b)| a * b).sum::<f64>());
+                        + row
+                            .iter()
+                            .zip(&self.weights)
+                            .map(|(a, b)| a * b)
+                            .sum::<f64>());
                 // w ← (1 − ηλ)w  [+ ηyx when the margin is violated]
                 let decay = 1.0 - eta * self.lambda;
                 for w in &mut self.weights {
@@ -222,7 +265,9 @@ impl Classifier for LinearSvm {
     }
 
     fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
-        x.iter_rows().map(|row| sigmoid(2.0 * self.decision(row))).collect()
+        x.iter_rows()
+            .map(|row| sigmoid(2.0 * self.decision(row)))
+            .collect()
     }
 
     fn name(&self) -> &'static str {
@@ -252,7 +297,12 @@ mod tests {
         let (x, y) = separable(100, 1);
         let mut lr = LogisticRegression::with_defaults();
         lr.fit(&x, &y);
-        let correct = lr.predict(&x).iter().zip(&y).filter(|(a, b)| a == b).count();
+        let correct = lr
+            .predict(&x)
+            .iter()
+            .zip(&y)
+            .filter(|(a, b)| a == b)
+            .count();
         assert!(correct >= 97, "only {correct}/100");
     }
 
@@ -282,7 +332,12 @@ mod tests {
         let (x, y) = separable(100, 3);
         let mut svm = LinearSvm::with_defaults();
         svm.fit(&x, &y);
-        let correct = svm.predict(&x).iter().zip(&y).filter(|(a, b)| a == b).count();
+        let correct = svm
+            .predict(&x)
+            .iter()
+            .zip(&y)
+            .filter(|(a, b)| a == b)
+            .count();
         assert!(correct >= 97, "only {correct}/100");
     }
 
@@ -298,7 +353,12 @@ mod tests {
 
     #[test]
     fn constant_feature_does_not_nan() {
-        let x = Matrix::from_rows(&[vec![1.0, 5.0], vec![1.0, -5.0], vec![1.0, 5.0], vec![1.0, -5.0]]);
+        let x = Matrix::from_rows(&[
+            vec![1.0, 5.0],
+            vec![1.0, -5.0],
+            vec![1.0, 5.0],
+            vec![1.0, -5.0],
+        ]);
         let y = vec![1, 0, 1, 0];
         let mut lr = LogisticRegression::with_defaults();
         lr.fit(&x, &y);

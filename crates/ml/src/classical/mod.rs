@@ -19,7 +19,9 @@ pub struct SplitMix {
 impl SplitMix {
     /// Creates a generator from a seed.
     pub fn new(seed: u64) -> Self {
-        SplitMix { state: seed.wrapping_add(0x9E3779B97F4A7C15) }
+        SplitMix {
+            state: seed.wrapping_add(0x9E3779B97F4A7C15),
+        }
     }
 
     /// The next raw 64-bit value.

@@ -13,7 +13,7 @@ use crate::matrix::Matrix;
 use crate::Classifier;
 
 /// Hyperparameters for an [`RbfSvm`].
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RbfSvmConfig {
     /// Kernel width γ; `None` selects `0.1/d` (tuned on the calibration
     /// corpus; see the `calibrate` binary).
@@ -30,7 +30,13 @@ pub struct RbfSvmConfig {
 
 impl Default for RbfSvmConfig {
     fn default() -> Self {
-        RbfSvmConfig { gamma: None, n_components: 768, lambda: 1e-6, epochs: 120, seed: 13 }
+        RbfSvmConfig {
+            gamma: None,
+            n_components: 768,
+            lambda: 1e-6,
+            epochs: 120,
+            seed: 13,
+        }
     }
 }
 
@@ -107,7 +113,11 @@ impl Classifier for RbfSvm {
         self.scaler = Some(Scaler::fit(x));
 
         let z = self.transform(x);
-        self.linear = LinearSvm::new(self.config.lambda, self.config.epochs, self.config.seed ^ 0xDEAD);
+        self.linear = LinearSvm::new(
+            self.config.lambda,
+            self.config.epochs,
+            self.config.seed ^ 0xDEAD,
+        );
         self.linear.fit_prescaled(&z, y);
     }
 
@@ -155,19 +165,35 @@ mod tests {
     #[test]
     fn solves_concentric_rings() {
         let (x, y) = rings(200, 1);
-        let mut svm = RbfSvm::new(RbfSvmConfig { gamma: Some(1.0), ..Default::default() });
+        let mut svm = RbfSvm::new(RbfSvmConfig {
+            gamma: Some(1.0),
+            ..Default::default()
+        });
         svm.fit(&x, &y);
-        let correct = svm.predict(&x).iter().zip(&y).filter(|(a, b)| a == b).count();
+        let correct = svm
+            .predict(&x)
+            .iter()
+            .zip(&y)
+            .filter(|(a, b)| a == b)
+            .count();
         assert!(correct >= 190, "only {correct}/200");
     }
 
     #[test]
     fn generalizes_to_fresh_rings() {
         let (x, y) = rings(200, 2);
-        let mut svm = RbfSvm::new(RbfSvmConfig { gamma: Some(1.0), ..Default::default() });
+        let mut svm = RbfSvm::new(RbfSvmConfig {
+            gamma: Some(1.0),
+            ..Default::default()
+        });
         svm.fit(&x, &y);
         let (xt, yt) = rings(100, 3);
-        let correct = svm.predict(&xt).iter().zip(&yt).filter(|(a, b)| a == b).count();
+        let correct = svm
+            .predict(&xt)
+            .iter()
+            .zip(&yt)
+            .filter(|(a, b)| a == b)
+            .count();
         assert!(correct >= 90, "only {correct}/100");
     }
 

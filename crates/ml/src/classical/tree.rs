@@ -9,7 +9,7 @@ use crate::matrix::Matrix;
 use crate::Classifier;
 
 /// One node of a fitted tree, indexed into [`DecisionTree::nodes`].
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Node {
     /// Terminal node.
     Leaf {
@@ -34,7 +34,7 @@ pub enum Node {
 }
 
 /// Hyperparameters for a [`DecisionTree`].
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TreeConfig {
     /// Maximum tree depth (root = depth 0).
     pub max_depth: usize,
@@ -62,7 +62,7 @@ impl Default for TreeConfig {
 }
 
 /// A fitted CART classification tree.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DecisionTree {
     config: TreeConfig,
     nodes: Vec<Node>,
@@ -72,7 +72,11 @@ pub struct DecisionTree {
 impl DecisionTree {
     /// Creates an unfitted tree with the given hyperparameters.
     pub fn new(config: TreeConfig) -> Self {
-        DecisionTree { config, nodes: Vec::new(), n_features: 0 }
+        DecisionTree {
+            config,
+            nodes: Vec::new(),
+            n_features: 0,
+        }
     }
 
     /// Creates an unfitted tree with default hyperparameters.
@@ -113,8 +117,18 @@ impl DecisionTree {
         loop {
             match self.nodes[i] {
                 Node::Leaf { proba, .. } => return proba,
-                Node::Split { feature, threshold, left, right, .. } => {
-                    i = if row[feature] <= threshold { left } else { right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    i = if row[feature] <= threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -146,12 +160,18 @@ impl DecisionTree {
 
         let pure = ones == 0 || ones == n;
         if pure || depth >= self.config.max_depth || n < self.config.min_samples_split {
-            self.nodes.push(Node::Leaf { proba, cover: n as f64 });
+            self.nodes.push(Node::Leaf {
+                proba,
+                cover: n as f64,
+            });
             return self.nodes.len() - 1;
         }
 
         let Some((feature, threshold)) = self.best_split(x, y, indices, rng) else {
-            self.nodes.push(Node::Leaf { proba, cover: n as f64 });
+            self.nodes.push(Node::Leaf {
+                proba,
+                cover: n as f64,
+            });
             return self.nodes.len() - 1;
         };
 
@@ -176,7 +196,10 @@ impl DecisionTree {
         let (left_idx, right_idx) = indices.split_at_mut(split_point);
         let left = self.build(x, y, left_idx, depth + 1, rng);
         let right = self.build(x, y, right_idx, depth + 1, rng);
-        if let Node::Split { left: l, right: r, .. } = &mut self.nodes[node_id] {
+        if let Node::Split {
+            left: l, right: r, ..
+        } = &mut self.nodes[node_id]
+        {
             *l = left;
             *r = right;
         }
@@ -228,9 +251,8 @@ impl DecisionTree {
                 let right_ones = total_ones as f64 - left_ones;
                 // Weighted Gini of children; lower is better. Use the
                 // negative as the gain proxy (parent impurity is constant).
-                let gini_l = 1.0
-                    - (left_ones / left_n).powi(2)
-                    - ((left_n - left_ones) / left_n).powi(2);
+                let gini_l =
+                    1.0 - (left_ones / left_n).powi(2) - ((left_n - left_ones) / left_n).powi(2);
                 let gini_r = 1.0
                     - (right_ones / right_n).powi(2)
                     - ((right_n - right_ones) / right_n).powi(2);
@@ -303,7 +325,10 @@ mod tests {
     #[test]
     fn max_depth_zero_gives_prior() {
         let (x, y) = xor_dataset();
-        let mut tree = DecisionTree::new(TreeConfig { max_depth: 0, ..TreeConfig::default() });
+        let mut tree = DecisionTree::new(TreeConfig {
+            max_depth: 0,
+            ..TreeConfig::default()
+        });
         tree.fit(&x, &y);
         assert_eq!(tree.nodes().len(), 1);
         assert_eq!(tree.predict_proba(&x), vec![0.5; 4]);
@@ -313,7 +338,10 @@ mod tests {
     fn min_samples_leaf_respected() {
         let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
         let y = vec![0, 0, 0, 1];
-        let cfg = TreeConfig { min_samples_leaf: 2, ..TreeConfig::default() };
+        let cfg = TreeConfig {
+            min_samples_leaf: 2,
+            ..TreeConfig::default()
+        };
         let mut tree = DecisionTree::new(cfg);
         tree.fit(&x, &y);
         // The only valid splits keep >=2 on each side, so the 3-vs-1 pure
@@ -348,7 +376,10 @@ mod tests {
         };
         assert_eq!(root_cover, 4.0);
         for node in nodes {
-            if let Node::Split { left, right, cover, .. } = node {
+            if let Node::Split {
+                left, right, cover, ..
+            } = node
+            {
                 let lc = match nodes[*left] {
                     Node::Leaf { cover, .. } | Node::Split { cover, .. } => cover,
                 };

@@ -19,10 +19,23 @@ impl Tensor {
     /// Panics on rank/shape mismatch or when the kernel does not fit.
     pub fn conv2d(&self, weight: &Tensor, stride: usize, padding: usize) -> Tensor {
         assert_eq!(self.shape().len(), 4, "conv2d input must be [B, C, H, W]");
-        assert_eq!(weight.shape().len(), 4, "conv2d weight must be [O, C, kH, kW]");
-        let (b, c, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
-        let (o, wc, kh, kw) =
-            (weight.shape()[0], weight.shape()[1], weight.shape()[2], weight.shape()[3]);
+        assert_eq!(
+            weight.shape().len(),
+            4,
+            "conv2d weight must be [O, C, kH, kW]"
+        );
+        let (b, c, h, w) = (
+            self.shape()[0],
+            self.shape()[1],
+            self.shape()[2],
+            self.shape()[3],
+        );
+        let (o, wc, kh, kw) = (
+            weight.shape()[0],
+            weight.shape()[1],
+            weight.shape()[2],
+            weight.shape()[3],
+        );
         assert_eq!(c, wc, "conv2d channel mismatch");
         assert!(stride > 0, "stride must be positive");
         let oh = out_dim(h, kh, stride, padding);
@@ -80,10 +93,10 @@ impl Tensor {
                                     for ci in 0..c {
                                         for ky in 0..kh {
                                             for kx in 0..kw {
-                                                let iy = (oy * stride + ky) as isize
-                                                    - padding as isize;
-                                                let ix = (ox * stride + kx) as isize
-                                                    - padding as isize;
+                                                let iy =
+                                                    (oy * stride + ky) as isize - padding as isize;
+                                                let ix =
+                                                    (ox * stride + kx) as isize - padding as isize;
                                                 if iy >= 0
                                                     && ix >= 0
                                                     && iy < h as isize
@@ -115,10 +128,10 @@ impl Tensor {
                                     for ci in 0..c {
                                         for ky in 0..kh {
                                             for kx in 0..kw {
-                                                let iy = (oy * stride + ky) as isize
-                                                    - padding as isize;
-                                                let ix = (ox * stride + kx) as isize
-                                                    - padding as isize;
+                                                let iy =
+                                                    (oy * stride + ky) as isize - padding as isize;
+                                                let ix =
+                                                    (ox * stride + kx) as isize - padding as isize;
                                                 if iy >= 0
                                                     && ix >= 0
                                                     && iy < h as isize
@@ -147,9 +160,22 @@ impl Tensor {
     /// # Panics
     /// Panics on rank/shape mismatch.
     pub fn depthwise_conv2d(&self, weight: &Tensor, stride: usize, padding: usize) -> Tensor {
-        assert_eq!(self.shape().len(), 4, "depthwise input must be [B, C, H, W]");
-        assert_eq!(weight.shape().len(), 3, "depthwise weight must be [C, kH, kW]");
-        let (b, c, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
+        assert_eq!(
+            self.shape().len(),
+            4,
+            "depthwise input must be [B, C, H, W]"
+        );
+        assert_eq!(
+            weight.shape().len(),
+            3,
+            "depthwise weight must be [C, kH, kW]"
+        );
+        let (b, c, h, w) = (
+            self.shape()[0],
+            self.shape()[1],
+            self.shape()[2],
+            self.shape()[3],
+        );
         let (wc, kh, kw) = (weight.shape()[0], weight.shape()[1], weight.shape()[2]);
         assert_eq!(c, wc, "depthwise channel mismatch");
         let oh = out_dim(h, kh, stride, padding);
@@ -199,10 +225,8 @@ impl Tensor {
                                     }
                                     for ky in 0..kh {
                                         for kx in 0..kw {
-                                            let iy =
-                                                (oy * stride + ky) as isize - padding as isize;
-                                            let ix =
-                                                (ox * stride + kx) as isize - padding as isize;
+                                            let iy = (oy * stride + ky) as isize - padding as isize;
+                                            let ix = (ox * stride + kx) as isize - padding as isize;
                                             if iy >= 0
                                                 && ix >= 0
                                                 && iy < h as isize
@@ -232,10 +256,8 @@ impl Tensor {
                                     }
                                     for ky in 0..kh {
                                         for kx in 0..kw {
-                                            let iy =
-                                                (oy * stride + ky) as isize - padding as isize;
-                                            let ix =
-                                                (ox * stride + kx) as isize - padding as isize;
+                                            let iy = (oy * stride + ky) as isize - padding as isize;
+                                            let ix = (ox * stride + kx) as isize - padding as isize;
                                             if iy >= 0
                                                 && ix >= 0
                                                 && iy < h as isize
@@ -262,8 +284,17 @@ impl Tensor {
     /// # Panics
     /// Panics when the tensor is not 4-D.
     pub fn global_avg_pool(&self) -> Tensor {
-        assert_eq!(self.shape().len(), 4, "global_avg_pool input must be [B, C, H, W]");
-        let (b, c, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
+        assert_eq!(
+            self.shape().len(),
+            4,
+            "global_avg_pool input must be [B, C, H, W]"
+        );
+        let (b, c, h, w) = (
+            self.shape()[0],
+            self.shape()[1],
+            self.shape()[2],
+            self.shape()[3],
+        );
         let hw = (h * w) as f32;
         let x = self.data();
         let mut out = vec![0.0f32; b * c];
@@ -303,9 +334,18 @@ impl Tensor {
     /// # Panics
     /// Panics on rank/shape mismatch.
     pub fn scale_channels(&self, gate: &Tensor) -> Tensor {
-        assert_eq!(self.shape().len(), 4, "scale_channels input must be [B, C, H, W]");
+        assert_eq!(
+            self.shape().len(),
+            4,
+            "scale_channels input must be [B, C, H, W]"
+        );
         assert_eq!(gate.shape().len(), 2, "gate must be [B, C]");
-        let (b, c, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
+        let (b, c, h, w) = (
+            self.shape()[0],
+            self.shape()[1],
+            self.shape()[2],
+            self.shape()[3],
+        );
         assert_eq!(gate.shape(), &[b, c], "gate shape mismatch");
         let hw = h * w;
         let mut out = vec![0.0f32; b * c * hw];
@@ -444,7 +484,11 @@ mod tests {
 
     #[test]
     fn conv2d_grads() {
-        let x = Tensor::new((0..16).map(|i| 0.1 * i as f32 - 0.8).collect(), &[1, 1, 4, 4], true);
+        let x = Tensor::new(
+            (0..16).map(|i| 0.1 * i as f32 - 0.8).collect(),
+            &[1, 1, 4, 4],
+            true,
+        );
         let w = Tensor::new(vec![0.5, -0.3, 0.2, 0.7], &[1, 1, 2, 2], true);
         check_grad(&x, || x.conv2d(&w, 1, 0).sum_all(), 5e-2);
         check_grad(&w, || x.conv2d(&w, 1, 0).sum_all(), 5e-2);
@@ -455,7 +499,11 @@ mod tests {
     #[test]
     fn depthwise_keeps_channels_independent() {
         // Two channels, kernel scales channel 0 by 1 and channel 1 by 2.
-        let x = Tensor::new(vec![1.0, 1.0, 1.0, 1.0, 3.0, 3.0, 3.0, 3.0], &[1, 2, 2, 2], false);
+        let x = Tensor::new(
+            vec![1.0, 1.0, 1.0, 1.0, 3.0, 3.0, 3.0, 3.0],
+            &[1, 2, 2, 2],
+            false,
+        );
         let w = Tensor::new(vec![1.0, 2.0], &[2, 1, 1], false);
         let y = x.depthwise_conv2d(&w, 1, 0);
         assert_eq!(y.to_vec(), vec![1.0, 1.0, 1.0, 1.0, 6.0, 6.0, 6.0, 6.0]);
@@ -463,15 +511,27 @@ mod tests {
 
     #[test]
     fn depthwise_grads() {
-        let x = Tensor::new((0..18).map(|i| 0.1 * i as f32).collect(), &[1, 2, 3, 3], true);
-        let w = Tensor::new(vec![0.3, -0.2, 0.5, 0.1, 0.9, -0.4, 0.2, 0.8], &[2, 2, 2], true);
+        let x = Tensor::new(
+            (0..18).map(|i| 0.1 * i as f32).collect(),
+            &[1, 2, 3, 3],
+            true,
+        );
+        let w = Tensor::new(
+            vec![0.3, -0.2, 0.5, 0.1, 0.9, -0.4, 0.2, 0.8],
+            &[2, 2, 2],
+            true,
+        );
         check_grad(&x, || x.depthwise_conv2d(&w, 1, 0).sum_all(), 5e-2);
         check_grad(&w, || x.depthwise_conv2d(&w, 1, 0).sum_all(), 5e-2);
     }
 
     #[test]
     fn global_avg_pool_values_and_grads() {
-        let x = Tensor::new(vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0], &[1, 2, 2, 2], true);
+        let x = Tensor::new(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0],
+            &[1, 2, 2, 2],
+            true,
+        );
         let y = x.global_avg_pool();
         assert_eq!(y.to_vec(), vec![2.5, 10.0]);
         check_grad(&x, || x.global_avg_pool().sum_all(), 1e-2);
@@ -479,7 +539,11 @@ mod tests {
 
     #[test]
     fn scale_channels_values_and_grads() {
-        let x = Tensor::new(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0], &[1, 2, 2, 2], true);
+        let x = Tensor::new(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
+            &[1, 2, 2, 2],
+            true,
+        );
         let g = Tensor::new(vec![2.0, 0.5], &[1, 2], true);
         let y = x.scale_channels(&g);
         assert_eq!(y.to_vec(), vec![2.0, 4.0, 6.0, 8.0, 2.5, 3.0, 3.5, 4.0]);

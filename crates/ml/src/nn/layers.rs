@@ -14,7 +14,9 @@ pub fn glorot(rng: &mut SplitMix, shape: &[usize]) -> Tensor {
     let fan_out = *shape.last().expect("non-empty shape") as f64;
     let limit = (6.0 / (fan_in + fan_out)).sqrt();
     let n: usize = shape.iter().product();
-    let data: Vec<f32> = (0..n).map(|_| ((rng.unit() * 2.0 - 1.0) * limit) as f32).collect();
+    let data: Vec<f32> = (0..n)
+        .map(|_| ((rng.unit() * 2.0 - 1.0) * limit) as f32)
+        .collect();
     Tensor::new(data, shape, true)
 }
 
@@ -37,7 +39,10 @@ pub struct Dense {
 impl Dense {
     /// Creates a Glorot-initialized layer.
     pub fn new(rng: &mut SplitMix, input: usize, output: usize) -> Self {
-        Dense { w: glorot(rng, &[input, output]), b: Tensor::zeros(&[output], true) }
+        Dense {
+            w: glorot(rng, &[input, output]),
+            b: Tensor::zeros(&[output], true),
+        }
     }
 
     /// Applies the layer to `[N, in]`, producing `[N, out]`.
@@ -61,7 +66,9 @@ pub struct Embedding {
 impl Embedding {
     /// Creates an N(0, 0.02)-initialized table (GPT-2 convention).
     pub fn new(rng: &mut SplitMix, vocab: usize, dim: usize) -> Self {
-        Embedding { table: normal_init(rng, &[vocab, dim], 0.02) }
+        Embedding {
+            table: normal_init(rng, &[vocab, dim], 0.02),
+        }
     }
 
     /// Gathers rows: `ids -> [ids.len(), dim]`.
@@ -203,7 +210,9 @@ impl TransformerBlock {
     pub fn forward(&self, x: &Tensor, causal: bool) -> Tensor {
         let attended = self.attn.forward(&self.ln1.forward(x), causal);
         let x = x.add(&attended);
-        let mlp = self.fc2.forward(&self.fc1.forward(&self.ln2.forward(&x)).gelu());
+        let mlp = self
+            .fc2
+            .forward(&self.fc1.forward(&self.ln2.forward(&x)).gelu());
         x.add(&mlp)
     }
 
@@ -251,8 +260,16 @@ impl Gru {
         let mut hstate = Tensor::zeros(&[1, self.hidden], false);
         for step in 0..t {
             let xt = x.row_slice(step);
-            let z = self.wz.forward(&xt).add(&self.uz.forward(&hstate)).sigmoid();
-            let r = self.wr.forward(&xt).add(&self.ur.forward(&hstate)).sigmoid();
+            let z = self
+                .wz
+                .forward(&xt)
+                .add(&self.uz.forward(&hstate))
+                .sigmoid();
+            let r = self
+                .wr
+                .forward(&xt)
+                .add(&self.ur.forward(&hstate))
+                .sigmoid();
             let h_cand = self
                 .wh
                 .forward(&xt)
@@ -317,7 +334,10 @@ mod tests {
         let y1 = mha.forward(&x1, true).to_vec();
         let y2 = mha.forward(&x2, true).to_vec();
         for j in 0..8 {
-            assert!((y1[j] - y2[j]).abs() < 1e-4, "position 0 leaked future info");
+            assert!(
+                (y1[j] - y2[j]).abs() < 1e-4,
+                "position 0 leaked future info"
+            );
         }
         // Sanity: without the mask it must change.
         let y1u = mha.forward(&x1, false).to_vec();
@@ -411,7 +431,9 @@ mod tests {
             let x = emb.forward(&ids);
             let enc = block.forward(&x, false);
             let pooled = enc.mean_rows().reshape(&[1, 16]);
-            let loss = head.forward(&pooled).cross_entropy_logits(&[usize::from(has)]);
+            let loss = head
+                .forward(&pooled)
+                .cross_entropy_logits(&[usize::from(has)]);
             opt.zero_grad();
             loss.backward();
             opt.step();

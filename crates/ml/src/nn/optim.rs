@@ -29,7 +29,12 @@ impl Sgd {
     /// Creates an optimizer over `params`.
     pub fn new(params: Vec<Tensor>, lr: f32, momentum: f32) -> Self {
         let velocity = params.iter().map(|p| vec![0.0; p.len()]).collect();
-        Sgd { params, lr, momentum, velocity }
+        Sgd {
+            params,
+            lr,
+            momentum,
+            velocity,
+        }
     }
 }
 
@@ -76,7 +81,16 @@ impl Adam {
     pub fn new(params: Vec<Tensor>, lr: f32) -> Self {
         let m = params.iter().map(|p| vec![0.0; p.len()]).collect();
         let v = params.iter().map(|p| vec![0.0; p.len()]).collect();
-        Adam { params, lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, m, v, t: 0 }
+        Adam {
+            params,
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m,
+            v,
+            t: 0,
+        }
     }
 }
 

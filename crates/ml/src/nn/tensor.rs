@@ -37,7 +37,11 @@ pub struct Tensor {
 
 impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Tensor(id={}, shape={:?})", self.inner.id, self.inner.shape)
+        write!(
+            f,
+            "Tensor(id={}, shape={:?})",
+            self.inner.id, self.inner.shape
+        )
     }
 }
 
@@ -187,7 +191,7 @@ impl Tensor {
             out.push(t.clone());
         }
         collect(self, &mut visited, &mut nodes);
-        nodes.sort_by(|a, b| b.inner.id.cmp(&a.inner.id));
+        nodes.sort_by_key(|n| std::cmp::Reverse(n.inner.id));
 
         self.inner.grad.borrow_mut()[0] = 1.0;
         for node in &nodes {
@@ -788,7 +792,11 @@ impl Tensor {
         let logits = self.to_vec();
         let mut probs = vec![0.0; logits.len()];
         let mut loss = 0.0;
-        for (i, (row, prow)) in logits.chunks_exact(c).zip(probs.chunks_exact_mut(c)).enumerate() {
+        for (i, (row, prow)) in logits
+            .chunks_exact(c)
+            .zip(probs.chunks_exact_mut(c))
+            .enumerate()
+        {
             let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let mut sum = 0.0;
             for (p, &x) in prow.iter_mut().zip(row) {
@@ -1070,7 +1078,11 @@ mod tests {
     #[test]
     fn matmul3_matches_loop_of_matmul2() {
         let a = Tensor::new((0..12).map(|i| i as f32 * 0.1).collect(), &[2, 2, 3], false);
-        let b = Tensor::new((0..12).map(|i| (11 - i) as f32 * 0.1).collect(), &[2, 3, 2], false);
+        let b = Tensor::new(
+            (0..12).map(|i| (11 - i) as f32 * 0.1).collect(),
+            &[2, 3, 2],
+            false,
+        );
         let c = a.matmul(&b);
         let a0 = Tensor::new(a.to_vec()[..6].to_vec(), &[2, 3], false);
         let b0 = Tensor::new(b.to_vec()[..6].to_vec(), &[3, 2], false);
@@ -1080,8 +1092,16 @@ mod tests {
 
     #[test]
     fn batched_matmul_grads() {
-        let a = Tensor::new((0..12).map(|i| 0.1 * i as f32 - 0.5).collect(), &[2, 2, 3], true);
-        let b = Tensor::new((0..12).map(|i| 0.2 * i as f32 - 1.0).collect(), &[2, 3, 2], true);
+        let a = Tensor::new(
+            (0..12).map(|i| 0.1 * i as f32 - 0.5).collect(),
+            &[2, 2, 3],
+            true,
+        );
+        let b = Tensor::new(
+            (0..12).map(|i| 0.2 * i as f32 - 1.0).collect(),
+            &[2, 3, 2],
+            true,
+        );
         check_grad(&a, || a.matmul(&b).sum_all(), 1e-2);
         check_grad(&b, || a.matmul(&b).sum_all(), 1e-2);
     }
@@ -1154,9 +1174,21 @@ mod tests {
         let gamma = Tensor::new(vec![1.2, 0.8, 1.0], &[3], true);
         let beta = Tensor::new(vec![0.1, -0.2, 0.0], &[3], true);
         let w = Tensor::new(vec![1.0, -1.0, 0.5, 2.0, 0.3, -0.7], &[2, 3], false);
-        check_grad(&x, || x.layer_norm(&gamma, &beta, 1e-5).mul(&w).sum_all(), 2e-2);
-        check_grad(&gamma, || x.layer_norm(&gamma, &beta, 1e-5).mul(&w).sum_all(), 2e-2);
-        check_grad(&beta, || x.layer_norm(&gamma, &beta, 1e-5).mul(&w).sum_all(), 2e-2);
+        check_grad(
+            &x,
+            || x.layer_norm(&gamma, &beta, 1e-5).mul(&w).sum_all(),
+            2e-2,
+        );
+        check_grad(
+            &gamma,
+            || x.layer_norm(&gamma, &beta, 1e-5).mul(&w).sum_all(),
+            2e-2,
+        );
+        check_grad(
+            &beta,
+            || x.layer_norm(&gamma, &beta, 1e-5).mul(&w).sum_all(),
+            2e-2,
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::fmt;
 
 /// Model category, matching the paper's Table II footnotes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Category {
     /// † Histogram similarity classifiers.
     Histogram,

@@ -77,14 +77,21 @@ impl HscDetector {
 
     /// k-NN HSC.
     pub fn knn() -> Self {
-        HscDetector { name: "k-NN", model: HscModel::Knn(KNearestNeighbors::new(5)), extractor: None }
+        HscDetector {
+            name: "k-NN",
+            model: HscModel::Knn(KNearestNeighbors::new(5)),
+            extractor: None,
+        }
     }
 
     /// SVM HSC.
     pub fn svm(seed: u64) -> Self {
         HscDetector {
             name: "SVM",
-            model: HscModel::Svm(RbfSvm::new(RbfSvmConfig { seed, ..RbfSvmConfig::default() })),
+            model: HscModel::Svm(RbfSvm::new(RbfSvmConfig {
+                seed,
+                ..RbfSvmConfig::default()
+            })),
             extractor: None,
         }
     }

@@ -17,7 +17,9 @@
 use crate::detector::{Category, Detector};
 use phishinghook_features::ngram::BigramVocab;
 use phishinghook_features::tokenize::{tokenize, Tokenization, VOCAB_SIZE};
-use phishinghook_ml::nn::layers::{normal_init, Dense, Embedding, Gru, MultiHeadAttention, TransformerBlock};
+use phishinghook_ml::nn::layers::{
+    normal_init, Dense, Embedding, Gru, MultiHeadAttention, TransformerBlock,
+};
 use phishinghook_ml::nn::{Adam, Optimizer, Tensor};
 use phishinghook_ml::SplitMix;
 
@@ -106,7 +108,11 @@ impl std::fmt::Debug for ScsGuardDetector {
 impl ScsGuardDetector {
     /// Creates an unfitted SCSGuard with a bigram vocabulary of `vocab_size`.
     pub fn new(config: LanguageConfig) -> Self {
-        ScsGuardDetector { config, vocab_size: 512, state: None }
+        ScsGuardDetector {
+            config,
+            vocab_size: 512,
+            state: None,
+        }
     }
 }
 
@@ -136,8 +142,10 @@ impl Detector for ScsGuardDetector {
         for _ in 0..self.config.epochs {
             rng.shuffle(&mut order);
             for chunk in order.chunks(self.config.batch) {
-                let logits: Vec<Tensor> =
-                    chunk.iter().map(|&i| model.forward(&sequences[i])).collect();
+                let logits: Vec<Tensor> = chunk
+                    .iter()
+                    .map(|&i| model.forward(&sequences[i]))
+                    .collect();
                 let batch_labels: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
                 let loss = Tensor::concat_rows(&logits).cross_entropy_logits(&batch_labels);
                 opt.zero_grad();
@@ -231,28 +239,60 @@ impl std::fmt::Debug for TransformerLm {
 impl TransformerLm {
     /// GPT-2α: causal, truncated sequences.
     pub fn gpt2_alpha(config: LanguageConfig) -> Self {
-        let policy = Tokenization::Truncate { max_len: config.max_len };
-        TransformerLm { name: "GPT-2α", arch: LmArch::Gpt2, policy, config, state: None }
+        let policy = Tokenization::Truncate {
+            max_len: config.max_len,
+        };
+        TransformerLm {
+            name: "GPT-2α",
+            arch: LmArch::Gpt2,
+            policy,
+            config,
+            state: None,
+        }
     }
 
     /// GPT-2β: causal, sliding-window chunks.
     pub fn gpt2_beta(config: LanguageConfig) -> Self {
-        let policy =
-            Tokenization::SlidingWindow { window: config.max_len, stride: config.stride };
-        TransformerLm { name: "GPT-2β", arch: LmArch::Gpt2, policy, config, state: None }
+        let policy = Tokenization::SlidingWindow {
+            window: config.max_len,
+            stride: config.stride,
+        };
+        TransformerLm {
+            name: "GPT-2β",
+            arch: LmArch::Gpt2,
+            policy,
+            config,
+            state: None,
+        }
     }
 
     /// T5α: bidirectional, truncated sequences.
     pub fn t5_alpha(config: LanguageConfig) -> Self {
-        let policy = Tokenization::Truncate { max_len: config.max_len };
-        TransformerLm { name: "T5α", arch: LmArch::T5, policy, config, state: None }
+        let policy = Tokenization::Truncate {
+            max_len: config.max_len,
+        };
+        TransformerLm {
+            name: "T5α",
+            arch: LmArch::T5,
+            policy,
+            config,
+            state: None,
+        }
     }
 
     /// T5β: bidirectional, sliding-window chunks.
     pub fn t5_beta(config: LanguageConfig) -> Self {
-        let policy =
-            Tokenization::SlidingWindow { window: config.max_len, stride: config.stride };
-        TransformerLm { name: "T5β", arch: LmArch::T5, policy, config, state: None }
+        let policy = Tokenization::SlidingWindow {
+            window: config.max_len,
+            stride: config.stride,
+        };
+        TransformerLm {
+            name: "T5β",
+            arch: LmArch::T5,
+            policy,
+            config,
+            state: None,
+        }
     }
 }
 
@@ -273,7 +313,12 @@ impl Detector for TransformerLm {
             pos: normal_init(&mut rng, &[self.config.max_len, self.config.dim], 0.02),
             blocks: (0..self.config.depth)
                 .map(|_| {
-                    TransformerBlock::new(&mut rng, self.config.dim, self.config.heads, self.config.dim * 2)
+                    TransformerBlock::new(
+                        &mut rng,
+                        self.config.dim,
+                        self.config.heads,
+                        self.config.dim * 2,
+                    )
                 })
                 .collect(),
             head: Dense::new(&mut rng, self.config.dim, 2),
@@ -282,7 +327,10 @@ impl Detector for TransformerLm {
         // One (sequence, label) pair per window; β caps windows per contract.
         let mut sequences: Vec<(Vec<usize>, usize)> = Vec::new();
         for (code, &label) in codes.iter().zip(labels) {
-            for w in tokenize(code, self.policy).into_iter().take(self.config.max_windows) {
+            for w in tokenize(code, self.policy)
+                .into_iter()
+                .take(self.config.max_windows)
+            {
                 sequences.push((w, label));
             }
         }
@@ -291,8 +339,10 @@ impl Detector for TransformerLm {
         for _ in 0..self.config.epochs {
             rng.shuffle(&mut order);
             for chunk in order.chunks(self.config.batch) {
-                let logits: Vec<Tensor> =
-                    chunk.iter().map(|&i| model.forward(&sequences[i].0)).collect();
+                let logits: Vec<Tensor> = chunk
+                    .iter()
+                    .map(|&i| model.forward(&sequences[i].0))
+                    .collect();
                 let batch_labels: Vec<usize> = chunk.iter().map(|&i| sequences[i].1).collect();
                 let loss = Tensor::concat_rows(&logits).cross_entropy_logits(&batch_labels);
                 opt.zero_grad();
@@ -329,7 +379,13 @@ mod tests {
     use phishinghook_data::{Corpus, CorpusConfig};
 
     fn fast_config() -> LanguageConfig {
-        LanguageConfig { max_len: 48, stride: 32, epochs: 8, lr: 3e-3, ..Default::default() }
+        LanguageConfig {
+            max_len: 48,
+            stride: 32,
+            epochs: 8,
+            lr: 3e-3,
+            ..Default::default()
+        }
     }
 
     fn corpus_split() -> (Vec<Vec<u8>>, Vec<usize>) {

@@ -38,8 +38,18 @@ impl Preset {
     /// ViT+Freq). ViTs prefer a gentler learning rate than the CNN.
     pub fn vision(self, seed: u64) -> VisionConfig {
         match self {
-            Preset::Fast => VisionConfig { epochs: 10, lr: 3e-3, seed, ..VisionConfig::default() },
-            Preset::Standard => VisionConfig { epochs: 8, lr: 3e-3, seed, ..VisionConfig::default() },
+            Preset::Fast => VisionConfig {
+                epochs: 10,
+                lr: 3e-3,
+                seed,
+                ..VisionConfig::default()
+            },
+            Preset::Standard => VisionConfig {
+                epochs: 8,
+                lr: 3e-3,
+                seed,
+                ..VisionConfig::default()
+            },
         }
     }
 
@@ -47,8 +57,18 @@ impl Preset {
     /// which trains best with a higher learning rate.
     pub fn vision_cnn(self, seed: u64) -> VisionConfig {
         match self {
-            Preset::Fast => VisionConfig { epochs: 12, lr: 1e-2, seed, ..VisionConfig::default() },
-            Preset::Standard => VisionConfig { epochs: 10, lr: 8e-3, seed, ..VisionConfig::default() },
+            Preset::Fast => VisionConfig {
+                epochs: 12,
+                lr: 1e-2,
+                seed,
+                ..VisionConfig::default()
+            },
+            Preset::Standard => VisionConfig {
+                epochs: 10,
+                lr: 8e-3,
+                seed,
+                ..VisionConfig::default()
+            },
         }
     }
 
@@ -63,15 +83,27 @@ impl Preset {
                 seed,
                 ..LanguageConfig::default()
             },
-            Preset::Standard => LanguageConfig { epochs: 4, seed, ..LanguageConfig::default() },
+            Preset::Standard => LanguageConfig {
+                epochs: 4,
+                seed,
+                ..LanguageConfig::default()
+            },
         }
     }
 
     /// ESCORT hyperparameters for this preset.
     pub fn escort(self, seed: u64) -> EscortConfig {
         match self {
-            Preset::Fast => EscortConfig { pretrain_epochs: 3, transfer_epochs: 3, seed, ..EscortConfig::default() },
-            Preset::Standard => EscortConfig { seed, ..EscortConfig::default() },
+            Preset::Fast => EscortConfig {
+                pretrain_epochs: 3,
+                transfer_epochs: 3,
+                seed,
+                ..EscortConfig::default()
+            },
+            Preset::Standard => EscortConfig {
+                seed,
+                ..EscortConfig::default()
+            },
         }
     }
 }
@@ -82,21 +114,39 @@ pub fn all_detectors(preset: Preset, seed: u64) -> Vec<Box<dyn Detector>> {
     for hsc in all_hscs(seed) {
         out.push(Box::new(hsc));
     }
-    out.push(Box::new(VisionDetector::eca_efficientnet(preset.vision_cnn(seed ^ 0x10))));
-    out.push(Box::new(VisionDetector::vit_r2d2(preset.vision(seed ^ 0x11))));
-    out.push(Box::new(VisionDetector::vit_freq(preset.vision(seed ^ 0x12))));
-    out.push(Box::new(ScsGuardDetector::new(preset.language(seed ^ 0x20))));
-    out.push(Box::new(TransformerLm::gpt2_alpha(preset.language(seed ^ 0x21))));
-    out.push(Box::new(TransformerLm::t5_alpha(preset.language(seed ^ 0x22))));
-    out.push(Box::new(TransformerLm::gpt2_beta(preset.language(seed ^ 0x23))));
-    out.push(Box::new(TransformerLm::t5_beta(preset.language(seed ^ 0x24))));
+    out.push(Box::new(VisionDetector::eca_efficientnet(
+        preset.vision_cnn(seed ^ 0x10),
+    )));
+    out.push(Box::new(VisionDetector::vit_r2d2(
+        preset.vision(seed ^ 0x11),
+    )));
+    out.push(Box::new(VisionDetector::vit_freq(
+        preset.vision(seed ^ 0x12),
+    )));
+    out.push(Box::new(ScsGuardDetector::new(
+        preset.language(seed ^ 0x20),
+    )));
+    out.push(Box::new(TransformerLm::gpt2_alpha(
+        preset.language(seed ^ 0x21),
+    )));
+    out.push(Box::new(TransformerLm::t5_alpha(
+        preset.language(seed ^ 0x22),
+    )));
+    out.push(Box::new(TransformerLm::gpt2_beta(
+        preset.language(seed ^ 0x23),
+    )));
+    out.push(Box::new(TransformerLm::t5_beta(
+        preset.language(seed ^ 0x24),
+    )));
     out.push(Box::new(EscortDetector::new(preset.escort(seed ^ 0x30))));
     out
 }
 
 /// Builds one detector by its Table II name (`None` for unknown names).
 pub fn detector_by_name(name: &str, preset: Preset, seed: u64) -> Option<Box<dyn Detector>> {
-    all_detectors(preset, seed).into_iter().find(|d| d.name() == name)
+    all_detectors(preset, seed)
+        .into_iter()
+        .find(|d| d.name() == name)
 }
 
 #[cfg(test)]

@@ -145,11 +145,11 @@ impl VitLite {
 /// ECA + EfficientNet-style backbone: conv stem, depthwise separable block,
 /// efficient channel attention, global average pooling.
 struct EcaEffNet {
-    stem: Tensor,      // [C1, 3, 3, 3]
-    dw: Tensor,        // [C1, 3, 3]
-    pw: Tensor,        // [C2, C1, 1, 1]
-    eca: Dense,        // channel attention (the paper's "modified ECA")
-    head: Dense,       // [C2 -> 2]
+    stem: Tensor, // [C1, 3, 3, 3]
+    dw: Tensor,   // [C1, 3, 3]
+    pw: Tensor,   // [C2, C1, 1, 1]
+    eca: Dense,   // channel attention (the paper's "modified ECA")
+    head: Dense,  // [C2 -> 2]
     image_size: usize,
 }
 
@@ -184,7 +184,7 @@ impl EcaEffNet {
         let h = x.conv2d(&self.stem, 2, 1).relu(); // [1, C1, s/2, s/2]
         let h = h.depthwise_conv2d(&self.dw, 1, 1).relu();
         let h = h.conv2d(&self.pw, 1, 0).relu(); // [1, C2, s/2, s/2]
-        // ECA: channel descriptor → gate → channel-scaled features.
+                                                 // ECA: channel descriptor → gate → channel-scaled features.
         let descriptor = h.global_avg_pool(); // [1, C2]
         let gate = self.eca.forward(&descriptor).sigmoid();
         let attended = h.scale_channels(&gate);
@@ -320,8 +320,10 @@ impl Detector for VisionDetector {
         for _epoch in 0..self.config.epochs {
             rng.shuffle(&mut order);
             for chunk in order.chunks(self.config.batch) {
-                let logits: Vec<Tensor> =
-                    chunk.iter().map(|&i| backbone.forward(&images[i])).collect();
+                let logits: Vec<Tensor> = chunk
+                    .iter()
+                    .map(|&i| backbone.forward(&images[i]))
+                    .collect();
                 let batch_labels: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
                 let loss = Tensor::concat_rows(&logits).cross_entropy_logits(&batch_labels);
                 opt.zero_grad();
@@ -350,11 +352,19 @@ mod tests {
     use phishinghook_data::{Corpus, CorpusConfig};
 
     fn fast_config() -> VisionConfig {
-        VisionConfig { epochs: 20, lr: 3e-3, ..VisionConfig::default() }
+        VisionConfig {
+            epochs: 20,
+            lr: 3e-3,
+            ..VisionConfig::default()
+        }
     }
 
     fn cnn_config() -> VisionConfig {
-        VisionConfig { epochs: 20, lr: 1e-2, ..VisionConfig::default() }
+        VisionConfig {
+            epochs: 20,
+            lr: 1e-2,
+            ..VisionConfig::default()
+        }
     }
 
     fn corpus_split() -> (Vec<Vec<u8>>, Vec<usize>) {
@@ -404,11 +414,25 @@ mod tests {
         let (train_x, test_x) = refs.split_at(180);
         let (train_y, test_y) = labels.split_at(180);
         for (epochs, lr) in [(12usize, 3e-3f32), (25, 5e-3), (25, 1e-2)] {
-            let mut det = VisionDetector::eca_efficientnet(VisionConfig { epochs, lr, ..Default::default() });
+            let mut det = VisionDetector::eca_efficientnet(VisionConfig {
+                epochs,
+                lr,
+                ..Default::default()
+            });
             det.fit(train_x, train_y);
-            let tr = det.predict(train_x).iter().zip(train_y).filter(|(a, b)| a == b).count() as f64
+            let tr = det
+                .predict(train_x)
+                .iter()
+                .zip(train_y)
+                .filter(|(a, b)| a == b)
+                .count() as f64
                 / train_y.len() as f64;
-            let te = det.predict(test_x).iter().zip(test_y).filter(|(a, b)| a == b).count() as f64
+            let te = det
+                .predict(test_x)
+                .iter()
+                .zip(test_y)
+                .filter(|(a, b)| a == b)
+                .count() as f64
                 / test_y.len() as f64;
             eprintln!("epochs={epochs} lr={lr}: train={tr:.3} test={te:.3}");
         }
@@ -421,12 +445,32 @@ mod tests {
         let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
         let (train_x, test_x) = refs.split_at(180);
         let (train_y, test_y) = labels.split_at(180);
-        for (epochs, lr) in [(20usize, 3e-3f32), (20, 6e-3), (30, 6e-3), (30, 1e-2), (40, 3e-3)] {
-            let mut det = VisionDetector::vit_r2d2(VisionConfig { epochs, lr, ..Default::default() });
+        for (epochs, lr) in [
+            (20usize, 3e-3f32),
+            (20, 6e-3),
+            (30, 6e-3),
+            (30, 1e-2),
+            (40, 3e-3),
+        ] {
+            let mut det = VisionDetector::vit_r2d2(VisionConfig {
+                epochs,
+                lr,
+                ..Default::default()
+            });
             det.fit(train_x, train_y);
-            let tr = det.predict(train_x).iter().zip(train_y).filter(|(a, b)| a == b).count() as f64
+            let tr = det
+                .predict(train_x)
+                .iter()
+                .zip(train_y)
+                .filter(|(a, b)| a == b)
+                .count() as f64
                 / train_y.len() as f64;
-            let te = det.predict(test_x).iter().zip(test_y).filter(|(a, b)| a == b).count() as f64
+            let te = det
+                .predict(test_x)
+                .iter()
+                .zip(test_y)
+                .filter(|(a, b)| a == b)
+                .count() as f64
                 / test_y.len() as f64;
             eprintln!("epochs={epochs} lr={lr}: train={tr:.3} test={te:.3}");
         }

@@ -32,9 +32,8 @@ pub fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -230,7 +229,10 @@ mod tests {
     #[test]
     fn gamma_p_q_sum_to_one() {
         for (a, x) in [(0.5, 0.2), (2.0, 3.0), (5.0, 1.0), (10.0, 20.0)] {
-            assert!((gamma_p(a, x) + gamma_q(a, x) - 1.0).abs() < 1e-10, "a={a} x={x}");
+            assert!(
+                (gamma_p(a, x) + gamma_q(a, x) - 1.0).abs() < 1e-10,
+                "a={a} x={x}"
+            );
         }
     }
 

@@ -43,7 +43,11 @@ pub fn friedman(blocks: &[Vec<f64>]) -> Friedman {
             .iter()
             .map(|r| (r - (kf + 1.0) / 2.0).powi(2))
             .sum::<f64>();
-    Friedman { chi2, p_value: chi2_sf(chi2, k - 1), mean_ranks }
+    Friedman {
+        chi2,
+        p_value: chi2_sf(chi2, k - 1),
+        mean_ranks,
+    }
 }
 
 /// Result of a Wilcoxon signed-rank test.
@@ -70,7 +74,10 @@ pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> Wilcoxon {
         .collect();
     let n = diffs.len();
     if n == 0 {
-        return Wilcoxon { w: 0.0, p_value: 1.0 };
+        return Wilcoxon {
+            w: 0.0,
+            p_value: 1.0,
+        };
     }
     let abs: Vec<f64> = diffs.iter().map(|d| d.abs()).collect();
     let ranks = average_ranks(&abs);
@@ -131,7 +138,10 @@ fn exact_wilcoxon_p(w_plus: f64, n: usize) -> f64 {
 
 /// Cliff's δ effect size: `(#(a > b) − #(a < b)) / (|a|·|b|)` over all pairs.
 pub fn cliffs_delta(a: &[f64], b: &[f64]) -> f64 {
-    assert!(!a.is_empty() && !b.is_empty(), "Cliff's delta needs non-empty samples");
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "Cliff's delta needs non-empty samples"
+    );
     let mut more = 0i64;
     let mut less = 0i64;
     for x in a {
@@ -179,14 +189,19 @@ pub fn critical_difference(blocks: &[Vec<f64>], alpha: f64) -> CriticalDifferenc
         }
     }
     let adjusted = holm_bonferroni(&raw);
-    let pairwise_p: Vec<((usize, usize), f64)> =
-        pairs.iter().copied().zip(adjusted.iter().copied()).collect();
+    let pairwise_p: Vec<((usize, usize), f64)> = pairs
+        .iter()
+        .copied()
+        .zip(adjusted.iter().copied())
+        .collect();
 
     // Cliques: grow intervals over rank-sorted treatments while all pairs
     // inside stay non-significant (the standard CDD bar construction).
     let mut order: Vec<usize> = (0..k).collect();
     order.sort_by(|&a, &b| {
-        fr.mean_ranks[a].partial_cmp(&fr.mean_ranks[b]).expect("finite ranks")
+        fr.mean_ranks[a]
+            .partial_cmp(&fr.mean_ranks[b])
+            .expect("finite ranks")
     });
     let not_sig = |a: usize, b: usize| {
         pairwise_p
@@ -198,9 +213,8 @@ pub fn critical_difference(blocks: &[Vec<f64>], alpha: f64) -> CriticalDifferenc
     for start in 0..k {
         let mut end = start;
         while end + 1 < k
-            && (start..=end + 1).all(|x| {
-                (start..=end + 1).all(|y| x == y || not_sig(order[x], order[y]))
-            })
+            && (start..=end + 1)
+                .all(|x| (start..=end + 1).all(|y| x == y || not_sig(order[x], order[y])))
         {
             end += 1;
         }
@@ -211,7 +225,12 @@ pub fn critical_difference(blocks: &[Vec<f64>], alpha: f64) -> CriticalDifferenc
             }
         }
     }
-    CriticalDifference { mean_ranks: fr.mean_ranks, friedman_p: fr.p_value, pairwise_p, cliques }
+    CriticalDifference {
+        mean_ranks: fr.mean_ranks,
+        friedman_p: fr.p_value,
+        pairwise_p,
+        cliques,
+    }
 }
 
 #[cfg(test)]
@@ -225,7 +244,11 @@ mod tests {
         let blocks: Vec<Vec<f64>> = (0..12)
             .map(|_| {
                 let base = rng.normal();
-                vec![base + rng.normal() * 0.1, base + rng.normal() * 0.1, base + rng.normal() * 0.1]
+                vec![
+                    base + rng.normal() * 0.1,
+                    base + rng.normal() * 0.1,
+                    base + rng.normal() * 0.1,
+                ]
             })
             .collect();
         assert!(friedman(&blocks).p_value > 0.05);
@@ -312,8 +335,13 @@ mod tests {
             .collect();
         let cdd = critical_difference(&blocks, 0.05);
         assert!(cdd.friedman_p < 0.05);
-        assert!(cdd.cliques.iter().any(|c| c.contains(&0) && c.contains(&1) && !c.contains(&2)),
-            "cliques: {:?}", cdd.cliques);
+        assert!(
+            cdd.cliques
+                .iter()
+                .any(|c| c.contains(&0) && c.contains(&1) && !c.contains(&2)),
+            "cliques: {:?}",
+            cdd.cliques
+        );
         assert!(cdd.mean_ranks[2] > cdd.mean_ranks[0]);
     }
 }

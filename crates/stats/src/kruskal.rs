@@ -23,7 +23,10 @@ pub struct KruskalWallis {
 pub fn kruskal_wallis(groups: &[Vec<f64>]) -> KruskalWallis {
     let k = groups.len();
     assert!(k >= 2, "Kruskal-Wallis requires at least two groups");
-    assert!(groups.iter().all(|g| !g.is_empty()), "groups must be non-empty");
+    assert!(
+        groups.iter().all(|g| !g.is_empty()),
+        "groups must be non-empty"
+    );
 
     let pooled: Vec<f64> = groups.iter().flatten().copied().collect();
     let n = pooled.len() as f64;
@@ -49,7 +52,11 @@ pub fn kruskal_wallis(groups: &[Vec<f64>]) -> KruskalWallis {
         h /= correction;
     }
 
-    KruskalWallis { h, p_value: chi2_sf(h, k - 1), df: k - 1 }
+    KruskalWallis {
+        h,
+        p_value: chi2_sf(h, k - 1),
+        df: k - 1,
+    }
 }
 
 /// One pairwise comparison from Dunn's test.
@@ -84,7 +91,10 @@ impl DunnComparison {
 pub fn dunn_test(groups: &[Vec<f64>]) -> Vec<DunnComparison> {
     let k = groups.len();
     assert!(k >= 2, "Dunn's test requires at least two groups");
-    assert!(groups.iter().all(|g| !g.is_empty()), "groups must be non-empty");
+    assert!(
+        groups.iter().all(|g| !g.is_empty()),
+        "groups must be non-empty"
+    );
 
     let pooled: Vec<f64> = groups.iter().flatten().copied().collect();
     let n = pooled.len() as f64;
@@ -193,8 +203,9 @@ mod tests {
     #[test]
     fn adjusted_p_never_below_raw() {
         let mut rng = SplitMix::new(7);
-        let groups: Vec<Vec<f64>> =
-            (0..4).map(|i| (0..15).map(|_| rng.normal() + i as f64).collect()).collect();
+        let groups: Vec<Vec<f64>> = (0..4)
+            .map(|i| (0..15).map(|_| rng.normal() + i as f64).collect())
+            .collect();
         for c in dunn_test(&groups) {
             assert!(c.p_adjusted + 1e-12 >= c.p_value);
         }

@@ -22,7 +22,10 @@ pub mod shap;
 pub mod shapiro;
 
 pub use aut::area_under_time;
-pub use friedman::{cliffs_delta, critical_difference, friedman, wilcoxon_signed_rank, CriticalDifference, Friedman, Wilcoxon};
+pub use friedman::{
+    cliffs_delta, critical_difference, friedman, wilcoxon_signed_rank, CriticalDifference,
+    Friedman, Wilcoxon,
+};
 pub use kruskal::{dunn_test, kruskal_wallis, DunnComparison, KruskalWallis};
 pub use ranks::holm_bonferroni;
 pub use shap::{forest_expected_value, forest_shap, tree_expected_value, tree_shap};

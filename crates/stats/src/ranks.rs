@@ -55,7 +55,11 @@ pub fn tie_group_sizes(values: &[f64]) -> Vec<usize> {
 pub fn holm_bonferroni(p_values: &[f64]) -> Vec<f64> {
     let m = p_values.len();
     let mut order: Vec<usize> = (0..m).collect();
-    order.sort_by(|&a, &b| p_values[a].partial_cmp(&p_values[b]).expect("non-NaN p-values"));
+    order.sort_by(|&a, &b| {
+        p_values[a]
+            .partial_cmp(&p_values[b])
+            .expect("non-NaN p-values")
+    });
     let mut adjusted = vec![0.0; m];
     let mut running_max = 0.0f64;
     for (k, &idx) in order.iter().enumerate() {

@@ -24,7 +24,12 @@ struct PathElement {
 
 fn extend(m: &mut Vec<PathElement>, pz: f64, po: f64, pi: usize) {
     let l = m.len();
-    m.push(PathElement { d: pi, z: pz, o: po, w: if l == 0 { 1.0 } else { 0.0 } });
+    m.push(PathElement {
+        d: pi,
+        z: pz,
+        o: po,
+        w: if l == 0 { 1.0 } else { 0.0 },
+    });
     for i in (0..l).rev() {
         m[i + 1].w += po * m[i].w * (i + 1) as f64 / (l + 1) as f64;
         m[i].w = pz * m[i].w * (l - i) as f64 / (l + 1) as f64;
@@ -75,6 +80,7 @@ fn node_cover(nodes: &[Node], id: usize) -> f64 {
     }
 }
 
+#[allow(clippy::too_many_arguments)] // mirrors Lundberg's published TreeSHAP recursion
 fn recurse(
     nodes: &[Node],
     x: &[f64],
@@ -93,9 +99,18 @@ fn recurse(
                 phi[m[i].d] += w * (m[i].o - m[i].z) * proba;
             }
         }
-        Node::Split { feature, threshold, left, right, cover } => {
-            let (hot, cold) =
-                if x[feature] <= threshold { (left, right) } else { (right, left) };
+        Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+            cover,
+        } => {
+            let (hot, cold) = if x[feature] <= threshold {
+                (left, right)
+            } else {
+                (right, left)
+            };
             let mut iz = 1.0;
             let mut io = 1.0;
             // Undo an earlier occurrence of this feature on the path.
@@ -124,7 +139,16 @@ pub fn tree_shap(tree: &DecisionTree, x: &[f64]) -> Vec<f64> {
     // The dummy root path element (sentinel feature id) sits at index 0 of
     // the path and is skipped by the leaf loop, so phi only receives real
     // feature indices.
-    recurse(tree.nodes(), x, &mut phi, 0, Vec::new(), 1.0, 1.0, usize::MAX - 1);
+    recurse(
+        tree.nodes(),
+        x,
+        &mut phi,
+        0,
+        Vec::new(),
+        1.0,
+        1.0,
+        usize::MAX - 1,
+    );
     phi
 }
 
@@ -179,7 +203,13 @@ pub fn brute_force_shap(tree: &DecisionTree, x: &[f64]) -> Vec<f64> {
     fn expvalue(nodes: &[Node], id: usize, x: &[f64], s: u32) -> f64 {
         match nodes[id] {
             Node::Leaf { proba, .. } => proba,
-            Node::Split { feature, threshold, left, right, cover } => {
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+                cover,
+            } => {
                 if s >> feature & 1 == 1 {
                     let next = if x[feature] <= threshold { left } else { right };
                     expvalue(nodes, next, x, s)
@@ -194,7 +224,7 @@ pub fn brute_force_shap(tree: &DecisionTree, x: &[f64]) -> Vec<f64> {
 
     let factorial = |n: usize| -> f64 { (1..=n).map(|v| v as f64).product() };
     let mut phi = vec![0.0; d];
-    for i in 0..d {
+    for (i, phi_i) in phi.iter_mut().enumerate() {
         for s in 0u32..(1 << d) {
             if s >> i & 1 == 1 {
                 continue;
@@ -203,7 +233,7 @@ pub fn brute_force_shap(tree: &DecisionTree, x: &[f64]) -> Vec<f64> {
             let weight = factorial(size) * factorial(d - size - 1) / factorial(d);
             let without = expvalue(tree.nodes(), 0, x, s);
             let with = expvalue(tree.nodes(), 0, x, s | (1 << i));
-            phi[i] += weight * (with - without);
+            *phi_i += weight * (with - without);
         }
     }
     phi
@@ -218,8 +248,9 @@ mod tests {
 
     fn random_dataset(n: usize, d: usize, seed: u64) -> (Matrix, Vec<usize>) {
         let mut rng = SplitMix::new(seed);
-        let rows: Vec<Vec<f64>> =
-            (0..n).map(|_| (0..d).map(|_| rng.normal()).collect()).collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..d).map(|_| rng.normal()).collect())
+            .collect();
         let y: Vec<usize> = rows
             .iter()
             .map(|r| usize::from(r[0] + 0.5 * r[1 % d] > 0.0))
@@ -230,7 +261,10 @@ mod tests {
     #[test]
     fn additivity_on_single_tree() {
         let (x, y) = random_dataset(200, 4, 1);
-        let mut tree = DecisionTree::new(TreeConfig { max_depth: 6, ..Default::default() });
+        let mut tree = DecisionTree::new(TreeConfig {
+            max_depth: 6,
+            ..Default::default()
+        });
         tree.fit(&x, &y);
         let base = tree_expected_value(&tree);
         for i in 0..20 {
@@ -245,7 +279,10 @@ mod tests {
     #[test]
     fn matches_brute_force_exactly() {
         let (x, y) = random_dataset(120, 5, 2);
-        let mut tree = DecisionTree::new(TreeConfig { max_depth: 4, ..Default::default() });
+        let mut tree = DecisionTree::new(TreeConfig {
+            max_depth: 4,
+            ..Default::default()
+        });
         tree.fit(&x, &y);
         for i in 0..8 {
             let row = x.row(i);
@@ -264,7 +301,10 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64, (i % 7) as f64]).collect();
         let y: Vec<usize> = (0..40).map(|i| usize::from(i % 3 == 0)).collect();
         let x = Matrix::from_rows(&rows);
-        let mut tree = DecisionTree::new(TreeConfig { max_depth: 8, ..Default::default() });
+        let mut tree = DecisionTree::new(TreeConfig {
+            max_depth: 8,
+            ..Default::default()
+        });
         tree.fit(&x, &y);
         let base = tree_expected_value(&tree);
         for i in [0, 7, 21, 39] {
@@ -289,10 +329,10 @@ mod tests {
         forest.fit(&x, &y);
         let base = forest_expected_value(&forest);
         let probs = forest.predict_proba(&x);
-        for i in 0..10 {
+        for (i, prob) in probs.iter().enumerate().take(10) {
             let phi = forest_shap(&forest, x.row(i));
             let total: f64 = phi.iter().sum::<f64>() + base;
-            assert!((total - probs[i]).abs() < 1e-9, "row {i}: {total} vs {}", probs[i]);
+            assert!((total - prob).abs() < 1e-9, "row {i}: {total} vs {prob}");
         }
     }
 
@@ -310,8 +350,9 @@ mod tests {
     fn influential_feature_gets_larger_attribution() {
         // Label depends only on feature 0.
         let mut rng = SplitMix::new(4);
-        let rows: Vec<Vec<f64>> =
-            (0..300).map(|_| vec![rng.normal(), rng.normal(), rng.normal()]).collect();
+        let rows: Vec<Vec<f64>> = (0..300)
+            .map(|_| vec![rng.normal(), rng.normal(), rng.normal()])
+            .collect();
         let y: Vec<usize> = rows.iter().map(|r| usize::from(r[0] > 0.0)).collect();
         let x = Matrix::from_rows(&rows);
         let mut forest = RandomForest::new(ForestConfig {

@@ -22,11 +22,17 @@ pub struct ShapiroWilk {
 /// or when the sample is constant.
 pub fn shapiro_wilk(sample: &[f64]) -> ShapiroWilk {
     let n = sample.len();
-    assert!((4..=5000).contains(&n), "Shapiro-Wilk requires 4 <= n <= 5000");
+    assert!(
+        (4..=5000).contains(&n),
+        "Shapiro-Wilk requires 4 <= n <= 5000"
+    );
     let mut x: Vec<f64> = sample.to_vec();
     x.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN sample"));
     let range = x[n - 1] - x[0];
-    assert!(range > 0.0, "Shapiro-Wilk is undefined for a constant sample");
+    assert!(
+        range > 0.0,
+        "Shapiro-Wilk is undefined for a constant sample"
+    );
 
     // Expected normal order statistics (Blom scores).
     let m: Vec<f64> = (1..=n)
@@ -67,7 +73,12 @@ pub fn shapiro_wilk(sample: &[f64]) -> ShapiroWilk {
     }
 
     let mean = x.iter().sum::<f64>() / n as f64;
-    let numerator: f64 = a.iter().zip(&x).map(|(ai, xi)| ai * xi).sum::<f64>().powi(2);
+    let numerator: f64 = a
+        .iter()
+        .zip(&x)
+        .map(|(ai, xi)| ai * xi)
+        .sum::<f64>()
+        .powi(2);
     let denominator: f64 = x.iter().map(|xi| (xi - mean) * (xi - mean)).sum();
     let w = (numerator / denominator).min(1.0);
 
@@ -95,7 +106,10 @@ pub fn shapiro_wilk(sample: &[f64]) -> ShapiroWilk {
         normal_sf((wt - mu) / sigma)
     };
 
-    ShapiroWilk { w, p_value: p_value.clamp(0.0, 1.0) }
+    ShapiroWilk {
+        w,
+        p_value: p_value.clamp(0.0, 1.0),
+    }
 }
 
 #[cfg(test)]
@@ -125,14 +139,25 @@ mod tests {
         let mut rng = SplitMix::new(3);
         let sample: Vec<f64> = (0..80).map(|_| -rng.unit().max(1e-12).ln()).collect();
         let result = shapiro_wilk(&sample);
-        assert!(result.p_value < 0.01, "p = {} (w = {})", result.p_value, result.w);
+        assert!(
+            result.p_value < 0.01,
+            "p = {} (w = {})",
+            result.p_value,
+            result.w
+        );
     }
 
     #[test]
     fn bimodal_sample_is_rejected() {
         let mut rng = SplitMix::new(4);
         let sample: Vec<f64> = (0..60)
-            .map(|i| if i % 2 == 0 { -5.0 + rng.normal() * 0.1 } else { 5.0 + rng.normal() * 0.1 })
+            .map(|i| {
+                if i % 2 == 0 {
+                    -5.0 + rng.normal() * 0.1
+                } else {
+                    5.0 + rng.normal() * 0.1
+                }
+            })
             .collect();
         assert!(shapiro_wilk(&sample).p_value < 0.01);
     }
@@ -141,7 +166,9 @@ mod tests {
     fn r_reference_value() {
         // R: shapiro.test(c(148, 154, 158, 160, 161, 162, 166, 170, 182, 195, 236))
         // gives W = 0.79, p = 0.0036 (a standard worked example).
-        let sample = [148.0, 154.0, 158.0, 160.0, 161.0, 162.0, 166.0, 170.0, 182.0, 195.0, 236.0];
+        let sample = [
+            148.0, 154.0, 158.0, 160.0, 161.0, 162.0, 166.0, 170.0, 182.0, 195.0, 236.0,
+        ];
         let result = shapiro_wilk(&sample);
         assert!((result.w - 0.79).abs() < 0.02, "W = {}", result.w);
         assert!(result.p_value < 0.02, "p = {}", result.p_value);

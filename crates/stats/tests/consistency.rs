@@ -35,7 +35,11 @@ fn wilcoxon_exact_matches_normal_approximation_at_boundary() {
     let b2: Vec<f64> = a2.iter().map(|x| x - 0.8 - rng.unit() * 0.1).collect();
     let approx = wilcoxon_signed_rank(&a2, &b2);
     assert!(exact.p_value < 0.01, "exact p = {}", exact.p_value);
-    assert!(approx.p_value < exact.p_value * 10.0, "approx p = {}", approx.p_value);
+    assert!(
+        approx.p_value < exact.p_value * 10.0,
+        "approx p = {}",
+        approx.p_value
+    );
 }
 
 #[test]
@@ -43,12 +47,17 @@ fn quiet_kruskal_implies_quiet_dunn() {
     // When Kruskal-Wallis sees nothing (p ≫ 0.05), Dunn's Holm-adjusted
     // pairwise tests must not fabricate significance.
     let mut rng = SplitMix::new(3);
-    let groups: Vec<Vec<f64>> =
-        (0..5).map(|_| (0..20).map(|_| rng.normal()).collect()).collect();
+    let groups: Vec<Vec<f64>> = (0..5)
+        .map(|_| (0..20).map(|_| rng.normal()).collect())
+        .collect();
     let kw = kruskal_wallis(&groups);
     if kw.p_value > 0.5 {
         for c in dunn_test(&groups) {
-            assert!(!c.significant(), "{c:?} significant while KW p = {}", kw.p_value);
+            assert!(
+                !c.significant(),
+                "{c:?} significant while KW p = {}",
+                kw.p_value
+            );
         }
     }
 }
@@ -57,12 +66,22 @@ fn quiet_kruskal_implies_quiet_dunn() {
 fn loud_separation_is_seen_by_both_tests() {
     let mut rng = SplitMix::new(4);
     let groups: Vec<Vec<f64>> = (0..4)
-        .map(|g| (0..25).map(|_| rng.normal() + (g * g) as f64 * 2.0).collect())
+        .map(|g| {
+            (0..25)
+                .map(|_| rng.normal() + (g * g) as f64 * 2.0)
+                .collect()
+        })
         .collect();
     let kw = kruskal_wallis(&groups);
     assert!(kw.p_value < 1e-6);
-    let significant = dunn_test(&groups).iter().filter(|c| c.significant()).count();
-    assert!(significant >= 4, "only {significant} Dunn pairs significant");
+    let significant = dunn_test(&groups)
+        .iter()
+        .filter(|c| c.significant())
+        .count();
+    assert!(
+        significant >= 4,
+        "only {significant} Dunn pairs significant"
+    );
 }
 
 #[test]

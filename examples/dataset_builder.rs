@@ -7,7 +7,9 @@
 //! ```
 
 use phishinghook_data::csv::to_csv;
-use phishinghook_data::{extract_labeled_bytecodes, Corpus, CorpusConfig, Label, LabelOracle, SimulatedChain};
+use phishinghook_data::{
+    extract_labeled_bytecodes, Corpus, CorpusConfig, Label, LabelOracle, SimulatedChain,
+};
 use phishinghook_evm::keccak::keccak256;
 use std::collections::HashSet;
 
@@ -20,18 +22,30 @@ fn main() {
     });
     let mut all_records = corpus.raw_phishing.clone();
     all_records.extend(corpus.benign().cloned());
-    println!("➊ address list from the (simulated) public dataset: {} contracts", all_records.len());
+    println!(
+        "➊ address list from the (simulated) public dataset: {} contracts",
+        all_records.len()
+    );
 
     // Etherscan-style labeling with a small miss rate — community labels lag.
     let chain = SimulatedChain::from_records(&all_records);
     let oracle = LabelOracle::from_records(&all_records).with_noise(0.05, 0.0, 0xE7);
-    println!("➋ labeling oracle ready ({} known addresses, 5% phishing miss rate)", oracle.len());
+    println!(
+        "➋ labeling oracle ready ({} known addresses, 5% phishing miss rate)",
+        oracle.len()
+    );
 
     // BEM: eth_getCode for every address.
     let addresses: Vec<[u8; 20]> = all_records.iter().map(|r| r.address).collect();
     let labeled = extract_labeled_bytecodes(&chain, &oracle, &addresses);
-    let flagged = labeled.iter().filter(|(_, l)| *l == Label::Phishing).count();
-    println!("➌ bytecode extraction: {} bytecodes, {flagged} flagged Phish/Hack", labeled.len());
+    let flagged = labeled
+        .iter()
+        .filter(|(_, l)| *l == Label::Phishing)
+        .count();
+    println!(
+        "➌ bytecode extraction: {} bytecodes, {flagged} flagged Phish/Hack",
+        labeled.len()
+    );
 
     // Deduplicate bit-identical bytecodes (the paper: 17,455 → 3,458).
     let mut seen = HashSet::new();
@@ -50,7 +64,10 @@ fn main() {
     let csv = to_csv(&corpus.records);
     let path = "results/dataset_release.csv";
     if std::fs::create_dir_all("results").is_ok() && std::fs::write(path, &csv).is_ok() {
-        println!("➎ released deduplicated, balanced dataset to {path} ({} rows)", corpus.records.len());
+        println!(
+            "➎ released deduplicated, balanced dataset to {path} ({} rows)",
+            corpus.records.len()
+        );
     }
 
     // Family breakdown, so downstream users know what they're getting.
@@ -61,7 +78,7 @@ fn main() {
             None => families.push((r.family, 1)),
         }
     }
-    families.sort_by(|a, b| b.1.cmp(&a.1));
+    families.sort_by_key(|f| std::cmp::Reverse(f.1));
     println!("\nfamily breakdown:");
     for (family, n) in families {
         println!("  {family:<18} {n}");

@@ -19,7 +19,11 @@ fn main() {
         ..Default::default()
     });
     let split = corpus.records.len() * 4 / 5;
-    let codes: Vec<&[u8]> = corpus.records.iter().map(|r| r.bytecode.as_slice()).collect();
+    let codes: Vec<&[u8]> = corpus
+        .records
+        .iter()
+        .map(|r| r.bytecode.as_slice())
+        .collect();
     let labels: Vec<usize> = corpus.records.iter().map(|r| r.label.as_index()).collect();
 
     // Train the histogram random forest directly (we need the tree internals
@@ -43,7 +47,7 @@ fn main() {
             .find(|r| r.label == want)
             .expect("both classes present in the held-out set");
         let features = extractor.transform_one(&record.bytecode);
-        let proba = forest.predict_proba(&Matrix::from_rows(&[features.clone()]))[0];
+        let proba = forest.predict_proba(&Matrix::from_rows(std::slice::from_ref(&features)))[0];
         let phi = forest_shap(&forest, &features);
 
         println!(
@@ -56,7 +60,11 @@ fn main() {
         let mut ranked: Vec<(usize, f64)> = phi.iter().copied().enumerate().collect();
         ranked.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).expect("finite"));
         for (j, value) in ranked.into_iter().take(6) {
-            let direction = if value > 0.0 { "→ phishing" } else { "→ benign " };
+            let direction = if value > 0.0 {
+                "→ phishing"
+            } else {
+                "→ benign "
+            };
             println!(
                 "   {direction}  {:<16} SHAP {value:+.3}  (used {}×)",
                 extractor.columns()[j],

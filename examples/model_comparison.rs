@@ -43,10 +43,16 @@ fn main() {
                 ..LanguageConfig::default()
             })),
         ),
-        ("Vulnerability", Box::new(EscortDetector::new(EscortConfig::default()))),
+        (
+            "Vulnerability",
+            Box::new(EscortDetector::new(EscortConfig::default())),
+        ),
     ];
 
-    println!("{:<14} {:<18} {:>6} {:>6} {:>10} {:>10}", "Category", "Model", "Acc%", "F1%", "Train(s)", "Infer(ms)");
+    println!(
+        "{:<14} {:<18} {:>6} {:>6} {:>10} {:>10}",
+        "Category", "Model", "Acc%", "F1%", "Train(s)", "Infer(ms)"
+    );
     println!("{}", "-".repeat(70));
     for (category, mut det) in contenders {
         let name = det.name();

@@ -43,7 +43,11 @@ fn main() {
 
     // 3. Train the paper's best model on an 80/20 split.
     let split = corpus.records.len() * 4 / 5;
-    let codes: Vec<&[u8]> = corpus.records.iter().map(|r| r.bytecode.as_slice()).collect();
+    let codes: Vec<&[u8]> = corpus
+        .records
+        .iter()
+        .map(|r| r.bytecode.as_slice())
+        .collect();
     let labels: Vec<usize> = corpus.records.iter().map(|r| r.label.as_index()).collect();
     let mut detector = HscDetector::random_forest(7);
     detector.fit(&codes[..split], &labels[..split]);
@@ -63,7 +67,11 @@ fn main() {
     println!("\nsample verdicts:");
     for (record, &pred) in corpus.records[split..].iter().zip(&predictions).take(6) {
         let verdict = Label::from_index(pred);
-        let marker = if verdict == record.label { "✓" } else { "✗" };
+        let marker = if verdict == record.label {
+            "✓"
+        } else {
+            "✗"
+        };
         println!(
             "  {marker} {} [{}] → predicted {verdict}, actually {}",
             record.address_hex(),

@@ -26,7 +26,11 @@ fn main() {
     let mut detector = HscDetector::random_forest(99);
     let t = Instant::now();
     detector.fit(&codes, &labels);
-    println!("detector trained on {} contracts in {:.2}s", codes.len(), t.elapsed().as_secs_f64());
+    println!(
+        "detector trained on {} contracts in {:.2}s",
+        codes.len(),
+        t.elapsed().as_secs_f64()
+    );
 
     // A fresh chain the wallet user is about to interact with.
     let live_corpus = Corpus::generate(&CorpusConfig {

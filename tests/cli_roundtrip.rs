@@ -1,0 +1,75 @@
+//! Workspace-level CLI round-trip: `generate <n> <csv>` followed by
+//! `eval <csv>` must succeed and report metrics for every HSC detector.
+//!
+//! This is the user-facing path the README quickstart advertises, so it runs
+//! as a root integration test (and CI smoke-runs the same pair of commands
+//! against the release binary).
+
+use phishinghook_cli::run;
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| (*s).to_string()).collect()
+}
+
+/// The seven histogram-based single classifiers `eval` cross-validates
+/// (paper Table II's histogram family).
+const HSC_NAMES: [&str; 7] = [
+    "Random Forest",
+    "k-NN",
+    "SVM",
+    "Logistic Regression",
+    "XGBoost",
+    "LightGBM",
+    "CatBoost",
+];
+
+#[test]
+fn generate_then_eval_round_trip() {
+    let dir = std::env::temp_dir().join("phishinghook-roundtrip");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let csv = dir.join("corpus.csv");
+    let csv_str = csv.to_str().expect("utf8 path");
+
+    let generated = run(&args(&["generate", "120", csv_str, "42"])).expect("generate succeeds");
+    assert!(
+        generated.contains("wrote 120 contracts"),
+        "unexpected generate output:\n{generated}"
+    );
+    assert!(csv.exists(), "generate must write the dataset CSV");
+
+    let report = run(&args(&["eval", csv_str, "3"])).expect("eval succeeds");
+    assert!(
+        report.contains("3-fold cross-validation on 120 contracts"),
+        "unexpected eval header:\n{report}"
+    );
+    for model in HSC_NAMES {
+        let line = report
+            .lines()
+            .find(|l| l.starts_with(model))
+            .unwrap_or_else(|| panic!("no metrics line for {model} in:\n{report}"));
+        // Four metric columns (Acc/F1/Prec/Rec), each a percentage in [0, 100].
+        let metrics: Vec<f64> = line[model.len()..]
+            .split_whitespace()
+            .map(|v| v.parse().expect("numeric metric"))
+            .collect();
+        assert_eq!(metrics.len(), 4, "expected 4 metrics for {model}: {line}");
+        for m in metrics {
+            assert!((0.0..=100.0).contains(&m), "metric out of range in: {line}");
+        }
+    }
+}
+
+#[test]
+fn round_trip_is_seed_deterministic() {
+    let dir = std::env::temp_dir().join("phishinghook-roundtrip-det");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let (a, b) = (dir.join("a.csv"), dir.join("b.csv"));
+
+    run(&args(&["generate", "40", a.to_str().expect("utf8"), "7"])).expect("generate a");
+    run(&args(&["generate", "40", b.to_str().expect("utf8"), "7"])).expect("generate b");
+    let (csv_a, csv_b) = (
+        std::fs::read_to_string(&a).expect("read a"),
+        std::fs::read_to_string(&b).expect("read b"),
+    );
+    assert_eq!(csv_a, csv_b, "same seed must yield byte-identical datasets");
+}

@@ -21,9 +21,21 @@ fn dataset(seed: u64) -> (Vec<Vec<u8>>, Vec<usize>) {
 
 #[test]
 fn corpus_seeds_are_independent_of_call_order() {
-    let a = Corpus::generate(&CorpusConfig { n_contracts: 60, seed: 5, ..Default::default() });
-    let _noise = Corpus::generate(&CorpusConfig { n_contracts: 30, seed: 6, ..Default::default() });
-    let b = Corpus::generate(&CorpusConfig { n_contracts: 60, seed: 5, ..Default::default() });
+    let a = Corpus::generate(&CorpusConfig {
+        n_contracts: 60,
+        seed: 5,
+        ..Default::default()
+    });
+    let _noise = Corpus::generate(&CorpusConfig {
+        n_contracts: 30,
+        seed: 6,
+        ..Default::default()
+    });
+    let b = Corpus::generate(&CorpusConfig {
+        n_contracts: 60,
+        seed: 5,
+        ..Default::default()
+    });
     assert_eq!(a.records, b.records);
 }
 
@@ -42,7 +54,11 @@ fn hsc_training_is_deterministic() {
 fn deep_model_training_is_deterministic() {
     let (codes, labels) = dataset(8);
     let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
-    let config = LanguageConfig { epochs: 1, max_len: 32, ..LanguageConfig::default() };
+    let config = LanguageConfig {
+        epochs: 1,
+        max_len: 32,
+        ..LanguageConfig::default()
+    };
     let mut first = ScsGuardDetector::new(config.clone());
     let mut second = ScsGuardDetector::new(config);
     first.fit(&refs, &labels);
@@ -52,8 +68,14 @@ fn deep_model_training_is_deterministic() {
 
 #[test]
 fn detector_registry_is_stable() {
-    let names: Vec<&str> = all_detectors(Preset::Fast, 1).iter().map(|d| d.name()).collect();
-    let again: Vec<&str> = all_detectors(Preset::Fast, 1).iter().map(|d| d.name()).collect();
+    let names: Vec<&str> = all_detectors(Preset::Fast, 1)
+        .iter()
+        .map(|d| d.name())
+        .collect();
+    let again: Vec<&str> = all_detectors(Preset::Fast, 1)
+        .iter()
+        .map(|d| d.name())
+        .collect();
     assert_eq!(names, again);
     assert_eq!(names.len(), 16);
 }

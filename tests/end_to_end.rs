@@ -10,7 +10,11 @@ use phishinghook_data::{
 use phishinghook_models::{all_hscs, Detector, HscDetector};
 
 fn corpus(n: usize, seed: u64) -> Corpus {
-    Corpus::generate(&CorpusConfig { n_contracts: n, seed, ..Default::default() })
+    Corpus::generate(&CorpusConfig {
+        n_contracts: n,
+        seed,
+        ..Default::default()
+    })
 }
 
 #[test]
@@ -58,18 +62,31 @@ fn full_hsc_cross_validation_beats_chance_everywhere() {
     let c = corpus(300, 3);
     let (codes, labels) = c.as_dataset();
     let factory = |seed: u64| -> Vec<Box<dyn Detector>> {
-        all_hscs(seed).into_iter().map(|d| Box::new(d) as Box<dyn Detector>).collect()
+        all_hscs(seed)
+            .into_iter()
+            .map(|d| Box::new(d) as Box<dyn Detector>)
+            .collect()
     };
     let trials = evaluate(&codes, &labels, &factory, 3, 1, 11);
     assert_eq!(trials.len(), 7 * 3);
     let summaries = summarize(&trials);
     for s in &summaries {
-        assert!(s.metrics.accuracy > 0.6, "{} at {}", s.model, s.metrics.accuracy);
+        assert!(
+            s.metrics.accuracy > 0.6,
+            "{} at {}",
+            s.model,
+            s.metrics.accuracy
+        );
         assert!(s.metrics.f1 > 0.5, "{} f1 {}", s.model, s.metrics.f1);
     }
     // Tree models should lead the pack (the paper's headline result).
     let acc = |name: &str| {
-        summaries.iter().find(|s| s.model == name).expect("model present").metrics.accuracy
+        summaries
+            .iter()
+            .find(|s| s.model == name)
+            .expect("model present")
+            .metrics
+            .accuracy
     };
     assert!(acc("Random Forest") > acc("Logistic Regression"));
 }

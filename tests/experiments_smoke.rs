@@ -8,7 +8,10 @@ use phishinghook_core::pipeline::evaluate;
 use phishinghook_models::{all_hscs, Detector};
 
 fn tiny() -> ExperimentScale {
-    ExperimentScale { n_contracts: 240, ..ExperimentScale::smoke() }
+    ExperimentScale {
+        n_contracts: 240,
+        ..ExperimentScale::smoke()
+    }
 }
 
 #[test]
@@ -33,7 +36,10 @@ fn table3_and_fig4_shapes() {
     });
     let (codes, labels) = corpus.as_dataset();
     let factory = |seed: u64| -> Vec<Box<dyn Detector>> {
-        all_hscs(seed).into_iter().map(|d| Box::new(d) as Box<dyn Detector>).collect()
+        all_hscs(seed)
+            .into_iter()
+            .map(|d| Box::new(d) as Box<dyn Detector>)
+            .collect()
     };
     let trials = evaluate(&codes, &labels, &factory, 4, 2, 3);
     let analysis = posthoc::run(&trials);
@@ -71,7 +77,10 @@ fn fig5_to_fig7_shapes() {
 
 #[test]
 fn fig8_shape() {
-    let scale = ExperimentScale { n_contracts: 520, ..ExperimentScale::smoke() };
+    let scale = ExperimentScale {
+        n_contracts: 520,
+        ..ExperimentScale::smoke()
+    };
     let result = time_resistance::run(&scale);
     assert_eq!(result.curves.len(), 3);
     let names: Vec<&str> = result.curves.iter().map(|c| c.model).collect();

@@ -8,7 +8,11 @@ use phishinghook_ml::{BoostVariant, Classifier, GradientBoosting, SplitMix};
 use phishinghook_models::{Detector, HscDetector};
 
 fn corpus(n: usize, seed: u64) -> Corpus {
-    Corpus::generate(&CorpusConfig { n_contracts: n, seed, ..Default::default() })
+    Corpus::generate(&CorpusConfig {
+        n_contracts: n,
+        seed,
+        ..Default::default()
+    })
 }
 
 #[test]
@@ -22,10 +26,23 @@ fn boosting_variants_agree_on_easy_data_but_are_distinct_models() {
     let x = ex.transform(&codes);
 
     let mut predictions = Vec::new();
-    for variant in [BoostVariant::Exact, BoostVariant::Histogram, BoostVariant::Oblivious] {
-        let mut m = GradientBoosting::new(GbdtConfig { variant, seed: 5, ..Default::default() });
+    for variant in [
+        BoostVariant::Exact,
+        BoostVariant::Histogram,
+        BoostVariant::Oblivious,
+    ] {
+        let mut m = GradientBoosting::new(GbdtConfig {
+            variant,
+            seed: 5,
+            ..Default::default()
+        });
         m.fit(&x, &labels);
-        let correct = m.predict(&x).iter().zip(&labels).filter(|(a, b)| a == b).count();
+        let correct = m
+            .predict(&x)
+            .iter()
+            .zip(&labels)
+            .filter(|(a, b)| a == b)
+            .count();
         assert!(
             correct as f64 / labels.len() as f64 > 0.9,
             "{variant:?} weak on train: {correct}/{}",
@@ -50,7 +67,11 @@ fn detector_is_robust_to_unseen_garbage_input() {
 
     let mut rng = SplitMix::new(77);
     let garbage: Vec<Vec<u8>> = (0..20)
-        .map(|i| (0..(i * 37) % 900).map(|_| (rng.next_u64() & 0xFF) as u8).collect())
+        .map(|i| {
+            (0..(i * 37) % 900)
+                .map(|_| (rng.next_u64() & 0xFF) as u8)
+                .collect()
+        })
         .collect();
     let mut inputs: Vec<&[u8]> = garbage.iter().map(Vec::as_slice).collect();
     inputs.push(&[]); // empty bytecode (an EOA's "code")
@@ -99,8 +120,7 @@ fn label_flip_symmetry_of_metrics() {
     let n_benign = truth.len() as f64 - n_phish;
     let missed_phish = (1.0 - phishing.recall) * n_phish;
     let flagged_benign = (1.0 - benign.recall) * n_benign;
-    let false_preds =
-        preds.iter().zip(truth).filter(|(p, y)| p != y).count() as f64;
+    let false_preds = preds.iter().zip(truth).filter(|(p, y)| p != y).count() as f64;
     assert!((missed_phish + flagged_benign - false_preds).abs() < 1e-6);
 }
 

@@ -1,0 +1,263 @@
+//! Offline stand-in for the crates.io [`criterion`] benchmark harness.
+//!
+//! The build environment for this repository has no network access to a
+//! crates registry, so the real `criterion` cannot be fetched. This crate
+//! implements the small API subset the workspace benches use — `Criterion`,
+//! `BenchmarkGroup`, `Bencher::{iter, iter_batched}`, `Throughput`,
+//! `BatchSize` and the `criterion_group!` / `criterion_main!` macros — with
+//! a simple wall-clock harness: per sample it times one routine invocation
+//! and reports min / median / mean over the sample set.
+//!
+//! It is intentionally dependency-free and deterministic in structure (not
+//! in timings). Swapping back to the real crate is a one-line change in
+//! `Cargo.toml`; no bench source needs to change.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped per measurement; accepted for API
+/// compatibility. This harness always times one routine call per sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup output; criterion would batch many per allocation.
+    SmallInput,
+    /// Large setup output; criterion would batch few per allocation.
+    LargeInput,
+    /// One setup call per routine call (what this harness always does).
+    PerIteration,
+}
+
+/// Throughput annotation attached to a benchmark group, echoed in reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per routine call.
+    Bytes(u64),
+    /// Abstract elements processed per routine call.
+    Elements(u64),
+}
+
+/// Timing engine handed to every benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Self {
+            samples,
+            durations: Vec::with_capacity(samples),
+        }
+    }
+
+    /// Times `routine` once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up call to populate caches and lazy state.
+        std::hint::black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.durations.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on a fresh `setup()` product per sample; the setup
+    /// cost is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.durations.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        let mut sorted = self.durations.clone();
+        sorted.sort();
+        if sorted.is_empty() {
+            println!("{name:<40} no samples recorded");
+            return;
+        }
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let total: Duration = sorted.iter().sum();
+        let mean = total / sorted.len() as u32;
+        let mut line = format!(
+            "{name:<40} min {:>12}  median {:>12}  mean {:>12}  ({} samples)",
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+            sorted.len()
+        );
+        if let Some(tp) = throughput {
+            let secs = median.as_secs_f64().max(f64::MIN_POSITIVE);
+            match tp {
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!(
+                        "  {:.1} MiB/s",
+                        n as f64 / secs / (1024.0 * 1024.0)
+                    ));
+                }
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  {:.0} elem/s", n as f64 / secs));
+                }
+            }
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// A named group of related benchmarks sharing sample-count and throughput
+/// settings.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id), self.throughput);
+        self
+    }
+
+    /// Ends the group (report flushing is immediate here; kept for API
+    /// compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver, one per process.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // The real criterion defaults to 100 samples; 20 keeps the heavier
+        // model-training benches tolerable without a statistics engine.
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Overrides the default number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        bencher.report(id, None);
+        self
+    }
+}
+
+/// Prevents the optimizer from eliding a value; forwards to
+/// [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into a group runner, mirroring criterion's
+/// macro of the same name (simple `(name, targets…)` form only).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `fn main` running each group, mirroring criterion's macro of
+/// the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut b = Bencher::new(5);
+        b.iter(|| 1 + 1);
+        assert_eq!(b.durations.len(), 5);
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut b = Bencher::new(3);
+        b.iter_batched(|| vec![0u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert_eq!(b.durations.len(), 3);
+    }
+
+    #[test]
+    fn group_settings_chain() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(8)).sample_size(2);
+        group.bench_function("noop", |b| b.iter(|| ()));
+        group.finish();
+    }
+}

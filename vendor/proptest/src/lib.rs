@@ -1,0 +1,302 @@
+//! Offline stand-in for the crates.io [`proptest`] property-testing crate.
+//!
+//! The build environment for this repository has no network access to a
+//! crates registry, so the real `proptest` cannot be fetched. This crate
+//! implements the subset the workspace test suites use:
+//!
+//! * the [`proptest!`] macro (simple `#[test] fn name(arg in strategy)` form),
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * [`arbitrary::any`] for primitive integers,
+//! * numeric range strategies (`lo..hi`, `lo..=hi`, `lo..`), and
+//! * [`collection::vec`].
+//!
+//! Each property runs a fixed number of cases (default 64) drawn from a
+//! deterministic SplitMix64 stream, so failures reproduce across runs.
+//! There is no shrinking: a failing case panics with the sampled inputs
+//! visible via the assertion message. Swapping back to the real crate is a
+//! one-line change in `Cargo.toml`; no test source needs to change.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+/// Number of cases sampled per property.
+pub const DEFAULT_CASES: usize = 64;
+
+pub mod test_runner {
+    //! Deterministic random source driving every property.
+
+    /// SplitMix64 stream; identical sequence on every run.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Fixed-seed constructor used by the [`crate::proptest!`] expansion.
+        pub fn deterministic() -> Self {
+            Self {
+                state: 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// Next raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Next 128-bit draw.
+        pub fn next_u128(&mut self) -> u128 {
+            (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64())
+        }
+
+        /// Uniform draw from `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its range implementations.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeFrom, RangeInclusive};
+
+    /// A recipe for sampling values of one type.
+    pub trait Strategy {
+        /// The sampled type.
+        type Value;
+        /// Draws one value from `rng`.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Primitive types that can be drawn uniformly from a range.
+    pub trait SampleUniform: Copy + PartialOrd {
+        /// Uniform draw from `[lo, hi)`; callers guarantee `lo < hi`.
+        fn sample_half_open(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+        /// Uniform draw from `[lo, hi]`.
+        fn sample_closed(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+        /// Largest representable value (closes `lo..` ranges).
+        const MAX_VALUE: Self;
+    }
+
+    macro_rules! impl_sample_uniform_int {
+        ($($t:ty => $wide:ty, $draw:ident);+ $(;)?) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                    let span = (hi as $wide).wrapping_sub(lo as $wide);
+                    lo.wrapping_add((rng.$draw() % span) as $t)
+                }
+                fn sample_closed(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                    let span = (hi as $wide).wrapping_sub(lo as $wide);
+                    if span == <$wide>::MAX {
+                        return rng.$draw() as $t;
+                    }
+                    lo.wrapping_add((rng.$draw() % (span + 1)) as $t)
+                }
+                const MAX_VALUE: Self = <$t>::MAX;
+            }
+        )+};
+    }
+
+    impl_sample_uniform_int! {
+        u8 => u64, next_u64;
+        u16 => u64, next_u64;
+        u32 => u64, next_u64;
+        u64 => u64, next_u64;
+        usize => u64, next_u64;
+        u128 => u128, next_u128;
+    }
+
+    impl SampleUniform for f64 {
+        fn sample_half_open(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+            lo + rng.unit_f64() * (hi - lo)
+        }
+        fn sample_closed(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+            // Treat the closed upper bound as reachable by rounding: draw in
+            // [lo, hi) and occasionally return hi exactly.
+            if rng.next_u64().is_multiple_of(64) {
+                return hi;
+            }
+            lo + rng.unit_f64() * (hi - lo)
+        }
+        const MAX_VALUE: Self = f64::MAX;
+    }
+
+    impl<T: SampleUniform> Strategy for Range<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            assert!(self.start < self.end, "empty range strategy");
+            T::sample_half_open(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            assert!(self.start() <= self.end(), "empty range strategy");
+            T::sample_closed(*self.start(), *self.end(), rng)
+        }
+    }
+
+    impl<T: SampleUniform> Strategy for RangeFrom<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::sample_closed(self.start, T::MAX_VALUE, rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for primitives.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u128()
+        }
+    }
+
+    impl Arbitrary for i128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u128() as i128
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Full-domain strategy for `T`; the value behind [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Returns the canonical strategy covering all of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Vec`s with lengths drawn from `size` and elements
+    /// drawn from `element`.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        size: L,
+    }
+
+    impl<S: Strategy, L: Strategy<Value = usize>> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Mirrors `proptest::collection::vec(element, size_range)`.
+    pub fn vec<S: Strategy, L: Strategy<Value = usize>>(element: S, size: L) -> VecStrategy<S, L> {
+        VecStrategy { element, size }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Runs each contained `#[test] fn name(arg in strategy, …) { … }` as a
+/// property over [`DEFAULT_CASES`] deterministic cases (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut prop_rng = $crate::test_runner::TestRng::deterministic();
+                for _ in 0..$crate::DEFAULT_CASES {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut prop_rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a property-body condition; panics with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_stream_is_stable() {
+        let mut a = crate::test_runner::TestRng::deterministic();
+        let mut b = crate::test_runner::TestRng::deterministic();
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..9, y in 0.0f64..=1.0, z in 1u128..) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((0.0..=1.0).contains(&y));
+            prop_assert!(z >= 1);
+        }
+
+        #[test]
+        fn vec_lengths_respect_bounds(v in crate::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+    }
+}
