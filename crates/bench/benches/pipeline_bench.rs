@@ -1,0 +1,92 @@
+//! Criterion benches for the streaming/batch spine introduced by the
+//! zero-allocation pipeline work: stream-vs-collect disassembly, fused
+//! feature extraction vs. the seed two-phase path, and batch forest
+//! inference vs. the seed per-row walk.
+//!
+//! The `bench` binary (`cargo run --release -p phishinghook-bench --bin
+//! bench`) measures the same pairs and emits `BENCH_pipeline.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use phishinghook_bench::seed_paths;
+use phishinghook_data::{Corpus, CorpusConfig};
+use phishinghook_evm::disasm::disasm_iter;
+use phishinghook_features::HistogramExtractor;
+use phishinghook_ml::classical::forest::ForestConfig;
+use phishinghook_ml::{Classifier, RandomForest};
+
+fn codes() -> Vec<Vec<u8>> {
+    let corpus = Corpus::generate(&CorpusConfig {
+        n_contracts: 64,
+        seed: 0x51BE,
+        ..Default::default()
+    });
+    corpus.records.into_iter().map(|r| r.bytecode).collect()
+}
+
+fn bench_disasm(c: &mut Criterion) {
+    let codes = codes();
+    let total: usize = codes.iter().map(Vec::len).sum();
+    let mut group = c.benchmark_group("pipeline/disasm");
+    group.throughput(Throughput::Bytes(total as u64));
+    group.bench_function("collect", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for code in &codes {
+                n += seed_paths::disassemble(std::hint::black_box(code)).len();
+            }
+            n
+        })
+    });
+    group.bench_function("stream", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for code in &codes {
+                n += disasm_iter(std::hint::black_box(code)).count();
+            }
+            n
+        })
+    });
+    group.finish();
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let codes = codes();
+    let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
+    let extractor = HistogramExtractor::fit(&refs);
+    let mut group = c.benchmark_group("pipeline/extract");
+    group.throughput(Throughput::Elements(refs.len() as u64));
+    group.bench_function("seed-two-phase", |b| {
+        b.iter(|| seed_paths::histogram_transform(&extractor, std::hint::black_box(&refs)))
+    });
+    group.bench_function("fused-stream", |b| {
+        b.iter(|| extractor.transform(std::hint::black_box(&refs)))
+    });
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let codes = codes();
+    let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
+    let extractor = HistogramExtractor::fit(&refs);
+    let x = extractor.transform(&refs);
+    let y: Vec<usize> = (0..refs.len()).map(|i| i % 2).collect();
+    let mut forest = RandomForest::new(ForestConfig {
+        n_trees: 100,
+        max_depth: 20,
+        seed: 7,
+        ..ForestConfig::default()
+    });
+    forest.fit(&x, &y);
+    let mut group = c.benchmark_group("pipeline/forest-inference");
+    group.throughput(Throughput::Elements(x.rows() as u64));
+    group.bench_function("seed-per-row", |b| {
+        b.iter(|| seed_paths::forest_predict_proba(&forest, std::hint::black_box(&x)))
+    });
+    group.bench_function("batch", |b| {
+        b.iter(|| forest.predict_proba_batch(std::hint::black_box(&x)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_disasm, bench_extraction, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,223 @@
+//! The perf-trajectory benchmark: measures the disasm→features→inference
+//! spine against the seed reference paths and emits `BENCH_pipeline.json`,
+//! the repository's first committed performance datapoint.
+//!
+//! ```text
+//! cargo run --release -p phishinghook-bench --bin bench             # full
+//! cargo run --release -p phishinghook-bench --bin bench -- --quick  # CI smoke
+//! cargo run --release -p phishinghook-bench --bin bench -- --contracts 512 --out results/BENCH_pipeline.json
+//! ```
+//!
+//! JSON schema (`phishinghook-bench-pipeline/v1`): see the README's
+//! "Performance" section. All times are best-of-`reps` wall-clock seconds
+//! for one full pass over the corpus; throughputs derive from the same
+//! pass.
+
+use phishinghook_bench::seed_paths;
+use phishinghook_data::{Corpus, CorpusConfig};
+use phishinghook_evm::disasm::disasm_iter;
+use phishinghook_features::HistogramExtractor;
+use phishinghook_ml::classical::forest::ForestConfig;
+use phishinghook_ml::{Classifier, RandomForest};
+use std::time::Instant;
+
+struct Args {
+    quick: bool,
+    contracts: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let quick = argv.iter().any(|a| a == "--quick");
+    let mut args = Args {
+        quick,
+        contracts: if quick { 96 } else { 512 },
+        out: "BENCH_pipeline.json".to_owned(),
+    };
+    let mut iter = argv.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--contracts" => {
+                if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
+                    args.contracts = v;
+                }
+            }
+            "--out" => {
+                if let Some(v) = iter.next() {
+                    args.out = v.clone();
+                }
+            }
+            _ => {}
+        }
+    }
+    args
+}
+
+/// Best-of-`reps` wall-clock seconds for one call of `f`.
+fn measure<O>(reps: usize, mut f: impl FnMut() -> O) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let reps = if args.quick { 2 } else { 5 };
+
+    println!("PhishingHook pipeline benchmark");
+    println!(
+        "corpus: {} contracts, {} rep(s) per measurement{}",
+        args.contracts,
+        reps,
+        if args.quick { " (--quick)" } else { "" }
+    );
+
+    let corpus = Corpus::generate(&CorpusConfig {
+        n_contracts: args.contracts,
+        seed: 0xBE9C,
+        ..Default::default()
+    });
+    let codes: Vec<Vec<u8>> = corpus.records.into_iter().map(|r| r.bytecode).collect();
+    let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
+    let total_bytes: usize = codes.iter().map(Vec::len).sum();
+    let mb = total_bytes as f64 / (1024.0 * 1024.0);
+
+    // --- Disassembly: seed collecting path vs. zero-allocation stream. ---
+    let collect_secs = measure(reps, || {
+        let mut n = 0usize;
+        for code in &refs {
+            n += seed_paths::disassemble(code).len();
+        }
+        n
+    });
+    let stream_secs = measure(reps, || {
+        let mut n = 0usize;
+        for code in &refs {
+            n += disasm_iter(code).count();
+        }
+        n
+    });
+    println!(
+        "disasm     collect {:>10.3} ms   stream {:>10.3} ms   speedup {:>6.2}x   {:.1} MB/s streamed",
+        collect_secs * 1e3,
+        stream_secs * 1e3,
+        collect_secs / stream_secs,
+        mb / stream_secs
+    );
+
+    // --- Feature extraction: seed two-phase path vs. fused stream. ---
+    let extractor = HistogramExtractor::fit(&refs);
+    let seed_extract_secs = measure(reps, || seed_paths::histogram_transform(&extractor, &refs));
+    let fused_extract_secs = measure(reps, || extractor.transform(&refs));
+    println!(
+        "extract    seed    {:>10.3} ms   fused  {:>10.3} ms   speedup {:>6.2}x   {:.0} contracts/s fused",
+        seed_extract_secs * 1e3,
+        fused_extract_secs * 1e3,
+        seed_extract_secs / fused_extract_secs,
+        refs.len() as f64 / fused_extract_secs
+    );
+
+    // --- Forest inference: seed per-row walk vs. batch blocks. ---
+    let x = extractor.transform(&refs);
+    let y: Vec<usize> = (0..refs.len()).map(|i| i % 2).collect();
+    let mut forest = RandomForest::new(ForestConfig {
+        n_trees: 100,
+        max_depth: 20,
+        seed: 7,
+        ..ForestConfig::default()
+    });
+    forest.fit(&x, &y);
+    let seed_infer_secs = measure(reps, || seed_paths::forest_predict_proba(&forest, &x));
+    let batch_infer_secs = measure(reps, || forest.predict_proba_batch(&x));
+    println!(
+        "inference  per-row {:>10.3} ms   batch  {:>10.3} ms   speedup {:>6.2}x   {:.0} rows/s batch",
+        seed_infer_secs * 1e3,
+        batch_infer_secs * 1e3,
+        seed_infer_secs / batch_infer_secs,
+        x.rows() as f64 / batch_infer_secs
+    );
+
+    // --- End-to-end serving path: raw bytecode -> probabilities. ---
+    let pipeline_secs = measure(reps, || {
+        let features = extractor.transform(&refs);
+        forest.predict_proba_batch(&features)
+    });
+    let contracts_per_sec = refs.len() as f64 / pipeline_secs;
+    let mb_per_sec = mb / pipeline_secs;
+    println!(
+        "pipeline   extract+infer {:>10.3} ms        {:>10.0} contracts/s   {:.1} MB/s",
+        pipeline_secs * 1e3,
+        contracts_per_sec,
+        mb_per_sec
+    );
+
+    let json = format!(
+        r#"{{
+  "schema": "phishinghook-bench-pipeline/v1",
+  "quick": {quick},
+  "reps": {reps},
+  "corpus": {{ "contracts": {contracts}, "bytes": {bytes} }},
+  "disasm": {{
+    "collect_secs": {collect},
+    "stream_secs": {stream},
+    "speedup": {disasm_speedup},
+    "stream_mb_per_sec": {stream_mbps},
+    "stream_contracts_per_sec": {stream_cps}
+  }},
+  "features": {{
+    "seed_secs": {seed_extract},
+    "fused_secs": {fused_extract},
+    "speedup": {extract_speedup},
+    "fused_contracts_per_sec": {fused_cps}
+  }},
+  "inference": {{
+    "per_row_secs": {seed_infer},
+    "batch_secs": {batch_infer},
+    "speedup": {infer_speedup},
+    "batch_rows_per_sec": {batch_rps},
+    "n_trees": 100
+  }},
+  "pipeline": {{
+    "secs": {pipeline},
+    "contracts_per_sec": {cps},
+    "mb_per_sec": {mbps}
+  }}
+}}
+"#,
+        quick = args.quick,
+        reps = reps,
+        contracts = args.contracts,
+        bytes = total_bytes,
+        collect = json_f(collect_secs),
+        stream = json_f(stream_secs),
+        disasm_speedup = json_f(collect_secs / stream_secs),
+        stream_mbps = json_f(mb / stream_secs),
+        stream_cps = json_f(refs.len() as f64 / stream_secs),
+        seed_extract = json_f(seed_extract_secs),
+        fused_extract = json_f(fused_extract_secs),
+        extract_speedup = json_f(seed_extract_secs / fused_extract_secs),
+        fused_cps = json_f(refs.len() as f64 / fused_extract_secs),
+        seed_infer = json_f(seed_infer_secs),
+        batch_infer = json_f(batch_infer_secs),
+        infer_speedup = json_f(seed_infer_secs / batch_infer_secs),
+        batch_rps = json_f(x.rows() as f64 / batch_infer_secs),
+        pipeline = json_f(pipeline_secs),
+        cps = json_f(contracts_per_sec),
+        mbps = json_f(mb_per_sec),
+    );
+    std::fs::write(&args.out, &json).expect("write benchmark JSON");
+    println!("\nwrote {}", args.out);
+}

@@ -12,6 +12,89 @@ use phishinghook_core::metrics::BinaryMetrics;
 use phishinghook_core::pipeline::TrialResult;
 use phishinghook_models::Category;
 
+pub mod seed_paths {
+    //! Reference implementations of the seed repository's hot paths,
+    //! preserved so the perf benches and the `bench` binary always compare
+    //! the optimized pipeline against the original algorithms (eagerly
+    //! collected disassembly with owned operands, two-phase HashMap
+    //! histogram extraction, per-row enum-node forest inference) rather
+    //! than against themselves.
+
+    use phishinghook_evm::disasm::Instruction;
+    use phishinghook_evm::opcode::ShanghaiRegistry;
+    use phishinghook_features::HistogramExtractor;
+    use phishinghook_ml::{Matrix, RandomForest};
+    use std::collections::HashMap;
+
+    /// The seed's `disassemble`, decode loop and allocation pattern intact
+    /// (registry lookup per byte, `Vec::with_capacity(code.len())`, one
+    /// owned operand `Vec` per instruction). The current
+    /// `disasm::disassemble` is a collecting wrapper over the streaming
+    /// iterator, so the seed loop is kept here for honest baselines.
+    pub fn disassemble(code: &[u8]) -> Vec<Instruction> {
+        let reg = ShanghaiRegistry::shared();
+        let mut out = Vec::with_capacity(code.len());
+        let mut pc = 0usize;
+        while pc < code.len() {
+            let byte = code[pc];
+            let info = reg.get(byte);
+            let imm = info.map_or(0, |i| usize::from(i.immediate_bytes));
+            let avail = code.len() - pc - 1;
+            let take = imm.min(avail);
+            out.push(Instruction {
+                offset: pc,
+                byte,
+                info,
+                operand: code[pc + 1..pc + 1 + take].to_vec(),
+                truncated: take < imm,
+            });
+            pc += 1 + take;
+        }
+        out
+    }
+
+    /// The seed's histogram transform: collect a `Vec<Instruction>` per
+    /// bytecode, count via a per-mnemonic `HashMap`, gather rows into a
+    /// `Vec<Vec<f64>>`, then copy into a `Matrix`.
+    pub fn histogram_transform(extractor: &HistogramExtractor, codes: &[&[u8]]) -> Matrix {
+        let index: HashMap<&str, usize> = extractor
+            .columns()
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| (m, i))
+            .collect();
+        let rows: Vec<Vec<f64>> = codes
+            .iter()
+            .map(|code| {
+                let mut row = vec![0.0; extractor.n_features()];
+                for ins in disassemble(code) {
+                    if let Some(&j) = index.get(ins.mnemonic()) {
+                        row[j] += 1.0;
+                    }
+                }
+                row
+            })
+            .collect();
+        Matrix::from_rows(&rows)
+    }
+
+    /// The seed's forest inference: trees outer, rows inner, walking the
+    /// enum node arena one row at a time.
+    pub fn forest_predict_proba(forest: &RandomForest, x: &Matrix) -> Vec<f64> {
+        let mut probs = vec![0.0; x.rows()];
+        for tree in forest.trees() {
+            for (p, row) in probs.iter_mut().zip(x.iter_rows()) {
+                *p += tree.predict_row_arena(row);
+            }
+        }
+        let k = forest.trees().len() as f64;
+        for p in &mut probs {
+            *p /= k;
+        }
+        probs
+    }
+}
+
 /// Prints the standard experiment banner.
 pub fn banner(what: &str, scale: &phishinghook_core::experiments::ExperimentScale) {
     println!("PhishingHook reproduction — {what}");
@@ -126,5 +209,34 @@ mod tests {
     #[test]
     fn malformed_csv_rejected() {
         assert!(trials_from_csv("header\nbad,row\n").is_none());
+    }
+
+    #[test]
+    fn seed_disassemble_matches_current_disassemble() {
+        // The preserved seed decode loop must keep producing the same
+        // instructions as the live disassembler, or the benchmark baseline
+        // stops being a fair comparison.
+        let corpus = phishinghook_data::Corpus::generate(&phishinghook_data::CorpusConfig {
+            n_contracts: 16,
+            seed: 0xD15A,
+            ..Default::default()
+        });
+        for record in &corpus.records {
+            assert_eq!(
+                seed_paths::disassemble(&record.bytecode),
+                phishinghook_evm::disasm::disassemble(&record.bytecode)
+            );
+        }
+    }
+
+    #[test]
+    fn seed_histogram_matches_fused_transform() {
+        let codes: Vec<Vec<u8>> = vec![vec![0x60, 0x80, 0x60, 0x40, 0x52], vec![0x00, 0xFE]];
+        let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
+        let extractor = phishinghook_features::HistogramExtractor::fit(&refs);
+        assert_eq!(
+            seed_paths::histogram_transform(&extractor, &refs),
+            extractor.transform(&refs)
+        );
     }
 }

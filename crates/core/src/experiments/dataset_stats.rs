@@ -130,12 +130,22 @@ pub fn run(scale: &ExperimentScale) -> DatasetStats {
 mod tests {
     use super::*;
 
+    /// One shared run for the module at the scale the monthly test needs
+    /// (the usage/overlap checks hold at any scale).
+    fn shared_stats() -> &'static DatasetStats {
+        use std::sync::OnceLock;
+        static RESULT: OnceLock<DatasetStats> = OnceLock::new();
+        RESULT.get_or_init(|| {
+            run(&ExperimentScale {
+                n_contracts: 400,
+                ..ExperimentScale::smoke()
+            })
+        })
+    }
+
     #[test]
     fn monthly_series_covers_window() {
-        let stats = run(&ExperimentScale {
-            n_contracts: 400,
-            ..ExperimentScale::smoke()
-        });
+        let stats = shared_stats();
         assert_eq!(stats.monthly.len(), 13);
         assert_eq!(stats.unique_phishing, 200);
         assert!(stats.obtained_phishing > stats.unique_phishing);
@@ -145,10 +155,7 @@ mod tests {
 
     #[test]
     fn usage_rows_cover_all_20_opcodes() {
-        let stats = run(&ExperimentScale {
-            n_contracts: 300,
-            ..ExperimentScale::smoke()
-        });
+        let stats = shared_stats();
         assert_eq!(stats.usage.len(), 20);
         // Quartiles are ordered.
         for row in &stats.usage {
@@ -161,10 +168,7 @@ mod tests {
     fn classes_overlap_on_common_opcodes() {
         // Fig. 3's message: both classes use the common opcodes. PUSH1 and
         // MSTORE medians must be positive for both classes.
-        let stats = run(&ExperimentScale {
-            n_contracts: 300,
-            ..ExperimentScale::smoke()
-        });
+        let stats = shared_stats();
         for opcode in ["PUSH1", "MSTORE", "POP"] {
             let row = stats
                 .usage

@@ -169,13 +169,22 @@ pub fn run(scale: &ExperimentScale) -> ScalabilityResult {
 mod tests {
     use super::*;
 
+    /// One shared run for the module — the experiment is deterministic, so
+    /// each test re-running it would train the same models again.
+    fn shared_result() -> &'static ScalabilityResult {
+        use std::sync::OnceLock;
+        static RESULT: OnceLock<ScalabilityResult> = OnceLock::new();
+        RESULT.get_or_init(|| {
+            run(&ExperimentScale {
+                n_contracts: 240,
+                ..ExperimentScale::smoke()
+            })
+        })
+    }
+
     #[test]
     fn smoke_run_has_expected_shape() {
-        let scale = ExperimentScale {
-            n_contracts: 240,
-            ..ExperimentScale::smoke()
-        };
-        let result = run(&scale);
+        let result = shared_result();
         assert_eq!(result.measurements.len(), 9);
         assert_eq!(result.cdd.len(), 4);
         assert_eq!(result.effect_sizes.len(), 12); // 3 pairs × 4 metrics
@@ -195,11 +204,7 @@ mod tests {
 
     #[test]
     fn random_forest_metrics_present_per_split() {
-        let scale = ExperimentScale {
-            n_contracts: 240,
-            ..ExperimentScale::smoke()
-        };
-        let result = run(&scale);
+        let result = shared_result();
         for &s in &SPLITS {
             let m = result
                 .measurements

@@ -140,13 +140,22 @@ pub fn run(scale: &ExperimentScale) -> ShapAnalysis {
 mod tests {
     use super::*;
 
+    /// One shared analysis for the module at the scale the GAS-direction
+    /// check needs; additivity holds at any scale, so both tests read it.
+    fn shared_analysis() -> &'static ShapAnalysis {
+        use std::sync::OnceLock;
+        static RESULT: OnceLock<ShapAnalysis> = OnceLock::new();
+        RESULT.get_or_init(|| {
+            run(&ExperimentScale {
+                n_contracts: 400,
+                ..ExperimentScale::smoke()
+            })
+        })
+    }
+
     #[test]
     fn additivity_holds_and_top_is_ranked() {
-        let scale = ExperimentScale {
-            n_contracts: 200,
-            ..ExperimentScale::smoke()
-        };
-        let analysis = run(&scale);
+        let analysis = shared_analysis();
         assert!(
             analysis.max_additivity_error < 1e-9,
             "{}",
@@ -164,11 +173,7 @@ mod tests {
         // The paper's Fig. 9 reading: contracts that rarely use GAS get
         // positive (phishing-leaning) SHAP contributions from the GAS
         // feature, because benign code checks gas before external calls.
-        let scale = ExperimentScale {
-            n_contracts: 400,
-            ..ExperimentScale::smoke()
-        };
-        let analysis = run(&scale);
+        let analysis = shared_analysis();
         if let Some(gas) = analysis.top.iter().find(|o| o.opcode == "GAS") {
             assert!(
                 gas.low_usage_mean_shap > gas.high_usage_mean_shap,

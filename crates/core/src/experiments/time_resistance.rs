@@ -125,14 +125,25 @@ pub fn run(scale: &ExperimentScale) -> TimeResistance {
 mod tests {
     use super::*;
 
+    /// One shared experiment run for the whole module: the scale is the
+    /// smallest that leaves every monthly test period populated, and
+    /// retraining three models per test would only re-measure the same
+    /// deterministic output.
+    fn shared_result() -> &'static TimeResistance {
+        use std::sync::OnceLock;
+        static RESULT: OnceLock<TimeResistance> = OnceLock::new();
+        RESULT.get_or_init(|| {
+            // 600 contracts spread over 13 months leaves enough per month.
+            run(&ExperimentScale {
+                n_contracts: 600,
+                ..ExperimentScale::smoke()
+            })
+        })
+    }
+
     #[test]
     fn produces_nine_monthly_periods_at_reasonable_scale() {
-        // 600 contracts spread over 13 months leaves enough per test month.
-        let scale = ExperimentScale {
-            n_contracts: 600,
-            ..ExperimentScale::smoke()
-        };
-        let result = run(&scale);
+        let result = shared_result();
         assert_eq!(result.curves.len(), 3);
         for curve in &result.curves {
             assert_eq!(curve.months.len(), 9, "{}", curve.model);
@@ -145,12 +156,7 @@ mod tests {
 
     #[test]
     fn random_forest_stays_predictive_over_time() {
-        let scale = ExperimentScale {
-            n_contracts: 600,
-            ..ExperimentScale::smoke()
-        };
-        let result = run(&scale);
-        let rf = result
+        let rf = shared_result()
             .curves
             .iter()
             .find(|c| c.model == "Random Forest")

@@ -10,8 +10,23 @@
 //! * every byte not defined at the Shanghai fork is reported as an `INVALID`
 //!   instruction (the designated `0xFE` and all unassigned bytes alike), so
 //!   histogram features get a single INVALID bucket.
+//!
+//! # Streaming vs. collecting
+//!
+//! There are two disassembly APIs over the same decode rules:
+//!
+//! * [`DisasmIter`] (via [`disasm_iter`]) — the zero-allocation streaming
+//!   path. Each [`Op`] borrows its operand as a `&[u8]` slice into the
+//!   bytecode and resolves metadata through the dense
+//!   [`OpTable`](crate::opcode::OpTable), so a full pass touches no heap.
+//!   All feature extractors run on this path.
+//! * [`disassemble`] — the collecting wrapper, producing owned
+//!   [`Instruction`]s (one `Vec<u8>` operand each). Kept for callers that
+//!   need owned instruction sequences (CSV rendering, interpreter tooling)
+//!   and as the reference implementation the streaming path is
+//!   property-tested against.
 
-use crate::opcode::{Gas, OpcodeInfo, ShanghaiRegistry};
+use crate::opcode::{Gas, OpTable, OpcodeInfo, ShanghaiRegistry};
 use std::fmt;
 
 /// One disassembled instruction.
@@ -73,32 +88,146 @@ impl fmt::Display for Instruction {
     }
 }
 
+/// One streamed instruction: the borrowing counterpart of [`Instruction`].
+///
+/// The operand is a slice into the disassembled bytecode, so producing an
+/// `Op` never allocates. Metadata (mnemonic, gas, defined-ness) resolves
+/// through the dense [`OpTable`] on demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Op<'a> {
+    /// Byte offset of the opcode within the bytecode.
+    pub offset: usize,
+    /// The raw opcode byte.
+    pub byte: u8,
+    /// Immediate operand bytes, borrowed from the bytecode.
+    pub operand: &'a [u8],
+    /// `true` if this was a `PUSH` whose operand ran past the end of the code.
+    pub truncated: bool,
+}
+
+impl<'a> Op<'a> {
+    /// Dense mnemonic id (index into
+    /// [`SHANGHAI_OPCODES`](crate::opcode::SHANGHAI_OPCODES)); undefined
+    /// bytes report the `INVALID` id.
+    #[inline]
+    pub fn mnemonic_id(&self) -> u16 {
+        OpTable::shared().mnemonic_id(self.byte)
+    }
+
+    /// Human-readable mnemonic. Undefined bytes report `"INVALID"`.
+    #[inline]
+    pub fn mnemonic(&self) -> &'static str {
+        crate::opcode::mnemonic_str(self.mnemonic_id())
+    }
+
+    /// Base gas cost; undefined bytes report [`Gas::Nan`].
+    #[inline]
+    pub fn gas(&self) -> Gas {
+        OpTable::shared().gas(self.byte)
+    }
+
+    /// Whether the byte is defined at the Shanghai fork.
+    #[inline]
+    pub fn is_defined(&self) -> bool {
+        OpTable::shared().is_defined(self.byte)
+    }
+
+    /// Registry metadata, `None` when the byte is undefined at Shanghai.
+    pub fn info(&self) -> Option<&'static OpcodeInfo> {
+        ShanghaiRegistry::shared().get(self.byte)
+    }
+
+    /// Total encoded length (opcode byte + operand bytes actually present).
+    #[inline]
+    pub fn encoded_len(&self) -> usize {
+        1 + self.operand.len()
+    }
+
+    /// Materializes an owned [`Instruction`] (allocates the operand).
+    pub fn to_instruction(&self) -> Instruction {
+        Instruction {
+            offset: self.offset,
+            byte: self.byte,
+            info: self.info(),
+            operand: self.operand.to_vec(),
+            truncated: self.truncated,
+        }
+    }
+}
+
+/// Zero-allocation streaming disassembler.
+///
+/// Yields [`Op`]s over the bytecode with the exact decode rules of
+/// [`disassemble`] — undefined bytes become `INVALID`, truncated `PUSH`
+/// operands are flagged — but without materializing any per-instruction
+/// heap state. Construct with [`disasm_iter`].
+#[derive(Debug, Clone)]
+pub struct DisasmIter<'a> {
+    code: &'a [u8],
+    pc: usize,
+    table: &'static OpTable,
+}
+
+impl<'a> DisasmIter<'a> {
+    /// Starts a streaming disassembly of `code`.
+    pub fn new(code: &'a [u8]) -> Self {
+        DisasmIter {
+            code,
+            pc: 0,
+            table: OpTable::shared(),
+        }
+    }
+}
+
+impl<'a> Iterator for DisasmIter<'a> {
+    type Item = Op<'a>;
+
+    #[inline]
+    fn next(&mut self) -> Option<Op<'a>> {
+        if self.pc >= self.code.len() {
+            return None;
+        }
+        let offset = self.pc;
+        let byte = self.code[offset];
+        let imm = self.table.immediate_bytes(byte);
+        let avail = self.code.len() - offset - 1;
+        let take = imm.min(avail);
+        self.pc = offset + 1 + take;
+        Some(Op {
+            offset,
+            byte,
+            operand: &self.code[offset + 1..offset + 1 + take],
+            truncated: take < imm,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.code.len() - self.pc.min(self.code.len());
+        // Best case every remaining byte is a PUSH32; worst case 1 byte/op.
+        (remaining.div_ceil(33), Some(remaining))
+    }
+}
+
+impl std::iter::FusedIterator for DisasmIter<'_> {}
+
+/// Starts a zero-allocation streaming disassembly of `code`.
+pub fn disasm_iter(code: &[u8]) -> DisasmIter<'_> {
+    DisasmIter::new(code)
+}
+
 /// Disassembles `code` into its instruction sequence.
 ///
 /// Never fails: undefined bytes become `INVALID` instructions and a `PUSH`
 /// whose immediate runs past the end of the code yields a truncated operand
 /// (flagged via [`Instruction::truncated`]), mirroring `evmdasm`'s permissive
 /// behaviour on real-world (often metadata-suffixed) bytecode.
+///
+/// This is the collecting wrapper over [`DisasmIter`]; prefer the iterator
+/// when the instructions are consumed once.
 pub fn disassemble(code: &[u8]) -> Vec<Instruction> {
-    let reg = ShanghaiRegistry::shared();
-    let mut out = Vec::with_capacity(code.len());
-    let mut pc = 0usize;
-    while pc < code.len() {
-        let byte = code[pc];
-        let info = reg.get(byte);
-        let imm = info.map_or(0, |i| usize::from(i.immediate_bytes));
-        let avail = code.len() - pc - 1;
-        let take = imm.min(avail);
-        out.push(Instruction {
-            offset: pc,
-            byte,
-            info,
-            operand: code[pc + 1..pc + 1 + take].to_vec(),
-            truncated: take < imm,
-        });
-        pc += 1 + take;
-    }
-    out
+    DisasmIter::new(code)
+        .map(|op| op.to_instruction())
+        .collect()
 }
 
 /// Re-encodes an instruction sequence back into bytecode.
@@ -230,6 +359,34 @@ mod tests {
             for w in ins.windows(2) {
                 prop_assert!(w[0].offset < w[1].offset);
             }
+        }
+
+        #[test]
+        fn streaming_matches_collecting_exactly(code in proptest::collection::vec(any::<u8>(), 0..512)) {
+            // The streaming path must be bit-identical to the legacy
+            // collecting path on arbitrary bytecodes, field by field.
+            let collected = disassemble(&code);
+            let streamed: Vec<Op<'_>> = disasm_iter(&code).collect();
+            prop_assert_eq!(streamed.len(), collected.len());
+            for (op, ins) in streamed.iter().zip(&collected) {
+                prop_assert_eq!(op.offset, ins.offset);
+                prop_assert_eq!(op.byte, ins.byte);
+                prop_assert_eq!(op.operand, ins.operand.as_slice());
+                prop_assert_eq!(op.truncated, ins.truncated);
+                prop_assert_eq!(op.mnemonic(), ins.mnemonic());
+                prop_assert_eq!(op.gas(), ins.gas());
+                prop_assert_eq!(op.is_defined(), ins.is_defined());
+                prop_assert_eq!(op.encoded_len(), ins.encoded_len());
+                prop_assert_eq!(&op.to_instruction(), ins);
+            }
+        }
+
+        #[test]
+        fn size_hint_brackets_actual_count(code in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let (lo, hi) = disasm_iter(&code).size_hint();
+            let n = disasm_iter(&code).count();
+            prop_assert!(lo <= n);
+            prop_assert!(n <= hi.unwrap());
         }
     }
 }

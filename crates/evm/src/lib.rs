@@ -8,7 +8,11 @@
 //!   mirroring the reference table the paper cites (evm.codes, Shanghai fork).
 //! * [`disasm`] — the disassembler: raw bytecode → `(mnemonic, operand, gas)`
 //!   instruction triplets, the paper's enhanced `evmdasm` (with `PUSH0` and
-//!   `INVALID` support).
+//!   `INVALID` support). Two paths share the decode rules: the
+//!   zero-allocation streaming [`disasm::DisasmIter`] (operands borrowed
+//!   from the code, metadata via the dense [`opcode::OpTable`]) and the
+//!   collecting [`disasm::disassemble`] wrapper producing owned
+//!   [`disasm::Instruction`]s.
 //! * [`asm`] — an assembler with label resolution, used by the corpus
 //!   generator to build realistic runtime bytecode.
 //! * [`interp`] — a compact stack-machine interpreter with gas metering, used
@@ -37,7 +41,7 @@ pub mod opcode;
 pub mod u256;
 
 pub use asm::Asm;
-pub use disasm::{disassemble, Instruction};
+pub use disasm::{disasm_iter, disassemble, DisasmIter, Instruction, Op};
 pub use interp::{ExecutionResult, Halt, Interpreter};
-pub use opcode::{Gas, OpcodeInfo, ShanghaiRegistry};
+pub use opcode::{mnemonic_str, Gas, OpTable, OpcodeInfo, ShanghaiRegistry, N_MNEMONICS};
 pub use u256::U256;

@@ -250,6 +250,95 @@ pub const SHANGHAI_OPCODES: &[OpcodeInfo] = &[
     op!(0xFF, "SELFDESTRUCT", 5000, 1, 0, 0, "Halt execution and register account for later deletion"),
 ];
 
+/// Number of distinct mnemonics: the 144 defined opcodes. Undefined bytes
+/// share the `INVALID` mnemonic id (the paper's single INVALID bucket).
+pub const N_MNEMONICS: usize = SHANGHAI_OPCODES.len();
+
+/// Resolves a mnemonic id (an index into [`SHANGHAI_OPCODES`]) to its string.
+///
+/// # Panics
+/// Panics when `id >= N_MNEMONICS`.
+pub fn mnemonic_str(id: u16) -> &'static str {
+    SHANGHAI_OPCODES[usize::from(id)].mnemonic
+}
+
+/// Dense 256-entry per-byte disassembly table: immediate (push payload)
+/// width, mnemonic id, base gas and defined-at-Shanghai flag for every
+/// possible opcode byte.
+///
+/// This is the hot-path companion to [`ShanghaiRegistry`]: the streaming
+/// disassembler reads plain arrays indexed by the raw byte instead of
+/// chasing `Option<&OpcodeInfo>` pointers. Undefined bytes map to the
+/// `INVALID` mnemonic id with [`Gas::Nan`] and zero immediate width.
+#[derive(Debug)]
+pub struct OpTable {
+    imm: [u8; 256],
+    mnemonic_id: [u16; 256],
+    gas: [Gas; 256],
+    defined: [bool; 256],
+}
+
+impl OpTable {
+    /// Builds the table from the static registry.
+    pub fn new() -> Self {
+        let invalid_id = SHANGHAI_OPCODES
+            .iter()
+            .position(|o| o.byte == 0xFE)
+            .expect("INVALID is defined") as u16;
+        let mut table = OpTable {
+            imm: [0; 256],
+            mnemonic_id: [invalid_id; 256],
+            gas: [Gas::Nan; 256],
+            defined: [false; 256],
+        };
+        for (id, info) in SHANGHAI_OPCODES.iter().enumerate() {
+            let b = info.byte as usize;
+            table.imm[b] = info.immediate_bytes;
+            table.mnemonic_id[b] = id as u16;
+            table.gas[b] = info.gas;
+            table.defined[b] = true;
+        }
+        table
+    }
+
+    /// A process-wide shared table.
+    pub fn shared() -> &'static OpTable {
+        use std::sync::OnceLock;
+        static TABLE: OnceLock<OpTable> = OnceLock::new();
+        TABLE.get_or_init(OpTable::new)
+    }
+
+    /// Immediate operand width of `byte` (0 for everything but `PUSH1..=32`).
+    #[inline]
+    pub fn immediate_bytes(&self, byte: u8) -> usize {
+        usize::from(self.imm[byte as usize])
+    }
+
+    /// Mnemonic id of `byte`; undefined bytes report the `INVALID` id.
+    #[inline]
+    pub fn mnemonic_id(&self, byte: u8) -> u16 {
+        self.mnemonic_id[byte as usize]
+    }
+
+    /// Base gas cost of `byte`; undefined bytes report [`Gas::Nan`].
+    #[inline]
+    pub fn gas(&self, byte: u8) -> Gas {
+        self.gas[byte as usize]
+    }
+
+    /// Whether `byte` is defined at the Shanghai fork.
+    #[inline]
+    pub fn is_defined(&self, byte: u8) -> bool {
+        self.defined[byte as usize]
+    }
+}
+
+impl Default for OpTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// A lookup table over the Shanghai opcode set.
 ///
 /// Construct one with [`ShanghaiRegistry::new`] (cheap; backed by the static
@@ -393,5 +482,39 @@ mod tests {
         assert_eq!(Gas::Nan.to_string(), "NaN");
         assert_eq!(Gas::Fixed(3).as_u64(), Some(3));
         assert_eq!(Gas::Nan.as_u64(), None);
+    }
+
+    #[test]
+    fn op_table_matches_registry_on_every_byte() {
+        let table = OpTable::shared();
+        let reg = ShanghaiRegistry::shared();
+        for b in 0..=255u8 {
+            match reg.get(b) {
+                Some(info) => {
+                    assert!(table.is_defined(b));
+                    assert_eq!(table.immediate_bytes(b), usize::from(info.immediate_bytes));
+                    assert_eq!(table.gas(b), info.gas);
+                    assert_eq!(mnemonic_str(table.mnemonic_id(b)), info.mnemonic);
+                }
+                None => {
+                    assert!(!table.is_defined(b));
+                    assert_eq!(table.immediate_bytes(b), 0);
+                    assert_eq!(table.gas(b), Gas::Nan);
+                    assert_eq!(mnemonic_str(table.mnemonic_id(b)), "INVALID");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mnemonic_ids_are_dense_and_unique() {
+        let table = OpTable::new();
+        let mut seen = [false; N_MNEMONICS];
+        for info in SHANGHAI_OPCODES {
+            let id = table.mnemonic_id(info.byte) as usize;
+            assert!(!seen[id], "duplicate id for {}", info.mnemonic);
+            seen[id] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 }

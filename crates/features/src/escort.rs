@@ -12,16 +12,16 @@
 //! (`SELFDESTRUCT` presence, `DELEGATECALL` presence, state-write-after-call
 //! reentrancy shape) the trunk pretrains on.
 
-use phishinghook_evm::disasm::disassemble;
+use phishinghook_evm::disasm::disasm_iter;
 use phishinghook_ml::Matrix;
 
 /// Dimension of the hashed embedding.
 pub const EMBED_DIM: usize = 64;
 
-/// Hashed byte-trigram embedding of a bytecode (feature hashing into
-/// [`EMBED_DIM`] buckets, L2-normalized).
-pub fn embed(code: &[u8]) -> Vec<f64> {
-    let mut out = vec![0.0f64; EMBED_DIM];
+/// Streams one bytecode's hashed-trigram embedding into `out` (which must be
+/// zeroed and exactly [`EMBED_DIM`] wide).
+pub fn embed_into(code: &[u8], out: &mut [f64]) {
+    debug_assert_eq!(out.len(), EMBED_DIM);
     for window in code.windows(3) {
         let mut h = 0xcbf29ce484222325u64; // FNV-1a
         for &b in window {
@@ -32,16 +32,28 @@ pub fn embed(code: &[u8]) -> Vec<f64> {
     }
     let norm = out.iter().map(|v| v * v).sum::<f64>().sqrt();
     if norm > 0.0 {
-        for v in &mut out {
+        for v in out {
             *v /= norm;
         }
     }
+}
+
+/// Hashed byte-trigram embedding of a bytecode (feature hashing into
+/// [`EMBED_DIM`] buckets, L2-normalized).
+pub fn embed(code: &[u8]) -> Vec<f64> {
+    let mut out = vec![0.0f64; EMBED_DIM];
+    embed_into(code, &mut out);
     out
 }
 
-/// Embeds many bytecodes into a feature matrix.
+/// Embeds many bytecodes into a feature matrix (rows written in place, no
+/// intermediate per-row `Vec`s).
 pub fn embed_all(codes: &[&[u8]]) -> Matrix {
-    Matrix::from_rows(&codes.iter().map(|c| embed(c)).collect::<Vec<_>>())
+    let mut out = Matrix::zeros(codes.len(), EMBED_DIM);
+    for (i, code) in codes.iter().enumerate() {
+        embed_into(code, out.row_mut(i));
+    }
+    out
 }
 
 /// The vulnerability classes ESCORT's trunk pretrains on.
@@ -66,17 +78,18 @@ pub const VULN_CLASSES: [VulnerabilityClass; 3] = [
 /// from its disassembly (this is what a vulnerability-detection corpus
 /// would provide).
 pub fn vulnerability_labels(code: &[u8]) -> [bool; 3] {
-    let ins = disassemble(code);
     let mut has_selfdestruct = false;
     let mut has_delegatecall = false;
     let mut seen_call = false;
     let mut write_after_call = false;
-    for i in &ins {
-        match i.mnemonic() {
-            "SELFDESTRUCT" => has_selfdestruct = true,
-            "DELEGATECALL" => has_delegatecall = true,
-            "CALL" | "CALLCODE" | "STATICCALL" => seen_call = true,
-            "SSTORE" if seen_call => write_after_call = true,
+    // Streamed over the opcode bytes (operands are skipped by the iterator,
+    // so 0xFF inside a PUSH payload does not count as SELFDESTRUCT).
+    for op in disasm_iter(code) {
+        match op.byte {
+            0xFF => has_selfdestruct = true,              // SELFDESTRUCT
+            0xF4 => has_delegatecall = true,              // DELEGATECALL
+            0xF1 | 0xF2 | 0xFA => seen_call = true,       // CALL | CALLCODE | STATICCALL
+            0x55 if seen_call => write_after_call = true, // SSTORE
             _ => {}
         }
     }
@@ -139,6 +152,27 @@ mod tests {
             let v = embed(&code);
             let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
             prop_assert!(norm.abs() < 1e-9 || (norm - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn labels_match_mnemonic_reference(code in proptest::collection::vec(any::<u8>(), 0..256)) {
+            // The byte-matched streaming path must agree with the seed's
+            // mnemonic-string matching over the collected disassembly.
+            use phishinghook_evm::disasm::disassemble;
+            let mut sd = false;
+            let mut dc = false;
+            let mut seen_call = false;
+            let mut wac = false;
+            for i in disassemble(&code) {
+                match i.mnemonic() {
+                    "SELFDESTRUCT" => sd = true,
+                    "DELEGATECALL" => dc = true,
+                    "CALL" | "CALLCODE" | "STATICCALL" => seen_call = true,
+                    "SSTORE" if seen_call => wac = true,
+                    _ => {}
+                }
+            }
+            prop_assert_eq!(vulnerability_labels(&code), [sd, dc, wac]);
         }
     }
 }

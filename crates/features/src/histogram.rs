@@ -4,10 +4,18 @@
 //! created. It builds a vector of length equal to the number of unique
 //! opcodes inside the training set. The vector is directly served as input
 //! (i.e., without normalized nor standardized steps)…"
+//!
+//! Extraction runs on the zero-allocation streaming disassembler: counting
+//! one bytecode touches no heap beyond the output row, and the per-opcode
+//! column is resolved through a dense 256-entry byte→column table built at
+//! fit time (no per-instruction string hashing).
 
-use phishinghook_evm::disasm::disassemble;
+use phishinghook_evm::disasm::disasm_iter;
+use phishinghook_evm::opcode::{mnemonic_str, OpTable, N_MNEMONICS};
 use phishinghook_ml::Matrix;
-use std::collections::HashMap;
+
+/// Sentinel for "mnemonic not in the training vocabulary".
+const NO_COL: u16 = u16::MAX;
 
 /// Maps opcode mnemonics to histogram columns. The vocabulary is fixed at
 /// fit time from the *training* bytecodes only (mnemonics never seen in
@@ -15,24 +23,35 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramExtractor {
     columns: Vec<&'static str>,
-    index: HashMap<&'static str, usize>,
+    /// Dense byte→column map; undefined bytes share INVALID's column.
+    byte_to_col: [u16; 256],
 }
 
 impl HistogramExtractor {
     /// Builds the vocabulary from training bytecodes.
     pub fn fit(train: &[&[u8]]) -> Self {
-        let mut index = HashMap::new();
+        let table = OpTable::shared();
+        // Column per mnemonic id, in first-seen disassembly order (the same
+        // order the per-mnemonic map produced).
+        let mut col_of_id = [NO_COL; N_MNEMONICS];
         let mut columns = Vec::new();
         for code in train {
-            for ins in disassemble(code) {
-                let m = ins.mnemonic();
-                if !index.contains_key(m) {
-                    index.insert(m, columns.len());
-                    columns.push(m);
+            for op in disasm_iter(code) {
+                let id = table.mnemonic_id(op.byte) as usize;
+                if col_of_id[id] == NO_COL {
+                    col_of_id[id] = columns.len() as u16;
+                    columns.push(mnemonic_str(id as u16));
                 }
             }
         }
-        HistogramExtractor { columns, index }
+        let mut byte_to_col = [NO_COL; 256];
+        for (b, col) in byte_to_col.iter_mut().enumerate() {
+            *col = col_of_id[table.mnemonic_id(b as u8) as usize];
+        }
+        HistogramExtractor {
+            columns,
+            byte_to_col,
+        }
     }
 
     /// The histogram column names, in column order.
@@ -45,27 +64,54 @@ impl HistogramExtractor {
         self.columns.len()
     }
 
+    /// Streams one bytecode's counts into `row` (which must be zeroed and
+    /// exactly [`Self::n_features`] wide).
+    #[inline]
+    pub fn count_into(&self, code: &[u8], row: &mut [f64]) {
+        debug_assert_eq!(row.len(), self.columns.len());
+        for op in disasm_iter(code) {
+            let col = self.byte_to_col[op.byte as usize];
+            if col != NO_COL {
+                row[usize::from(col)] += 1.0;
+            }
+        }
+    }
+
     /// Histogram of one bytecode (raw counts, unnormalized).
     pub fn transform_one(&self, code: &[u8]) -> Vec<f64> {
         let mut row = vec![0.0; self.columns.len()];
-        for ins in disassemble(code) {
-            if let Some(&j) = self.index.get(ins.mnemonic()) {
-                row[j] += 1.0;
-            }
-        }
+        self.count_into(code, &mut row);
         row
     }
 
-    /// Histograms of many bytecodes as a feature matrix.
+    /// Fused one-pass transform: streams every bytecode's counts directly
+    /// into the rows of `out`, which must be `codes.len() × n_features()`.
+    ///
+    /// # Panics
+    /// Panics on a shape mismatch.
+    pub fn transform_into(&self, codes: &[&[u8]], out: &mut Matrix) {
+        assert_eq!(out.rows(), codes.len(), "one output row per bytecode");
+        assert_eq!(out.cols(), self.columns.len(), "column count mismatch");
+        for (i, code) in codes.iter().enumerate() {
+            let row = out.row_mut(i);
+            row.fill(0.0);
+            self.count_into(code, row);
+        }
+    }
+
+    /// Histograms of many bytecodes as a feature matrix (no intermediate
+    /// per-row `Vec`s; rows are written in place).
     pub fn transform(&self, codes: &[&[u8]]) -> Matrix {
-        let rows: Vec<Vec<f64>> = codes.iter().map(|c| self.transform_one(c)).collect();
-        Matrix::from_rows(&rows)
+        let mut out = Matrix::zeros(codes.len(), self.columns.len());
+        self.transform_into(codes, &mut out);
+        out
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use phishinghook_evm::disasm::disassemble;
     use proptest::prelude::*;
 
     #[test]
@@ -108,6 +154,39 @@ mod tests {
         assert_eq!(m.cols(), ex.n_features());
     }
 
+    #[test]
+    fn transform_into_overwrites_stale_rows() {
+        let a: &[u8] = &[0x60, 0x80];
+        let ex = HistogramExtractor::fit(&[a]);
+        let mut out = Matrix::zeros(1, ex.n_features());
+        out.row_mut(0).fill(99.0);
+        ex.transform_into(&[a], &mut out);
+        assert_eq!(out.row(0), ex.transform_one(a).as_slice());
+    }
+
+    /// Reference implementation: the seed's two-phase HashMap path.
+    fn legacy_transform(ex: &HistogramExtractor, codes: &[&[u8]]) -> Matrix {
+        let index: std::collections::HashMap<&str, usize> = ex
+            .columns()
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| (m, i))
+            .collect();
+        let rows: Vec<Vec<f64>> = codes
+            .iter()
+            .map(|code| {
+                let mut row = vec![0.0; ex.n_features()];
+                for ins in disassemble(code) {
+                    if let Some(&j) = index.get(ins.mnemonic()) {
+                        row[j] += 1.0;
+                    }
+                }
+                row
+            })
+            .collect();
+        Matrix::from_rows(&rows)
+    }
+
     proptest! {
         #[test]
         fn histogram_sums_to_instruction_count(code in proptest::collection::vec(any::<u8>(), 0..256)) {
@@ -116,6 +195,19 @@ mod tests {
             let total: f64 = row.iter().sum();
             let n_ins = disassemble(&code).len();
             prop_assert_eq!(total as usize, n_ins);
+        }
+
+        #[test]
+        fn fused_transform_matches_legacy_path(
+            a in proptest::collection::vec(any::<u8>(), 0..256),
+            b in proptest::collection::vec(any::<u8>(), 0..256),
+        ) {
+            // The fused streaming transform must be bit-identical to the
+            // seed's disassemble-then-hash path, including on bytecodes with
+            // out-of-vocabulary opcodes.
+            let ex = HistogramExtractor::fit(&[a.as_slice()]);
+            let codes = [a.as_slice(), b.as_slice()];
+            prop_assert_eq!(ex.transform(&codes), legacy_transform(&ex, &codes));
         }
     }
 }

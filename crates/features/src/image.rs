@@ -10,7 +10,7 @@
 //!   encountered mnemonics, operands and gas consumptions"). The lookup
 //!   table is built exactly once on the training set.
 
-use phishinghook_evm::disasm::{disassemble, Instruction};
+use phishinghook_evm::disasm::{disasm_iter, Instruction, Op};
 use std::collections::HashMap;
 
 /// Encodes bytecode as a `[3, size, size]` channel-first tensor in `[0, 1]`
@@ -43,11 +43,18 @@ impl FreqLookup {
         let mut gas_counts: HashMap<u64, u64> = HashMap::new();
         let mut total = 0u64;
         for code in train {
-            for ins in disassemble(code) {
-                *mnemonic_counts.entry(ins.mnemonic()).or_default() += 1;
-                *operand_counts.entry(ins.operand.clone()).or_default() += 1;
+            for op in disasm_iter(code) {
+                *mnemonic_counts.entry(op.mnemonic()).or_default() += 1;
+                // Borrowed lookup first: the operand is only copied to the
+                // heap the first time a distinct value is seen.
+                match operand_counts.get_mut(op.operand) {
+                    Some(c) => *c += 1,
+                    None => {
+                        operand_counts.insert(op.operand.to_vec(), 1);
+                    }
+                }
                 *gas_counts
-                    .entry(ins.gas().as_u64().unwrap_or(0))
+                    .entry(op.gas().as_u64().unwrap_or(0))
                     .or_default() += 1;
                 total += 1;
             }
@@ -74,17 +81,19 @@ impl FreqLookup {
 
     /// The `(R, G, B)` intensity of one instruction (zero for unseen keys).
     pub fn pixel(&self, ins: &Instruction) -> (f32, f32, f32) {
-        let r = self
-            .mnemonic_freq
-            .get(ins.mnemonic())
-            .copied()
-            .unwrap_or(0.0);
-        let g = self.operand_freq.get(&ins.operand).copied().unwrap_or(0.0);
-        let b = self
-            .gas_freq
-            .get(&ins.gas().as_u64().unwrap_or(0))
-            .copied()
-            .unwrap_or(0.0);
+        self.pixel_parts(ins.mnemonic(), &ins.operand, ins.gas().as_u64())
+    }
+
+    /// The `(R, G, B)` intensity of one streamed [`Op`] — no allocation, the
+    /// operand lookup borrows straight from the bytecode.
+    pub fn pixel_op(&self, op: &Op<'_>) -> (f32, f32, f32) {
+        self.pixel_parts(op.mnemonic(), op.operand, op.gas().as_u64())
+    }
+
+    fn pixel_parts(&self, mnemonic: &str, operand: &[u8], gas: Option<u64>) -> (f32, f32, f32) {
+        let r = self.mnemonic_freq.get(mnemonic).copied().unwrap_or(0.0);
+        let g = self.operand_freq.get(operand).copied().unwrap_or(0.0);
+        let b = self.gas_freq.get(&gas.unwrap_or(0)).copied().unwrap_or(0.0);
         (r, g, b)
     }
 }
@@ -94,8 +103,8 @@ impl FreqLookup {
 pub fn freq_image(code: &[u8], lookup: &FreqLookup, size: usize) -> Vec<f32> {
     let hw = size * size;
     let mut out = vec![0.0f32; 3 * hw];
-    for (p, ins) in disassemble(code).iter().take(hw).enumerate() {
-        let (r, g, b) = lookup.pixel(ins);
+    for (p, op) in disasm_iter(code).take(hw).enumerate() {
+        let (r, g, b) = lookup.pixel_op(&op);
         out[p] = r;
         out[hw + p] = g;
         out[2 * hw + p] = b;
@@ -106,6 +115,7 @@ pub fn freq_image(code: &[u8], lookup: &FreqLookup, size: usize) -> Vec<f32> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use phishinghook_evm::disasm::disassemble;
     use proptest::prelude::*;
 
     #[test]
@@ -173,6 +183,14 @@ mod tests {
         #[test]
         fn image_sizes_are_exact(code in proptest::collection::vec(any::<u8>(), 0..128), size in 1usize..12) {
             prop_assert_eq!(r2d2_image(&code, size).len(), 3 * size * size);
+        }
+
+        #[test]
+        fn streamed_pixels_match_collected(code in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let lookup = FreqLookup::fit(&[code.as_slice()]);
+            for (op, ins) in disasm_iter(&code).zip(disassemble(&code)) {
+                prop_assert_eq!(lookup.pixel_op(&op), lookup.pixel(&ins));
+            }
         }
     }
 }

@@ -19,4 +19,4 @@ pub mod tokenize;
 pub use histogram::HistogramExtractor;
 pub use image::{freq_image, r2d2_image, FreqLookup};
 pub use ngram::BigramVocab;
-pub use tokenize::{tokenize, Tokenization};
+pub use tokenize::{token_windows, tokenize, TokenWindows, Tokenization};

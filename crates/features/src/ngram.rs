@@ -14,9 +14,15 @@ pub const PAD: usize = 0;
 pub const UNK: usize = 1;
 
 /// Vocabulary over 3-byte bytecode chunks, fitted on the training set.
+///
+/// Chunk keys carry a fourth length-tag byte: a trailing partial chunk is
+/// still zero-padded to 3 bytes (the paper's padded-length semantics are
+/// preserved — sequences stay `⌈n/3⌉` chunks long), but the tag makes a
+/// padded tail like `[x, 0, 0]·len 1` a *distinct* vocabulary entry from a
+/// real `[x, 0, 0]·len 3` chunk, so the two can never collide.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BigramVocab {
-    ids: HashMap<[u8; 3], usize>,
+    ids: HashMap<[u8; 4], usize>,
     max_len: usize,
 }
 
@@ -24,13 +30,13 @@ impl BigramVocab {
     /// Builds a vocabulary of the `max_vocab` most frequent chunks and
     /// fixes the padded sequence length to `max_len`.
     pub fn fit(train: &[&[u8]], max_vocab: usize, max_len: usize) -> Self {
-        let mut counts: HashMap<[u8; 3], u64> = HashMap::new();
+        let mut counts: HashMap<[u8; 4], u64> = HashMap::new();
         for code in train {
             for chunk in Self::chunks(code) {
                 *counts.entry(chunk).or_default() += 1;
             }
         }
-        let mut by_freq: Vec<([u8; 3], u64)> = counts.into_iter().collect();
+        let mut by_freq: Vec<([u8; 4], u64)> = counts.into_iter().collect();
         by_freq.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         let ids = by_freq
             .into_iter()
@@ -41,10 +47,12 @@ impl BigramVocab {
         BigramVocab { ids, max_len }
     }
 
-    fn chunks(code: &[u8]) -> impl Iterator<Item = [u8; 3]> + '_ {
+    /// Zero-padded 3-byte chunks with a length tag in the fourth byte.
+    fn chunks(code: &[u8]) -> impl Iterator<Item = [u8; 4]> + '_ {
         code.chunks(3).map(|c| {
-            let mut chunk = [0u8; 3];
+            let mut chunk = [0u8; 4];
             chunk[..c.len()].copy_from_slice(c);
+            chunk[3] = c.len() as u8;
             chunk
         })
     }
@@ -108,11 +116,31 @@ mod tests {
     }
 
     #[test]
-    fn trailing_partial_chunk_is_zero_padded() {
+    fn tail_chunk_is_distinct_from_real_zero_suffixed_chunk() {
+        // A 2-byte tail padded to [1, 2, 0] must NOT collide with a real
+        // 3-byte chunk [1, 2, 0]: the length tag keeps them distinct.
         let vocab = BigramVocab::fit(&[&[1, 2]], 10, 2);
-        // The training chunk was [1, 2, 0].
-        assert_eq!(vocab.encode(&[1, 2])[0], 2);
-        assert_eq!(vocab.encode(&[1, 2, 0])[0], 2);
+        assert_eq!(vocab.encode(&[1, 2])[0], 2); // same tail re-encodes
+        assert_eq!(vocab.encode(&[1, 2, 0])[0], UNK); // full chunk is OOV
+
+        // With both shapes in training they get separate vocabulary ids.
+        let both = BigramVocab::fit(&[&[1, 2, 0, 1, 2]], 10, 4);
+        let full = both.encode(&[1, 2, 0])[0];
+        let tail = both.encode(&[1, 2])[0];
+        assert!(full >= 2 && tail >= 2);
+        assert_ne!(full, tail);
+    }
+
+    #[test]
+    fn padded_length_semantics_are_preserved() {
+        // The paper's padding rule is untouched: a 4-byte code is still two
+        // chunks, and sequences are still padded/truncated to max_len.
+        let code: &[u8] = &[9, 9, 9, 7];
+        let vocab = BigramVocab::fit(&[code], 10, 3);
+        let seq = vocab.encode(code);
+        assert_eq!(seq.len(), 3);
+        assert!(seq[0] >= 2 && seq[1] >= 2);
+        assert_eq!(seq[2], PAD);
     }
 
     proptest! {

@@ -40,29 +40,67 @@ pub enum Tokenization {
 /// Tokenizes a bytecode into one or more fixed-length id sequences
 /// (one for α, possibly several for β). Every sequence starts with [`CLS`]
 /// and is padded with [`PAD`].
+///
+/// Collecting wrapper over [`token_windows`]; prefer the iterator when the
+/// windows are consumed once (it allocates one sequence at a time instead
+/// of the whole window set).
 pub fn tokenize(code: &[u8], policy: Tokenization) -> Vec<Vec<usize>> {
+    token_windows(code, policy).collect()
+}
+
+/// Streams the fixed-length token windows of a bytecode, one `Vec` per
+/// window, without materializing the outer window set.
+pub fn token_windows(code: &[u8], policy: Tokenization) -> TokenWindows<'_> {
     match policy {
         Tokenization::Truncate { max_len } => {
             assert!(max_len >= 2, "max_len must fit CLS plus content");
-            vec![window_tokens(code, 0, max_len)]
         }
         Tokenization::SlidingWindow { window, stride } => {
             assert!(window >= 2, "window must fit CLS plus content");
             assert!(stride > 0, "stride must be positive");
-            let body = window - 1; // CLS occupies one slot
-            let mut out = Vec::new();
-            let mut start = 0;
-            loop {
-                out.push(window_tokens(code, start, window));
-                if start + body >= code.len() {
-                    break;
-                }
-                start += stride;
+        }
+    }
+    TokenWindows {
+        code,
+        policy,
+        next_start: Some(0),
+    }
+}
+
+/// Streaming iterator over a bytecode's token windows (see
+/// [`token_windows`]).
+#[derive(Debug, Clone)]
+pub struct TokenWindows<'a> {
+    code: &'a [u8],
+    policy: Tokenization,
+    /// Start offset of the next window; `None` once exhausted.
+    next_start: Option<usize>,
+}
+
+impl Iterator for TokenWindows<'_> {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        let start = self.next_start?;
+        match self.policy {
+            Tokenization::Truncate { max_len } => {
+                self.next_start = None;
+                Some(window_tokens(self.code, 0, max_len))
             }
-            out
+            Tokenization::SlidingWindow { window, stride } => {
+                let body = window - 1; // CLS occupies one slot
+                self.next_start = if start + body >= self.code.len() {
+                    None
+                } else {
+                    Some(start + stride)
+                };
+                Some(window_tokens(self.code, start, window))
+            }
         }
     }
 }
+
+impl std::iter::FusedIterator for TokenWindows<'_> {}
 
 fn window_tokens(code: &[u8], start: usize, len: usize) -> Vec<usize> {
     let mut seq = Vec::with_capacity(len);
@@ -172,6 +210,13 @@ mod tests {
             let seqs = tokenize(&code, Tokenization::Truncate { max_len: n });
             prop_assert_eq!(seqs.len(), 1);
             prop_assert_eq!(seqs[0].len(), n);
+        }
+
+        #[test]
+        fn streaming_windows_match_collected(code in proptest::collection::vec(any::<u8>(), 0..300), stride in 1usize..32) {
+            let policy = Tokenization::SlidingWindow { window: 24, stride };
+            let streamed: Vec<Vec<usize>> = token_windows(&code, policy).collect();
+            prop_assert_eq!(streamed, tokenize(&code, policy));
         }
     }
 }

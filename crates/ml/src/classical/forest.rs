@@ -76,6 +76,57 @@ impl RandomForest {
         &self.config
     }
 
+    /// Rows per inference block: small enough that a block's probabilities
+    /// stay in cache while every tree accumulates into it, large enough to
+    /// amortize the per-tree loop overhead.
+    const INFER_BLOCK: usize = 256;
+
+    /// Batch class-1 probabilities over all rows of `x`, parallelized across
+    /// row blocks with [`std::thread::scope`].
+    ///
+    /// Each block accumulates its per-row sum in tree order, so the result
+    /// is bit-identical to the sequential per-row path for any thread
+    /// count.
+    ///
+    /// # Panics
+    /// Panics when called before [`Classifier::fit`].
+    pub fn predict_proba_batch(&self, x: &Matrix) -> Vec<f64> {
+        assert!(!self.trees.is_empty(), "predict before fit");
+        let n = x.rows();
+        let mut out = vec![0.0; n];
+        let threads = self
+            .config
+            .threads
+            .max(1)
+            .min(n.div_ceil(Self::INFER_BLOCK).max(1));
+        if threads == 1 {
+            self.accumulate_blocks(x, 0, &mut out);
+        } else {
+            let rows_per_thread = n.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (t, chunk) in out.chunks_mut(rows_per_thread).enumerate() {
+                    scope.spawn(move || self.accumulate_blocks(x, t * rows_per_thread, chunk));
+                }
+            });
+        }
+        let k = self.trees.len() as f64;
+        for p in &mut out {
+            *p /= k;
+        }
+        out
+    }
+
+    /// Accumulates all trees' probabilities for rows `lo..lo + out.len()`,
+    /// walking the rows in [`Self::INFER_BLOCK`]-sized blocks.
+    fn accumulate_blocks(&self, x: &Matrix, lo: usize, out: &mut [f64]) {
+        for (b, block) in out.chunks_mut(Self::INFER_BLOCK).enumerate() {
+            let start = lo + b * Self::INFER_BLOCK;
+            for tree in &self.trees {
+                tree.accumulate_rows(x, start, start + block.len(), block);
+            }
+        }
+    }
+
     fn train_one(&self, x: &Matrix, y: &[usize], tree_idx: usize) -> DecisionTree {
         let n = x.rows();
         let mut rng = SplitMix::new(self.config.seed ^ (tree_idx as u64).wrapping_mul(0x9E37));
@@ -127,18 +178,7 @@ impl Classifier for RandomForest {
     }
 
     fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
-        assert!(!self.trees.is_empty(), "predict before fit");
-        let mut probs = vec![0.0; x.rows()];
-        for tree in &self.trees {
-            for (p, row) in probs.iter_mut().zip(x.iter_rows()) {
-                *p += tree.predict_row(row);
-            }
-        }
-        let k = self.trees.len() as f64;
-        for p in &mut probs {
-            *p /= k;
-        }
-        probs
+        self.predict_proba_batch(x)
     }
 
     fn name(&self) -> &'static str {
@@ -259,5 +299,79 @@ mod tests {
         });
         rf.fit(&x, &y);
         assert_eq!(rf.trees().len(), 13);
+    }
+
+    /// The seed's per-row reference path: trees outer, rows inner, arena
+    /// node walk. Batch inference is tested against this.
+    fn predict_proba_per_row(rf: &RandomForest, x: &Matrix) -> Vec<f64> {
+        let mut probs = vec![0.0; x.rows()];
+        for tree in rf.trees() {
+            for (p, row) in probs.iter_mut().zip(x.iter_rows()) {
+                *p += tree.predict_row_arena(row);
+            }
+        }
+        let k = rf.trees().len() as f64;
+        for p in &mut probs {
+            *p /= k;
+        }
+        probs
+    }
+
+    #[test]
+    fn batch_inference_matches_per_row_reference() {
+        let (x, y) = blobs(300, 11);
+        let mut rf = RandomForest::new(ForestConfig {
+            n_trees: 12,
+            threads: 3, // odd split so thread chunks straddle blocks
+            ..ForestConfig::default()
+        });
+        rf.fit(&x, &y);
+        let reference = predict_proba_per_row(&rf, &x);
+        let batch = rf.predict_proba_batch(&x);
+        assert_eq!(batch.len(), reference.len());
+        for (b, r) in batch.iter().zip(&reference) {
+            assert!((b - r).abs() <= 1e-12, "batch {b} vs per-row {r}");
+        }
+    }
+
+    #[test]
+    fn batch_inference_is_thread_count_invariant() {
+        // More rows than 2× INFER_BLOCK, so threads = 2 and 5 genuinely
+        // shard (the thread count is clamped to the number of 256-row
+        // blocks; a smaller input would silently test the sequential path
+        // three times).
+        let (x, y) = blobs(600, 12);
+        assert!(x.rows() > 2 * RandomForest::INFER_BLOCK);
+        let mut rf = RandomForest::new(ForestConfig {
+            n_trees: 7,
+            seed: 3,
+            ..ForestConfig::default()
+        });
+        rf.fit(&x, &y);
+        let mut baseline: Option<Vec<f64>> = None;
+        for threads in [1, 2, 5] {
+            let mut cfg = rf.clone();
+            cfg.config.threads = threads;
+            let probs = cfg.predict_proba_batch(&x);
+            match &baseline {
+                None => baseline = Some(probs),
+                // Bit-identical: per-row sums accumulate in tree order
+                // regardless of how rows are sharded across threads.
+                Some(b) => assert_eq!(&probs, b, "threads = {threads}"),
+            }
+        }
+    }
+
+    #[test]
+    fn batch_inference_handles_empty_input() {
+        let (x, y) = blobs(40, 13);
+        let mut rf = RandomForest::new(ForestConfig {
+            n_trees: 3,
+            ..Default::default()
+        });
+        rf.fit(&x, &y);
+        assert!(rf
+            .predict_proba_batch(&Matrix::zeros(0, x.cols()))
+            .is_empty());
     }
 }

@@ -61,11 +61,103 @@ impl Default for TreeConfig {
     }
 }
 
+/// Flat struct-of-arrays mirror of the node arena, rebuilt at fit time.
+///
+/// Traversal touches dense arrays instead of 48-byte enum nodes:
+/// `feature[i]` is the tested column (or [`FlatNodes::LEAF`]),
+/// `threshold[i]` is the split threshold — or, for a leaf, the class-1
+/// probability — and `children[2i] / children[2i+1]` are the left/right
+/// child indices, with leaves looping back to themselves.
+///
+/// The self-loops plus the sanitized `lfeature`/`lthreshold` copies
+/// (column 0 and `+∞` on leaves, so a leaf always "compares" left into
+/// itself) enable the lockstep batch walk in
+/// [`DecisionTree::accumulate_rows`]: a group of rows advances one level
+/// per pass with no per-node branch, so the row chains are independent and
+/// the CPU can overlap their loads — unlike the per-row descent, which is
+/// one long dependent pointer chase. The [`Node`] arena remains the
+/// canonical structure that interpretability tooling (TreeSHAP) walks.
+#[derive(Debug, Clone, Default)]
+struct FlatNodes {
+    feature: Vec<u16>,
+    threshold: Vec<f64>,
+    children: Vec<u32>,
+    /// `feature` with leaves mapped to column 0 (always in bounds).
+    lfeature: Vec<u16>,
+    /// `threshold` with leaves mapped to `+∞` (comparison always goes left).
+    lthreshold: Vec<f64>,
+    /// Class-1 probability per node (0.0 on splits).
+    proba: Vec<f64>,
+}
+
+impl FlatNodes {
+    /// `feature` sentinel marking a leaf.
+    const LEAF: u16 = u16::MAX;
+
+    fn from_arena(nodes: &[Node]) -> Self {
+        let n = nodes.len();
+        let mut flat = FlatNodes {
+            feature: Vec::with_capacity(n),
+            threshold: Vec::with_capacity(n),
+            children: Vec::with_capacity(2 * n),
+            lfeature: Vec::with_capacity(n),
+            lthreshold: Vec::with_capacity(n),
+            proba: Vec::with_capacity(n),
+        };
+        for (id, node) in nodes.iter().enumerate() {
+            match *node {
+                Node::Leaf { proba, .. } => {
+                    flat.feature.push(Self::LEAF);
+                    flat.threshold.push(proba);
+                    flat.children.extend([id as u32, id as u32]);
+                    flat.lfeature.push(0);
+                    flat.lthreshold.push(f64::INFINITY);
+                    flat.proba.push(proba);
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    assert!(feature < usize::from(Self::LEAF), "feature index fits u16");
+                    flat.feature.push(feature as u16);
+                    flat.threshold.push(threshold);
+                    flat.children.extend([left as u32, right as u32]);
+                    flat.lfeature.push(feature as u16);
+                    flat.lthreshold.push(threshold);
+                    flat.proba.push(0.0);
+                }
+            }
+        }
+        flat
+    }
+
+    #[inline]
+    // `!(v <= t)` rather than `v > t` is load-bearing: NaN must route
+    // right, exactly like the arena walk's `if v <= t { left } else
+    // { right }`.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    fn predict(&self, row: &[f64]) -> f64 {
+        let mut i = 0usize;
+        loop {
+            let f = self.feature[i];
+            if f == Self::LEAF {
+                return self.threshold[i];
+            }
+            let go_right = !(row[usize::from(f)] <= self.threshold[i]);
+            i = self.children[2 * i + usize::from(go_right)] as usize;
+        }
+    }
+}
+
 /// A fitted CART classification tree.
 #[derive(Debug, Clone)]
 pub struct DecisionTree {
     config: TreeConfig,
     nodes: Vec<Node>,
+    flat: FlatNodes,
     n_features: usize,
 }
 
@@ -75,6 +167,7 @@ impl DecisionTree {
         DecisionTree {
             config,
             nodes: Vec::new(),
+            flat: FlatNodes::default(),
             n_features: 0,
         }
     }
@@ -111,8 +204,17 @@ impl DecisionTree {
         }
     }
 
-    /// Probability of class 1 for a single feature row.
+    /// Probability of class 1 for a single feature row (flat-array
+    /// traversal).
+    #[inline]
     pub fn predict_row(&self, row: &[f64]) -> f64 {
+        self.flat.predict(row)
+    }
+
+    /// Probability of class 1 for a single feature row, walking the [`Node`]
+    /// arena. This is the seed reference path the flat traversal is tested
+    /// and benchmarked against; prefer [`DecisionTree::predict_row`].
+    pub fn predict_row_arena(&self, row: &[f64]) -> f64 {
         let mut i = 0;
         loop {
             match self.nodes[i] {
@@ -134,6 +236,75 @@ impl DecisionTree {
         }
     }
 
+    /// Adds this tree's class-1 probability for rows `lo..hi` of `x` into
+    /// `out[0..hi - lo]` (the forest's block-accumulation primitive).
+    ///
+    /// Rows advance through the tree in lockstep groups: each pass moves
+    /// every row in the group down one level with no per-node branch
+    /// (leaves self-loop), so the group's load chains are independent and
+    /// overlap instead of serializing like a per-row descent. The group is
+    /// done when a pass changes no node index (only leaves map to
+    /// themselves), which bounds the passes by the deepest row in the
+    /// group, not the tree's maximum depth.
+    // `!(v <= t)` rather than `v > t` so NaN routes right like the arena
+    // walk (see `FlatNodes::predict`).
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub(crate) fn accumulate_rows(&self, x: &Matrix, lo: usize, hi: usize, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), hi - lo);
+        let flat = &self.flat;
+        if flat.feature.first() == Some(&FlatNodes::LEAF) {
+            // Single-leaf tree: constant prediction. Also the only shape a
+            // zero-column matrix can reach, which the lockstep walk below
+            // must not touch (it reads a feature value before the leaf
+            // self-loop resolves).
+            for p in out.iter_mut() {
+                *p += flat.proba[0];
+            }
+            return;
+        }
+        let cols = x.cols();
+        let data = x.as_slice();
+        /// Lockstep lanes per group: enough independent chains to hide L1
+        /// latency, small enough that the lane state stays in registers.
+        const G: usize = 16;
+        let mut slots = [0u32; G];
+        let mut row0 = lo;
+        for group in out.chunks_mut(G) {
+            let n = group.len();
+            slots[..n].fill(0);
+            loop {
+                let mut changed = 0u32;
+                for (k, slot) in slots[..n].iter_mut().enumerate() {
+                    let i = *slot as usize;
+                    let f = usize::from(flat.lfeature[i]);
+                    let v = data[(row0 + k) * cols + f];
+                    // `!(v <= t)` so NaN routes right like the arena walk.
+                    let right = usize::from(!(v <= flat.lthreshold[i]));
+                    let next = flat.children[2 * i + right];
+                    changed |= next ^ *slot;
+                    *slot = next;
+                }
+                if changed == 0 {
+                    break;
+                }
+            }
+            for (p, &i) in group.iter_mut().zip(&slots[..n]) {
+                *p += flat.proba[i as usize];
+            }
+            row0 += n;
+        }
+    }
+
+    /// Batch probabilities over all rows of `x`, processed in row-major
+    /// blocks. Numerically identical to mapping
+    /// [`DecisionTree::predict_row`] over the rows.
+    pub fn predict_proba_batch(&self, x: &Matrix) -> Vec<f64> {
+        assert!(!self.nodes.is_empty(), "predict before fit");
+        let mut out = vec![0.0; x.rows()];
+        self.accumulate_rows(x, 0, x.rows(), &mut out);
+        out
+    }
+
     /// Fits with externally chosen sample indices (used by bagging).
     pub(crate) fn fit_indices(&mut self, x: &Matrix, y: &[usize], indices: &[usize]) {
         assert_eq!(x.rows(), y.len(), "x rows must match label count");
@@ -143,6 +314,7 @@ impl DecisionTree {
         let mut rng = SplitMix::new(self.config.seed);
         let mut idx = indices.to_vec();
         self.build(x, y, &mut idx, 0, &mut rng);
+        self.flat = FlatNodes::from_arena(&self.nodes);
     }
 
     /// Recursively builds the subtree over `indices`, returning its node id.
@@ -277,8 +449,7 @@ impl Classifier for DecisionTree {
     }
 
     fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
-        assert!(!self.nodes.is_empty(), "predict before fit");
-        x.iter_rows().map(|row| self.predict_row(row)).collect()
+        self.predict_proba_batch(x)
     }
 
     fn name(&self) -> &'static str {
@@ -320,6 +491,19 @@ mod tests {
         tree.fit(&x, &y);
         assert_eq!(tree.nodes().len(), 1);
         assert_eq!(tree.predict_proba(&x), vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn zero_column_matrix_predicts_the_leaf() {
+        // Pure labels never reach best_split, so a zero-column fit yields a
+        // single leaf; batch prediction must return it rather than read a
+        // (nonexistent) feature column.
+        let x = Matrix::zeros(3, 0);
+        let y = vec![1, 1, 1];
+        let mut tree = DecisionTree::with_defaults();
+        tree.fit(&x, &y);
+        assert_eq!(tree.predict_proba(&x), vec![1.0, 1.0, 1.0]);
+        assert_eq!(tree.predict_proba_batch(&x), vec![1.0, 1.0, 1.0]);
     }
 
     #[test]
@@ -427,6 +611,25 @@ mod tests {
             tree.fit(&x, &y);
             for p in tree.predict_proba(&x) {
                 prop_assert!((0.0..=1.0).contains(&p));
+            }
+        }
+
+        #[test]
+        fn flat_traversal_matches_arena_walk(seed in any::<u64>()) {
+            // The flat struct-of-arrays path must agree with the seed's
+            // enum-node walk on every row — bit-identical, not just close.
+            let mut rng = crate::classical::SplitMix::new(seed);
+            let rows: Vec<Vec<f64>> =
+                (0..40).map(|_| vec![rng.unit(), rng.unit(), rng.unit()]).collect();
+            let y: Vec<usize> = (0..40).map(|_| rng.below(2)).collect();
+            let x = Matrix::from_rows(&rows);
+            let mut tree = DecisionTree::with_defaults();
+            tree.fit(&x, &y);
+            let batch = tree.predict_proba_batch(&x);
+            for (i, row) in x.iter_rows().enumerate() {
+                let arena = tree.predict_row_arena(row);
+                prop_assert_eq!(tree.predict_row(row), arena);
+                prop_assert!((batch[i] - arena).abs() <= 1e-12);
             }
         }
     }

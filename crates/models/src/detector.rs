@@ -1,6 +1,12 @@
-//! The common interface all 16 PhishingHook models implement.
+//! The common interface all 16 PhishingHook models implement, plus the
+//! shared per-fold feature store that lets detectors of one family reuse
+//! each other's extraction work.
 
+use phishinghook_features::HistogramExtractor;
+use phishinghook_ml::Matrix;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Model category, matching the paper's Table II footnotes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -26,6 +32,93 @@ impl fmt::Display for Category {
     }
 }
 
+/// Fitted histogram features for one fold: the extractor (vocabulary from
+/// the training split) plus the transformed train and test matrices.
+#[derive(Debug, Clone)]
+pub struct HistogramFeatures {
+    /// The extractor fitted on the fold's training bytecodes.
+    pub extractor: HistogramExtractor,
+    /// Training-split feature matrix.
+    pub train: Matrix,
+    /// Test-split feature matrix (transformed with the training vocabulary).
+    pub test: Matrix,
+    /// Wall-clock seconds the one-time extraction took (fit + both
+    /// transforms). The evaluation pipeline charges this to every detector
+    /// that reuses the features, keeping per-model timing columns
+    /// comparable to detectors that extract for themselves.
+    pub build_secs: f64,
+}
+
+/// Shared feature store for one cross-validation fold.
+///
+/// The evaluation pipeline builds one `FoldFeatures` per (run, fold) cell
+/// and hands it to every detector via [`Detector::fit_fold`] /
+/// [`Detector::predict_fold`]. Family-level extraction (e.g. the opcode
+/// histograms all seven HSCs consume) is computed lazily, exactly once, on
+/// first request — so seven HSC detectors share one disassembly pass and
+/// one pair of feature matrices instead of redoing the work seven times.
+///
+/// Everything derived from data is fitted on the *training* split only,
+/// preserving the fold-hygiene contract of [`Detector::fit`].
+pub struct FoldFeatures<'a> {
+    train: &'a [&'a [u8]],
+    test: &'a [&'a [u8]],
+    histogram: OnceLock<HistogramFeatures>,
+    histogram_hits: AtomicUsize,
+}
+
+impl<'a> FoldFeatures<'a> {
+    /// Wraps a fold's train/test bytecode splits; no extraction happens
+    /// until a detector asks for a feature family.
+    pub fn new(train: &'a [&'a [u8]], test: &'a [&'a [u8]]) -> Self {
+        FoldFeatures {
+            train,
+            test,
+            histogram: OnceLock::new(),
+            histogram_hits: AtomicUsize::new(0),
+        }
+    }
+
+    /// The fold's training bytecodes.
+    pub fn train_codes(&self) -> &'a [&'a [u8]] {
+        self.train
+    }
+
+    /// The fold's test bytecodes.
+    pub fn test_codes(&self) -> &'a [&'a [u8]] {
+        self.test
+    }
+
+    /// The fold's histogram features, extracted on first call and shared by
+    /// every subsequent caller.
+    pub fn histogram(&self) -> &HistogramFeatures {
+        self.histogram_hits.fetch_add(1, Ordering::Relaxed);
+        self.histogram.get_or_init(|| {
+            let t0 = std::time::Instant::now();
+            let extractor = HistogramExtractor::fit(self.train);
+            let train = extractor.transform(self.train);
+            let test = extractor.transform(self.test);
+            HistogramFeatures {
+                extractor,
+                train,
+                test,
+                build_secs: t0.elapsed().as_secs_f64(),
+            }
+        })
+    }
+
+    /// `(access count so far, one-time build seconds)` for the histogram
+    /// family — `build_secs` is 0.0 until something triggers the build.
+    /// The evaluation pipeline samples this around each detector's fit to
+    /// attribute the shared extraction cost fairly.
+    pub fn histogram_usage(&self) -> (usize, f64) {
+        (
+            self.histogram_hits.load(Ordering::Relaxed),
+            self.histogram.get().map_or(0.0, |h| h.build_secs),
+        )
+    }
+}
+
 /// A phishing detector over raw deployed bytecode.
 ///
 /// Each implementation owns its feature extraction (histograms, images,
@@ -47,4 +140,20 @@ pub trait Detector {
 
     /// Predicts a binary label per bytecode.
     fn predict(&self, codes: &[&[u8]]) -> Vec<usize>;
+
+    /// Trains on a fold, drawing any shareable feature extraction from the
+    /// fold's [`FoldFeatures`] store. The default delegates to
+    /// [`Detector::fit`] over the raw training bytecodes; detectors whose
+    /// features are family-wide (the HSCs) override this to reuse the
+    /// shared matrices.
+    fn fit_fold(&mut self, fold: &FoldFeatures<'_>, labels: &[usize]) {
+        self.fit(fold.train_codes(), labels);
+    }
+
+    /// Predicts the fold's test split, reusing shared features where the
+    /// detector's family supports it. Must be called on a detector fitted
+    /// via [`Detector::fit_fold`] on the *same* fold.
+    fn predict_fold(&self, fold: &FoldFeatures<'_>) -> Vec<usize> {
+        self.predict(fold.test_codes())
+    }
 }

@@ -179,6 +179,32 @@ impl Detector for HscDetector {
         let x = extractor.transform(codes);
         self.model.as_classifier().predict(&x)
     }
+
+    fn fit_fold(&mut self, fold: &crate::FoldFeatures<'_>, labels: &[usize]) {
+        assert_eq!(
+            fold.train_codes().len(),
+            labels.len(),
+            "one label per bytecode"
+        );
+        // All seven HSCs consume the identical histogram matrices; the first
+        // one to arrive extracts, the rest reuse.
+        let features = fold.histogram();
+        self.model.as_classifier_mut().fit(&features.train, labels);
+        self.extractor = Some(features.extractor.clone());
+    }
+
+    fn predict_fold(&self, fold: &crate::FoldFeatures<'_>) -> Vec<usize> {
+        let fitted = self.extractor.as_ref().expect("predict before fit");
+        let features = fold.histogram();
+        // The fold's matrices are only valid for the vocabulary this model
+        // was trained on; a fit_fold/predict_fold fold mismatch would
+        // otherwise feed the model silently permuted columns.
+        assert_eq!(
+            fitted, &features.extractor,
+            "predict_fold called with a different fold than fit_fold"
+        );
+        self.model.as_classifier().predict(&features.test)
+    }
 }
 
 /// All seven HSC detectors in the paper's Table II order.
@@ -252,5 +278,31 @@ mod tests {
     fn predict_before_fit_panics() {
         let det = HscDetector::knn();
         let _ = det.predict(&[&[0x60, 0x80][..]]);
+    }
+
+    #[test]
+    fn fold_sharing_matches_per_detector_extraction() {
+        // Training through the shared FoldFeatures store must produce the
+        // same predictions as each detector extracting for itself.
+        let (codes, labels) = tiny_corpus();
+        let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
+        let (train_x, test_x) = refs.split_at(120);
+        let (train_y, _) = labels.split_at(120);
+        let fold = crate::FoldFeatures::new(train_x, test_x);
+        for (mut shared, mut solo) in all_hscs(7).into_iter().zip(all_hscs(7)) {
+            shared.fit_fold(&fold, train_y);
+            solo.fit(train_x, train_y);
+            assert_eq!(
+                shared.predict_fold(&fold),
+                solo.predict(test_x),
+                "{}",
+                solo.name()
+            );
+            // The fitted extractor is the shared one, cloned per detector.
+            assert_eq!(
+                shared.extractor().unwrap().columns(),
+                solo.extractor().unwrap().columns()
+            );
+        }
     }
 }

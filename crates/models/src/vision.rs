@@ -368,8 +368,12 @@ mod tests {
     }
 
     fn corpus_split() -> (Vec<Vec<u8>>, Vec<usize>) {
+        corpus_split_sized(160)
+    }
+
+    fn corpus_split_sized(n_contracts: usize) -> (Vec<Vec<u8>>, Vec<usize>) {
         let corpus = Corpus::generate(&CorpusConfig {
-            n_contracts: 240,
+            n_contracts,
             seed: 5,
             ..Default::default()
         });
@@ -379,11 +383,16 @@ mod tests {
         )
     }
 
-    fn check_beats_chance(mut det: VisionDetector) {
-        let (codes, labels) = corpus_split();
+    /// 3:1 train/test split at `n_contracts` scale. 160 (120 train / 40
+    /// test) is the smallest fixture where ViT+R2D2 and ECA+EfficientNet
+    /// clear the beats-chance bar with margin; ViT+Freq (the weakest model)
+    /// needs the full 240.
+    fn check_beats_chance_at(mut det: VisionDetector, n_contracts: usize) {
+        let (codes, labels) = corpus_split_sized(n_contracts);
         let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
-        let (train_x, test_x) = refs.split_at(180);
-        let (train_y, test_y) = labels.split_at(180);
+        let split = 3 * n_contracts / 4;
+        let (train_x, test_x) = refs.split_at(split);
+        let (train_y, test_y) = labels.split_at(split);
         det.fit(train_x, train_y);
         let preds = det.predict(test_x);
         let correct = preds.iter().zip(test_y).filter(|(a, b)| a == b).count();
@@ -393,17 +402,17 @@ mod tests {
 
     #[test]
     fn vit_r2d2_beats_chance() {
-        check_beats_chance(VisionDetector::vit_r2d2(fast_config()));
+        check_beats_chance_at(VisionDetector::vit_r2d2(fast_config()), 160);
     }
 
     #[test]
     fn eca_efficientnet_beats_chance() {
-        check_beats_chance(VisionDetector::eca_efficientnet(cnn_config()));
+        check_beats_chance_at(VisionDetector::eca_efficientnet(cnn_config()), 160);
     }
 
     #[test]
     fn vit_freq_beats_chance() {
-        check_beats_chance(VisionDetector::vit_freq(fast_config()));
+        check_beats_chance_at(VisionDetector::vit_freq(fast_config()), 240);
     }
 
     #[test]
@@ -411,8 +420,8 @@ mod tests {
     fn effnet_debug() {
         let (codes, labels) = corpus_split();
         let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
-        let (train_x, test_x) = refs.split_at(180);
-        let (train_y, test_y) = labels.split_at(180);
+        let (train_x, test_x) = refs.split_at(120);
+        let (train_y, test_y) = labels.split_at(120);
         for (epochs, lr) in [(12usize, 3e-3f32), (25, 5e-3), (25, 1e-2)] {
             let mut det = VisionDetector::eca_efficientnet(VisionConfig {
                 epochs,
@@ -443,8 +452,8 @@ mod tests {
     fn vit_debug() {
         let (codes, labels) = corpus_split();
         let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
-        let (train_x, test_x) = refs.split_at(180);
-        let (train_y, test_y) = labels.split_at(180);
+        let (train_x, test_x) = refs.split_at(120);
+        let (train_y, test_y) = labels.split_at(120);
         for (epochs, lr) in [
             (20usize, 3e-3f32),
             (20, 6e-3),
