@@ -19,6 +19,7 @@ use phishinghook_evm::disasm::disasm_iter;
 use phishinghook_features::HistogramExtractor;
 use phishinghook_ml::classical::forest::ForestConfig;
 use phishinghook_ml::{Classifier, RandomForest};
+use phishinghook_models::{Detector, HscDetector, ScoringEngine};
 use std::time::Instant;
 
 struct Args {
@@ -164,6 +165,36 @@ fn main() {
         mb_per_sec
     );
 
+    // --- Serve path: snapshot restore + batched scoring engine. ---
+    // The same hot path `phishinghook serve` drives per request batch:
+    // snapshot-restored detector, reusable scratch matrix, fused
+    // transform_into + predict_proba_batch.
+    const SERVE_BATCH: usize = 64;
+    let mut detector = HscDetector::random_forest(7);
+    detector.fit(&refs, &y);
+    let snapshot = detector.to_snapshot_bytes();
+    let restore_secs = measure(reps, || {
+        ScoringEngine::from_snapshot_bytes(&snapshot).expect("snapshot restores")
+    });
+    let mut engine = ScoringEngine::from_snapshot_bytes(&snapshot).expect("snapshot restores");
+    let serve_secs = measure(reps, || {
+        let mut scored = 0usize;
+        for chunk in refs.chunks(SERVE_BATCH) {
+            scored += engine.score_batch(chunk).len();
+        }
+        scored
+    });
+    let serve_batches = refs.len().div_ceil(SERVE_BATCH);
+    let serve_cps = refs.len() as f64 / serve_secs;
+    println!(
+        "serve      restore {:>10.3} ms   score  {:>10.3} ms   {:>10.0} contracts/s   {} batch(es) of {SERVE_BATCH}, snapshot {} KiB",
+        restore_secs * 1e3,
+        serve_secs * 1e3,
+        serve_cps,
+        serve_batches,
+        snapshot.len() / 1024
+    );
+
     let json = format!(
         r#"{{
   "schema": "phishinghook-bench-pipeline/v1",
@@ -194,6 +225,15 @@ fn main() {
     "secs": {pipeline},
     "contracts_per_sec": {cps},
     "mb_per_sec": {mbps}
+  }},
+  "serve": {{
+    "snapshot_bytes": {snapshot_bytes},
+    "restore_secs": {restore},
+    "batch_size": {serve_batch},
+    "batches": {serve_batches},
+    "score_secs": {serve_secs},
+    "contracts_per_sec": {serve_cps},
+    "mean_batch_ms": {serve_mean_batch_ms}
   }}
 }}
 "#,
@@ -217,6 +257,13 @@ fn main() {
         pipeline = json_f(pipeline_secs),
         cps = json_f(contracts_per_sec),
         mbps = json_f(mb_per_sec),
+        snapshot_bytes = snapshot.len(),
+        restore = json_f(restore_secs),
+        serve_batch = SERVE_BATCH,
+        serve_batches = serve_batches,
+        serve_secs = json_f(serve_secs),
+        serve_cps = json_f(serve_cps),
+        serve_mean_batch_ms = json_f(serve_secs / serve_batches as f64 * 1e3),
     );
     std::fs::write(&args.out, &json).expect("write benchmark JSON");
     println!("\nwrote {}", args.out);

@@ -3,13 +3,16 @@
 //! Kept as a library so every subcommand is unit-testable without spawning
 //! processes; [`run`] maps an argument vector to rendered output.
 
+pub mod serve;
+
 use phishinghook_core::cv::stratified_kfold;
 use phishinghook_core::metrics::BinaryMetrics;
 use phishinghook_data::csv::{from_csv, to_csv};
 use phishinghook_data::{ContractRecord, Corpus, CorpusConfig, Label};
 use phishinghook_evm::disasm::{disassemble, to_csv as disasm_csv};
 use phishinghook_evm::keccak::from_hex;
-use phishinghook_models::{all_hscs, Detector, HscDetector};
+use phishinghook_models::{all_hscs, Detector, HscDetector, ScoringEngine};
+use phishinghook_persist::PersistError;
 use std::fmt;
 
 /// CLI failure modes.
@@ -23,6 +26,8 @@ pub enum CliError {
     Io(std::io::Error),
     /// Dataset CSV parse problems.
     Csv(phishinghook_data::csv::CsvError),
+    /// Model snapshot problems (corrupt, truncated, wrong version/kind, …).
+    Snapshot(PersistError),
 }
 
 impl fmt::Display for CliError {
@@ -32,6 +37,7 @@ impl fmt::Display for CliError {
             CliError::BadHex(s) => write!(f, "not valid hex bytecode: `{s}`"),
             CliError::Io(e) => write!(f, "{e}"),
             CliError::Csv(e) => write!(f, "{e}"),
+            CliError::Snapshot(e) => write!(f, "{e}"),
         }
     }
 }
@@ -50,6 +56,12 @@ impl From<phishinghook_data::csv::CsvError> for CliError {
     }
 }
 
+impl From<PersistError> for CliError {
+    fn from(e: PersistError) -> Self {
+        CliError::Snapshot(e)
+    }
+}
+
 const USAGE: &str = "\
 phishinghook — opcode-based phishing detection for EVM bytecode
 
@@ -57,20 +69,30 @@ USAGE:
   phishinghook disasm   <hex | ->              disassemble bytecode (BDM)
   phishinghook generate <n> <out.csv> [seed]   emit a synthetic labeled dataset
   phishinghook eval     <dataset.csv> [folds]  cross-validate the 7 HSC models
+  phishinghook train    <dataset.csv> [--model <name>] [--seed <n>] [--save <out.snap>]
+                                               fit one HSC, snapshot the fitted model
+  phishinghook scan     --model <snap> <hex…>  classify bytecodes with a saved model
   phishinghook scan     <dataset.csv> <hex…>   train Random Forest, classify bytecodes
+  phishinghook serve    --model <snap> [--batch <n>] [--workers <n>] [--tcp <addr>]
+                                               batched scoring daemon (stdin or TCP)
+
+Model names for train --model: random-forest (default), knn, svm,
+logistic-regression, xgboost, lightgbm, catboost.
 ";
 
 /// Executes a CLI invocation, returning the text to print.
 ///
 /// # Errors
-/// Returns [`CliError::Usage`] for malformed invocations and I/O / parse
-/// errors otherwise.
+/// Returns [`CliError::Usage`] for malformed invocations and I/O / parse /
+/// snapshot errors otherwise.
 pub fn run(args: &[String]) -> Result<String, CliError> {
     match args.first().map(String::as_str) {
         Some("disasm") => disasm(args.get(1).map(String::as_str)),
         Some("generate") => generate(&args[1..]),
         Some("eval") => eval(&args[1..]),
+        Some("train") => train(&args[1..]),
         Some("scan") => scan(&args[1..]),
+        Some("serve") => serve_cmd(&args[1..]),
         _ => Err(CliError::Usage(USAGE.to_owned())),
     }
 }
@@ -183,7 +205,114 @@ fn rebuild(name: &str) -> Box<dyn Detector> {
         .expect("known HSC name")
 }
 
+/// Builds an unfitted HSC by CLI name (Table II spellings and kebab-case
+/// aliases, case-insensitive).
+fn build_hsc(name: &str, seed: u64) -> Option<HscDetector> {
+    match name.to_ascii_lowercase().replace([' ', '_'], "-").as_str() {
+        "rf" | "random-forest" => Some(HscDetector::random_forest(seed)),
+        "knn" | "k-nn" => Some(HscDetector::knn()),
+        "svm" => Some(HscDetector::svm(seed ^ 1)),
+        "lr" | "logreg" | "logistic-regression" => Some(HscDetector::logistic_regression()),
+        "xgboost" => Some(HscDetector::xgboost(seed ^ 2)),
+        "lightgbm" => Some(HscDetector::lightgbm(seed ^ 3)),
+        "catboost" => Some(HscDetector::catboost(seed ^ 4)),
+        _ => None,
+    }
+}
+
+fn train(args: &[String]) -> Result<String, CliError> {
+    let mut dataset: Option<&str> = None;
+    let mut model_name = "random-forest".to_owned();
+    let mut seed = 7u64;
+    let mut save: Option<&str> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--model" => {
+                model_name = iter
+                    .next()
+                    .ok_or_else(|| CliError::Usage(USAGE.to_owned()))?
+                    .clone();
+            }
+            "--seed" => {
+                let v = iter
+                    .next()
+                    .ok_or_else(|| CliError::Usage(USAGE.to_owned()))?;
+                seed = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("`{v}` is not a seed\n\n{USAGE}")))?;
+            }
+            "--save" => {
+                save = Some(
+                    iter.next()
+                        .ok_or_else(|| CliError::Usage(USAGE.to_owned()))?,
+                );
+            }
+            other if dataset.is_none() && !other.starts_with("--") => dataset = Some(other),
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unexpected argument `{other}`\n\n{USAGE}"
+                )))
+            }
+        }
+    }
+    let path = dataset.ok_or_else(|| CliError::Usage(USAGE.to_owned()))?;
+    let mut det = build_hsc(&model_name, seed)
+        .ok_or_else(|| CliError::Usage(format!("unknown model `{model_name}`\n\n{USAGE}")))?;
+
+    let records = load_dataset(path)?;
+    let codes: Vec<&[u8]> = records.iter().map(|r| r.bytecode.as_slice()).collect();
+    let labels: Vec<usize> = records.iter().map(|r| r.label.as_index()).collect();
+    let t0 = std::time::Instant::now();
+    det.fit(&codes, &labels);
+    let train_secs = t0.elapsed().as_secs_f64();
+
+    let n_features = det.extractor().map_or(0, |e| e.n_features());
+    let mut out = format!(
+        "trained {} on {} labeled contracts in {:.2}s ({} opcode features)\n",
+        det.name(),
+        records.len(),
+        train_secs,
+        n_features,
+    );
+    if let Some(path) = save {
+        let bytes = det.to_snapshot_bytes();
+        std::fs::write(path, &bytes)?;
+        out.push_str(&format!(
+            "saved snapshot to {path} ({} bytes)\n",
+            bytes.len()
+        ));
+    }
+    Ok(out)
+}
+
 fn scan(args: &[String]) -> Result<String, CliError> {
+    if args.first().map(String::as_str) == Some("--model") {
+        // Snapshot path: load a fitted detector, no training.
+        let snap = args
+            .get(1)
+            .ok_or_else(|| CliError::Usage(USAGE.to_owned()))?;
+        if args.len() < 3 {
+            return Err(CliError::Usage(USAGE.to_owned()));
+        }
+        let mut engine = ScoringEngine::load(snap)?;
+        let mut out = format!(
+            "loaded {} snapshot ({} opcode features) from {snap}\n",
+            engine.model_name(),
+            engine.n_features(),
+        );
+        for payload in &args[2..] {
+            let code = read_hex(payload)?;
+            let proba = engine.score_batch(&[code.as_slice()])[0];
+            let verdict = Label::from_index(usize::from(proba >= 0.5));
+            out.push_str(&format!(
+                "{}…  →  {verdict} (p={proba:.4})\n",
+                preview(payload)
+            ));
+        }
+        return Ok(out);
+    }
+
     let path = args
         .first()
         .ok_or_else(|| CliError::Usage(USAGE.to_owned()))?;
@@ -200,14 +329,74 @@ fn scan(args: &[String]) -> Result<String, CliError> {
     for payload in &args[1..] {
         let code = read_hex(payload)?;
         let verdict = Label::from_index(det.predict(&[code.as_slice()])[0]);
-        let preview = if payload.len() > 18 {
-            &payload[..18]
-        } else {
-            payload
-        };
-        out.push_str(&format!("{preview}…  →  {verdict}\n"));
+        out.push_str(&format!("{}…  →  {verdict}\n", preview(payload)));
     }
     Ok(out)
+}
+
+/// First few characters of a hex payload for display.
+fn preview(payload: &str) -> &str {
+    if payload.len() > 18 {
+        &payload[..18]
+    } else {
+        payload
+    }
+}
+
+fn serve_cmd(args: &[String]) -> Result<String, CliError> {
+    let mut snap: Option<&str> = None;
+    let mut opts = serve::ServeOptions::default();
+    let mut tcp: Option<&str> = None;
+    fn numeric(v: &str, name: &str) -> Result<usize, CliError> {
+        v.parse()
+            .map_err(|_| CliError::Usage(format!("`{v}` is not a valid {name}\n\n{USAGE}")))
+    }
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = || {
+            iter.next()
+                .map(String::as_str)
+                .ok_or_else(|| CliError::Usage(USAGE.to_owned()))
+        };
+        match arg.as_str() {
+            "--model" => snap = Some(value()?),
+            "--batch" => opts.batch = numeric(value()?, "batch size")?.max(1),
+            "--workers" => opts.workers = numeric(value()?, "worker count")?.max(1),
+            "--tcp" => tcp = Some(value()?),
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unexpected argument `{other}`\n\n{USAGE}"
+                )))
+            }
+        }
+    }
+    let snap = snap
+        .ok_or_else(|| CliError::Usage(format!("serve requires --model <snapshot>\n\n{USAGE}")))?;
+    let engine = ScoringEngine::load(snap)?;
+    let model = engine.model_name();
+
+    if let Some(addr) = tcp {
+        let listener = std::net::TcpListener::bind(addr)?;
+        eprintln!(
+            "serving {model} on tcp://{} (batch {}, {} worker(s) per connection)",
+            listener.local_addr()?,
+            opts.batch,
+            opts.workers
+        );
+        // Daemon mode: accept connections until the process is killed, so
+        // this only returns on an accept error.
+        serve::serve_tcp(&listener, &engine, &opts, None)?;
+        return Ok(String::new());
+    }
+
+    let stdin = std::io::stdin();
+    // Unlocked handle: the collector thread is the only writer, and `Stdout`
+    // is `Send` where `StdoutLock` is not.
+    let report = serve::serve_lines(&engine, stdin.lock(), std::io::stdout(), &opts)?;
+    // The report goes to stderr: stdout is the verdict stream (one line per
+    // request), and `serve … > verdicts.tsv` must not corrupt it.
+    eprint!("{}", report.render(model));
+    Ok(String::new())
 }
 
 #[cfg(test)]
@@ -287,6 +476,61 @@ mod tests {
         ] {
             assert!(out.contains(model), "missing {model} in:\n{out}");
         }
+    }
+
+    #[test]
+    fn train_save_then_scan_with_snapshot() {
+        let dir = std::env::temp_dir().join("phishinghook-cli-test3");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let csv = dir.join("ds.csv");
+        let snap = dir.join("knn.snap");
+        let (csv_str, snap_str) = (csv.to_str().unwrap(), snap.to_str().unwrap());
+        run(&args(&["generate", "100", csv_str, "9"])).expect("generates");
+
+        let out = run(&args(&[
+            "train", csv_str, "--model", "knn", "--save", snap_str,
+        ]))
+        .expect("trains");
+        assert!(
+            out.contains("trained k-NN on 100 labeled contracts"),
+            "{out}"
+        );
+        assert!(out.contains("saved snapshot to"), "{out}");
+        assert!(snap.exists());
+
+        let probe = Corpus::generate(&CorpusConfig {
+            n_contracts: 4,
+            seed: 31,
+            ..Default::default()
+        });
+        let hex = format!("0x{}", to_hex(&probe.records[0].bytecode));
+        let out = run(&args(&["scan", "--model", snap_str, &hex])).expect("scans");
+        assert!(out.contains("loaded k-NN snapshot"), "{out}");
+        assert!(out.contains("(p="), "{out}");
+        assert_eq!(out.matches('→').count(), 1);
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_a_typed_error() {
+        let dir = std::env::temp_dir().join("phishinghook-cli-test4");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let bogus = dir.join("bogus.snap");
+        std::fs::write(&bogus, b"definitely not a snapshot").expect("write");
+        let err = run(&args(&["scan", "--model", bogus.to_str().unwrap(), "0x60"])).unwrap_err();
+        assert!(matches!(err, CliError::Snapshot(_)), "{err:?}");
+        assert!(err.to_string().contains("bad magic"), "{err}");
+    }
+
+    #[test]
+    fn train_rejects_unknown_model() {
+        let err = run(&args(&["train", "ds.csv", "--model", "resnet"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+    }
+
+    #[test]
+    fn serve_requires_model_flag() {
+        let err = run(&args(&["serve"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
     }
 
     #[test]

@@ -4,8 +4,13 @@
 //! phishinghook disasm  <hex-bytecode | ->        # BDM: opcode listing
 //! phishinghook generate <n> <out.csv> [seed]     # synthetic labeled dataset
 //! phishinghook eval    <dataset.csv> [folds]     # HSC cross-validation
+//! phishinghook train   <ds.csv> --save <snap>    # fit once, snapshot the model
+//! phishinghook scan    --model <snap> <hex…>     # classify with a saved model
 //! phishinghook scan    <dataset.csv> <hex…>      # train RF, classify bytecodes
+//! phishinghook serve   --model <snap> [--tcp a]  # batched scoring daemon
 //! ```
+//!
+//! See `docs/CLI.md` for the full man-style reference.
 //!
 //! The CSV format is the crate's interchange format
 //! (`address,month,label,family,bytecode`), produced by `generate` or by the

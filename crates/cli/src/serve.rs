@@ -1,0 +1,496 @@
+//! The `phishinghook serve` daemon: long-running batched scoring over a
+//! line protocol.
+//!
+//! # Protocol
+//!
+//! One request per line: hex-encoded deployed bytecode (optional `0x`
+//! prefix, surrounding whitespace ignored, blank lines skipped). One
+//! response line per request, in request order:
+//!
+//! ```text
+//! phishing\t0.934211
+//! benign\t0.021002
+//! error\tnot valid hex bytecode
+//! ```
+//!
+//! Requests are scored in batches of `--batch` lines (the last batch may be
+//! shorter) through the snapshot-restored detector's batched hot path —
+//! [`ScoringEngine::score_batch`] streams feature rows in place and runs
+//! block-parallel forest inference — so the daemon's steady-state cost per
+//! contract is the same as the pipeline benchmark's `contracts_per_sec`.
+//! Responses for a batch are flushed as soon as the batch is scored; with
+//! `--batch 1` the daemon is fully interactive.
+//!
+//! # Transports
+//!
+//! * **stdin/stdout** (default): score lines until EOF, then print a
+//!   throughput/latency report to stderr (stdout carries only verdict
+//!   lines) — doubling as a bulk scorer:
+//!   `phishinghook serve --model rf.snap < addresses.hex > verdicts.tsv`.
+//! * **TCP** (`--tcp <addr>`, via [`std::net`]): accept connections
+//!   concurrently, one worker engine per connection, same line protocol on
+//!   each socket; per-connection reports go to stderr.
+//!
+//! # Worker pool
+//!
+//! `--workers <n>` fans batches out across `n` scoring threads, each owning
+//! a scratch feature matrix ([`ScoringEngine::worker`] shares the immutable
+//! detector). A collector thread reorders finished batches so output order
+//! always matches input order regardless of worker scheduling.
+
+use phishinghook_evm::keccak::from_hex;
+use phishinghook_models::ScoringEngine;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// Tuning knobs of one serving loop.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Requests per scoring batch (≥ 1).
+    pub batch: usize,
+    /// Scoring worker threads (≥ 1).
+    pub workers: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        // 64-contract batches keep the scratch matrix hot without delaying
+        // responses noticeably; one worker is right for the common case
+        // (forest inference already parallelizes internally per batch).
+        ServeOptions {
+            batch: 64,
+            workers: 1,
+        }
+    }
+}
+
+/// Aggregate statistics of one serving loop (one stdin session or one TCP
+/// connection).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeReport {
+    /// Scored requests (excluding malformed lines).
+    pub contracts: u64,
+    /// Malformed request lines answered with `error\t…`.
+    pub errors: u64,
+    /// Scored batches.
+    pub batches: u64,
+    /// Total bytecode bytes scored.
+    pub bytes: u64,
+    /// Wall-clock seconds from first read to last write.
+    pub secs: f64,
+    /// Sum over batches of per-batch scoring seconds (excludes I/O).
+    pub busy_secs: f64,
+    /// Slowest single batch's scoring seconds.
+    pub max_batch_secs: f64,
+}
+
+impl ServeReport {
+    /// Human-readable multi-line summary.
+    pub fn render(&self, model: &str) -> String {
+        let per_sec = if self.secs > 0.0 {
+            self.contracts as f64 / self.secs
+        } else {
+            0.0
+        };
+        let mean_ms = if self.batches > 0 {
+            self.busy_secs / self.batches as f64 * 1e3
+        } else {
+            0.0
+        };
+        format!(
+            "serve report ({model}): {} contract(s) in {} batch(es), {} error line(s)\n\
+             throughput {:.0} contracts/s ({:.2} MB/s), batch latency mean {:.2} ms / max {:.2} ms\n",
+            self.contracts,
+            self.batches,
+            self.errors,
+            per_sec,
+            self.bytes as f64 / (1024.0 * 1024.0) / self.secs.max(1e-12),
+            mean_ms,
+            self.max_batch_secs * 1e3,
+        )
+    }
+
+    fn absorb(&mut self, other: &ServeReport) {
+        self.contracts += other.contracts;
+        self.errors += other.errors;
+        self.batches += other.batches;
+        self.bytes += other.bytes;
+        self.secs += other.secs;
+        self.busy_secs += other.busy_secs;
+        self.max_batch_secs = self.max_batch_secs.max(other.max_batch_secs);
+    }
+}
+
+/// One scored batch on its way from a worker to the collector.
+struct BatchResult {
+    /// Formatted response lines, one per request in the batch.
+    lines: String,
+    contracts: u64,
+    errors: u64,
+    bytes: u64,
+    secs: f64,
+}
+
+/// Decodes and scores one batch of request lines.
+fn score_batch(engine: &mut ScoringEngine, requests: &[String]) -> BatchResult {
+    let t0 = Instant::now();
+    let decoded: Vec<Option<Vec<u8>>> = requests.iter().map(|line| from_hex(line.trim())).collect();
+    let valid: Vec<&[u8]> = decoded.iter().flatten().map(Vec::as_slice).collect();
+    let bytes: u64 = valid.iter().map(|c| c.len() as u64).sum();
+    let probs = engine.score_batch(&valid);
+
+    let mut lines = String::with_capacity(requests.len() * 20);
+    let mut next_prob = probs.iter();
+    let mut errors = 0u64;
+    for code in &decoded {
+        match code {
+            Some(_) => {
+                let p = next_prob.next().expect("one probability per valid code");
+                let verdict = if *p >= 0.5 { "phishing" } else { "benign" };
+                lines.push_str(&format!("{verdict}\t{p:.6}\n"));
+            }
+            None => {
+                errors += 1;
+                lines.push_str("error\tnot valid hex bytecode\n");
+            }
+        }
+    }
+    BatchResult {
+        lines,
+        contracts: valid.len() as u64,
+        errors,
+        bytes,
+        secs: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Serves one request stream to completion: reads lines from `input`,
+/// writes one response line per request to `output` (flushed per batch),
+/// and returns the session's aggregate report.
+///
+/// # Errors
+/// Propagates I/O errors from either side of the stream.
+pub fn serve_lines(
+    engine: &ScoringEngine,
+    input: impl BufRead,
+    mut output: impl Write + Send,
+    opts: &ServeOptions,
+) -> std::io::Result<ServeReport> {
+    let batch_size = opts.batch.max(1);
+    let workers = opts.workers.max(1);
+    let t0 = Instant::now();
+
+    // In-flight batches bounded per worker (and workers×BOUND overall on
+    // the result side): scoring a multi-gigabyte input cannot buffer the
+    // whole file in channel queues, and a stalled output stream
+    // back-pressures all the way to the reader.
+    const CHANNEL_BOUND: usize = 4;
+
+    std::thread::scope(|scope| {
+        let (result_tx, result_rx) =
+            mpsc::sync_channel::<(u64, BatchResult)>(workers * CHANNEL_BOUND);
+        let batch_txs: Vec<mpsc::SyncSender<(u64, Vec<String>)>> = (0..workers)
+            .map(|_| {
+                let (tx, rx) = mpsc::sync_channel::<(u64, Vec<String>)>(CHANNEL_BOUND);
+                let mut worker = engine.worker();
+                let result_tx = result_tx.clone();
+                scope.spawn(move || {
+                    while let Ok((seq, requests)) = rx.recv() {
+                        let result = score_batch(&mut worker, &requests);
+                        if result_tx.send((seq, result)).is_err() {
+                            return; // collector gone: the session is over
+                        }
+                    }
+                });
+                tx
+            })
+            .collect();
+        drop(result_tx);
+
+        // Collector: restores batch order and owns the output stream.
+        let collector = scope.spawn(move || -> std::io::Result<ServeReport> {
+            let mut report = ServeReport::default();
+            let mut pending: BTreeMap<u64, BatchResult> = BTreeMap::new();
+            let mut next_seq = 0u64;
+            for (seq, result) in result_rx {
+                pending.insert(seq, result);
+                let mut wrote = false;
+                while let Some(result) = pending.remove(&next_seq) {
+                    output.write_all(result.lines.as_bytes())?;
+                    report.contracts += result.contracts;
+                    report.errors += result.errors;
+                    report.batches += 1;
+                    report.bytes += result.bytes;
+                    report.busy_secs += result.secs;
+                    report.max_batch_secs = report.max_batch_secs.max(result.secs);
+                    next_seq += 1;
+                    wrote = true;
+                }
+                if wrote {
+                    output.flush()?;
+                }
+            }
+            Ok(report)
+        });
+
+        // Reader (this thread): batch request lines and hand them out.
+        let mut seq = 0u64;
+        let mut batch: Vec<String> = Vec::with_capacity(batch_size);
+        let mut read_error: Option<std::io::Error> = None;
+        for line in input.lines() {
+            match line {
+                Err(e) => {
+                    read_error = Some(e);
+                    break;
+                }
+                Ok(line) => {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    batch.push(line);
+                    if batch.len() == batch_size {
+                        let full = std::mem::replace(&mut batch, Vec::with_capacity(batch_size));
+                        // A full channel blocks (backpressure); an Err means
+                        // the worker died because the collector hit an I/O
+                        // error (joined below) — stop reading, don't drain
+                        // the rest of the input into a dead pipeline.
+                        if batch_txs[(seq as usize) % workers]
+                            .send((seq, full))
+                            .is_err()
+                        {
+                            break;
+                        }
+                        seq += 1;
+                    }
+                }
+            }
+        }
+        if !batch.is_empty() {
+            let _ = batch_txs[(seq as usize) % workers].send((seq, batch));
+        }
+        drop(batch_txs); // workers drain and exit, then the collector ends
+
+        let mut report = collector.join().expect("collector thread panicked")?;
+        if let Some(e) = read_error {
+            return Err(e);
+        }
+        report.secs = t0.elapsed().as_secs_f64();
+        Ok(report)
+    })
+}
+
+/// Accepts TCP connections and serves the line protocol on each, one
+/// handler thread (and one worker engine) per connection.
+///
+/// `max_conns` bounds how many connections are accepted before returning
+/// the aggregate report — `None` serves forever (the daemon case). Each
+/// connection's individual report is written to stderr as it closes.
+///
+/// # Errors
+/// Propagates accept errors; per-connection I/O errors are reported to
+/// stderr and do not stop the daemon.
+pub fn serve_tcp(
+    listener: &TcpListener,
+    engine: &ScoringEngine,
+    opts: &ServeOptions,
+    max_conns: Option<usize>,
+) -> std::io::Result<ServeReport> {
+    let model = engine.model_name();
+    let mut total = ServeReport::default();
+    let mut accepted = 0usize;
+    std::thread::scope(|scope| -> std::io::Result<()> {
+        // Reports are aggregated only in the bounded (test/batch) case: a
+        // forever-running daemon would otherwise accumulate one report per
+        // connection in a channel that is never drained.
+        let channel = max_conns.map(|_| mpsc::channel::<ServeReport>());
+        let report_tx = channel.as_ref().map(|(tx, _)| tx);
+        while max_conns.is_none_or(|m| accepted < m) {
+            let (stream, peer) = listener.accept()?;
+            accepted += 1;
+            let handler = engine.worker();
+            let opts = opts.clone();
+            let report_tx = report_tx.cloned();
+            scope.spawn(move || match serve_connection(&handler, &stream, &opts) {
+                Ok(report) => {
+                    eprint!("[{peer}] {}", report.render(model));
+                    if let Some(tx) = report_tx {
+                        let _ = tx.send(report);
+                    }
+                }
+                Err(e) => eprintln!("[{peer}] connection error: {e}"),
+            });
+        }
+        if let Some((tx, rx)) = channel {
+            drop(tx);
+            for report in rx {
+                total.absorb(&report);
+            }
+        }
+        Ok(())
+    })?;
+    Ok(total)
+}
+
+/// Serves one accepted TCP stream (split into buffered read and write
+/// halves) to EOF.
+fn serve_connection(
+    engine: &ScoringEngine,
+    stream: &TcpStream,
+    opts: &ServeOptions,
+) -> std::io::Result<ServeReport> {
+    let reader = BufReader::new(stream.try_clone()?);
+    serve_lines(engine, reader, stream, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phishinghook_data::{Corpus, CorpusConfig};
+    use phishinghook_evm::keccak::to_hex;
+    use phishinghook_models::{Detector, HscDetector};
+    use std::sync::OnceLock;
+
+    /// One fitted engine shared by every test (training is the slow part).
+    fn engine() -> &'static ScoringEngine {
+        static ENGINE: OnceLock<ScoringEngine> = OnceLock::new();
+        ENGINE.get_or_init(|| {
+            let corpus = Corpus::generate(&CorpusConfig {
+                n_contracts: 80,
+                seed: 5,
+                ..Default::default()
+            });
+            let (codes, labels) = corpus.as_dataset();
+            let mut det = HscDetector::random_forest(7);
+            det.fit(&codes, &labels);
+            ScoringEngine::new(det).expect("fitted")
+        })
+    }
+
+    fn probe_lines(n: usize) -> (String, Vec<Vec<u8>>) {
+        let corpus = Corpus::generate(&CorpusConfig {
+            n_contracts: n,
+            seed: 99,
+            ..Default::default()
+        });
+        let codes: Vec<Vec<u8>> = corpus.records.into_iter().map(|r| r.bytecode).collect();
+        let text: String = codes.iter().map(|c| format!("0x{}\n", to_hex(c))).collect();
+        (text, codes)
+    }
+
+    fn serve_to_string(input: &str, opts: &ServeOptions) -> (String, ServeReport) {
+        let mut out = Vec::new();
+        let report = serve_lines(engine(), input.as_bytes(), &mut out, opts).expect("serves");
+        (String::from_utf8(out).expect("utf8 output"), report)
+    }
+
+    #[test]
+    fn one_response_line_per_request_in_order() {
+        let (input, codes) = probe_lines(10);
+        let (out, report) = serve_to_string(&input, &ServeOptions::default());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), codes.len());
+        assert_eq!(report.contracts, codes.len() as u64);
+        assert_eq!(report.errors, 0);
+        assert_eq!(
+            report.bytes,
+            codes.iter().map(|c| c.len() as u64).sum::<u64>()
+        );
+
+        // Responses match direct engine scoring, in request order.
+        let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
+        let probs = engine().worker().score_batch(&refs);
+        for (line, p) in lines.iter().zip(&probs) {
+            let verdict = if *p >= 0.5 { "phishing" } else { "benign" };
+            assert_eq!(*line, format!("{verdict}\t{p:.6}"));
+        }
+    }
+
+    #[test]
+    fn output_order_is_stable_for_any_batch_size_and_worker_count() {
+        let (input, _) = probe_lines(23);
+        let (reference, _) = serve_to_string(
+            &input,
+            &ServeOptions {
+                batch: 64,
+                workers: 1,
+            },
+        );
+        for (batch, workers) in [(1, 1), (4, 3), (5, 2), (64, 4)] {
+            let (out, report) = serve_to_string(&input, &ServeOptions { batch, workers });
+            assert_eq!(out, reference, "batch={batch} workers={workers}");
+            assert_eq!(report.batches, 23u64.div_ceil(batch as u64));
+        }
+    }
+
+    #[test]
+    fn malformed_and_blank_lines() {
+        let (mut input, codes) = probe_lines(3);
+        input.push_str("zznothex\n\n   \n0x60\n");
+        let (out, report) = serve_to_string(
+            &input,
+            &ServeOptions {
+                batch: 2,
+                workers: 2,
+            },
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        // 3 contracts + 1 malformed + 1 tiny-but-valid; blanks are skipped.
+        assert_eq!(lines.len(), codes.len() + 2);
+        assert_eq!(lines[codes.len()], "error\tnot valid hex bytecode");
+        assert!(
+            lines[codes.len() + 1].starts_with("phishing\t")
+                || lines[codes.len() + 1].starts_with("benign\t")
+        );
+        assert_eq!(report.errors, 1);
+        assert_eq!(report.contracts, codes.len() as u64 + 1);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_report() {
+        let (out, report) = serve_to_string("", &ServeOptions::default());
+        assert!(out.is_empty());
+        assert_eq!(report.contracts, 0);
+        assert_eq!(report.batches, 0);
+        let rendered = report.render("Random Forest");
+        assert!(rendered.contains("0 contract(s)"), "{rendered}");
+    }
+
+    #[test]
+    fn tcp_round_trip_over_a_real_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = listener.local_addr().expect("addr");
+        let (input, codes) = probe_lines(5);
+
+        let client = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream.write_all(input.as_bytes()).expect("send requests");
+            stream
+                .shutdown(std::net::Shutdown::Write)
+                .expect("half-close");
+            let mut response = String::new();
+            use std::io::Read;
+            stream
+                .read_to_string(&mut response)
+                .expect("read responses");
+            response
+        });
+
+        let opts = ServeOptions {
+            batch: 2,
+            workers: 2,
+        };
+        let total = serve_tcp(&listener, engine(), &opts, Some(1)).expect("serves one conn");
+        let response = client.join().expect("client thread");
+        assert_eq!(response.lines().count(), codes.len());
+        assert_eq!(total.contracts, codes.len() as u64);
+        for line in response.lines() {
+            assert!(
+                line.starts_with("phishing\t") || line.starts_with("benign\t"),
+                "{line}"
+            );
+        }
+    }
+}

@@ -18,7 +18,7 @@
 //! * [`DisasmIter`] (via [`disasm_iter`]) — the zero-allocation streaming
 //!   path. Each [`Op`] borrows its operand as a `&[u8]` slice into the
 //!   bytecode and resolves metadata through the dense
-//!   [`OpTable`](crate::opcode::OpTable), so a full pass touches no heap.
+//!   [`OpTable`], so a full pass touches no heap.
 //!   All feature extractors run on this path.
 //! * [`disassemble`] — the collecting wrapper, producing owned
 //!   [`Instruction`]s (one `Vec<u8>` operand each). Kept for callers that

@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! EVM substrate for the PhishingHook reproduction.
 //!
 //! This crate provides everything PhishingHook's *bytecode disassembler module*

@@ -108,6 +108,54 @@ impl HistogramExtractor {
     }
 }
 
+// --- Persistence -----------------------------------------------------------
+
+use phishinghook_persist::{PersistError, Reader, Restore, Snapshot, Writer};
+
+impl Snapshot for HistogramExtractor {
+    fn snapshot(&self, w: &mut Writer) {
+        w.put_usize(self.columns.len());
+        for &name in &self.columns {
+            w.put_str(name);
+        }
+        for &col in &self.byte_to_col {
+            w.put_u16(col);
+        }
+    }
+}
+
+impl Restore for HistogramExtractor {
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let n_cols = r.take_len(1)?;
+        let mut columns = Vec::with_capacity(n_cols);
+        for _ in 0..n_cols {
+            let name = r.take_str()?;
+            // Column names intern back to the registry's &'static str — a
+            // name the registry does not know cannot have been written by
+            // `fit` and marks a foreign/corrupt snapshot.
+            let interned = crate::static_mnemonic(name).ok_or_else(|| {
+                PersistError::Malformed(format!("unknown opcode mnemonic `{name}`"))
+            })?;
+            columns.push(interned);
+        }
+        let mut byte_to_col = [NO_COL; 256];
+        for col in byte_to_col.iter_mut() {
+            let v = r.take_u16()?;
+            if v != NO_COL && usize::from(v) >= columns.len() {
+                return Err(PersistError::Malformed(format!(
+                    "byte→column entry {v} out of range ({} columns)",
+                    columns.len()
+                )));
+            }
+            *col = v;
+        }
+        Ok(HistogramExtractor {
+            columns,
+            byte_to_col,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,6 +210,20 @@ mod tests {
         out.row_mut(0).fill(99.0);
         ex.transform_into(&[a], &mut out);
         assert_eq!(out.row(0), ex.transform_one(a).as_slice());
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_identity() {
+        use phishinghook_persist::{from_envelope, to_envelope};
+        let train: Vec<&[u8]> = vec![&[0x60, 0x80, 0x52, 0x00, 0x0C]];
+        let ex = HistogramExtractor::fit(&train);
+        let back: HistogramExtractor =
+            from_envelope("histogram", &to_envelope("histogram", &ex)).expect("round-trips");
+        assert_eq!(back, ex);
+        assert_eq!(
+            back.transform_one(&[0x60, 0x01]),
+            ex.transform_one(&[0x60, 0x01])
+        );
     }
 
     /// Reference implementation: the seed's two-phase HashMap path.

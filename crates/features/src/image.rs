@@ -112,6 +112,71 @@ pub fn freq_image(code: &[u8], lookup: &FreqLookup, size: usize) -> Vec<f32> {
     out
 }
 
+// --- Persistence -----------------------------------------------------------
+
+use phishinghook_persist::{PersistError, Reader, Restore, Snapshot, Writer};
+
+impl Snapshot for FreqLookup {
+    fn snapshot(&self, w: &mut Writer) {
+        // All three maps are sorted by key before writing so equal tables
+        // produce byte-identical snapshots despite HashMap iteration order.
+        let mut mnemonics: Vec<(&&'static str, &f32)> = self.mnemonic_freq.iter().collect();
+        mnemonics.sort_unstable_by_key(|(k, _)| **k);
+        w.put_usize(mnemonics.len());
+        for (name, &freq) in mnemonics {
+            w.put_str(name);
+            w.put_f32(freq);
+        }
+
+        let mut operands: Vec<(&Vec<u8>, &f32)> = self.operand_freq.iter().collect();
+        operands.sort_unstable_by_key(|(k, _)| k.as_slice());
+        w.put_usize(operands.len());
+        for (operand, &freq) in operands {
+            w.put_bytes(operand);
+            w.put_f32(freq);
+        }
+
+        let mut gas: Vec<(&u64, &f32)> = self.gas_freq.iter().collect();
+        gas.sort_unstable_by_key(|(k, _)| **k);
+        w.put_usize(gas.len());
+        for (&cost, &freq) in gas {
+            w.put_u64(cost);
+            w.put_f32(freq);
+        }
+    }
+}
+
+impl Restore for FreqLookup {
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let n_mnemonics = r.take_len(1)?;
+        let mut mnemonic_freq = HashMap::with_capacity(n_mnemonics);
+        for _ in 0..n_mnemonics {
+            let name = r.take_str()?;
+            let interned = crate::static_mnemonic(name).ok_or_else(|| {
+                PersistError::Malformed(format!("unknown opcode mnemonic `{name}`"))
+            })?;
+            mnemonic_freq.insert(interned, r.take_f32()?);
+        }
+        let n_operands = r.take_len(1)?;
+        let mut operand_freq = HashMap::with_capacity(n_operands);
+        for _ in 0..n_operands {
+            let operand = r.take_bytes()?.to_vec();
+            operand_freq.insert(operand, r.take_f32()?);
+        }
+        let n_gas = r.take_len(12)?; // 8 key bytes + 4 value bytes per entry
+        let mut gas_freq = HashMap::with_capacity(n_gas);
+        for _ in 0..n_gas {
+            let cost = r.take_u64()?;
+            gas_freq.insert(cost, r.take_f32()?);
+        }
+        Ok(FreqLookup {
+            mnemonic_freq,
+            operand_freq,
+            gas_freq,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +231,18 @@ mod tests {
         // Three instructions → three non-zero R pixels.
         let r_nonzero = img[..hw].iter().filter(|&&v| v > 0.0).count();
         assert_eq!(r_nonzero, 3);
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_identity_and_deterministic() {
+        use phishinghook_persist::{from_envelope, to_envelope};
+        let code = [0x60, 0x80, 0x60, 0x40, 0x52, 0x00, 0x01];
+        let lookup = FreqLookup::fit(&[&code]);
+        let bytes = to_envelope("freq", &lookup);
+        assert_eq!(bytes, to_envelope("freq", &lookup.clone()));
+        let back: FreqLookup = from_envelope("freq", &bytes).expect("round-trips");
+        assert_eq!(back, lookup);
+        assert_eq!(freq_image(&code, &back, 4), freq_image(&code, &lookup, 4));
     }
 
     proptest! {

@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! Feature extraction for opcode-based phishing detection.
 //!
 //! One module per feature path in the paper's model zoo:
@@ -7,7 +9,7 @@
 //! | [`histogram`] | the 7 HSCs | raw opcode-occurrence histograms |
 //! | [`image`] | ViT+R2D2, ECA+EfficientNet, ViT+Freq | RGB byte images / frequency-encoded images |
 //! | [`ngram`] | SCSGuard | 3-byte ("6 hex chars") bigram vocabulary |
-//! | [`tokenize`] | GPT-2α/β, T5α/β | byte tokens, truncation (α) vs sliding window (β) |
+//! | [`tokenize`](mod@tokenize) | GPT-2α/β, T5α/β | byte tokens, truncation (α) vs sliding window (β) |
 //! | [`escort`] | ESCORT | hashed bytecode embedding + vulnerability pseudo-labels |
 
 pub mod escort;
@@ -20,3 +22,12 @@ pub use histogram::HistogramExtractor;
 pub use image::{freq_image, r2d2_image, FreqLookup};
 pub use ngram::BigramVocab;
 pub use tokenize::{token_windows, tokenize, TokenWindows, Tokenization};
+
+/// Resolves a mnemonic string back to its interned `&'static str` from the
+/// opcode registry — the restore-side inverse of storing `&'static str`
+/// column/key names in snapshots.
+pub(crate) fn static_mnemonic(name: &str) -> Option<&'static str> {
+    (0..phishinghook_evm::opcode::N_MNEMONICS as u16)
+        .map(phishinghook_evm::opcode::mnemonic_str)
+        .find(|&m| m == name)
+}

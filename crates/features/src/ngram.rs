@@ -78,6 +78,49 @@ impl BigramVocab {
     }
 }
 
+// --- Persistence -----------------------------------------------------------
+
+use phishinghook_persist::{PersistError, Reader, Restore, Snapshot, Writer};
+
+impl Snapshot for BigramVocab {
+    fn snapshot(&self, w: &mut Writer) {
+        w.put_usize(self.max_len);
+        // HashMap iteration order is nondeterministic; sort by chunk key so
+        // equal vocabularies produce byte-identical snapshots.
+        let mut entries: Vec<(&[u8; 4], usize)> = self.ids.iter().map(|(k, &v)| (k, v)).collect();
+        entries.sort_unstable_by_key(|(k, _)| **k);
+        w.put_usize(entries.len());
+        for (chunk, id) in entries {
+            w.put_raw(chunk);
+            w.put_usize(id);
+        }
+    }
+}
+
+impl Restore for BigramVocab {
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let max_len = r.take_usize()?;
+        let n = r.take_len(12)?; // 4 key bytes + 8 id bytes per entry
+        let mut ids = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let raw = r.take_raw(4)?;
+            let chunk = [raw[0], raw[1], raw[2], raw[3]];
+            let id = r.take_usize()?;
+            if id < 2 {
+                return Err(PersistError::Malformed(format!(
+                    "content chunk {chunk:?} mapped to reserved id {id}"
+                )));
+            }
+            if ids.insert(chunk, id).is_some() {
+                return Err(PersistError::Malformed(format!(
+                    "duplicate vocabulary chunk {chunk:?}"
+                )));
+            }
+        }
+        Ok(BigramVocab { ids, max_len })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +184,19 @@ mod tests {
         assert_eq!(seq.len(), 3);
         assert!(seq[0] >= 2 && seq[1] >= 2);
         assert_eq!(seq[2], PAD);
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_identity_and_deterministic() {
+        use phishinghook_persist::{from_envelope, to_envelope};
+        let code: Vec<u8> = (0..60).collect();
+        let vocab = BigramVocab::fit(&[code.as_slice()], 16, 8);
+        let bytes = to_envelope("vocab", &vocab);
+        // HashMap order must not leak into the encoding.
+        assert_eq!(bytes, to_envelope("vocab", &vocab.clone()));
+        let back: BigramVocab = from_envelope("vocab", &bytes).expect("round-trips");
+        assert_eq!(back, vocab);
+        assert_eq!(back.encode(&code), vocab.encode(&code));
     }
 
     proptest! {

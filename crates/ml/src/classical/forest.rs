@@ -76,6 +76,13 @@ impl RandomForest {
         &self.config
     }
 
+    /// Number of features the fitted trees expect (`None` before fit).
+    /// Snapshot restore uses this to cross-check the forest against the
+    /// feature extractor it is paired with.
+    pub fn n_features(&self) -> Option<usize> {
+        self.trees.first().map(DecisionTree::n_features)
+    }
+
     /// Rows per inference block: small enough that a block's probabilities
     /// stay in cache while every tree accumulates into it, large enough to
     /// amortize the per-tree loop overhead.
@@ -183,6 +190,52 @@ impl Classifier for RandomForest {
 
     fn name(&self) -> &'static str {
         "Random Forest"
+    }
+}
+
+// --- Persistence -----------------------------------------------------------
+
+use phishinghook_persist::{PersistError, Reader, Restore, Snapshot, Writer};
+
+impl Snapshot for ForestConfig {
+    fn snapshot(&self, w: &mut Writer) {
+        w.put_usize(self.n_trees);
+        w.put_usize(self.max_depth);
+        w.put_usize(self.min_samples_split);
+        w.put_usize(self.min_samples_leaf);
+        self.max_features.snapshot(w);
+        w.put_u64(self.seed);
+        w.put_usize(self.threads);
+    }
+}
+
+impl Restore for ForestConfig {
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(ForestConfig {
+            n_trees: r.take_usize()?,
+            max_depth: r.take_usize()?,
+            min_samples_split: r.take_usize()?,
+            min_samples_leaf: r.take_usize()?,
+            max_features: Option::restore(r)?,
+            seed: r.take_u64()?,
+            threads: r.take_usize()?,
+        })
+    }
+}
+
+impl Snapshot for RandomForest {
+    fn snapshot(&self, w: &mut Writer) {
+        self.config.snapshot(w);
+        self.trees.snapshot(w);
+    }
+}
+
+impl Restore for RandomForest {
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(RandomForest {
+            config: ForestConfig::restore(r)?,
+            trees: Vec::restore(r)?,
+        })
     }
 }
 
@@ -360,6 +413,27 @@ mod tests {
                 Some(b) => assert_eq!(&probs, b, "threads = {threads}"),
             }
         }
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical() {
+        use phishinghook_persist::{from_envelope, to_envelope};
+        let (x, y) = blobs(80, 21);
+        let mut rf = RandomForest::new(ForestConfig {
+            n_trees: 9,
+            seed: 3,
+            ..ForestConfig::default()
+        });
+        rf.fit(&x, &y);
+        let bytes = to_envelope("forest", &rf);
+        let back: RandomForest = from_envelope("forest", &bytes).expect("round-trips");
+        assert_eq!(back.config(), rf.config());
+        assert_eq!(back.trees().len(), rf.trees().len());
+        let (a, b) = (rf.predict_proba_batch(&x), back.predict_proba_batch(&x));
+        assert_eq!(
+            a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

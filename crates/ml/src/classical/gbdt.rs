@@ -191,6 +191,32 @@ impl GradientBoosting {
         &self.config
     }
 
+    /// Highest feature index any fitted tree tests (`None` for an ensemble
+    /// of pure leaves or before fit). Snapshot restore uses this to
+    /// cross-check the ensemble against the feature extractor it is paired
+    /// with — the trees themselves do not store a feature count.
+    pub fn max_feature_index(&self) -> Option<usize> {
+        let mut max: Option<usize> = None;
+        let mut bump = |f: usize| max = Some(max.map_or(f, |m: usize| m.max(f)));
+        for tree in &self.trees {
+            match tree {
+                BoostTree::Reg(t) => {
+                    for node in &t.nodes {
+                        if let RegNode::Split { feature, .. } = node {
+                            bump(*feature);
+                        }
+                    }
+                }
+                BoostTree::Oblivious(t) => {
+                    for &(feature, _) in &t.conditions {
+                        bump(feature);
+                    }
+                }
+            }
+        }
+        max
+    }
+
     fn raw_scores(&self, x: &Matrix) -> Vec<f64> {
         x.iter_rows()
             .map(|row| self.base_score + self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>())
@@ -369,6 +395,203 @@ impl Classifier for GradientBoosting {
             BoostVariant::Histogram => "LightGBM",
             BoostVariant::Oblivious => "CatBoost",
         }
+    }
+}
+
+// --- Persistence -----------------------------------------------------------
+
+use phishinghook_persist::{PersistError, Reader, Restore, Snapshot, Writer};
+
+impl Snapshot for BoostVariant {
+    fn snapshot(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            BoostVariant::Exact => 0,
+            BoostVariant::Histogram => 1,
+            BoostVariant::Oblivious => 2,
+        });
+    }
+}
+
+impl Restore for BoostVariant {
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        match r.take_u8()? {
+            0 => Ok(BoostVariant::Exact),
+            1 => Ok(BoostVariant::Histogram),
+            2 => Ok(BoostVariant::Oblivious),
+            tag => Err(PersistError::Malformed(format!(
+                "unknown boosting variant tag {tag:#04x}"
+            ))),
+        }
+    }
+}
+
+impl Snapshot for GbdtConfig {
+    fn snapshot(&self, w: &mut Writer) {
+        self.variant.snapshot(w);
+        w.put_usize(self.n_rounds);
+        w.put_f64(self.learning_rate);
+        w.put_usize(self.max_depth);
+        w.put_usize(self.max_leaves);
+        w.put_f64(self.lambda);
+        w.put_f64(self.gamma);
+        w.put_f64(self.min_child_weight);
+        w.put_f64(self.subsample);
+        w.put_f64(self.colsample);
+        w.put_usize(self.n_bins);
+        w.put_u64(self.seed);
+    }
+}
+
+impl Restore for GbdtConfig {
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(GbdtConfig {
+            variant: BoostVariant::restore(r)?,
+            n_rounds: r.take_usize()?,
+            learning_rate: r.take_f64()?,
+            max_depth: r.take_usize()?,
+            max_leaves: r.take_usize()?,
+            lambda: r.take_f64()?,
+            gamma: r.take_f64()?,
+            min_child_weight: r.take_f64()?,
+            subsample: r.take_f64()?,
+            colsample: r.take_f64()?,
+            n_bins: r.take_usize()?,
+            seed: r.take_u64()?,
+        })
+    }
+}
+
+impl Snapshot for RegNode {
+    fn snapshot(&self, w: &mut Writer) {
+        match *self {
+            RegNode::Leaf { weight } => {
+                w.put_u8(0);
+                w.put_f64(weight);
+            }
+            RegNode::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                w.put_u8(1);
+                w.put_usize(feature);
+                w.put_f64(threshold);
+                w.put_usize(left);
+                w.put_usize(right);
+            }
+        }
+    }
+}
+
+impl Restore for RegNode {
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        match r.take_u8()? {
+            0 => Ok(RegNode::Leaf {
+                weight: r.take_f64()?,
+            }),
+            1 => Ok(RegNode::Split {
+                feature: r.take_usize()?,
+                threshold: r.take_f64()?,
+                left: r.take_usize()?,
+                right: r.take_usize()?,
+            }),
+            tag => Err(PersistError::Malformed(format!(
+                "unknown boost-node tag {tag:#04x}"
+            ))),
+        }
+    }
+}
+
+impl Snapshot for BoostTree {
+    fn snapshot(&self, w: &mut Writer) {
+        match self {
+            BoostTree::Reg(t) => {
+                w.put_u8(0);
+                t.nodes.snapshot(w);
+            }
+            BoostTree::Oblivious(t) => {
+                w.put_u8(1);
+                w.put_usize(t.conditions.len());
+                for &(feature, threshold) in &t.conditions {
+                    w.put_usize(feature);
+                    w.put_f64(threshold);
+                }
+                t.leaf_weights.snapshot(w);
+            }
+        }
+    }
+}
+
+impl Restore for BoostTree {
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        match r.take_u8()? {
+            0 => {
+                let nodes: Vec<RegNode> = Vec::restore(r)?;
+                for (i, node) in nodes.iter().enumerate() {
+                    if let RegNode::Split { left, right, .. } = *node {
+                        // Forward-only children (builders push parents
+                        // first), so a crafted cyclic tree cannot hang
+                        // `predict_row`.
+                        if left >= nodes.len() || right >= nodes.len() || left <= i || right <= i {
+                            return Err(PersistError::Malformed(format!(
+                                "boost node {i} has invalid children ({left}/{right} of {})",
+                                nodes.len()
+                            )));
+                        }
+                    }
+                }
+                Ok(BoostTree::Reg(RegTree { nodes }))
+            }
+            1 => {
+                let n_conditions = r.take_len(16)?; // 8-byte feature + 8-byte threshold each
+                let mut conditions = Vec::with_capacity(n_conditions);
+                for _ in 0..n_conditions {
+                    conditions.push((r.take_usize()?, r.take_f64()?));
+                }
+                let leaf_weights: Vec<f64> = Vec::restore(r)?;
+                // predict_row indexes leaves by the condition bit-vector, so
+                // the weight table must cover all 2^levels indices.
+                let expected = 1usize.checked_shl(conditions.len() as u32).ok_or_else(|| {
+                    PersistError::Malformed(format!(
+                        "oblivious tree with {} levels overflows",
+                        conditions.len()
+                    ))
+                })?;
+                if leaf_weights.len() != expected {
+                    return Err(PersistError::Malformed(format!(
+                        "oblivious tree with {} levels needs {expected} leaves, has {}",
+                        conditions.len(),
+                        leaf_weights.len()
+                    )));
+                }
+                Ok(BoostTree::Oblivious(ObliviousTree {
+                    conditions,
+                    leaf_weights,
+                }))
+            }
+            tag => Err(PersistError::Malformed(format!(
+                "unknown boost-tree tag {tag:#04x}"
+            ))),
+        }
+    }
+}
+
+impl Snapshot for GradientBoosting {
+    fn snapshot(&self, w: &mut Writer) {
+        self.config.snapshot(w);
+        w.put_f64(self.base_score);
+        self.trees.snapshot(w);
+    }
+}
+
+impl Restore for GradientBoosting {
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(GradientBoosting {
+            config: GbdtConfig::restore(r)?,
+            base_score: r.take_f64()?,
+            trees: Vec::restore(r)?,
+        })
     }
 }
 
@@ -707,6 +930,33 @@ mod tests {
             y.push(label);
         }
         (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn snapshot_round_trip_per_variant_is_bit_identical() {
+        use phishinghook_persist::{from_envelope, to_envelope};
+        let (x, y) = blobs(60, 31);
+        for variant in [
+            BoostVariant::Exact,
+            BoostVariant::Histogram,
+            BoostVariant::Oblivious,
+        ] {
+            let mut model = GradientBoosting::new(GbdtConfig {
+                variant,
+                n_rounds: 12,
+                ..GbdtConfig::default()
+            });
+            model.fit(&x, &y);
+            let bytes = to_envelope("gbdt", &model);
+            let back: GradientBoosting = from_envelope("gbdt", &bytes).expect("round-trips");
+            assert_eq!(back.config(), model.config());
+            let (a, b) = (model.predict_proba(&x), back.predict_proba(&x));
+            assert_eq!(
+                a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{variant:?}"
+            );
+        }
     }
 
     fn xor(n: usize, seed: u64) -> (Matrix, Vec<usize>) {

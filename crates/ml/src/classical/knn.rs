@@ -30,6 +30,11 @@ impl KNearestNeighbors {
         }
     }
 
+    /// Width of the stored training rows (0 before fit).
+    pub fn n_features(&self) -> usize {
+        self.train_x.cols()
+    }
+
     fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
         a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
     }
@@ -66,6 +71,49 @@ impl Classifier for KNearestNeighbors {
 
     fn name(&self) -> &'static str {
         "k-NN"
+    }
+}
+
+// --- Persistence -----------------------------------------------------------
+
+use phishinghook_persist::{PersistError, Reader, Restore, Snapshot, Writer};
+
+impl Snapshot for KNearestNeighbors {
+    fn snapshot(&self, w: &mut Writer) {
+        // k-NN's fitted state *is* the training set.
+        w.put_usize(self.k);
+        self.train_x.snapshot(w);
+        self.train_y.snapshot(w);
+    }
+}
+
+impl Restore for KNearestNeighbors {
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let k = r.take_usize()?;
+        if k == 0 {
+            return Err(PersistError::Malformed("k-NN with k = 0".to_owned()));
+        }
+        let train_x = Matrix::restore(r)?;
+        let train_y: Vec<usize> = Vec::restore(r)?;
+        if train_x.rows() != train_y.len() {
+            return Err(PersistError::Malformed(format!(
+                "k-NN has {} training rows but {} labels",
+                train_x.rows(),
+                train_y.len()
+            )));
+        }
+        // `fit` rejects empty training sets, so no legitimate snapshot has
+        // zero rows — and predicting on one would panic.
+        if train_x.rows() == 0 {
+            return Err(PersistError::Malformed(
+                "k-NN with an empty training set".to_owned(),
+            ));
+        }
+        Ok(KNearestNeighbors {
+            k,
+            train_x,
+            train_y,
+        })
     }
 }
 

@@ -275,6 +275,80 @@ impl Classifier for LinearSvm {
     }
 }
 
+// --- Persistence -----------------------------------------------------------
+
+use phishinghook_persist::{PersistError, Reader, Restore, Snapshot, Writer};
+
+impl Snapshot for Scaler {
+    fn snapshot(&self, w: &mut Writer) {
+        self.means.snapshot(w);
+        self.stds.snapshot(w);
+    }
+}
+
+impl Restore for Scaler {
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let means: Vec<f64> = Vec::restore(r)?;
+        let stds: Vec<f64> = Vec::restore(r)?;
+        if means.len() != stds.len() {
+            return Err(PersistError::Malformed(format!(
+                "scaler has {} means but {} stds",
+                means.len(),
+                stds.len()
+            )));
+        }
+        Ok(Scaler { means, stds })
+    }
+}
+
+impl Snapshot for LogisticRegression {
+    fn snapshot(&self, w: &mut Writer) {
+        w.put_f64(self.learning_rate);
+        w.put_usize(self.epochs);
+        w.put_f64(self.l2);
+        self.weights.snapshot(w);
+        w.put_f64(self.bias);
+        self.scaler.snapshot(w);
+    }
+}
+
+impl Restore for LogisticRegression {
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(LogisticRegression {
+            learning_rate: r.take_f64()?,
+            epochs: r.take_usize()?,
+            l2: r.take_f64()?,
+            weights: Vec::restore(r)?,
+            bias: r.take_f64()?,
+            scaler: Option::restore(r)?,
+        })
+    }
+}
+
+impl Snapshot for LinearSvm {
+    fn snapshot(&self, w: &mut Writer) {
+        w.put_f64(self.lambda);
+        w.put_usize(self.epochs);
+        w.put_u64(self.seed);
+        self.weights.snapshot(w);
+        w.put_f64(self.bias);
+        self.scaler.snapshot(w);
+    }
+}
+
+impl Restore for LinearSvm {
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(LinearSvm {
+            lambda: r.take_f64()?,
+            epochs: r.take_usize()?,
+            seed: r.take_u64()?,
+            weights: Vec::restore(r)?,
+            bias: r.take_f64()?,
+            scaler: Option::restore(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

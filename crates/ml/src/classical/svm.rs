@@ -69,6 +69,16 @@ impl RbfSvm {
         Self::new(RbfSvmConfig::default())
     }
 
+    /// Width of the raw feature space the fitted Fourier map projects from
+    /// (`None` before fit).
+    pub fn n_features(&self) -> Option<usize> {
+        if self.w.rows() == 0 {
+            None
+        } else {
+            Some(self.w.cols())
+        }
+    }
+
     /// Applies the fitted random feature map to a standardized row.
     fn features(&self, scaled: &[f64]) -> Vec<f64> {
         let norm = (2.0 / self.config.n_components as f64).sqrt();
@@ -139,6 +149,56 @@ impl Classifier for RbfSvm {
 
     fn name(&self) -> &'static str {
         "SVM"
+    }
+}
+
+// --- Persistence -----------------------------------------------------------
+
+use phishinghook_persist::{PersistError, Reader, Restore, Snapshot, Writer};
+
+impl Snapshot for RbfSvmConfig {
+    fn snapshot(&self, w: &mut Writer) {
+        self.gamma.snapshot(w);
+        w.put_usize(self.n_components);
+        w.put_f64(self.lambda);
+        w.put_usize(self.epochs);
+        w.put_u64(self.seed);
+    }
+}
+
+impl Restore for RbfSvmConfig {
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(RbfSvmConfig {
+            gamma: Option::restore(r)?,
+            n_components: r.take_usize()?,
+            lambda: r.take_f64()?,
+            epochs: r.take_usize()?,
+            seed: r.take_u64()?,
+        })
+    }
+}
+
+impl Snapshot for RbfSvm {
+    fn snapshot(&self, w: &mut Writer) {
+        // Both the fitted random feature map (W, b) and the linear model on
+        // top of it travel, so restored decision values are bit-identical.
+        self.config.snapshot(w);
+        self.w.snapshot(w);
+        self.phases.snapshot(w);
+        self.linear.snapshot(w);
+        self.scaler.snapshot(w);
+    }
+}
+
+impl Restore for RbfSvm {
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(RbfSvm {
+            config: RbfSvmConfig::restore(r)?,
+            w: Matrix::restore(r)?,
+            phases: Vec::restore(r)?,
+            linear: LinearSvm::restore(r)?,
+            scaler: Option::restore(r)?,
+        })
     }
 }
 

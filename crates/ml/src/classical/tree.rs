@@ -457,6 +457,130 @@ impl Classifier for DecisionTree {
     }
 }
 
+// --- Persistence -----------------------------------------------------------
+
+use phishinghook_persist::{PersistError, Reader, Restore, Snapshot, Writer};
+
+impl Snapshot for TreeConfig {
+    fn snapshot(&self, w: &mut Writer) {
+        w.put_usize(self.max_depth);
+        w.put_usize(self.min_samples_split);
+        w.put_usize(self.min_samples_leaf);
+        self.max_features.snapshot(w);
+        w.put_u64(self.seed);
+    }
+}
+
+impl Restore for TreeConfig {
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(TreeConfig {
+            max_depth: r.take_usize()?,
+            min_samples_split: r.take_usize()?,
+            min_samples_leaf: r.take_usize()?,
+            max_features: Option::restore(r)?,
+            seed: r.take_u64()?,
+        })
+    }
+}
+
+impl Snapshot for Node {
+    fn snapshot(&self, w: &mut Writer) {
+        match *self {
+            Node::Leaf { proba, cover } => {
+                w.put_u8(0);
+                w.put_f64(proba);
+                w.put_f64(cover);
+            }
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+                cover,
+            } => {
+                w.put_u8(1);
+                w.put_usize(feature);
+                w.put_f64(threshold);
+                w.put_usize(left);
+                w.put_usize(right);
+                w.put_f64(cover);
+            }
+        }
+    }
+}
+
+impl Restore for Node {
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        match r.take_u8()? {
+            0 => Ok(Node::Leaf {
+                proba: r.take_f64()?,
+                cover: r.take_f64()?,
+            }),
+            1 => Ok(Node::Split {
+                feature: r.take_usize()?,
+                threshold: r.take_f64()?,
+                left: r.take_usize()?,
+                right: r.take_usize()?,
+                cover: r.take_f64()?,
+            }),
+            tag => Err(PersistError::Malformed(format!(
+                "unknown tree-node tag {tag:#04x}"
+            ))),
+        }
+    }
+}
+
+impl Snapshot for DecisionTree {
+    fn snapshot(&self, w: &mut Writer) {
+        // The flat struct-of-arrays mirror is derived state: only the
+        // canonical arena travels, and restore rebuilds the mirror exactly
+        // as `fit_indices` does.
+        self.config.snapshot(w);
+        w.put_usize(self.n_features);
+        self.nodes.snapshot(w);
+    }
+}
+
+impl Restore for DecisionTree {
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let config = TreeConfig::restore(r)?;
+        let n_features = r.take_usize()?;
+        let nodes: Vec<Node> = Vec::restore(r)?;
+        for (i, node) in nodes.iter().enumerate() {
+            if let Node::Split {
+                feature,
+                left,
+                right,
+                ..
+            } = *node
+            {
+                if feature >= n_features || feature >= usize::from(FlatNodes::LEAF) {
+                    return Err(PersistError::Malformed(format!(
+                        "node {i} splits on feature {feature} but the tree has {n_features}"
+                    )));
+                }
+                // Children must point strictly forward: `build` pushes the
+                // parent before recursing, so every legitimate arena is
+                // topologically ordered — and forward-only edges make
+                // cycles (which would hang the lockstep walk) impossible.
+                if left >= nodes.len() || right >= nodes.len() || left <= i || right <= i {
+                    return Err(PersistError::Malformed(format!(
+                        "node {i} has invalid children ({left}/{right} of {})",
+                        nodes.len()
+                    )));
+                }
+            }
+        }
+        let flat = FlatNodes::from_arena(&nodes);
+        Ok(DecisionTree {
+            config,
+            nodes,
+            flat,
+            n_features,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

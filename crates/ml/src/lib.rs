@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! From-scratch machine-learning substrate for the PhishingHook reproduction.
 //!
 //! The paper's model evaluation module (MEM) is built on scikit-learn,

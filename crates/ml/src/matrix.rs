@@ -199,6 +199,54 @@ impl Matrix {
         self.data.extend_from_slice(row);
         self.rows += 1;
     }
+
+    /// Reshapes in place to `rows × cols`, zeroing every element.
+    ///
+    /// Keeps the existing allocation when it is large enough — the batched
+    /// scoring paths call this once per batch to reuse one scratch matrix
+    /// instead of allocating a fresh one.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+}
+
+impl phishinghook_persist::Snapshot for Matrix {
+    fn snapshot(&self, w: &mut phishinghook_persist::Writer) {
+        w.put_usize(self.rows);
+        w.put_usize(self.cols);
+        for &v in &self.data {
+            w.put_f64(v);
+        }
+    }
+}
+
+impl phishinghook_persist::Restore for Matrix {
+    fn restore(
+        r: &mut phishinghook_persist::Reader<'_>,
+    ) -> Result<Self, phishinghook_persist::PersistError> {
+        let rows = r.take_usize()?;
+        let cols = r.take_usize()?;
+        let n = rows.checked_mul(cols).ok_or_else(|| {
+            phishinghook_persist::PersistError::Malformed(format!(
+                "matrix shape {rows}×{cols} overflows"
+            ))
+        })?;
+        // 8 bytes per element: rejects absurd shapes before allocating.
+        if n.saturating_mul(8) > r.remaining() {
+            return Err(phishinghook_persist::PersistError::Truncated {
+                needed: n.saturating_mul(8),
+                available: r.remaining(),
+            });
+        }
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(r.take_f64()?);
+        }
+        Ok(Matrix { rows, cols, data })
+    }
 }
 
 impl Index<(usize, usize)> for Matrix {

@@ -983,6 +983,44 @@ impl Tensor {
     }
 }
 
+// --- Persistence -----------------------------------------------------------
+
+impl phishinghook_persist::Snapshot for Tensor {
+    /// Serializes shape, `requires_grad` and the data buffer. Autograd
+    /// history (parents, backward functions, accumulated gradients) is
+    /// deliberately dropped: a snapshot stores *weights*, and a restored
+    /// tensor is a fresh leaf exactly like one built with [`Tensor::new`].
+    fn snapshot(&self, w: &mut phishinghook_persist::Writer) {
+        self.shape().to_vec().snapshot(w);
+        w.put_bool(self.requires_grad());
+        w.put_usize(self.len());
+        for &v in self.data().iter() {
+            w.put_f32(v);
+        }
+    }
+}
+
+impl phishinghook_persist::Restore for Tensor {
+    fn restore(
+        r: &mut phishinghook_persist::Reader<'_>,
+    ) -> Result<Self, phishinghook_persist::PersistError> {
+        let shape: Vec<usize> = Vec::restore(r)?;
+        let requires_grad = r.take_bool()?;
+        let len = r.take_len(4)?;
+        if len != numel(&shape) {
+            return Err(phishinghook_persist::PersistError::Malformed(format!(
+                "tensor shape {shape:?} expects {} elements, snapshot has {len}",
+                numel(&shape)
+            )));
+        }
+        let mut data = Vec::with_capacity(len);
+        for _ in 0..len {
+            data.push(r.take_f32()?);
+        }
+        Ok(Tensor::new(data, &shape, requires_grad))
+    }
+}
+
 /// `out += A(m×k) · B(k×n)` — plain ikj kernel.
 fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     for i in 0..m {

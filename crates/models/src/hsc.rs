@@ -207,6 +207,162 @@ impl Detector for HscDetector {
     }
 }
 
+// --- Persistence -----------------------------------------------------------
+
+use phishinghook_persist::{PersistError, Reader, Restore, Snapshot, Writer};
+
+/// Envelope kind tag of [`HscDetector`] snapshots (see
+/// `phishinghook_persist`'s crate docs for the envelope layout).
+pub const SNAPSHOT_KIND: &str = "hsc-detector";
+
+/// The seven HSC names in Table II order (the only names a snapshot may
+/// carry; restoring interns back to these statics).
+const HSC_NAMES: [&str; 7] = [
+    "Random Forest",
+    "k-NN",
+    "SVM",
+    "Logistic Regression",
+    "XGBoost",
+    "LightGBM",
+    "CatBoost",
+];
+
+impl Snapshot for HscModel {
+    fn snapshot(&self, w: &mut Writer) {
+        match self {
+            HscModel::RandomForest(m) => {
+                w.put_u8(0);
+                m.snapshot(w);
+            }
+            HscModel::Knn(m) => {
+                w.put_u8(1);
+                m.snapshot(w);
+            }
+            HscModel::Svm(m) => {
+                w.put_u8(2);
+                m.snapshot(w);
+            }
+            HscModel::LogisticRegression(m) => {
+                w.put_u8(3);
+                m.snapshot(w);
+            }
+            HscModel::Boosted(m) => {
+                w.put_u8(4);
+                m.snapshot(w);
+            }
+        }
+    }
+}
+
+impl Restore for HscModel {
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        match r.take_u8()? {
+            0 => Ok(HscModel::RandomForest(RandomForest::restore(r)?)),
+            1 => Ok(HscModel::Knn(KNearestNeighbors::restore(r)?)),
+            2 => Ok(HscModel::Svm(RbfSvm::restore(r)?)),
+            3 => Ok(HscModel::LogisticRegression(LogisticRegression::restore(
+                r,
+            )?)),
+            4 => Ok(HscModel::Boosted(GradientBoosting::restore(r)?)),
+            tag => Err(PersistError::Malformed(format!(
+                "unknown HSC model tag {tag:#04x}"
+            ))),
+        }
+    }
+}
+
+impl Snapshot for HscDetector {
+    fn snapshot(&self, w: &mut Writer) {
+        w.put_str(self.name);
+        self.model.snapshot(w);
+        self.extractor.snapshot(w);
+    }
+}
+
+impl Restore for HscDetector {
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let stored = r.take_str()?;
+        let name = HSC_NAMES
+            .into_iter()
+            .find(|&n| n == stored)
+            .ok_or_else(|| PersistError::Malformed(format!("unknown HSC name `{stored}`")))?;
+        let model = HscModel::restore(r)?;
+        let extractor: Option<HistogramExtractor> = Option::restore(r)?;
+        // Cross-check the model's feature width against the extractor it is
+        // paired with: a mismatch can never come from `fit`, and scoring
+        // through it would index feature rows out of bounds at request time
+        // instead of failing here at load time.
+        if let Some(ex) = &extractor {
+            let width = ex.n_features();
+            let consistent = match &model {
+                HscModel::RandomForest(m) => m.trees().iter().all(|t| t.n_features() == width),
+                HscModel::Knn(m) => m.n_features() == width,
+                HscModel::Svm(m) => m.n_features() == Some(width),
+                HscModel::LogisticRegression(m) => m.weights().len() == width,
+                HscModel::Boosted(m) => m.max_feature_index().is_none_or(|f| f < width),
+            };
+            if !consistent {
+                return Err(PersistError::Malformed(format!(
+                    "`{name}` model does not match its {width}-column extractor"
+                )));
+            }
+        }
+        Ok(HscDetector {
+            name,
+            model,
+            extractor,
+        })
+    }
+}
+
+impl HscDetector {
+    /// `true` once [`Detector::fit`] (or a fitted snapshot) has produced a
+    /// histogram vocabulary.
+    pub fn is_fitted(&self) -> bool {
+        self.extractor.is_some()
+    }
+
+    /// Class-1 probabilities on an already-extracted feature matrix (rows
+    /// from this detector's [`HscDetector::extractor`]). This is the serving
+    /// hot path: combined with
+    /// [`HistogramExtractor::transform_into`] it scores a batch without
+    /// allocating per-contract rows.
+    pub fn predict_proba(&self, x: &phishinghook_ml::Matrix) -> Vec<f64> {
+        self.model.as_classifier().predict_proba(x)
+    }
+
+    /// Serializes the fitted detector into a versioned snapshot envelope.
+    pub fn to_snapshot_bytes(&self) -> Vec<u8> {
+        phishinghook_persist::to_envelope(SNAPSHOT_KIND, self)
+    }
+
+    /// Restores a detector from snapshot bytes.
+    ///
+    /// # Errors
+    /// Any [`PersistError`]: wrong magic/kind, version skew, corruption
+    /// (checksum), truncation, or a malformed payload.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, PersistError> {
+        phishinghook_persist::from_envelope(SNAPSHOT_KIND, bytes)
+    }
+
+    /// Saves the detector snapshot to a file.
+    ///
+    /// # Errors
+    /// [`PersistError::Io`] on filesystem failure.
+    pub fn save_snapshot(&self, path: impl AsRef<std::path::Path>) -> Result<(), PersistError> {
+        phishinghook_persist::save_file(path, SNAPSHOT_KIND, self)
+    }
+
+    /// Loads a detector snapshot from a file.
+    ///
+    /// # Errors
+    /// [`PersistError::Io`] when the file cannot be read, otherwise any
+    /// decode error from [`HscDetector::from_snapshot_bytes`].
+    pub fn load_snapshot(path: impl AsRef<std::path::Path>) -> Result<Self, PersistError> {
+        phishinghook_persist::load_file(path, SNAPSHOT_KIND)
+    }
+}
+
 /// All seven HSC detectors in the paper's Table II order.
 pub fn all_hscs(seed: u64) -> Vec<HscDetector> {
     vec![
@@ -278,6 +434,27 @@ mod tests {
     fn predict_before_fit_panics() {
         let det = HscDetector::knn();
         let _ = det.predict(&[&[0x60, 0x80][..]]);
+    }
+
+    #[test]
+    fn snapshot_with_mismatched_extractor_is_rejected() {
+        // A model paired with an extractor of a different feature width can
+        // never come from `fit`; restoring one must fail at load time, not
+        // index out of bounds at scoring time.
+        let (codes, labels) = tiny_corpus();
+        let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
+        let mut det = HscDetector::random_forest(7);
+        det.fit(&refs[..40], &labels[..40]);
+        // Swap in a vocabulary fitted on one trivial bytecode (far fewer
+        // columns than the forest was trained on).
+        let narrow = phishinghook_features::HistogramExtractor::fit(&[&[0x60, 0x80][..]]);
+        assert_ne!(narrow.n_features(), det.extractor().unwrap().n_features());
+        det.extractor = Some(narrow);
+        let err = HscDetector::from_snapshot_bytes(&det.to_snapshot_bytes()).unwrap_err();
+        assert!(
+            matches!(err, phishinghook_persist::PersistError::Malformed(_)),
+            "{err:?}"
+        );
     }
 
     #[test]

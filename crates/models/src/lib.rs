@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! The 16 PhishingHook detection models (paper §IV-B, Table II).
 //!
 //! | Category | Models |
@@ -15,12 +17,14 @@ pub mod detector;
 pub mod escort_model;
 pub mod hsc;
 pub mod language;
+pub mod scoring;
 pub mod vision;
 
 pub use detector::{Category, Detector, FoldFeatures, HistogramFeatures};
 pub use escort_model::{EscortConfig, EscortDetector};
 pub use hsc::{all_hscs, HscDetector, HscModel};
 pub use language::{LanguageConfig, ScsGuardDetector, TransformerLm};
+pub use scoring::ScoringEngine;
 pub use vision::{VisionConfig, VisionDetector};
 
 /// Scaling preset controlling the deep models' capacity and training budget

@@ -1,0 +1,216 @@
+//! The train-once/score-forever serving path.
+//!
+//! [`ScoringEngine`] wraps a fitted [`HscDetector`] (usually restored from a
+//! snapshot) behind a batched scoring API that reuses one scratch feature
+//! matrix across calls: each batch streams bytecodes through
+//! [`HistogramExtractor::transform_into`] into the preallocated matrix and
+//! scores it with the detector's batch inference — the same
+//! disasm→extract→infer hot path the pipeline benchmark measures, with zero
+//! steady-state allocation beyond the output vector.
+//!
+//! Engines are cheap to fan out across worker threads:
+//! [`ScoringEngine::worker`] shares the (immutable, `Sync`) detector through
+//! an [`Arc`] while giving each worker its own scratch buffer.
+//!
+//! ```
+//! use phishinghook_models::{Detector, HscDetector, ScoringEngine};
+//!
+//! let train: Vec<&[u8]> = vec![&[0x60, 0x80, 0x52], &[0x00, 0x01]];
+//! let mut det = HscDetector::random_forest(7);
+//! det.fit(&train, &[1, 0]);
+//!
+//! let bytes = det.to_snapshot_bytes();
+//! let mut engine = ScoringEngine::from_snapshot_bytes(&bytes).unwrap();
+//! let scores = engine.score_batch(&train);
+//! assert_eq!(scores.len(), 2);
+//! assert!(scores.iter().all(|p| (0.0..=1.0).contains(p)));
+//! ```
+
+use crate::detector::Detector;
+use crate::hsc::HscDetector;
+use phishinghook_features::HistogramExtractor;
+use phishinghook_ml::Matrix;
+use phishinghook_persist::PersistError;
+use std::sync::Arc;
+
+/// A fitted detector plus reusable scoring buffers.
+#[derive(Debug)]
+pub struct ScoringEngine {
+    detector: Arc<HscDetector>,
+    scratch: Matrix,
+}
+
+impl ScoringEngine {
+    /// Wraps a fitted detector.
+    ///
+    /// # Errors
+    /// [`PersistError::Malformed`] when the detector was never fitted (an
+    /// unfitted detector has no feature vocabulary to score with).
+    pub fn new(detector: HscDetector) -> Result<Self, PersistError> {
+        if !detector.is_fitted() {
+            return Err(PersistError::Malformed(format!(
+                "`{}` detector is not fitted; train it (or load a fitted snapshot) before serving",
+                detector.name()
+            )));
+        }
+        Ok(ScoringEngine {
+            detector: Arc::new(detector),
+            scratch: Matrix::zeros(0, 0),
+        })
+    }
+
+    /// Restores an engine from snapshot bytes.
+    ///
+    /// # Errors
+    /// Any [`PersistError`] from decoding, plus `Malformed` for an unfitted
+    /// snapshot.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, PersistError> {
+        Self::new(HscDetector::from_snapshot_bytes(bytes)?)
+    }
+
+    /// Loads an engine from a snapshot file.
+    ///
+    /// # Errors
+    /// [`PersistError::Io`] when the file cannot be read, otherwise any
+    /// decode error.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, PersistError> {
+        Self::new(HscDetector::load_snapshot(path)?)
+    }
+
+    /// A sibling engine sharing this one's detector but owning its own
+    /// scratch buffer — one per worker thread in a serving pool.
+    pub fn worker(&self) -> ScoringEngine {
+        ScoringEngine {
+            detector: Arc::clone(&self.detector),
+            scratch: Matrix::zeros(0, 0),
+        }
+    }
+
+    /// The wrapped detector.
+    pub fn detector(&self) -> &HscDetector {
+        &self.detector
+    }
+
+    /// The fitted histogram extractor.
+    fn extractor(&self) -> &HistogramExtractor {
+        self.detector
+            .extractor()
+            .expect("ScoringEngine::new rejects unfitted detectors")
+    }
+
+    /// Model name (Table II spelling), e.g. `"Random Forest"`.
+    pub fn model_name(&self) -> &'static str {
+        self.detector.name()
+    }
+
+    /// Width of the feature vocabulary the engine scores with.
+    pub fn n_features(&self) -> usize {
+        self.extractor().n_features()
+    }
+
+    /// Class-1 (phishing) probability per bytecode.
+    ///
+    /// Feature rows are streamed in place into the engine's scratch matrix
+    /// (resized, never reallocated while batch sizes are stable), then
+    /// scored through the detector's batch inference.
+    pub fn score_batch(&mut self, codes: &[&[u8]]) -> Vec<f64> {
+        let extractor = self
+            .detector
+            .extractor()
+            .expect("engine holds fitted detector");
+        self.scratch.resize(codes.len(), extractor.n_features());
+        extractor.transform_into(codes, &mut self.scratch);
+        self.detector.predict_proba(&self.scratch)
+    }
+
+    /// Hard 0/1 verdicts (1 = phishing) by thresholding
+    /// [`ScoringEngine::score_batch`] at 0.5.
+    pub fn classify_batch(&mut self, codes: &[&[u8]]) -> Vec<usize> {
+        self.score_batch(codes)
+            .into_iter()
+            .map(|p| usize::from(p >= 0.5))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::Detector;
+    use crate::hsc::all_hscs;
+    use phishinghook_data::{Corpus, CorpusConfig};
+
+    fn tiny_corpus() -> (Vec<Vec<u8>>, Vec<usize>) {
+        let corpus = Corpus::generate(&CorpusConfig {
+            n_contracts: 80,
+            seed: 11,
+            ..Default::default()
+        });
+        let codes = corpus.records.iter().map(|r| r.bytecode.clone()).collect();
+        let labels = corpus.records.iter().map(|r| r.label.as_index()).collect();
+        (codes, labels)
+    }
+
+    #[test]
+    fn unfitted_detector_is_rejected() {
+        let err = ScoringEngine::new(HscDetector::knn()).unwrap_err();
+        assert!(matches!(err, PersistError::Malformed(_)), "{err:?}");
+    }
+
+    #[test]
+    fn engine_matches_detector_predictions() {
+        let (codes, labels) = tiny_corpus();
+        let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
+        let mut det = HscDetector::random_forest(5);
+        det.fit(&refs, &labels);
+        let direct = det.predict(&refs);
+        let mut engine = ScoringEngine::new(det).expect("fitted");
+        assert_eq!(engine.classify_batch(&refs), direct);
+        // Scratch reuse across differently-sized batches stays correct.
+        assert_eq!(engine.classify_batch(&refs[..7]), direct[..7]);
+        assert_eq!(engine.classify_batch(&refs), direct);
+        assert!(engine.score_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn worker_engines_share_the_detector_and_agree() {
+        let (codes, labels) = tiny_corpus();
+        let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
+        let mut det = HscDetector::logistic_regression();
+        det.fit(&refs, &labels);
+        let mut engine = ScoringEngine::new(det).expect("fitted");
+        let expected = engine.score_batch(&refs);
+        let outputs: Vec<Vec<f64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let mut worker = engine.worker();
+                    let refs = &refs;
+                    scope.spawn(move || worker.score_batch(refs))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for out in outputs {
+            assert_eq!(out, expected);
+        }
+    }
+
+    #[test]
+    fn snapshot_loaded_engine_scores_bit_identically() {
+        let (codes, labels) = tiny_corpus();
+        let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
+        for mut det in all_hscs(3) {
+            let name = det.name();
+            det.fit(&refs[..60], &labels[..60]);
+            let mut original = ScoringEngine::new(det).expect("fitted");
+            let bytes = original.detector().to_snapshot_bytes();
+            let mut restored = ScoringEngine::from_snapshot_bytes(&bytes).expect("decodes");
+            let (a, b) = (original.score_batch(&refs), restored.score_batch(&refs));
+            assert_eq!(
+                a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{name}"
+            );
+        }
+    }
+}

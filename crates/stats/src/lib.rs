@@ -6,7 +6,7 @@
 //!   parametric-vs-nonparametric gate;
 //! * [`kruskal`] — Kruskal-Wallis H (Table III) and Dunn's pairwise test
 //!   with Holm-Bonferroni correction (Fig. 4);
-//! * [`friedman`] — Friedman test, exact/approximate Wilcoxon signed-rank,
+//! * [`friedman`](mod@friedman) — Friedman test, exact/approximate Wilcoxon signed-rank,
 //!   Cliff's δ, and critical-difference-diagram construction (Fig. 6);
 //! * [`aut`] — the TESSERACT Area-Under-Time stability metric (Fig. 8);
 //! * [`shap`] — exact TreeSHAP over this workspace's trees/forests (Fig. 9),

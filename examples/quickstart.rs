@@ -1,5 +1,11 @@
 //! Quickstart: generate a corpus, train the paper's best model (Random
-//! Forest on opcode histograms), and classify fresh contracts.
+//! Forest on opcode histograms) **once**, snapshot it, and classify fresh
+//! contracts through the restored model.
+//!
+//! The first run trains and saves `results/quickstart_rf.snap`; later runs
+//! load the snapshot and skip training entirely (delete the file to force a
+//! retrain). This is the train-once/score-forever deployment shape the
+//! `phishinghook train`/`serve` subcommands productionize.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -8,7 +14,8 @@
 use phishinghook_core::metrics::BinaryMetrics;
 use phishinghook_data::{Corpus, CorpusConfig, Label};
 use phishinghook_evm::disasm::disassemble;
-use phishinghook_models::{Detector, HscDetector};
+use phishinghook_models::{Detector, HscDetector, ScoringEngine};
+use std::path::Path;
 
 fn main() {
     // 1. Build a synthetic contract corpus (the offline stand-in for the
@@ -41,7 +48,11 @@ fn main() {
     }
     println!("  …");
 
-    // 3. Train the paper's best model on an 80/20 split.
+    // 3. Load the detector from a previous run's snapshot, or train the
+    //    paper's best model once on an 80/20 split and save it. Any decode
+    //    problem (missing file, corruption, version skew) surfaces as a
+    //    typed error and falls back to retraining.
+    let snap_path = Path::new("results/quickstart_rf.snap");
     let split = corpus.records.len() * 4 / 5;
     let codes: Vec<&[u8]> = corpus
         .records
@@ -49,14 +60,40 @@ fn main() {
         .map(|r| r.bytecode.as_slice())
         .collect();
     let labels: Vec<usize> = corpus.records.iter().map(|r| r.label.as_index()).collect();
-    let mut detector = HscDetector::random_forest(7);
-    detector.fit(&codes[..split], &labels[..split]);
+    let detector = match HscDetector::load_snapshot(snap_path) {
+        Ok(det) => {
+            println!(
+                "\nloaded {} snapshot from {}",
+                det.name(),
+                snap_path.display()
+            );
+            det
+        }
+        Err(why) => {
+            println!("\nno usable snapshot ({why}); training once");
+            let mut det = HscDetector::random_forest(7);
+            let t0 = std::time::Instant::now();
+            det.fit(&codes[..split], &labels[..split]);
+            println!("trained in {:.2}s", t0.elapsed().as_secs_f64());
+            std::fs::create_dir_all("results").expect("create results/");
+            det.save_snapshot(snap_path).expect("save snapshot");
+            println!(
+                "saved snapshot to {} ({} bytes)",
+                snap_path.display(),
+                std::fs::metadata(snap_path).map(|m| m.len()).unwrap_or(0)
+            );
+            det
+        }
+    };
 
-    // 4. Evaluate on the held-out contracts.
-    let predictions = detector.predict(&codes[split..]);
+    // 4. Evaluate on the held-out contracts through the batched serving
+    //    engine (the same hot path `phishinghook serve` runs).
+    let mut engine = ScoringEngine::new(detector).expect("fitted detector");
+    let predictions = engine.classify_batch(&codes[split..]);
     let metrics = BinaryMetrics::from_predictions(&predictions, &labels[split..]);
     println!(
-        "\nRandom Forest on held-out contracts: accuracy {:.1}%, F1 {:.1}%, precision {:.1}%, recall {:.1}%",
+        "\n{} on held-out contracts: accuracy {:.1}%, F1 {:.1}%, precision {:.1}%, recall {:.1}%",
+        engine.model_name(),
         metrics.accuracy * 100.0,
         metrics.f1 * 100.0,
         metrics.precision * 100.0,
@@ -79,4 +116,5 @@ fn main() {
             record.label
         );
     }
+    println!("\n(rerun this example: it now loads the snapshot instead of retraining)");
 }

@@ -3,6 +3,11 @@
 //! ("users interact with smart contracts in real-time, often signing
 //! transactions within seconds").
 //!
+//! The detector is **not** retrained per run: the first invocation trains
+//! and snapshots `results/scan_address_rf.snap`; every later run restores
+//! the fitted model in milliseconds — the security vendor trains offline,
+//! the wallet ships the snapshot.
+//!
 //! Pipeline per address: `eth_getCode` (BEM) → disassemble (BDM) → model
 //! verdict, with a latency report per stage.
 //!
@@ -12,11 +17,21 @@
 
 use phishinghook_data::{Corpus, CorpusConfig, Label, SimulatedChain};
 use phishinghook_evm::disasm::disassemble;
-use phishinghook_models::{Detector, HscDetector};
+use phishinghook_models::{Detector, HscDetector, ScoringEngine};
+use std::path::Path;
 use std::time::Instant;
 
-fn main() {
-    // Train a detector on a labeled corpus (the "security vendor" side).
+/// Loads the snapshot from a previous run, or trains once and saves it
+/// (the "security vendor" side of the deployment).
+fn load_or_train(snap_path: &Path) -> ScoringEngine {
+    if let Ok(engine) = ScoringEngine::load(snap_path) {
+        println!(
+            "loaded {} snapshot from {} (no retraining)",
+            engine.model_name(),
+            snap_path.display()
+        );
+        return engine;
+    }
     let train_corpus = Corpus::generate(&CorpusConfig {
         n_contracts: 800,
         seed: 1,
@@ -30,6 +45,19 @@ fn main() {
         "detector trained on {} contracts in {:.2}s",
         codes.len(),
         t.elapsed().as_secs_f64()
+    );
+    std::fs::create_dir_all("results").expect("create results/");
+    detector.save_snapshot(snap_path).expect("save snapshot");
+    println!("saved snapshot to {}", snap_path.display());
+    ScoringEngine::new(detector).expect("fitted detector")
+}
+
+fn main() {
+    let t_boot = Instant::now();
+    let mut engine = load_or_train(Path::new("results/scan_address_rf.snap"));
+    println!(
+        "detector ready in {:.1} ms",
+        t_boot.elapsed().as_secs_f64() * 1e3
     );
 
     // A fresh chain the wallet user is about to interact with.
@@ -51,8 +79,9 @@ fn main() {
         // BDM: disassembly (histogram models embed this in their pipeline;
         // shown here for the latency budget).
         let n_instructions = disassemble(code).len();
-        // MEM: verdict.
-        let verdict = Label::from_index(detector.predict(&[code])[0]);
+        // MEM: verdict through the batched serving engine.
+        let proba = engine.score_batch(&[code])[0];
+        let verdict = Label::from_index(usize::from(proba >= 0.5));
         let latency = t0.elapsed().as_secs_f64();
         total_latency += latency;
         if verdict == record.label {
@@ -60,7 +89,7 @@ fn main() {
         }
         if verdict == Label::Phishing {
             println!(
-                "  ⚠ {} ({n_instructions} instructions): flagged PHISHING in {:.1} ms [{}]",
+                "  ⚠ {} ({n_instructions} instructions): flagged PHISHING (p={proba:.2}) in {:.1} ms [{}]",
                 record.address_hex(),
                 latency * 1e3,
                 record.family

@@ -1,0 +1,192 @@
+//! The train-once/score-forever contract: a snapshotted-then-restored
+//! detector must be indistinguishable — *bit-identical*, not just close —
+//! from the in-memory one it was saved from, for every HSC family member.
+//!
+//! Each detector is trained exactly once (shared through `OnceLock`, per
+//! this repo's heavy-test convention) and paired with its snapshot
+//! round-trip; the tests then compare the pair on the full held-out corpus
+//! and on property-generated adversarial bytecodes, and check that every
+//! way a snapshot can go bad surfaces as the right typed error.
+
+use phishinghook::data::{Corpus, CorpusConfig};
+use phishinghook::models::hsc::SNAPSHOT_KIND;
+use phishinghook::models::{all_hscs, Detector, ScoringEngine};
+use phishinghook::persist::{open_envelope, PersistError};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+struct Fixture {
+    /// Held-out bytecodes none of the detectors saw at fit time.
+    probes: Vec<Vec<u8>>,
+    /// `(name, in-memory engine, snapshot-restored engine)` per HSC.
+    pairs: Vec<(&'static str, ScoringEngine, ScoringEngine)>,
+    /// One raw snapshot (the Random Forest's) for envelope-level tests.
+    snapshot: Vec<u8>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let corpus = Corpus::generate(&CorpusConfig {
+            n_contracts: 100,
+            seed: 23,
+            ..Default::default()
+        });
+        let codes: Vec<Vec<u8>> = corpus.records.iter().map(|r| r.bytecode.clone()).collect();
+        let labels: Vec<usize> = corpus.records.iter().map(|r| r.label.as_index()).collect();
+        let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
+        let (train_x, _) = refs.split_at(60);
+        let (train_y, _) = labels.split_at(60);
+
+        let mut snapshot = Vec::new();
+        let pairs = all_hscs(7)
+            .into_iter()
+            .map(|mut det| {
+                let name = det.name();
+                det.fit(train_x, train_y);
+                let bytes = det.to_snapshot_bytes();
+                // Determinism: saving the same fitted model twice must yield
+                // byte-identical snapshots (HashMap-backed artifacts sort).
+                assert_eq!(bytes, det.to_snapshot_bytes(), "{name}");
+                if name == "Random Forest" {
+                    snapshot = bytes.clone();
+                }
+                let restored = ScoringEngine::from_snapshot_bytes(&bytes)
+                    .unwrap_or_else(|e| panic!("{name} snapshot failed to restore: {e}"));
+                let original = ScoringEngine::new(det).expect("fitted");
+                (name, original, restored)
+            })
+            .collect();
+        Fixture {
+            probes: codes[60..].to_vec(),
+            pairs,
+            snapshot,
+        }
+    })
+}
+
+/// Bit-exact comparison helper: `f64` equality would treat `-0.0 == 0.0`
+/// and NaN unequal to itself; the contract here is stronger — identical
+/// bit patterns.
+fn bits(probs: &[f64]) -> Vec<u64> {
+    probs.iter().map(|p| p.to_bits()).collect()
+}
+
+#[test]
+fn every_hsc_round_trips_bit_identically_on_the_held_out_corpus() {
+    let fx = fixture();
+    let probes: Vec<&[u8]> = fx.probes.iter().map(Vec::as_slice).collect();
+    for (name, original, restored) in &fx.pairs {
+        let a = original.worker().score_batch(&probes);
+        let b = restored.worker().score_batch(&probes);
+        assert_eq!(bits(&a), bits(&b), "{name}: restored scores diverge");
+        // And through the hard-verdict path.
+        assert_eq!(
+            original.worker().classify_batch(&probes),
+            restored.worker().classify_batch(&probes),
+            "{name}: restored verdicts diverge"
+        );
+    }
+}
+
+#[test]
+fn restored_metadata_matches() {
+    let fx = fixture();
+    for (name, original, restored) in &fx.pairs {
+        assert_eq!(restored.model_name(), *name);
+        assert_eq!(restored.n_features(), original.n_features(), "{name}");
+        assert_eq!(
+            restored.detector().extractor().unwrap().columns(),
+            original.detector().extractor().unwrap().columns(),
+            "{name}"
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn round_trip_holds_on_arbitrary_bytecodes(
+        code in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        // Adversarial inputs — out-of-vocabulary opcodes, truncated PUSH
+        // operands, empty code — must score identically through the
+        // restored detector, for every HSC.
+        let fx = fixture();
+        let batch: [&[u8]; 1] = [code.as_slice()];
+        for (name, original, restored) in &fx.pairs {
+            let a = original.worker().score_batch(&batch);
+            let b = restored.worker().score_batch(&batch);
+            prop_assert_eq!(bits(&a), bits(&b), "{}", name);
+        }
+    }
+}
+
+// --- Typed rejection of bad snapshots --------------------------------------
+
+#[test]
+fn corrupted_snapshot_is_rejected_with_checksum_error() {
+    let fx = fixture();
+    // Flip one bit in the middle of the payload.
+    let mut corrupt = fx.snapshot.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x10;
+    match ScoringEngine::from_snapshot_bytes(&corrupt).unwrap_err() {
+        PersistError::ChecksumMismatch { stored, computed } => assert_ne!(stored, computed),
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_snapshot_is_rejected() {
+    let fx = fixture();
+    for keep in [0, 7, 11, fx.snapshot.len() / 2, fx.snapshot.len() - 1] {
+        let err = ScoringEngine::from_snapshot_bytes(&fx.snapshot[..keep]).unwrap_err();
+        assert!(
+            matches!(err, PersistError::Truncated { .. }),
+            "keeping {keep} bytes: expected Truncated, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn version_mismatch_is_rejected() {
+    let fx = fixture();
+    let mut future = fx.snapshot.clone();
+    // The format version is the u16 at offset 8 (after the 8-byte magic).
+    future[8] = 0xFF;
+    future[9] = 0x7F;
+    match ScoringEngine::from_snapshot_bytes(&future).unwrap_err() {
+        PersistError::UnsupportedVersion { found, supported } => {
+            assert_eq!(found, 0x7FFF);
+            assert_eq!(supported, phishinghook::persist::FORMAT_VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn non_snapshot_bytes_are_rejected_as_bad_magic() {
+    assert!(matches!(
+        ScoringEngine::from_snapshot_bytes(b"address,month,label,family,bytecode"),
+        Err(PersistError::BadMagic)
+    ));
+    assert!(matches!(
+        ScoringEngine::from_snapshot_bytes(&[]),
+        Err(PersistError::Truncated { .. })
+    ));
+}
+
+#[test]
+fn the_envelope_kind_is_the_documented_one() {
+    let fx = fixture();
+    // The snapshot self-describes as an HSC detector…
+    assert!(open_envelope(SNAPSHOT_KIND, &fx.snapshot).is_ok());
+    // …and refuses to open as anything else.
+    match open_envelope("random-forest", &fx.snapshot).unwrap_err() {
+        PersistError::WrongKind { expected, found } => {
+            assert_eq!(expected, "random-forest");
+            assert_eq!(found, SNAPSHOT_KIND);
+        }
+        other => panic!("expected WrongKind, got {other:?}"),
+    }
+}
