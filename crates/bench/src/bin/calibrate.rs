@@ -9,7 +9,7 @@ use phishinghook_core::cv::stratified_kfold;
 use phishinghook_core::experiments::ExperimentScale;
 use phishinghook_core::metrics::BinaryMetrics;
 use phishinghook_data::{Corpus, CorpusConfig};
-use phishinghook_models::{all_hscs, Detector};
+use phishinghook_models::{Detector, DetectorRegistry};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,8 +45,10 @@ fn main() {
         return;
     }
 
-    for mut det in all_hscs(scale.seed) {
-        let name = det.name();
+    let registry = DetectorRegistry::global();
+    for spec in registry.hsc_specs() {
+        let mut det = registry.build(&spec, scale.seed);
+        let name = det.name().to_owned();
         det.fit(&train_x, &train_y);
         let m = BinaryMetrics::from_predictions(&det.predict(&test_x), &test_y);
         println!(

@@ -3,6 +3,7 @@
 //! Kept as a library so every subcommand is unit-testable without spawning
 //! processes; [`run`] maps an argument vector to rendered output.
 
+pub mod proto;
 pub mod serve;
 
 use phishinghook_core::cv::stratified_kfold;
@@ -11,7 +12,7 @@ use phishinghook_data::csv::{from_csv, to_csv};
 use phishinghook_data::{ContractRecord, Corpus, CorpusConfig, Label};
 use phishinghook_evm::disasm::{disassemble, to_csv as disasm_csv};
 use phishinghook_evm::keccak::from_hex;
-use phishinghook_models::{all_hscs, Detector, HscDetector, ScoringEngine};
+use phishinghook_models::{AnyDetector, Detector, DetectorRegistry, Scanner, SpecError};
 use phishinghook_persist::PersistError;
 use std::fmt;
 
@@ -28,6 +29,8 @@ pub enum CliError {
     Csv(phishinghook_data::csv::CsvError),
     /// Model snapshot problems (corrupt, truncated, wrong version/kind, …).
     Snapshot(PersistError),
+    /// Malformed detector spec passed to `--model`.
+    Spec(SpecError),
 }
 
 impl fmt::Display for CliError {
@@ -38,11 +41,18 @@ impl fmt::Display for CliError {
             CliError::Io(e) => write!(f, "{e}"),
             CliError::Csv(e) => write!(f, "{e}"),
             CliError::Snapshot(e) => write!(f, "{e}"),
+            CliError::Spec(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for CliError {}
+
+impl From<SpecError> for CliError {
+    fn from(e: SpecError) -> Self {
+        CliError::Spec(e)
+    }
+}
 
 impl From<std::io::Error> for CliError {
     fn from(e: std::io::Error) -> Self {
@@ -69,15 +79,23 @@ USAGE:
   phishinghook disasm   <hex | ->              disassemble bytecode (BDM)
   phishinghook generate <n> <out.csv> [seed]   emit a synthetic labeled dataset
   phishinghook eval     <dataset.csv> [folds]  cross-validate the 7 HSC models
-  phishinghook train    <dataset.csv> [--model <name>] [--seed <n>] [--save <out.snap>]
-                                               fit one HSC, snapshot the fitted model
-  phishinghook scan     --model <snap> <hex…>  classify bytecodes with a saved model
+  phishinghook train    <dataset.csv> [--model <spec>] [--seed <n>] [--save <out.snap>]
+                                               fit a spec-built detector, snapshot it
+  phishinghook scan     --model <snap-or-spec> [--train <dataset.csv>] <hex…>
+                                               classify bytecodes (snapshot, or spec
+                                               trained on --train first)
   phishinghook scan     <dataset.csv> <hex…>   train Random Forest, classify bytecodes
-  phishinghook serve    --model <snap> [--batch <n>] [--workers <n>] [--tcp <addr>]
+  phishinghook serve    --model <snap-or-spec> [--train <dataset.csv>] [--proto v1|v2]
+                        [--batch <n>] [--workers <n>] [--tcp <addr>]
                                                batched scoring daemon (stdin or TCP)
 
-Model names for train --model: random-forest (default), knn, svm,
-logistic-regression, xgboost, lightgbm, catboost.
+--model takes a detector spec or a snapshot file. Spec grammar:
+  rf | knn | svm | lr | xgb | lgbm | catboost          one HSC
+  <family>:seed=<n>                                    explicit seed
+  ensemble:<f>+<f>[+…][:vote=soft|hard|weighted[:weights=w,…]][:seed=<n>]
+Legacy names (random-forest, logistic-regression, …) remain aliases.
+serve speaks versioned JSONL by default; --proto v1 keeps the legacy
+tab-separated framing for old clients.
 ";
 
 /// Executes a CLI invocation, returning the text to print.
@@ -168,15 +186,18 @@ fn eval(args: &[String]) -> Result<String, CliError> {
         "{:<20} {:>7} {:>7} {:>7} {:>7}\n",
         "Model", "Acc%", "F1%", "Prec%", "Rec%"
     ));
-    for template in all_hscs(7) {
-        let name = template.name();
+    let registry = DetectorRegistry::global();
+    for spec in registry.hsc_specs() {
+        // Building is cheap (fitting is the expensive part), so a throwaway
+        // build supplies the display name.
+        let name = registry.build(&spec, 7).name().to_owned();
         let mut sums = [0.0f64; 4];
         for fold in &splits {
             let train_x: Vec<&[u8]> = fold.train.iter().map(|&i| codes[i]).collect();
             let train_y: Vec<usize> = fold.train.iter().map(|&i| labels[i]).collect();
             let test_x: Vec<&[u8]> = fold.test.iter().map(|&i| codes[i]).collect();
             let test_y: Vec<usize> = fold.test.iter().map(|&i| labels[i]).collect();
-            let mut det = rebuild(name);
+            let mut det = registry.build(&spec, 7);
             det.fit(&train_x, &train_y);
             let m = BinaryMetrics::from_predictions(&det.predict(&test_x), &test_y);
             sums[0] += m.accuracy;
@@ -197,27 +218,50 @@ fn eval(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn rebuild(name: &str) -> Box<dyn Detector> {
-    all_hscs(7)
-        .into_iter()
-        .find(|d| d.name() == name)
-        .map(|d| Box::new(d) as Box<dyn Detector>)
-        .expect("known HSC name")
-}
-
-/// Builds an unfitted HSC by CLI name (Table II spellings and kebab-case
-/// aliases, case-insensitive).
-fn build_hsc(name: &str, seed: u64) -> Option<HscDetector> {
-    match name.to_ascii_lowercase().replace([' ', '_'], "-").as_str() {
-        "rf" | "random-forest" => Some(HscDetector::random_forest(seed)),
-        "knn" | "k-nn" => Some(HscDetector::knn()),
-        "svm" => Some(HscDetector::svm(seed ^ 1)),
-        "lr" | "logreg" | "logistic-regression" => Some(HscDetector::logistic_regression()),
-        "xgboost" => Some(HscDetector::xgboost(seed ^ 2)),
-        "lightgbm" => Some(HscDetector::lightgbm(seed ^ 3)),
-        "catboost" => Some(HscDetector::catboost(seed ^ 4)),
-        _ => None,
+/// Resolves a `--model` argument: an existing file loads as a snapshot (of
+/// either kind); anything else must parse as a detector spec, which is then
+/// trained on `--train <dataset.csv>`.
+fn scanner_from_model_arg(
+    model: &str,
+    train: Option<&str>,
+    seed: u64,
+) -> Result<(Scanner, String), CliError> {
+    if std::path::Path::new(model).exists() {
+        // Refuse the ambiguous combination rather than silently serving the
+        // snapshot while the user believes --train retrained it.
+        if let Some(train) = train {
+            return Err(CliError::Usage(format!(
+                "`{model}` is a snapshot file, so --train {train} would be ignored; \
+                 pass a detector spec to train, or drop --train to serve the snapshot\n\n{USAGE}"
+            )));
+        }
+        let scanner = Scanner::load(model)?;
+        let banner = format!(
+            "loaded {} snapshot ({} opcode features) from {model}\n",
+            scanner.model_name(),
+            scanner.n_features(),
+        );
+        return Ok((scanner, banner));
     }
+    // Not a file: must be a spec. Parse first so a typo'd snapshot path
+    // fails with the spec diagnostics rather than a bare "missing file".
+    let mut det = DetectorRegistry::global().build_str(model, seed)?;
+    let path = train.ok_or_else(|| {
+        CliError::Usage(format!(
+            "`{model}` is a detector spec (not a snapshot file); training data is \
+             required — add --train <dataset.csv>\n\n{USAGE}"
+        ))
+    })?;
+    let records = load_dataset(path)?;
+    let codes: Vec<&[u8]> = records.iter().map(|r| r.bytecode.as_slice()).collect();
+    let labels: Vec<usize> = records.iter().map(|r| r.label.as_index()).collect();
+    det.fit(&codes, &labels);
+    let banner = format!(
+        "trained {} on {} labeled contracts from {path}\n",
+        det.name(),
+        records.len(),
+    );
+    Ok((Scanner::new(det)?, banner))
 }
 
 fn train(args: &[String]) -> Result<String, CliError> {
@@ -257,8 +301,9 @@ fn train(args: &[String]) -> Result<String, CliError> {
         }
     }
     let path = dataset.ok_or_else(|| CliError::Usage(USAGE.to_owned()))?;
-    let mut det = build_hsc(&model_name, seed)
-        .ok_or_else(|| CliError::Usage(format!("unknown model `{model_name}`\n\n{USAGE}")))?;
+    let mut det = DetectorRegistry::global()
+        .build_str(&model_name, seed)
+        .map_err(|e| CliError::Usage(format!("bad model spec `{model_name}`: {e}\n\n{USAGE}")))?;
 
     let records = load_dataset(path)?;
     let codes: Vec<&[u8]> = records.iter().map(|r| r.bytecode.as_slice()).collect();
@@ -268,8 +313,12 @@ fn train(args: &[String]) -> Result<String, CliError> {
     let train_secs = t0.elapsed().as_secs_f64();
 
     let n_features = det.extractor().map_or(0, |e| e.n_features());
+    let members = match &det {
+        AnyDetector::Hsc(_) => String::new(),
+        AnyDetector::Ensemble(e) => format!(" [{} members]", e.members().len()),
+    };
     let mut out = format!(
-        "trained {} on {} labeled contracts in {:.2}s ({} opcode features)\n",
+        "trained {}{members} on {} labeled contracts in {:.2}s ({} opcode features)\n",
         det.name(),
         records.len(),
         train_secs,
@@ -288,27 +337,47 @@ fn train(args: &[String]) -> Result<String, CliError> {
 
 fn scan(args: &[String]) -> Result<String, CliError> {
     if args.first().map(String::as_str) == Some("--model") {
-        // Snapshot path: load a fitted detector, no training.
-        let snap = args
+        // Spec-or-snapshot path: load a fitted detector (or train a spec on
+        // --train data) and score through the Scanner facade.
+        let model = args
             .get(1)
             .ok_or_else(|| CliError::Usage(USAGE.to_owned()))?;
-        if args.len() < 3 {
+        let mut payloads: Vec<&String> = Vec::new();
+        let mut train: Option<&str> = None;
+        let mut iter = args[2..].iter();
+        while let Some(arg) = iter.next() {
+            if arg == "--train" {
+                train = Some(
+                    iter.next()
+                        .ok_or_else(|| CliError::Usage(USAGE.to_owned()))?,
+                );
+            } else {
+                payloads.push(arg);
+            }
+        }
+        if payloads.is_empty() {
             return Err(CliError::Usage(USAGE.to_owned()));
         }
-        let mut engine = ScoringEngine::load(snap)?;
-        let mut out = format!(
-            "loaded {} snapshot ({} opcode features) from {snap}\n",
-            engine.model_name(),
-            engine.n_features(),
-        );
-        for payload in &args[2..] {
+        let (mut scanner, banner) = scanner_from_model_arg(model, train, 7)?;
+        let mut out = banner;
+        for payload in payloads {
             let code = read_hex(payload)?;
-            let proba = engine.score_batch(&[code.as_slice()])[0];
-            let verdict = Label::from_index(usize::from(proba >= 0.5));
+            let reports = scanner.scan_batch(&[phishinghook_models::ScanRequest {
+                id: String::new(),
+                bytecode: code,
+            }]);
+            let report = &reports[0];
             out.push_str(&format!(
-                "{}…  →  {verdict} (p={proba:.4})\n",
-                preview(payload)
+                "{}…  →  {} (p={:.4})\n",
+                preview(payload),
+                report.verdict,
+                report.proba
             ));
+            if report.per_model.len() > 1 {
+                for (name, proba) in &report.per_model {
+                    out.push_str(&format!("    {name:<20} p={proba:.4}\n"));
+                }
+            }
         }
         return Ok(out);
     }
@@ -322,7 +391,9 @@ fn scan(args: &[String]) -> Result<String, CliError> {
     let records = load_dataset(path)?;
     let codes: Vec<&[u8]> = records.iter().map(|r| r.bytecode.as_slice()).collect();
     let labels: Vec<usize> = records.iter().map(|r| r.label.as_index()).collect();
-    let mut det = HscDetector::random_forest(7);
+    let mut det = DetectorRegistry::global()
+        .build_str("rf", 7)
+        .expect("built-in spec");
     det.fit(&codes, &labels);
 
     let mut out = format!("detector trained on {} labeled contracts\n", records.len());
@@ -344,7 +415,8 @@ fn preview(payload: &str) -> &str {
 }
 
 fn serve_cmd(args: &[String]) -> Result<String, CliError> {
-    let mut snap: Option<&str> = None;
+    let mut model: Option<&str> = None;
+    let mut train: Option<&str> = None;
     let mut opts = serve::ServeOptions::default();
     let mut tcp: Option<&str> = None;
     fn numeric(v: &str, name: &str) -> Result<usize, CliError> {
@@ -359,9 +431,18 @@ fn serve_cmd(args: &[String]) -> Result<String, CliError> {
                 .ok_or_else(|| CliError::Usage(USAGE.to_owned()))
         };
         match arg.as_str() {
-            "--model" => snap = Some(value()?),
+            "--model" => model = Some(value()?),
+            "--train" => train = Some(value()?),
             "--batch" => opts.batch = numeric(value()?, "batch size")?.max(1),
             "--workers" => opts.workers = numeric(value()?, "worker count")?.max(1),
+            "--proto" => {
+                let v = value()?;
+                opts.proto = proto::Protocol::parse(v).ok_or_else(|| {
+                    CliError::Usage(format!(
+                        "`{v}` is not a protocol version (expected v1 or v2)\n\n{USAGE}"
+                    ))
+                })?;
+            }
             "--tcp" => tcp = Some(value()?),
             other => {
                 return Err(CliError::Usage(format!(
@@ -370,31 +451,38 @@ fn serve_cmd(args: &[String]) -> Result<String, CliError> {
             }
         }
     }
-    let snap = snap
-        .ok_or_else(|| CliError::Usage(format!("serve requires --model <snapshot>\n\n{USAGE}")))?;
-    let engine = ScoringEngine::load(snap)?;
-    let model = engine.model_name();
+    let model = model.ok_or_else(|| {
+        CliError::Usage(format!(
+            "serve requires --model <snapshot-or-spec>\n\n{USAGE}"
+        ))
+    })?;
+    // The model is restored (or trained) exactly once per process; TCP
+    // connection handlers and stdin workers all share it via Arc.
+    let (scanner, banner) = scanner_from_model_arg(model, train, 7)?;
+    eprint!("{banner}");
+    let model = scanner.model_name();
 
     if let Some(addr) = tcp {
         let listener = std::net::TcpListener::bind(addr)?;
         eprintln!(
-            "serving {model} on tcp://{} (batch {}, {} worker(s) per connection)",
+            "serving {model} on tcp://{} ({:?}, batch {}, {} worker(s) per connection)",
             listener.local_addr()?,
+            opts.proto,
             opts.batch,
             opts.workers
         );
         // Daemon mode: accept connections until the process is killed, so
         // this only returns on an accept error.
-        serve::serve_tcp(&listener, &engine, &opts, None)?;
+        serve::serve_tcp(&listener, &scanner, &opts, None)?;
         return Ok(String::new());
     }
 
     let stdin = std::io::stdin();
     // Unlocked handle: the collector thread is the only writer, and `Stdout`
     // is `Send` where `StdoutLock` is not.
-    let report = serve::serve_lines(&engine, stdin.lock(), std::io::stdout(), &opts)?;
-    // The report goes to stderr: stdout is the verdict stream (one line per
-    // request), and `serve … > verdicts.tsv` must not corrupt it.
+    let report = serve::serve_lines(&scanner, stdin.lock(), std::io::stdout(), &opts)?;
+    // The report goes to stderr: stdout is the response stream (one line
+    // per request), and `serve … > verdicts.jsonl` must not corrupt it.
     eprint!("{}", report.render(model));
     Ok(String::new())
 }
@@ -525,6 +613,90 @@ mod tests {
     fn train_rejects_unknown_model() {
         let err = run(&args(&["train", "ds.csv", "--model", "resnet"])).unwrap_err();
         assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+    }
+
+    #[test]
+    fn train_ensemble_spec_save_then_scan_and_serve() {
+        let dir = std::env::temp_dir().join("phishinghook-cli-test5");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let csv = dir.join("ds.csv");
+        let snap = dir.join("ens.snap");
+        let (csv_str, snap_str) = (csv.to_str().unwrap(), snap.to_str().unwrap());
+        run(&args(&["generate", "90", csv_str, "21"])).expect("generates");
+
+        let out = run(&args(&[
+            "train",
+            csv_str,
+            "--model",
+            "ensemble:rf+lgbm:vote=soft",
+            "--save",
+            snap_str,
+        ]))
+        .expect("trains");
+        assert!(
+            out.contains("trained ensemble:rf+lgbm:vote=soft [2 members]"),
+            "{out}"
+        );
+        assert!(snap.exists());
+
+        // Scanning the ensemble snapshot reports the combined verdict plus
+        // one probability per member.
+        let probe = Corpus::generate(&CorpusConfig {
+            n_contracts: 3,
+            seed: 41,
+            ..Default::default()
+        });
+        let hex = format!("0x{}", to_hex(&probe.records[0].bytecode));
+        let out = run(&args(&["scan", "--model", snap_str, &hex])).expect("scans");
+        assert!(
+            out.contains("loaded ensemble:rf+lgbm:vote=soft snapshot"),
+            "{out}"
+        );
+        assert!(out.contains("Random Forest"), "{out}");
+        assert!(out.contains("LightGBM"), "{out}");
+        assert_eq!(out.matches("p=").count(), 3, "{out}");
+    }
+
+    #[test]
+    fn scan_with_spec_trains_on_the_given_dataset() {
+        let dir = std::env::temp_dir().join("phishinghook-cli-test6");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let csv = dir.join("ds.csv");
+        let csv_str = csv.to_str().unwrap();
+        run(&args(&["generate", "80", csv_str, "33"])).expect("generates");
+
+        let probe = Corpus::generate(&CorpusConfig {
+            n_contracts: 2,
+            seed: 51,
+            ..Default::default()
+        });
+        let hex = format!("0x{}", to_hex(&probe.records[0].bytecode));
+        let out = run(&args(&["scan", "--model", "knn", "--train", csv_str, &hex])).expect("scans");
+        assert!(
+            out.contains("trained k-NN on 80 labeled contracts"),
+            "{out}"
+        );
+        assert_eq!(out.matches('→').count(), 1);
+
+        // A spec without training data is a usage error that says so.
+        let err = run(&args(&["scan", "--model", "knn", &hex])).unwrap_err();
+        assert!(err.to_string().contains("--train"), "{err}");
+        // A snapshot combined with --train is refused, not silently stale:
+        // csv_str exists, so it stands in for a snapshot path here.
+        let err = run(&args(&[
+            "scan", "--model", csv_str, "--train", csv_str, &hex,
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("would be ignored"), "{err}");
+        // A malformed spec (that is also not a file) is a spec error.
+        let err = run(&args(&["scan", "--model", "ensemble:", &hex])).unwrap_err();
+        assert!(matches!(err, CliError::Spec(_)), "{err:?}");
+    }
+
+    #[test]
+    fn serve_rejects_unknown_protocol() {
+        let err = run(&args(&["serve", "--model", "x.snap", "--proto", "v9"])).unwrap_err();
+        assert!(err.to_string().contains("protocol version"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,330 @@
+//! The serve daemon's wire protocols.
+//!
+//! # Protocol v2 (default): versioned JSONL
+//!
+//! One JSON object per line in each direction, hand-rolled (this workspace
+//! is dependency-free by policy — see the README's dependency section).
+//!
+//! **Requests** are either a JSON object or, for convenience, a bare hex
+//! line (the id then defaults to the 0-based request sequence number):
+//!
+//! ```text
+//! {"id":"tx-9","bytecode":"0x6080604052"}
+//! 6080604052
+//! ```
+//!
+//! **Responses** echo the id and carry the combined verdict plus one
+//! `per_model` entry per underlying model — the field that makes ensembles
+//! observable over the wire:
+//!
+//! ```text
+//! {"proto":2,"id":"tx-9","verdict":"phishing","proba":0.934211,"model_version":"hsc-ensemble/v1","per_model":[{"name":"Random Forest","proba":0.941023},{"name":"LightGBM","proba":0.927399}]}
+//! {"proto":2,"id":"4","error":"not valid hex bytecode"}
+//! ```
+//!
+//! `proto` is always the first field, so clients can dispatch on the
+//! protocol version before touching anything else. Probabilities are
+//! printed with six decimal places (same precision as protocol v1).
+//!
+//! # Protocol v1 (`--proto v1`): bare lines
+//!
+//! The original ad-hoc framing, kept verbatim for old clients: hex in,
+//! `verdict\tproba` out, `error\t…` for malformed lines. No ids, no
+//! per-model visibility.
+
+use phishinghook_models::ScanReport;
+use std::fmt::Write as _;
+
+/// Which framing a serving loop speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Protocol {
+    /// Bare `verdict\tproba` lines (legacy).
+    V1,
+    /// Versioned JSONL with ids and per-model probabilities.
+    #[default]
+    V2,
+}
+
+impl Protocol {
+    /// Parses a `--proto` flag value (`"v1"` / `"1"` / `"v2"` / `"2"`).
+    pub fn parse(s: &str) -> Option<Protocol> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "v1" | "1" => Some(Protocol::V1),
+            "v2" | "2" => Some(Protocol::V2),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded request line: the caller-visible id plus the raw hex payload
+/// still to be validated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireRequest {
+    /// Echoed in the response (v2); v1 responses are purely positional.
+    pub id: String,
+    /// Hex bytecode text (possibly `0x`-prefixed), not yet decoded.
+    pub hex: String,
+}
+
+/// Decodes one v2 request line: a JSON object with `bytecode` (required)
+/// and `id` (optional, defaulting to `fallback_id`), or a bare hex line.
+///
+/// # Errors
+/// A human-readable message describing the malformed line (sent back to the
+/// client as an error object; the daemon never disconnects on bad input).
+pub fn parse_request_v2(line: &str, fallback_id: &str) -> Result<WireRequest, String> {
+    let trimmed = line.trim();
+    if !trimmed.starts_with('{') {
+        // Bare hex convenience form.
+        return Ok(WireRequest {
+            id: fallback_id.to_owned(),
+            hex: trimmed.to_owned(),
+        });
+    }
+    let fields = parse_flat_object(trimmed)?;
+    let mut id = None;
+    let mut hex = None;
+    for (key, value) in fields {
+        match key.as_str() {
+            "id" => id = Some(value),
+            "bytecode" => hex = Some(value),
+            other => return Err(format!("unknown request field `{other}`")),
+        }
+    }
+    Ok(WireRequest {
+        id: id.unwrap_or_else(|| fallback_id.to_owned()),
+        hex: hex.ok_or("request object is missing `bytecode`")?,
+    })
+}
+
+/// Renders one v2 response line (without trailing newline) for a scored
+/// request.
+pub fn render_report_v2(out: &mut String, report: &ScanReport) {
+    out.push_str("{\"proto\":2,\"id\":");
+    push_json_string(out, &report.id);
+    let _ = write!(
+        out,
+        ",\"verdict\":\"{}\",\"proba\":{:.6},\"model_version\":",
+        report.verdict, report.proba
+    );
+    push_json_string(out, &report.model_version);
+    out.push_str(",\"per_model\":[");
+    for (i, (name, proba)) in report.per_model.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        push_json_string(out, name);
+        let _ = write!(out, ",\"proba\":{proba:.6}}}");
+    }
+    out.push_str("]}");
+}
+
+/// Renders one v2 error line (without trailing newline).
+pub fn render_error_v2(out: &mut String, id: &str, message: &str) {
+    out.push_str("{\"proto\":2,\"id\":");
+    push_json_string(out, id);
+    out.push_str(",\"error\":");
+    push_json_string(out, message);
+    out.push('}');
+}
+
+/// Appends `s` as a JSON string literal (quoted, escaped).
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a flat JSON object whose values are all strings —
+/// `{"key":"value", …}` — which is everything a v2 *request* may carry.
+/// Nested objects/arrays/numbers are rejected with a descriptive message.
+fn parse_flat_object(text: &str) -> Result<Vec<(String, String)>, String> {
+    let mut chars = text.chars().peekable();
+    let mut fields = Vec::new();
+
+    skip_ws(&mut chars);
+    if chars.next() != Some('{') {
+        return Err("request is not a JSON object".to_owned());
+    }
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+    } else {
+        loop {
+            skip_ws(&mut chars);
+            let key = parse_string(&mut chars)?;
+            skip_ws(&mut chars);
+            if chars.next() != Some(':') {
+                return Err(format!("expected `:` after key `{key}`"));
+            }
+            skip_ws(&mut chars);
+            let value = parse_string(&mut chars)
+                .map_err(|e| format!("field `{key}`: {e} (only string values are accepted)"))?;
+            fields.push((key, value));
+            skip_ws(&mut chars);
+            match chars.next() {
+                Some(',') => continue,
+                Some('}') => break,
+                _ => return Err("expected `,` or `}` in request object".to_owned()),
+            }
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return Err("trailing characters after request object".to_owned());
+    }
+    Ok(fields)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while chars.peek().is_some_and(|c| c.is_ascii_whitespace()) {
+        chars.next();
+    }
+}
+
+/// Parses one JSON string literal, cursor positioned at the opening quote.
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
+    if chars.next() != Some('"') {
+        return Err("expected a JSON string".to_owned());
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            None => return Err("unterminated string".to_owned()),
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('/') => out.push('/'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('b') => out.push('\u{0008}'),
+                Some('f') => out.push('\u{000C}'),
+                Some('u') => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let d = chars
+                            .next()
+                            .and_then(|c| c.to_digit(16))
+                            .ok_or("bad \\u escape")?;
+                        code = code * 16 + d;
+                    }
+                    // Surrogates and other invalid scalars degrade to U+FFFD
+                    // rather than failing the whole request.
+                    out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                }
+                _ => return Err("unknown escape sequence".to_owned()),
+            },
+            Some(c) => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phishinghook_models::Verdict;
+
+    fn report(id: &str, per_model: Vec<(String, f64)>) -> ScanReport {
+        ScanReport {
+            id: id.to_owned(),
+            verdict: Verdict::Phishing,
+            proba: 0.75,
+            per_model,
+            model_version: "hsc-ensemble/v1".to_owned(),
+        }
+    }
+
+    #[test]
+    fn protocol_flag_parses() {
+        assert_eq!(Protocol::parse("v1"), Some(Protocol::V1));
+        assert_eq!(Protocol::parse("2"), Some(Protocol::V2));
+        assert_eq!(Protocol::parse("V2"), Some(Protocol::V2));
+        assert_eq!(Protocol::parse("v3"), None);
+        assert_eq!(Protocol::default(), Protocol::V2);
+    }
+
+    #[test]
+    fn bare_hex_requests_get_the_fallback_id() {
+        let req = parse_request_v2("  0x6080  ", "7").expect("parses");
+        assert_eq!(req.id, "7");
+        assert_eq!(req.hex, "0x6080");
+    }
+
+    #[test]
+    fn json_requests_carry_their_own_id() {
+        let req = parse_request_v2(r#"{"id":"tx-1","bytecode":"0x60"}"#, "0").expect("parses");
+        assert_eq!(req.id, "tx-1");
+        assert_eq!(req.hex, "0x60");
+        // Field order and whitespace don't matter; id is optional.
+        let req = parse_request_v2(r#" { "bytecode" : "60" } "#, "fallback").expect("parses");
+        assert_eq!(req.id, "fallback");
+        assert_eq!(req.hex, "60");
+    }
+
+    #[test]
+    fn malformed_json_requests_are_descriptive_errors() {
+        assert!(parse_request_v2(r#"{"bytecode":}"#, "0").is_err());
+        assert!(parse_request_v2(r#"{"id":"x"}"#, "0")
+            .unwrap_err()
+            .contains("missing `bytecode`"));
+        assert!(parse_request_v2(r#"{"surprise":"y","bytecode":"60"}"#, "0")
+            .unwrap_err()
+            .contains("unknown request field"));
+        assert!(parse_request_v2(r#"{"bytecode":42}"#, "0")
+            .unwrap_err()
+            .contains("string values"));
+        assert!(parse_request_v2(r#"{"bytecode":"60"} extra"#, "0")
+            .unwrap_err()
+            .contains("trailing"));
+        assert!(parse_request_v2(r#"{"bytecode":"60""#, "0").is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let req = parse_request_v2(r#"{"id":"a\"b\\c\ndA","bytecode":"60"}"#, "0").expect("parses");
+        assert_eq!(req.id, "a\"b\\c\ndA");
+        let mut line = String::new();
+        render_error_v2(&mut line, &req.id, "nope");
+        assert_eq!(line, r#"{"proto":2,"id":"a\"b\\c\ndA","error":"nope"}"#);
+    }
+
+    #[test]
+    fn response_rendering_is_stable() {
+        let mut line = String::new();
+        render_report_v2(
+            &mut line,
+            &report(
+                "tx-9",
+                vec![
+                    ("Random Forest".to_owned(), 0.8),
+                    ("LightGBM".to_owned(), 0.7),
+                ],
+            ),
+        );
+        assert_eq!(
+            line,
+            "{\"proto\":2,\"id\":\"tx-9\",\"verdict\":\"phishing\",\"proba\":0.750000,\
+             \"model_version\":\"hsc-ensemble/v1\",\"per_model\":[\
+             {\"name\":\"Random Forest\",\"proba\":0.800000},\
+             {\"name\":\"LightGBM\",\"proba\":0.700000}]}"
+        );
+        // And it parses back through the flat-object reader far enough to
+        // check framing (proto dispatch happens on the prefix).
+        assert!(line.starts_with("{\"proto\":2,"));
+    }
+}

@@ -1,45 +1,53 @@
 //! The `phishinghook serve` daemon: long-running batched scoring over a
 //! line protocol.
 //!
-//! # Protocol
+//! # Protocols
 //!
-//! One request per line: hex-encoded deployed bytecode (optional `0x`
-//! prefix, surrounding whitespace ignored, blank lines skipped). One
-//! response line per request, in request order:
+//! One request per line, one response line per request, in request order.
+//! Two framings are supported (see [`crate::proto`] for the full grammar):
 //!
-//! ```text
-//! phishing\t0.934211
-//! benign\t0.021002
-//! error\tnot valid hex bytecode
-//! ```
+//! * **v2 (default)** — versioned JSONL: requests are
+//!   `{"id":…,"bytecode":…}` objects (or bare hex, id defaulting to the
+//!   request's sequence number); responses carry `proto`, the echoed `id`,
+//!   `verdict`, `proba`, `model_version` and a `per_model` array with one
+//!   probability per underlying model — ensembles are observable over the
+//!   wire.
+//! * **v1 (`--proto v1`)** — the legacy framing, kept for old clients: hex
+//!   in, `verdict\tproba` out, `error\t…` for malformed lines.
 //!
 //! Requests are scored in batches of `--batch` lines (the last batch may be
-//! shorter) through the snapshot-restored detector's batched hot path —
-//! [`ScoringEngine::score_batch`] streams feature rows in place and runs
-//! block-parallel forest inference — so the daemon's steady-state cost per
-//! contract is the same as the pipeline benchmark's `contracts_per_sec`.
+//! shorter) through the snapshot-restored [`Scanner`]'s batched hot path —
+//! feature rows stream in place into a per-worker scratch matrix and every
+//! underlying model scores the same rows — so the daemon's steady-state
+//! cost per contract matches the pipeline benchmark's `contracts_per_sec`.
 //! Responses for a batch are flushed as soon as the batch is scored; with
 //! `--batch 1` the daemon is fully interactive.
 //!
 //! # Transports
 //!
 //! * **stdin/stdout** (default): score lines until EOF, then print a
-//!   throughput/latency report to stderr (stdout carries only verdict
+//!   throughput/latency report to stderr (stdout carries only response
 //!   lines) — doubling as a bulk scorer:
-//!   `phishinghook serve --model rf.snap < addresses.hex > verdicts.tsv`.
+//!   `phishinghook serve --model rf.snap < addresses.hex > verdicts.jsonl`.
 //! * **TCP** (`--tcp <addr>`, via [`std::net`]): accept connections
-//!   concurrently, one worker engine per connection, same line protocol on
-//!   each socket; per-connection reports go to stderr.
+//!   concurrently, same line protocol on each socket; per-connection
+//!   reports go to stderr. The snapshot is restored **once per process**:
+//!   every connection handler is a [`Scanner::worker`] sibling sharing the
+//!   immutable detector through an `Arc`, so accepting a connection costs
+//!   a scratch-buffer allocation, never a model restore (the pipeline
+//!   benchmark's `serve` section reports how many batches amortize one
+//!   restore).
 //!
 //! # Worker pool
 //!
 //! `--workers <n>` fans batches out across `n` scoring threads, each owning
-//! a scratch feature matrix ([`ScoringEngine::worker`] shares the immutable
-//! detector). A collector thread reorders finished batches so output order
-//! always matches input order regardless of worker scheduling.
+//! a scratch feature matrix ([`Scanner::worker`]). A collector thread
+//! reorders finished batches so output order always matches input order
+//! regardless of worker scheduling.
 
+use crate::proto::{self, Protocol};
 use phishinghook_evm::keccak::from_hex;
-use phishinghook_models::ScoringEngine;
+use phishinghook_models::{ScanRequest, Scanner};
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -53,6 +61,8 @@ pub struct ServeOptions {
     pub batch: usize,
     /// Scoring worker threads (≥ 1).
     pub workers: usize,
+    /// Wire framing (v2 JSONL by default; v1 for legacy clients).
+    pub proto: Protocol,
 }
 
 impl Default for ServeOptions {
@@ -63,6 +73,7 @@ impl Default for ServeOptions {
         ServeOptions {
             batch: 64,
             workers: 1,
+            proto: Protocol::default(),
         }
     }
 }
@@ -73,7 +84,7 @@ impl Default for ServeOptions {
 pub struct ServeReport {
     /// Scored requests (excluding malformed lines).
     pub contracts: u64,
-    /// Malformed request lines answered with `error\t…`.
+    /// Malformed request lines answered with an error response.
     pub errors: u64,
     /// Scored batches.
     pub batches: u64,
@@ -134,29 +145,98 @@ struct BatchResult {
     secs: f64,
 }
 
-/// Decodes and scores one batch of request lines.
-fn score_batch(engine: &mut ScoringEngine, requests: &[String]) -> BatchResult {
-    let t0 = Instant::now();
-    let decoded: Vec<Option<Vec<u8>>> = requests.iter().map(|line| from_hex(line.trim())).collect();
-    let valid: Vec<&[u8]> = decoded.iter().flatten().map(Vec::as_slice).collect();
-    let bytes: u64 = valid.iter().map(|c| c.len() as u64).sum();
-    let probs = engine.score_batch(&valid);
+/// One request line after protocol decoding.
+enum Decoded {
+    /// Valid request, ready to score.
+    Request(ScanRequest),
+    /// Malformed line: id to echo plus the error message.
+    Bad(String, String),
+}
 
-    let mut lines = String::with_capacity(requests.len() * 20);
-    let mut next_prob = probs.iter();
+/// Decodes one line under the active protocol. `fallback_id` is the
+/// 0-based global request index, used when the line carries no id of its
+/// own (always, for v1 and bare-hex v2 lines).
+fn decode_line(line: &str, fallback_id: u64, proto: Protocol) -> Decoded {
+    match proto {
+        Protocol::V1 => match from_hex(line.trim()) {
+            Some(code) => Decoded::Request(ScanRequest {
+                id: fallback_id.to_string(),
+                bytecode: code,
+            }),
+            None => Decoded::Bad(fallback_id.to_string(), "not valid hex bytecode".to_owned()),
+        },
+        Protocol::V2 => match proto::parse_request_v2(line, &fallback_id.to_string()) {
+            Ok(req) => match from_hex(req.hex.trim()) {
+                Some(code) => Decoded::Request(ScanRequest {
+                    id: req.id,
+                    bytecode: code,
+                }),
+                None => Decoded::Bad(req.id, "not valid hex bytecode".to_owned()),
+            },
+            Err(msg) => Decoded::Bad(fallback_id.to_string(), msg),
+        },
+    }
+}
+
+/// Decodes and scores one batch of request lines. `first_index` is the
+/// global index of the batch's first request (for fallback ids).
+fn score_batch(
+    scanner: &mut Scanner,
+    requests: &[String],
+    first_index: u64,
+    proto: Protocol,
+) -> BatchResult {
+    let t0 = Instant::now();
+    // Slot per line: valid requests move into `valid` (scored as one
+    // batch), bad lines keep their id + message for the error response.
+    enum Slot {
+        Valid,
+        Bad(String, String),
+    }
+    let mut valid: Vec<ScanRequest> = Vec::with_capacity(requests.len());
+    let slots: Vec<Slot> = requests
+        .iter()
+        .enumerate()
+        .map(
+            |(i, line)| match decode_line(line, first_index + i as u64, proto) {
+                Decoded::Request(req) => {
+                    valid.push(req);
+                    Slot::Valid
+                }
+                Decoded::Bad(id, msg) => Slot::Bad(id, msg),
+            },
+        )
+        .collect();
+    let bytes: u64 = valid.iter().map(|r| r.bytecode.len() as u64).sum();
+    let reports = scanner.scan_batch(&valid);
+
+    let mut lines = String::with_capacity(requests.len() * 64);
+    let mut next_report = reports.iter();
     let mut errors = 0u64;
-    for code in &decoded {
-        match code {
-            Some(_) => {
-                let p = next_prob.next().expect("one probability per valid code");
-                let verdict = if *p >= 0.5 { "phishing" } else { "benign" };
-                lines.push_str(&format!("{verdict}\t{p:.6}\n"));
+    for entry in &slots {
+        match entry {
+            Slot::Valid => {
+                let report = next_report.next().expect("one report per valid request");
+                match proto {
+                    Protocol::V1 => {
+                        use std::fmt::Write as _;
+                        let _ = write!(lines, "{}\t{:.6}", report.verdict, report.proba);
+                    }
+                    Protocol::V2 => proto::render_report_v2(&mut lines, report),
+                }
             }
-            None => {
+            Slot::Bad(id, message) => {
                 errors += 1;
-                lines.push_str("error\tnot valid hex bytecode\n");
+                match proto {
+                    Protocol::V1 => {
+                        lines.push_str("error\t");
+                        lines.push_str(message);
+                    }
+                    Protocol::V2 => proto::render_error_v2(&mut lines, id, message),
+                }
             }
         }
+        lines.push('\n');
     }
     BatchResult {
         lines,
@@ -174,13 +254,14 @@ fn score_batch(engine: &mut ScoringEngine, requests: &[String]) -> BatchResult {
 /// # Errors
 /// Propagates I/O errors from either side of the stream.
 pub fn serve_lines(
-    engine: &ScoringEngine,
+    scanner: &Scanner,
     input: impl BufRead,
     mut output: impl Write + Send,
     opts: &ServeOptions,
 ) -> std::io::Result<ServeReport> {
     let batch_size = opts.batch.max(1);
     let workers = opts.workers.max(1);
+    let proto = opts.proto;
     let t0 = Instant::now();
 
     // In-flight batches bounded per worker (and workers×BOUND overall on
@@ -195,11 +276,14 @@ pub fn serve_lines(
         let batch_txs: Vec<mpsc::SyncSender<(u64, Vec<String>)>> = (0..workers)
             .map(|_| {
                 let (tx, rx) = mpsc::sync_channel::<(u64, Vec<String>)>(CHANNEL_BOUND);
-                let mut worker = engine.worker();
+                let mut worker = scanner.worker();
                 let result_tx = result_tx.clone();
                 scope.spawn(move || {
                     while let Ok((seq, requests)) = rx.recv() {
-                        let result = score_batch(&mut worker, &requests);
+                        // Every batch before the last is full, so the global
+                        // index of a batch's first request is seq × size.
+                        let first_index = seq * batch_size as u64;
+                        let result = score_batch(&mut worker, &requests, first_index, proto);
                         if result_tx.send((seq, result)).is_err() {
                             return; // collector gone: the session is over
                         }
@@ -283,7 +367,10 @@ pub fn serve_lines(
 }
 
 /// Accepts TCP connections and serves the line protocol on each, one
-/// handler thread (and one worker engine) per connection.
+/// handler thread per connection. The handlers are [`Scanner::worker`]
+/// siblings of `scanner`: the model snapshot is restored once by the
+/// caller and shared via `Arc` across every connection, never re-restored
+/// per connection.
 ///
 /// `max_conns` bounds how many connections are accepted before returning
 /// the aggregate report — `None` serves forever (the daemon case). Each
@@ -294,11 +381,11 @@ pub fn serve_lines(
 /// stderr and do not stop the daemon.
 pub fn serve_tcp(
     listener: &TcpListener,
-    engine: &ScoringEngine,
+    scanner: &Scanner,
     opts: &ServeOptions,
     max_conns: Option<usize>,
 ) -> std::io::Result<ServeReport> {
-    let model = engine.model_name();
+    let model = scanner.model_name();
     let mut total = ServeReport::default();
     let mut accepted = 0usize;
     std::thread::scope(|scope| -> std::io::Result<()> {
@@ -310,7 +397,10 @@ pub fn serve_tcp(
         while max_conns.is_none_or(|m| accepted < m) {
             let (stream, peer) = listener.accept()?;
             accepted += 1;
-            let handler = engine.worker();
+            // Arc-clone of the shared detector + a fresh scratch buffer —
+            // O(1), no snapshot decode on the accept path.
+            let handler = scanner.worker();
+            debug_assert!(handler.shares_model_with(scanner));
             let opts = opts.clone();
             let report_tx = report_tx.cloned();
             scope.spawn(move || match serve_connection(&handler, &stream, &opts) {
@@ -337,12 +427,12 @@ pub fn serve_tcp(
 /// Serves one accepted TCP stream (split into buffered read and write
 /// halves) to EOF.
 fn serve_connection(
-    engine: &ScoringEngine,
+    scanner: &Scanner,
     stream: &TcpStream,
     opts: &ServeOptions,
 ) -> std::io::Result<ServeReport> {
     let reader = BufReader::new(stream.try_clone()?);
-    serve_lines(engine, reader, stream, opts)
+    serve_lines(scanner, reader, stream, opts)
 }
 
 #[cfg(test)]
@@ -350,22 +440,43 @@ mod tests {
     use super::*;
     use phishinghook_data::{Corpus, CorpusConfig};
     use phishinghook_evm::keccak::to_hex;
-    use phishinghook_models::{Detector, HscDetector};
+    use phishinghook_models::{Detector, DetectorRegistry};
     use std::sync::OnceLock;
 
-    /// One fitted engine shared by every test (training is the slow part).
-    fn engine() -> &'static ScoringEngine {
-        static ENGINE: OnceLock<ScoringEngine> = OnceLock::new();
-        ENGINE.get_or_init(|| {
+    /// One fitted single-model scanner shared by every test (training is
+    /// the slow part).
+    fn scanner() -> &'static Scanner {
+        static SCANNER: OnceLock<Scanner> = OnceLock::new();
+        SCANNER.get_or_init(|| {
             let corpus = Corpus::generate(&CorpusConfig {
                 n_contracts: 80,
                 seed: 5,
                 ..Default::default()
             });
             let (codes, labels) = corpus.as_dataset();
-            let mut det = HscDetector::random_forest(7);
+            let mut det = DetectorRegistry::global()
+                .build_str("rf:seed=7", 7)
+                .expect("valid spec");
             det.fit(&codes, &labels);
-            ScoringEngine::new(det).expect("fitted")
+            Scanner::new(det).expect("fitted")
+        })
+    }
+
+    /// A 2-member ensemble scanner for per-model wire assertions.
+    fn ensemble_scanner() -> &'static Scanner {
+        static SCANNER: OnceLock<Scanner> = OnceLock::new();
+        SCANNER.get_or_init(|| {
+            let corpus = Corpus::generate(&CorpusConfig {
+                n_contracts: 80,
+                seed: 5,
+                ..Default::default()
+            });
+            let (codes, labels) = corpus.as_dataset();
+            let mut det = DetectorRegistry::global()
+                .build_str("ensemble:rf+lgbm:vote=soft", 7)
+                .expect("valid spec");
+            det.fit(&codes, &labels);
+            Scanner::new(det).expect("fitted")
         })
     }
 
@@ -380,16 +491,27 @@ mod tests {
         (text, codes)
     }
 
-    fn serve_to_string(input: &str, opts: &ServeOptions) -> (String, ServeReport) {
+    fn serve_with(scanner: &Scanner, input: &str, opts: &ServeOptions) -> (String, ServeReport) {
         let mut out = Vec::new();
-        let report = serve_lines(engine(), input.as_bytes(), &mut out, opts).expect("serves");
+        let report = serve_lines(scanner, input.as_bytes(), &mut out, opts).expect("serves");
         (String::from_utf8(out).expect("utf8 output"), report)
     }
 
+    fn serve_to_string(input: &str, opts: &ServeOptions) -> (String, ServeReport) {
+        serve_with(scanner(), input, opts)
+    }
+
+    fn v1() -> ServeOptions {
+        ServeOptions {
+            proto: Protocol::V1,
+            ..ServeOptions::default()
+        }
+    }
+
     #[test]
-    fn one_response_line_per_request_in_order() {
+    fn v1_one_response_line_per_request_in_order() {
         let (input, codes) = probe_lines(10);
-        let (out, report) = serve_to_string(&input, &ServeOptions::default());
+        let (out, report) = serve_to_string(&input, &v1());
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), codes.len());
         assert_eq!(report.contracts, codes.len() as u64);
@@ -399,9 +521,9 @@ mod tests {
             codes.iter().map(|c| c.len() as u64).sum::<u64>()
         );
 
-        // Responses match direct engine scoring, in request order.
+        // Responses match direct scanner scoring, in request order.
         let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
-        let probs = engine().worker().score_batch(&refs);
+        let probs = scanner().worker().score_batch(&refs);
         for (line, p) in lines.iter().zip(&probs) {
             let verdict = if *p >= 0.5 { "phishing" } else { "benign" };
             assert_eq!(*line, format!("{verdict}\t{p:.6}"));
@@ -409,24 +531,113 @@ mod tests {
     }
 
     #[test]
-    fn output_order_is_stable_for_any_batch_size_and_worker_count() {
-        let (input, _) = probe_lines(23);
-        let (reference, _) = serve_to_string(
-            &input,
-            &ServeOptions {
-                batch: 64,
-                workers: 1,
-            },
-        );
-        for (batch, workers) in [(1, 1), (4, 3), (5, 2), (64, 4)] {
-            let (out, report) = serve_to_string(&input, &ServeOptions { batch, workers });
-            assert_eq!(out, reference, "batch={batch} workers={workers}");
-            assert_eq!(report.batches, 23u64.div_ceil(batch as u64));
+    fn v2_responses_carry_ids_and_parse_as_jsonl() {
+        let (input, codes) = probe_lines(6);
+        let (out, report) = serve_to_string(&input, &ServeOptions::default());
+        assert_eq!(report.contracts, codes.len() as u64);
+        let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
+        let probs = scanner().worker().score_batch(&refs);
+        for (i, (line, p)) in out.lines().zip(&probs).enumerate() {
+            // Bare-hex requests get sequence-number ids.
+            assert!(
+                line.starts_with(&format!("{{\"proto\":2,\"id\":\"{i}\",")),
+                "{line}"
+            );
+            let verdict = if *p >= 0.5 { "phishing" } else { "benign" };
+            assert!(
+                line.contains(&format!("\"verdict\":\"{verdict}\"")),
+                "{line}"
+            );
+            assert!(line.contains(&format!("\"proba\":{p:.6}")), "{line}");
+            assert!(
+                line.contains("\"model_version\":\"hsc-detector/v1\""),
+                "{line}"
+            );
+            assert!(
+                line.contains("\"per_model\":[{\"name\":\"Random Forest\""),
+                "{line}"
+            );
+            assert!(line.ends_with("]}"), "{line}");
         }
     }
 
     #[test]
-    fn malformed_and_blank_lines() {
+    fn v2_json_requests_echo_their_ids() {
+        let (_, codes) = probe_lines(2);
+        let input = format!(
+            "{{\"id\":\"tx-a\",\"bytecode\":\"0x{}\"}}\n{{\"bytecode\":\"0x{}\"}}\nnot json or hex!!\n",
+            to_hex(&codes[0]),
+            to_hex(&codes[1]),
+        );
+        let (out, report) = serve_to_string(&input, &ServeOptions::default());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(
+            lines[0].starts_with("{\"proto\":2,\"id\":\"tx-a\","),
+            "{}",
+            lines[0]
+        );
+        // Missing id falls back to the request's global sequence number.
+        assert!(
+            lines[1].starts_with("{\"proto\":2,\"id\":\"1\","),
+            "{}",
+            lines[1]
+        );
+        assert!(lines[2].contains("\"error\":"), "{}", lines[2]);
+        assert_eq!(report.contracts, 2);
+        assert_eq!(report.errors, 1);
+    }
+
+    #[test]
+    fn v2_ensembles_expose_per_member_probabilities() {
+        let (input, codes) = probe_lines(4);
+        let (out, _) = serve_with(ensemble_scanner(), &input, &ServeOptions::default());
+        let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
+        let combined = ensemble_scanner().worker().score_batch(&refs);
+        for (line, p) in out.lines().zip(&combined) {
+            assert!(
+                line.contains("\"model_version\":\"hsc-ensemble/v1\""),
+                "{line}"
+            );
+            assert!(
+                line.contains("{\"name\":\"Random Forest\",\"proba\":"),
+                "{line}"
+            );
+            assert!(line.contains("{\"name\":\"LightGBM\",\"proba\":"), "{line}");
+            assert!(line.contains(&format!("\"proba\":{p:.6}")), "{line}");
+            assert_eq!(line.matches("\"name\":").count(), 2, "{line}");
+        }
+    }
+
+    #[test]
+    fn output_order_is_stable_for_any_batch_size_and_worker_count() {
+        let (input, _) = probe_lines(23);
+        for proto in [Protocol::V1, Protocol::V2] {
+            let (reference, _) = serve_to_string(
+                &input,
+                &ServeOptions {
+                    batch: 64,
+                    workers: 1,
+                    proto,
+                },
+            );
+            for (batch, workers) in [(1, 1), (4, 3), (5, 2), (64, 4)] {
+                let (out, report) = serve_to_string(
+                    &input,
+                    &ServeOptions {
+                        batch,
+                        workers,
+                        proto,
+                    },
+                );
+                assert_eq!(out, reference, "batch={batch} workers={workers} {proto:?}");
+                assert_eq!(report.batches, 23u64.div_ceil(batch as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn v1_malformed_and_blank_lines() {
         let (mut input, codes) = probe_lines(3);
         input.push_str("zznothex\n\n   \n0x60\n");
         let (out, report) = serve_to_string(
@@ -434,6 +645,7 @@ mod tests {
             &ServeOptions {
                 batch: 2,
                 workers: 2,
+                proto: Protocol::V1,
             },
         );
         let lines: Vec<&str> = out.lines().collect();
@@ -459,38 +671,49 @@ mod tests {
     }
 
     #[test]
-    fn tcp_round_trip_over_a_real_socket() {
+    fn tcp_round_trip_shares_one_restored_model_across_connections() {
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
         let addr = listener.local_addr().expect("addr");
         let (input, codes) = probe_lines(5);
 
-        let client = std::thread::spawn(move || {
-            let mut stream = TcpStream::connect(addr).expect("connect");
-            stream.write_all(input.as_bytes()).expect("send requests");
-            stream
-                .shutdown(std::net::Shutdown::Write)
-                .expect("half-close");
-            let mut response = String::new();
-            use std::io::Read;
-            stream
-                .read_to_string(&mut response)
-                .expect("read responses");
-            response
-        });
+        let clients: Vec<_> = (0..2)
+            .map(|_| {
+                let input = input.clone();
+                std::thread::spawn(move || {
+                    let mut stream = TcpStream::connect(addr).expect("connect");
+                    stream.write_all(input.as_bytes()).expect("send requests");
+                    stream
+                        .shutdown(std::net::Shutdown::Write)
+                        .expect("half-close");
+                    let mut response = String::new();
+                    use std::io::Read;
+                    stream
+                        .read_to_string(&mut response)
+                        .expect("read responses");
+                    response
+                })
+            })
+            .collect();
 
         let opts = ServeOptions {
             batch: 2,
             workers: 2,
+            proto: Protocol::V2,
         };
-        let total = serve_tcp(&listener, engine(), &opts, Some(1)).expect("serves one conn");
-        let response = client.join().expect("client thread");
-        assert_eq!(response.lines().count(), codes.len());
-        assert_eq!(total.contracts, codes.len() as u64);
-        for line in response.lines() {
-            assert!(
-                line.starts_with("phishing\t") || line.starts_with("benign\t"),
-                "{line}"
-            );
+        // One scanner (one restore) serves both connections.
+        let total = serve_tcp(&listener, scanner(), &opts, Some(2)).expect("serves two conns");
+        assert_eq!(total.contracts, 2 * codes.len() as u64);
+        for client in clients {
+            let response = client.join().expect("client thread");
+            assert_eq!(response.lines().count(), codes.len());
+            for line in response.lines() {
+                assert!(line.starts_with("{\"proto\":2,"), "{line}");
+                assert!(
+                    line.contains("\"verdict\":\"phishing\"")
+                        || line.contains("\"verdict\":\"benign\""),
+                    "{line}"
+                );
+            }
         }
     }
 }

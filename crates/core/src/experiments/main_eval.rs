@@ -102,9 +102,11 @@ mod tests {
         });
         let (codes, labels) = corpus.as_dataset();
         let factory = |seed: u64| -> Vec<Box<dyn Detector>> {
-            phishinghook_models::all_hscs(seed)
-                .into_iter()
-                .map(|d| Box::new(d) as Box<dyn Detector>)
+            let registry = phishinghook_models::DetectorRegistry::global();
+            registry
+                .hsc_specs()
+                .iter()
+                .map(|spec| Box::new(registry.build(spec, seed)) as Box<dyn Detector>)
                 .collect()
         };
         let trials = evaluate(&codes, &labels, &factory, 3, 1, 5);

@@ -125,8 +125,9 @@ impl<'a> FoldFeatures<'a> {
 /// token sequences, …) so that anything fitted from data — vocabularies,
 /// frequency lookup tables — is derived from the *training* split only.
 pub trait Detector {
-    /// Model name as it appears in the paper's Table II.
-    fn name(&self) -> &'static str;
+    /// Model name — the paper's Table II spelling for the 16 single models,
+    /// or a canonical spec string for composites such as ensembles.
+    fn name(&self) -> &str;
 
     /// Model category.
     fn category(&self) -> Category;

@@ -97,7 +97,7 @@ impl EscortDetector {
 }
 
 impl Detector for EscortDetector {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "ESCORT"
     }
 

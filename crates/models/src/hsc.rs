@@ -158,7 +158,7 @@ impl HscDetector {
 }
 
 impl Detector for HscDetector {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         self.name
     }
 
@@ -364,19 +364,29 @@ impl HscDetector {
 }
 
 /// All seven HSC detectors in the paper's Table II order.
+///
+/// Kept for compatibility; new code should build from specs:
+/// `DetectorRegistry::global().hsc_specs()` produces the same seven
+/// detectors (bit-identically, given the same seed).
+#[deprecated(
+    since = "0.1.0",
+    note = "build from specs via `DetectorRegistry::global()` — \
+            `hsc_specs()` reproduces this list bit-for-bit"
+)]
 pub fn all_hscs(seed: u64) -> Vec<HscDetector> {
-    vec![
-        HscDetector::random_forest(seed),
-        HscDetector::knn(),
-        HscDetector::svm(seed ^ 1),
-        HscDetector::logistic_regression(),
-        HscDetector::xgboost(seed ^ 2),
-        HscDetector::lightgbm(seed ^ 3),
-        HscDetector::catboost(seed ^ 4),
-    ]
+    let registry = crate::spec::DetectorRegistry::global();
+    registry
+        .hsc_specs()
+        .iter()
+        .map(|spec| match registry.build(spec, seed) {
+            crate::scanner::AnyDetector::Hsc(det) => det,
+            crate::scanner::AnyDetector::Ensemble(_) => unreachable!("hsc_specs are singles"),
+        })
+        .collect()
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy constructors stay covered until removal
 mod tests {
     use super::*;
     use phishinghook_data::{Corpus, CorpusConfig};
@@ -409,7 +419,8 @@ mod tests {
 
     #[test]
     fn names_match_table2() {
-        let names: Vec<&str> = all_hscs(1).iter().map(|d| d.name()).collect();
+        let dets = all_hscs(1);
+        let names: Vec<&str> = dets.iter().map(|d| d.name()).collect();
         assert_eq!(
             names,
             vec![

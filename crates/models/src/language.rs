@@ -117,7 +117,7 @@ impl ScsGuardDetector {
 }
 
 impl Detector for ScsGuardDetector {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "SCSGuard"
     }
 
@@ -297,7 +297,7 @@ impl TransformerLm {
 }
 
 impl Detector for TransformerLm {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         self.name
     }
 

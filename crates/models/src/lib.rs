@@ -14,17 +14,28 @@
 //! frequency tables) never leaks from test folds.
 
 pub mod detector;
+pub mod ensemble;
 pub mod escort_model;
 pub mod hsc;
 pub mod language;
+pub mod scanner;
 pub mod scoring;
+pub mod spec;
 pub mod vision;
 
 pub use detector::{Category, Detector, FoldFeatures, HistogramFeatures};
+pub use ensemble::EnsembleDetector;
 pub use escort_model::{EscortConfig, EscortDetector};
-pub use hsc::{all_hscs, HscDetector, HscModel};
+#[allow(deprecated)]
+pub use hsc::all_hscs;
+pub use hsc::{HscDetector, HscModel};
 pub use language::{LanguageConfig, ScsGuardDetector, TransformerLm};
+pub use scanner::{AnyDetector, ScanReport, ScanRequest, Scanner, Verdict};
+#[allow(deprecated)]
 pub use scoring::ScoringEngine;
+pub use spec::{
+    DetectorRegistry, DetectorSpec, FamilyInfo, HscKind, HscSpec, SpecError, Vote, HSC_KINDS,
+};
 pub use vision::{VisionConfig, VisionDetector};
 
 /// Scaling preset controlling the deep models' capacity and training budget
@@ -114,9 +125,10 @@ impl Preset {
 
 /// Builds all 16 detectors in the paper's Table II order.
 pub fn all_detectors(preset: Preset, seed: u64) -> Vec<Box<dyn Detector>> {
+    let registry = DetectorRegistry::global();
     let mut out: Vec<Box<dyn Detector>> = Vec::with_capacity(16);
-    for hsc in all_hscs(seed) {
-        out.push(Box::new(hsc));
+    for spec in registry.hsc_specs() {
+        out.push(Box::new(registry.build(&spec, seed)));
     }
     out.push(Box::new(VisionDetector::eca_efficientnet(
         preset.vision_cnn(seed ^ 0x10),
@@ -147,6 +159,11 @@ pub fn all_detectors(preset: Preset, seed: u64) -> Vec<Box<dyn Detector>> {
 }
 
 /// Builds one detector by its Table II name (`None` for unknown names).
+#[deprecated(
+    since = "0.1.0",
+    note = "parse a `DetectorSpec` and build it via `DetectorRegistry::global().build` \
+            (deep models remain reachable through `all_detectors`)"
+)]
 pub fn detector_by_name(name: &str, preset: Preset, seed: u64) -> Option<Box<dyn Detector>> {
     all_detectors(preset, seed)
         .into_iter()
@@ -196,8 +213,24 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn lookup_by_name() {
         assert!(detector_by_name("SCSGuard", Preset::Fast, 1).is_some());
         assert!(detector_by_name("BERT", Preset::Fast, 1).is_none());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn registry_reproduces_all_hscs() {
+        // The deprecated constructor and the registry must stay
+        // interchangeable: same names, same Table II order.
+        let registry = DetectorRegistry::global();
+        let via_registry: Vec<String> = registry
+            .hsc_specs()
+            .iter()
+            .map(|s| registry.build(s, 7).name().to_owned())
+            .collect();
+        let via_legacy: Vec<String> = all_hscs(7).iter().map(|d| d.name().to_owned()).collect();
+        assert_eq!(via_registry, via_legacy);
     }
 }

@@ -1,4 +1,5 @@
-//! The train-once/score-forever serving path.
+//! The original train-once/score-forever serving path, superseded by
+//! [`Scanner`](crate::Scanner).
 //!
 //! [`ScoringEngine`] wraps a fitted [`HscDetector`] (usually restored from a
 //! snapshot) behind a batched scoring API that reuses one scratch feature
@@ -11,6 +12,11 @@
 //! Engines are cheap to fan out across worker threads:
 //! [`ScoringEngine::worker`] shares the (immutable, `Sync`) detector through
 //! an [`Arc`] while giving each worker its own scratch buffer.
+//!
+//! The engine is single-HSC only. [`Scanner`](crate::Scanner) keeps the
+//! identical hot path and numerics (bit-identical scores, asserted in this
+//! module's tests) while also serving ensembles, typed requests and both
+//! snapshot kinds — new code should use it instead.
 //!
 //! ```
 //! use phishinghook_models::{Detector, HscDetector, ScoringEngine};
@@ -25,6 +31,7 @@
 //! assert_eq!(scores.len(), 2);
 //! assert!(scores.iter().all(|p| (0.0..=1.0).contains(p)));
 //! ```
+#![allow(deprecated)] // the deprecated engine still implements itself
 
 use crate::detector::Detector;
 use crate::hsc::HscDetector;
@@ -34,6 +41,11 @@ use phishinghook_persist::PersistError;
 use std::sync::Arc;
 
 /// A fitted detector plus reusable scoring buffers.
+#[deprecated(
+    since = "0.1.0",
+    note = "superseded by `Scanner`, which serves ensembles and both snapshot \
+            kinds through the same hot path"
+)]
 #[derive(Debug)]
 pub struct ScoringEngine {
     detector: Arc<HscDetector>,
@@ -99,7 +111,7 @@ impl ScoringEngine {
     }
 
     /// Model name (Table II spelling), e.g. `"Random Forest"`.
-    pub fn model_name(&self) -> &'static str {
+    pub fn model_name(&self) -> &str {
         self.detector.name()
     }
 
@@ -200,7 +212,7 @@ mod tests {
         let (codes, labels) = tiny_corpus();
         let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
         for mut det in all_hscs(3) {
-            let name = det.name();
+            let name = det.name().to_owned();
             det.fit(&refs[..60], &labels[..60]);
             let mut original = ScoringEngine::new(det).expect("fitted");
             let bytes = original.detector().to_snapshot_bytes();

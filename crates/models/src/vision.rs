@@ -280,7 +280,7 @@ impl VisionDetector {
 }
 
 impl Detector for VisionDetector {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         self.name
     }
 

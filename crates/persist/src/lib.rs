@@ -512,6 +512,25 @@ pub fn to_envelope(kind: &str, artifact: &impl Snapshot) -> Vec<u8> {
     out
 }
 
+/// Validates an envelope's framing (magic, version, lengths) and returns
+/// the artifact kind it declares, without decoding the payload and
+/// **without verifying the checksum** — peeking stays O(header) so kind
+/// dispatch does not double the cost of the full decode that follows
+/// (which does verify the CRC).
+///
+/// This is the dispatch point for callers that accept more than one artifact
+/// kind behind a single front door (e.g. a scanner that serves both
+/// single-detector and ensemble snapshots): peek the kind, then decode with
+/// the matching [`Restore`] type.
+///
+/// # Errors
+/// Any framing-level [`PersistError`] ([`PersistError::BadMagic`],
+/// [`PersistError::UnsupportedVersion`], [`PersistError::Truncated`],
+/// [`PersistError::TrailingBytes`]).
+pub fn envelope_kind(bytes: &[u8]) -> Result<&str, PersistError> {
+    parse_envelope(bytes, false).map(|(kind, _)| kind)
+}
+
 /// Validates an envelope (magic, version, checksum, kind) and returns its
 /// payload slice without decoding it.
 ///
@@ -519,6 +538,20 @@ pub fn to_envelope(kind: &str, artifact: &impl Snapshot) -> Vec<u8> {
 /// Any [`PersistError`] variant except `TrailingBytes`/`Malformed`, which
 /// belong to payload decoding.
 pub fn open_envelope<'a>(kind: &str, bytes: &'a [u8]) -> Result<&'a [u8], PersistError> {
+    let (found_kind, payload) = parse_envelope(bytes, true)?;
+    if found_kind != kind {
+        return Err(PersistError::WrongKind {
+            expected: kind.to_owned(),
+            found: found_kind.to_owned(),
+        });
+    }
+    Ok(payload)
+}
+
+/// Shared envelope walk: checks magic, version and framing (plus the CRC
+/// trailer when `check_crc`), then returns `(kind, payload)` borrowed from
+/// `bytes`.
+fn parse_envelope(bytes: &[u8], check_crc: bool) -> Result<(&str, &[u8]), PersistError> {
     let mut r = Reader::new(bytes);
     if r.take_raw(MAGIC.len())? != MAGIC {
         return Err(PersistError::BadMagic);
@@ -532,8 +565,7 @@ pub fn open_envelope<'a>(kind: &str, bytes: &'a [u8]) -> Result<&'a [u8], Persis
     }
     let kind_len = usize::from(r.take_u16()?);
     let found_kind = std::str::from_utf8(r.take_raw(kind_len)?)
-        .map_err(|e| PersistError::Malformed(format!("invalid kind tag: {e}")))?
-        .to_owned();
+        .map_err(|e| PersistError::Malformed(format!("invalid kind tag: {e}")))?;
     let payload_len = r.take_usize()?;
     // The payload plus the 4-byte CRC trailer must close the buffer exactly.
     // Saturating add: a crafted length near usize::MAX must report
@@ -551,20 +583,16 @@ pub fn open_envelope<'a>(kind: &str, bytes: &'a [u8]) -> Result<&'a [u8], Persis
             count: r.remaining(),
         });
     }
-    let computed = crc32(&bytes[..bytes.len() - 4]);
-    if stored_crc != computed {
-        return Err(PersistError::ChecksumMismatch {
-            stored: stored_crc,
-            computed,
-        });
+    if check_crc {
+        let computed = crc32(&bytes[..bytes.len() - 4]);
+        if stored_crc != computed {
+            return Err(PersistError::ChecksumMismatch {
+                stored: stored_crc,
+                computed,
+            });
+        }
     }
-    if found_kind != kind {
-        return Err(PersistError::WrongKind {
-            expected: kind.to_owned(),
-            found: found_kind,
-        });
-    }
-    Ok(payload)
+    Ok((found_kind, payload))
 }
 
 /// Decodes a `T` from an envelope, enforcing that the payload is consumed

@@ -55,7 +55,7 @@ fn main() {
     );
     println!("{}", "-".repeat(70));
     for (category, mut det) in contenders {
-        let name = det.name();
+        let name = det.name().to_owned();
         let t0 = Instant::now();
         det.fit(train_x, train_y);
         let train_secs = t0.elapsed().as_secs_f64();

@@ -14,7 +14,7 @@
 use phishinghook_core::metrics::BinaryMetrics;
 use phishinghook_data::{Corpus, CorpusConfig, Label};
 use phishinghook_evm::disasm::disassemble;
-use phishinghook_models::{Detector, HscDetector, ScoringEngine};
+use phishinghook_models::{AnyDetector, Detector, DetectorRegistry, Scanner};
 use std::path::Path;
 
 fn main() {
@@ -60,7 +60,7 @@ fn main() {
         .map(|r| r.bytecode.as_slice())
         .collect();
     let labels: Vec<usize> = corpus.records.iter().map(|r| r.label.as_index()).collect();
-    let detector = match HscDetector::load_snapshot(snap_path) {
+    let detector = match AnyDetector::load_snapshot(snap_path) {
         Ok(det) => {
             println!(
                 "\nloaded {} snapshot from {}",
@@ -71,7 +71,11 @@ fn main() {
         }
         Err(why) => {
             println!("\nno usable snapshot ({why}); training once");
-            let mut det = HscDetector::random_forest(7);
+            // Spec-based construction: the same string works for any
+            // family, including ensembles ("ensemble:rf+lgbm:vote=soft").
+            let mut det = DetectorRegistry::global()
+                .build_str("rf:seed=7", 7)
+                .expect("valid spec");
             let t0 = std::time::Instant::now();
             det.fit(&codes[..split], &labels[..split]);
             println!("trained in {:.2}s", t0.elapsed().as_secs_f64());
@@ -86,9 +90,9 @@ fn main() {
         }
     };
 
-    // 4. Evaluate on the held-out contracts through the batched serving
-    //    engine (the same hot path `phishinghook serve` runs).
-    let mut engine = ScoringEngine::new(detector).expect("fitted detector");
+    // 4. Evaluate on the held-out contracts through the batched Scanner
+    //    facade (the same hot path `phishinghook serve` runs).
+    let mut engine = Scanner::new(detector).expect("fitted detector");
     let predictions = engine.classify_batch(&codes[split..]);
     let metrics = BinaryMetrics::from_predictions(&predictions, &labels[split..]);
     println!(

@@ -17,14 +17,14 @@
 
 use phishinghook_data::{Corpus, CorpusConfig, Label, SimulatedChain};
 use phishinghook_evm::disasm::disassemble;
-use phishinghook_models::{Detector, HscDetector, ScoringEngine};
+use phishinghook_models::{Detector, DetectorRegistry, Scanner};
 use std::path::Path;
 use std::time::Instant;
 
 /// Loads the snapshot from a previous run, or trains once and saves it
 /// (the "security vendor" side of the deployment).
-fn load_or_train(snap_path: &Path) -> ScoringEngine {
-    if let Ok(engine) = ScoringEngine::load(snap_path) {
+fn load_or_train(snap_path: &Path) -> Scanner {
+    if let Ok(engine) = Scanner::load(snap_path) {
         println!(
             "loaded {} snapshot from {} (no retraining)",
             engine.model_name(),
@@ -38,7 +38,9 @@ fn load_or_train(snap_path: &Path) -> ScoringEngine {
         ..Default::default()
     });
     let (codes, labels) = train_corpus.as_dataset();
-    let mut detector = HscDetector::random_forest(99);
+    let mut detector = DetectorRegistry::global()
+        .build_str("rf:seed=99", 99)
+        .expect("valid spec");
     let t = Instant::now();
     detector.fit(&codes, &labels);
     println!(
@@ -49,7 +51,7 @@ fn load_or_train(snap_path: &Path) -> ScoringEngine {
     std::fs::create_dir_all("results").expect("create results/");
     detector.save_snapshot(snap_path).expect("save snapshot");
     println!("saved snapshot to {}", snap_path.display());
-    ScoringEngine::new(detector).expect("fitted detector")
+    Scanner::new(detector).expect("fitted detector")
 }
 
 fn main() {

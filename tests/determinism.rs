@@ -68,14 +68,10 @@ fn deep_model_training_is_deterministic() {
 
 #[test]
 fn detector_registry_is_stable() {
-    let names: Vec<&str> = all_detectors(Preset::Fast, 1)
-        .iter()
-        .map(|d| d.name())
-        .collect();
-    let again: Vec<&str> = all_detectors(Preset::Fast, 1)
-        .iter()
-        .map(|d| d.name())
-        .collect();
+    let first = all_detectors(Preset::Fast, 1);
+    let second = all_detectors(Preset::Fast, 1);
+    let names: Vec<&str> = first.iter().map(|d| d.name()).collect();
+    let again: Vec<&str> = second.iter().map(|d| d.name()).collect();
     assert_eq!(names, again);
     assert_eq!(names.len(), 16);
 }

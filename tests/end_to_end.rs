@@ -1,3 +1,5 @@
+#![allow(deprecated)] // legacy `all_hscs` stays covered until removal
+
 //! Cross-crate integration tests: the full PhishingHook pipeline from
 //! simulated chain to model verdicts and post hoc statistics.
 

@@ -1,3 +1,5 @@
+#![allow(deprecated)] // legacy `all_hscs` stays covered until removal
+
 //! Smoke tests for every experiment driver: each paper table/figure
 //! regenerates at reduced scale with the expected output shape.
 

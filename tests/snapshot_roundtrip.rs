@@ -8,9 +8,11 @@
 //! and on property-generated adversarial bytecodes, and check that every
 //! way a snapshot can go bad surfaces as the right typed error.
 
+#![allow(deprecated)] // the legacy ScoringEngine contract stays covered until removal
+
 use phishinghook::data::{Corpus, CorpusConfig};
 use phishinghook::models::hsc::SNAPSHOT_KIND;
-use phishinghook::models::{all_hscs, Detector, ScoringEngine};
+use phishinghook::models::{all_hscs, Detector, DetectorRegistry, EnsembleDetector, ScoringEngine};
 use phishinghook::persist::{open_envelope, PersistError};
 use proptest::prelude::*;
 use std::sync::OnceLock;
@@ -19,7 +21,7 @@ struct Fixture {
     /// Held-out bytecodes none of the detectors saw at fit time.
     probes: Vec<Vec<u8>>,
     /// `(name, in-memory engine, snapshot-restored engine)` per HSC.
-    pairs: Vec<(&'static str, ScoringEngine, ScoringEngine)>,
+    pairs: Vec<(String, ScoringEngine, ScoringEngine)>,
     /// One raw snapshot (the Random Forest's) for envelope-level tests.
     snapshot: Vec<u8>,
 }
@@ -42,7 +44,7 @@ fn fixture() -> &'static Fixture {
         let pairs = all_hscs(7)
             .into_iter()
             .map(|mut det| {
-                let name = det.name();
+                let name = det.name().to_owned();
                 det.fit(train_x, train_y);
                 let bytes = det.to_snapshot_bytes();
                 // Determinism: saving the same fitted model twice must yield
@@ -174,6 +176,125 @@ fn non_snapshot_bytes_are_rejected_as_bad_magic() {
         ScoringEngine::from_snapshot_bytes(&[]),
         Err(PersistError::Truncated { .. })
     ));
+}
+
+// --- Ensemble snapshots ----------------------------------------------------
+
+/// `(probes, in-memory scanner, snapshot-restored scanner, raw snapshot)`
+/// for a 3-member soft-vote ensemble, trained once.
+struct EnsembleFixture {
+    probes: Vec<Vec<u8>>,
+    original: phishinghook::models::Scanner,
+    restored: phishinghook::models::Scanner,
+    snapshot: Vec<u8>,
+}
+
+fn ensemble_fixture() -> &'static EnsembleFixture {
+    static FIXTURE: OnceLock<EnsembleFixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let corpus = Corpus::generate(&CorpusConfig {
+            n_contracts: 100,
+            seed: 29,
+            ..Default::default()
+        });
+        let codes: Vec<Vec<u8>> = corpus.records.iter().map(|r| r.bytecode.clone()).collect();
+        let labels: Vec<usize> = corpus.records.iter().map(|r| r.label.as_index()).collect();
+        let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
+        let mut det = DetectorRegistry::global()
+            .build_str("ensemble:rf+lgbm+catboost:vote=soft", 7)
+            .expect("valid spec");
+        det.fit(&refs[..60], &labels[..60]);
+        let bytes = det.to_snapshot_bytes();
+        assert_eq!(bytes, det.to_snapshot_bytes(), "deterministic snapshot");
+        let restored =
+            phishinghook::models::Scanner::from_snapshot_bytes(&bytes).expect("restores");
+        let original = phishinghook::models::Scanner::new(det).expect("fitted");
+        EnsembleFixture {
+            probes: codes[60..].to_vec(),
+            original,
+            restored,
+            snapshot: bytes,
+        }
+    })
+}
+
+#[test]
+fn ensemble_round_trips_bit_identically_on_the_held_out_corpus() {
+    let fx = ensemble_fixture();
+    let refs: Vec<&[u8]> = fx.probes.iter().map(Vec::as_slice).collect();
+    let a = fx.original.worker().score_batch(&refs);
+    let b = fx.restored.worker().score_batch(&refs);
+    assert_eq!(bits(&a), bits(&b), "restored ensemble scores diverge");
+    assert_eq!(fx.restored.model_name(), fx.original.model_name());
+    assert_eq!(fx.restored.n_models(), 3);
+    assert_eq!(fx.restored.model_version(), "hsc-ensemble/v1");
+}
+
+proptest! {
+    #[test]
+    fn ensemble_round_trip_holds_on_arbitrary_bytecodes(
+        code in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let fx = ensemble_fixture();
+        let batch: [&[u8]; 1] = [code.as_slice()];
+        let a = fx.original.worker().score_batch(&batch);
+        let b = fx.restored.worker().score_batch(&batch);
+        prop_assert_eq!(bits(&a), bits(&b));
+    }
+}
+
+#[test]
+fn ensemble_per_model_probabilities_survive_the_round_trip() {
+    let fx = ensemble_fixture();
+    let requests: Vec<phishinghook::models::ScanRequest> = fx.probes[..8]
+        .iter()
+        .enumerate()
+        .map(|(i, code)| phishinghook::models::ScanRequest {
+            id: format!("probe-{i}"),
+            bytecode: code.clone(),
+        })
+        .collect();
+    let a = fx.original.worker().scan_batch(&requests);
+    let b = fx.restored.worker().scan_batch(&requests);
+    for (ra, rb) in a.iter().zip(&b) {
+        assert_eq!(ra.id, rb.id);
+        assert_eq!(ra.proba.to_bits(), rb.proba.to_bits());
+        assert_eq!(ra.per_model.len(), 3);
+        for ((na, pa), (nb, pb)) in ra.per_model.iter().zip(&rb.per_model) {
+            assert_eq!(na, nb);
+            assert_eq!(pa.to_bits(), pb.to_bits(), "{na}");
+        }
+    }
+}
+
+#[test]
+fn ensemble_snapshot_corruption_is_rejected_with_typed_errors() {
+    let snapshot = &ensemble_fixture().snapshot;
+    // Bit flip → checksum.
+    let mut corrupt = snapshot.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x04;
+    assert!(matches!(
+        EnsembleDetector::from_snapshot_bytes(&corrupt),
+        Err(PersistError::ChecksumMismatch { .. })
+    ));
+    // Truncation.
+    assert!(matches!(
+        EnsembleDetector::from_snapshot_bytes(&snapshot[..snapshot.len() / 3]),
+        Err(PersistError::Truncated { .. })
+    ));
+    // Kind mismatch both ways: an HSC snapshot is not an ensemble and vice
+    // versa — and the generic Scanner front door accepts both.
+    let hsc_snapshot = &fixture().snapshot;
+    match EnsembleDetector::from_snapshot_bytes(hsc_snapshot).unwrap_err() {
+        PersistError::WrongKind { expected, found } => {
+            assert_eq!(expected, phishinghook::models::ensemble::SNAPSHOT_KIND);
+            assert_eq!(found, SNAPSHOT_KIND);
+        }
+        other => panic!("expected WrongKind, got {other:?}"),
+    }
+    assert!(phishinghook::models::Scanner::from_snapshot_bytes(hsc_snapshot).is_ok());
+    assert!(phishinghook::models::Scanner::from_snapshot_bytes(snapshot).is_ok());
 }
 
 #[test]
