@@ -16,10 +16,14 @@
 use phishinghook_bench::seed_paths;
 use phishinghook_data::{Corpus, CorpusConfig};
 use phishinghook_evm::disasm::disasm_iter;
+use phishinghook_evm::keccak::{from_hex, to_hex, Digest};
 use phishinghook_features::HistogramExtractor;
 use phishinghook_ml::classical::forest::ForestConfig;
 use phishinghook_ml::{Classifier, RandomForest};
 use phishinghook_models::{Detector, DetectorRegistry, Scanner};
+use phishinghook_serve::{
+    Admission, CachedVerdict, Protocol, Scheduler, SchedulerOptions, VerdictCache,
+};
 use std::time::Instant;
 
 struct Args {
@@ -235,6 +239,138 @@ fn main() {
         ensemble_snapshot.len() / 1024,
     );
 
+    // --- Serving core: cross-connection micro-batching vs per-connection. ---
+    // The chain-watch workload: many concurrent clients, one request per
+    // line. The old daemon gave each connection a private loop, so a
+    // single-line client scored 1-row batches; the scheduler merges rows
+    // *across* connections into SERVE_BATCH-row batches. Both sides decode
+    // hex and score, so the comparison is end to end per request.
+    const CLIENTS: usize = 4;
+    let per_client = refs.len() / CLIENTS;
+    let total_requests = per_client * CLIENTS;
+    let client_lines: Vec<Vec<String>> = (0..CLIENTS)
+        .map(|c| {
+            refs[c * per_client..(c + 1) * per_client]
+                .iter()
+                .map(|code| format!("0x{}", to_hex(code)))
+                .collect()
+        })
+        .collect();
+    let per_conn_secs = measure(reps, || {
+        let mut scored = 0usize;
+        for lines in &client_lines {
+            let mut worker = engine.worker(); // one private engine per connection
+            for line in lines {
+                let code = from_hex(line).expect("bench hex");
+                scored += worker.score_batch(&[code.as_slice()]).len();
+            }
+        }
+        scored
+    });
+    let scheduler_opts = SchedulerOptions {
+        batch: SERVE_BATCH,
+        workers: 1,
+        queue_depth: 1024,
+        linger_micros: 200,
+        cache_bytes: 0, // isolate batching from caching
+        ..SchedulerOptions::default()
+    };
+    let cross_conn_secs = measure(reps, || {
+        let scheduler = Scheduler::new(&engine, &scheduler_opts);
+        let scored = std::thread::scope(|scope| {
+            let handles: Vec<_> = client_lines
+                .iter()
+                .map(|lines| {
+                    let scheduler = &scheduler;
+                    scope.spawn(move || {
+                        let (mut conn, rx) = scheduler.connect(Protocol::V1);
+                        for line in lines {
+                            conn.submit(line, Admission::Block);
+                        }
+                        conn.finish();
+                        rx.iter().count()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client"))
+                .sum::<usize>()
+        });
+        assert_eq!(scored, total_requests, "every request answered");
+        scheduler.shutdown();
+        scored
+    });
+    let per_conn_cps = total_requests as f64 / per_conn_secs;
+    let cross_conn_cps = total_requests as f64 / cross_conn_secs;
+    println!(
+        "scheduler  per-conn {:>9.0} c/s   cross-conn {:>7.0} c/s   speedup {:>5.2}x   ({CLIENTS} single-line clients)",
+        per_conn_cps,
+        cross_conn_cps,
+        cross_conn_cps / per_conn_cps,
+    );
+
+    // --- Verdict cache: hit path vs cold-score path. ---
+    // Both paths are measured end to end on a cache-enabled daemon: every
+    // request pays keccak-256 + LRU lookup; a miss (cold) then scores one
+    // row, a hit replays the stored f64s. Bit-identity between the two
+    // paths is asserted, not assumed.
+    let cache_budget: usize = 8 << 20;
+    let mut cold_worker = engine.worker();
+    let empty_cache = VerdictCache::new(cache_budget);
+    let cold_secs = measure(reps, || {
+        let mut acc = 0u64;
+        for code in &refs {
+            let digest = Digest::of(code);
+            match empty_cache.lookup(&digest) {
+                Some(hit) => acc ^= hit.proba.to_bits(),
+                None => acc ^= cold_worker.score_batch(&[*code])[0].to_bits(),
+            }
+        }
+        acc
+    });
+    // Populate the cache from the batched path, then verify every cold
+    // (per-row) score is bit-identical to what the cache replays.
+    let cache = VerdictCache::new(cache_budget);
+    let mut filler = engine.worker();
+    for chunk in refs.chunks(SERVE_BATCH) {
+        let (combined, per_model) = filler.score_with_members(chunk);
+        for (row, code) in chunk.iter().enumerate() {
+            cache.insert(
+                Digest::of(code),
+                CachedVerdict {
+                    proba: combined[row],
+                    per_model: per_model.iter().map(|(_, p)| p[row]).collect(),
+                },
+            );
+        }
+    }
+    for code in &refs {
+        let cold = cold_worker.score_batch(&[*code])[0];
+        let hit = cache.lookup(&Digest::of(code)).expect("prefilled");
+        assert_eq!(
+            cold.to_bits(),
+            hit.proba.to_bits(),
+            "cache must replay the cold path's exact bits"
+        );
+    }
+    let hit_secs = measure(reps, || {
+        let mut acc = 0u64;
+        for code in &refs {
+            let digest = Digest::of(code);
+            acc ^= cache.lookup(&digest).expect("prefilled").proba.to_bits();
+        }
+        acc
+    });
+    let cold_rps = refs.len() as f64 / cold_secs;
+    let hit_rps = refs.len() as f64 / hit_secs;
+    println!(
+        "cache      cold    {:>10.0} r/s   hit    {:>10.0} r/s   speedup {:>5.1}x   (keccak+LRU vs extract+infer, bit-identical)",
+        cold_rps,
+        hit_rps,
+        hit_rps / cold_rps.max(1e-12),
+    );
+
     let json = format!(
         r#"{{
   "schema": "phishinghook-bench-pipeline/v1",
@@ -286,6 +422,28 @@ fn main() {
     "ensemble_restore_secs": {ensemble_restore},
     "ensemble_contracts_per_sec": {ensemble_cps},
     "ensemble_cost_x": {ensemble_cost_x}
+  }},
+  "scheduler": {{
+    "clients": {clients},
+    "requests": {total_requests},
+    "batch_size": {serve_batch},
+    "workers": 1,
+    "linger_micros": {linger_micros},
+    "per_connection_secs": {per_conn_secs},
+    "per_connection_contracts_per_sec": {per_conn_cps},
+    "cross_connection_secs": {cross_conn_secs},
+    "cross_connection_contracts_per_sec": {cross_conn_cps},
+    "speedup": {scheduler_speedup}
+  }},
+  "cache": {{
+    "budget_bytes": {cache_budget},
+    "entries": {cache_entries},
+    "cold_secs": {cold_secs},
+    "cold_rows_per_sec": {cold_rps},
+    "hit_secs": {hit_secs},
+    "hit_rows_per_sec": {hit_rps},
+    "hit_speedup": {hit_speedup},
+    "bit_identical": true
   }}
 }}
 "#,
@@ -323,6 +481,21 @@ fn main() {
         ensemble_restore = json_f(ensemble_restore_secs),
         ensemble_cps = json_f(ensemble_cps),
         ensemble_cost_x = json_f(single_cps / ensemble_cps),
+        clients = CLIENTS,
+        total_requests = total_requests,
+        linger_micros = scheduler_opts.linger_micros,
+        per_conn_secs = json_f(per_conn_secs),
+        per_conn_cps = json_f(per_conn_cps),
+        cross_conn_secs = json_f(cross_conn_secs),
+        cross_conn_cps = json_f(cross_conn_cps),
+        scheduler_speedup = json_f(cross_conn_cps / per_conn_cps),
+        cache_budget = cache_budget,
+        cache_entries = cache.stats().entries,
+        cold_secs = json_f(cold_secs),
+        cold_rps = json_f(cold_rps),
+        hit_secs = json_f(hit_secs),
+        hit_rps = json_f(hit_rps),
+        hit_speedup = json_f(hit_rps / cold_rps.max(1e-12)),
     );
     std::fs::write(&args.out, &json).expect("write benchmark JSON");
     println!("\nwrote {}", args.out);

@@ -1,10 +1,10 @@
 //! Implementation of the `phishinghook` command-line tool.
 //!
 //! Kept as a library so every subcommand is unit-testable without spawning
-//! processes; [`run`] maps an argument vector to rendered output.
-
-pub mod proto;
-pub mod serve;
+//! processes; [`run`] maps an argument vector to rendered output. The
+//! crate is deliberately thin — argument parsing and wiring only; the
+//! serving machinery (scheduler, verdict cache, wire protocols, firehose
+//! driver) lives in [`phishinghook_serve`].
 
 use phishinghook_core::cv::stratified_kfold;
 use phishinghook_core::metrics::BinaryMetrics;
@@ -14,6 +14,9 @@ use phishinghook_evm::disasm::{disassemble, to_csv as disasm_csv};
 use phishinghook_evm::keccak::from_hex;
 use phishinghook_models::{AnyDetector, Detector, DetectorRegistry, Scanner, SpecError};
 use phishinghook_persist::PersistError;
+use phishinghook_serve::{
+    serve_lines, serve_tcp, Protocol, Scheduler, ServeOptions, TcpLimits, WatchOptions,
+};
 use std::fmt;
 
 /// CLI failure modes.
@@ -86,8 +89,17 @@ USAGE:
                                                trained on --train first)
   phishinghook scan     <dataset.csv> <hex…>   train Random Forest, classify bytecodes
   phishinghook serve    --model <snap-or-spec> [--train <dataset.csv>] [--proto v1|v2]
-                        [--batch <n>] [--workers <n>] [--tcp <addr>]
-                                               batched scoring daemon (stdin or TCP)
+                        [--batch <n>] [--workers <n>] [--queue-depth <n>]
+                        [--cache-bytes <n>] [--tcp <addr>] [--max-conns <n>]
+                        [--accept <n>]
+                                               batched scoring daemon (stdin or TCP):
+                                               cross-connection micro-batching, keccak-
+                                               keyed verdict cache, typed overload
+  phishinghook watch    --model <snap-or-spec> [--train <dataset.csv>] [--events <n>]
+                        [--templates <n>] [--seed <n>] [--batch <n>] [--workers <n>]
+                        [--cache-bytes <n>] [--quick]
+                                               score a simulated chain-deployment
+                                               firehose through the serving core
 
 --model takes a detector spec or a snapshot file. Spec grammar:
   rf | knn | svm | lr | xgb | lgbm | catboost          one HSC
@@ -95,7 +107,8 @@ USAGE:
   ensemble:<f>+<f>[+…][:vote=soft|hard|weighted[:weights=w,…]][:seed=<n>]
 Legacy names (random-forest, logistic-regression, …) remain aliases.
 serve speaks versioned JSONL by default; --proto v1 keeps the legacy
-tab-separated framing for old clients.
+tab-separated framing for old clients. --cache-bytes 0 disables the
+verdict cache; the `stats` request line reports scheduler/cache counters.
 ";
 
 /// Executes a CLI invocation, returning the text to print.
@@ -111,6 +124,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("train") => train(&args[1..]),
         Some("scan") => scan(&args[1..]),
         Some("serve") => serve_cmd(&args[1..]),
+        Some("watch") => watch_cmd(&args[1..]),
         _ => Err(CliError::Usage(USAGE.to_owned())),
     }
 }
@@ -414,15 +428,17 @@ fn preview(payload: &str) -> &str {
     }
 }
 
+fn numeric(v: &str, name: &str) -> Result<usize, CliError> {
+    v.parse()
+        .map_err(|_| CliError::Usage(format!("`{v}` is not a valid {name}\n\n{USAGE}")))
+}
+
 fn serve_cmd(args: &[String]) -> Result<String, CliError> {
     let mut model: Option<&str> = None;
     let mut train: Option<&str> = None;
-    let mut opts = serve::ServeOptions::default();
+    let mut opts = ServeOptions::default();
     let mut tcp: Option<&str> = None;
-    fn numeric(v: &str, name: &str) -> Result<usize, CliError> {
-        v.parse()
-            .map_err(|_| CliError::Usage(format!("`{v}` is not a valid {name}\n\n{USAGE}")))
-    }
+    let mut limits = TcpLimits::default();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         let mut value = || {
@@ -433,11 +449,19 @@ fn serve_cmd(args: &[String]) -> Result<String, CliError> {
         match arg.as_str() {
             "--model" => model = Some(value()?),
             "--train" => train = Some(value()?),
-            "--batch" => opts.batch = numeric(value()?, "batch size")?.max(1),
-            "--workers" => opts.workers = numeric(value()?, "worker count")?.max(1),
+            "--batch" => opts.scheduler.batch = numeric(value()?, "batch size")?.max(1),
+            "--workers" => opts.scheduler.workers = numeric(value()?, "worker count")?.max(1),
+            "--queue-depth" => {
+                opts.scheduler.queue_depth = numeric(value()?, "queue depth")?.max(1);
+            }
+            "--cache-bytes" => {
+                opts.scheduler.cache_bytes = numeric(value()?, "cache byte budget")?;
+            }
+            "--max-conns" => limits.max_conns = Some(numeric(value()?, "connection limit")?),
+            "--accept" => limits.accept_total = Some(numeric(value()?, "accept count")?),
             "--proto" => {
                 let v = value()?;
-                opts.proto = proto::Protocol::parse(v).ok_or_else(|| {
+                opts.proto = Protocol::parse(v).ok_or_else(|| {
                     CliError::Usage(format!(
                         "`{v}` is not a protocol version (expected v1 or v2)\n\n{USAGE}"
                     ))
@@ -456,35 +480,102 @@ fn serve_cmd(args: &[String]) -> Result<String, CliError> {
             "serve requires --model <snapshot-or-spec>\n\n{USAGE}"
         ))
     })?;
-    // The model is restored (or trained) exactly once per process; TCP
-    // connection handlers and stdin workers all share it via Arc.
+    if tcp.is_none() && (limits.max_conns.is_some() || limits.accept_total.is_some()) {
+        return Err(CliError::Usage(format!(
+            "--max-conns and --accept are TCP connection limits; add --tcp <addr> \
+             (stdin mode serves exactly one stream)\n\n{USAGE}"
+        )));
+    }
+    // The model is restored (or trained) exactly once per process; one
+    // scheduler (worker pool + verdict cache) serves every connection.
     let (scanner, banner) = scanner_from_model_arg(model, train, 7)?;
     eprint!("{banner}");
-    let model = scanner.model_name();
+    let scheduler = Scheduler::new(&scanner, &opts.scheduler);
+    let model = scheduler.model_name();
 
     if let Some(addr) = tcp {
         let listener = std::net::TcpListener::bind(addr)?;
         eprintln!(
-            "serving {model} on tcp://{} ({:?}, batch {}, {} worker(s) per connection)",
+            "serving {model} on tcp://{} ({:?}, batch {}, {} worker(s), queue {}, cache {} bytes{})",
             listener.local_addr()?,
             opts.proto,
-            opts.batch,
-            opts.workers
+            opts.scheduler.batch,
+            opts.scheduler.workers,
+            opts.scheduler.queue_depth,
+            opts.scheduler.cache_bytes,
+            match limits.max_conns {
+                Some(m) => format!(", max {m} conns"),
+                None => String::new(),
+            },
         );
-        // Daemon mode: accept connections until the process is killed, so
-        // this only returns on an accept error.
-        serve::serve_tcp(&listener, &scanner, &opts, None)?;
+        // Daemon mode (no --accept): accept connections until the process
+        // is killed, so this only returns on an accept error or once
+        // --accept connections have been served and drained.
+        let total = serve_tcp(&listener, &scheduler, opts.proto, limits)?;
+        if limits.accept_total.is_some() {
+            eprint!("{}", total.render(model));
+        }
+        scheduler.shutdown();
         return Ok(String::new());
     }
 
     let stdin = std::io::stdin();
-    // Unlocked handle: the collector thread is the only writer, and `Stdout`
+    // Unlocked handle: the writer thread is the only writer, and `Stdout`
     // is `Send` where `StdoutLock` is not.
-    let report = serve::serve_lines(&scanner, stdin.lock(), std::io::stdout(), &opts)?;
+    let report = serve_lines(&scheduler, opts.proto, stdin.lock(), std::io::stdout())?;
     // The report goes to stderr: stdout is the response stream (one line
     // per request), and `serve … > verdicts.jsonl` must not corrupt it.
     eprint!("{}", report.render(model));
+    scheduler.shutdown();
     Ok(String::new())
+}
+
+fn watch_cmd(args: &[String]) -> Result<String, CliError> {
+    let mut model: Option<&str> = None;
+    let mut train: Option<&str> = None;
+    // The --quick preset is resolved first so the flags below override it
+    // regardless of argument order.
+    let mut opts = if args.iter().any(|a| a == "--quick") {
+        WatchOptions::quick()
+    } else {
+        WatchOptions::default()
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = || {
+            iter.next()
+                .map(String::as_str)
+                .ok_or_else(|| CliError::Usage(USAGE.to_owned()))
+        };
+        match arg.as_str() {
+            "--model" => model = Some(value()?),
+            "--train" => train = Some(value()?),
+            "--quick" => {} // applied above, before any overrides
+            "--events" => opts.events = numeric(value()?, "event count")?,
+            "--templates" => {
+                opts.firehose.templates = numeric(value()?, "template count")?.max(1);
+            }
+            "--seed" => opts.firehose.seed = numeric(value()?, "seed")? as u64,
+            "--batch" => opts.scheduler.batch = numeric(value()?, "batch size")?.max(1),
+            "--workers" => opts.scheduler.workers = numeric(value()?, "worker count")?.max(1),
+            "--cache-bytes" => {
+                opts.scheduler.cache_bytes = numeric(value()?, "cache byte budget")?;
+            }
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unexpected argument `{other}`\n\n{USAGE}"
+                )))
+            }
+        }
+    }
+    let model = model.ok_or_else(|| {
+        CliError::Usage(format!(
+            "watch requires --model <snapshot-or-spec>\n\n{USAGE}"
+        ))
+    })?;
+    let (scanner, banner) = scanner_from_model_arg(model, train, 7)?;
+    let report = phishinghook_serve::run_watch(&scanner, &opts);
+    Ok(format!("{banner}{}", report.render(scanner.model_name())))
 }
 
 #[cfg(test)]
@@ -703,6 +794,70 @@ mod tests {
     fn serve_requires_model_flag() {
         let err = run(&args(&["serve"])).unwrap_err();
         assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+    }
+
+    #[test]
+    fn serve_validates_admission_flags() {
+        let err = run(&args(&[
+            "serve",
+            "--model",
+            "x.snap",
+            "--max-conns",
+            "lots",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("connection limit"), "{err}");
+        let err = run(&args(&[
+            "serve",
+            "--model",
+            "x.snap",
+            "--cache-bytes",
+            "-3",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("cache byte budget"), "{err}");
+        // Connection limits without a TCP listener are refused, not
+        // silently ignored.
+        let err = run(&args(&["serve", "--model", "x.snap", "--accept", "2"])).unwrap_err();
+        assert!(err.to_string().contains("add --tcp"), "{err}");
+        let err = run(&args(&["serve", "--model", "x.snap", "--max-conns", "4"])).unwrap_err();
+        assert!(err.to_string().contains("add --tcp"), "{err}");
+    }
+
+    #[test]
+    fn watch_requires_model_flag() {
+        let err = run(&args(&["watch"])).unwrap_err();
+        assert!(err.to_string().contains("watch requires --model"), "{err}");
+        let err = run(&args(&["watch", "--model", "rf", "--events", "ten"])).unwrap_err();
+        assert!(err.to_string().contains("event count"), "{err}");
+    }
+
+    #[test]
+    fn watch_quick_runs_the_firehose_end_to_end() {
+        let dir = std::env::temp_dir().join("phishinghook-cli-test7");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let csv = dir.join("ds.csv");
+        let csv_str = csv.to_str().unwrap();
+        run(&args(&["generate", "80", csv_str, "13"])).expect("generates");
+        // --quick placed *after* the overrides: the preset must not
+        // clobber explicit flags whatever the argument order.
+        let out = run(&args(&[
+            "watch",
+            "--model",
+            "rf",
+            "--train",
+            csv_str,
+            "--events",
+            "60",
+            "--templates",
+            "8",
+            "--quick",
+        ]))
+        .expect("watches");
+        assert!(out.contains("trained Random Forest"), "{out}");
+        assert!(out.contains("watch report"), "{out}");
+        assert!(out.contains("60 deploy event(s)"), "{out}");
+        assert!(out.contains("hit rate"), "{out}");
     }
 
     #[test]

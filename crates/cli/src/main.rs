@@ -8,6 +8,7 @@
 //! phishinghook scan    --model <snap> <hex…>     # classify with a saved model
 //! phishinghook scan    <dataset.csv> <hex…>      # train RF, classify bytecodes
 //! phishinghook serve   --model <snap> [--tcp a]  # batched scoring daemon
+//! phishinghook watch   --model <snap> [--quick]  # chain-deployment firehose
 //! ```
 //!
 //! See `docs/CLI.md` for the full man-style reference.

@@ -33,8 +33,10 @@ pub mod chain;
 pub mod contract;
 pub mod corpus;
 pub mod csv;
+pub mod firehose;
 pub mod templates;
 
 pub use chain::{extract_labeled_bytecodes, LabelOracle, SimulatedChain};
 pub use contract::{ContractRecord, Label, Month};
 pub use corpus::{Corpus, CorpusConfig};
+pub use firehose::{ChainFirehose, DeployEvent, FirehoseConfig};

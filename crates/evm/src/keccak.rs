@@ -125,6 +125,49 @@ fn absorb(state: &mut [u64; 25], block: &[u8]) {
     }
 }
 
+/// A Keccak-256 digest as a first-class value: 32 bytes that hash, compare
+/// and order cheaply, usable directly as a lookup key (verdict caches,
+/// bytecode dedup sets) without re-hashing the preimage.
+///
+/// ```
+/// use phishinghook_evm::keccak::Digest;
+///
+/// let d = Digest::of(b"");
+/// assert!(d.to_hex().starts_with("c5d24601"));
+/// assert_eq!(d, Digest::of(b""));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Digest(pub [u8; 32]);
+
+impl Digest {
+    /// Keccak-256 of `data` (Ethereum's code-hash primitive).
+    pub fn of(data: &[u8]) -> Digest {
+        Digest(keccak256(data))
+    }
+
+    /// The raw digest bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Lowercase hex form (64 characters, no `0x` prefix).
+    pub fn to_hex(&self) -> String {
+        to_hex(&self.0)
+    }
+}
+
+impl std::fmt::Debug for Digest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Digest(0x{})", self.to_hex())
+    }
+}
+
+impl std::fmt::Display for Digest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
 /// Formats a digest (or any byte slice) as lowercase hex.
 pub fn to_hex(bytes: &[u8]) -> String {
     let mut s = String::with_capacity(bytes.len() * 2);
@@ -197,6 +240,20 @@ mod tests {
         let data = vec![0x42u8; 136];
         let d = keccak256(&data);
         assert_ne!(d, keccak256(&[0x42u8; 135]));
+    }
+
+    #[test]
+    fn digest_wrapper_matches_raw_hash_and_formats() {
+        let d = Digest::of(b"abc");
+        assert_eq!(*d.as_bytes(), keccak256(b"abc"));
+        assert_eq!(d.to_hex(), to_hex(&keccak256(b"abc")));
+        assert_eq!(format!("{d}"), format!("0x{}", d.to_hex()));
+        assert!(format!("{d:?}").starts_with("Digest(0x4e036"));
+        // Usable as a map key without re-hashing the preimage.
+        let mut set = std::collections::HashSet::new();
+        assert!(set.insert(d));
+        assert!(!set.insert(Digest::of(b"abc")));
+        assert!(set.insert(Digest::of(b"abd")));
     }
 
     #[test]

@@ -45,5 +45,6 @@ pub mod u256;
 pub use asm::Asm;
 pub use disasm::{disasm_iter, disassemble, DisasmIter, Instruction, Op};
 pub use interp::{ExecutionResult, Halt, Interpreter};
+pub use keccak::{keccak256, Digest};
 pub use opcode::{mnemonic_str, Gas, OpTable, OpcodeInfo, ShanghaiRegistry, N_MNEMONICS};
 pub use u256::U256;

@@ -385,8 +385,22 @@ pub fn all_hscs(seed: u64) -> Vec<HscDetector> {
         .collect()
 }
 
+/// Test helper shared across this crate's test modules: all seven HSCs via
+/// the registry (the non-deprecated spelling of the old `all_hscs`).
 #[cfg(test)]
-#[allow(deprecated)] // the legacy constructors stay covered until removal
+pub(crate) fn registry_hscs(seed: u64) -> Vec<HscDetector> {
+    let registry = crate::spec::DetectorRegistry::global();
+    registry
+        .hsc_specs()
+        .iter()
+        .map(|spec| match registry.build(spec, seed) {
+            crate::scanner::AnyDetector::Hsc(det) => det,
+            crate::scanner::AnyDetector::Ensemble(_) => unreachable!("hsc_specs are singles"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use phishinghook_data::{Corpus, CorpusConfig};
@@ -408,7 +422,7 @@ mod tests {
         let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
         let (train_x, test_x) = refs.split_at(120);
         let (train_y, test_y) = labels.split_at(120);
-        for mut det in all_hscs(7) {
+        for mut det in registry_hscs(7) {
             det.fit(train_x, train_y);
             let preds = det.predict(test_x);
             let correct = preds.iter().zip(test_y).filter(|(a, b)| a == b).count();
@@ -419,7 +433,7 @@ mod tests {
 
     #[test]
     fn names_match_table2() {
-        let dets = all_hscs(1);
+        let dets = registry_hscs(1);
         let names: Vec<&str> = dets.iter().map(|d| d.name()).collect();
         assert_eq!(
             names,
@@ -477,7 +491,7 @@ mod tests {
         let (train_x, test_x) = refs.split_at(120);
         let (train_y, _) = labels.split_at(120);
         let fold = crate::FoldFeatures::new(train_x, test_x);
-        for (mut shared, mut solo) in all_hscs(7).into_iter().zip(all_hscs(7)) {
+        for (mut shared, mut solo) in registry_hscs(7).into_iter().zip(registry_hscs(7)) {
             shared.fit_fold(&fold, train_y);
             solo.fit(train_x, train_y);
             assert_eq!(

@@ -213,24 +213,40 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn lookup_by_name() {
-        assert!(detector_by_name("SCSGuard", Preset::Fast, 1).is_some());
-        assert!(detector_by_name("BERT", Preset::Fast, 1).is_none());
+        // The non-deprecated spelling of the old `detector_by_name`: find a
+        // model in the Table II roster by its display name.
+        let find = |name: &str| {
+            all_detectors(Preset::Fast, 1)
+                .into_iter()
+                .find(|d| d.name() == name)
+        };
+        assert!(find("SCSGuard").is_some());
+        assert!(find("BERT").is_none());
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn registry_reproduces_all_hscs() {
-        // The deprecated constructor and the registry must stay
-        // interchangeable: same names, same Table II order.
+    fn registry_hsc_specs_give_table2_names() {
+        // The registry's hsc_specs() is the canonical source of the seven
+        // HSCs (the deprecated all_hscs is a shim over it); its names must
+        // stay in Table II order.
         let registry = DetectorRegistry::global();
-        let via_registry: Vec<String> = registry
+        let names: Vec<String> = registry
             .hsc_specs()
             .iter()
             .map(|s| registry.build(s, 7).name().to_owned())
             .collect();
-        let via_legacy: Vec<String> = all_hscs(7).iter().map(|d| d.name().to_owned()).collect();
-        assert_eq!(via_registry, via_legacy);
+        assert_eq!(
+            names,
+            vec![
+                "Random Forest",
+                "k-NN",
+                "SVM",
+                "Logistic Regression",
+                "XGBoost",
+                "LightGBM",
+                "CatBoost"
+            ]
+        );
     }
 }

@@ -408,6 +408,30 @@ impl Scanner {
             .collect()
     }
 
+    /// The underlying model names in scoring order (one entry for a single
+    /// model, one per member for an ensemble) — the fixed shape of every
+    /// per-model probability vector this scanner produces.
+    pub fn model_names(&self) -> Vec<String> {
+        match self.model.as_ref() {
+            AnyDetector::Hsc(d) => vec![d.name().to_owned()],
+            AnyDetector::Ensemble(e) => e.members().iter().map(|m| m.name().to_owned()).collect(),
+        }
+    }
+
+    /// Batch-submit hook for serving schedulers: combined plus per-model
+    /// class-1 probabilities for a batch of raw bytecodes, from one
+    /// extraction pass and one inference pass per underlying model.
+    ///
+    /// Unlike [`Scanner::scan_batch`] this takes borrowed bytecode slices
+    /// and returns raw probability vectors — no request/report structs are
+    /// built — so a cross-connection batching scheduler can submit rows
+    /// gathered from many clients without cloning payloads. Bit-identical
+    /// to [`Scanner::scan_batch`] on the same rows.
+    pub fn score_with_members(&mut self, codes: &[&[u8]]) -> (Vec<f64>, Vec<(String, Vec<f64>)>) {
+        self.transform_batch(codes);
+        self.model.predict_with_members(&self.scratch)
+    }
+
     /// Scores a batch of typed requests, echoing ids and exposing per-model
     /// probabilities (one entry per ensemble member).
     ///
@@ -416,8 +440,7 @@ impl Scanner {
     /// N inference passes but only one disassembly/extraction pass.
     pub fn scan_batch(&mut self, requests: &[ScanRequest]) -> Vec<ScanReport> {
         let codes: Vec<&[u8]> = requests.iter().map(|r| r.bytecode.as_slice()).collect();
-        self.transform_batch(&codes);
-        let (combined, per_model) = self.model.predict_with_members(&self.scratch);
+        let (combined, per_model) = self.score_with_members(&codes);
         requests
             .iter()
             .enumerate()
@@ -614,27 +637,41 @@ mod tests {
     }
 
     #[test]
-    fn scanner_matches_deprecated_scoring_engine_on_singles() {
-        // The facade must not change single-model numerics: Scanner and the
-        // ScoringEngine it subsumes score bit-identically.
-        let det = fitted("rf");
-        let bytes = det.to_snapshot_bytes();
-        let mut scanner = Scanner::from_snapshot_bytes(&bytes).expect("scanner");
-        #[allow(deprecated)]
-        let mut engine = crate::ScoringEngine::from_snapshot_bytes(&bytes).expect("engine");
-        let (codes, _) = corpus();
-        let probes: Vec<&[u8]> = codes[60..].iter().map(Vec::as_slice).collect();
-        let a: Vec<u64> = scanner
-            .score_batch(&probes)
-            .iter()
-            .map(|p| p.to_bits())
-            .collect();
-        let b: Vec<u64> = engine
-            .score_batch(&probes)
-            .iter()
-            .map(|p| p.to_bits())
-            .collect();
-        assert_eq!(a, b);
+    fn batch_submit_hook_matches_scan_batch_bit_identically() {
+        // score_with_members is the scheduler-facing hook: raw slices in,
+        // raw probability vectors out — it must agree exactly with the
+        // report-building scan_batch path and with model_names().
+        for spec in ["rf", "ensemble:rf+lgbm:vote=soft"] {
+            let mut scanner = Scanner::new(fitted(spec)).expect("fitted");
+            let (codes, _) = corpus();
+            let probes: Vec<&[u8]> = codes[60..66].iter().map(Vec::as_slice).collect();
+            let (combined, per_model) = scanner.score_with_members(&probes);
+            assert_eq!(
+                per_model.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>(),
+                scanner.model_names(),
+                "{spec}"
+            );
+            let requests: Vec<ScanRequest> = probes
+                .iter()
+                .enumerate()
+                .map(|(i, code)| ScanRequest {
+                    id: i.to_string(),
+                    bytecode: code.to_vec(),
+                })
+                .collect();
+            let reports = scanner.scan_batch(&requests);
+            for (row, report) in reports.iter().enumerate() {
+                assert_eq!(report.proba.to_bits(), combined[row].to_bits(), "{spec}");
+                for (m, (name, probs)) in per_model.iter().enumerate() {
+                    assert_eq!(report.per_model[m].0, *name, "{spec}");
+                    assert_eq!(
+                        report.per_model[m].1.to_bits(),
+                        probs[row].to_bits(),
+                        "{spec}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

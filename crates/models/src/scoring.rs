@@ -149,7 +149,7 @@ impl ScoringEngine {
 mod tests {
     use super::*;
     use crate::detector::Detector;
-    use crate::hsc::all_hscs;
+    use crate::hsc::registry_hscs;
     use phishinghook_data::{Corpus, CorpusConfig};
 
     fn tiny_corpus() -> (Vec<Vec<u8>>, Vec<usize>) {
@@ -208,10 +208,35 @@ mod tests {
     }
 
     #[test]
+    fn engine_matches_scanner_on_singles_bit_identically() {
+        // The deprecated engine and the Scanner that subsumes it share one
+        // hot path; their scores must never drift apart while the shim
+        // remains in the public API.
+        let (codes, labels) = tiny_corpus();
+        let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
+        let mut det = HscDetector::random_forest(9);
+        det.fit(&refs[..60], &labels[..60]);
+        let bytes = det.to_snapshot_bytes();
+        let mut engine = ScoringEngine::from_snapshot_bytes(&bytes).expect("engine");
+        let mut scanner = crate::Scanner::from_snapshot_bytes(&bytes).expect("scanner");
+        let a: Vec<u64> = engine
+            .score_batch(&refs)
+            .iter()
+            .map(|p| p.to_bits())
+            .collect();
+        let b: Vec<u64> = scanner
+            .score_batch(&refs)
+            .iter()
+            .map(|p| p.to_bits())
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn snapshot_loaded_engine_scores_bit_identically() {
         let (codes, labels) = tiny_corpus();
         let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
-        for mut det in all_hscs(3) {
+        for mut det in registry_hscs(3) {
             let name = det.name().to_owned();
             det.fit(&refs[..60], &labels[..60]);
             let mut original = ScoringEngine::new(det).expect("fitted");

@@ -1,0 +1,398 @@
+//! The keccak-keyed verdict cache.
+//!
+//! On-chain, the dominant request pattern is *redeployment*: the same
+//! phishing template lands at thousands of fresh addresses with
+//! bit-identical runtime bytecode (the paper dedups 17,455 flagged
+//! bytecodes to 3,458 uniques). Scoring is a pure function of the bytecode,
+//! so the daemon memoizes it: requests are keyed by the Keccak-256 code
+//! hash ([`phishinghook_evm::keccak::Digest`] — Ethereum's own code-hash
+//! primitive), and a hit replays the exact `f64`s the cold path produced.
+//! **Cached and uncached scores are bit-identical by construction** (the
+//! scheduler's tests assert `f64::to_bits` equality).
+//!
+//! Eviction is strict LRU under a configurable **byte budget** (the CLI's
+//! `--cache-bytes`): entries live in a slab-backed intrusive doubly-linked
+//! list, every lookup hit moves its entry to the front, and inserts evict
+//! from the tail until the accounted size fits. Hit/miss/eviction counters
+//! are exposed via [`VerdictCache::stats`] and surfaced over the wire by
+//! the `stats` line-protocol command.
+
+use phishinghook_evm::keccak::Digest;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// The memoized outcome of scoring one bytecode: everything a response
+/// needs except the per-connection request id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedVerdict {
+    /// Combined class-1 probability (bit-exact as produced by the model).
+    pub proba: f64,
+    /// Per-model probabilities in [`model_names`](crate::Scheduler::model_names)
+    /// order (names are fixed per serving process, so entries store only
+    /// the floats).
+    pub per_model: Vec<f64>,
+}
+
+/// Counter snapshot of one cache (monotonic over the cache's lifetime,
+/// except `entries`/`bytes` which are the current occupancy).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed (and went to the scheduler).
+    pub misses: u64,
+    /// Entries evicted to respect the byte budget.
+    pub evictions: u64,
+    /// Entries inserted over the cache's lifetime.
+    pub insertions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Accounted bytes currently resident.
+    pub bytes: u64,
+    /// The configured byte budget.
+    pub capacity_bytes: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction of all lookups so far (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Accounted size of one cache entry holding `n_models` per-model
+/// probabilities: 32 key bytes + 8 for the combined probability + 8 per
+/// member + 88 bytes of fixed index/link overhead. Deliberately a simple,
+/// documented formula — the budget controls growth, it is not a heap
+/// profiler.
+pub fn entry_bytes(n_models: usize) -> usize {
+    32 + 8 + 8 * n_models + 88
+}
+
+const NONE: usize = usize::MAX;
+
+struct Entry {
+    key: Digest,
+    value: CachedVerdict,
+    prev: usize,
+    next: usize,
+}
+
+struct Lru {
+    map: HashMap<Digest, usize>,
+    slab: Vec<Entry>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    bytes: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    insertions: u64,
+}
+
+/// A thread-safe LRU verdict cache with a byte budget (see module docs).
+pub struct VerdictCache {
+    inner: Mutex<Lru>,
+    capacity_bytes: usize,
+}
+
+impl VerdictCache {
+    /// Creates a cache bounded by `capacity_bytes` of accounted entry size
+    /// (see [`entry_bytes`]). A budget too small for even one entry yields
+    /// a cache that never retains anything (but still counts lookups).
+    pub fn new(capacity_bytes: usize) -> Self {
+        VerdictCache {
+            inner: Mutex::new(Lru {
+                map: HashMap::new(),
+                slab: Vec::new(),
+                free: Vec::new(),
+                head: NONE,
+                tail: NONE,
+                bytes: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                insertions: 0,
+            }),
+            capacity_bytes,
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").map.len()
+    }
+
+    /// Whether the cache is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up a code hash, counting a hit (and refreshing recency) or a
+    /// miss. Returns a clone of the cached verdict so the caller never
+    /// holds the lock while rendering.
+    pub fn lookup(&self, key: &Digest) -> Option<CachedVerdict> {
+        let mut lru = self.inner.lock().expect("cache lock");
+        match lru.map.get(key).copied() {
+            Some(idx) => {
+                lru.hits += 1;
+                lru.unlink(idx);
+                lru.push_front(idx);
+                Some(lru.slab[idx].value.clone())
+            }
+            None => {
+                lru.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a verdict, evicting least-recently-used
+    /// entries until the byte budget is respected.
+    pub fn insert(&self, key: Digest, value: CachedVerdict) {
+        let cost = entry_bytes(value.per_model.len());
+        let mut lru = self.inner.lock().expect("cache lock");
+        if let Some(idx) = lru.map.get(&key).copied() {
+            // Concurrent scorers of the same bytecode produce identical
+            // values; refresh recency and keep one copy.
+            lru.unlink(idx);
+            lru.push_front(idx);
+            lru.slab[idx].value = value;
+            return;
+        }
+        if cost > self.capacity_bytes {
+            return; // budget cannot hold even this one entry
+        }
+        while lru.bytes + cost > self.capacity_bytes {
+            lru.evict_tail();
+        }
+        let idx = match lru.free.pop() {
+            Some(idx) => {
+                lru.slab[idx] = Entry {
+                    key,
+                    value,
+                    prev: NONE,
+                    next: NONE,
+                };
+                idx
+            }
+            None => {
+                lru.slab.push(Entry {
+                    key,
+                    value,
+                    prev: NONE,
+                    next: NONE,
+                });
+                lru.slab.len() - 1
+            }
+        };
+        lru.map.insert(key, idx);
+        lru.push_front(idx);
+        lru.bytes += cost;
+        lru.insertions += 1;
+    }
+
+    /// Counter snapshot (see [`CacheStats`]).
+    pub fn stats(&self) -> CacheStats {
+        let lru = self.inner.lock().expect("cache lock");
+        CacheStats {
+            hits: lru.hits,
+            misses: lru.misses,
+            evictions: lru.evictions,
+            insertions: lru.insertions,
+            entries: lru.map.len() as u64,
+            bytes: lru.bytes as u64,
+            capacity_bytes: self.capacity_bytes as u64,
+        }
+    }
+}
+
+impl std::fmt::Debug for VerdictCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("VerdictCache")
+            .field("entries", &stats.entries)
+            .field("bytes", &stats.bytes)
+            .field("capacity_bytes", &stats.capacity_bytes)
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .finish()
+    }
+}
+
+impl Lru {
+    /// Detaches `idx` from the recency list (it must be linked).
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev == NONE {
+            self.head = next;
+        } else {
+            self.slab[prev].next = next;
+        }
+        if next == NONE {
+            self.tail = prev;
+        } else {
+            self.slab[next].prev = prev;
+        }
+        self.slab[idx].prev = NONE;
+        self.slab[idx].next = NONE;
+    }
+
+    /// Links a detached `idx` as the most recently used entry.
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NONE;
+        self.slab[idx].next = self.head;
+        if self.head != NONE {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NONE {
+            self.tail = idx;
+        }
+    }
+
+    /// Evicts the least recently used entry (list must be non-empty).
+    fn evict_tail(&mut self) {
+        let idx = self.tail;
+        assert_ne!(idx, NONE, "evict on empty cache");
+        self.unlink(idx);
+        let key = self.slab[idx].key;
+        self.map.remove(&key);
+        self.bytes -= entry_bytes(self.slab[idx].value.per_model.len());
+        // Drop the payload now; the slot is recycled by the free list.
+        self.slab[idx].value.per_model = Vec::new();
+        self.free.push(idx);
+        self.evictions += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u8) -> Digest {
+        Digest::of(&[i])
+    }
+
+    fn verdict(p: f64) -> CachedVerdict {
+        CachedVerdict {
+            proba: p,
+            per_model: vec![p],
+        }
+    }
+
+    /// A budget that fits exactly `n` single-model entries.
+    fn budget(n: usize) -> usize {
+        n * entry_bytes(1)
+    }
+
+    #[test]
+    fn hit_returns_the_exact_bits() {
+        let cache = VerdictCache::new(budget(4));
+        let p = 0.123456789f64;
+        cache.insert(key(1), verdict(p));
+        let hit = cache.lookup(&key(1)).expect("hit");
+        assert_eq!(hit.proba.to_bits(), p.to_bits());
+        assert_eq!(hit.per_model[0].to_bits(), p.to_bits());
+        assert!(cache.lookup(&key(2)).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_respects_recency_and_budget() {
+        let cache = VerdictCache::new(budget(3));
+        for i in 0..3 {
+            cache.insert(key(i), verdict(f64::from(i)));
+        }
+        // Touch 0 so 1 becomes the LRU, then overflow.
+        assert!(cache.lookup(&key(0)).is_some());
+        cache.insert(key(3), verdict(3.0));
+        assert!(cache.lookup(&key(1)).is_none(), "LRU entry must go");
+        assert!(cache.lookup(&key(0)).is_some());
+        assert!(cache.lookup(&key(2)).is_some());
+        assert!(cache.lookup(&key(3)).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 3);
+        assert_eq!(stats.bytes, budget(3) as u64);
+        assert!(stats.bytes <= stats.capacity_bytes);
+    }
+
+    #[test]
+    fn slab_slots_are_recycled_across_many_evictions() {
+        let cache = VerdictCache::new(budget(2));
+        for round in 0..50u8 {
+            cache.insert(key(round), verdict(f64::from(round)));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 48);
+        assert_eq!(stats.insertions, 50);
+        // The two most recent entries survive.
+        assert!(cache.lookup(&key(49)).is_some());
+        assert!(cache.lookup(&key(48)).is_some());
+        assert!(cache.lookup(&key(0)).is_none());
+    }
+
+    #[test]
+    fn duplicate_insert_refreshes_without_growing() {
+        let cache = VerdictCache::new(budget(2));
+        cache.insert(key(1), verdict(0.25));
+        cache.insert(key(2), verdict(0.5));
+        cache.insert(key(1), verdict(0.25)); // refresh: 1 is now MRU
+        cache.insert(key(3), verdict(0.75)); // evicts 2, not 1
+        assert!(cache.lookup(&key(1)).is_some());
+        assert!(cache.lookup(&key(2)).is_none());
+        // 3 fresh keys inserted; the refresh of key 1 is not an insertion.
+        assert_eq!(cache.stats().insertions, 3);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn oversized_budgetless_cache_never_retains() {
+        let cache = VerdictCache::new(entry_bytes(1) - 1);
+        cache.insert(key(1), verdict(0.5));
+        assert!(cache.is_empty());
+        assert!(cache.lookup(&key(1)).is_none());
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn concurrent_mixed_traffic_stays_consistent() {
+        let cache = std::sync::Arc::new(VerdictCache::new(budget(16)));
+        let handles: Vec<_> = (0..4u8)
+            .map(|t| {
+                let cache = std::sync::Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..200u8 {
+                        let k = key(i % 32);
+                        if let Some(v) = cache.lookup(&k) {
+                            assert_eq!(v.proba, f64::from(i % 32), "thread {t}");
+                        } else {
+                            cache.insert(k, verdict(f64::from(i % 32)));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 4 * 200);
+        assert!(stats.entries <= 16);
+    }
+}

@@ -1,0 +1,105 @@
+#![warn(missing_docs)]
+
+//! The PhishingHook production serving core.
+//!
+//! Everything between a fitted [`Scanner`](phishinghook_models::Scanner)
+//! and the sockets: this crate turns the ROADMAP's "serve heavy traffic"
+//! goal into one shared, admission-controlled pipeline instead of a
+//! thread-per-connection free-for-all.
+//!
+//! | Module | Role |
+//! |---|---|
+//! | [`queue`] | Bounded blocking MPMC queue — the admission-control primitive |
+//! | [`cache`] | Keccak-keyed LRU verdict cache with a byte budget |
+//! | [`scheduler`] | Cross-connection micro-batching scheduler + ordered response routing |
+//! | [`proto`] | Wire framings v1/v2, hardened against adversarial input |
+//! | [`serve`] | stdin/TCP session loops, overload shedding, graceful drain |
+//! | [`watch`] | The chain-watch firehose scenario, end to end |
+//!
+//! The serving invariants, all covered by tests in this crate:
+//!
+//! 1. **Per-connection ordering** — responses arrive in request order on
+//!    every connection, no matter how batches, cache hits and errors
+//!    interleave across connections.
+//! 2. **Bit-identical caching** — a cache hit replays the exact `f64`s the
+//!    cold path produced (`f64::to_bits` equality).
+//! 3. **Typed overload** — a full queue or connection limit answers with a
+//!    machine-readable overload response; nothing is silently dropped or
+//!    silently buffered without bound.
+//! 4. **Graceful shutdown** — closing the scheduler drains every admitted
+//!    request before the workers exit.
+
+pub mod cache;
+pub mod proto;
+pub mod queue;
+pub mod scheduler;
+pub mod serve;
+pub mod watch;
+
+pub use cache::{entry_bytes, CacheStats, CachedVerdict, VerdictCache};
+pub use proto::{Protocol, MAX_LINE_BYTES, STATS_COMMAND};
+pub use queue::BoundedQueue;
+pub use scheduler::{
+    Admission, ConnReport, Connection, Scheduler, SchedulerOptions, SchedulerStats, StatsSnapshot,
+    SubmitOutcome,
+};
+pub use serve::{serve_lines, serve_tcp, ServeOptions, ServeReport, TcpLimits};
+pub use watch::{run_watch, WatchOptions, WatchReport};
+
+/// Shared fixtures for this crate's tests: training is the slow part, so
+/// every test module reuses one fitted scanner per model shape.
+#[cfg(test)]
+pub(crate) mod testutil {
+    use phishinghook_data::{Corpus, CorpusConfig};
+    use phishinghook_evm::keccak::to_hex;
+    use phishinghook_models::{Detector, DetectorRegistry, Scanner};
+    use std::sync::OnceLock;
+
+    /// One fitted single-model (Random Forest) scanner shared by all tests.
+    pub fn scanner() -> &'static Scanner {
+        static SCANNER: OnceLock<Scanner> = OnceLock::new();
+        SCANNER.get_or_init(|| {
+            let corpus = Corpus::generate(&CorpusConfig {
+                n_contracts: 80,
+                seed: 5,
+                ..Default::default()
+            });
+            let (codes, labels) = corpus.as_dataset();
+            let mut det = DetectorRegistry::global()
+                .build_str("rf:seed=7", 7)
+                .expect("valid spec");
+            det.fit(&codes, &labels);
+            Scanner::new(det).expect("fitted")
+        })
+    }
+
+    /// A 2-member ensemble scanner for per-model wire assertions.
+    pub fn ensemble_scanner() -> &'static Scanner {
+        static SCANNER: OnceLock<Scanner> = OnceLock::new();
+        SCANNER.get_or_init(|| {
+            let corpus = Corpus::generate(&CorpusConfig {
+                n_contracts: 80,
+                seed: 5,
+                ..Default::default()
+            });
+            let (codes, labels) = corpus.as_dataset();
+            let mut det = DetectorRegistry::global()
+                .build_str("ensemble:rf+lgbm:vote=soft", 7)
+                .expect("valid spec");
+            det.fit(&codes, &labels);
+            Scanner::new(det).expect("fitted")
+        })
+    }
+
+    /// `n` held-out probe bytecodes plus their hex request lines.
+    pub fn probe_lines(n: usize) -> (String, Vec<Vec<u8>>) {
+        let corpus = Corpus::generate(&CorpusConfig {
+            n_contracts: n,
+            seed: 99,
+            ..Default::default()
+        });
+        let codes: Vec<Vec<u8>> = corpus.records.into_iter().map(|r| r.bytecode).collect();
+        let text: String = codes.iter().map(|c| format!("0x{}\n", to_hex(c))).collect();
+        (text, codes)
+    }
+}

@@ -1,0 +1,600 @@
+//! The serve daemon's wire protocols (moved here from `phishinghook-cli`
+//! when serving grew its own crate).
+//!
+//! # Protocol v2 (default): versioned JSONL
+//!
+//! One JSON object per line in each direction, hand-rolled (this workspace
+//! is dependency-free by policy — see the README's dependency section).
+//!
+//! **Requests** are either a JSON object or, for convenience, a bare hex
+//! line (the id then defaults to the 0-based request sequence number):
+//!
+//! ```text
+//! {"id":"tx-9","bytecode":"0x6080604052"}
+//! {"proto":"2","id":"tx-10","bytecode":"0x6080"}
+//! 6080604052
+//! stats
+//! ```
+//!
+//! The optional `proto` request field lets clients pin the version they
+//! speak; any value other than `2` is answered with a typed
+//! `unsupported proto version` error. The literal line `stats` (see
+//! [`STATS_COMMAND`]) is a command, not a bytecode: it returns the daemon's
+//! scheduler/cache counters.
+//!
+//! **Responses** echo the id and carry the combined verdict plus one
+//! `per_model` entry per underlying model — the field that makes ensembles
+//! observable over the wire:
+//!
+//! ```text
+//! {"proto":2,"id":"tx-9","verdict":"phishing","proba":0.934211,"model_version":"hsc-ensemble/v1","per_model":[{"name":"Random Forest","proba":0.941023},{"name":"LightGBM","proba":0.927399}]}
+//! {"proto":2,"id":"4","error":"not valid hex bytecode"}
+//! {"proto":2,"id":"7","error":"server overloaded: the scheduler queue is full","code":"overloaded"}
+//! ```
+//!
+//! `proto` is always the first field, so clients can dispatch on the
+//! protocol version before touching anything else. Probabilities are
+//! printed with six decimal places (same precision as protocol v1). The
+//! overload response additionally carries `"code":"overloaded"` so clients
+//! can distinguish *retry later* from *your request is malformed*.
+//!
+//! # Protocol v1 (`--proto v1`): bare lines
+//!
+//! The original ad-hoc framing, kept verbatim for old clients: hex in,
+//! `verdict\tproba` out, `error\t…` for malformed lines. Two typed
+//! additions ride along without disturbing old parsers: overload is
+//! signalled by an `ERR\toverloaded: …` line and the `stats` command
+//! answers with a single `stats\tkey=value\t…` line.
+//!
+//! # Hardening invariants
+//!
+//! Decoding adversarial input never panics and never disconnects:
+//!
+//! * request lines longer than [`MAX_LINE_BYTES`] are refused with a typed
+//!   error before any parsing;
+//! * malformed JSON, nested values, unknown fields and unknown `proto`
+//!   versions all produce descriptive per-line error responses;
+//! * blank lines are ignored (no response, no sequence number);
+//! * interleaved framings degrade gracefully — a JSON object sent to a v1
+//!   session is merely invalid hex, a bare hex line sent to a v2 session is
+//!   the documented convenience form.
+
+use crate::cache::CacheStats;
+use crate::scheduler::StatsSnapshot;
+use phishinghook_models::Verdict;
+use std::fmt::Write as _;
+
+/// Hard ceiling on one request line, pre-parse (1 MiB). Real deployed
+/// bytecode tops out below 24 KiB hex (EIP-170: 24,576 bytes of code), so
+/// the ceiling is generous for legitimate traffic while bounding what one
+/// line can make the daemon buffer or hash.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// The line-protocol command (both framings) answering with scheduler and
+/// cache counters instead of a verdict.
+pub const STATS_COMMAND: &str = "stats";
+
+/// Which framing a serving loop speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Protocol {
+    /// Bare `verdict\tproba` lines (legacy).
+    V1,
+    /// Versioned JSONL with ids and per-model probabilities.
+    #[default]
+    V2,
+}
+
+impl Protocol {
+    /// Parses a `--proto` flag value (`"v1"` / `"1"` / `"v2"` / `"2"`).
+    pub fn parse(s: &str) -> Option<Protocol> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "v1" | "1" => Some(Protocol::V1),
+            "v2" | "2" => Some(Protocol::V2),
+            _ => None,
+        }
+    }
+}
+
+/// Pre-parse admission check: refuses lines longer than [`MAX_LINE_BYTES`].
+///
+/// # Errors
+/// The typed error message to send back on the matching response line.
+pub fn check_line_len(line: &str) -> Result<(), String> {
+    if line.len() > MAX_LINE_BYTES {
+        return Err(format!(
+            "request line of {} bytes exceeds the {} byte limit",
+            line.len(),
+            MAX_LINE_BYTES
+        ));
+    }
+    Ok(())
+}
+
+/// One decoded request line: the caller-visible id plus the raw hex payload
+/// still to be validated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireRequest {
+    /// Echoed in the response (v2); v1 responses are purely positional.
+    pub id: String,
+    /// Hex bytecode text (possibly `0x`-prefixed), not yet decoded.
+    pub hex: String,
+}
+
+/// Decodes one v2 request line: a JSON object with `bytecode` (required),
+/// `id` (optional, defaulting to `fallback_id`) and `proto` (optional, must
+/// be version 2) — or a bare hex line.
+///
+/// # Errors
+/// A human-readable message describing the malformed line (sent back to the
+/// client as an error object; the daemon never disconnects on bad input).
+pub fn parse_request_v2(line: &str, fallback_id: &str) -> Result<WireRequest, String> {
+    check_line_len(line)?;
+    let trimmed = line.trim();
+    if !trimmed.starts_with('{') {
+        // Bare hex convenience form.
+        return Ok(WireRequest {
+            id: fallback_id.to_owned(),
+            hex: trimmed.to_owned(),
+        });
+    }
+    let fields = parse_flat_object(trimmed)?;
+    let mut id = None;
+    let mut hex = None;
+    for (key, value) in fields {
+        match key.as_str() {
+            // Numeric ids (JSON-RPC style) are accepted and echoed as text.
+            "id" => id = Some(value.text),
+            "bytecode" => {
+                if !value.quoted {
+                    return Err("field `bytecode` must be a JSON string".to_owned());
+                }
+                hex = Some(value.text);
+            }
+            "proto" => {
+                if !matches!(value.text.as_str(), "2" | "v2") {
+                    return Err(format!(
+                        "unsupported proto version `{}` (this endpoint speaks v2)",
+                        value.text
+                    ));
+                }
+            }
+            other => return Err(format!("unknown request field `{other}`")),
+        }
+    }
+    Ok(WireRequest {
+        id: id.unwrap_or_else(|| fallback_id.to_owned()),
+        hex: hex.ok_or("request object is missing `bytecode`")?,
+    })
+}
+
+/// Renders one v2 verdict line (without trailing newline) from scoring
+/// results: the shared shape behind both the cold path and the cache-hit
+/// path (`names` and `probas` must have equal length).
+pub fn render_verdict_v2(
+    out: &mut String,
+    id: &str,
+    proba: f64,
+    model_version: &str,
+    names: &[String],
+    probas: &[f64],
+) {
+    debug_assert_eq!(names.len(), probas.len());
+    out.push_str("{\"proto\":2,\"id\":");
+    push_json_string(out, id);
+    let _ = write!(
+        out,
+        ",\"verdict\":\"{}\",\"proba\":{proba:.6},\"model_version\":",
+        Verdict::from_proba(proba)
+    );
+    push_json_string(out, model_version);
+    out.push_str(",\"per_model\":[");
+    for (i, (name, p)) in names.iter().zip(probas).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        push_json_string(out, name);
+        let _ = write!(out, ",\"proba\":{p:.6}}}");
+    }
+    out.push_str("]}");
+}
+
+/// Renders one v1 verdict line (without trailing newline).
+pub fn render_verdict_v1(out: &mut String, proba: f64) {
+    let _ = write!(out, "{}\t{proba:.6}", Verdict::from_proba(proba));
+}
+
+/// Renders one v2 error line (without trailing newline).
+pub fn render_error_v2(out: &mut String, id: &str, message: &str) {
+    out.push_str("{\"proto\":2,\"id\":");
+    push_json_string(out, id);
+    out.push_str(",\"error\":");
+    push_json_string(out, message);
+    out.push('}');
+}
+
+/// Renders one v1 error line (without trailing newline).
+pub fn render_error_v1(out: &mut String, message: &str) {
+    out.push_str("error\t");
+    out.push_str(message);
+}
+
+/// The human-readable overload detail shared by both framings.
+pub const OVERLOAD_DETAIL: &str = "server overloaded: the scheduler queue is full";
+
+/// Renders the typed v2 overload response: an error object carrying
+/// `"code":"overloaded"` so clients can tell *retry later* apart from
+/// *malformed request*.
+pub fn render_overload_v2(out: &mut String, id: &str) {
+    out.push_str("{\"proto\":2,\"id\":");
+    push_json_string(out, id);
+    out.push_str(",\"error\":");
+    push_json_string(out, OVERLOAD_DETAIL);
+    out.push_str(",\"code\":\"overloaded\"}");
+}
+
+/// Renders the typed v1 overload response (`ERR\t…`, distinct from the
+/// `error\t…` malformed-line response old clients already parse).
+pub fn render_overload_v1(out: &mut String) {
+    out.push_str("ERR\toverloaded: ");
+    out.push_str(OVERLOAD_DETAIL);
+}
+
+/// Renders the v2 `stats` command response (without trailing newline).
+pub fn render_stats_v2(out: &mut String, stats: &StatsSnapshot) {
+    let s = &stats.scheduler;
+    let _ = write!(
+        out,
+        "{{\"proto\":2,\"stats\":{{\"scheduler\":{{\"submitted\":{},\"scored\":{},\"errors\":{},\"overloads\":{},\"batches\":{},\"connections\":{},\"queue_depth\":{}}},\"cache\":",
+        s.submitted, s.scored, s.errors, s.overloads, s.batches, s.connections, s.queue_depth
+    );
+    match &stats.cache {
+        Some(c) => render_cache_stats_json(out, c),
+        None => out.push_str("null"),
+    }
+    out.push_str("}}");
+}
+
+fn render_cache_stats_json(out: &mut String, c: &CacheStats) {
+    let _ = write!(
+        out,
+        "{{\"hits\":{},\"misses\":{},\"evictions\":{},\"insertions\":{},\"entries\":{},\"bytes\":{},\"capacity_bytes\":{},\"hit_rate\":{:.6}}}",
+        c.hits, c.misses, c.evictions, c.insertions, c.entries, c.bytes, c.capacity_bytes,
+        c.hit_rate()
+    );
+}
+
+/// Renders the v1 `stats` command response: one `stats\tkey=value\t…` line.
+pub fn render_stats_v1(out: &mut String, stats: &StatsSnapshot) {
+    let s = &stats.scheduler;
+    let c = stats.cache.unwrap_or_default();
+    let _ = write!(
+        out,
+        "stats\thits={}\tmisses={}\tevictions={}\tentries={}\tsubmitted={}\tscored={}\terrors={}\toverloads={}\tbatches={}",
+        c.hits, c.misses, c.evictions, c.entries, s.submitted, s.scored, s.errors, s.overloads,
+        s.batches
+    );
+}
+
+/// Appends `s` as a JSON string literal (quoted, escaped).
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// One flat JSON value: its text plus whether it arrived as a quoted
+/// string (scalars like `2`, `true`, `null` keep their literal spelling).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct JsonValue {
+    text: String,
+    quoted: bool,
+}
+
+/// Parses a flat JSON object whose values are strings or bare scalars —
+/// `{"key":"value","proto":2, …}` — which is everything a v2 *request* may
+/// carry. Nested objects/arrays are rejected with a descriptive message.
+fn parse_flat_object(text: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut chars = text.chars().peekable();
+    let mut fields = Vec::new();
+
+    skip_ws(&mut chars);
+    if chars.next() != Some('{') {
+        return Err("request is not a JSON object".to_owned());
+    }
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+    } else {
+        loop {
+            skip_ws(&mut chars);
+            let key = parse_string(&mut chars)?;
+            skip_ws(&mut chars);
+            if chars.next() != Some(':') {
+                return Err(format!("expected `:` after key `{key}`"));
+            }
+            skip_ws(&mut chars);
+            let value = parse_value(&mut chars).map_err(|e| format!("field `{key}`: {e}"))?;
+            fields.push((key, value));
+            skip_ws(&mut chars);
+            match chars.next() {
+                Some(',') => continue,
+                Some('}') => break,
+                _ => return Err("expected `,` or `}` in request object".to_owned()),
+            }
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return Err("trailing characters after request object".to_owned());
+    }
+    Ok(fields)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while chars.peek().is_some_and(|c| c.is_ascii_whitespace()) {
+        chars.next();
+    }
+}
+
+/// Parses one flat JSON value: a string literal or a bare scalar (number,
+/// `true`, `false`, `null`). Nested containers are rejected.
+fn parse_value(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<JsonValue, String> {
+    match chars.peek() {
+        Some('"') => Ok(JsonValue {
+            text: parse_string(chars)?,
+            quoted: true,
+        }),
+        Some('{') | Some('[') => {
+            Err("nested objects/arrays are not accepted in requests".to_owned())
+        }
+        Some(c) if c.is_ascii_digit() || matches!(c, '-' | 't' | 'f' | 'n') => {
+            let mut text = String::new();
+            while chars
+                .peek()
+                .is_some_and(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '+' | '.'))
+            {
+                text.push(chars.next().expect("peeked"));
+            }
+            Ok(JsonValue {
+                text,
+                quoted: false,
+            })
+        }
+        _ => Err("expected a JSON string or scalar value".to_owned()),
+    }
+}
+
+/// Parses one JSON string literal, cursor positioned at the opening quote.
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
+    if chars.next() != Some('"') {
+        return Err("expected a JSON string".to_owned());
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            None => return Err("unterminated string".to_owned()),
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('/') => out.push('/'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('b') => out.push('\u{0008}'),
+                Some('f') => out.push('\u{000C}'),
+                Some('u') => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let d = chars
+                            .next()
+                            .and_then(|c| c.to_digit(16))
+                            .ok_or("bad \\u escape")?;
+                        code = code * 16 + d;
+                    }
+                    // Surrogates and other invalid scalars degrade to U+FFFD
+                    // rather than failing the whole request.
+                    out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                }
+                _ => return Err("unknown escape sequence".to_owned()),
+            },
+            Some(c) => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::SchedulerStats;
+
+    #[test]
+    fn protocol_flag_parses() {
+        assert_eq!(Protocol::parse("v1"), Some(Protocol::V1));
+        assert_eq!(Protocol::parse("2"), Some(Protocol::V2));
+        assert_eq!(Protocol::parse("V2"), Some(Protocol::V2));
+        assert_eq!(Protocol::parse("v3"), None);
+        assert_eq!(Protocol::default(), Protocol::V2);
+    }
+
+    #[test]
+    fn bare_hex_requests_get_the_fallback_id() {
+        let req = parse_request_v2("  0x6080  ", "7").expect("parses");
+        assert_eq!(req.id, "7");
+        assert_eq!(req.hex, "0x6080");
+    }
+
+    #[test]
+    fn json_requests_carry_their_own_id() {
+        let req = parse_request_v2(r#"{"id":"tx-1","bytecode":"0x60"}"#, "0").expect("parses");
+        assert_eq!(req.id, "tx-1");
+        assert_eq!(req.hex, "0x60");
+        // Field order and whitespace don't matter; id is optional.
+        let req = parse_request_v2(r#" { "bytecode" : "60" } "#, "fallback").expect("parses");
+        assert_eq!(req.id, "fallback");
+        assert_eq!(req.hex, "60");
+        // JSON-RPC-style numeric ids are accepted and echoed as text.
+        let req = parse_request_v2(r#"{"id":41,"bytecode":"60"}"#, "0").expect("parses");
+        assert_eq!(req.id, "41");
+    }
+
+    #[test]
+    fn request_proto_field_is_validated() {
+        assert!(parse_request_v2(r#"{"proto":2,"bytecode":"60"}"#, "0").is_ok());
+        assert!(parse_request_v2(r#"{"proto":"2","bytecode":"60"}"#, "0").is_ok());
+        assert!(parse_request_v2(r#"{"proto":"v2","bytecode":"60"}"#, "0").is_ok());
+        for bad in [
+            r#"{"proto":1,"bytecode":"60"}"#,
+            r#"{"proto":"v1","bytecode":"60"}"#,
+            r#"{"proto":3,"bytecode":"60"}"#,
+            r#"{"proto":null,"bytecode":"60"}"#,
+        ] {
+            let err = parse_request_v2(bad, "0").unwrap_err();
+            assert!(err.contains("unsupported proto version"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn malformed_json_requests_are_descriptive_errors() {
+        assert!(parse_request_v2(r#"{"bytecode":}"#, "0").is_err());
+        assert!(parse_request_v2(r#"{"id":"x"}"#, "0")
+            .unwrap_err()
+            .contains("missing `bytecode`"));
+        assert!(parse_request_v2(r#"{"surprise":"y","bytecode":"60"}"#, "0")
+            .unwrap_err()
+            .contains("unknown request field"));
+        assert!(parse_request_v2(r#"{"bytecode":42}"#, "0")
+            .unwrap_err()
+            .contains("must be a JSON string"));
+        assert!(parse_request_v2(r#"{"bytecode":{"hex":"60"}}"#, "0")
+            .unwrap_err()
+            .contains("nested"));
+        assert!(parse_request_v2(r#"{"bytecode":["60"]}"#, "0")
+            .unwrap_err()
+            .contains("nested"));
+        assert!(parse_request_v2(r#"{"bytecode":"60"} extra"#, "0")
+            .unwrap_err()
+            .contains("trailing"));
+        assert!(parse_request_v2(r#"{"bytecode":"60""#, "0").is_err());
+        assert!(parse_request_v2("{", "0").is_err());
+        assert!(parse_request_v2(r#"{"a"}"#, "0").is_err());
+    }
+
+    #[test]
+    fn oversized_lines_are_refused_before_parsing() {
+        let line = "6".repeat(MAX_LINE_BYTES + 2);
+        let err = parse_request_v2(&line, "0").unwrap_err();
+        assert!(err.contains("byte limit"), "{err}");
+        assert!(check_line_len(&line).is_err());
+        assert!(check_line_len(&"6".repeat(MAX_LINE_BYTES)).is_ok());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let req = parse_request_v2(r#"{"id":"a\"b\\c\ndA","bytecode":"60"}"#, "0").expect("parses");
+        assert_eq!(req.id, "a\"b\\c\ndA");
+        let mut line = String::new();
+        render_error_v2(&mut line, &req.id, "nope");
+        assert_eq!(line, r#"{"proto":2,"id":"a\"b\\c\ndA","error":"nope"}"#);
+    }
+
+    #[test]
+    fn verdict_rendering_is_stable() {
+        let mut line = String::new();
+        render_verdict_v2(
+            &mut line,
+            "tx-9",
+            0.75,
+            "hsc-ensemble/v1",
+            &["Random Forest".to_owned(), "LightGBM".to_owned()],
+            &[0.8, 0.7],
+        );
+        assert_eq!(
+            line,
+            "{\"proto\":2,\"id\":\"tx-9\",\"verdict\":\"phishing\",\"proba\":0.750000,\
+             \"model_version\":\"hsc-ensemble/v1\",\"per_model\":[\
+             {\"name\":\"Random Forest\",\"proba\":0.800000},\
+             {\"name\":\"LightGBM\",\"proba\":0.700000}]}"
+        );
+        assert!(line.starts_with("{\"proto\":2,"));
+        let mut v1 = String::new();
+        render_verdict_v1(&mut v1, 0.25);
+        assert_eq!(v1, "benign\t0.250000");
+    }
+
+    #[test]
+    fn overload_rendering_is_typed_in_both_framings() {
+        let mut v2 = String::new();
+        render_overload_v2(&mut v2, "9");
+        assert!(
+            v2.starts_with("{\"proto\":2,\"id\":\"9\",\"error\":"),
+            "{v2}"
+        );
+        assert!(v2.ends_with(",\"code\":\"overloaded\"}"), "{v2}");
+        let mut v1 = String::new();
+        render_overload_v1(&mut v1);
+        assert!(v1.starts_with("ERR\toverloaded: "), "{v1}");
+    }
+
+    #[test]
+    fn stats_rendering_covers_both_framings() {
+        let snapshot = StatsSnapshot {
+            scheduler: SchedulerStats {
+                submitted: 10,
+                scored: 8,
+                errors: 1,
+                overloads: 1,
+                batches: 3,
+                connections: 2,
+                queue_depth: 0,
+            },
+            cache: Some(CacheStats {
+                hits: 4,
+                misses: 6,
+                evictions: 1,
+                insertions: 6,
+                entries: 5,
+                bytes: 680,
+                capacity_bytes: 1024,
+            }),
+        };
+        let mut v2 = String::new();
+        render_stats_v2(&mut v2, &snapshot);
+        assert!(
+            v2.starts_with("{\"proto\":2,\"stats\":{\"scheduler\":{"),
+            "{v2}"
+        );
+        assert!(v2.contains("\"submitted\":10"), "{v2}");
+        assert!(v2.contains("\"cache\":{\"hits\":4,\"misses\":6"), "{v2}");
+        assert!(v2.contains("\"hit_rate\":0.400000"), "{v2}");
+        let mut v1 = String::new();
+        render_stats_v1(&mut v1, &snapshot);
+        assert!(v1.starts_with("stats\thits=4\tmisses=6"), "{v1}");
+        assert!(v1.contains("scored=8"), "{v1}");
+
+        // Cache disabled: v2 renders null, v1 renders zeros.
+        let disabled = StatsSnapshot {
+            cache: None,
+            ..snapshot
+        };
+        let mut v2 = String::new();
+        render_stats_v2(&mut v2, &disabled);
+        assert!(v2.contains("\"cache\":null"), "{v2}");
+        let mut v1 = String::new();
+        render_stats_v1(&mut v1, &disabled);
+        assert!(v1.contains("hits=0"), "{v1}");
+    }
+}

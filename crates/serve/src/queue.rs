@@ -1,0 +1,319 @@
+//! A bounded multi-producer/multi-consumer queue — the admission-controlled
+//! heart of the scheduler.
+//!
+//! `std::sync::mpsc` channels are single-consumer, but the scheduler needs
+//! *many* connection readers feeding *many* batch-forming workers, so this
+//! module hand-rolls the one primitive the workspace's no-dependency policy
+//! does not get for free: a `Mutex` + two-`Condvar` ring with
+//!
+//! * **bounded capacity** — [`BoundedQueue::try_push`] refuses instead of
+//!   growing, which is what turns overload into a typed wire response
+//!   rather than unbounded memory;
+//! * **blocking producers** — [`BoundedQueue::push`] waits for space (the
+//!   lossless stdin bulk-scoring path);
+//! * **deadline pops** — [`BoundedQueue::pop_until`] lets a worker top up a
+//!   partial batch only until its flush deadline;
+//! * **a graceful-shutdown sentinel** — [`BoundedQueue::close`] wakes
+//!   everyone; consumers drain whatever is still queued and only then see
+//!   the end of the stream, so in-flight requests are never dropped.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Why a non-blocking push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the caller should shed load (typed
+    /// overload response). The item is handed back.
+    Full(T),
+    /// The queue was closed for shutdown; no new work is admitted.
+    Closed(T),
+}
+
+/// Outcome of a deadline-bounded pop.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Popped<T> {
+    /// An item arrived before the deadline.
+    Item(T),
+    /// The deadline passed with the queue still empty.
+    TimedOut,
+    /// The queue is closed *and* fully drained — the shutdown sentinel.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded blocking MPMC queue (see the module docs).
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue admitting at most `capacity` queued items (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Maximum number of queued items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock").items.len()
+    }
+
+    /// Whether nothing is queued right now.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking admission: enqueues, or refuses with
+    /// [`PushError::Full`] / [`PushError::Closed`].
+    ///
+    /// # Errors
+    /// [`PushError`] handing the item back when the queue is at capacity or
+    /// closed.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking admission: waits for space (backpressure), enqueues.
+    ///
+    /// # Errors
+    /// Hands the item back when the queue is closed before space appears.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        while !inner.closed && inner.items.len() >= self.capacity {
+            inner = self.not_full.wait(inner).expect("queue lock");
+        }
+        if inner.closed {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop: waits for an item; `None` only once the queue is
+    /// closed **and** drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Pop with a deadline: waits for an item only until `deadline` — the
+    /// batch-forming flush timer.
+    pub fn pop_until(&self, deadline: Instant) -> Popped<T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Popped::Item(item);
+            }
+            if inner.closed {
+                return Popped::Closed;
+            }
+            let now = Instant::now();
+            let Some(wait) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return Popped::TimedOut;
+            };
+            let (guard, timeout) = self
+                .not_empty
+                .wait_timeout(inner, wait)
+                .expect("queue lock");
+            inner = guard;
+            if timeout.timed_out() && inner.items.is_empty() {
+                return if inner.closed {
+                    Popped::Closed
+                } else {
+                    Popped::TimedOut
+                };
+            }
+        }
+    }
+
+    /// The graceful-shutdown sentinel: no new items are admitted, every
+    /// blocked producer fails, and consumers drain the remainder before
+    /// seeing `None` / [`Popped::Closed`].
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let q = BoundedQueue::new(3);
+        assert_eq!(q.capacity(), 3);
+        for i in 0..3 {
+            q.try_push(i).expect("space");
+        }
+        assert_eq!(q.try_push(9), Err(PushError::Full(9)));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some(0));
+        q.try_push(3).expect("space after pop");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        // New work refused in both admission modes…
+        assert_eq!(q.try_push(3), Err(PushError::Closed(3)));
+        assert_eq!(q.push(4), Err(4));
+        // …but queued work drains before the sentinel.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        let deadline = Instant::now() + Duration::from_millis(50);
+        assert_eq!(q.pop_until(deadline), Popped::Closed);
+    }
+
+    #[test]
+    fn pop_until_times_out_when_empty() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(1);
+        let t0 = Instant::now();
+        let deadline = t0 + Duration::from_millis(20);
+        assert_eq!(q.pop_until(deadline), Popped::TimedOut);
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+        // A deadline already in the past returns immediately.
+        assert_eq!(q.pop_until(Instant::now()), Popped::TimedOut);
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.try_push(0u32).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(1).is_ok())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(0)); // frees the producer
+        assert!(producer.join().expect("producer"));
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn close_wakes_a_blocked_consumer() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(1));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().expect("consumer"), None);
+    }
+
+    #[test]
+    fn close_wakes_a_blocked_producer_and_preserves_queued_work() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(1));
+        q.try_push(7).unwrap(); // full: the producer below must block
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(8))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        // The blocked producer is refused; the admitted item still drains.
+        assert_eq!(producer.join().expect("producer"), Err(8));
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn mpmc_across_threads_loses_nothing() {
+        let q: Arc<BoundedQueue<u64>> = Arc::new(BoundedQueue::new(8));
+        const PER_PRODUCER: u64 = 500;
+        let producers: Vec<_> = (0..3u64)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        q.push(p * PER_PRODUCER + i).expect("open");
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(item) = q.pop() {
+                        got.push(item);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().expect("producer");
+        }
+        q.close();
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().expect("consumer"))
+            .collect();
+        all.sort_unstable();
+        let expected: Vec<u64> = (0..3 * PER_PRODUCER).collect();
+        assert_eq!(all, expected);
+    }
+}

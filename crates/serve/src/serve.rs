@@ -1,0 +1,668 @@
+//! Serving loops: one request stream (stdin or TCP socket) against the
+//! shared [`Scheduler`].
+//!
+//! The old per-connection design (one unbounded thread + private engine
+//! per socket) is gone: every session registers with one process-wide
+//! scheduler, so batches form *across* connections and the keccak-keyed
+//! verdict cache is shared by all of them. A session is two thin threads —
+//! a reader that decodes/submits lines and a writer that drains the
+//! connection's in-order response channel — plus the scheduler doing the
+//! actual work.
+//!
+//! Admission differs by transport, deliberately:
+//!
+//! * **stdin** ([`serve_lines`]) submits with [`Admission::Block`]: a bulk
+//!   scoring run (`serve < corpus.hex`) wants lossless backpressure, not
+//!   shed requests.
+//! * **TCP** ([`serve_tcp`]) submits with [`Admission::Shed`]: a saturated
+//!   daemon answers queue-full with a typed overload response
+//!   (`"code":"overloaded"` / `ERR` line) instead of buffering without
+//!   bound, and `max_conns` refuses surplus *connections* the same way.
+//!
+//! Oversized request lines are handled below the protocol layer: the
+//! reader never buffers more than [`MAX_LINE_BYTES`](crate::proto::MAX_LINE_BYTES)
+//! per line — the long tail is discarded to the next newline and the
+//! request answered with a typed error, keeping framing intact.
+
+use crate::proto::{self, Protocol};
+use crate::scheduler::{Admission, ConnReport, Scheduler, SchedulerOptions};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// Options of one serving process: scheduler tuning plus wire framing.
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// Shared scheduler tuning (batching, workers, queue, cache).
+    pub scheduler: SchedulerOptions,
+    /// Wire framing (v2 JSONL by default; v1 for legacy clients).
+    pub proto: Protocol,
+}
+
+/// Connection-acceptance limits for [`serve_tcp`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TcpLimits {
+    /// Maximum *concurrent* connections; surplus accepts are answered with
+    /// one typed overload line and closed. `None` = unlimited.
+    pub max_conns: Option<usize>,
+    /// Total connections to accept before draining and returning (test/CI
+    /// runs). `None` = serve forever (the daemon case).
+    pub accept_total: Option<usize>,
+}
+
+/// Aggregate statistics of one serving session (one stdin run or one TCP
+/// connection), or of a whole bounded TCP run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServeReport {
+    /// Scored requests (cold and cached).
+    pub contracts: u64,
+    /// Malformed request lines answered with an error response.
+    pub errors: u64,
+    /// Requests or connections shed with a typed overload response.
+    pub overloads: u64,
+    /// Requests answered from the verdict cache.
+    pub cache_hits: u64,
+    /// Requests scored cold (cache miss or cache disabled).
+    pub cache_misses: u64,
+    /// Total bytecode bytes scored.
+    pub bytes: u64,
+    /// Wall-clock seconds from first read to last write.
+    pub secs: f64,
+}
+
+impl ServeReport {
+    fn from_conn(report: ConnReport, secs: f64) -> Self {
+        ServeReport {
+            contracts: report.contracts,
+            errors: report.errors,
+            overloads: report.overloads,
+            cache_hits: report.cache_hits,
+            cache_misses: report.cache_misses,
+            bytes: report.bytes,
+            secs,
+        }
+    }
+
+    /// Human-readable multi-line summary.
+    pub fn render(&self, model: &str) -> String {
+        let per_sec = if self.secs > 0.0 {
+            self.contracts as f64 / self.secs
+        } else {
+            0.0
+        };
+        let looked_up = self.cache_hits + self.cache_misses;
+        let hit_rate = if looked_up > 0 {
+            self.cache_hits as f64 / looked_up as f64 * 100.0
+        } else {
+            0.0
+        };
+        format!(
+            "serve report ({model}): {} contract(s), {} error line(s), {} overload(s)\n\
+             throughput {:.0} contracts/s ({:.2} MB/s), cache {} hit(s) / {} miss(es) ({:.1}% hit rate)\n",
+            self.contracts,
+            self.errors,
+            self.overloads,
+            per_sec,
+            self.bytes as f64 / (1024.0 * 1024.0) / self.secs.max(1e-12),
+            self.cache_hits,
+            self.cache_misses,
+            hit_rate,
+        )
+    }
+
+    fn absorb(&mut self, other: &ServeReport) {
+        self.contracts += other.contracts;
+        self.errors += other.errors;
+        self.overloads += other.overloads;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.bytes += other.bytes;
+        self.secs = self.secs.max(other.secs);
+    }
+}
+
+/// Outcome of one capped line read.
+enum LineRead {
+    Eof,
+    Line,
+    /// The line exceeded the cap; `usize` is its true byte length (tail
+    /// discarded up to the next newline, framing preserved).
+    Oversized(usize),
+}
+
+/// Reads one `\n`-terminated line into `buf` without ever buffering more
+/// than the protocol cap; invalid UTF-8 is replaced, never fatal.
+fn read_line_capped(reader: &mut impl BufRead, buf: &mut Vec<u8>) -> io::Result<LineRead> {
+    buf.clear();
+    let mut total = 0usize;
+    let mut saw_any = false;
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            return Ok(if saw_any {
+                if total > proto::MAX_LINE_BYTES {
+                    LineRead::Oversized(total)
+                } else {
+                    LineRead::Line
+                }
+            } else {
+                LineRead::Eof
+            });
+        }
+        saw_any = true;
+        let (chunk, done) = match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => (&available[..pos], true),
+            None => (available, false),
+        };
+        total += chunk.len();
+        // Buffer only up to the cap (+1 so the check can prove overflow);
+        // the rest of an oversized line is consumed and discarded.
+        let room = (proto::MAX_LINE_BYTES + 1).saturating_sub(buf.len());
+        buf.extend_from_slice(&chunk[..chunk.len().min(room)]);
+        let consumed = chunk.len() + usize::from(done);
+        reader.consume(consumed);
+        if done {
+            return Ok(if total > proto::MAX_LINE_BYTES {
+                LineRead::Oversized(total)
+            } else {
+                LineRead::Line
+            });
+        }
+    }
+}
+
+/// Serves one request stream to completion against the shared scheduler:
+/// reads lines from `input`, writes one response line per request to
+/// `output` (in request order), and returns the session's report.
+///
+/// Used directly for the stdin transport (lossless, blocking admission);
+/// TCP sessions go through [`serve_tcp`], which sheds on overload instead.
+///
+/// # Errors
+/// Propagates I/O errors from either side of the stream.
+pub fn serve_lines(
+    scheduler: &Scheduler,
+    proto: Protocol,
+    input: impl BufRead,
+    output: impl Write + Send,
+) -> io::Result<ServeReport> {
+    serve_session(scheduler, proto, Admission::Block, input, output)
+}
+
+fn serve_session(
+    scheduler: &Scheduler,
+    proto: Protocol,
+    admission: Admission,
+    mut input: impl BufRead,
+    mut output: impl Write + Send,
+) -> io::Result<ServeReport> {
+    let t0 = Instant::now();
+    let (mut conn, rx) = scheduler.connect(proto);
+    let conn_id = conn.id();
+
+    let (writer_result, read_error) = std::thread::scope(|scope| {
+        let writer = scope.spawn(move || -> io::Result<()> {
+            // Batch flushing: drain everything that is already in order
+            // before paying one flush, so a full scored batch costs one
+            // syscall, while an interactive session still flushes per line.
+            // Every recv credits the connection's flow-control window; on
+            // an output error this returns early, dropping the stream,
+            // which disconnects (unblocks) the submit side.
+            while let Some(line) = rx.recv() {
+                output.write_all(line.as_bytes())?;
+                output.write_all(b"\n")?;
+                while let Some(more) = rx.try_recv() {
+                    output.write_all(more.as_bytes())?;
+                    output.write_all(b"\n")?;
+                }
+                output.flush()?;
+            }
+            Ok(())
+        });
+
+        let mut read_error: Option<io::Error> = None;
+        let mut buf: Vec<u8> = Vec::new();
+        loop {
+            let outcome = match read_line_capped(&mut input, &mut buf) {
+                Err(e) => {
+                    read_error = Some(e);
+                    break;
+                }
+                Ok(LineRead::Eof) => break,
+                Ok(LineRead::Oversized(len)) => conn.reject_oversized(len),
+                Ok(LineRead::Line) => {
+                    let line = String::from_utf8_lossy(&buf);
+                    conn.submit(&line, admission)
+                }
+            };
+            if outcome == crate::scheduler::SubmitOutcome::Disconnected {
+                break; // writer died: stop consuming the input stream
+            }
+        }
+        conn.finish();
+        (writer.join().expect("writer thread"), read_error)
+    });
+
+    let report = scheduler.take_report(conn_id);
+    writer_result?;
+    if let Some(e) = read_error {
+        return Err(e);
+    }
+    Ok(ServeReport::from_conn(report, t0.elapsed().as_secs_f64()))
+}
+
+/// Accepts TCP connections and serves the line protocol on each over the
+/// one shared scheduler — connections contribute rows to the same batches
+/// and share the same verdict cache. Admission control:
+///
+/// * per request: shed-mode submission (typed overload response when the
+///   scheduler queue is full);
+/// * per connection: `limits.max_conns` concurrent sessions; surplus
+///   accepts receive one overload line and are closed.
+///
+/// `limits.accept_total` bounds how many connections are accepted before
+/// returning the aggregate report — `None` serves forever (the daemon
+/// case). Each connection's report is written to stderr as it closes.
+///
+/// # Errors
+/// Propagates accept errors; per-connection I/O errors are reported to
+/// stderr and do not stop the daemon.
+pub fn serve_tcp(
+    listener: &TcpListener,
+    scheduler: &Scheduler,
+    proto: Protocol,
+    limits: TcpLimits,
+) -> io::Result<ServeReport> {
+    let model = scheduler.model_name();
+    let mut total = ServeReport::default();
+    let live = AtomicUsize::new(0);
+    let mut accepted = 0usize;
+    std::thread::scope(|scope| -> io::Result<()> {
+        // Reports are aggregated only in the bounded (test/CI) case: a
+        // forever-running daemon must not accumulate one report per
+        // connection in a channel nobody drains.
+        let channel = limits.accept_total.map(|_| mpsc::channel::<ServeReport>());
+        let report_tx = channel.as_ref().map(|(tx, _)| tx);
+        while limits.accept_total.is_none_or(|m| accepted < m) {
+            let (mut stream, peer) = listener.accept()?;
+            accepted += 1;
+            if limits
+                .max_conns
+                .is_some_and(|m| live.load(Ordering::SeqCst) >= m)
+            {
+                // Admission control at the connection level: one typed
+                // overload line, then close — never a silent new thread.
+                let mut line = String::new();
+                match proto {
+                    Protocol::V1 => proto::render_overload_v1(&mut line),
+                    Protocol::V2 => proto::render_overload_v2(&mut line, "connect"),
+                }
+                line.push('\n');
+                let _ = stream.write_all(line.as_bytes());
+                eprintln!(
+                    "[{peer}] refused: {} concurrent connection(s) reached",
+                    live.load(Ordering::SeqCst)
+                );
+                total.overloads += 1;
+                continue;
+            }
+            live.fetch_add(1, Ordering::SeqCst);
+            let live = &live;
+            let report_tx = report_tx.cloned();
+            scope.spawn(move || {
+                let outcome = serve_connection(scheduler, proto, &stream);
+                live.fetch_sub(1, Ordering::SeqCst);
+                match outcome {
+                    Ok(report) => {
+                        eprint!("[{peer}] {}", report.render(model));
+                        if let Some(tx) = report_tx {
+                            let _ = tx.send(report);
+                        }
+                    }
+                    Err(e) => eprintln!("[{peer}] connection error: {e}"),
+                }
+            });
+        }
+        if let Some((tx, rx)) = channel {
+            drop(tx);
+            for report in rx {
+                total.absorb(&report);
+            }
+        }
+        Ok(())
+    })?;
+    Ok(total)
+}
+
+/// Serves one accepted TCP stream (split into buffered read and write
+/// halves) to EOF, with shed-mode admission.
+fn serve_connection(
+    scheduler: &Scheduler,
+    proto: Protocol,
+    stream: &TcpStream,
+) -> io::Result<ServeReport> {
+    let reader = BufReader::new(stream.try_clone()?);
+    serve_session(scheduler, proto, Admission::Shed, reader, stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{ensemble_scanner, probe_lines, scanner};
+    use phishinghook_evm::keccak::to_hex;
+    use phishinghook_models::Scanner;
+
+    fn serve_with(scanner: &Scanner, input: &str, opts: &ServeOptions) -> (String, ServeReport) {
+        let scheduler = Scheduler::new(scanner, &opts.scheduler);
+        let mut out = Vec::new();
+        let report =
+            serve_lines(&scheduler, opts.proto, input.as_bytes(), &mut out).expect("serves");
+        (String::from_utf8(out).expect("utf8 output"), report)
+    }
+
+    fn serve_to_string(input: &str, opts: &ServeOptions) -> (String, ServeReport) {
+        serve_with(scanner(), input, opts)
+    }
+
+    fn v1() -> ServeOptions {
+        ServeOptions {
+            proto: Protocol::V1,
+            ..ServeOptions::default()
+        }
+    }
+
+    /// Cache off so repeated runs measure the cold path deterministically.
+    fn no_cache(proto: Protocol) -> ServeOptions {
+        ServeOptions {
+            proto,
+            scheduler: SchedulerOptions {
+                cache_bytes: 0,
+                ..SchedulerOptions::default()
+            },
+        }
+    }
+
+    #[test]
+    fn v1_one_response_line_per_request_in_order() {
+        let (input, codes) = probe_lines(10);
+        let (out, report) = serve_to_string(&input, &v1());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), codes.len());
+        assert_eq!(report.contracts, codes.len() as u64);
+        assert_eq!(report.errors, 0);
+        assert_eq!(
+            report.bytes,
+            codes.iter().map(|c| c.len() as u64).sum::<u64>()
+        );
+
+        // Responses match direct scanner scoring, in request order.
+        let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
+        let probs = scanner().worker().score_batch(&refs);
+        for (line, p) in lines.iter().zip(&probs) {
+            let verdict = if *p >= 0.5 { "phishing" } else { "benign" };
+            assert_eq!(*line, format!("{verdict}\t{p:.6}"));
+        }
+    }
+
+    #[test]
+    fn v2_responses_carry_ids_and_parse_as_jsonl() {
+        let (input, codes) = probe_lines(6);
+        let (out, report) = serve_to_string(&input, &ServeOptions::default());
+        assert_eq!(report.contracts, codes.len() as u64);
+        let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
+        let probs = scanner().worker().score_batch(&refs);
+        for (i, (line, p)) in out.lines().zip(&probs).enumerate() {
+            // Bare-hex requests get sequence-number ids.
+            assert!(
+                line.starts_with(&format!("{{\"proto\":2,\"id\":\"{i}\",")),
+                "{line}"
+            );
+            let verdict = if *p >= 0.5 { "phishing" } else { "benign" };
+            assert!(
+                line.contains(&format!("\"verdict\":\"{verdict}\"")),
+                "{line}"
+            );
+            assert!(line.contains(&format!("\"proba\":{p:.6}")), "{line}");
+            assert!(
+                line.contains("\"model_version\":\"hsc-detector/v1\""),
+                "{line}"
+            );
+            assert!(
+                line.contains("\"per_model\":[{\"name\":\"Random Forest\""),
+                "{line}"
+            );
+            assert!(line.ends_with("]}"), "{line}");
+        }
+    }
+
+    #[test]
+    fn v2_json_requests_echo_their_ids() {
+        let (_, codes) = probe_lines(2);
+        let input = format!(
+            "{{\"id\":\"tx-a\",\"bytecode\":\"0x{}\"}}\n{{\"bytecode\":\"0x{}\"}}\nnot json or hex!!\n",
+            to_hex(&codes[0]),
+            to_hex(&codes[1]),
+        );
+        let (out, report) = serve_to_string(&input, &ServeOptions::default());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(
+            lines[0].starts_with("{\"proto\":2,\"id\":\"tx-a\","),
+            "{}",
+            lines[0]
+        );
+        // Missing id falls back to the request's per-connection sequence.
+        assert!(
+            lines[1].starts_with("{\"proto\":2,\"id\":\"1\","),
+            "{}",
+            lines[1]
+        );
+        assert!(lines[2].contains("\"error\":"), "{}", lines[2]);
+        assert_eq!(report.contracts, 2);
+        assert_eq!(report.errors, 1);
+    }
+
+    #[test]
+    fn v2_ensembles_expose_per_member_probabilities() {
+        let (input, codes) = probe_lines(4);
+        let (out, _) = serve_with(ensemble_scanner(), &input, &ServeOptions::default());
+        let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
+        let combined = ensemble_scanner().worker().score_batch(&refs);
+        for (line, p) in out.lines().zip(&combined) {
+            assert!(
+                line.contains("\"model_version\":\"hsc-ensemble/v1\""),
+                "{line}"
+            );
+            assert!(
+                line.contains("{\"name\":\"Random Forest\",\"proba\":"),
+                "{line}"
+            );
+            assert!(line.contains("{\"name\":\"LightGBM\",\"proba\":"), "{line}");
+            assert!(line.contains(&format!("\"proba\":{p:.6}")), "{line}");
+            assert_eq!(line.matches("\"name\":").count(), 2, "{line}");
+        }
+    }
+
+    #[test]
+    fn output_order_is_stable_for_any_batch_size_and_worker_count() {
+        let (input, _) = probe_lines(23);
+        for proto in [Protocol::V1, Protocol::V2] {
+            let (reference, _) = serve_to_string(&input, &no_cache(proto));
+            for (batch, workers) in [(1, 1), (4, 3), (5, 2), (64, 4)] {
+                for cache_bytes in [0usize, 8 << 20] {
+                    let opts = ServeOptions {
+                        proto,
+                        scheduler: SchedulerOptions {
+                            batch,
+                            workers,
+                            cache_bytes,
+                            ..SchedulerOptions::default()
+                        },
+                    };
+                    let (out, report) = serve_to_string(&input, &opts);
+                    assert_eq!(
+                        out, reference,
+                        "batch={batch} workers={workers} cache={cache_bytes} {proto:?}"
+                    );
+                    assert_eq!(report.contracts, 23);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn v1_malformed_and_blank_lines() {
+        let (mut input, codes) = probe_lines(3);
+        input.push_str("zznothex\n\n   \n0x60\n");
+        let (out, report) = serve_to_string(
+            &input,
+            &ServeOptions {
+                proto: Protocol::V1,
+                scheduler: SchedulerOptions {
+                    batch: 2,
+                    workers: 2,
+                    ..SchedulerOptions::default()
+                },
+            },
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        // 3 contracts + 1 malformed + 1 tiny-but-valid; blanks are skipped.
+        assert_eq!(lines.len(), codes.len() + 2);
+        assert_eq!(lines[codes.len()], "error\tnot valid hex bytecode");
+        assert!(
+            lines[codes.len() + 1].starts_with("phishing\t")
+                || lines[codes.len() + 1].starts_with("benign\t")
+        );
+        assert_eq!(report.errors, 1);
+        assert_eq!(report.contracts, codes.len() as u64 + 1);
+    }
+
+    #[test]
+    fn oversized_lines_are_rejected_without_unbounded_buffering() {
+        // A line way past MAX_LINE_BYTES is answered with a typed error and
+        // framing survives: the next line still gets its own response.
+        let (input, codes) = probe_lines(1);
+        let huge = "60".repeat(proto::MAX_LINE_BYTES / 2 + 77);
+        let session = format!("{huge}\n{input}");
+        let (out, report) = serve_to_string(&session, &ServeOptions::default());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 1 + codes.len());
+        assert!(lines[0].contains("byte limit"), "{}", lines[0]);
+        assert!(lines[0].contains("\"error\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"verdict\""), "{}", lines[1]);
+        assert_eq!(report.errors, 1);
+        assert_eq!(report.contracts, 1);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_report() {
+        let (out, report) = serve_to_string("", &ServeOptions::default());
+        assert!(out.is_empty());
+        assert_eq!(report.contracts, 0);
+        let rendered = report.render("Random Forest");
+        assert!(rendered.contains("0 contract(s)"), "{rendered}");
+    }
+
+    fn spawn_client(addr: std::net::SocketAddr, input: String) -> std::thread::JoinHandle<String> {
+        std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream.write_all(input.as_bytes()).expect("send requests");
+            stream
+                .shutdown(std::net::Shutdown::Write)
+                .expect("half-close");
+            let mut response = String::new();
+            use std::io::Read;
+            stream
+                .read_to_string(&mut response)
+                .expect("read responses");
+            response
+        })
+    }
+
+    #[test]
+    fn tcp_connections_share_one_scheduler_and_one_cache() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = listener.local_addr().expect("addr");
+        let (input, codes) = probe_lines(5);
+
+        // Client A scores 5 codes; once its responses are back, client B
+        // sends the same codes plus a stats probe — B's requests must hit
+        // the process-wide cache A populated.
+        let input_b = format!("{input}stats\n");
+        let scheduler = Scheduler::new(scanner(), &SchedulerOptions::default());
+        let server = std::thread::scope(|scope| {
+            let scheduler = &scheduler;
+            let handle = scope.spawn(move || {
+                serve_tcp(
+                    &listener,
+                    scheduler,
+                    Protocol::V2,
+                    TcpLimits {
+                        max_conns: Some(4),
+                        accept_total: Some(2),
+                    },
+                )
+                .expect("serves two conns")
+            });
+            let a = spawn_client(addr, input.clone());
+            let response_a = a.join().expect("client a");
+            assert_eq!(response_a.lines().count(), codes.len());
+            let b = spawn_client(addr, input_b.clone());
+            let response_b = b.join().expect("client b");
+            let lines_b: Vec<&str> = response_b.lines().collect();
+            assert_eq!(lines_b.len(), codes.len() + 1);
+            // A's and B's verdict lines are identical (same ids, same bits).
+            assert_eq!(
+                response_a.lines().collect::<Vec<_>>(),
+                &lines_b[..codes.len()]
+            );
+            let stats_line = lines_b.last().expect("stats");
+            assert!(
+                stats_line.contains(&format!("\"cache\":{{\"hits\":{}", codes.len())),
+                "{stats_line}"
+            );
+            handle.join().expect("server thread")
+        });
+        assert_eq!(server.contracts, 2 * codes.len() as u64);
+        assert_eq!(server.cache_hits, codes.len() as u64);
+        let stats = scheduler.shutdown();
+        assert_eq!(stats.scheduler.connections, 2);
+        assert_eq!(stats.scheduler.scored, codes.len() as u64);
+    }
+
+    #[test]
+    fn tcp_connection_limit_answers_typed_overload() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = listener.local_addr().expect("addr");
+        let scheduler = Scheduler::new(scanner(), &SchedulerOptions::default());
+        let report = std::thread::scope(|scope| {
+            let scheduler = &scheduler;
+            let server = scope.spawn(move || {
+                serve_tcp(
+                    &listener,
+                    scheduler,
+                    Protocol::V2,
+                    TcpLimits {
+                        // No concurrent sessions allowed at all: every
+                        // accept is refused with the typed overload line —
+                        // deterministic, no timing involved.
+                        max_conns: Some(0),
+                        accept_total: Some(2),
+                    },
+                )
+                .expect("serves")
+            });
+            for _ in 0..2 {
+                let client = spawn_client(addr, String::new());
+                let response = client.join().expect("client");
+                assert_eq!(response.lines().count(), 1, "{response}");
+                assert!(response.contains("\"code\":\"overloaded\""), "{response}");
+            }
+            server.join().expect("server thread")
+        });
+        assert_eq!(report.overloads, 2);
+        assert_eq!(report.contracts, 0);
+    }
+}

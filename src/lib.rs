@@ -11,4 +11,5 @@ pub use phishinghook_features as features;
 pub use phishinghook_ml as ml;
 pub use phishinghook_models as models;
 pub use phishinghook_persist as persist;
+pub use phishinghook_serve as serve;
 pub use phishinghook_stats as stats;

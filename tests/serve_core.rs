@@ -1,0 +1,94 @@
+//! Tier-1 coverage of the serving core through the umbrella crate: the
+//! scheduler's headline guarantees (cross-connection sharing, bit-identical
+//! caching, ordering, graceful drain) exercised end to end on a small model.
+
+use phishinghook::data::{Corpus, CorpusConfig};
+use phishinghook::evm::keccak::to_hex;
+use phishinghook::models::{Detector, DetectorRegistry, Scanner};
+use phishinghook::serve::{
+    run_watch, serve_lines, Protocol, Scheduler, SchedulerOptions, WatchOptions,
+};
+use std::sync::OnceLock;
+
+fn scanner() -> &'static Scanner {
+    static SCANNER: OnceLock<Scanner> = OnceLock::new();
+    SCANNER.get_or_init(|| {
+        let corpus = Corpus::generate(&CorpusConfig {
+            n_contracts: 80,
+            seed: 5,
+            ..Default::default()
+        });
+        let (codes, labels) = corpus.as_dataset();
+        let mut det = DetectorRegistry::global()
+            .build_str("rf:seed=7", 7)
+            .expect("valid spec");
+        det.fit(&codes, &labels);
+        Scanner::new(det).expect("fitted")
+    })
+}
+
+fn probes(n: usize) -> (String, Vec<Vec<u8>>) {
+    let corpus = Corpus::generate(&CorpusConfig {
+        n_contracts: n,
+        seed: 91,
+        ..Default::default()
+    });
+    let codes: Vec<Vec<u8>> = corpus.records.into_iter().map(|r| r.bytecode).collect();
+    let text: String = codes.iter().map(|c| format!("0x{}\n", to_hex(c))).collect();
+    (text, codes)
+}
+
+#[test]
+fn scheduler_serves_cached_and_cold_requests_bit_identically() {
+    let (input, codes) = probes(8);
+    let scheduler = Scheduler::new(scanner(), &SchedulerOptions::default());
+
+    // Two passes over the same stream: the first scores cold, the second is
+    // answered from the keccak-keyed verdict cache — responses must match
+    // byte for byte, and per-connection order must hold both times.
+    let mut first = Vec::new();
+    let report_cold =
+        serve_lines(&scheduler, Protocol::V2, input.as_bytes(), &mut first).expect("serves");
+    let mut second = Vec::new();
+    let report_hot =
+        serve_lines(&scheduler, Protocol::V2, input.as_bytes(), &mut second).expect("serves");
+    assert_eq!(first, second, "cache hits must replay identical responses");
+    assert_eq!(report_cold.contracts, codes.len() as u64);
+    assert_eq!(report_hot.cache_hits, codes.len() as u64);
+
+    // Responses also carry the scanner's own probabilities, in order.
+    let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
+    let expected = scanner().worker().score_batch(&refs);
+    let text = String::from_utf8(first).expect("utf8");
+    for (i, (line, p)) in text.lines().zip(&expected).enumerate() {
+        assert!(
+            line.starts_with(&format!("{{\"proto\":2,\"id\":\"{i}\",")),
+            "{line}"
+        );
+        assert!(line.contains(&format!("\"proba\":{p:.6}")), "{line}");
+    }
+
+    let stats = scheduler.shutdown();
+    assert_eq!(stats.scheduler.scored, codes.len() as u64, "one cold pass");
+    assert_eq!(
+        stats.cache.expect("cache on").hits,
+        codes.len() as u64,
+        "one cached pass"
+    );
+}
+
+#[test]
+fn watch_firehose_round_trips_through_the_serving_core() {
+    let report = run_watch(
+        scanner(),
+        &WatchOptions {
+            events: 80,
+            ..WatchOptions::quick()
+        },
+    );
+    assert_eq!(report.events, 80);
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.cache_hits + report.cache_misses, 80);
+    assert!(report.unique_bytecodes <= 16);
+    assert!(report.alerts > 0, "a phishing-heavy stream must alert");
+}
