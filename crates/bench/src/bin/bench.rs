@@ -22,7 +22,8 @@ use phishinghook_ml::classical::forest::ForestConfig;
 use phishinghook_ml::{Classifier, RandomForest};
 use phishinghook_models::{Detector, DetectorRegistry, Scanner};
 use phishinghook_serve::{
-    Admission, CachedVerdict, Protocol, Scheduler, SchedulerOptions, VerdictCache,
+    serve_http, Admission, CachedVerdict, Protocol, Scheduler, SchedulerOptions, TcpLimits,
+    VerdictCache,
 };
 use std::time::Instant;
 
@@ -57,6 +58,39 @@ fn parse_args() -> Args {
         }
     }
     args
+}
+
+/// One closed-loop HTTP client: sends each pre-rendered request on a
+/// single keep-alive connection and fully reads each response before
+/// sending the next. Returns how many answered `200`.
+fn http_round(addr: std::net::SocketAddr, requests: &[String]) -> usize {
+    use std::io::{BufRead, BufReader, Read, Write};
+    let stream = std::net::TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let mut ok = 0usize;
+    for raw in requests {
+        writer.write_all(raw.as_bytes()).expect("send");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("status line");
+        if line.starts_with("HTTP/1.1 200") {
+            ok += 1;
+        }
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            reader.read_line(&mut header).expect("header");
+            if header.trim_end().is_empty() {
+                break;
+            }
+            if let Some(v) = header.trim_end().strip_prefix("Content-Length: ") {
+                content_length = v.parse().expect("content length");
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).expect("body");
+    }
+    ok
 }
 
 /// Best-of-`reps` wall-clock seconds for one call of `f`.
@@ -310,6 +344,66 @@ fn main() {
         cross_conn_cps / per_conn_cps,
     );
 
+    // --- HTTP gateway: closed-loop POST /predict over keep-alive. ---
+    // The same clients and bytecodes as the scheduler section, but each
+    // request pays the full edge path: HTTP/1.1 parsing, v2 JSON framing,
+    // the scheduler (same tuning, cache off), response heads and latency
+    // metrics. Closed loop: a client reads each response before sending
+    // the next, so this is per-request round-trip throughput, not
+    // pipelined drain rate.
+    let http_requests_raw: Vec<Vec<String>> = client_lines
+        .iter()
+        .map(|lines| {
+            lines
+                .iter()
+                .enumerate()
+                .map(|(i, hex)| {
+                    let body = format!("{{\"id\":\"{i}\",\"bytecode\":\"{hex}\"}}");
+                    format!(
+                        "POST /predict HTTP/1.1\r\nHost: bench\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+                        body.len()
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let http_secs = measure(reps, || {
+        let scheduler = Scheduler::new(&engine, &scheduler_opts);
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let ok = std::thread::scope(|scope| {
+            let scheduler = &scheduler;
+            let listener = &listener;
+            let server = scope.spawn(move || {
+                serve_http(
+                    listener,
+                    scheduler,
+                    TcpLimits {
+                        max_conns: None,
+                        accept_total: Some(CLIENTS),
+                    },
+                )
+                .expect("gateway serves")
+            });
+            let handles: Vec<_> = http_requests_raw
+                .iter()
+                .map(|requests| scope.spawn(move || http_round(addr, requests)))
+                .collect();
+            let ok: usize = handles.into_iter().map(|h| h.join().expect("client")).sum();
+            server.join().expect("gateway thread");
+            ok
+        });
+        assert_eq!(ok, total_requests, "every HTTP request answers 200");
+        scheduler.shutdown();
+        ok
+    });
+    let http_rps = total_requests as f64 / http_secs;
+    println!(
+        "http       closed-loop {:>6.0} req/s over {CLIENTS} keep-alive conn(s)   ({:.2}x of JSONL cross-conn)",
+        http_rps,
+        http_rps / cross_conn_cps,
+    );
+
     // --- Verdict cache: hit path vs cold-score path. ---
     // Both paths are measured end to end on a cache-enabled daemon: every
     // request pays keccak-256 + LRU lookup; a miss (cold) then scores one
@@ -435,6 +529,14 @@ fn main() {
     "cross_connection_contracts_per_sec": {cross_conn_cps},
     "speedup": {scheduler_speedup}
   }},
+  "http": {{
+    "clients": {clients},
+    "requests": {total_requests},
+    "closed_loop": true,
+    "secs": {http_secs},
+    "requests_per_sec": {http_rps},
+    "vs_jsonl_cross_connection_x": {http_vs_jsonl}
+  }},
   "cache": {{
     "budget_bytes": {cache_budget},
     "entries": {cache_entries},
@@ -489,6 +591,9 @@ fn main() {
         cross_conn_secs = json_f(cross_conn_secs),
         cross_conn_cps = json_f(cross_conn_cps),
         scheduler_speedup = json_f(cross_conn_cps / per_conn_cps),
+        http_secs = json_f(http_secs),
+        http_rps = json_f(http_rps),
+        http_vs_jsonl = json_f(http_rps / cross_conn_cps),
         cache_budget = cache_budget,
         cache_entries = cache.stats().entries,
         cold_secs = json_f(cold_secs),

@@ -9,14 +9,12 @@
 use phishinghook_core::cv::stratified_kfold;
 use phishinghook_core::metrics::BinaryMetrics;
 use phishinghook_data::csv::{from_csv, to_csv};
-use phishinghook_data::{ContractRecord, Corpus, CorpusConfig, Label};
+use phishinghook_data::{ContractRecord, Corpus, CorpusConfig, Label, SharedChain};
 use phishinghook_evm::disasm::{disassemble, to_csv as disasm_csv};
 use phishinghook_evm::keccak::from_hex;
 use phishinghook_models::{AnyDetector, Detector, DetectorRegistry, Scanner, SpecError};
 use phishinghook_persist::PersistError;
-use phishinghook_serve::{
-    serve_lines, serve_tcp, Protocol, Scheduler, ServeOptions, TcpLimits, WatchOptions,
-};
+use phishinghook_serve::{ConfigError, Protocol, ServeConfig, WatchOptions};
 use std::fmt;
 
 /// CLI failure modes.
@@ -90,11 +88,12 @@ USAGE:
   phishinghook scan     <dataset.csv> <hex…>   train Random Forest, classify bytecodes
   phishinghook serve    --model <snap-or-spec> [--train <dataset.csv>] [--proto v1|v2]
                         [--batch <n>] [--workers <n>] [--queue-depth <n>]
-                        [--cache-bytes <n>] [--tcp <addr>] [--max-conns <n>]
-                        [--accept <n>]
-                                               batched scoring daemon (stdin or TCP):
-                                               cross-connection micro-batching, keccak-
-                                               keyed verdict cache, typed overload
+                        [--cache-bytes <n>] [--tcp <addr>] [--http <addr>]
+                        [--chain <dataset.csv>] [--max-conns <n>] [--accept <n>]
+                                               batched scoring daemon (stdin, TCP JSONL
+                                               and/or HTTP gateway): cross-connection
+                                               micro-batching, keccak-keyed verdict
+                                               cache, typed overload
   phishinghook watch    --model <snap-or-spec> [--train <dataset.csv>] [--events <n>]
                         [--templates <n>] [--seed <n>] [--batch <n>] [--workers <n>]
                         [--cache-bytes <n>] [--quick]
@@ -109,6 +108,10 @@ Legacy names (random-forest, logistic-regression, …) remain aliases.
 serve speaks versioned JSONL by default; --proto v1 keeps the legacy
 tab-separated framing for old clients. --cache-bytes 0 disables the
 verdict cache; the `stats` request line reports scheduler/cache counters.
+--http binds an HTTP/1.1 gateway (POST /predict, GET /healthz, Prometheus
+GET /metrics) over the same scheduler and cache as the JSONL front-ends;
+--chain loads a dataset as the eth_getCode source so address-form
+requests ({\"address\":\"0x…\"}) resolve to deployed bytecode.
 ";
 
 /// Executes a CLI invocation, returning the text to print.
@@ -376,11 +379,11 @@ fn scan(args: &[String]) -> Result<String, CliError> {
         let mut out = banner;
         for payload in payloads {
             let code = read_hex(payload)?;
-            let reports = scanner.scan_batch(&[phishinghook_models::ScanRequest {
-                id: String::new(),
-                bytecode: code,
-            }]);
-            let report = &reports[0];
+            let reports = scanner.scan_batch(
+                &[phishinghook_models::ScanRequest::bytecode("", code)],
+                None,
+            );
+            let report = reports[0].as_ref().expect("bytecode targets always score");
             out.push_str(&format!(
                 "{}…  →  {} (p={:.4})\n",
                 preview(payload),
@@ -436,9 +439,8 @@ fn numeric(v: &str, name: &str) -> Result<usize, CliError> {
 fn serve_cmd(args: &[String]) -> Result<String, CliError> {
     let mut model: Option<&str> = None;
     let mut train: Option<&str> = None;
-    let mut opts = ServeOptions::default();
-    let mut tcp: Option<&str> = None;
-    let mut limits = TcpLimits::default();
+    let mut chain_path: Option<&str> = None;
+    let mut builder = ServeConfig::builder();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         let mut value = || {
@@ -449,25 +451,26 @@ fn serve_cmd(args: &[String]) -> Result<String, CliError> {
         match arg.as_str() {
             "--model" => model = Some(value()?),
             "--train" => train = Some(value()?),
-            "--batch" => opts.scheduler.batch = numeric(value()?, "batch size")?.max(1),
-            "--workers" => opts.scheduler.workers = numeric(value()?, "worker count")?.max(1),
-            "--queue-depth" => {
-                opts.scheduler.queue_depth = numeric(value()?, "queue depth")?.max(1);
-            }
+            "--chain" => chain_path = Some(value()?),
+            "--batch" => builder = builder.batch(numeric(value()?, "batch size")?),
+            "--workers" => builder = builder.workers(numeric(value()?, "worker count")?),
+            "--queue-depth" => builder = builder.queue_depth(numeric(value()?, "queue depth")?),
             "--cache-bytes" => {
-                opts.scheduler.cache_bytes = numeric(value()?, "cache byte budget")?;
+                builder = builder.cache_bytes(numeric(value()?, "cache byte budget")?);
             }
-            "--max-conns" => limits.max_conns = Some(numeric(value()?, "connection limit")?),
-            "--accept" => limits.accept_total = Some(numeric(value()?, "accept count")?),
+            "--max-conns" => builder = builder.max_conns(numeric(value()?, "connection limit")?),
+            "--accept" => builder = builder.accept(numeric(value()?, "accept count")?),
             "--proto" => {
                 let v = value()?;
-                opts.proto = Protocol::parse(v).ok_or_else(|| {
+                let proto = Protocol::parse(v).ok_or_else(|| {
                     CliError::Usage(format!(
                         "`{v}` is not a protocol version (expected v1 or v2)\n\n{USAGE}"
                     ))
                 })?;
+                builder = builder.proto(proto);
             }
-            "--tcp" => tcp = Some(value()?),
+            "--tcp" => builder = builder.tcp(value()?),
+            "--http" => builder = builder.http(value()?),
             other => {
                 return Err(CliError::Usage(format!(
                     "unexpected argument `{other}`\n\n{USAGE}"
@@ -480,53 +483,31 @@ fn serve_cmd(args: &[String]) -> Result<String, CliError> {
             "serve requires --model <snapshot-or-spec>\n\n{USAGE}"
         ))
     })?;
-    if tcp.is_none() && (limits.max_conns.is_some() || limits.accept_total.is_some()) {
-        return Err(CliError::Usage(format!(
-            "--max-conns and --accept are TCP connection limits; add --tcp <addr> \
-             (stdin mode serves exactly one stream)\n\n{USAGE}"
-        )));
-    }
+    // The builder validates the whole shape before any model work: sizes
+    // must be ≥ 1, and connection limits without a listener are refused,
+    // not silently ignored.
+    let config = builder.build().map_err(|e| match e {
+        ConfigError::LimitsWithoutListener(_) => CliError::Usage(format!(
+            "--max-conns and --accept are connection limits; add --tcp <addr> or \
+             --http <addr> (stdin mode serves exactly one stream)\n\n{USAGE}"
+        )),
+        e => CliError::Usage(format!("{e}\n\n{USAGE}")),
+    })?;
+    let chain = chain_path
+        .map(|path| -> Result<SharedChain, CliError> {
+            let records = load_dataset(path)?;
+            let chain = SharedChain::from_records(&records);
+            eprintln!("chain source: {} contract(s) from {path}", chain.len());
+            Ok(chain)
+        })
+        .transpose()?;
     // The model is restored (or trained) exactly once per process; one
-    // scheduler (worker pool + verdict cache) serves every connection.
+    // scheduler (worker pool + verdict cache) serves every front-end.
+    // `run` prints the listener banners, serves stdin or the bound
+    // listeners, and renders the aggregate report to stderr.
     let (scanner, banner) = scanner_from_model_arg(model, train, 7)?;
     eprint!("{banner}");
-    let scheduler = Scheduler::new(&scanner, &opts.scheduler);
-    let model = scheduler.model_name();
-
-    if let Some(addr) = tcp {
-        let listener = std::net::TcpListener::bind(addr)?;
-        eprintln!(
-            "serving {model} on tcp://{} ({:?}, batch {}, {} worker(s), queue {}, cache {} bytes{})",
-            listener.local_addr()?,
-            opts.proto,
-            opts.scheduler.batch,
-            opts.scheduler.workers,
-            opts.scheduler.queue_depth,
-            opts.scheduler.cache_bytes,
-            match limits.max_conns {
-                Some(m) => format!(", max {m} conns"),
-                None => String::new(),
-            },
-        );
-        // Daemon mode (no --accept): accept connections until the process
-        // is killed, so this only returns on an accept error or once
-        // --accept connections have been served and drained.
-        let total = serve_tcp(&listener, &scheduler, opts.proto, limits)?;
-        if limits.accept_total.is_some() {
-            eprint!("{}", total.render(model));
-        }
-        scheduler.shutdown();
-        return Ok(String::new());
-    }
-
-    let stdin = std::io::stdin();
-    // Unlocked handle: the writer thread is the only writer, and `Stdout`
-    // is `Send` where `StdoutLock` is not.
-    let report = serve_lines(&scheduler, opts.proto, stdin.lock(), std::io::stdout())?;
-    // The report goes to stderr: stdout is the response stream (one line
-    // per request), and `serve … > verdicts.jsonl` must not corrupt it.
-    eprint!("{}", report.render(model));
-    scheduler.shutdown();
+    phishinghook_serve::run(&scanner, &config, chain)?;
     Ok(String::new())
 }
 
@@ -540,6 +521,7 @@ fn watch_cmd(args: &[String]) -> Result<String, CliError> {
     } else {
         WatchOptions::default()
     };
+    let mut serve = ServeConfig::builder();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         let mut value = || {
@@ -556,10 +538,10 @@ fn watch_cmd(args: &[String]) -> Result<String, CliError> {
                 opts.firehose.templates = numeric(value()?, "template count")?.max(1);
             }
             "--seed" => opts.firehose.seed = numeric(value()?, "seed")? as u64,
-            "--batch" => opts.scheduler.batch = numeric(value()?, "batch size")?.max(1),
-            "--workers" => opts.scheduler.workers = numeric(value()?, "worker count")?.max(1),
+            "--batch" => serve = serve.batch(numeric(value()?, "batch size")?),
+            "--workers" => serve = serve.workers(numeric(value()?, "worker count")?),
             "--cache-bytes" => {
-                opts.scheduler.cache_bytes = numeric(value()?, "cache byte budget")?;
+                serve = serve.cache_bytes(numeric(value()?, "cache byte budget")?);
             }
             other => {
                 return Err(CliError::Usage(format!(
@@ -568,6 +550,9 @@ fn watch_cmd(args: &[String]) -> Result<String, CliError> {
             }
         }
     }
+    opts.serve = serve
+        .build()
+        .map_err(|e| CliError::Usage(format!("{e}\n\n{USAGE}")))?;
     let model = model.ok_or_else(|| {
         CliError::Usage(format!(
             "watch requires --model <snapshot-or-spec>\n\n{USAGE}"
@@ -822,6 +807,38 @@ mod tests {
         assert!(err.to_string().contains("add --tcp"), "{err}");
         let err = run(&args(&["serve", "--model", "x.snap", "--max-conns", "4"])).unwrap_err();
         assert!(err.to_string().contains("add --tcp"), "{err}");
+        // An HTTP listener satisfies the limits-need-a-listener rule at
+        // the parse layer (binding happens later, in serve::run).
+        let err = run(&args(&[
+            "serve",
+            "--model",
+            "nonexistent.snap",
+            "--http",
+            "127.0.0.1:0",
+            "--accept",
+            "1",
+        ]))
+        .unwrap_err();
+        assert!(!err.to_string().contains("add --tcp"), "{err}");
+    }
+
+    #[test]
+    fn serve_rejects_zero_sizes_through_the_typed_config() {
+        let err = run(&args(&["serve", "--model", "x.snap", "--batch", "0"])).unwrap_err();
+        assert!(
+            err.to_string().contains("`batch` must be at least 1"),
+            "{err}"
+        );
+        let err = run(&args(&["serve", "--model", "x.snap", "--workers", "0"])).unwrap_err();
+        assert!(
+            err.to_string().contains("`workers` must be at least 1"),
+            "{err}"
+        );
+        let err = run(&args(&["watch", "--model", "rf", "--batch", "0"])).unwrap_err();
+        assert!(
+            err.to_string().contains("`batch` must be at least 1"),
+            "{err}"
+        );
     }
 
     #[test]

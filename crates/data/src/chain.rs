@@ -10,6 +10,22 @@
 use crate::contract::{ContractRecord, Label};
 use phishinghook_ml::SplitMix;
 use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// A 20-byte Ethereum account address, as used by `eth_getCode`.
+pub type Address = [u8; 20];
+
+/// Anything that can resolve an [`Address`] into deployed runtime bytecode.
+///
+/// This is the one seam between the serving surface and a chain: the
+/// simulated chain implements it directly, and a real deployment would put
+/// a JSON-RPC client behind the same trait. `None` means the address holds
+/// no code (an externally-owned account, or an unknown address) — the
+/// JSON-RPC `eth_getCode` "0x" answer.
+pub trait CodeSource: Send + Sync {
+    /// The runtime bytecode deployed at `address`, or `None` for EOAs.
+    fn code_at(&self, address: Address) -> Option<Vec<u8>>;
+}
 
 /// An in-memory contract store with an `eth_getCode`-shaped API.
 #[derive(Debug, Clone, Default)]
@@ -57,6 +73,84 @@ impl SimulatedChain {
     /// All deployed addresses (unordered).
     pub fn addresses(&self) -> impl Iterator<Item = &[u8; 20]> {
         self.code.keys()
+    }
+}
+
+impl CodeSource for SimulatedChain {
+    fn code_at(&self, address: Address) -> Option<Vec<u8>> {
+        let code = self.eth_get_code(address);
+        if code.is_empty() {
+            None
+        } else {
+            Some(code.to_vec())
+        }
+    }
+}
+
+/// A cloneable, thread-safe handle onto a [`SimulatedChain`].
+///
+/// The serving gateway resolves address-form requests concurrently from
+/// worker threads while a watcher keeps deploying new contracts, so the
+/// chain needs shared ownership with interior locking. Reads (the hot
+/// `eth_getCode` path) take the read lock; deployments take the write lock.
+#[derive(Debug, Clone, Default)]
+pub struct SharedChain {
+    inner: Arc<RwLock<SimulatedChain>>,
+}
+
+impl SharedChain {
+    /// An empty shared chain.
+    pub fn new() -> Self {
+        SharedChain::default()
+    }
+
+    /// Wraps an already-populated chain.
+    pub fn from_chain(chain: SimulatedChain) -> Self {
+        SharedChain {
+            inner: Arc::new(RwLock::new(chain)),
+        }
+    }
+
+    /// Builds a shared chain hosting every record of a corpus.
+    pub fn from_records<'a>(records: impl IntoIterator<Item = &'a ContractRecord>) -> Self {
+        SharedChain::from_chain(SimulatedChain::from_records(records))
+    }
+
+    /// Deploys code at an address (write lock; overwrites silently).
+    pub fn deploy(&self, address: Address, code: Vec<u8>) {
+        self.inner
+            .write()
+            .expect("chain lock poisoned")
+            .deploy(address, code);
+    }
+
+    /// `eth_getCode` with owned-result semantics: the runtime bytecode at
+    /// `address`, or the empty vec for EOAs.
+    pub fn eth_get_code(&self, address: Address) -> Vec<u8> {
+        self.inner
+            .read()
+            .expect("chain lock poisoned")
+            .eth_get_code(address)
+            .to_vec()
+    }
+
+    /// Number of deployed contracts.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("chain lock poisoned").len()
+    }
+
+    /// Whether no contracts are deployed.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().expect("chain lock poisoned").is_empty()
+    }
+}
+
+impl CodeSource for SharedChain {
+    fn code_at(&self, address: Address) -> Option<Vec<u8>> {
+        self.inner
+            .read()
+            .expect("chain lock poisoned")
+            .code_at(address)
     }
 }
 
@@ -169,6 +263,36 @@ mod tests {
         assert_eq!(chain.eth_get_code([1; 20]), &[0x60, 0x80, 1]);
         assert_eq!(chain.eth_get_code([9; 20]), &[] as &[u8]);
         assert_eq!(chain.len(), 2);
+    }
+
+    #[test]
+    fn code_source_distinguishes_contracts_from_eoas() {
+        let records = [record(1, Label::Benign)];
+        let chain = SimulatedChain::from_records(&records);
+        assert_eq!(chain.code_at([1; 20]), Some(vec![0x60, 0x80, 1]));
+        assert_eq!(chain.code_at([9; 20]), None, "EOA resolves to no code");
+    }
+
+    #[test]
+    fn shared_chain_is_concurrently_usable() {
+        let shared = SharedChain::from_records(&[record(1, Label::Benign)]);
+        let reader = shared.clone();
+        let writer = shared.clone();
+        let t = std::thread::spawn(move || {
+            for i in 2u8..50 {
+                writer.deploy([i; 20], vec![0x60, i]);
+            }
+        });
+        // Reads proceed while the writer deploys; the seeded contract is
+        // always visible.
+        for _ in 0..100 {
+            assert_eq!(reader.eth_get_code([1; 20]), vec![0x60, 0x80, 1]);
+        }
+        t.join().expect("writer thread");
+        assert_eq!(shared.len(), 49);
+        assert!(!shared.is_empty());
+        assert_eq!(shared.code_at([3; 20]), Some(vec![0x60, 3]));
+        assert_eq!(shared.code_at([99; 20]), None);
     }
 
     #[test]

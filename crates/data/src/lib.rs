@@ -36,7 +36,9 @@ pub mod csv;
 pub mod firehose;
 pub mod templates;
 
-pub use chain::{extract_labeled_bytecodes, LabelOracle, SimulatedChain};
+pub use chain::{
+    extract_labeled_bytecodes, Address, CodeSource, LabelOracle, SharedChain, SimulatedChain,
+};
 pub use contract::{ContractRecord, Label, Month};
 pub use corpus::{Corpus, CorpusConfig};
 pub use firehose::{ChainFirehose, DeployEvent, FirehoseConfig};

@@ -30,7 +30,7 @@ pub use escort_model::{EscortConfig, EscortDetector};
 pub use hsc::all_hscs;
 pub use hsc::{HscDetector, HscModel};
 pub use language::{LanguageConfig, ScsGuardDetector, TransformerLm};
-pub use scanner::{AnyDetector, ScanReport, ScanRequest, Scanner, Verdict};
+pub use scanner::{AnyDetector, ResolveError, ScanReport, ScanRequest, Scanner, Target, Verdict};
 #[allow(deprecated)]
 pub use scoring::ScoringEngine;
 pub use spec::{

@@ -5,9 +5,15 @@
 //! [`DetectorSpec`](crate::DetectorSpec) or restored from either snapshot
 //! kind through one front door — behind the same batched, scratch-matrix
 //! hot path. On top of the raw `score_batch` it adds the typed request
-//! shape the wire protocol carries: [`ScanRequest`] `{ id, bytecode }` in,
+//! shape the wire protocol carries: [`ScanRequest`] `{ id, target }` in,
 //! [`ScanReport`] `{ id, verdict, proba, per_model, model_version }` out,
 //! with per-member probabilities whenever the model is an ensemble.
+//!
+//! A request's [`Target`] is either raw bytecode or a 20-byte chain
+//! address; addresses resolve through a [`CodeSource`] (the simulated
+//! chain's `eth_getCode`), so the address → bytecode hop lives in exactly
+//! one place no matter which protocol — JSONL, HTTP, or a direct library
+//! call — carried the request.
 //!
 //! Like the engine it replaces, a scanner is cheap to fan out:
 //! [`Scanner::worker`] shares the immutable detector through an [`Arc`]
@@ -24,20 +30,23 @@
 //! det.fit(&train, &[1, 0]);
 //!
 //! let mut scanner = Scanner::new(det).expect("fitted");
-//! let reports = scanner.scan_batch(&[ScanRequest {
-//!     id: "req-1".to_owned(),
-//!     bytecode: vec![0x60, 0x80, 0x52],
-//! }]);
-//! assert_eq!(reports[0].id, "req-1");
-//! assert_eq!(reports[0].per_model.len(), 2); // one probability per member
+//! let reports = scanner.scan_batch(
+//!     &[ScanRequest::bytecode("req-1", vec![0x60, 0x80, 0x52])],
+//!     None, // no chain attached: bytecode targets only
+//! );
+//! let report = reports[0].as_ref().expect("bytecode targets always score");
+//! assert_eq!(report.id, "req-1");
+//! assert_eq!(report.per_model.len(), 2); // one probability per member
 //! ```
 
 use crate::detector::{Category, Detector, FoldFeatures};
 use crate::ensemble::EnsembleDetector;
 use crate::hsc::HscDetector;
+use phishinghook_data::{Address, CodeSource};
 use phishinghook_features::HistogramExtractor;
 use phishinghook_ml::Matrix;
 use phishinghook_persist::{PersistError, FORMAT_VERSION};
+use std::borrow::Cow;
 use std::fmt;
 use std::sync::Arc;
 
@@ -253,14 +262,110 @@ impl fmt::Display for Verdict {
     }
 }
 
-/// One contract to score: a caller-chosen request id plus raw deployed
-/// bytecode.
+/// What a scan request points at: the contract's raw bytecode, or the
+/// chain address to fetch it from.
+///
+/// Every request surface — proto v2 JSONL, HTTP `POST /predict`, and the
+/// library-level [`Scanner::scan_batch`] — carries this one enum, and
+/// [`Target::resolve`] is the single place an address becomes bytecode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Target {
+    /// Raw deployed runtime bytecode, scored as-is.
+    Bytecode(Vec<u8>),
+    /// A 20-byte account address, resolved through a [`CodeSource`]
+    /// (`eth_getCode`) before scoring.
+    Address(Address),
+}
+
+impl Target {
+    /// The bytecode to score: borrowed straight out of a
+    /// [`Target::Bytecode`], or fetched from `source` for a
+    /// [`Target::Address`].
+    ///
+    /// # Errors
+    /// [`ResolveError::NoSource`] for an address target when no chain is
+    /// attached, [`ResolveError::NoCode`] when the chain holds no code at
+    /// the address (an EOA, or an unknown account).
+    pub fn resolve(&self, source: Option<&dyn CodeSource>) -> Result<Cow<'_, [u8]>, ResolveError> {
+        match self {
+            Target::Bytecode(code) => Ok(Cow::Borrowed(code.as_slice())),
+            Target::Address(addr) => match source {
+                None => Err(ResolveError::NoSource(*addr)),
+                Some(chain) => chain
+                    .code_at(*addr)
+                    .map(Cow::Owned)
+                    .ok_or(ResolveError::NoCode(*addr)),
+            },
+        }
+    }
+
+    /// The address this target names, when it names one.
+    pub fn address(&self) -> Option<Address> {
+        match self {
+            Target::Bytecode(_) => None,
+            Target::Address(addr) => Some(*addr),
+        }
+    }
+}
+
+/// Why an address target could not be turned into bytecode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolveError {
+    /// The request named an address but the server has no chain attached.
+    NoSource(Address),
+    /// The chain holds no code at this address (EOA or unknown account).
+    NoCode(Address),
+}
+
+impl ResolveError {
+    /// The address that failed to resolve.
+    pub fn address(&self) -> Address {
+        match self {
+            ResolveError::NoSource(a) | ResolveError::NoCode(a) => *a,
+        }
+    }
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let hex: String = self.address().iter().map(|b| format!("{b:02x}")).collect();
+        match self {
+            ResolveError::NoSource(_) => {
+                write!(f, "no chain source attached to resolve address 0x{hex}")
+            }
+            ResolveError::NoCode(_) => write!(f, "no contract code at address 0x{hex}"),
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+/// One contract to score: a caller-chosen request id plus the [`Target`]
+/// naming what to score.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScanRequest {
     /// Opaque id echoed back in the matching [`ScanReport`].
     pub id: String,
-    /// Raw deployed bytecode.
-    pub bytecode: Vec<u8>,
+    /// What to score: raw bytecode, or an address to resolve.
+    pub target: Target,
+}
+
+impl ScanRequest {
+    /// A request carrying raw deployed bytecode.
+    pub fn bytecode(id: impl Into<String>, code: Vec<u8>) -> Self {
+        ScanRequest {
+            id: id.into(),
+            target: Target::Bytecode(code),
+        }
+    }
+
+    /// A request naming a chain address to resolve through `eth_getCode`.
+    pub fn address(id: impl Into<String>, address: Address) -> Self {
+        ScanRequest {
+            id: id.into(),
+            target: Target::Address(address),
+        }
+    }
 }
 
 /// The scored answer for one [`ScanRequest`].
@@ -268,6 +373,8 @@ pub struct ScanRequest {
 pub struct ScanReport {
     /// The request's id, echoed.
     pub id: String,
+    /// The resolved address, echoed for address-form requests.
+    pub address: Option<Address>,
     /// Hard verdict (probability thresholded at 0.5).
     pub verdict: Verdict,
     /// Combined class-1 probability.
@@ -435,24 +542,42 @@ impl Scanner {
     /// Scores a batch of typed requests, echoing ids and exposing per-model
     /// probabilities (one entry per ensemble member).
     ///
-    /// The batch is extracted once into the scratch matrix and every
-    /// underlying model scores the same rows, so an N-member ensemble costs
-    /// N inference passes but only one disassembly/extraction pass.
-    pub fn scan_batch(&mut self, requests: &[ScanRequest]) -> Vec<ScanReport> {
-        let codes: Vec<&[u8]> = requests.iter().map(|r| r.bytecode.as_slice()).collect();
+    /// Address targets resolve through `source` ([`Target::resolve`], the
+    /// one address → bytecode hop); requests that cannot be resolved come
+    /// back as `Err` in their slot, with the rest of the batch scored
+    /// normally. The batch is extracted once into the scratch matrix and
+    /// every underlying model scores the same rows, so an N-member ensemble
+    /// costs N inference passes but only one disassembly/extraction pass.
+    pub fn scan_batch(
+        &mut self,
+        requests: &[ScanRequest],
+        source: Option<&dyn CodeSource>,
+    ) -> Vec<Result<ScanReport, ResolveError>> {
+        let resolved: Vec<Result<Cow<'_, [u8]>, ResolveError>> =
+            requests.iter().map(|r| r.target.resolve(source)).collect();
+        let codes: Vec<&[u8]> = resolved.iter().filter_map(|r| r.as_deref().ok()).collect();
         let (combined, per_model) = self.score_with_members(&codes);
+        let mut row = 0;
         requests
             .iter()
-            .enumerate()
-            .map(|(row, req)| ScanReport {
-                id: req.id.clone(),
-                verdict: Verdict::from_proba(combined[row]),
-                proba: combined[row],
-                per_model: per_model
-                    .iter()
-                    .map(|(name, probs)| (name.clone(), probs[row]))
-                    .collect(),
-                model_version: self.model_version.to_string(),
+            .zip(&resolved)
+            .map(|(req, res)| match res {
+                Err(e) => Err(*e),
+                Ok(_) => {
+                    let r = row;
+                    row += 1;
+                    Ok(ScanReport {
+                        id: req.id.clone(),
+                        address: req.target.address(),
+                        verdict: Verdict::from_proba(combined[r]),
+                        proba: combined[r],
+                        per_model: per_model
+                            .iter()
+                            .map(|(name, probs)| (name.clone(), probs[r]))
+                            .collect(),
+                        model_version: self.model_version.to_string(),
+                    })
+                }
             })
             .collect()
     }
@@ -547,15 +672,17 @@ mod tests {
         let requests: Vec<ScanRequest> = codes[60..64]
             .iter()
             .enumerate()
-            .map(|(i, code)| ScanRequest {
-                id: format!("req-{i}"),
-                bytecode: code.clone(),
-            })
+            .map(|(i, code)| ScanRequest::bytecode(format!("req-{i}"), code.clone()))
             .collect();
-        let reports = scanner.scan_batch(&requests);
+        let reports: Vec<ScanReport> = scanner
+            .scan_batch(&requests, None)
+            .into_iter()
+            .map(|r| r.expect("bytecode targets always score"))
+            .collect();
         assert_eq!(reports.len(), 4);
         for (i, report) in reports.iter().enumerate() {
             assert_eq!(report.id, format!("req-{i}"));
+            assert_eq!(report.address, None, "bytecode targets echo no address");
             assert_eq!(report.per_model.len(), 3);
             assert_eq!(report.per_model[0].0, "Random Forest");
             assert_eq!(report.per_model[1].0, "LightGBM");
@@ -574,16 +701,51 @@ mod tests {
         assert_eq!(scanner.n_models(), 1);
         assert_eq!(scanner.model_version(), "hsc-detector/v1");
         let (codes, _) = corpus();
-        let reports = scanner.scan_batch(&[ScanRequest {
-            id: "only".to_owned(),
-            bytecode: codes[60].clone(),
-        }]);
-        assert_eq!(reports[0].per_model.len(), 1);
-        assert_eq!(reports[0].per_model[0].0, "Random Forest");
+        let reports = scanner.scan_batch(&[ScanRequest::bytecode("only", codes[60].clone())], None);
+        let report = reports[0].as_ref().expect("bytecode target scores");
+        assert_eq!(report.per_model.len(), 1);
+        assert_eq!(report.per_model[0].0, "Random Forest");
+        assert_eq!(report.per_model[0].1.to_bits(), report.proba.to_bits());
+    }
+
+    #[test]
+    fn address_targets_resolve_through_the_chain_in_one_place() {
+        use phishinghook_data::SimulatedChain;
+
+        let mut scanner = Scanner::new(fitted("rf:seed=5")).unwrap();
+        let (codes, _) = corpus();
+        let mut chain = SimulatedChain::new();
+        chain.deploy([7; 20], codes[60].clone());
+
+        let requests = [
+            ScanRequest::address("by-addr", [7; 20]),
+            ScanRequest::bytecode("by-code", codes[60].clone()),
+            ScanRequest::address("eoa", [9; 20]),
+        ];
+        let reports = scanner.scan_batch(&requests, Some(&chain));
+        let by_addr = reports[0].as_ref().expect("deployed address resolves");
+        let by_code = reports[1].as_ref().expect("bytecode scores");
+        // Resolution is transparent: same bytecode ⇒ bit-identical verdict.
+        assert_eq!(by_addr.proba.to_bits(), by_code.proba.to_bits());
+        // Address-form requests echo the resolved address; bytecode ones don't.
+        assert_eq!(by_addr.address, Some([7; 20]));
+        assert_eq!(by_code.address, None);
+        // An EOA errors in its slot without disturbing the batch.
+        let err = reports[2].as_ref().unwrap_err();
+        assert_eq!(*err, ResolveError::NoCode([9; 20]));
+        assert!(err.to_string().contains("no contract code"), "{err}");
+
+        // Without a source, address targets fail with NoSource.
+        let unresolved = scanner.scan_batch(&[ScanRequest::address("x", [7; 20])], None);
         assert_eq!(
-            reports[0].per_model[0].1.to_bits(),
-            reports[0].proba.to_bits()
+            unresolved[0].as_ref().unwrap_err(),
+            &ResolveError::NoSource([7; 20])
         );
+        assert!(unresolved[0]
+            .as_ref()
+            .unwrap_err()
+            .to_string()
+            .contains("no chain source"));
     }
 
     #[test]
@@ -654,12 +816,13 @@ mod tests {
             let requests: Vec<ScanRequest> = probes
                 .iter()
                 .enumerate()
-                .map(|(i, code)| ScanRequest {
-                    id: i.to_string(),
-                    bytecode: code.to_vec(),
-                })
+                .map(|(i, code)| ScanRequest::bytecode(i.to_string(), code.to_vec()))
                 .collect();
-            let reports = scanner.scan_batch(&requests);
+            let reports: Vec<ScanReport> = scanner
+                .scan_batch(&requests, None)
+                .into_iter()
+                .map(|r| r.expect("bytecode targets always score"))
+                .collect();
             for (row, report) in reports.iter().enumerate() {
                 assert_eq!(report.proba.to_bits(), combined[row].to_bits(), "{spec}");
                 for (m, (name, probs)) in per_model.iter().enumerate() {

@@ -1,0 +1,320 @@
+//! The typed serving configuration: one validated [`ServeConfig`] feeds
+//! every front-end (stdin, TCP JSONL, HTTP).
+//!
+//! The old surface grew a knob at a time — [`SchedulerOptions`] here, a
+//! `TcpLimits` there, a protocol flag on the side — and every caller
+//! (CLI, bench, watch, tests) assembled them by hand with its own
+//! defaults. [`ServeConfig`] centralises that: construct through
+//! [`ServeConfig::builder`], which validates sizes (`batch`, `workers`,
+//! `queue_depth` must be ≥ 1) and cross-field coherence (`max_conns` /
+//! `accept` without a listener is a configuration bug, not a silent
+//! no-op), and hand the result to [`run`](crate::serve::run). The CLI is
+//! a thin parser over this builder; embedding callers skip the strings
+//! entirely.
+//!
+//! ```
+//! use phishinghook_serve::{Protocol, ServeConfig};
+//!
+//! let config = ServeConfig::builder()
+//!     .batch(32)
+//!     .workers(2)
+//!     .tcp("127.0.0.1:0")
+//!     .http("127.0.0.1:0")
+//!     .max_conns(64)
+//!     .build()
+//!     .expect("valid config");
+//! assert_eq!(config.scheduler().batch, 32);
+//! assert_eq!(config.proto(), Protocol::V2);
+//!
+//! // Limits without any listener are rejected, not ignored:
+//! assert!(ServeConfig::builder().max_conns(8).build().is_err());
+//! ```
+
+use crate::proto::Protocol;
+use crate::scheduler::SchedulerOptions;
+use crate::serve::TcpLimits;
+
+/// Why a [`ServeConfigBuilder`] refused to build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A size knob that must be at least 1 was set to 0.
+    Zero(&'static str),
+    /// `max_conns` / `accept` was set but neither `tcp` nor `http` is
+    /// bound — connection limits without a listener guard nothing.
+    LimitsWithoutListener(&'static str),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Zero(field) => write!(f, "`{field}` must be at least 1"),
+            ConfigError::LimitsWithoutListener(field) => {
+                write!(f, "`{field}` requires a tcp or http listener")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A validated serving configuration (see the module docs). Construct
+/// through [`ServeConfig::builder`]; read through the accessors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    scheduler: SchedulerOptions,
+    proto: Protocol,
+    tcp: Option<String>,
+    http: Option<String>,
+    max_conns: Option<usize>,
+    accept: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    /// The validated defaults: stdin/stdout, v2 JSONL, default scheduler
+    /// tuning, no listeners, no limits.
+    fn default() -> Self {
+        ServeConfig::builder().build().expect("defaults are valid")
+    }
+}
+
+impl ServeConfig {
+    /// A builder seeded with the validated defaults.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder::default()
+    }
+
+    /// Scheduler tuning (batching, workers, queue, cache, window).
+    pub fn scheduler(&self) -> &SchedulerOptions {
+        &self.scheduler
+    }
+
+    /// Wire framing for the stdin and TCP JSONL front-ends.
+    pub fn proto(&self) -> Protocol {
+        self.proto
+    }
+
+    /// JSONL listener bind address, when TCP serving is on.
+    pub fn tcp(&self) -> Option<&str> {
+        self.tcp.as_deref()
+    }
+
+    /// HTTP gateway bind address, when HTTP serving is on.
+    pub fn http(&self) -> Option<&str> {
+        self.http.as_deref()
+    }
+
+    /// Connection-acceptance limits, in the shape the listener loops use.
+    /// `accept` bounds *each* listener's accepted-connection total.
+    pub fn limits(&self) -> TcpLimits {
+        TcpLimits {
+            max_conns: self.max_conns,
+            accept_total: self.accept,
+        }
+    }
+}
+
+/// Builds a [`ServeConfig`]; every setter is chainable and
+/// [`build`](ServeConfigBuilder::build) validates the whole shape at once.
+#[derive(Debug, Clone, Default)]
+pub struct ServeConfigBuilder {
+    scheduler: SchedulerOptions,
+    proto: Protocol,
+    tcp: Option<String>,
+    http: Option<String>,
+    max_conns: Option<usize>,
+    accept: Option<usize>,
+}
+
+impl ServeConfigBuilder {
+    /// Maximum rows per scored batch (≥ 1).
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.scheduler.batch = batch;
+        self
+    }
+
+    /// Scoring worker threads (≥ 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.scheduler.workers = workers;
+        self
+    }
+
+    /// Bounded submit-queue capacity (≥ 1) — the admission-control knob.
+    pub fn queue_depth(mut self, queue_depth: usize) -> Self {
+        self.scheduler.queue_depth = queue_depth;
+        self
+    }
+
+    /// Partial-batch linger before a worker flushes, in microseconds.
+    pub fn linger_micros(mut self, linger_micros: u64) -> Self {
+        self.scheduler.linger_micros = linger_micros;
+        self
+    }
+
+    /// Verdict-cache byte budget; `0` disables the cache.
+    pub fn cache_bytes(mut self, cache_bytes: usize) -> Self {
+        self.scheduler.cache_bytes = cache_bytes;
+        self
+    }
+
+    /// Per-connection flow-control window (≥ 1); see
+    /// [`SchedulerOptions::max_outstanding`].
+    pub fn max_outstanding(mut self, max_outstanding: usize) -> Self {
+        self.scheduler.max_outstanding = max_outstanding;
+        self
+    }
+
+    /// Wire framing for the stdin and TCP JSONL front-ends.
+    pub fn proto(mut self, proto: Protocol) -> Self {
+        self.proto = proto;
+        self
+    }
+
+    /// Binds the JSONL TCP listener at `addr` (e.g. `127.0.0.1:9000`).
+    pub fn tcp(mut self, addr: impl Into<String>) -> Self {
+        self.tcp = Some(addr.into());
+        self
+    }
+
+    /// Binds the HTTP gateway at `addr` (e.g. `127.0.0.1:8080`).
+    pub fn http(mut self, addr: impl Into<String>) -> Self {
+        self.http = Some(addr.into());
+        self
+    }
+
+    /// Maximum concurrent connections per listener; surplus accepts are
+    /// refused with a typed overload (JSONL) or `503` (HTTP).
+    pub fn max_conns(mut self, max_conns: usize) -> Self {
+        self.max_conns = Some(max_conns);
+        self
+    }
+
+    /// Total connections each listener accepts before draining and
+    /// returning (test/CI runs); unset = serve forever.
+    pub fn accept(mut self, accept: usize) -> Self {
+        self.accept = Some(accept);
+        self
+    }
+
+    /// Validates the whole configuration and returns it.
+    ///
+    /// # Errors
+    /// [`ConfigError::Zero`] for a size knob set to 0;
+    /// [`ConfigError::LimitsWithoutListener`] for connection limits with
+    /// neither `tcp` nor `http` bound.
+    pub fn build(self) -> Result<ServeConfig, ConfigError> {
+        for (field, value) in [
+            ("batch", self.scheduler.batch),
+            ("workers", self.scheduler.workers),
+            ("queue_depth", self.scheduler.queue_depth),
+            ("max_outstanding", self.scheduler.max_outstanding),
+        ] {
+            if value == 0 {
+                return Err(ConfigError::Zero(field));
+            }
+        }
+        if self.tcp.is_none() && self.http.is_none() {
+            if self.max_conns.is_some() {
+                return Err(ConfigError::LimitsWithoutListener("max_conns"));
+            }
+            if self.accept.is_some() {
+                return Err(ConfigError::LimitsWithoutListener("accept"));
+            }
+        }
+        Ok(ServeConfig {
+            scheduler: self.scheduler,
+            proto: self.proto,
+            tcp: self.tcp,
+            http: self.http,
+            max_conns: self.max_conns,
+            accept: self.accept,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_build_and_match_scheduler_defaults() {
+        let config = ServeConfig::default();
+        assert_eq!(*config.scheduler(), SchedulerOptions::default());
+        assert_eq!(config.proto(), Protocol::V2);
+        assert_eq!(config.tcp(), None);
+        assert_eq!(config.http(), None);
+        let limits = config.limits();
+        assert_eq!(limits.max_conns, None);
+        assert_eq!(limits.accept_total, None);
+    }
+
+    #[test]
+    fn builder_threads_every_knob_through() {
+        let config = ServeConfig::builder()
+            .batch(8)
+            .workers(3)
+            .queue_depth(17)
+            .linger_micros(250)
+            .cache_bytes(0)
+            .max_outstanding(5)
+            .proto(Protocol::V1)
+            .tcp("127.0.0.1:9000")
+            .http("127.0.0.1:8080")
+            .max_conns(9)
+            .accept(2)
+            .build()
+            .expect("valid");
+        assert_eq!(config.scheduler().batch, 8);
+        assert_eq!(config.scheduler().workers, 3);
+        assert_eq!(config.scheduler().queue_depth, 17);
+        assert_eq!(config.scheduler().linger_micros, 250);
+        assert_eq!(config.scheduler().cache_bytes, 0);
+        assert_eq!(config.scheduler().max_outstanding, 5);
+        assert_eq!(config.proto(), Protocol::V1);
+        assert_eq!(config.tcp(), Some("127.0.0.1:9000"));
+        assert_eq!(config.http(), Some("127.0.0.1:8080"));
+        assert_eq!(config.limits().max_conns, Some(9));
+        assert_eq!(config.limits().accept_total, Some(2));
+    }
+
+    #[test]
+    fn zero_sizes_are_rejected_by_field_name() {
+        for (field, builder) in [
+            ("batch", ServeConfig::builder().batch(0)),
+            ("workers", ServeConfig::builder().workers(0)),
+            ("queue_depth", ServeConfig::builder().queue_depth(0)),
+            ("max_outstanding", ServeConfig::builder().max_outstanding(0)),
+        ] {
+            let err = builder.build().expect_err(field);
+            assert_eq!(err, ConfigError::Zero(field));
+            assert!(err.to_string().contains(field), "{err}");
+        }
+        // cache_bytes = 0 is meaningful (cache off), not an error.
+        assert!(ServeConfig::builder().cache_bytes(0).build().is_ok());
+    }
+
+    #[test]
+    fn limits_require_a_listener() {
+        let err = ServeConfig::builder()
+            .max_conns(4)
+            .build()
+            .expect_err("no listener");
+        assert_eq!(err, ConfigError::LimitsWithoutListener("max_conns"));
+        let err = ServeConfig::builder()
+            .accept(1)
+            .build()
+            .expect_err("no listener");
+        assert_eq!(err, ConfigError::LimitsWithoutListener("accept"));
+        assert!(err.to_string().contains("listener"), "{err}");
+        // Either listener satisfies the requirement.
+        assert!(ServeConfig::builder()
+            .tcp("127.0.0.1:0")
+            .max_conns(4)
+            .build()
+            .is_ok());
+        assert!(ServeConfig::builder()
+            .http("127.0.0.1:0")
+            .accept(1)
+            .build()
+            .is_ok());
+    }
+}

@@ -1,0 +1,502 @@
+//! std-only HTTP/1.1 framing: request parsing and response writing for
+//! the gateway in [`router`](crate::router).
+//!
+//! This is deliberately a *small* HTTP/1.1, hardened rather than
+//! featureful — the gateway fronts one JSON-in/JSON-out prediction
+//! endpoint plus two GET probes, so the parser supports exactly what
+//! those need and rejects the rest with typed statuses:
+//!
+//! * **Framing**: `Content-Length` bodies only. `Transfer-Encoding`
+//!   (chunked included) answers `501`; a `POST` without `Content-Length`
+//!   answers `411`.
+//! * **Keep-alive and pipelining**: HTTP/1.1 defaults to keep-alive
+//!   (HTTP/1.0 to close), `Connection: close` is honored, and because
+//!   requests are read strictly in sequence off one buffered reader,
+//!   pipelined requests parse and answer in order for free.
+//! * **Bounds everywhere**: request line and each header line are capped
+//!   at [`MAX_HEADER_LINE`] bytes (`431` beyond), header count at
+//!   [`MAX_HEADER_COUNT`], and declared bodies at [`MAX_BODY_BYTES`]
+//!   (`413` beyond) — the same 1 MiB cap as a JSONL request line, so no
+//!   front-end can smuggle a larger payload than the other.
+//! * **`Expect: 100-continue` is not implemented**: any `Expect` header
+//!   answers `417` up front instead of stalling the client. (`curl`
+//!   sends it for large POSTs; pass `-H 'Expect:'` to suppress.)
+//!
+//! Malformed input is never fatal to the process: every parse failure is
+//! a [`RequestOutcome::Reject`] the session answers and then closes on
+//! (framing after a parse error is unknowable), and an abrupt disconnect
+//! mid-request surfaces as [`RequestOutcome::Disconnected`].
+
+use std::io::{self, BufRead, Write};
+
+/// Byte cap for the request line and each header line (`431` beyond).
+pub const MAX_HEADER_LINE: usize = 8192;
+/// Maximum header count per request (`431` beyond).
+pub const MAX_HEADER_COUNT: usize = 100;
+/// Byte cap for a request body — the same 1 MiB as a JSONL request line.
+pub const MAX_BODY_BYTES: usize = crate::proto::MAX_LINE_BYTES;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// The method verbatim (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target verbatim (`/predict`, `/metrics?x=1`, …).
+    pub target: String,
+    /// Whether the connection stays open after this exchange.
+    pub keep_alive: bool,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// What one attempt to read a request produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// A complete, well-formed request.
+    Request(HttpRequest),
+    /// Clean EOF at a request boundary (client done; not an error).
+    Eof,
+    /// The peer vanished mid-request (EOF inside the head or body).
+    Disconnected,
+    /// A malformed request: answer with `status` and close the
+    /// connection (framing after a parse error is unknowable).
+    Reject {
+        /// The status to answer with (`400`, `411`, `413`, `417`, `431`,
+        /// `501`, `505`).
+        status: u16,
+        /// Human-readable reason, echoed in the JSON error body.
+        detail: String,
+    },
+}
+
+fn reject(status: u16, detail: impl Into<String>) -> RequestOutcome {
+    RequestOutcome::Reject {
+        status,
+        detail: detail.into(),
+    }
+}
+
+/// Reads one CRLF (or bare-LF) terminated line, capped at
+/// [`MAX_HEADER_LINE`] bytes. `Ok(None)` on EOF before any byte;
+/// `Err` with `InvalidData` marks an overlong line.
+fn read_head_line(reader: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut raw = Vec::with_capacity(64);
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.read(&mut byte)? {
+            0 => {
+                if raw.is_empty() {
+                    return Ok(None);
+                }
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof mid-line"));
+            }
+            _ => {
+                if byte[0] == b'\n' {
+                    if raw.last() == Some(&b'\r') {
+                        raw.pop();
+                    }
+                    return Ok(Some(String::from_utf8_lossy(&raw).into_owned()));
+                }
+                if raw.len() >= MAX_HEADER_LINE {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, "line too long"));
+                }
+                raw.push(byte[0]);
+            }
+        }
+    }
+}
+
+/// Reads and validates one request off `reader` (see the module docs for
+/// the supported subset and the rejection statuses).
+///
+/// # Errors
+/// Propagates only genuine transport errors; EOFs and malformed input are
+/// encoded in the [`RequestOutcome`].
+pub fn read_request(reader: &mut impl BufRead) -> io::Result<RequestOutcome> {
+    // Request line.
+    let line = match read_head_line(reader) {
+        Ok(None) => return Ok(RequestOutcome::Eof),
+        Ok(Some(line)) => line,
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+            return Ok(RequestOutcome::Disconnected)
+        }
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            return Ok(reject(431, "request line too long"));
+        }
+        Err(e) => return Err(e),
+    };
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && t.starts_with('/') => (m, t, v),
+        _ => return Ok(reject(400, format!("malformed request line: {line:?}"))),
+    };
+    let keep_alive_default = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => {
+            return Ok(reject(
+                505,
+                format!("unsupported protocol version {version:?}"),
+            ))
+        }
+    };
+
+    // Headers.
+    let mut content_length: Option<usize> = None;
+    let mut keep_alive = keep_alive_default;
+    let mut headers = 0usize;
+    loop {
+        let line = match read_head_line(reader) {
+            Ok(None) => return Ok(RequestOutcome::Disconnected),
+            Ok(Some(line)) => line,
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                return Ok(RequestOutcome::Disconnected)
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                return Ok(reject(431, "header line too long"));
+            }
+            Err(e) => return Err(e),
+        };
+        if line.is_empty() {
+            break;
+        }
+        headers += 1;
+        if headers > MAX_HEADER_COUNT {
+            return Ok(reject(431, format!("more than {MAX_HEADER_COUNT} headers")));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Ok(reject(400, format!("malformed header line: {line:?}")));
+        };
+        let value = value.trim();
+        match name.trim().to_ascii_lowercase().as_str() {
+            "content-length" => match value.parse::<usize>() {
+                Ok(n) if content_length.is_none() || content_length == Some(n) => {
+                    content_length = Some(n);
+                }
+                _ => return Ok(reject(400, format!("invalid Content-Length: {value:?}"))),
+            },
+            "transfer-encoding" => {
+                return Ok(reject(
+                    501,
+                    "transfer encodings (chunked included) not supported",
+                ));
+            }
+            "expect" => {
+                return Ok(reject(
+                    417,
+                    "Expect (including 100-continue) not supported; send the body directly",
+                ));
+            }
+            "connection" => {
+                for token in value.split(',') {
+                    match token.trim().to_ascii_lowercase().as_str() {
+                        "close" => keep_alive = false,
+                        "keep-alive" => keep_alive = true,
+                        _ => {}
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Body.
+    let needs_body = matches!(method, "POST" | "PUT" | "PATCH");
+    let length = match content_length {
+        Some(n) if n > MAX_BODY_BYTES => {
+            return Ok(reject(
+                413,
+                format!("body of {n} bytes exceeds the {MAX_BODY_BYTES} byte limit"),
+            ));
+        }
+        Some(n) => n,
+        None if needs_body => {
+            return Ok(reject(411, format!("{method} requires Content-Length")));
+        }
+        None => 0,
+    };
+    let mut body = vec![0u8; length];
+    if length > 0 {
+        match reader.read_exact(&mut body) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                return Ok(RequestOutcome::Disconnected);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(RequestOutcome::Request(HttpRequest {
+        method: method.to_owned(),
+        target: target.to_owned(),
+        keep_alive,
+        body,
+    }))
+}
+
+/// The standard reason phrase for the statuses this gateway emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Content Too Large",
+        417 => "Expectation Failed",
+        431 => "Request Header Fields Too Large",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "",
+    }
+}
+
+/// Everything one response needs besides its body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResponseHead {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Emits `Retry-After: <secs>` when set (the overload answer).
+    pub retry_after: Option<u32>,
+    /// `Connection: keep-alive` vs `close`.
+    pub keep_alive: bool,
+}
+
+/// Writes one complete `Content-Length`-framed response.
+///
+/// # Errors
+/// Propagates transport write errors.
+pub fn write_response(out: &mut impl Write, head: ResponseHead, body: &[u8]) -> io::Result<()> {
+    let mut text = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+        head.status,
+        reason_phrase(head.status),
+        head.content_type,
+        body.len(),
+    );
+    if let Some(secs) = head.retry_after {
+        text.push_str(&format!("Retry-After: {secs}\r\n"));
+    }
+    text.push_str(if head.keep_alive {
+        "Connection: keep-alive\r\n\r\n"
+    } else {
+        "Connection: close\r\n\r\n"
+    });
+    out.write_all(text.as_bytes())?;
+    out.write_all(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> RequestOutcome {
+        read_request(&mut BufReader::new(raw)).expect("no transport error")
+    }
+
+    #[test]
+    fn get_and_post_parse_with_keep_alive_defaults() {
+        let out = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        let RequestOutcome::Request(req) = out else {
+            panic!("{out:?}");
+        };
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/healthz");
+        assert!(req.keep_alive);
+        assert!(req.body.is_empty());
+
+        let out = parse(b"POST /predict HTTP/1.0\r\nContent-Length: 4\r\n\r\n0x60");
+        let RequestOutcome::Request(req) = out else {
+            panic!("{out:?}");
+        };
+        assert_eq!(req.body, b"0x60");
+        assert!(!req.keep_alive, "HTTP/1.0 defaults to close");
+
+        let out = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+        let RequestOutcome::Request(req) = out else {
+            panic!("{out:?}");
+        };
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_sequence() {
+        let raw: &[u8] =
+            b"POST /predict HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /metrics HTTP/1.1\r\n\r\n";
+        let mut reader = BufReader::new(raw);
+        let RequestOutcome::Request(first) = read_request(&mut reader).expect("io") else {
+            panic!("first");
+        };
+        assert_eq!(first.body, b"hi");
+        let RequestOutcome::Request(second) = read_request(&mut reader).expect("io") else {
+            panic!("second");
+        };
+        assert_eq!(second.target, "/metrics");
+        assert_eq!(read_request(&mut reader).expect("io"), RequestOutcome::Eof);
+    }
+
+    #[test]
+    fn malformed_request_lines_reject_400() {
+        for raw in [
+            &b"NONSENSE\r\n\r\n"[..],
+            b"GET/predict HTTP/1.1\r\n\r\n",
+            b"GET predict HTTP/1.1\r\n\r\n", // target must start with /
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+        ] {
+            match parse(raw) {
+                RequestOutcome::Reject { status: 400, .. } => {}
+                other => panic!("{raw:?} -> {other:?}"),
+            }
+        }
+        match parse(b"GET /x SPDY/3\r\n\r\n") {
+            RequestOutcome::Reject { status: 505, .. } => {}
+            other => panic!("{other:?}"),
+        }
+        match parse(b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n") {
+            RequestOutcome::Reject { status: 400, .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn content_length_edge_cases() {
+        // Missing on POST.
+        match parse(b"POST /predict HTTP/1.1\r\n\r\n") {
+            RequestOutcome::Reject { status: 411, .. } => {}
+            other => panic!("{other:?}"),
+        }
+        // Unparsable.
+        match parse(b"POST /p HTTP/1.1\r\nContent-Length: banana\r\n\r\n") {
+            RequestOutcome::Reject { status: 400, .. } => {}
+            other => panic!("{other:?}"),
+        }
+        // Conflicting duplicates.
+        match parse(b"POST /p HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\n") {
+            RequestOutcome::Reject { status: 400, .. } => {}
+            other => panic!("{other:?}"),
+        }
+        // Over the cap: rejected from the header alone, no body read.
+        let huge = format!(
+            "POST /p HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        match parse(huge.as_bytes()) {
+            RequestOutcome::Reject {
+                status: 413,
+                detail,
+            } => {
+                assert!(detail.contains("byte limit"), "{detail}");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Exactly at the cap is fine.
+        let mut raw =
+            format!("POST /p HTTP/1.1\r\nContent-Length: {MAX_BODY_BYTES}\r\n\r\n").into_bytes();
+        raw.extend(vec![b'a'; MAX_BODY_BYTES]);
+        match parse(&raw) {
+            RequestOutcome::Request(req) => assert_eq!(req.body.len(), MAX_BODY_BYTES),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsupported_framings_reject_typed() {
+        match parse(b"POST /p HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n") {
+            RequestOutcome::Reject { status: 501, .. } => {}
+            other => panic!("{other:?}"),
+        }
+        match parse(b"POST /p HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 2\r\n\r\nhi") {
+            RequestOutcome::Reject { status: 417, .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_head_lines_reject_431() {
+        let long_target = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_HEADER_LINE));
+        match parse(long_target.as_bytes()) {
+            RequestOutcome::Reject { status: 431, .. } => {}
+            other => panic!("{other:?}"),
+        }
+        let long_header = format!(
+            "GET /x HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "b".repeat(MAX_HEADER_LINE)
+        );
+        match parse(long_header.as_bytes()) {
+            RequestOutcome::Reject { status: 431, .. } => {}
+            other => panic!("{other:?}"),
+        }
+        let many_headers = format!(
+            "GET /x HTTP/1.1\r\n{}\r\n",
+            "X-N: 1\r\n".repeat(MAX_HEADER_COUNT + 1)
+        );
+        match parse(many_headers.as_bytes()) {
+            RequestOutcome::Reject { status: 431, .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn abrupt_disconnects_are_typed_not_errors() {
+        // Mid request line, mid headers, mid body: all Disconnected.
+        for raw in [
+            &b"GET /heal"[..],
+            b"GET /x HTTP/1.1\r\nHost: x",
+            b"GET /x HTTP/1.1\r\nHost: x\r\n",
+            b"POST /p HTTP/1.1\r\nContent-Length: 10\r\n\r\nonly5",
+        ] {
+            assert_eq!(parse(raw), RequestOutcome::Disconnected, "{raw:?}");
+        }
+        // A clean EOF at the boundary is Eof, not Disconnected.
+        assert_eq!(parse(b""), RequestOutcome::Eof);
+    }
+
+    #[test]
+    fn responses_are_content_length_framed() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            ResponseHead {
+                status: 503,
+                content_type: "application/json",
+                retry_after: Some(1),
+                keep_alive: false,
+            },
+            b"{\"error\":\"overloaded\"}",
+        )
+        .expect("write");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(
+            text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Content-Length: 22\r\n"), "{text}");
+        assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+        assert!(
+            text.contains("Connection: close\r\n\r\n{\"error\""),
+            "{text}"
+        );
+
+        let mut ok = Vec::new();
+        write_response(
+            &mut ok,
+            ResponseHead {
+                status: 200,
+                content_type: "text/plain; version=0.0.4",
+                retry_after: None,
+                keep_alive: true,
+            },
+            b"x 1\n",
+        )
+        .expect("write");
+        let text = String::from_utf8(ok).expect("utf8");
+        assert!(
+            text.contains("Connection: keep-alive\r\n\r\nx 1\n"),
+            "{text}"
+        );
+        assert!(!text.contains("Retry-After"), "{text}");
+    }
+}

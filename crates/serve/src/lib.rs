@@ -11,9 +11,13 @@
 //! |---|---|
 //! | [`queue`] | Bounded blocking MPMC queue — the admission-control primitive |
 //! | [`cache`] | Keccak-keyed LRU verdict cache with a byte budget |
+//! | [`metrics`] | Lock-free counters + latency histograms, consistent snapshots, Prometheus text |
 //! | [`scheduler`] | Cross-connection micro-batching scheduler + ordered response routing |
 //! | [`proto`] | Wire framings v1/v2, hardened against adversarial input |
-//! | [`serve`] | stdin/TCP session loops, overload shedding, graceful drain |
+//! | [`http`] | std-only HTTP/1.1 parsing and response writing |
+//! | [`router`] | The HTTP gateway: `/predict`, `/healthz`, `/metrics` over the scheduler |
+//! | [`config`] | The typed [`ServeConfig`] builder — one config for every front-end |
+//! | [`serve`] | stdin/TCP/HTTP session loops, overload shedding, graceful drain |
 //! | [`watch`] | The chain-watch firehose scenario, end to end |
 //!
 //! The serving invariants, all covered by tests in this crate:
@@ -30,20 +34,29 @@
 //!    request before the workers exit.
 
 pub mod cache;
+pub mod config;
+pub mod http;
+pub mod metrics;
 pub mod proto;
 pub mod queue;
+pub mod router;
 pub mod scheduler;
 pub mod serve;
 pub mod watch;
 
 pub use cache::{entry_bytes, CacheStats, CachedVerdict, VerdictCache};
+pub use config::{ConfigError, ServeConfig, ServeConfigBuilder};
+pub use metrics::{HttpSnapshot, LatencySnapshot, Metrics, MetricsSnapshot};
 pub use proto::{Protocol, MAX_LINE_BYTES, STATS_COMMAND};
 pub use queue::BoundedQueue;
+pub use router::serve_http;
 pub use scheduler::{
     Admission, ConnReport, Connection, Scheduler, SchedulerOptions, SchedulerStats, StatsSnapshot,
     SubmitOutcome,
 };
-pub use serve::{serve_lines, serve_tcp, ServeOptions, ServeReport, TcpLimits};
+pub use serve::{run, serve_lines, ServeReport, TcpLimits};
+#[allow(deprecated)]
+pub use serve::{serve_tcp, ServeOptions};
 pub use watch::{run_watch, WatchOptions, WatchReport};
 
 /// Shared fixtures for this crate's tests: training is the slow part, so

@@ -7,11 +7,16 @@
 //! is dependency-free by policy — see the README's dependency section).
 //!
 //! **Requests** are either a JSON object or, for convenience, a bare hex
-//! line (the id then defaults to the 0-based request sequence number):
+//! line (the id then defaults to the 0-based request sequence number).
+//! The object form carries *either* raw `bytecode` *or* a 20-byte
+//! `address` the daemon resolves through its attached chain source
+//! (`eth_getCode`) — the shared [`Target`](phishinghook_models::Target)
+//! shape every request surface speaks:
 //!
 //! ```text
 //! {"id":"tx-9","bytecode":"0x6080604052"}
-//! {"proto":"2","id":"tx-10","bytecode":"0x6080"}
+//! {"id":"tx-10","address":"0xd8dA6BF26964aF9D7eEd9e03E53415D37aA96045"}
+//! {"proto":"2","id":"tx-11","bytecode":"0x6080"}
 //! 6080604052
 //! stats
 //! ```
@@ -20,7 +25,9 @@
 //! speak; any value other than `2` is answered with a typed
 //! `unsupported proto version` error. The literal line `stats` (see
 //! [`STATS_COMMAND`]) is a command, not a bytecode: it returns the daemon's
-//! scheduler/cache counters.
+//! scheduler/cache counters. Responses to address-form requests
+//! additionally echo the resolved `"address"` — an additive field;
+//! bytecode-request framing is byte-for-byte unchanged.
 //!
 //! **Responses** echo the id and carry the combined verdict plus one
 //! `per_model` entry per underlying model — the field that makes ensembles
@@ -110,19 +117,31 @@ pub fn check_line_len(line: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// One decoded request line: the caller-visible id plus the raw hex payload
+/// The still-hex payload of one decoded request line: what the client sent
+/// before any validation or resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WirePayload {
+    /// Hex bytecode text (possibly `0x`-prefixed), not yet decoded.
+    Bytecode(String),
+    /// Hex account address text (possibly `0x`-prefixed), not yet decoded;
+    /// resolves to bytecode through the daemon's chain source.
+    Address(String),
+}
+
+/// One decoded request line: the caller-visible id plus the raw payload
 /// still to be validated.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WireRequest {
     /// Echoed in the response (v2); v1 responses are purely positional.
     pub id: String,
-    /// Hex bytecode text (possibly `0x`-prefixed), not yet decoded.
-    pub hex: String,
+    /// What the request asks to score.
+    pub payload: WirePayload,
 }
 
-/// Decodes one v2 request line: a JSON object with `bytecode` (required),
-/// `id` (optional, defaulting to `fallback_id`) and `proto` (optional, must
-/// be version 2) — or a bare hex line.
+/// Decodes one v2 request line: a JSON object with `bytecode` *or*
+/// `address` (exactly one required), `id` (optional, defaulting to
+/// `fallback_id`) and `proto` (optional, must be version 2) — or a bare
+/// hex line (bytecode).
 ///
 /// # Errors
 /// A human-readable message describing the malformed line (sent back to the
@@ -134,12 +153,13 @@ pub fn parse_request_v2(line: &str, fallback_id: &str) -> Result<WireRequest, St
         // Bare hex convenience form.
         return Ok(WireRequest {
             id: fallback_id.to_owned(),
-            hex: trimmed.to_owned(),
+            payload: WirePayload::Bytecode(trimmed.to_owned()),
         });
     }
     let fields = parse_flat_object(trimmed)?;
     let mut id = None;
     let mut hex = None;
+    let mut address = None;
     for (key, value) in fields {
         match key.as_str() {
             // Numeric ids (JSON-RPC style) are accepted and echoed as text.
@@ -149,6 +169,12 @@ pub fn parse_request_v2(line: &str, fallback_id: &str) -> Result<WireRequest, St
                     return Err("field `bytecode` must be a JSON string".to_owned());
                 }
                 hex = Some(value.text);
+            }
+            "address" => {
+                if !value.quoted {
+                    return Err("field `address` must be a JSON string".to_owned());
+                }
+                address = Some(value.text);
             }
             "proto" => {
                 if !matches!(value.text.as_str(), "2" | "v2") {
@@ -161,18 +187,50 @@ pub fn parse_request_v2(line: &str, fallback_id: &str) -> Result<WireRequest, St
             other => return Err(format!("unknown request field `{other}`")),
         }
     }
+    let payload = match (hex, address) {
+        (Some(_), Some(_)) => {
+            return Err(
+                "request carries both `bytecode` and `address`; send exactly one".to_owned(),
+            )
+        }
+        (Some(hex), None) => WirePayload::Bytecode(hex),
+        (None, Some(addr)) => WirePayload::Address(addr),
+        (None, None) => return Err("request object is missing `bytecode` or `address`".to_owned()),
+    };
     Ok(WireRequest {
         id: id.unwrap_or_else(|| fallback_id.to_owned()),
-        hex: hex.ok_or("request object is missing `bytecode`")?,
+        payload,
     })
+}
+
+/// Decodes a hex account address (`0x`-optional, exactly 40 hex digits)
+/// into its 20 bytes.
+///
+/// # Errors
+/// The typed per-line error message.
+pub fn parse_address(text: &str) -> Result<phishinghook_data::Address, String> {
+    let bytes = phishinghook_evm::keccak::from_hex(text.trim())
+        .ok_or_else(|| "not a valid hex address".to_owned())?;
+    let address: phishinghook_data::Address = bytes
+        .try_into()
+        .map_err(|_| "address must be exactly 20 bytes of hex".to_owned())?;
+    Ok(address)
+}
+
+/// Renders an address as the `0x`-prefixed lowercase hex the wire speaks.
+pub fn format_address(address: &phishinghook_data::Address) -> String {
+    format!("0x{}", phishinghook_evm::keccak::to_hex(address))
 }
 
 /// Renders one v2 verdict line (without trailing newline) from scoring
 /// results: the shared shape behind both the cold path and the cache-hit
-/// path (`names` and `probas` must have equal length).
+/// path (`names` and `probas` must have equal length). `address` — set for
+/// address-form requests — is echoed as an additive field right after the
+/// id; bytecode-request responses are rendered byte-for-byte as before.
 pub fn render_verdict_v2(
     out: &mut String,
     id: &str,
+    address: Option<&phishinghook_data::Address>,
     proba: f64,
     model_version: &str,
     names: &[String],
@@ -181,6 +239,10 @@ pub fn render_verdict_v2(
     debug_assert_eq!(names.len(), probas.len());
     out.push_str("{\"proto\":2,\"id\":");
     push_json_string(out, id);
+    if let Some(address) = address {
+        out.push_str(",\"address\":");
+        push_json_string(out, &format_address(address));
+    }
     let _ = write!(
         out,
         ",\"verdict\":\"{}\",\"proba\":{proba:.6},\"model_version\":",
@@ -277,7 +339,7 @@ pub fn render_stats_v1(out: &mut String, stats: &StatsSnapshot) {
 }
 
 /// Appends `s` as a JSON string literal (quoted, escaped).
-fn push_json_string(out: &mut String, s: &str) {
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -430,25 +492,58 @@ mod tests {
         assert_eq!(Protocol::default(), Protocol::V2);
     }
 
+    fn hex_of(req: &WireRequest) -> &str {
+        match &req.payload {
+            WirePayload::Bytecode(hex) => hex,
+            WirePayload::Address(_) => panic!("expected bytecode payload: {req:?}"),
+        }
+    }
+
     #[test]
     fn bare_hex_requests_get_the_fallback_id() {
         let req = parse_request_v2("  0x6080  ", "7").expect("parses");
         assert_eq!(req.id, "7");
-        assert_eq!(req.hex, "0x6080");
+        assert_eq!(hex_of(&req), "0x6080");
     }
 
     #[test]
     fn json_requests_carry_their_own_id() {
         let req = parse_request_v2(r#"{"id":"tx-1","bytecode":"0x60"}"#, "0").expect("parses");
         assert_eq!(req.id, "tx-1");
-        assert_eq!(req.hex, "0x60");
+        assert_eq!(hex_of(&req), "0x60");
         // Field order and whitespace don't matter; id is optional.
         let req = parse_request_v2(r#" { "bytecode" : "60" } "#, "fallback").expect("parses");
         assert_eq!(req.id, "fallback");
-        assert_eq!(req.hex, "60");
+        assert_eq!(hex_of(&req), "60");
         // JSON-RPC-style numeric ids are accepted and echoed as text.
         let req = parse_request_v2(r#"{"id":41,"bytecode":"60"}"#, "0").expect("parses");
         assert_eq!(req.id, "41");
+    }
+
+    #[test]
+    fn address_requests_parse_and_decode() {
+        let line = r#"{"id":"a-1","address":"0x0101010101010101010101010101010101010101"}"#;
+        let req = parse_request_v2(line, "0").expect("parses");
+        assert_eq!(req.id, "a-1");
+        let WirePayload::Address(hex) = &req.payload else {
+            panic!("expected address payload: {req:?}");
+        };
+        assert_eq!(parse_address(hex), Ok([1u8; 20]));
+        assert_eq!(format_address(&[1u8; 20]), format!("0x{}", "01".repeat(20)));
+
+        // Address validation is strict about length and hex-ness.
+        assert!(parse_address("0x01").unwrap_err().contains("20 bytes"));
+        assert!(parse_address("zz").unwrap_err().contains("hex"));
+
+        // Exactly one of bytecode/address, as a string.
+        assert!(
+            parse_request_v2(r#"{"bytecode":"60","address":"0x01"}"#, "0")
+                .unwrap_err()
+                .contains("exactly one")
+        );
+        assert!(parse_request_v2(r#"{"address":42}"#, "0")
+            .unwrap_err()
+            .contains("must be a JSON string"));
     }
 
     #[test]
@@ -517,6 +612,7 @@ mod tests {
         render_verdict_v2(
             &mut line,
             "tx-9",
+            None,
             0.75,
             "hsc-ensemble/v1",
             &["Random Forest".to_owned(), "LightGBM".to_owned()],
@@ -533,6 +629,37 @@ mod tests {
         let mut v1 = String::new();
         render_verdict_v1(&mut v1, 0.25);
         assert_eq!(v1, "benign\t0.250000");
+    }
+
+    #[test]
+    fn address_echo_is_additive_and_after_the_id() {
+        // Same scoring results, with and without the echoed address: the
+        // address form only *inserts* one field right after the id —
+        // bytecode-request framing is untouched.
+        let names = ["Random Forest".to_owned()];
+        let mut bare = String::new();
+        render_verdict_v2(
+            &mut bare,
+            "tx-9",
+            None,
+            0.75,
+            "hsc-detector/v1",
+            &names,
+            &[0.75],
+        );
+        let mut echoed = String::new();
+        render_verdict_v2(
+            &mut echoed,
+            "tx-9",
+            Some(&[0xAB; 20]),
+            0.75,
+            "hsc-detector/v1",
+            &names,
+            &[0.75],
+        );
+        let inserted = format!(",\"address\":\"0x{}\"", "ab".repeat(20));
+        let expected = bare.replacen("\"id\":\"tx-9\"", &format!("\"id\":\"tx-9\"{inserted}"), 1);
+        assert_eq!(echoed, expected);
     }
 
     #[test]

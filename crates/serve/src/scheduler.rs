@@ -33,9 +33,11 @@
 //!   admitted request is ever dropped.
 
 use crate::cache::{CacheStats, CachedVerdict, VerdictCache};
+use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::proto::{self, Protocol};
+use phishinghook_data::{Address, CodeSource, SharedChain};
 use phishinghook_evm::keccak::Digest;
-use phishinghook_models::Scanner;
+use phishinghook_models::{Scanner, Target};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
@@ -144,10 +146,15 @@ struct Job {
     conn: u64,
     seq: u64,
     id: String,
+    /// The resolved address, echoed in the v2 response for address-form
+    /// requests.
+    address: Option<Address>,
     code: Vec<u8>,
     /// Precomputed at submit when the cache is on (reused for the insert).
     hash: Option<Digest>,
     proto: Protocol,
+    /// Submit time, for the request-latency histogram.
+    t0: Instant,
 }
 
 /// What kind of response a routed line settles, for per-conn tallies.
@@ -314,27 +321,27 @@ struct Shared {
     model_version: String,
     model_name: String,
     max_outstanding: usize,
-    submitted: AtomicU64,
-    scored: AtomicU64,
-    errors: AtomicU64,
-    overloads: AtomicU64,
-    batches: AtomicU64,
-    connections: AtomicU64,
+    /// Every serving counter, behind one consistent snapshot path.
+    metrics: Metrics,
+    /// Chain handle for resolving address-form requests; `None` serves
+    /// bytecode-only (address requests answer a typed error).
+    chain: Option<SharedChain>,
 }
 
 impl Shared {
+    fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot(
+            self.queue.len() as u64,
+            self.queue.capacity() as u64,
+            self.cache.as_ref().map(VerdictCache::stats),
+        )
+    }
+
     fn stats(&self) -> StatsSnapshot {
+        let snap = self.metrics_snapshot();
         StatsSnapshot {
-            scheduler: SchedulerStats {
-                submitted: self.submitted.load(Ordering::Relaxed),
-                scored: self.scored.load(Ordering::Relaxed),
-                errors: self.errors.load(Ordering::Relaxed),
-                overloads: self.overloads.load(Ordering::Relaxed),
-                batches: self.batches.load(Ordering::Relaxed),
-                connections: self.connections.load(Ordering::Relaxed),
-                queue_depth: self.queue.len() as u64,
-            },
-            cache: self.cache.as_ref().map(VerdictCache::stats),
+            scheduler: snap.scheduler,
+            cache: snap.cache,
         }
     }
 }
@@ -359,8 +366,20 @@ impl Scheduler {
     /// Spawns the worker pool around `scanner`'s shared model. The snapshot
     /// behind `scanner` is restored once by the caller; every worker is an
     /// `Arc`-sharing [`Scanner::worker`] sibling with its own scratch
-    /// matrix.
+    /// matrix. Serves bytecode-only: address-form requests answer a typed
+    /// error (attach a chain with [`Scheduler::with_chain`]).
     pub fn new(scanner: &Scanner, opts: &SchedulerOptions) -> Self {
+        Scheduler::with_chain(scanner, opts, None)
+    }
+
+    /// Like [`Scheduler::new`], with a chain handle: address-form requests
+    /// resolve to bytecode through `chain` at submit time, so HTTP and
+    /// JSONL clients can ask about a deployed contract by address alone.
+    pub fn with_chain(
+        scanner: &Scanner,
+        opts: &SchedulerOptions,
+        chain: Option<SharedChain>,
+    ) -> Self {
         let shared = Arc::new(Shared {
             queue: crate::queue::BoundedQueue::new(opts.queue_depth.max(1)),
             cache: (opts.cache_bytes > 0).then(|| VerdictCache::new(opts.cache_bytes)),
@@ -372,12 +391,8 @@ impl Scheduler {
             model_version: scanner.model_version().to_owned(),
             model_name: scanner.model_name().to_owned(),
             max_outstanding: opts.max_outstanding.max(1),
-            submitted: AtomicU64::new(0),
-            scored: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-            overloads: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            connections: AtomicU64::new(0),
+            metrics: Metrics::new(),
+            chain,
         });
         let batch = opts.batch.max(1);
         let linger = Duration::from_micros(opts.linger_micros);
@@ -402,7 +417,7 @@ impl Scheduler {
         let (tx, rx) = mpsc::channel();
         let window = Arc::new(Window::new());
         let id = self.shared.router.next_id.fetch_add(1, Ordering::Relaxed);
-        self.shared.connections.fetch_add(1, Ordering::Relaxed);
+        self.shared.metrics.inc_connections();
         self.shared
             .router
             .conns
@@ -448,6 +463,19 @@ impl Scheduler {
     /// Counter snapshot (what the `stats` wire command reports).
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.stats()
+    }
+
+    /// The full metrics snapshot (what `/metrics` exports): scheduler and
+    /// cache counters plus HTTP tallies and the latency histogram, all
+    /// captured through one consistent read path.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.shared.metrics_snapshot()
+    }
+
+    /// The live counter block — the HTTP gateway records its
+    /// request/response tallies here so `/metrics` sees both front-ends.
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
     }
 
     /// Model names in per-model response order.
@@ -519,6 +547,9 @@ pub enum SubmitOutcome {
     CacheHit,
     /// Answered immediately with a malformed-request error response.
     Error,
+    /// An address target that could not be resolved to bytecode (no chain
+    /// attached, or no code at the address); answered with a typed error.
+    Unresolved,
     /// Shed with a typed overload response (or refused because the
     /// scheduler is shutting down).
     Overloaded,
@@ -565,37 +596,111 @@ impl Connection {
             return SubmitOutcome::Stats;
         }
 
-        // Decode to (id, bytecode) under the connection's framing.
+        // Decode to (id, target) under the connection's framing.
         let fallback = seq.to_string();
-        let decoded: Result<(String, Vec<u8>), (String, String)> = match self.proto {
+        let decoded: Result<(String, Target), (String, String)> = match self.proto {
             Protocol::V1 => match proto::check_line_len(line) {
                 Err(msg) => Err((fallback.clone(), msg)),
                 Ok(()) => match phishinghook_evm::keccak::from_hex(trimmed) {
-                    Some(code) => Ok((fallback.clone(), code)),
+                    Some(code) => Ok((fallback.clone(), Target::Bytecode(code))),
                     None => Err((fallback.clone(), "not valid hex bytecode".to_owned())),
                 },
             },
             Protocol::V2 => match proto::parse_request_v2(line, &fallback) {
-                Ok(req) => match phishinghook_evm::keccak::from_hex(req.hex.trim()) {
-                    Some(code) => Ok((req.id, code)),
-                    None => Err((req.id, "not valid hex bytecode".to_owned())),
+                Ok(req) => match req.payload {
+                    proto::WirePayload::Bytecode(hex) => {
+                        match phishinghook_evm::keccak::from_hex(hex.trim()) {
+                            Some(code) => Ok((req.id, Target::Bytecode(code))),
+                            None => Err((req.id, "not valid hex bytecode".to_owned())),
+                        }
+                    }
+                    proto::WirePayload::Address(hex) => match proto::parse_address(hex.trim()) {
+                        Ok(address) => Ok((req.id, Target::Address(address))),
+                        Err(msg) => Err((req.id, msg)),
+                    },
                 },
                 Err(msg) => Err((fallback.clone(), msg)),
             },
         };
-        let (id, code) = match decoded {
-            Ok(ok) => ok,
-            Err((id, msg)) => {
-                self.shared.errors.fetch_add(1, Ordering::Relaxed);
-                let mut out = String::new();
-                match self.proto {
-                    Protocol::V1 => proto::render_error_v1(&mut out, &msg),
-                    Protocol::V2 => proto::render_error_v2(&mut out, &id, &msg),
-                }
-                self.shared
-                    .router
-                    .complete(self.id, seq, out, Settle::Error);
-                return SubmitOutcome::Error;
+        match decoded {
+            Ok((id, target)) => self.route_target(seq, id, target, admission),
+            Err((id, msg)) => self.route_error(seq, &id, &msg),
+        }
+    }
+
+    /// Submits one already-decoded [`Target`] (the HTTP `/predict` path
+    /// and embedding drivers — no wire framing to parse). Semantics match
+    /// [`Connection::submit`]: cache hits and resolution failures answer
+    /// inline, everything else is admitted under `admission`.
+    pub fn submit_target(
+        &mut self,
+        id: impl Into<String>,
+        target: Target,
+        admission: Admission,
+    ) -> SubmitOutcome {
+        let Some(seq) = self.allocate_seq() else {
+            return SubmitOutcome::Disconnected;
+        };
+        self.route_target(seq, id.into(), target, admission)
+    }
+
+    /// Routes one already-rendered response body through the connection's
+    /// ordered stream (the HTTP gateway's `/healthz`, `/metrics` and
+    /// immediate-reject paths — they must interleave in request order with
+    /// scored verdicts on the same connection).
+    pub(crate) fn submit_rendered(&mut self, line: String, is_error: bool) -> SubmitOutcome {
+        let Some(seq) = self.allocate_seq() else {
+            return SubmitOutcome::Disconnected;
+        };
+        if is_error {
+            self.shared.metrics.inc_errors();
+            self.shared
+                .router
+                .complete(self.id, seq, line, Settle::Error);
+            SubmitOutcome::Error
+        } else {
+            self.shared
+                .router
+                .complete(self.id, seq, line, Settle::Stats);
+            SubmitOutcome::Stats
+        }
+    }
+
+    /// Answers a decode failure inline with the framing's error response.
+    fn route_error(&mut self, seq: u64, id: &str, msg: &str) -> SubmitOutcome {
+        self.shared.metrics.inc_errors();
+        let mut out = String::new();
+        match self.proto {
+            Protocol::V1 => proto::render_error_v1(&mut out, msg),
+            Protocol::V2 => proto::render_error_v2(&mut out, id, msg),
+        }
+        self.shared
+            .router
+            .complete(self.id, seq, out, Settle::Error);
+        SubmitOutcome::Error
+    }
+
+    /// Resolves `target` to bytecode, answers from the cache when
+    /// possible, and otherwise admits a job to the shared queue.
+    fn route_target(
+        &mut self,
+        seq: u64,
+        id: String,
+        target: Target,
+        admission: Admission,
+    ) -> SubmitOutcome {
+        let t0 = Instant::now();
+        let address = target.address();
+        let source = self
+            .shared
+            .chain
+            .as_ref()
+            .map(|chain| chain as &dyn CodeSource);
+        let code = match target.resolve(source) {
+            Ok(code) => code.into_owned(),
+            Err(err) => {
+                self.route_error(seq, &id, &err.to_string());
+                return SubmitOutcome::Unresolved;
             }
         };
 
@@ -607,6 +712,7 @@ impl Connection {
                 let line = render_verdict(
                     self.proto,
                     &id,
+                    address.as_ref(),
                     verdict.proba,
                     &self.shared.model_version,
                     &self.shared.names,
@@ -621,6 +727,7 @@ impl Connection {
                         cached: true,
                     },
                 );
+                self.shared.metrics.record_latency(t0.elapsed());
                 return SubmitOutcome::CacheHit;
             }
         }
@@ -629,10 +736,15 @@ impl Connection {
             conn: self.id,
             seq,
             id,
+            address,
             code,
             hash,
             proto: self.proto,
+            t0,
         };
+        // Counted before the push so a worker can never score a job whose
+        // `submitted` increment is still pending (see `Metrics::snapshot`).
+        self.shared.metrics.inc_submitted();
         let refused = match admission {
             Admission::Block => self.shared.queue.push(job).err(),
             Admission::Shed => self.shared.queue.try_push(job).err().map(|e| match e {
@@ -640,12 +752,10 @@ impl Connection {
             }),
         };
         match refused {
-            None => {
-                self.shared.submitted.fetch_add(1, Ordering::Relaxed);
-                SubmitOutcome::Queued
-            }
+            None => SubmitOutcome::Queued,
             Some(job) => {
-                self.shared.overloads.fetch_add(1, Ordering::Relaxed);
+                self.shared.metrics.dec_submitted();
+                self.shared.metrics.inc_overloads();
                 let mut out = String::new();
                 match self.proto {
                     Protocol::V1 => proto::render_overload_v1(&mut out),
@@ -671,7 +781,7 @@ impl Connection {
             "request line of {line_bytes} bytes exceeds the {} byte limit",
             proto::MAX_LINE_BYTES
         );
-        self.shared.errors.fetch_add(1, Ordering::Relaxed);
+        self.shared.metrics.inc_errors();
         let mut out = String::new();
         match self.proto {
             Protocol::V1 => proto::render_error_v1(&mut out, &msg),
@@ -726,6 +836,7 @@ impl Drop for Connection {
 fn render_verdict(
     proto: Protocol,
     id: &str,
+    address: Option<&Address>,
     proba: f64,
     model_version: &str,
     names: &[String],
@@ -734,9 +845,15 @@ fn render_verdict(
     let mut out = String::with_capacity(64);
     match proto {
         Protocol::V1 => proto::render_verdict_v1(&mut out, proba),
-        Protocol::V2 => {
-            proto::render_verdict_v2(&mut out, id, proba, model_version, names, per_model)
-        }
+        Protocol::V2 => proto::render_verdict_v2(
+            &mut out,
+            id,
+            address,
+            proba,
+            model_version,
+            names,
+            per_model,
+        ),
     }
     out
 }
@@ -762,10 +879,8 @@ fn worker_loop(shared: &Shared, mut scanner: Scanner, batch: usize, linger: Dura
 
         let codes: Vec<&[u8]> = jobs.iter().map(|j| j.code.as_slice()).collect();
         let (combined, per_model) = scanner.score_with_members(&codes);
-        shared.batches.fetch_add(1, Ordering::Relaxed);
-        shared
-            .scored
-            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        shared.metrics.inc_batches();
+        shared.metrics.inc_scored(jobs.len() as u64);
 
         let mut member_probas = vec![0.0f64; per_model.len()];
         for (row, job) in jobs.iter().enumerate() {
@@ -784,6 +899,7 @@ fn worker_loop(shared: &Shared, mut scanner: Scanner, batch: usize, linger: Dura
             let line = render_verdict(
                 job.proto,
                 &job.id,
+                job.address.as_ref(),
                 combined[row],
                 &shared.model_version,
                 &shared.names,
@@ -798,6 +914,7 @@ fn worker_loop(shared: &Shared, mut scanner: Scanner, batch: usize, linger: Dura
                     cached: false,
                 },
             );
+            shared.metrics.record_latency(job.t0.elapsed());
         }
     }
 }
@@ -1091,5 +1208,90 @@ mod tests {
         let mixed = format!("{{\"bytecode\":\"0x{}\"}}\n", to_hex(&codes[0]));
         let out = roundtrip(&scheduler, Protocol::V1, &mixed);
         assert_eq!(out[0], "error\tnot valid hex bytecode");
+    }
+
+    #[test]
+    fn address_requests_resolve_through_the_chain() {
+        use phishinghook_data::SharedChain;
+
+        let (_, codes) = probe_lines(2);
+        let chain = SharedChain::new();
+        let address: Address = [0x42; 20];
+        chain.deploy(address, codes[0].clone());
+
+        let scheduler = Scheduler::with_chain(scanner(), &opts(), Some(chain));
+        let addr_hex = format!("0x{}", to_hex(&address));
+        let input = format!(
+            "{{\"id\":\"by-addr\",\"address\":\"{addr_hex}\"}}\n\
+             {{\"id\":\"by-code\",\"bytecode\":\"0x{}\"}}\n\
+             {{\"id\":\"eoa\",\"address\":\"0x{}\"}}\n",
+            to_hex(&codes[0]),
+            to_hex(&[0u8; 20]),
+        );
+        let lines = roundtrip(&scheduler, Protocol::V2, &input);
+        assert_eq!(lines.len(), 3);
+        // Address and bytecode forms agree bit-identically on the proba
+        // (the address line also echoes the resolved address).
+        assert!(
+            lines[0].starts_with(&format!(
+                "{{\"proto\":2,\"id\":\"by-addr\",\"address\":\"{addr_hex}\","
+            )),
+            "{}",
+            lines[0]
+        );
+        let tail = |line: &str| line.split("\"verdict\"").nth(1).map(str::to_owned);
+        assert_eq!(tail(&lines[0]), tail(&lines[1]));
+        assert!(
+            lines[2].contains("\"error\"") && lines[2].contains("no contract code at address"),
+            "{}",
+            lines[2]
+        );
+
+        // Without a chain, address requests answer a typed error.
+        let bare = Scheduler::new(scanner(), &opts());
+        let (mut conn, rx) = bare.connect(Protocol::V2);
+        let outcome = conn.submit(
+            &format!("{{\"id\":\"x\",\"address\":\"{addr_hex}\"}}"),
+            Admission::Block,
+        );
+        assert_eq!(outcome, SubmitOutcome::Unresolved);
+        conn.finish();
+        let out: Vec<String> = rx.iter().collect();
+        assert!(out[0].contains("no chain source attached"), "{}", out[0]);
+    }
+
+    #[test]
+    fn submit_target_bypasses_wire_framing() {
+        let (_, codes) = probe_lines(1);
+        let scheduler = Scheduler::new(scanner(), &opts());
+        let (mut conn, rx) = scheduler.connect(Protocol::V2);
+        let outcome = conn.submit_target(
+            "direct",
+            Target::Bytecode(codes[0].clone()),
+            Admission::Shed,
+        );
+        assert_eq!(outcome, SubmitOutcome::Queued);
+        conn.finish();
+        let out: Vec<String> = rx.iter().collect();
+        assert!(
+            out[0].starts_with("{\"proto\":2,\"id\":\"direct\","),
+            "{}",
+            out[0]
+        );
+    }
+
+    #[test]
+    fn metrics_snapshot_exposes_latency_and_queue_capacity() {
+        let (input, codes) = probe_lines(3);
+        let scheduler = Scheduler::new(scanner(), &opts());
+        roundtrip(&scheduler, Protocol::V2, &input); // cold scores
+        roundtrip(&scheduler, Protocol::V2, &input); // cache hits
+        let snap = scheduler.metrics_snapshot();
+        assert_eq!(snap.scheduler.scored, codes.len() as u64);
+        assert_eq!(snap.queue_capacity, opts().queue_depth as u64);
+        // Both the cold and the cache-hit paths record a latency sample.
+        assert_eq!(snap.latency.count(), 2 * codes.len() as u64);
+        assert!(snap.latency.quantile(0.5) > 0.0);
+        assert_eq!(snap.cache.expect("cache on").hits, codes.len() as u64);
     }
 }

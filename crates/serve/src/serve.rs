@@ -24,8 +24,11 @@
 //! per line — the long tail is discarded to the next newline and the
 //! request answered with a typed error, keeping framing intact.
 
+use crate::config::ServeConfig;
 use crate::proto::{self, Protocol};
 use crate::scheduler::{Admission, ConnReport, Scheduler, SchedulerOptions};
+use phishinghook_data::SharedChain;
+use phishinghook_models::Scanner;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -33,6 +36,10 @@ use std::sync::mpsc;
 use std::time::Instant;
 
 /// Options of one serving process: scheduler tuning plus wire framing.
+#[deprecated(
+    since = "0.6.0",
+    note = "build a validated ServeConfig via ServeConfig::builder() and pass it to serve::run"
+)]
 #[derive(Debug, Clone, Default)]
 pub struct ServeOptions {
     /// Shared scheduler tuning (batching, workers, queue, cache).
@@ -73,7 +80,7 @@ pub struct ServeReport {
 }
 
 impl ServeReport {
-    fn from_conn(report: ConnReport, secs: f64) -> Self {
+    pub(crate) fn from_conn(report: ConnReport, secs: f64) -> Self {
         ServeReport {
             contracts: report.contracts,
             errors: report.errors,
@@ -112,7 +119,7 @@ impl ServeReport {
         )
     }
 
-    fn absorb(&mut self, other: &ServeReport) {
+    pub(crate) fn absorb(&mut self, other: &ServeReport) {
         self.contracts += other.contracts;
         self.errors += other.errors;
         self.overloads += other.overloads;
@@ -269,7 +276,21 @@ fn serve_session(
 /// # Errors
 /// Propagates accept errors; per-connection I/O errors are reported to
 /// stderr and do not stop the daemon.
+#[deprecated(
+    since = "0.6.0",
+    note = "configure a tcp listener on ServeConfig and call serve::run instead"
+)]
 pub fn serve_tcp(
+    listener: &TcpListener,
+    scheduler: &Scheduler,
+    proto: Protocol,
+    limits: TcpLimits,
+) -> io::Result<ServeReport> {
+    tcp_listener_loop(listener, scheduler, proto, limits)
+}
+
+/// The JSONL TCP accept loop behind [`serve_tcp`] and [`run`].
+pub(crate) fn tcp_listener_loop(
     listener: &TcpListener,
     scheduler: &Scheduler,
     proto: Protocol,
@@ -347,12 +368,94 @@ fn serve_connection(
     serve_session(scheduler, proto, Admission::Shed, reader, stream)
 }
 
+/// Runs a whole serving process from one validated [`ServeConfig`]: spawn
+/// the scheduler (with the optional chain handle for address-form
+/// requests), bind whichever listeners the config names, and serve.
+///
+/// * **No listeners** — serve stdin to EOF with lossless (blocking)
+///   admission and write responses to stdout; the report goes to stderr
+///   so `serve … > verdicts.jsonl` stays clean.
+/// * **`tcp` and/or `http`** — bind each, print one
+///   `serving <model> on tcp://<addr>` / `http://<addr>` banner per
+///   listener to stderr (scripts scrape these for the ephemeral port),
+///   and run both accept loops concurrently against the one scheduler —
+///   JSONL and HTTP requests share batches, cache, admission control and
+///   metrics. With `accept` set, returns the aggregate report once every
+///   listener has accepted its quota and drained; otherwise serves
+///   forever.
+///
+/// # Errors
+/// Propagates bind/accept errors and stdin-mode I/O errors.
+pub fn run(
+    scanner: &Scanner,
+    config: &ServeConfig,
+    chain: Option<SharedChain>,
+) -> io::Result<ServeReport> {
+    let scheduler = Scheduler::with_chain(scanner, config.scheduler(), chain);
+    let model = scheduler.model_name().to_owned();
+    let proto = config.proto();
+    let limits = config.limits();
+
+    if config.tcp().is_none() && config.http().is_none() {
+        let stdin = io::stdin();
+        // Unlocked stdout handle: the writer thread is the only writer,
+        // and `Stdout` is `Send` where `StdoutLock` is not.
+        let report = serve_lines(&scheduler, proto, stdin.lock(), io::stdout())?;
+        eprint!("{}", report.render(&model));
+        scheduler.shutdown();
+        return Ok(report);
+    }
+
+    let tcp_listener = config.tcp().map(TcpListener::bind).transpose()?;
+    let http_listener = config.http().map(TcpListener::bind).transpose()?;
+    if let Some(listener) = &tcp_listener {
+        eprintln!(
+            "serving {model} on tcp://{} ({proto:?}, batch {}, {} worker(s), queue {}, cache {} bytes{})",
+            listener.local_addr()?,
+            config.scheduler().batch,
+            config.scheduler().workers,
+            config.scheduler().queue_depth,
+            config.scheduler().cache_bytes,
+            match limits.max_conns {
+                Some(m) => format!(", max {m} conns"),
+                None => String::new(),
+            },
+        );
+    }
+    if let Some(listener) = &http_listener {
+        eprintln!(
+            "serving {model} on http://{} (POST /predict, GET /healthz, GET /metrics)",
+            listener.local_addr()?
+        );
+    }
+
+    let mut total = ServeReport::default();
+    std::thread::scope(|scope| -> io::Result<()> {
+        let scheduler = &scheduler;
+        let tcp_handle = tcp_listener.as_ref().map(|listener| {
+            scope.spawn(move || tcp_listener_loop(listener, scheduler, proto, limits))
+        });
+        if let Some(listener) = &http_listener {
+            total.absorb(&crate::router::serve_http(listener, scheduler, limits)?);
+        }
+        if let Some(handle) = tcp_handle {
+            total.absorb(&handle.join().expect("tcp listener thread")?);
+        }
+        Ok(())
+    })?;
+    if limits.accept_total.is_some() {
+        eprint!("{}", total.render(&model));
+    }
+    scheduler.shutdown();
+    Ok(total)
+}
+
 #[cfg(test)]
+#[allow(deprecated)] // the ServeOptions/serve_tcp shims keep their coverage
 mod tests {
     use super::*;
     use crate::testutil::{ensemble_scanner, probe_lines, scanner};
     use phishinghook_evm::keccak::to_hex;
-    use phishinghook_models::Scanner;
 
     fn serve_with(scanner: &Scanner, input: &str, opts: &ServeOptions) -> (String, ServeReport) {
         let scheduler = Scheduler::new(scanner, &opts.scheduler);

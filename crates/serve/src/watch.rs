@@ -5,19 +5,22 @@
 //! every contract deployment and scoring it as it lands — exercised
 //! against the simulated chain: a [`ChainFirehose`] emits
 //! template-skewed deploy events, each event is deployed onto a
-//! [`SimulatedChain`] and read back through `eth_getCode` (the paper's
-//! Fig. 1 extraction path), then submitted to the [`Scheduler`] over the
-//! real v2 line protocol. Redeployed templates hit the verdict cache;
-//! fresh templates take the batched cold path.
+//! [`SharedChain`], then submitted to the [`Scheduler`] over the real v2
+//! line protocol **by address**: the scheduler resolves the code through
+//! the chain's `eth_getCode` (the paper's Fig. 1 extraction path), so
+//! the watch run exercises the exact resolution hop the HTTP gateway and
+//! TCP daemon use for address-form requests. Redeployed templates hit
+//! the verdict cache; fresh templates take the batched cold path.
 //!
 //! The whole run is in-process but uses exactly the serving surfaces a
 //! TCP session uses (connection, protocol rendering, ordered responses),
 //! so `phishinghook watch` doubles as an end-to-end smoke of the daemon.
 
+use crate::config::ServeConfig;
 use crate::proto::Protocol;
-use crate::scheduler::{Admission, Scheduler, SchedulerOptions};
+use crate::scheduler::{Admission, Scheduler};
 use phishinghook_data::firehose::{ChainFirehose, FirehoseConfig};
-use phishinghook_data::{Label, SimulatedChain};
+use phishinghook_data::{Label, SharedChain};
 use phishinghook_evm::keccak::{to_hex, Digest};
 use phishinghook_models::Scanner;
 use std::collections::HashSet;
@@ -30,8 +33,10 @@ pub struct WatchOptions {
     pub events: usize,
     /// Firehose shape (template pool, skew, block grouping, seed).
     pub firehose: FirehoseConfig,
-    /// Serving-core tuning for the run.
-    pub scheduler: SchedulerOptions,
+    /// Serving configuration for the run (the scheduler tuning is what
+    /// matters here; listener addresses are ignored — the watch drives
+    /// the scheduler in-process).
+    pub serve: ServeConfig,
 }
 
 impl Default for WatchOptions {
@@ -39,7 +44,7 @@ impl Default for WatchOptions {
         WatchOptions {
             events: 2000,
             firehose: FirehoseConfig::default(),
-            scheduler: SchedulerOptions::default(),
+            serve: ServeConfig::default(),
         }
     }
 }
@@ -128,11 +133,11 @@ impl WatchReport {
 /// first seen in an earlier block is guaranteed to hit the verdict cache.
 pub fn run_watch(scanner: &Scanner, opts: &WatchOptions) -> WatchReport {
     let t0 = Instant::now();
-    let scheduler = Scheduler::new(scanner, &opts.scheduler);
+    let chain = SharedChain::new();
+    let scheduler = Scheduler::with_chain(scanner, opts.serve.scheduler(), Some(chain.clone()));
     let (mut conn, rx) = scheduler.connect(Protocol::V2);
     let conn_id = conn.id();
 
-    let mut chain = SimulatedChain::new();
     let mut unique: HashSet<Digest> = HashSet::new();
     let mut report = WatchReport::default();
     let mut last_block = 0u64;
@@ -141,19 +146,15 @@ pub fn run_watch(scanner: &Scanner, opts: &WatchOptions) -> WatchReport {
         .take(opts.events)
         .peekable();
     while let Some(event) = firehose.next() {
-        event.deploy_onto(&mut chain);
+        chain.deploy(event.address, event.bytecode.clone());
         unique.insert(event.code_hash());
         last_block = event.block;
         block_labels.push(event.label);
-        // Read the code back through the chain's eth_getCode — the same
-        // extraction hop a real watcher makes — and submit it over the
-        // wire protocol, id = deployment address.
-        let code = chain.eth_get_code(event.address);
-        let line = format!(
-            "{{\"id\":\"0x{}\",\"bytecode\":\"0x{}\"}}",
-            to_hex(&event.address),
-            to_hex(code)
-        );
+        // Submit by address alone: the scheduler resolves the code back
+        // through the chain's `eth_getCode` — the same extraction hop a
+        // real watcher (and the HTTP gateway's address form) makes.
+        let addr_hex = format!("0x{}", to_hex(&event.address));
+        let line = format!("{{\"id\":\"{addr_hex}\",\"address\":\"{addr_hex}\"}}");
         conn.submit(&line, Admission::Block);
         let block_done = firehose.peek().is_none_or(|next| next.block != event.block);
         if block_done {
@@ -182,6 +183,7 @@ pub fn run_watch(scanner: &Scanner, opts: &WatchOptions) -> WatchReport {
     report.cache_hits = conn_report.cache_hits;
     report.cache_misses = conn_report.cache_misses;
     report.bytes = conn_report.bytes;
+    report.errors += conn_report.errors;
     scheduler.shutdown();
     report.secs = t0.elapsed().as_secs_f64();
     report
@@ -197,7 +199,7 @@ mod tests {
         let opts = WatchOptions::quick();
         let report = run_watch(scanner(), &opts);
         assert_eq!(report.events, opts.events as u64);
-        assert_eq!(report.errors, 0, "firehose code must decode cleanly");
+        assert_eq!(report.errors, 0, "every address must resolve cleanly");
         assert_eq!(
             report.cache_hits + report.cache_misses,
             report.events,

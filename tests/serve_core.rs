@@ -78,6 +78,90 @@ fn scheduler_serves_cached_and_cold_requests_bit_identically() {
 }
 
 #[test]
+fn http_gateway_replies_bit_identically_over_the_umbrella_crate() {
+    use phishinghook::serve::{serve_http, TcpLimits};
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    let (_, codes) = probes(1);
+    let scheduler = Scheduler::new(scanner(), &SchedulerOptions::default());
+
+    // The JSONL reference verdict (this also warms the verdict cache, so
+    // the HTTP round below must replay the exact same bytes from it).
+    let body = format!("{{\"id\":\"t\",\"bytecode\":\"0x{}\"}}", to_hex(&codes[0]));
+    let mut jsonl = Vec::new();
+    serve_lines(
+        &scheduler,
+        Protocol::V2,
+        format!("{body}\n").as_bytes(),
+        &mut jsonl,
+    )
+    .expect("jsonl serves");
+    let jsonl = String::from_utf8(jsonl).expect("utf8");
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let response = std::thread::scope(|scope| {
+        let scheduler = &scheduler;
+        let server = scope.spawn(move || {
+            serve_http(
+                &listener,
+                scheduler,
+                TcpLimits {
+                    max_conns: None,
+                    accept_total: Some(1),
+                },
+            )
+            .expect("gateway serves")
+        });
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        // Two pipelined requests on one keep-alive connection.
+        let raw = format!(
+            "POST /predict HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}\
+             GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(raw.as_bytes()).expect("send");
+        stream
+            .shutdown(std::net::Shutdown::Write)
+            .expect("half-close");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        server.join().expect("server thread");
+        response
+    });
+
+    // The /predict body is byte-for-byte the JSONL v2 verdict line.
+    assert!(response.contains(jsonl.trim_end()), "{response}");
+    assert!(
+        response.contains("phishinghook_request_latency_seconds_bucket"),
+        "{response}"
+    );
+    let snap = scheduler.metrics_snapshot();
+    assert_eq!(snap.http.requests, 2);
+    assert_eq!(
+        snap.cache.expect("cache on").hits,
+        1,
+        "HTTP shares the cache"
+    );
+    scheduler.shutdown();
+}
+
+#[test]
+fn serve_config_builder_validates_through_the_umbrella_crate() {
+    use phishinghook::serve::ServeConfig;
+    let config = ServeConfig::builder()
+        .batch(4)
+        .workers(1)
+        .build()
+        .expect("valid config");
+    assert_eq!(config.scheduler().batch, 4);
+    assert_eq!(config.tcp(), None);
+    assert!(ServeConfig::builder().workers(0).build().is_err());
+    assert!(ServeConfig::builder().max_conns(2).build().is_err());
+}
+
+#[test]
 fn watch_firehose_round_trips_through_the_serving_core() {
     let report = run_watch(
         scanner(),

@@ -249,14 +249,17 @@ fn ensemble_per_model_probabilities_survive_the_round_trip() {
     let requests: Vec<phishinghook::models::ScanRequest> = fx.probes[..8]
         .iter()
         .enumerate()
-        .map(|(i, code)| phishinghook::models::ScanRequest {
-            id: format!("probe-{i}"),
-            bytecode: code.clone(),
+        .map(|(i, code)| {
+            phishinghook::models::ScanRequest::bytecode(format!("probe-{i}"), code.clone())
         })
         .collect();
-    let a = fx.original.worker().scan_batch(&requests);
-    let b = fx.restored.worker().scan_batch(&requests);
+    let a = fx.original.worker().scan_batch(&requests, None);
+    let b = fx.restored.worker().scan_batch(&requests, None);
     for (ra, rb) in a.iter().zip(&b) {
+        let (ra, rb) = (
+            ra.as_ref().expect("bytecode targets score"),
+            rb.as_ref().expect("bytecode targets score"),
+        );
         assert_eq!(ra.id, rb.id);
         assert_eq!(ra.proba.to_bits(), rb.proba.to_bits());
         assert_eq!(ra.per_model.len(), 3);
