@@ -465,6 +465,101 @@ fn main() {
         hit_rps / cold_rps.max(1e-12),
     );
 
+    // --- Brownout ladder: closed-loop tail latency per degradation tier. ---
+    // Each tier is pinned through its queue-fill thresholds (0% forces
+    // the tier on, >100% disables it). Clients submit with shedding
+    // admission and read each response before the next request, so the
+    // distribution is per-request round-trip latency as a degraded
+    // client would see it: full 3-member ensemble, cheapest-member-only
+    // (cache-first), and cache-hit replay (cache-only, pre-warmed).
+    let brownout_n = per_client.min(64);
+    let brownout_lines: Vec<Vec<String>> = client_lines
+        .iter()
+        .map(|lines| lines[..brownout_n].to_vec())
+        .collect();
+    let brownout_total = brownout_n * CLIENTS;
+    let mut brownout_rows: Vec<(&str, f64, f64, f64)> = Vec::new();
+    for (tier, cache_first_pct, cache_only_pct, tier_cache_bytes) in [
+        ("full", 101u32, 101u32, 0usize),
+        ("cache_first", 0, 101, 0),
+        ("cache_only", 0, 0, cache_budget),
+    ] {
+        let opts = SchedulerOptions {
+            cache_first_pct,
+            cache_only_pct,
+            cache_bytes: tier_cache_bytes,
+            ..scheduler_opts.clone()
+        };
+        let scheduler = Scheduler::new(&ensemble_scanner, &opts);
+        if tier_cache_bytes > 0 {
+            // Pre-warm losslessly so the cache-only tier answers hits,
+            // not typed refusals.
+            let (mut conn, rx) = scheduler.connect(Protocol::V1);
+            let mut warmed = 0usize;
+            for lines in &brownout_lines {
+                for line in lines {
+                    conn.submit(line, Admission::Block);
+                    warmed += 1;
+                }
+            }
+            conn.finish();
+            assert_eq!(rx.iter().count(), warmed, "warm-up answered");
+        }
+        let t0 = Instant::now();
+        let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = brownout_lines
+                .iter()
+                .map(|lines| {
+                    let scheduler = &scheduler;
+                    scope.spawn(move || {
+                        let (mut conn, rx) = scheduler.connect(Protocol::V1);
+                        let mut lat = Vec::with_capacity(lines.len());
+                        for line in lines {
+                            let t = Instant::now();
+                            conn.submit(line, Admission::Shed);
+                            let reply = rx.recv().expect("one response per request");
+                            lat.push(t.elapsed().as_secs_f64());
+                            assert!(
+                                !reply.starts_with("ERR"),
+                                "unexpected refusal in {tier}: {reply}"
+                            );
+                        }
+                        conn.finish();
+                        lat
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("brownout client"))
+                .collect()
+        });
+        let secs = t0.elapsed().as_secs_f64();
+        scheduler.shutdown();
+        latencies.sort_by(f64::total_cmp);
+        let q = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize] * 1e3;
+        println!(
+            "brownout   {tier:<12} {:>8.0} req/s   p50 {:>8.3} ms   p99 {:>8.3} ms",
+            brownout_total as f64 / secs,
+            q(0.5),
+            q(0.99),
+        );
+        brownout_rows.push((tier, brownout_total as f64 / secs, q(0.5), q(0.99)));
+    }
+
+    let brownout_json: String = brownout_rows
+        .iter()
+        .map(|(tier, rps, p50, p99)| {
+            format!(
+                "    \"{tier}\": {{ \"requests_per_sec\": {}, \"p50_ms\": {}, \"p99_ms\": {} }}",
+                json_f(*rps),
+                json_f(*p50),
+                json_f(*p99)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+
     let json = format!(
         r#"{{
   "schema": "phishinghook-bench-pipeline/v1",
@@ -546,6 +641,13 @@ fn main() {
     "hit_rows_per_sec": {hit_rps},
     "hit_speedup": {hit_speedup},
     "bit_identical": true
+  }},
+  "brownout": {{
+    "clients": {clients},
+    "requests_per_tier": {brownout_total},
+    "model": "{ensemble_spec}",
+    "closed_loop": true,
+{brownout_json}
   }}
 }}
 "#,

@@ -9,12 +9,12 @@
 use phishinghook_core::cv::stratified_kfold;
 use phishinghook_core::metrics::BinaryMetrics;
 use phishinghook_data::csv::{from_csv, to_csv};
-use phishinghook_data::{ContractRecord, Corpus, CorpusConfig, Label, SharedChain};
+use phishinghook_data::{ContractRecord, Corpus, CorpusConfig, Label, RetryPolicy, SharedChain};
 use phishinghook_evm::disasm::{disassemble, to_csv as disasm_csv};
 use phishinghook_evm::keccak::from_hex;
 use phishinghook_models::{AnyDetector, Detector, DetectorRegistry, Scanner, SpecError};
 use phishinghook_persist::PersistError;
-use phishinghook_serve::{ConfigError, Protocol, ServeConfig, WatchOptions};
+use phishinghook_serve::{ConfigError, FaultConfig, Protocol, ServeConfig, WatchOptions};
 use std::fmt;
 
 /// CLI failure modes.
@@ -90,6 +90,10 @@ USAGE:
                         [--batch <n>] [--workers <n>] [--queue-depth <n>]
                         [--cache-bytes <n>] [--tcp <addr>] [--http <addr>]
                         [--chain <dataset.csv>] [--max-conns <n>] [--accept <n>]
+                        [--deadline-ms <n>] [--drain-ms <n>] [--retry-attempts <n>]
+                        [--cache-first-pct <n>] [--cache-only-pct <n>]
+                        [--fault-panic-every <n>] [--fault-chain-permille <n>]
+                        [--fault-seed <n>]
                                                batched scoring daemon (stdin, TCP JSONL
                                                and/or HTTP gateway): cross-connection
                                                micro-batching, keccak-keyed verdict
@@ -108,10 +112,17 @@ Legacy names (random-forest, logistic-regression, …) remain aliases.
 serve speaks versioned JSONL by default; --proto v1 keeps the legacy
 tab-separated framing for old clients. --cache-bytes 0 disables the
 verdict cache; the `stats` request line reports scheduler/cache counters.
---http binds an HTTP/1.1 gateway (POST /predict, GET /healthz, Prometheus
-GET /metrics) over the same scheduler and cache as the JSONL front-ends;
---chain loads a dataset as the eth_getCode source so address-form
-requests ({\"address\":\"0x…\"}) resolve to deployed bytecode.
+--http binds an HTTP/1.1 gateway (POST /predict, GET /healthz, GET /readyz,
+Prometheus GET /metrics) over the same scheduler and cache as the JSONL
+front-ends; --chain loads a dataset as the eth_getCode source so
+address-form requests ({\"address\":\"0x…\"}) resolve to deployed bytecode.
+Robustness: --deadline-ms answers requests that waited too long with a
+typed timeout (504 over HTTP); --drain-ms caps the shutdown drain;
+--retry-attempts bounds chain-lookup retries (decorrelated-jitter
+backoff); --cache-first-pct / --cache-only-pct set the queue-fill
+percentages where brownout degrades shedding traffic to cheapest-member
+and then cache-only scoring. The --fault-* flags arm the deterministic
+fault-injection plan (chaos testing only).
 ";
 
 /// Executes a CLI invocation, returning the text to print.
@@ -343,7 +354,9 @@ fn train(args: &[String]) -> Result<String, CliError> {
     );
     if let Some(path) = save {
         let bytes = det.to_snapshot_bytes();
-        std::fs::write(path, &bytes)?;
+        // Atomic save: a crash (or full disk) mid-write must not leave a
+        // torn snapshot where a good one used to be.
+        phishinghook_persist::write_bytes_atomic(path, &bytes)?;
         out.push_str(&format!(
             "saved snapshot to {path} ({} bytes)\n",
             bytes.len()
@@ -441,6 +454,7 @@ fn serve_cmd(args: &[String]) -> Result<String, CliError> {
     let mut train: Option<&str> = None;
     let mut chain_path: Option<&str> = None;
     let mut builder = ServeConfig::builder();
+    let mut fault = FaultConfig::default();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         let mut value = || {
@@ -460,6 +474,29 @@ fn serve_cmd(args: &[String]) -> Result<String, CliError> {
             }
             "--max-conns" => builder = builder.max_conns(numeric(value()?, "connection limit")?),
             "--accept" => builder = builder.accept(numeric(value()?, "accept count")?),
+            "--deadline-ms" => {
+                builder = builder.deadline_ms(numeric(value()?, "deadline")? as u64);
+            }
+            "--drain-ms" => builder = builder.drain_ms(numeric(value()?, "drain budget")? as u64),
+            "--cache-first-pct" => {
+                builder = builder.cache_first_pct(numeric(value()?, "brownout percentage")? as u32);
+            }
+            "--cache-only-pct" => {
+                builder = builder.cache_only_pct(numeric(value()?, "brownout percentage")? as u32);
+            }
+            "--retry-attempts" => {
+                builder = builder.retry(RetryPolicy {
+                    max_attempts: numeric(value()?, "retry attempt count")? as u32,
+                    ..RetryPolicy::default()
+                });
+            }
+            "--fault-panic-every" => {
+                fault.worker_panic_every = numeric(value()?, "fault batch interval")? as u64;
+            }
+            "--fault-chain-permille" => {
+                fault.chain_fail_permille = numeric(value()?, "fault rate (permille)")? as u32;
+            }
+            "--fault-seed" => fault.seed = numeric(value()?, "fault seed")? as u64,
             "--proto" => {
                 let v = value()?;
                 let proto = Protocol::parse(v).ok_or_else(|| {
@@ -483,6 +520,13 @@ fn serve_cmd(args: &[String]) -> Result<String, CliError> {
             "serve requires --model <snapshot-or-spec>\n\n{USAGE}"
         ))
     })?;
+    if !fault.is_inert() {
+        eprintln!(
+            "fault injection ON (seed {}): panic every {} batch(es), chain fail {}‰",
+            fault.seed, fault.worker_panic_every, fault.chain_fail_permille
+        );
+        builder = builder.fault(fault);
+    }
     // The builder validates the whole shape before any model work: sizes
     // must be ≥ 1, and connection limits without a listener are refused,
     // not silently ignored.
@@ -689,6 +733,30 @@ mod tests {
     fn train_rejects_unknown_model() {
         let err = run(&args(&["train", "ds.csv", "--model", "resnet"])).unwrap_err();
         assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+    }
+
+    #[test]
+    fn serve_robustness_flags_validate_before_serving() {
+        // Bad robustness knobs are refused at validation time — no model
+        // is trained and no listener is bound.
+        let err = run(&args(&[
+            "serve",
+            "--model",
+            "rf",
+            "--cache-first-pct",
+            "90",
+            "--cache-only-pct",
+            "10",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+        assert!(err.to_string().contains("cache_first_pct"), "{err}");
+
+        let err = run(&args(&["serve", "--model", "rf", "--retry-attempts", "0"])).unwrap_err();
+        assert!(err.to_string().contains("retry.max_attempts"), "{err}");
+
+        let err = run(&args(&["serve", "--model", "rf", "--deadline-ms", "soon"])).unwrap_err();
+        assert!(err.to_string().contains("not a valid deadline"), "{err}");
     }
 
     #[test]

@@ -11,9 +11,32 @@ use crate::contract::{ContractRecord, Label};
 use phishinghook_ml::SplitMix;
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
+use std::time::Duration;
 
 /// A 20-byte Ethereum account address, as used by `eth_getCode`.
 pub type Address = [u8; 20];
+
+/// Why one chain lookup failed. Transient failures (an RPC timeout, a
+/// rate-limited endpoint, a brief network partition) are worth retrying;
+/// fatal ones (a revoked API key, a malformed endpoint) are not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainError {
+    /// The lookup may succeed if retried (timeout, transient RPC fault).
+    Transient(String),
+    /// Retrying cannot help; fail the request now.
+    Fatal(String),
+}
+
+impl std::fmt::Display for ChainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChainError::Transient(detail) => write!(f, "transient chain fault: {detail}"),
+            ChainError::Fatal(detail) => write!(f, "chain fault: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
 
 /// Anything that can resolve an [`Address`] into deployed runtime bytecode.
 ///
@@ -25,6 +48,101 @@ pub type Address = [u8; 20];
 pub trait CodeSource: Send + Sync {
     /// The runtime bytecode deployed at `address`, or `None` for EOAs.
     fn code_at(&self, address: Address) -> Option<Vec<u8>>;
+
+    /// The fallible lookup: like [`CodeSource::code_at`], but a source
+    /// backed by a real network (or a fault-injecting test wrapper) can
+    /// surface a [`ChainError`] instead of silently mapping every failure
+    /// to "no code here". In-memory sources never fail, hence the default.
+    ///
+    /// # Errors
+    /// [`ChainError::Transient`] for retryable faults, [`ChainError::Fatal`]
+    /// otherwise.
+    fn try_code_at(&self, address: Address) -> Result<Option<Vec<u8>>, ChainError> {
+        Ok(self.code_at(address))
+    }
+}
+
+/// A bounded retry/backoff policy for chain lookups: decorrelated-jitter
+/// backoff, deterministic from `seed` — the same policy (same seed) always
+/// produces the same backoff sequence, so fault-injection tests replay
+/// exactly.
+///
+/// Decorrelated jitter (the AWS Architecture Blog variant): each delay is
+/// drawn uniformly from `[base, prev * 3]`, clamped to `cap` — spreading
+/// synchronized retry storms without ever collapsing back to lockstep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (≥ 1; 1 = no retries).
+    pub max_attempts: u32,
+    /// Base (and first) backoff delay, in microseconds.
+    pub base_micros: u64,
+    /// Upper clamp on any single backoff delay, in microseconds.
+    pub cap_micros: u64,
+    /// Jitter seed; the backoff sequence is a pure function of it.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// 3 attempts, 1 ms base, 50 ms cap: transparent to healthy chains,
+    /// enough to ride out a one-tick fault without stalling a worker.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_micros: 1_000,
+            cap_micros: 50_000,
+            seed: 0x5EED_CAFE,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The deterministic backoff delays this policy sleeps between
+    /// attempts (`max_attempts - 1` entries).
+    pub fn backoffs(&self) -> Vec<Duration> {
+        let mut rng = SplitMix::new(self.seed);
+        let base = self.base_micros.max(1);
+        let cap = self.cap_micros.max(base);
+        let mut prev = base;
+        (1..self.max_attempts.max(1))
+            .map(|_| {
+                let hi = prev.saturating_mul(3).clamp(base, cap);
+                let span = hi - base + 1;
+                prev = base + (rng.next_u64() % span);
+                Duration::from_micros(prev)
+            })
+            .collect()
+    }
+
+    /// Runs `op` under this policy: transient errors are retried (with
+    /// `on_retry(attempt, error, backoff)` observed before each sleep)
+    /// until the attempt budget is spent; fatal errors and successes
+    /// return immediately.
+    ///
+    /// # Errors
+    /// The last [`ChainError`] once attempts are exhausted, or the first
+    /// fatal one.
+    pub fn run<T>(
+        &self,
+        mut op: impl FnMut() -> Result<T, ChainError>,
+        mut on_retry: impl FnMut(u32, &ChainError, Duration),
+    ) -> Result<T, ChainError> {
+        let mut backoffs = self.backoffs().into_iter();
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match op() {
+                Ok(value) => return Ok(value),
+                Err(err @ ChainError::Fatal(_)) => return Err(err),
+                Err(err) => match backoffs.next() {
+                    None => return Err(err),
+                    Some(backoff) => {
+                        on_retry(attempt, &err, backoff);
+                        std::thread::sleep(backoff);
+                    }
+                },
+            }
+        }
+    }
 }
 
 /// An in-memory contract store with an `eth_getCode`-shaped API.
@@ -313,6 +431,98 @@ mod tests {
         assert_eq!(first, second);
         let missed = first.iter().filter(|&&f| !f).count();
         assert!((10..=50).contains(&missed), "missed {missed}/100");
+    }
+
+    #[test]
+    fn try_code_at_defaults_to_the_infallible_lookup() {
+        let chain = SimulatedChain::from_records(&[record(1, Label::Benign)]);
+        assert_eq!(chain.try_code_at([1; 20]), Ok(Some(vec![0x60, 0x80, 1])));
+        assert_eq!(chain.try_code_at([9; 20]), Ok(None));
+    }
+
+    #[test]
+    fn retry_backoffs_are_deterministic_jittered_and_clamped() {
+        let policy = RetryPolicy {
+            max_attempts: 6,
+            base_micros: 100,
+            cap_micros: 900,
+            seed: 7,
+        };
+        let first = policy.backoffs();
+        assert_eq!(first.len(), 5, "attempts - 1 backoffs");
+        assert_eq!(first, policy.backoffs(), "same seed, same sequence");
+        for d in &first {
+            let micros = d.as_micros() as u64;
+            assert!((100..=900).contains(&micros), "{micros} out of range");
+        }
+        assert_ne!(
+            first,
+            RetryPolicy { seed: 8, ..policy }.backoffs(),
+            "different seeds decorrelate"
+        );
+        assert!(
+            RetryPolicy {
+                max_attempts: 1,
+                ..policy
+            }
+            .backoffs()
+            .is_empty(),
+            "one attempt means no retries"
+        );
+    }
+
+    #[test]
+    fn retry_run_retries_transient_and_stops_on_fatal() {
+        let fast = RetryPolicy {
+            max_attempts: 4,
+            base_micros: 1,
+            cap_micros: 2,
+            seed: 3,
+        };
+        // Succeeds on the third attempt; two retries observed.
+        let mut calls = 0u32;
+        let mut retries = Vec::new();
+        let out = fast.run(
+            || {
+                calls += 1;
+                if calls < 3 {
+                    Err(ChainError::Transient("rpc timeout".into()))
+                } else {
+                    Ok(calls)
+                }
+            },
+            |attempt, err, backoff| {
+                assert!(matches!(err, ChainError::Transient(_)));
+                assert!(backoff >= Duration::from_micros(1));
+                retries.push(attempt);
+            },
+        );
+        assert_eq!(out, Ok(3));
+        assert_eq!(retries, vec![1, 2]);
+
+        // A fatal error short-circuits without burning the budget.
+        let mut calls = 0u32;
+        let out: Result<(), _> = fast.run(
+            || {
+                calls += 1;
+                Err(ChainError::Fatal("bad endpoint".into()))
+            },
+            |_, _, _| panic!("fatal errors must not retry"),
+        );
+        assert_eq!(out, Err(ChainError::Fatal("bad endpoint".into())));
+        assert_eq!(calls, 1);
+
+        // Exhausting the budget returns the last transient error.
+        let mut calls = 0u32;
+        let out: Result<(), _> = fast.run(
+            || {
+                calls += 1;
+                Err(ChainError::Transient(format!("fault {calls}")))
+            },
+            |_, _, _| {},
+        );
+        assert_eq!(out, Err(ChainError::Transient("fault 4".into())));
+        assert_eq!(calls, 4, "max_attempts bounds the calls");
     }
 
     #[test]

@@ -37,7 +37,8 @@ pub mod firehose;
 pub mod templates;
 
 pub use chain::{
-    extract_labeled_bytecodes, Address, CodeSource, LabelOracle, SharedChain, SimulatedChain,
+    extract_labeled_bytecodes, Address, ChainError, CodeSource, LabelOracle, RetryPolicy,
+    SharedChain, SimulatedChain,
 };
 pub use contract::{ContractRecord, Label, Month};
 pub use corpus::{Corpus, CorpusConfig};

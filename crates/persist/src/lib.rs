@@ -614,7 +614,56 @@ pub fn from_envelope<T: Restore>(kind: &str, bytes: &[u8]) -> Result<T, PersistE
     Ok(value)
 }
 
-/// Saves an artifact envelope to a file.
+/// The temp-file sibling `write_bytes_atomic` stages into before the
+/// rename: `<name>.<pid>.tmp` next to the destination, so the rename
+/// never crosses a filesystem boundary and concurrent processes writing
+/// the same path cannot clobber each other's staging file.
+fn tmp_sibling(path: &Path) -> std::path::PathBuf {
+    let mut name = path
+        .file_name()
+        .map(std::ffi::OsStr::to_os_string)
+        .unwrap_or_else(|| "snapshot".into());
+    name.push(format!(".{}.tmp", std::process::id()));
+    path.with_file_name(name)
+}
+
+/// Writes `bytes` to `path` crash-safely: stage into a temp sibling,
+/// `fsync`, then atomically rename over the destination.
+///
+/// A crash at any instant leaves either the old complete file or the new
+/// complete file — never a torn mix of the two. A leftover `*.tmp`
+/// sibling from an interrupted write is inert: loads read only the
+/// destination path. After the rename the parent directory is fsynced
+/// (best-effort) so the new directory entry is durable too.
+///
+/// # Errors
+/// Any I/O error from the staging write, sync, or rename; on a failed
+/// rename the staging file is removed before the error is returned.
+pub fn write_bytes_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    let path = path.as_ref();
+    let tmp = tmp_sibling(path);
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        // Directory fsync is platform-dependent; failing to open or sync
+        // the directory must not fail an already-complete write.
+        if let Ok(dir) = std::fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Saves an artifact envelope to a file via [`write_bytes_atomic`]: a
+/// crash mid-save cannot leave a torn snapshot behind.
 ///
 /// # Errors
 /// [`PersistError::Io`] on filesystem failure.
@@ -623,7 +672,7 @@ pub fn save_file(
     kind: &str,
     artifact: &impl Snapshot,
 ) -> Result<(), PersistError> {
-    std::fs::write(path, to_envelope(kind, artifact))?;
+    write_bytes_atomic(path, &to_envelope(kind, artifact))?;
     Ok(())
 }
 
@@ -829,6 +878,51 @@ mod tests {
             load_file::<Toy>(dir.join("missing.snap"), "toy"),
             Err(PersistError::Io(_))
         ));
+    }
+
+    #[test]
+    fn atomic_save_leaves_no_staging_file_behind() {
+        let dir = std::env::temp_dir().join("phishinghook-persist-atomic");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("toy.snap");
+        save_file(&path, "toy", &toy()).expect("saves");
+        save_file(&path, "toy", &toy()).expect("overwrites in place");
+        let entries: Vec<_> = std::fs::read_dir(&dir)
+            .expect("readable")
+            .map(|e| e.expect("entry").file_name())
+            .collect();
+        // The staging temp was renamed away — only the snapshot remains.
+        assert_eq!(entries, vec![std::ffi::OsString::from("toy.snap")]);
+        let back: Toy = load_file(&path, "toy").expect("loads");
+        assert_eq!(back, toy());
+    }
+
+    #[test]
+    fn torn_staging_write_does_not_corrupt_the_snapshot() {
+        // Simulate a crash mid-save: a partial staging file sits next to a
+        // complete snapshot. Loading must see only the complete file, and
+        // the next save must replace the snapshot atomically regardless.
+        let dir = std::env::temp_dir().join("phishinghook-persist-torn");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("toy.snap");
+        save_file(&path, "toy", &toy()).expect("saves");
+
+        let torn = to_envelope("toy", &toy());
+        let stale_tmp = dir.join(format!("toy.snap.{}.tmp", std::process::id()));
+        std::fs::write(&stale_tmp, &torn[..torn.len() / 2]).expect("torn write");
+
+        let back: Toy = load_file(&path, "toy").expect("recovers");
+        assert_eq!(back, toy());
+        // And the stale staging file is simply overwritten by the next
+        // save's staging pass, then renamed away.
+        save_file(&path, "toy", &toy()).expect("saves again");
+        assert!(!stale_tmp.exists());
+        // A torn *snapshot* itself (the pre-atomic failure mode) is the
+        // thing the rename prevents; decoding one is a typed error, not UB.
+        std::fs::write(&path, &torn[..torn.len() / 2]).expect("simulate old format");
+        assert!(load_file::<Toy>(&path, "toy").is_err());
     }
 
     #[test]

@@ -30,9 +30,11 @@
 //! assert!(ServeConfig::builder().max_conns(8).build().is_err());
 //! ```
 
+use crate::fault::FaultConfig;
 use crate::proto::Protocol;
 use crate::scheduler::SchedulerOptions;
 use crate::serve::TcpLimits;
+use phishinghook_data::RetryPolicy;
 
 /// Why a [`ServeConfigBuilder`] refused to build.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +44,14 @@ pub enum ConfigError {
     /// `max_conns` / `accept` was set but neither `tcp` nor `http` is
     /// bound — connection limits without a listener guard nothing.
     LimitsWithoutListener(&'static str),
+    /// The brownout ladder is inverted: `cache_first_pct` must not
+    /// exceed `cache_only_pct`, or the tiers would engage out of order.
+    BrownoutOrder {
+        /// The configured cache-first threshold (percent of queue depth).
+        cache_first_pct: u32,
+        /// The configured cache-only threshold (percent of queue depth).
+        cache_only_pct: u32,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -51,6 +61,14 @@ impl std::fmt::Display for ConfigError {
             ConfigError::LimitsWithoutListener(field) => {
                 write!(f, "`{field}` requires a tcp or http listener")
             }
+            ConfigError::BrownoutOrder {
+                cache_first_pct,
+                cache_only_pct,
+            } => write!(
+                f,
+                "`cache_first_pct` ({cache_first_pct}) must not exceed \
+                 `cache_only_pct` ({cache_only_pct})"
+            ),
         }
     }
 }
@@ -163,6 +181,49 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Per-request deadline in milliseconds; `0` (the default) disables
+    /// deadline enforcement. Expired requests are answered with a typed
+    /// timeout instead of being scored.
+    pub fn deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.scheduler.deadline_ms = deadline_ms;
+        self
+    }
+
+    /// Drain budget in milliseconds once shutdown begins; `0` (the
+    /// default) drains without a deadline. Queued requests past the
+    /// budget are answered as typed timeouts.
+    pub fn drain_ms(mut self, drain_ms: u64) -> Self {
+        self.scheduler.drain_ms = drain_ms;
+        self
+    }
+
+    /// Queue-fill percentage at which brownout drops shedding traffic to
+    /// cheapest-member scoring (see
+    /// [`SchedulerOptions::cache_first_pct`]).
+    pub fn cache_first_pct(mut self, cache_first_pct: u32) -> Self {
+        self.scheduler.cache_first_pct = cache_first_pct;
+        self
+    }
+
+    /// Queue-fill percentage at which brownout answers from cache only
+    /// (see [`SchedulerOptions::cache_only_pct`]).
+    pub fn cache_only_pct(mut self, cache_only_pct: u32) -> Self {
+        self.scheduler.cache_only_pct = cache_only_pct;
+        self
+    }
+
+    /// Retry policy for chain-backed address resolution.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.scheduler.retry = retry;
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan (tests, chaos runs).
+    pub fn fault(mut self, fault: FaultConfig) -> Self {
+        self.scheduler.fault = Some(fault);
+        self
+    }
+
     /// Wire framing for the stdin and TCP JSONL front-ends.
     pub fn proto(mut self, proto: Protocol) -> Self {
         self.proto = proto;
@@ -211,6 +272,15 @@ impl ServeConfigBuilder {
             if value == 0 {
                 return Err(ConfigError::Zero(field));
             }
+        }
+        if self.scheduler.retry.max_attempts == 0 {
+            return Err(ConfigError::Zero("retry.max_attempts"));
+        }
+        if self.scheduler.cache_first_pct > self.scheduler.cache_only_pct {
+            return Err(ConfigError::BrownoutOrder {
+                cache_first_pct: self.scheduler.cache_first_pct,
+                cache_only_pct: self.scheduler.cache_only_pct,
+            });
         }
         if self.tcp.is_none() && self.http.is_none() {
             if self.max_conns.is_some() {
@@ -290,6 +360,60 @@ mod tests {
         }
         // cache_bytes = 0 is meaningful (cache off), not an error.
         assert!(ServeConfig::builder().cache_bytes(0).build().is_ok());
+    }
+
+    #[test]
+    fn robustness_knobs_thread_through_and_validate() {
+        let retry = RetryPolicy {
+            max_attempts: 5,
+            base_micros: 10,
+            cap_micros: 100,
+            seed: 42,
+        };
+        let fault = FaultConfig {
+            worker_panic_every: 3,
+            ..FaultConfig::default()
+        };
+        let config = ServeConfig::builder()
+            .deadline_ms(250)
+            .drain_ms(1_000)
+            .cache_first_pct(40)
+            .cache_only_pct(80)
+            .retry(retry.clone())
+            .fault(fault)
+            .build()
+            .expect("valid");
+        assert_eq!(config.scheduler().deadline_ms, 250);
+        assert_eq!(config.scheduler().drain_ms, 1_000);
+        assert_eq!(config.scheduler().cache_first_pct, 40);
+        assert_eq!(config.scheduler().cache_only_pct, 80);
+        assert_eq!(config.scheduler().retry, retry);
+        assert_eq!(config.scheduler().fault, Some(fault));
+
+        // An inverted brownout ladder is a configuration bug.
+        let err = ServeConfig::builder()
+            .cache_first_pct(90)
+            .cache_only_pct(60)
+            .build()
+            .expect_err("inverted ladder");
+        assert_eq!(
+            err,
+            ConfigError::BrownoutOrder {
+                cache_first_pct: 90,
+                cache_only_pct: 60
+            }
+        );
+        assert!(err.to_string().contains("cache_first_pct"), "{err}");
+
+        // A retry policy that never attempts anything is a zero knob.
+        let err = ServeConfig::builder()
+            .retry(RetryPolicy {
+                max_attempts: 0,
+                ..RetryPolicy::default()
+            })
+            .build()
+            .expect_err("zero attempts");
+        assert_eq!(err, ConfigError::Zero("retry.max_attempts"));
     }
 
     #[test]

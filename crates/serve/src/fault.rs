@@ -1,0 +1,264 @@
+//! Deterministic fault injection for the serving core.
+//!
+//! A [`FaultPlan`] is a seeded schedule of failures — worker panics, chain
+//! lookup errors, injected chain latency — that the scheduler consults at
+//! the points where production faults would surface. When no plan is
+//! attached (the default) every hook is a `None` check on an `Option`, so
+//! the harness costs nothing in the happy path.
+//!
+//! The plan is deterministic: the same [`FaultConfig`] produces the same
+//! fault sequence, which is what lets the chaos suite assert exact
+//! recovery behaviour (every request answered exactly once, typed 500s on
+//! panicked batches, typed errors on exhausted chain retries) instead of
+//! "it probably survived".
+//!
+//! The module also ships the *client-side* half of the harness:
+//! [`drip`] writes a request byte stream in tiny fragments with
+//! inter-fragment delays and optional mid-message disconnect, which is how
+//! the fuzz and chaos tests model slow, fragmented, and abruptly-vanishing
+//! clients.
+
+use phishinghook_data::ChainError;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The seeded fault schedule. `Eq`-friendly plain data so it can ride on
+/// [`SchedulerOptions`](crate::SchedulerOptions) and
+/// [`ServeConfig`](crate::ServeConfig) like every other knob.
+///
+/// All rates default to zero: a default `FaultConfig` injects nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Seed for the per-lookup fault decisions. Two plans with the same
+    /// seed and rates make identical decisions in the same order.
+    pub seed: u64,
+    /// Panic the scoring worker on every Nth batch (0 = never). The panic
+    /// fires *inside* the supervised scoring closure, so it exercises the
+    /// same `catch_unwind` + respawn path a real model bug would.
+    pub worker_panic_every: u64,
+    /// Per-mille probability that a chain code lookup fails with a
+    /// [`ChainError::Transient`] (0 = never, 1000 = always).
+    pub chain_fail_permille: u32,
+    /// Latency added to every chain code lookup, in microseconds.
+    pub chain_latency_micros: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0xFA_17,
+            worker_panic_every: 0,
+            chain_fail_permille: 0,
+            chain_latency_micros: 0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// True when every rate is zero — the plan would never inject anything
+    /// and the scheduler can skip attaching it entirely.
+    pub fn is_inert(&self) -> bool {
+        self.worker_panic_every == 0
+            && self.chain_fail_permille == 0
+            && self.chain_latency_micros == 0
+    }
+}
+
+/// SplitMix64 finalizer: one well-mixed u64 per (seed, counter) pair.
+/// Local copy so the harness stays self-contained inside this crate.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runtime state of a fault schedule: the config plus the counters that
+/// make its decisions deterministic and observable.
+#[derive(Debug)]
+pub struct FaultPlan {
+    config: FaultConfig,
+    batches: AtomicU64,
+    lookups: AtomicU64,
+    panics_injected: AtomicU64,
+    chain_faults_injected: AtomicU64,
+}
+
+impl FaultPlan {
+    /// Builds the runtime plan for `config`.
+    pub fn new(config: FaultConfig) -> Self {
+        FaultPlan {
+            config,
+            batches: AtomicU64::new(0),
+            lookups: AtomicU64::new(0),
+            panics_injected: AtomicU64::new(0),
+            chain_faults_injected: AtomicU64::new(0),
+        }
+    }
+
+    /// The schedule this plan was built from.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Called once per scored batch; true when this batch should panic.
+    /// Batches are numbered from 1, so `worker_panic_every = 3` panics
+    /// batches 3, 6, 9, … regardless of which worker drains them.
+    pub fn should_panic_batch(&self) -> bool {
+        let every = self.config.worker_panic_every;
+        if every == 0 {
+            return false;
+        }
+        let n = self.batches.fetch_add(1, Ordering::SeqCst) + 1;
+        if n.is_multiple_of(every) {
+            self.panics_injected.fetch_add(1, Ordering::SeqCst);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Called once per chain code-lookup attempt. Sleeps the configured
+    /// injected latency, then rolls the seeded per-mille dice: `Some` is a
+    /// transient fault the caller must surface (or retry) instead of the
+    /// real lookup.
+    pub fn chain_fault(&self) -> Option<ChainError> {
+        if self.config.chain_latency_micros > 0 {
+            std::thread::sleep(Duration::from_micros(self.config.chain_latency_micros));
+        }
+        let permille = u64::from(self.config.chain_fail_permille);
+        if permille == 0 {
+            return None;
+        }
+        let n = self.lookups.fetch_add(1, Ordering::SeqCst);
+        if mix(self.config.seed ^ n) % 1000 < permille {
+            let k = self.chain_faults_injected.fetch_add(1, Ordering::SeqCst) + 1;
+            Some(ChainError::Transient(format!(
+                "injected chain fault #{k} (lookup {n})"
+            )))
+        } else {
+            None
+        }
+    }
+
+    /// Worker panics injected so far.
+    pub fn panics_injected(&self) -> u64 {
+        self.panics_injected.load(Ordering::SeqCst)
+    }
+
+    /// Chain lookup faults injected so far.
+    pub fn chain_faults_injected(&self) -> u64 {
+        self.chain_faults_injected.load(Ordering::SeqCst)
+    }
+}
+
+/// The message a plan-injected worker panic carries, so the chaos suite
+/// can tell an injected fault from a genuine model bug in backtraces.
+pub const INJECTED_PANIC: &str = "fault plan: injected worker panic";
+
+/// Drip-feeds `bytes` into `w` in `fragment`-byte chunks, sleeping `delay`
+/// between chunks, stopping early after `abort_after` bytes when set.
+/// Returns the number of bytes actually written.
+///
+/// This is the slow/fragmented/abruptly-disconnecting client injector:
+/// `fragment = 1` with a small delay models a byte-at-a-time trickler,
+/// `abort_after = Some(k)` models a client that vanishes mid-request
+/// (callers drop or shut down the stream right after).
+pub fn drip<W: Write>(
+    w: &mut W,
+    bytes: &[u8],
+    fragment: usize,
+    delay: Duration,
+    abort_after: Option<usize>,
+) -> std::io::Result<usize> {
+    let fragment = fragment.max(1);
+    let limit = abort_after.unwrap_or(bytes.len()).min(bytes.len());
+    let mut written = 0;
+    for chunk in bytes[..limit].chunks(fragment) {
+        w.write_all(chunk)?;
+        w.flush()?;
+        written += chunk.len();
+        if written < limit && !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_inert_and_injects_nothing() {
+        let config = FaultConfig::default();
+        assert!(config.is_inert());
+        let plan = FaultPlan::new(config);
+        for _ in 0..100 {
+            assert!(!plan.should_panic_batch());
+            assert!(plan.chain_fault().is_none());
+        }
+        assert_eq!(plan.panics_injected(), 0);
+        assert_eq!(plan.chain_faults_injected(), 0);
+    }
+
+    #[test]
+    fn panic_schedule_fires_every_nth_batch() {
+        let plan = FaultPlan::new(FaultConfig {
+            worker_panic_every: 3,
+            ..Default::default()
+        });
+        let fired: Vec<bool> = (0..9).map(|_| plan.should_panic_batch()).collect();
+        assert_eq!(
+            fired,
+            [false, false, true, false, false, true, false, false, true]
+        );
+        assert_eq!(plan.panics_injected(), 3);
+    }
+
+    #[test]
+    fn chain_faults_are_deterministic_per_seed_and_roughly_rate_shaped() {
+        let roll = |seed: u64| -> Vec<bool> {
+            let plan = FaultPlan::new(FaultConfig {
+                seed,
+                chain_fail_permille: 250,
+                ..Default::default()
+            });
+            (0..400).map(|_| plan.chain_fault().is_some()).collect()
+        };
+        let a = roll(7);
+        let b = roll(7);
+        assert_eq!(a, b, "same seed must replay the same fault sequence");
+        let c = roll(8);
+        assert_ne!(a, c, "different seeds should differ");
+        let hits = a.iter().filter(|&&f| f).count();
+        assert!(
+            (40..=160).contains(&hits),
+            "250‰ over 400 lookups should land near 100, got {hits}"
+        );
+        let errs: Vec<ChainError> = {
+            let plan = FaultPlan::new(FaultConfig {
+                seed: 7,
+                chain_fail_permille: 1000,
+                ..Default::default()
+            });
+            (0..2).filter_map(|_| plan.chain_fault()).collect()
+        };
+        assert!(matches!(errs[0], ChainError::Transient(_)));
+        assert!(errs[0].to_string().contains("injected chain fault #1"));
+    }
+
+    #[test]
+    fn drip_fragments_and_aborts_where_told() {
+        let mut sink = Vec::new();
+        let n = drip(&mut sink, b"hello world", 4, Duration::ZERO, None).unwrap();
+        assert_eq!(n, 11);
+        assert_eq!(sink, b"hello world");
+
+        let mut sink = Vec::new();
+        let n = drip(&mut sink, b"hello world", 3, Duration::ZERO, Some(5)).unwrap();
+        assert_eq!(n, 5);
+        assert_eq!(sink, b"hello");
+    }
+}

@@ -244,8 +244,10 @@ pub fn reason_phrase(status: u16) -> &'static str {
         413 => "Content Too Large",
         417 => "Expectation Failed",
         431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
         501 => "Not Implemented",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         505 => "HTTP Version Not Supported",
         _ => "",
     }
@@ -291,6 +293,7 @@ pub fn write_response(out: &mut impl Write, head: ResponseHead, body: &[u8]) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use std::io::BufReader;
 
     fn parse(raw: &[u8]) -> RequestOutcome {
@@ -498,5 +501,33 @@ mod tests {
             "{text}"
         );
         assert!(!text.contains("Retry-After"), "{text}");
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_bytes_never_panic_the_parser(
+            bytes in proptest::collection::vec(any::<u8>(), 0..768),
+        ) {
+            // Whatever a client throws at the socket, the parser answers
+            // with an outcome or an I/O error — never a panic, never an
+            // unbounded loop (the cap mirrors a keep-alive session).
+            let mut reader = BufReader::new(&bytes[..]);
+            for _ in 0..4 {
+                match read_request(&mut reader) {
+                    Ok(RequestOutcome::Request(_)) => {}
+                    _ => break,
+                }
+            }
+        }
+
+        #[test]
+        fn truncated_requests_never_panic(cut in 0usize..64) {
+            // A client that disconnects mid-request (any prefix of a valid
+            // exchange) must yield Eof/Disconnected/Reject — not a panic.
+            let raw: &[u8] = b"POST /predict HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+            let cut = cut % (raw.len() + 1);
+            let mut reader = BufReader::new(&raw[..cut]);
+            let _ = read_request(&mut reader);
+        }
     }
 }

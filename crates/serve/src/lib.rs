@@ -18,6 +18,7 @@
 //! | [`router`] | The HTTP gateway: `/predict`, `/healthz`, `/metrics` over the scheduler |
 //! | [`config`] | The typed [`ServeConfig`] builder — one config for every front-end |
 //! | [`serve`] | stdin/TCP/HTTP session loops, overload shedding, graceful drain |
+//! | [`fault`] | Deterministic fault injection: worker panics, chain faults, slow clients |
 //! | [`watch`] | The chain-watch firehose scenario, end to end |
 //!
 //! The serving invariants, all covered by tests in this crate:
@@ -32,9 +33,14 @@
 //!    silently buffered without bound.
 //! 4. **Graceful shutdown** — closing the scheduler drains every admitted
 //!    request before the workers exit.
+//! 5. **Exactly-one-response under faults** — with a seeded
+//!    [`FaultPlan`] injecting worker panics, chain
+//!    faults and slow clients, every submitted request still gets exactly
+//!    one typed response and the scheduler never wedges.
 
 pub mod cache;
 pub mod config;
+pub mod fault;
 pub mod http;
 pub mod metrics;
 pub mod proto;
@@ -46,13 +52,14 @@ pub mod watch;
 
 pub use cache::{entry_bytes, CacheStats, CachedVerdict, VerdictCache};
 pub use config::{ConfigError, ServeConfig, ServeConfigBuilder};
+pub use fault::{FaultConfig, FaultPlan};
 pub use metrics::{HttpSnapshot, LatencySnapshot, Metrics, MetricsSnapshot};
 pub use proto::{Protocol, MAX_LINE_BYTES, STATS_COMMAND};
 pub use queue::BoundedQueue;
 pub use router::serve_http;
 pub use scheduler::{
-    Admission, ConnReport, Connection, Scheduler, SchedulerOptions, SchedulerStats, StatsSnapshot,
-    SubmitOutcome,
+    Admission, ConnReport, Connection, DegradationTier, Lifecycle, ResponseKind, Scheduler,
+    SchedulerOptions, SchedulerStats, StatsSnapshot, SubmitOutcome,
 };
 pub use serve::{run, serve_lines, ServeReport, TcpLimits};
 #[allow(deprecated)]

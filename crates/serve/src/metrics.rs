@@ -24,7 +24,8 @@
 use crate::cache::CacheStats;
 use crate::scheduler::SchedulerStats;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Number of finite latency buckets: powers of two from 1 µs to ~134 s.
 pub const LATENCY_BUCKETS: usize = 28;
@@ -138,6 +139,27 @@ pub struct HttpSnapshot {
     pub responses_5xx: u64,
 }
 
+/// Fault-tolerance counters: what the robustness layer did to keep the
+/// daemon answering (PR 7).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RobustnessStats {
+    /// Scoring-worker panics caught and answered with typed internal
+    /// errors (each one also respawned a fresh worker).
+    pub worker_panics: u64,
+    /// Chain-lookup retries taken under the backoff policy (attempts
+    /// beyond the first, counted per retry).
+    pub chain_retries: u64,
+    /// Requests that out-waited their deadline and answered a typed
+    /// timeout at dequeue.
+    pub timeouts: u64,
+    /// Cumulative wall-clock seconds spent at a degraded brownout tier
+    /// (CacheFirst or deeper).
+    pub degraded_seconds: f64,
+    /// The current brownout tier (0 = full, 1 = cache-first,
+    /// 2 = cache-only), as last observed by the scheduler.
+    pub tier: u8,
+}
+
 /// Everything `/metrics` (and the JSONL `stats` command) reports, captured
 /// by one [`Metrics::snapshot`] call — the single consistent read path for
 /// every serving counter.
@@ -154,6 +176,8 @@ pub struct MetricsSnapshot {
     pub http: HttpSnapshot,
     /// Request-latency histogram (submit → response routed).
     pub latency: LatencySnapshot,
+    /// Fault-tolerance counters (panics, retries, timeouts, brownout).
+    pub robustness: RobustnessStats,
 }
 
 /// The scheduler's counter block: lock-free increments on the hot path,
@@ -171,6 +195,17 @@ pub struct Metrics {
     http_4xx: AtomicU64,
     http_5xx: AtomicU64,
     latency: LatencyHistogram,
+    worker_panics: AtomicU64,
+    chain_retries: AtomicU64,
+    timeouts: AtomicU64,
+    /// Current brownout tier (0/1/2), a gauge.
+    tier: AtomicU64,
+    /// Completed degraded intervals, accumulated in nanoseconds.
+    degraded_nanos: AtomicU64,
+    /// Start of the still-open degraded interval, when one is open. A
+    /// mutex (not an atomic) because `Instant` is opaque; tier flips are
+    /// rare and never on the per-request hot path's common branch.
+    degraded_since: Mutex<Option<Instant>>,
 }
 
 impl Metrics {
@@ -240,6 +275,53 @@ impl Metrics {
         self.latency.record(elapsed);
     }
 
+    /// Counts one caught scoring-worker panic.
+    pub fn inc_worker_panics(&self) {
+        self.worker_panics.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Counts one chain-lookup retry (an attempt beyond the first).
+    pub fn inc_chain_retries(&self) {
+        self.chain_retries.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Counts one request answered with a typed timeout at dequeue.
+    pub fn inc_timeouts(&self) {
+        self.timeouts.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Records the current brownout tier (0 = full, 1 = cache-first,
+    /// 2 = cache-only) and keeps the degraded-time clock: entering a
+    /// degraded tier opens an interval, returning to full closes it into
+    /// the cumulative `serve_degraded_seconds_total` counter.
+    pub fn set_tier(&self, tier: u8) {
+        let prev = self.tier.swap(u64::from(tier), Ordering::SeqCst) as u8;
+        if prev == tier {
+            return;
+        }
+        let was_degraded = prev > 0;
+        let is_degraded = tier > 0;
+        if was_degraded == is_degraded {
+            return; // moved between degraded tiers: the clock keeps running
+        }
+        let mut since = self.degraded_since.lock().expect("degraded clock");
+        if is_degraded {
+            *since = Some(Instant::now());
+        } else if let Some(t0) = since.take() {
+            let nanos = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            self.degraded_nanos.fetch_add(nanos, Ordering::SeqCst);
+        }
+    }
+
+    /// Total degraded time so far: closed intervals plus the open one.
+    fn degraded_seconds(&self) -> f64 {
+        let mut nanos = self.degraded_nanos.load(Ordering::SeqCst);
+        if let Some(t0) = *self.degraded_since.lock().expect("degraded clock") {
+            nanos = nanos.saturating_add(t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+        }
+        nanos as f64 / 1e9
+    }
+
     /// One consistent snapshot of every counter.
     ///
     /// Loads run downstream-first under `SeqCst`: `scored` is read before
@@ -255,6 +337,13 @@ impl Metrics {
         cache: Option<CacheStats>,
     ) -> MetricsSnapshot {
         let latency = self.latency.snapshot();
+        let robustness = RobustnessStats {
+            worker_panics: self.worker_panics.load(Ordering::SeqCst),
+            chain_retries: self.chain_retries.load(Ordering::SeqCst),
+            timeouts: self.timeouts.load(Ordering::SeqCst),
+            degraded_seconds: self.degraded_seconds(),
+            tier: self.tier.load(Ordering::SeqCst) as u8,
+        };
         let http = HttpSnapshot {
             responses_2xx: self.http_2xx.load(Ordering::SeqCst),
             responses_4xx: self.http_4xx.load(Ordering::SeqCst),
@@ -283,6 +372,7 @@ impl Metrics {
             cache,
             http,
             latency,
+            robustness,
         }
     }
 }
@@ -408,6 +498,37 @@ pub fn render_prometheus(snap: &MetricsSnapshot, model_name: &str, model_version
             cache.capacity_bytes as f64,
         );
     }
+    counter(
+        &mut out,
+        "phishinghook_worker_panics_total",
+        "Scoring-worker panics caught, answered with typed internal errors, and respawned.",
+        snap.robustness.worker_panics,
+    );
+    counter(
+        &mut out,
+        "phishinghook_chain_retries_total",
+        "Chain-lookup retries taken under the backoff policy.",
+        snap.robustness.chain_retries,
+    );
+    counter(
+        &mut out,
+        "phishinghook_request_timeouts_total",
+        "Requests that out-waited their deadline and answered a typed timeout.",
+        snap.robustness.timeouts,
+    );
+    metric(
+        &mut out,
+        "phishinghook_serve_degraded_seconds_total",
+        "Cumulative seconds spent at a degraded brownout tier.",
+        "counter",
+        snap.robustness.degraded_seconds,
+    );
+    gauge(
+        &mut out,
+        "phishinghook_degradation_tier",
+        "Current brownout tier: 0 full, 1 cache-first, 2 cache-only.",
+        f64::from(snap.robustness.tier),
+    );
     counter(
         &mut out,
         "phishinghook_http_requests_total",
@@ -599,6 +720,11 @@ mod tests {
             "phishinghook_cache_evictions_total 1",
             "phishinghook_queue_depth 0",
             "phishinghook_overloads_total 0",
+            "phishinghook_worker_panics_total 0",
+            "phishinghook_chain_retries_total 0",
+            "phishinghook_request_timeouts_total 0",
+            "phishinghook_serve_degraded_seconds_total 0",
+            "phishinghook_degradation_tier 0",
             "phishinghook_http_responses_total{class=\"2xx\"} 1",
             "phishinghook_request_latency_seconds_count 1",
             "phishinghook_request_latency_p50_seconds 0.001024",
@@ -624,5 +750,40 @@ mod tests {
     #[test]
     fn label_values_are_escaped() {
         assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn robustness_counters_and_degraded_clock_accumulate() {
+        let metrics = Metrics::new();
+        metrics.inc_worker_panics();
+        metrics.inc_chain_retries();
+        metrics.inc_chain_retries();
+        metrics.inc_timeouts();
+        let snap = metrics.snapshot(0, 0, None);
+        assert_eq!(snap.robustness.worker_panics, 1);
+        assert_eq!(snap.robustness.chain_retries, 2);
+        assert_eq!(snap.robustness.timeouts, 1);
+        assert_eq!(snap.robustness.tier, 0);
+        assert_eq!(snap.robustness.degraded_seconds, 0.0);
+
+        // Entering a degraded tier opens the clock; the open interval is
+        // visible in snapshots before the tier returns to full.
+        metrics.set_tier(1);
+        std::thread::sleep(Duration::from_millis(5));
+        let open = metrics.snapshot(0, 0, None);
+        assert_eq!(open.robustness.tier, 1);
+        assert!(open.robustness.degraded_seconds > 0.0);
+        // Moving deeper keeps the same interval running.
+        metrics.set_tier(2);
+        metrics.set_tier(0);
+        let closed = metrics.snapshot(0, 0, None);
+        assert_eq!(closed.robustness.tier, 0);
+        assert!(closed.robustness.degraded_seconds >= open.robustness.degraded_seconds);
+        // Back at full the clock stands still.
+        let later = metrics.snapshot(0, 0, None);
+        assert_eq!(
+            later.robustness.degraded_seconds,
+            closed.robustness.degraded_seconds
+        );
     }
 }

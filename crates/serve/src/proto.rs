@@ -302,6 +302,47 @@ pub fn render_overload_v1(out: &mut String) {
     out.push_str(OVERLOAD_DETAIL);
 }
 
+/// The human-readable deadline-exceeded detail shared by both framings.
+pub const TIMEOUT_DETAIL: &str = "deadline exceeded before the request was scored";
+
+/// Renders the typed v2 timeout response: an error object carrying
+/// `"code":"timeout"` — the request expired in the queue and was answered
+/// without being scored (HTTP maps this to `504`).
+pub fn render_timeout_v2(out: &mut String, id: &str) {
+    out.push_str("{\"proto\":2,\"id\":");
+    push_json_string(out, id);
+    out.push_str(",\"error\":");
+    push_json_string(out, TIMEOUT_DETAIL);
+    out.push_str(",\"code\":\"timeout\"}");
+}
+
+/// Renders the typed v1 timeout response (`ERR\ttimeout: …`).
+pub fn render_timeout_v1(out: &mut String) {
+    out.push_str("ERR\ttimeout: ");
+    out.push_str(TIMEOUT_DETAIL);
+}
+
+/// The human-readable worker-failure detail shared by both framings.
+pub const INTERNAL_DETAIL: &str = "internal error: the scoring worker failed on this batch";
+
+/// Renders the typed v2 internal-error response: an error object carrying
+/// `"code":"internal"` — a worker panicked while scoring the batch holding
+/// this request (HTTP maps this to `500`). The worker is respawned; the
+/// request may be retried.
+pub fn render_internal_v2(out: &mut String, id: &str) {
+    out.push_str("{\"proto\":2,\"id\":");
+    push_json_string(out, id);
+    out.push_str(",\"error\":");
+    push_json_string(out, INTERNAL_DETAIL);
+    out.push_str(",\"code\":\"internal\"}");
+}
+
+/// Renders the typed v1 internal-error response (`ERR\tinternal: …`).
+pub fn render_internal_v1(out: &mut String) {
+    out.push_str("ERR\tinternal: ");
+    out.push_str(INTERNAL_DETAIL);
+}
+
 /// Renders the v2 `stats` command response (without trailing newline).
 pub fn render_stats_v2(out: &mut String, stats: &StatsSnapshot) {
     let s = &stats.scheduler;
@@ -482,6 +523,7 @@ fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<
 mod tests {
     use super::*;
     use crate::scheduler::SchedulerStats;
+    use proptest::prelude::*;
 
     #[test]
     fn protocol_flag_parses() {
@@ -677,6 +719,28 @@ mod tests {
     }
 
     #[test]
+    fn timeout_and_internal_rendering_is_typed_in_both_framings() {
+        let mut v2 = String::new();
+        render_timeout_v2(&mut v2, "late-1");
+        assert!(
+            v2.starts_with("{\"proto\":2,\"id\":\"late-1\",\"error\":"),
+            "{v2}"
+        );
+        assert!(v2.ends_with(",\"code\":\"timeout\"}"), "{v2}");
+        let mut v1 = String::new();
+        render_timeout_v1(&mut v1);
+        assert!(v1.starts_with("ERR\ttimeout: "), "{v1}");
+
+        let mut v2 = String::new();
+        render_internal_v2(&mut v2, "boom");
+        assert!(v2.ends_with(",\"code\":\"internal\"}"), "{v2}");
+        assert!(v2.contains(INTERNAL_DETAIL), "{v2}");
+        let mut v1 = String::new();
+        render_internal_v1(&mut v1);
+        assert!(v1.starts_with("ERR\tinternal: "), "{v1}");
+    }
+
+    #[test]
     fn stats_rendering_covers_both_framings() {
         let snapshot = StatsSnapshot {
             scheduler: SchedulerStats {
@@ -723,5 +787,33 @@ mod tests {
         let mut v1 = String::new();
         render_stats_v1(&mut v1, &disabled);
         assert!(v1.contains("hits=0"), "{v1}");
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_bytes_never_panic_the_v2_parser(
+            bytes in proptest::collection::vec(any::<u8>(), 0..512),
+        ) {
+            // The decoder fronts a public socket: any byte soup that
+            // happens to be UTF-8 must come back as a typed error or a
+            // request — never a panic.
+            if let Ok(line) = std::str::from_utf8(&bytes) {
+                let _ = parse_request_v2(line, "0");
+            }
+        }
+
+        #[test]
+        fn mutated_valid_v2_requests_never_panic(pos in 0usize..64, byte in any::<u8>()) {
+            // Single-byte corruption of a well-formed request: the parser
+            // either still accepts it or rejects it typed.
+            let mut line = br#"{"id":"probe","bytecode":"0x6001600255"}"#.to_vec();
+            let i = pos % line.len();
+            line[i] = byte;
+            if let Ok(text) = std::str::from_utf8(&line) {
+                if let Err(detail) = parse_request_v2(text, "7") {
+                    prop_assert!(!detail.is_empty());
+                }
+            }
+        }
     }
 }

@@ -19,9 +19,21 @@
 //!   or bare hex. `200` with the v2 verdict object; `400` malformed;
 //!   `404` unresolvable address; `503` + `Retry-After` when shed by
 //!   admission control; `413` when the body exceeds the 1 MiB cap.
-//! * `GET /healthz` — `200` with `{"status":"ok",…}` liveness JSON.
+//! * `GET /healthz` — lifecycle-aware liveness: `200` with
+//!   `{"status":"ok"|"degraded",…}` while serving (degraded = the brownout
+//!   ladder left the Full tier), `503` with `{"status":"draining",…}` once
+//!   [`Scheduler::begin_drain`] ran — load balancers stop routing here
+//!   *before* the listener dies.
+//! * `GET /readyz` — readiness: `200` only when running **and** shallower
+//!   than the cache-only brownout tier; `503` otherwise.
 //! * `GET /metrics` — `200` with the Prometheus text exposition from
 //!   [`metrics::render_prometheus`].
+//!
+//! A `/predict` admitted to the queue answers its status when the verdict
+//! *routes*, not when it was admitted: the response head is marked deferred and
+//! the writer maps the routed [`ResponseKind`] to `200` (verdict), `500`
+//! (the scoring worker panicked on that batch) or `504` (the request
+//! out-waited its deadline).
 //!
 //! Overloaded *connections* (`max_conns`) answer `503` + `Retry-After`
 //! at accept, mirroring the JSONL listener's typed overload line.
@@ -29,7 +41,9 @@
 use crate::http::{self, HttpRequest, RequestOutcome, ResponseHead};
 use crate::metrics;
 use crate::proto::{self, Protocol};
-use crate::scheduler::{Admission, Connection, Scheduler, SubmitOutcome};
+use crate::scheduler::{
+    Admission, Connection, DegradationTier, Lifecycle, ResponseKind, Scheduler, SubmitOutcome,
+};
 use crate::serve::{ServeReport, TcpLimits};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
@@ -47,6 +61,11 @@ struct Head {
     content_type: &'static str,
     retry_after: Option<u32>,
     keep_alive: bool,
+    /// The status is provisional: the body is a queued verdict slot whose
+    /// real outcome (scored / worker panic / deadline timeout) is only
+    /// known when it routes — the writer overrides the status from the
+    /// routed [`ResponseKind`].
+    deferred: bool,
 }
 
 fn error_body(detail: &str) -> String {
@@ -104,6 +123,10 @@ pub fn serve_http(
                 let mut sink = [0u8; 1024];
                 while matches!(io::Read::read(&mut stream, &mut sink), Ok(n) if n > 0) {}
                 scheduler.metrics().http_response(503);
+                // The refusal never reaches a scheduler connection, so the
+                // shared overload counter is incremented here — exactly
+                // once per refused request, like the queue-shed path.
+                scheduler.metrics().inc_overloads();
                 eprintln!(
                     "[http {peer}] refused: {} concurrent connection(s) reached",
                     live.load(Ordering::SeqCst)
@@ -157,13 +180,22 @@ fn http_session(scheduler: &Scheduler, stream: &TcpStream) -> io::Result<ServeRe
             // same order — pair them 1:1. Dropping `responses` on an
             // error disconnects (unblocks) the submit side.
             while let Ok(head) = head_rx.recv() {
-                let Some(body) = responses.recv() else {
+                let Some((body, kind)) = responses.recv_with_kind() else {
                     break; // submit side gone without routing the body
+                };
+                // Deferred heads (queued verdict slots) learn their real
+                // status from the routed response kind: the batch may have
+                // panicked (500) or the deadline lapsed (504) after the
+                // request was admitted with a provisional 200.
+                let status = match (head.deferred, kind) {
+                    (true, ResponseKind::Internal) => 500,
+                    (true, ResponseKind::Timeout) => 504,
+                    _ => head.status,
                 };
                 http::write_response(
                     &mut writer,
                     ResponseHead {
-                        status: head.status,
+                        status,
                         content_type: head.content_type,
                         retry_after: head.retry_after,
                         keep_alive: head.keep_alive,
@@ -171,7 +203,7 @@ fn http_session(scheduler: &Scheduler, stream: &TcpStream) -> io::Result<ServeRe
                     body.as_bytes(),
                 )?;
                 writer.flush()?;
-                metrics.http_response(head.status);
+                metrics.http_response(status);
                 if !head.keep_alive {
                     break;
                 }
@@ -203,6 +235,7 @@ fn http_session(scheduler: &Scheduler, stream: &TcpStream) -> io::Result<ServeRe
                         content_type: JSON,
                         retry_after: None,
                         keep_alive: false,
+                        deferred: false,
                     });
                     break;
                 }
@@ -244,6 +277,7 @@ fn answer(scheduler: &Scheduler, conn: &mut Connection, req: HttpRequest) -> Opt
         content_type,
         retry_after,
         keep_alive: req.keep_alive,
+        deferred: false,
     };
     let outcome = match (req.method.as_str(), path) {
         ("POST", "/predict") => {
@@ -258,12 +292,47 @@ fn answer(scheduler: &Scheduler, conn: &mut Connection, req: HttpRequest) -> Opt
             }
         }
         ("GET", "/healthz") => {
-            let mut body = String::from("{\"status\":\"ok\",\"model\":");
+            let draining = scheduler.lifecycle() == Lifecycle::Draining;
+            let tier = scheduler.degradation_tier();
+            let status_name = if draining {
+                "draining"
+            } else if tier > DegradationTier::Full {
+                "degraded"
+            } else {
+                "ok"
+            };
+            let mut body = String::from("{\"status\":");
+            proto::push_json_string(&mut body, status_name);
+            body.push_str(",\"model\":");
             proto::push_json_string(&mut body, scheduler.model_name());
             body.push_str(",\"model_version\":");
             proto::push_json_string(&mut body, scheduler.model_version());
+            body.push_str(",\"tier\":");
+            proto::push_json_string(&mut body, tier.as_str());
             body.push('}');
-            conn.submit_rendered(body, false)
+            if conn.submit_rendered(body, false) == SubmitOutcome::Disconnected {
+                return None;
+            }
+            // Draining answers 503 so load balancers pull the instance
+            // while the drain finishes; degraded stays 200 (alive, just
+            // trading quality for headroom — /readyz is the gate).
+            return Some(head(if draining { 503 } else { 200 }, JSON, None));
+        }
+        ("GET", "/readyz") => {
+            let draining = scheduler.lifecycle() == Lifecycle::Draining;
+            let tier = scheduler.degradation_tier();
+            let ready = !draining && tier < DegradationTier::CacheOnly;
+            let mut body = String::from(if ready {
+                "{\"ready\":true,\"tier\":"
+            } else {
+                "{\"ready\":false,\"tier\":"
+            });
+            proto::push_json_string(&mut body, tier.as_str());
+            body.push('}');
+            if conn.submit_rendered(body, false) == SubmitOutcome::Disconnected {
+                return None;
+            }
+            return Some(head(if ready { 200 } else { 503 }, JSON, None));
         }
         ("GET", "/metrics") => {
             let snap = scheduler.metrics_snapshot();
@@ -278,7 +347,7 @@ fn answer(scheduler: &Scheduler, conn: &mut Connection, req: HttpRequest) -> Opt
             }
             return Some(head(200, PROMETHEUS, None));
         }
-        (_, "/predict" | "/healthz" | "/metrics") => {
+        (_, "/predict" | "/healthz" | "/readyz" | "/metrics") => {
             let outcome = conn.submit_rendered(
                 error_body(&format!("method {} not allowed on {path}", req.method)),
                 true,
@@ -298,9 +367,12 @@ fn answer(scheduler: &Scheduler, conn: &mut Connection, req: HttpRequest) -> Opt
         }
     };
     match outcome {
-        SubmitOutcome::Queued | SubmitOutcome::CacheHit | SubmitOutcome::Stats => {
-            Some(head(200, JSON, None))
-        }
+        // Queued slots defer their status to route time (200/500/504).
+        SubmitOutcome::Queued => Some(Head {
+            deferred: true,
+            ..head(200, JSON, None)
+        }),
+        SubmitOutcome::CacheHit | SubmitOutcome::Stats => Some(head(200, JSON, None)),
         SubmitOutcome::Error => Some(head(400, JSON, None)),
         SubmitOutcome::Unresolved => Some(head(404, JSON, None)),
         SubmitOutcome::Overloaded => Some(head(503, JSON, Some(1))),
@@ -592,5 +664,150 @@ mod tests {
             assert!(r.contains("no contract code at address"), "{r}");
             server.join().expect("server thread");
         });
+    }
+
+    /// Serves `conns` sequential connections against `scheduler`, handing
+    /// the bound address to `client` while the listener runs.
+    fn with_gateway(
+        scheduler: &Scheduler,
+        conns: usize,
+        client: impl FnOnce(std::net::SocketAddr, &Scheduler),
+    ) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::scope(|scope| {
+            let server = scope.spawn(move || {
+                serve_http(
+                    &listener,
+                    scheduler,
+                    TcpLimits {
+                        max_conns: None,
+                        accept_total: Some(conns),
+                    },
+                )
+                .expect("serves")
+            });
+            client(addr, scheduler);
+            server.join().expect("server thread");
+        });
+    }
+
+    const PROBES: &str = "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n\
+                          GET /readyz HTTP/1.1\r\nConnection: close\r\n\r\n";
+
+    #[test]
+    fn healthz_and_readyz_track_lifecycle() {
+        // Running and at full service: both probes answer 200.
+        let scheduler = Scheduler::new(scanner(), &no_cache());
+        with_gateway(&scheduler, 2, |addr, scheduler| {
+            let r = raw_exchange(addr, PROBES.to_owned());
+            assert!(r.starts_with("HTTP/1.1 200 "), "{r}");
+            assert!(r.contains("\"status\":\"ok\""), "{r}");
+            assert!(r.contains("\"tier\":\"full\""), "{r}");
+            assert!(r.contains("\"ready\":true"), "{r}");
+
+            // Draining: liveness answers 503 and readiness flips false.
+            scheduler.begin_drain();
+            let r = raw_exchange(addr, PROBES.to_owned());
+            assert!(r.starts_with("HTTP/1.1 503 "), "{r}");
+            assert!(r.contains("\"status\":\"draining\""), "{r}");
+            assert!(r.contains("\"ready\":false"), "{r}");
+            assert_eq!(r.matches("HTTP/1.1 503 ").count(), 2, "{r}");
+        });
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn healthz_and_readyz_track_brownout_tiers() {
+        // Cache-first brownout: alive (200, "degraded") and still ready —
+        // degraded answers are answers.
+        let cache_first = SchedulerOptions {
+            cache_first_pct: 0,
+            cache_only_pct: 101,
+            ..SchedulerOptions::default()
+        };
+        let scheduler = Scheduler::new(scanner(), &cache_first);
+        with_gateway(&scheduler, 1, |addr, _| {
+            let r = raw_exchange(addr, PROBES.to_owned());
+            assert!(r.contains("\"status\":\"degraded\""), "{r}");
+            assert!(r.contains("\"tier\":\"cache-first\""), "{r}");
+            assert!(r.contains("\"ready\":true"), "{r}");
+        });
+        scheduler.shutdown();
+
+        // Cache-only brownout: alive, but not ready for new traffic.
+        let cache_only = SchedulerOptions {
+            cache_first_pct: 0,
+            cache_only_pct: 0,
+            ..SchedulerOptions::default()
+        };
+        let scheduler = Scheduler::new(scanner(), &cache_only);
+        with_gateway(&scheduler, 1, |addr, _| {
+            let r = raw_exchange(addr, PROBES.to_owned());
+            assert!(r.contains("\"status\":\"degraded\""), "{r}");
+            assert!(r.contains("\"tier\":\"cache-only\""), "{r}");
+            assert!(r.contains("\"ready\":false"), "{r}");
+            assert!(r.contains("HTTP/1.1 503 "), "{r}");
+        });
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn worker_panics_surface_as_500_and_the_gateway_recovers() {
+        use crate::fault::FaultConfig;
+        let opts = SchedulerOptions {
+            batch: 1,
+            workers: 1,
+            cache_bytes: 0,
+            fault: Some(FaultConfig {
+                worker_panic_every: 2,
+                ..FaultConfig::default()
+            }),
+            ..SchedulerOptions::default()
+        };
+        let (_, codes) = probe_lines(1);
+        let body = format!("{{\"bytecode\":\"0x{}\"}}", to_hex(&codes[0]));
+        let scheduler = Scheduler::new(scanner(), &opts);
+        with_gateway(&scheduler, 3, |addr, _| {
+            // Sequential exchanges are one single-row batch each: the
+            // fault plan panics on batch 2 only.
+            let ok = raw_exchange(addr, post_predict(&body));
+            assert!(ok.starts_with("HTTP/1.1 200 "), "{ok}");
+            let crashed = raw_exchange(addr, post_predict(&body));
+            assert!(crashed.starts_with("HTTP/1.1 500 "), "{crashed}");
+            assert!(crashed.contains("\"code\":\"internal\""), "{crashed}");
+            // The supervisor respawned the worker: service continues.
+            let recovered = raw_exchange(addr, post_predict(&body));
+            assert!(recovered.starts_with("HTTP/1.1 200 "), "{recovered}");
+            assert!(recovered.contains("\"verdict\""), "{recovered}");
+        });
+        let snap = scheduler.metrics_snapshot();
+        assert_eq!(snap.robustness.worker_panics, 1);
+        assert_eq!(snap.http.responses_5xx, 1);
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn deadline_timeouts_surface_as_504() {
+        // The lone request lingers in a half-full batch far past its
+        // 10ms deadline; the deferred slot resolves to 504, not 200.
+        let opts = SchedulerOptions {
+            batch: 2,
+            workers: 1,
+            linger_micros: 300_000,
+            deadline_ms: 10,
+            cache_bytes: 0,
+            ..SchedulerOptions::default()
+        };
+        let (_, codes) = probe_lines(1);
+        let body = format!("{{\"bytecode\":\"0x{}\"}}", to_hex(&codes[0]));
+        let scheduler = Scheduler::new(scanner(), &opts);
+        with_gateway(&scheduler, 1, |addr, _| {
+            let r = raw_exchange(addr, post_predict(&body));
+            assert!(r.starts_with("HTTP/1.1 504 "), "{r}");
+            assert!(r.contains("\"code\":\"timeout\""), "{r}");
+        });
+        assert_eq!(scheduler.metrics_snapshot().robustness.timeouts, 1);
+        scheduler.shutdown();
     }
 }

@@ -31,15 +31,38 @@
 //! * **Graceful shutdown** — [`Scheduler::shutdown`] closes the queue (the
 //!   sentinel), workers drain every in-flight job, and only then join; no
 //!   admitted request is ever dropped.
+//!
+//! PR 7 adds the fault-tolerance layer:
+//!
+//! * **Worker supervision** — scoring runs under `catch_unwind`; a panicked
+//!   batch answers every in-flight request with a typed internal error, and
+//!   the supervisor respawns a fresh worker sibling (panic counter in
+//!   `/metrics`). One model bug never wedges the per-connection routers.
+//! * **Deadlines** — [`SchedulerOptions::deadline_ms`] is enforced at
+//!   dequeue: a request that waited past its budget answers a typed
+//!   timeout without occupying model time.
+//! * **Retry/backoff** — address resolution through the chain runs under a
+//!   seeded [`RetryPolicy`] with decorrelated-jitter backoff, so transient
+//!   chain faults don't fail requests.
+//! * **Brownout ladder** — queue fill drives
+//!   [`DegradationTier`]: `Full → CacheFirst` (ensembles answer from their
+//!   cheapest member) `→ CacheOnly` (misses shed typed overload)
+//!   `→ Shed` (queue full refuses). Lossless [`Admission::Block`]
+//!   submissions never degrade.
+//! * **Fault injection** — an optional seeded
+//!   [`FaultPlan`] injects worker panics and
+//!   chain faults at exactly the seams above; `None` costs nothing.
 
 use crate::cache::{CacheStats, CachedVerdict, VerdictCache};
+use crate::fault::{FaultConfig, FaultPlan};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::proto::{self, Protocol};
-use phishinghook_data::{Address, CodeSource, SharedChain};
+use phishinghook_data::{Address, CodeSource, RetryPolicy, SharedChain};
 use phishinghook_evm::keccak::Digest;
-use phishinghook_models::{Scanner, Target};
+use phishinghook_models::{ResolveError, Scanner, Target};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -64,6 +87,26 @@ pub struct SchedulerOptions {
     /// without bound. Must exceed any burst a driver submits before
     /// draining (the `watch` driver submits one block at a time).
     pub max_outstanding: usize,
+    /// Per-request deadline in milliseconds, enforced at dequeue: a job
+    /// that waited longer answers a typed timeout instead of being scored.
+    /// `0` disables the deadline.
+    pub deadline_ms: u64,
+    /// Bounded graceful drain: once [`Scheduler::begin_drain`] has run for
+    /// this long, workers answer still-queued jobs with typed timeouts
+    /// instead of scoring them. `0` drains without bound (score everything).
+    pub drain_ms: u64,
+    /// Queue-fill percentage at which shed-mode submissions degrade to the
+    /// cheapest ensemble member ([`DegradationTier::CacheFirst`]). `0`
+    /// forces the tier (a bench knob); above `100` it can never trigger.
+    pub cache_first_pct: u32,
+    /// Queue-fill percentage at which shed-mode cache misses are refused
+    /// with a typed overload ([`DegradationTier::CacheOnly`]).
+    pub cache_only_pct: u32,
+    /// Backoff policy for transient chain faults during address resolution.
+    pub retry: RetryPolicy,
+    /// Optional deterministic fault schedule (the chaos harness). `None`
+    /// injects nothing and costs nothing.
+    pub fault: Option<FaultConfig>,
 }
 
 impl Default for SchedulerOptions {
@@ -74,6 +117,8 @@ impl Default for SchedulerOptions {
         // verdicts — plenty for the few thousand live phishing templates
         // the paper observes. 8192 outstanding responses bound a
         // never-reading connection to a couple of MB.
+        // Brownout thresholds sit above any healthy steady state: a queue
+        // half full means the workers are already behind.
         SchedulerOptions {
             batch: 64,
             workers: 1,
@@ -81,6 +126,47 @@ impl Default for SchedulerOptions {
             linger_micros: 1000,
             cache_bytes: 8 << 20,
             max_outstanding: 8192,
+            deadline_ms: 0,
+            drain_ms: 0,
+            cache_first_pct: 50,
+            cache_only_pct: 75,
+            retry: RetryPolicy::default(),
+            fault: None,
+        }
+    }
+}
+
+/// Where the scheduler is in its life, reported on `/healthz`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lifecycle {
+    /// Accepting and scoring requests.
+    Running,
+    /// [`Scheduler::begin_drain`] ran: finish what's queued, then stop.
+    Draining,
+}
+
+/// The brownout ladder: how much quality the scheduler is currently
+/// trading for headroom, driven by queue fill. The implicit fourth rung —
+/// Shed — is the queue-full refusal that always existed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradationTier {
+    /// Normal operation: full-ensemble scoring.
+    Full = 0,
+    /// Shed-mode submissions score on the cheapest ensemble member only
+    /// (cache hits still replay full-ensemble verdicts).
+    CacheFirst = 1,
+    /// Shed-mode cache misses answer a typed overload; only cache hits are
+    /// served.
+    CacheOnly = 2,
+}
+
+impl DegradationTier {
+    /// Stable lower-case name, used in `/healthz` bodies and metrics.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DegradationTier::Full => "full",
+            DegradationTier::CacheFirst => "cache-first",
+            DegradationTier::CacheOnly => "cache-only",
         }
     }
 }
@@ -155,6 +241,9 @@ struct Job {
     proto: Protocol,
     /// Submit time, for the request-latency histogram.
     t0: Instant,
+    /// Admitted under [`DegradationTier::CacheFirst`]: score on the
+    /// cheapest ensemble member only, and never insert into the cache.
+    degraded: bool,
 }
 
 /// What kind of response a routed line settles, for per-conn tallies.
@@ -162,16 +251,42 @@ enum Settle {
     Scored { bytes: u64, cached: bool },
     Error,
     Overload,
+    Timeout,
+    Internal,
     Stats,
+}
+
+/// The transport-facing classification of one routed response line.
+///
+/// JSONL writers only need the line; the HTTP gateway reads the kind via
+/// [`Responses::recv_with_kind`] to map deferred verdict slots to their
+/// status (200 verdict, 500 worker panic, 504 deadline, 503 overload)
+/// *after* the response is known, since the status line is written when
+/// the response routes — not when the request was admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseKind {
+    /// A scored or cache-replayed verdict.
+    Verdict,
+    /// An inline body whose status the transport fixed at submit time
+    /// (stats, health, metrics, pre-rendered rejects).
+    Inline,
+    /// A malformed or unresolvable request, answered at submit time.
+    Error,
+    /// A typed overload response.
+    Overload,
+    /// The request's deadline expired before a worker scored it.
+    Timeout,
+    /// The scoring worker panicked on the batch carrying this request.
+    Internal,
 }
 
 struct ConnState {
     /// `Some` while the writer is attached; dropped (closing the writer's
     /// channel) once the connection is finished and fully drained.
-    tx: Option<mpsc::Sender<String>>,
+    tx: Option<mpsc::Sender<(String, ResponseKind)>>,
     next_seq: u64,
     submitted_seqs: u64,
-    pending: BTreeMap<u64, String>,
+    pending: BTreeMap<u64, (String, ResponseKind)>,
     eof: bool,
     report: ConnReport,
 }
@@ -232,7 +347,7 @@ impl Window {
 /// flow-control window; dropping the stream unblocks and disconnects the
 /// submit side.
 pub struct Responses {
-    rx: mpsc::Receiver<String>,
+    rx: mpsc::Receiver<(String, ResponseKind)>,
     window: Arc<Window>,
 }
 
@@ -240,14 +355,20 @@ impl Responses {
     /// The next response line, in request order; `None` once the
     /// connection is finished and fully drained.
     pub fn recv(&self) -> Option<String> {
-        let line = self.rx.recv().ok()?;
+        self.recv_with_kind().map(|(line, _)| line)
+    }
+
+    /// Like [`Responses::recv`], with the line's [`ResponseKind`] — how
+    /// the HTTP gateway types 500s and 504s it only learns at route time.
+    pub fn recv_with_kind(&self) -> Option<(String, ResponseKind)> {
+        let routed = self.rx.recv().ok()?;
         self.window.release();
-        Some(line)
+        Some(routed)
     }
 
     /// A response line only if one is already routed (never blocks).
     pub fn try_recv(&self) -> Option<String> {
-        let line = self.rx.try_recv().ok()?;
+        let (line, _) = self.rx.try_recv().ok()?;
         self.window.release();
         Some(line)
     }
@@ -279,6 +400,14 @@ impl Router {
     /// Routes one response line, releasing every line that is now in
     /// per-connection order, and tallies it into the connection's report.
     fn complete(&self, conn: u64, seq: u64, line: String, settle: Settle) {
+        let kind = match &settle {
+            Settle::Scored { .. } => ResponseKind::Verdict,
+            Settle::Error => ResponseKind::Error,
+            Settle::Overload => ResponseKind::Overload,
+            Settle::Timeout => ResponseKind::Timeout,
+            Settle::Internal => ResponseKind::Internal,
+            Settle::Stats => ResponseKind::Inline,
+        };
         let mut conns = self.conns.lock().expect("router lock");
         let Some(state) = conns.get_mut(&conn) else {
             return; // report already taken (connection torn down)
@@ -293,11 +422,11 @@ impl Router {
                     state.report.cache_misses += 1;
                 }
             }
-            Settle::Error => state.report.errors += 1,
+            Settle::Error | Settle::Timeout | Settle::Internal => state.report.errors += 1,
             Settle::Overload => state.report.overloads += 1,
             Settle::Stats => {}
         }
-        state.pending.insert(seq, line);
+        state.pending.insert(seq, (line, kind));
         while let Some(ready) = state.pending.remove(&state.next_seq) {
             if let Some(tx) = &state.tx {
                 // A dead writer only means the lines go nowhere; ordering
@@ -326,6 +455,22 @@ struct Shared {
     /// Chain handle for resolving address-form requests; `None` serves
     /// bytecode-only (address requests answer a typed error).
     chain: Option<SharedChain>,
+    /// Per-request deadline (`None` = no deadline), enforced at dequeue.
+    deadline: Option<Duration>,
+    /// Bounded-drain budget in milliseconds (`0` = unbounded).
+    drain_ms: u64,
+    /// 0 = running, 1 = draining (see [`Lifecycle`]).
+    lifecycle: AtomicU8,
+    /// Set by [`Scheduler::begin_drain`] when `drain_ms > 0`; past this
+    /// instant workers answer queued jobs with typed timeouts.
+    drain_deadline: Mutex<Option<Instant>>,
+    /// Brownout thresholds (percent of queue capacity).
+    cache_first_pct: u32,
+    cache_only_pct: u32,
+    /// Backoff policy for transient chain faults.
+    retry: RetryPolicy,
+    /// Seeded fault schedule; `None` injects nothing.
+    fault: Option<Arc<FaultPlan>>,
 }
 
 impl Shared {
@@ -335,6 +480,37 @@ impl Shared {
             self.queue.capacity() as u64,
             self.cache.as_ref().map(VerdictCache::stats),
         )
+    }
+
+    /// The brownout tier for the current queue fill, also pushed to the
+    /// metrics tier gauge / degraded-time clock as a side effect.
+    fn current_tier(&self) -> DegradationTier {
+        let fill = self.queue.len() * 100;
+        let cap = self.queue.capacity();
+        let tier = if fill >= self.cache_only_pct as usize * cap {
+            DegradationTier::CacheOnly
+        } else if fill >= self.cache_first_pct as usize * cap {
+            DegradationTier::CacheFirst
+        } else {
+            DegradationTier::Full
+        };
+        self.metrics.set_tier(tier as u8);
+        tier
+    }
+
+    fn is_draining(&self) -> bool {
+        self.lifecycle.load(Ordering::SeqCst) == 1
+    }
+
+    /// True once a bounded drain's deadline has passed: queued jobs should
+    /// answer typed timeouts instead of being scored.
+    fn drain_expired(&self) -> bool {
+        self.is_draining()
+            && self
+                .drain_deadline
+                .lock()
+                .expect("drain lock")
+                .is_some_and(|deadline| Instant::now() >= deadline)
     }
 
     fn stats(&self) -> StatsSnapshot {
@@ -393,14 +569,33 @@ impl Scheduler {
             max_outstanding: opts.max_outstanding.max(1),
             metrics: Metrics::new(),
             chain,
+            deadline: (opts.deadline_ms > 0).then(|| Duration::from_millis(opts.deadline_ms)),
+            drain_ms: opts.drain_ms,
+            lifecycle: AtomicU8::new(0),
+            drain_deadline: Mutex::new(None),
+            cache_first_pct: opts.cache_first_pct,
+            cache_only_pct: opts.cache_only_pct,
+            retry: opts.retry.clone(),
+            fault: opts
+                .fault
+                .filter(|config| !config.is_inert())
+                .map(|config| Arc::new(FaultPlan::new(config))),
         });
         let batch = opts.batch.max(1);
         let linger = Duration::from_micros(opts.linger_micros);
         let workers = (0..opts.workers.max(1))
             .map(|_| {
                 let shared = Arc::clone(&shared);
-                let worker = scanner.worker();
-                std::thread::spawn(move || worker_loop(&shared, worker, batch, linger))
+                let seed = scanner.worker();
+                // Supervisor: a clean (queue-closed) exit ends the thread;
+                // a panicked batch respawns a fresh Arc-sharing sibling —
+                // fresh scratch state, same shared model.
+                std::thread::spawn(move || loop {
+                    let worker = seed.worker();
+                    if worker_loop(&shared, worker, batch, linger) {
+                        return;
+                    }
+                })
             })
             .collect();
         Scheduler { shared, workers }
@@ -476,6 +671,38 @@ impl Scheduler {
     /// request/response tallies here so `/metrics` sees both front-ends.
     pub fn metrics(&self) -> &Metrics {
         &self.shared.metrics
+    }
+
+    /// Marks the scheduler as draining: `/healthz` flips to 503, and when
+    /// a drain budget is configured ([`SchedulerOptions::drain_ms`]),
+    /// jobs still queued past the budget answer typed timeouts instead of
+    /// being scored. Idempotent; call before [`Scheduler::shutdown`].
+    pub fn begin_drain(&self) {
+        let was = self.shared.lifecycle.swap(1, Ordering::SeqCst);
+        if was == 0 && self.shared.drain_ms > 0 {
+            *self.shared.drain_deadline.lock().expect("drain lock") =
+                Some(Instant::now() + Duration::from_millis(self.shared.drain_ms));
+        }
+    }
+
+    /// Running, or draining after [`Scheduler::begin_drain`].
+    pub fn lifecycle(&self) -> Lifecycle {
+        if self.shared.is_draining() {
+            Lifecycle::Draining
+        } else {
+            Lifecycle::Running
+        }
+    }
+
+    /// The brownout tier for the current queue fill.
+    pub fn degradation_tier(&self) -> DegradationTier {
+        self.shared.current_tier()
+    }
+
+    /// The attached fault schedule, when one was configured — the chaos
+    /// suite reads its injection counters to assert exact recovery.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.shared.fault.as_deref()
     }
 
     /// Model names in per-model response order.
@@ -691,16 +918,43 @@ impl Connection {
     ) -> SubmitOutcome {
         let t0 = Instant::now();
         let address = target.address();
-        let source = self
-            .shared
-            .chain
-            .as_ref()
-            .map(|chain| chain as &dyn CodeSource);
-        let code = match target.resolve(source) {
-            Ok(code) => code.into_owned(),
-            Err(err) => {
-                self.route_error(seq, &id, &err.to_string());
-                return SubmitOutcome::Unresolved;
+        let code = match target {
+            Target::Bytecode(code) => code,
+            Target::Address(addr) => {
+                let Some(chain) = self.shared.chain.as_ref() else {
+                    self.route_error(seq, &id, &ResolveError::NoSource(addr).to_string());
+                    return SubmitOutcome::Unresolved;
+                };
+                // Address resolution runs under the scheduler's seeded
+                // retry policy: transient chain faults back off and retry
+                // instead of failing the request. The fault plan (when
+                // attached) injects its faults and latency here, upstream
+                // of the real lookup.
+                let metrics = &self.shared.metrics;
+                let fault = self.shared.fault.as_deref();
+                let lookup = || {
+                    if let Some(plan) = fault {
+                        if let Some(err) = plan.chain_fault() {
+                            return Err(err);
+                        }
+                    }
+                    chain.try_code_at(addr)
+                };
+                let resolved = self
+                    .shared
+                    .retry
+                    .run(lookup, |_, _, _| metrics.inc_chain_retries());
+                match resolved {
+                    Ok(Some(code)) => code,
+                    Ok(None) => {
+                        self.route_error(seq, &id, &ResolveError::NoCode(addr).to_string());
+                        return SubmitOutcome::Unresolved;
+                    }
+                    Err(err) => {
+                        self.route_error(seq, &id, &err.to_string());
+                        return SubmitOutcome::Unresolved;
+                    }
+                }
             }
         };
 
@@ -732,6 +986,32 @@ impl Connection {
             }
         }
 
+        // Brownout ladder: the tier is computed on every admission (keeps
+        // the gauge and degraded-time clock honest) but only applied to
+        // lossy shed-mode submissions — Block is the lossless bulk path.
+        let tier = self.shared.current_tier();
+        let degraded = match admission {
+            Admission::Block => false,
+            Admission::Shed => match tier {
+                DegradationTier::Full => false,
+                DegradationTier::CacheFirst => true,
+                DegradationTier::CacheOnly => {
+                    // The cache already missed (or is off): refuse typed
+                    // rather than deepen the queue the tier exists to save.
+                    self.shared.metrics.inc_overloads();
+                    let mut out = String::new();
+                    match self.proto {
+                        Protocol::V1 => proto::render_overload_v1(&mut out),
+                        Protocol::V2 => proto::render_overload_v2(&mut out, &id),
+                    }
+                    self.shared
+                        .router
+                        .complete(self.id, seq, out, Settle::Overload);
+                    return SubmitOutcome::Overloaded;
+                }
+            },
+        };
+
         let job = Job {
             conn: self.id,
             seq,
@@ -741,6 +1021,7 @@ impl Connection {
             hash,
             proto: self.proto,
             t0,
+            degraded,
         };
         // Counted before the push so a worker can never score a job whose
         // `submitted` increment is still pending (see `Metrics::snapshot`).
@@ -858,13 +1139,31 @@ fn render_verdict(
     out
 }
 
+/// Answers one dequeued job with the framing's typed timeout response.
+fn answer_timeout(shared: &Shared, job: &Job) {
+    shared.metrics.inc_timeouts();
+    let mut out = String::new();
+    match job.proto {
+        Protocol::V1 => proto::render_timeout_v1(&mut out),
+        Protocol::V2 => proto::render_timeout_v2(&mut out, &job.id),
+    }
+    shared
+        .router
+        .complete(job.conn, job.seq, out, Settle::Timeout);
+}
+
 /// One worker: drain the queue into batches (flush on size or linger
 /// deadline), score through the shared model, insert into the cache, route
-/// responses. Exits when the queue is closed **and** drained.
-fn worker_loop(shared: &Shared, mut scanner: Scanner, batch: usize, linger: Duration) {
+/// responses. Returns `true` on the clean exit (queue closed **and**
+/// drained) and `false` after a caught scoring panic — the supervisor in
+/// [`Scheduler::with_chain`] respawns a fresh sibling in that case, after
+/// every job of the poisoned batch was answered with a typed internal
+/// error. Requests that out-waited their deadline (or a bounded drain's
+/// budget) answer typed timeouts at dequeue without being scored.
+fn worker_loop(shared: &Shared, mut scanner: Scanner, batch: usize, linger: Duration) -> bool {
     loop {
         let Some(first) = shared.queue.pop() else {
-            return; // shutdown sentinel: closed and drained
+            return true; // shutdown sentinel: closed and drained
         };
         let mut jobs = vec![first];
         if batch > 1 {
@@ -877,13 +1176,79 @@ fn worker_loop(shared: &Shared, mut scanner: Scanner, batch: usize, linger: Dura
             }
         }
 
-        let codes: Vec<&[u8]> = jobs.iter().map(|j| j.code.as_slice()).collect();
-        let (combined, per_model) = scanner.score_with_members(&codes);
+        // Deadline enforcement happens here, at dequeue: scoring a request
+        // whose client budget already lapsed wastes the batch slot that
+        // could serve a live one.
+        let drain_expired = shared.drain_expired();
+        if drain_expired || shared.deadline.is_some() {
+            jobs.retain(|job| {
+                let expired =
+                    drain_expired || shared.deadline.is_some_and(|d| job.t0.elapsed() > d);
+                if expired {
+                    answer_timeout(shared, job);
+                }
+                !expired
+            });
+        }
+        if jobs.is_empty() {
+            continue;
+        }
+
+        // Degraded (CacheFirst-tier) rows score on the primary member
+        // only; full rows keep the whole ensemble. Both passes run inside
+        // one catch_unwind so a panic anywhere answers the whole batch.
+        let full_rows: Vec<usize> = (0..jobs.len()).filter(|&i| !jobs[i].degraded).collect();
+        let degraded_rows: Vec<usize> = (0..jobs.len()).filter(|&i| jobs[i].degraded).collect();
+        let scored = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            if let Some(plan) = &shared.fault {
+                if plan.should_panic_batch() {
+                    panic!("{}", crate::fault::INJECTED_PANIC);
+                }
+            }
+            let full_codes: Vec<&[u8]> =
+                full_rows.iter().map(|&i| jobs[i].code.as_slice()).collect();
+            let degraded_codes: Vec<&[u8]> = degraded_rows
+                .iter()
+                .map(|&i| jobs[i].code.as_slice())
+                .collect();
+            let full = if full_codes.is_empty() {
+                (Vec::new(), Vec::new())
+            } else {
+                scanner.score_with_members(&full_codes)
+            };
+            let degraded = if degraded_codes.is_empty() {
+                (Vec::new(), String::new())
+            } else {
+                scanner.score_primary(&degraded_codes)
+            };
+            (full, degraded)
+        }));
+        let ((combined, per_model), (primary, primary_name)) = match scored {
+            Ok(result) => result,
+            Err(_) => {
+                // The batch is poisoned; every rider gets a typed internal
+                // error so no router slot is left waiting, and the
+                // supervisor replaces this worker with a fresh sibling.
+                shared.metrics.inc_worker_panics();
+                for job in &jobs {
+                    let mut out = String::new();
+                    match job.proto {
+                        Protocol::V1 => proto::render_internal_v1(&mut out),
+                        Protocol::V2 => proto::render_internal_v2(&mut out, &job.id),
+                    }
+                    shared
+                        .router
+                        .complete(job.conn, job.seq, out, Settle::Internal);
+                }
+                return false;
+            }
+        };
         shared.metrics.inc_batches();
         shared.metrics.inc_scored(jobs.len() as u64);
 
         let mut member_probas = vec![0.0f64; per_model.len()];
-        for (row, job) in jobs.iter().enumerate() {
+        for (row, &i) in full_rows.iter().enumerate() {
+            let job = &jobs[i];
             for (m, (_, probs)) in per_model.iter().enumerate() {
                 member_probas[m] = probs[row];
             }
@@ -904,6 +1269,31 @@ fn worker_loop(shared: &Shared, mut scanner: Scanner, batch: usize, linger: Dura
                 &shared.model_version,
                 &shared.names,
                 &member_probas,
+            );
+            shared.router.complete(
+                job.conn,
+                job.seq,
+                line,
+                Settle::Scored {
+                    bytes: job.code.len() as u64,
+                    cached: false,
+                },
+            );
+            shared.metrics.record_latency(job.t0.elapsed());
+        }
+        // Degraded verdicts report the one member they ran and never enter
+        // the cache: a later hit must replay full-ensemble bits.
+        let degraded_names = [primary_name];
+        for (row, &i) in degraded_rows.iter().enumerate() {
+            let job = &jobs[i];
+            let line = render_verdict(
+                job.proto,
+                &job.id,
+                job.address.as_ref(),
+                primary[row],
+                &shared.model_version,
+                &degraded_names,
+                &primary[row..=row],
             );
             shared.router.complete(
                 job.conn,
@@ -1293,5 +1683,233 @@ mod tests {
         assert_eq!(snap.latency.count(), 2 * codes.len() as u64);
         assert!(snap.latency.quantile(0.5) > 0.0);
         assert_eq!(snap.cache.expect("cache on").hits, codes.len() as u64);
+    }
+
+    #[test]
+    fn worker_panics_answer_typed_internal_and_the_supervisor_respawns() {
+        // One worker, one-row batches, and a fault plan that panics every
+        // second batch: requests alternate verdict / internal, the panic
+        // counter matches, and the scheduler keeps serving after every
+        // crash — the supervisor respawned the worker.
+        let opts = SchedulerOptions {
+            batch: 1,
+            workers: 1,
+            cache_bytes: 0,
+            fault: Some(FaultConfig {
+                worker_panic_every: 2,
+                ..FaultConfig::default()
+            }),
+            ..opts()
+        };
+        let (input, _) = probe_lines(4);
+        let scheduler = Scheduler::new(scanner(), &opts);
+        let lines = roundtrip(&scheduler, Protocol::V2, &input);
+        assert_eq!(lines.len(), 4);
+        for (i, line) in lines.iter().enumerate() {
+            if i % 2 == 0 {
+                assert!(line.contains("\"verdict\""), "{line}");
+            } else {
+                assert!(line.contains("\"code\":\"internal\""), "{line}");
+                assert!(line.contains("scoring worker failed"), "{line}");
+            }
+        }
+        let snap = scheduler.metrics_snapshot();
+        assert_eq!(snap.robustness.worker_panics, 2);
+        assert_eq!(scheduler.fault_plan().expect("plan").panics_injected(), 2);
+        let stats = scheduler.shutdown();
+        assert_eq!(stats.scheduler.scored, 2);
+    }
+
+    #[test]
+    fn deadline_expired_jobs_answer_typed_timeouts_at_dequeue() {
+        // The worker pops the lone job, then lingers 300ms waiting for a
+        // second row that never comes; by flush time the 10ms deadline has
+        // long passed, so the job is answered as a typed timeout without
+        // being scored.
+        let opts = SchedulerOptions {
+            batch: 2,
+            workers: 1,
+            linger_micros: 300_000,
+            deadline_ms: 10,
+            cache_bytes: 0,
+            ..opts()
+        };
+        let (input, _) = probe_lines(1);
+        let scheduler = Scheduler::new(scanner(), &opts);
+        let lines = roundtrip(&scheduler, Protocol::V2, &input);
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("\"code\":\"timeout\""), "{}", lines[0]);
+        assert!(lines[0].contains("deadline exceeded"), "{}", lines[0]);
+        let snap = scheduler.metrics_snapshot();
+        assert_eq!(snap.robustness.timeouts, 1);
+        let stats = scheduler.shutdown();
+        assert_eq!(stats.scheduler.scored, 0);
+    }
+
+    #[test]
+    fn drain_budget_answers_queued_jobs_as_timeouts() {
+        // Same linger trick, but expiry comes from the drain deadline:
+        // once `begin_drain` has been called and the 1ms budget elapses,
+        // still-queued work is answered as typed timeouts instead of
+        // holding shutdown hostage.
+        let opts = SchedulerOptions {
+            batch: 2,
+            workers: 1,
+            linger_micros: 300_000,
+            drain_ms: 1,
+            cache_bytes: 0,
+            ..opts()
+        };
+        let (input, _) = probe_lines(1);
+        let scheduler = Scheduler::new(scanner(), &opts);
+        assert_eq!(scheduler.lifecycle(), Lifecycle::Running);
+        let (mut conn, rx) = scheduler.connect(Protocol::V2);
+        for line in input.lines() {
+            conn.submit(line, Admission::Block);
+        }
+        scheduler.begin_drain();
+        assert_eq!(scheduler.lifecycle(), Lifecycle::Draining);
+        conn.finish();
+        let lines: Vec<String> = rx.iter().collect();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("\"code\":\"timeout\""), "{}", lines[0]);
+        let stats = scheduler.shutdown();
+        assert_eq!(stats.scheduler.scored, 0);
+    }
+
+    #[test]
+    fn brownout_cache_only_sheds_misses_but_serves_hits() {
+        // `cache_only_pct: 0` pins the brownout ladder to its deepest
+        // tier. Shedding traffic is answered from cache when possible and
+        // refused typed otherwise; lossless (Block) traffic still scores.
+        let opts = SchedulerOptions {
+            cache_first_pct: 0,
+            cache_only_pct: 0,
+            ..opts()
+        };
+        let (input, _) = probe_lines(2);
+        let lines: Vec<&str> = input.lines().collect();
+        let scheduler = Scheduler::new(scanner(), &opts);
+        assert_eq!(scheduler.degradation_tier(), DegradationTier::CacheOnly);
+
+        // Warm the cache losslessly — Block admission never degrades —
+        // and wait for the verdict so the insert has landed.
+        let warm = roundtrip(&scheduler, Protocol::V2, lines[0]);
+        assert!(warm[0].contains("\"verdict\""), "{}", warm[0]);
+
+        let (mut conn, rx) = scheduler.connect(Protocol::V2);
+        // A shed cache hit is still served under cache-only brownout...
+        assert_eq!(
+            conn.submit(lines[0], Admission::Shed),
+            SubmitOutcome::CacheHit
+        );
+        // ...but a shed miss is refused typed instead of queued.
+        assert_eq!(
+            conn.submit(lines[1], Admission::Shed),
+            SubmitOutcome::Overloaded
+        );
+        conn.finish();
+        let out: Vec<String> = rx.iter().collect();
+        assert_eq!(out.len(), 2);
+        assert!(out[0].contains("\"verdict\""), "{}", out[0]);
+        assert!(out[1].contains("\"code\":\"overloaded\""), "{}", out[1]);
+        let snap = scheduler.metrics_snapshot();
+        assert_eq!(snap.scheduler.overloads, 1);
+        assert_eq!(snap.robustness.tier, DegradationTier::CacheOnly as u8);
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn brownout_cache_first_scores_with_the_primary_member_and_skips_cache() {
+        use crate::testutil::ensemble_scanner;
+        // `cache_first_pct: 0` (with cache-only disabled at > 100%) pins
+        // the middle tier: shed traffic is scored by the ensemble's first
+        // member only, bit-identically to `score_primary`, and the result
+        // is NOT cached — degraded verdicts must never poison replay.
+        let opts = SchedulerOptions {
+            cache_first_pct: 0,
+            cache_only_pct: 101,
+            ..opts()
+        };
+        let (input, codes) = probe_lines(1);
+        let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
+        let mut primary = ensemble_scanner().worker();
+        let (primary_probs, primary_name) = primary.score_primary(&refs);
+
+        let scheduler = Scheduler::new(ensemble_scanner(), &opts);
+        assert_eq!(scheduler.degradation_tier(), DegradationTier::CacheFirst);
+        let (mut conn, rx) = scheduler.connect(Protocol::V2);
+        let line = input.lines().next().expect("one probe");
+        assert_eq!(conn.submit(line, Admission::Shed), SubmitOutcome::Queued);
+        // The same line again, lossless: scored cold by the full ensemble,
+        // proving the degraded pass did not populate the cache.
+        assert_eq!(conn.submit(line, Admission::Block), SubmitOutcome::Queued);
+        conn.finish();
+        let out: Vec<String> = rx.iter().collect();
+        assert_eq!(out.len(), 2);
+        let degraded = &out[0];
+        let full = &out[1];
+        assert!(
+            degraded.contains(&format!("\"proba\":{:.6}", primary_probs[0])),
+            "{degraded}"
+        );
+        assert!(
+            degraded.contains(&format!("\"{primary_name}\"")),
+            "{degraded}"
+        );
+        // One per-model entry on the degraded row, two on the full row.
+        assert_eq!(degraded.matches("\"name\":").count(), 1, "{degraded}");
+        assert_eq!(full.matches("\"name\":").count(), 2, "{full}");
+        let snap = scheduler.metrics_snapshot();
+        assert_eq!(snap.scheduler.scored, 2);
+        assert_eq!(snap.cache.expect("cache on").hits, 0);
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn injected_chain_faults_exhaust_retries_into_a_typed_error() {
+        use phishinghook_data::SharedChain;
+        // Every chain lookup faults (1000‰); the retry policy burns its 3
+        // attempts (2 retries, counted) and the request answers with the
+        // transient-fault detail instead of wedging or panicking.
+        let opts = SchedulerOptions {
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base_micros: 10,
+                cap_micros: 50,
+                seed: 1,
+            },
+            fault: Some(FaultConfig {
+                chain_fail_permille: 1000,
+                ..FaultConfig::default()
+            }),
+            ..opts()
+        };
+        let chain = SharedChain::new();
+        let address = [0x42u8; 20];
+        let (_, codes) = probe_lines(1);
+        chain.deploy(address, codes[0].clone());
+        let scheduler = Scheduler::with_chain(scanner(), &opts, Some(chain));
+        let (mut conn, rx) = scheduler.connect(Protocol::V2);
+        let hex: String = address.iter().map(|b| format!("{b:02x}")).collect();
+        let outcome = conn.submit(
+            &format!("{{\"id\":\"x\",\"address\":\"0x{hex}\"}}"),
+            Admission::Block,
+        );
+        assert_eq!(outcome, SubmitOutcome::Unresolved);
+        conn.finish();
+        let out: Vec<String> = rx.iter().collect();
+        assert!(out[0].contains("transient chain fault"), "{}", out[0]);
+        assert!(out[0].contains("injected chain fault"), "{}", out[0]);
+        let snap = scheduler.metrics_snapshot();
+        assert_eq!(snap.robustness.chain_retries, 2);
+        assert_eq!(
+            scheduler
+                .fault_plan()
+                .expect("plan")
+                .chain_faults_injected(),
+            3
+        );
+        scheduler.shutdown();
     }
 }

@@ -327,6 +327,7 @@ pub(crate) fn tcp_listener_loop(
                     live.load(Ordering::SeqCst)
                 );
                 total.overloads += 1;
+                scheduler.metrics().inc_overloads();
                 continue;
             }
             live.fetch_add(1, Ordering::SeqCst);
@@ -402,6 +403,7 @@ pub fn run(
         // and `Stdout` is `Send` where `StdoutLock` is not.
         let report = serve_lines(&scheduler, proto, stdin.lock(), io::stdout())?;
         eprint!("{}", report.render(&model));
+        scheduler.begin_drain();
         scheduler.shutdown();
         return Ok(report);
     }
@@ -424,7 +426,7 @@ pub fn run(
     }
     if let Some(listener) = &http_listener {
         eprintln!(
-            "serving {model} on http://{} (POST /predict, GET /healthz, GET /metrics)",
+            "serving {model} on http://{} (POST /predict, GET /healthz, GET /readyz, GET /metrics)",
             listener.local_addr()?
         );
     }
@@ -446,6 +448,11 @@ pub fn run(
     if limits.accept_total.is_some() {
         eprint!("{}", total.render(&model));
     }
+    // Flip the lifecycle to draining before the queue closes: any jobs
+    // still queued past the drain budget are answered as typed timeouts
+    // instead of holding shutdown hostage, and `/healthz` (were a probe
+    // still connected) reports `draining`.
+    scheduler.begin_drain();
     scheduler.shutdown();
     Ok(total)
 }

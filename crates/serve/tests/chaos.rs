@@ -1,0 +1,235 @@
+//! The chaos suite: deterministic fault injection across the whole
+//! serving core, asserting serving invariant #5 — with a seeded
+//! [`FaultPlan`](phishinghook_serve::FaultPlan) injecting worker panics,
+//! chain faults and slow clients, *every submitted request gets exactly
+//! one typed response and the scheduler never wedges*.
+//!
+//! Every fault here is seeded: a failure reproduces by rerunning the
+//! test, not by rerunning it a thousand times.
+
+use phishinghook_data::{Corpus, CorpusConfig, RetryPolicy, SharedChain};
+use phishinghook_evm::keccak::to_hex;
+use phishinghook_models::{Detector, DetectorRegistry, Scanner};
+use phishinghook_serve::fault::drip;
+use phishinghook_serve::{
+    serve_http, Admission, FaultConfig, Protocol, Scheduler, SchedulerOptions, SubmitOutcome,
+    TcpLimits,
+};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+fn fitted_scanner() -> Scanner {
+    let corpus = Corpus::generate(&CorpusConfig {
+        n_contracts: 80,
+        seed: 5,
+        ..Default::default()
+    });
+    let (codes, labels) = corpus.as_dataset();
+    let mut det = DetectorRegistry::global()
+        .build_str("rf:seed=7", 7)
+        .expect("valid spec");
+    det.fit(&codes, &labels);
+    Scanner::new(det).expect("fitted")
+}
+
+fn probes(n: usize) -> Vec<Vec<u8>> {
+    Corpus::generate(&CorpusConfig {
+        n_contracts: n,
+        seed: 99,
+        ..Default::default()
+    })
+    .records
+    .into_iter()
+    .map(|r| r.bytecode)
+    .collect()
+}
+
+#[test]
+fn every_submission_gets_exactly_one_typed_response_under_chaos() {
+    let codes = probes(24);
+    let chain = SharedChain::new();
+    let mut addresses = Vec::new();
+    for (i, code) in codes.iter().enumerate().take(8) {
+        let mut addr = [0u8; 20];
+        addr[0] = 0xC0;
+        addr[19] = i as u8;
+        chain.deploy(addr, code.clone());
+        addresses.push(addr);
+    }
+    let opts = SchedulerOptions {
+        batch: 4,
+        workers: 2,
+        queue_depth: 8,
+        retry: RetryPolicy {
+            max_attempts: 3,
+            base_micros: 10,
+            cap_micros: 50,
+            seed: 9,
+        },
+        fault: Some(FaultConfig {
+            seed: 0xC4A0_55ED,
+            worker_panic_every: 5,
+            chain_fail_permille: 200,
+            chain_latency_micros: 50,
+        }),
+        ..SchedulerOptions::default()
+    };
+    let scanner = fitted_scanner();
+    let scheduler = Scheduler::with_chain(&scanner, &opts, Some(chain));
+
+    // Four concurrent clients, each mixing healthy bytecode, resolvable
+    // and unresolvable addresses, and outright garbage — under lossless
+    // and shedding admission both.
+    let per_conn = 30usize;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|client: usize| {
+                let scheduler = &scheduler;
+                let codes = &codes;
+                let addresses = &addresses;
+                scope.spawn(move || {
+                    let (mut conn, rx) = scheduler.connect(Protocol::V2);
+                    for i in 0..per_conn {
+                        let admission = if i % 3 == 0 {
+                            Admission::Shed
+                        } else {
+                            Admission::Block
+                        };
+                        let line = match i % 5 {
+                            0 => format!(
+                                "{{\"id\":\"a{i}\",\"address\":\"0x{}\"}}",
+                                to_hex(&addresses[(client + i) % addresses.len()])
+                            ),
+                            1 => "definitely not a request".to_owned(),
+                            2 => format!(
+                                "{{\"id\":\"m{i}\",\"address\":\"0x{}\"}}",
+                                to_hex(&[0xEEu8; 20])
+                            ),
+                            _ => format!("0x{}", to_hex(&codes[(client * 7 + i) % codes.len()])),
+                        };
+                        let outcome = conn.submit(&line, admission);
+                        // Every outcome — scored, cached, refused, failed —
+                        // owes this connection exactly one response line.
+                        assert!(
+                            matches!(
+                                outcome,
+                                SubmitOutcome::Queued
+                                    | SubmitOutcome::CacheHit
+                                    | SubmitOutcome::Overloaded
+                                    | SubmitOutcome::Error
+                                    | SubmitOutcome::Unresolved
+                            ),
+                            "{outcome:?}"
+                        );
+                    }
+                    conn.finish();
+                    let responses: Vec<String> = rx.iter().collect();
+                    scheduler.take_report(conn.id());
+                    responses
+                })
+            })
+            .collect();
+        for handle in handles {
+            let responses = handle.join().expect("client");
+            assert_eq!(
+                responses.len(),
+                per_conn,
+                "exactly one response per submission"
+            );
+            for line in &responses {
+                let typed = line.contains("\"verdict\"")
+                    || line.contains("\"error\"")
+                    || line.contains("\"code\":\"overloaded\"")
+                    || line.contains("\"code\":\"timeout\"")
+                    || line.contains("\"code\":\"internal\"");
+                assert!(typed, "untyped response: {line}");
+            }
+        }
+    });
+
+    let plan = scheduler.fault_plan().expect("fault plan armed");
+    assert!(plan.panics_injected() > 0, "chaos run injected no panics");
+    assert!(
+        plan.chain_faults_injected() > 0,
+        "chaos run injected no chain faults"
+    );
+    let snap = scheduler.metrics_snapshot();
+    assert_eq!(snap.robustness.worker_panics, plan.panics_injected());
+    // Shutdown returning at all is the never-wedges assertion: the queue
+    // drains, the supervisors exit, no worker is stuck on a dead batch.
+    let stats = scheduler.shutdown();
+    assert!(stats.scheduler.scored > 0, "nothing was scored");
+}
+
+#[test]
+fn slow_fragmented_and_vanishing_clients_do_not_wedge_the_gateway() {
+    let scanner = fitted_scanner();
+    let scheduler = Scheduler::new(&scanner, &SchedulerOptions::default());
+    let codes = probes(1);
+    let body = format!("{{\"bytecode\":\"0x{}\"}}", to_hex(&codes[0]));
+    let request = format!(
+        "POST /predict HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    std::thread::scope(|scope| {
+        let scheduler = &scheduler;
+        let server = scope.spawn(move || {
+            serve_http(
+                &listener,
+                scheduler,
+                TcpLimits {
+                    max_conns: None,
+                    accept_total: Some(3),
+                },
+            )
+            .expect("serves")
+        });
+
+        // A slow client dribbling 3-byte fragments still gets its verdict.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        drip(
+            &mut stream,
+            request.as_bytes(),
+            3,
+            Duration::from_millis(1),
+            None,
+        )
+        .expect("drip");
+        stream
+            .shutdown(std::net::Shutdown::Write)
+            .expect("half-close");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 200 "), "{response}");
+        assert!(response.contains("\"verdict\""), "{response}");
+
+        // A client that vanishes mid-request (half the bytes, then gone)
+        // must not wedge the accept loop...
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        drip(
+            &mut stream,
+            request.as_bytes(),
+            7,
+            Duration::ZERO,
+            Some(request.len() / 2),
+        )
+        .expect("drip");
+        drop(stream);
+
+        // ...so the next, healthy client is still served.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(request.as_bytes()).expect("send");
+        stream
+            .shutdown(std::net::Shutdown::Write)
+            .expect("half-close");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 200 "), "{response}");
+
+        server.join().expect("server thread");
+    });
+    scheduler.shutdown();
+}
