@@ -1,0 +1,174 @@
+//! `load` — the standalone load-harness binary: drives an in-process
+//! sharded scheduler with the firehose generators from
+//! [`phishinghook_bench::load`] and prints one JSON report line.
+//!
+//! ```text
+//! load [--quick] [--open-loop|--closed-loop] [--clients N]
+//!      [--generators N] [--requests N] [--rate R|max] [--shards N]
+//!      [--templates N] [--seed N] [--warm]
+//!      [--assert-p99-ms MS] [--assert-clean]
+//! ```
+//!
+//! The `--assert-*` flags make the binary CI-shaped: `--assert-p99-ms`
+//! fails the process when the measured verdict p99 exceeds the bound,
+//! and `--assert-clean` fails it when any response was an untyped error,
+//! a timeout, or a worker-panic internal.
+
+use phishinghook_bench::load::{run_load, warm_caches, LoadConfig};
+use phishinghook_serve::{fixture, Scheduler, SchedulerOptions};
+use std::process::ExitCode;
+
+struct Args {
+    cfg: LoadConfig,
+    shards: usize,
+    cache_bytes: Option<usize>,
+    warm: bool,
+    assert_p99_ms: Option<f64>,
+    assert_clean: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        cfg: LoadConfig {
+            clients: 512,
+            generators: 8,
+            requests_per_client: 64,
+            ..LoadConfig::default()
+        },
+        shards: 2,
+        cache_bytes: None,
+        warm: false,
+        assert_p99_ms: None,
+        assert_clean: false,
+    };
+    let mut it = std::env::args().skip(1);
+    let numeric = |v: Option<String>, name: &str| -> f64 {
+        v.and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("{name} needs a numeric value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => {
+                args.cfg.clients = 512;
+                args.cfg.requests_per_client = 8;
+            }
+            "--open-loop" => args.cfg.open_loop = true,
+            "--closed-loop" => args.cfg.open_loop = false,
+            "--clients" => args.cfg.clients = numeric(it.next(), "--clients") as usize,
+            "--generators" => args.cfg.generators = numeric(it.next(), "--generators") as usize,
+            "--requests" => {
+                args.cfg.requests_per_client = numeric(it.next(), "--requests") as usize;
+            }
+            "--rate" => {
+                let v = it.next().expect("--rate needs a value");
+                args.cfg.rate = if v == "max" {
+                    f64::INFINITY
+                } else {
+                    v.parse().expect("--rate needs a number or 'max'")
+                };
+            }
+            "--shards" => args.shards = numeric(it.next(), "--shards") as usize,
+            "--templates" => args.cfg.templates = numeric(it.next(), "--templates") as usize,
+            "--seed" => args.cfg.seed = numeric(it.next(), "--seed") as u64,
+            "--assert-p99-ms" => {
+                args.assert_p99_ms = Some(numeric(it.next(), "--assert-p99-ms"));
+            }
+            "--cache-bytes" => {
+                args.cache_bytes = Some(numeric(it.next(), "--cache-bytes") as usize);
+            }
+            "--warm" => args.warm = true,
+            "--assert-clean" => args.assert_clean = true,
+            other => panic!("unknown flag: {other}"),
+        }
+    }
+    args
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".into()
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let defaults = SchedulerOptions::default();
+    let scheduler = Scheduler::new(
+        fixture::rf_scanner(),
+        &SchedulerOptions {
+            shards: args.shards,
+            cache_bytes: args.cache_bytes.unwrap_or(defaults.cache_bytes),
+            ..defaults
+        },
+    );
+    if args.warm {
+        warm_caches(&scheduler, &args.cfg);
+    }
+    let report = run_load(&scheduler, &args.cfg);
+    scheduler.shutdown();
+
+    println!(
+        concat!(
+            "{{\"schema\":\"phishinghook-load/v1\",",
+            "\"mode\":\"{mode}\",\"clients\":{clients},\"generators\":{generators},",
+            "\"requests_per_client\":{requests},\"shards\":{shards},\"rate\":{rate},",
+            "\"sent\":{sent},\"verdicts\":{verdicts},\"overloads\":{overloads},",
+            "\"errors\":{errors},\"timeouts\":{timeouts},\"internals\":{internals},",
+            "\"secs\":{secs},\"throughput_rps\":{throughput},",
+            "\"p50_ms\":{p50},\"p90_ms\":{p90},\"p99_ms\":{p99},\"p999_ms\":{p999}}}"
+        ),
+        mode = if args.cfg.open_loop { "open" } else { "closed" },
+        clients = args.cfg.clients,
+        generators = args.cfg.generators,
+        requests = args.cfg.requests_per_client,
+        shards = args.shards,
+        rate = json_f(args.cfg.rate),
+        sent = report.sent,
+        verdicts = report.verdicts,
+        overloads = report.overloads,
+        errors = report.errors,
+        timeouts = report.timeouts,
+        internals = report.internals,
+        secs = json_f(report.secs),
+        throughput = json_f(report.throughput),
+        p50 = json_f(report.p50_ms),
+        p90 = json_f(report.p90_ms),
+        p99 = json_f(report.p99_ms),
+        p999 = json_f(report.p999_ms),
+    );
+
+    let mut failed = false;
+    if report.sent
+        != report.verdicts + report.overloads + report.errors + report.timeouts + report.internals
+    {
+        eprintln!(
+            "FAIL: {} submits but {} responses — a request was dropped",
+            report.sent,
+            report.verdicts + report.overloads + report.errors + report.timeouts + report.internals
+        );
+        failed = true;
+    }
+    if args.assert_clean && report.errors + report.timeouts + report.internals > 0 {
+        eprintln!(
+            "FAIL: untyped-failure budget is zero (errors {}, timeouts {}, internals {})",
+            report.errors, report.timeouts, report.internals
+        );
+        failed = true;
+    }
+    if let Some(bound) = args.assert_p99_ms {
+        if report.p99_ms > bound {
+            eprintln!(
+                "FAIL: p99 {:.3}ms exceeds bound {bound:.3}ms",
+                report.p99_ms
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

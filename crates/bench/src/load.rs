@@ -1,0 +1,467 @@
+//! Closed- and open-loop load generators over the chain firehose.
+//!
+//! Both loops drive a [`Scheduler`] in process through the same JSONL
+//! `Connection`/`Responses` seam the TCP transport uses, with traffic
+//! drawn from [`ChainFirehose`] — Zipf-skewed template redeploys, the
+//! workload the verdict cache and the shard router were built for.
+//!
+//! * **Closed loop** — each logical client keeps exactly one request in
+//!   flight and submits with [`Admission::Block`]. Offered load tracks
+//!   capacity, so the numbers answer "how fast can N clients go?".
+//! * **Open loop** — requests are released on a fixed wall-clock
+//!   schedule (`t_i = t0 + i/rate`) with [`Admission::Shed`], whether or
+//!   not earlier responses came back. Offered load does *not* slow down
+//!   when the server does, so the tail quantiles answer the paper's
+//!   deployment question: what does a chain watcher see under overload?
+//!   `rate = f64::INFINITY` removes the pacing entirely — maximum
+//!   pressure, every refusal typed.
+//!
+//! A few thousand logical clients multiplex onto a handful of generator
+//! OS threads; per-connection response ordering pairs each response with
+//! the submit timestamp at the front of that client's deque, so latency
+//! needs no request IDs.
+
+use phishinghook_data::firehose::{ChainFirehose, FirehoseConfig};
+use phishinghook_evm::keccak::to_hex;
+use phishinghook_serve::{
+    Admission, Connection, PolledResponse, Protocol, ResponseKind, Responses, Scheduler,
+    SubmitOutcome,
+};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Shape of one load-generation run (see [`run_load`]).
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Logical clients (each its own scheduler connection).
+    pub clients: usize,
+    /// Generator OS threads the clients multiplex onto.
+    pub generators: usize,
+    /// Requests each logical client submits.
+    pub requests_per_client: usize,
+    /// Open loop: total offered rate in requests/second across all
+    /// generators; `f64::INFINITY` disables pacing (maximum pressure).
+    /// Ignored by the closed loop.
+    pub rate: f64,
+    /// `true` for the open loop (Shed + schedule), `false` for the
+    /// closed loop (Block + one in flight per client).
+    pub open_loop: bool,
+    /// Distinct bytecode templates in the firehose pool.
+    pub templates: usize,
+    /// Zipf skew exponent over template ranks (`0.0` = uniform).
+    pub skew: f64,
+    /// Seed for the (deterministic) traffic streams.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            clients: 64,
+            generators: 4,
+            requests_per_client: 32,
+            rate: f64::INFINITY,
+            open_loop: true,
+            templates: 16,
+            skew: 1.1,
+            seed: 0x10AD,
+        }
+    }
+}
+
+/// What one [`run_load`] call measured.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LoadReport {
+    /// Submit calls that expect a response (everything but blank lines).
+    pub sent: u64,
+    /// Responses typed [`ResponseKind::Verdict`].
+    pub verdicts: u64,
+    /// Typed overload refusals (open loop under pressure).
+    pub overloads: u64,
+    /// Malformed/unresolvable-request errors. The generators only send
+    /// well-formed hex, so anything nonzero here is a serving bug.
+    pub errors: u64,
+    /// Deadline expiries ([`ResponseKind::Timeout`]).
+    pub timeouts: u64,
+    /// Worker-panic responses ([`ResponseKind::Internal`]).
+    pub internals: u64,
+    /// Wall-clock duration of the run.
+    pub secs: f64,
+    /// Verdicts per second of wall clock.
+    pub throughput: f64,
+    /// Median verdict latency, milliseconds.
+    pub p50_ms: f64,
+    /// 90th-percentile verdict latency, milliseconds.
+    pub p90_ms: f64,
+    /// 99th-percentile verdict latency, milliseconds.
+    pub p99_ms: f64,
+    /// 99.9th-percentile verdict latency, milliseconds.
+    pub p999_ms: f64,
+}
+
+/// One logical client: a connection, its pending submit timestamps
+/// (front pairs with the next response — per-connection ordering), and a
+/// cursor into its pre-generated request list.
+struct Client {
+    conn: Connection,
+    responses: Responses,
+    pending: VecDeque<Instant>,
+    requests: Vec<String>,
+    next: usize,
+}
+
+impl Client {
+    fn done_sending(&self) -> bool {
+        self.next >= self.requests.len()
+    }
+
+    /// Submits the client's next request; returns `false` once the
+    /// scheduler has disconnected (shutdown mid-run).
+    fn submit_next(&mut self, admission: Admission, tally: &mut Tally) -> bool {
+        let line = &self.requests[self.next];
+        self.next += 1;
+        let now = Instant::now();
+        match self.conn.submit(line, admission) {
+            SubmitOutcome::Ignored => {}
+            SubmitOutcome::Disconnected => return false,
+            // Every other outcome produces exactly one response line.
+            _ => {
+                tally.sent += 1;
+                self.pending.push_back(now);
+            }
+        }
+        true
+    }
+
+    /// Drains every response routed so far, classifying and timing each.
+    fn drain(&mut self, latencies: &mut Vec<f64>, tally: &mut Tally) {
+        loop {
+            match self.responses.poll() {
+                PolledResponse::Ready(_, kind) => {
+                    let submitted = self
+                        .pending
+                        .pop_front()
+                        .expect("response without a pending submit");
+                    match kind {
+                        ResponseKind::Verdict => {
+                            tally.verdicts += 1;
+                            latencies.push(submitted.elapsed().as_secs_f64() * 1e3);
+                        }
+                        ResponseKind::Overload => tally.overloads += 1,
+                        ResponseKind::Timeout => tally.timeouts += 1,
+                        ResponseKind::Internal => tally.internals += 1,
+                        ResponseKind::Error | ResponseKind::Inline => tally.errors += 1,
+                    }
+                }
+                PolledResponse::Empty | PolledResponse::Closed => break,
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct Tally {
+    sent: u64,
+    verdicts: u64,
+    overloads: u64,
+    errors: u64,
+    timeouts: u64,
+    internals: u64,
+}
+
+/// Builds one generator's client set: each client gets its own
+/// connection and a pre-rendered request list drawn from a firehose
+/// seeded per generator (streams are disjoint and deterministic).
+fn build_clients(scheduler: &Scheduler, cfg: &LoadConfig, generator: usize) -> Vec<Client> {
+    let mine = (0..cfg.clients)
+        .filter(|c| c % cfg.generators.max(1) == generator)
+        .count();
+    let firehose = ChainFirehose::generate(&FirehoseConfig {
+        templates: cfg.templates.max(1),
+        seed: cfg.seed.wrapping_add(generator as u64),
+        skew: cfg.skew,
+        ..FirehoseConfig::default()
+    });
+    let mut events = firehose.take(mine * cfg.requests_per_client);
+    (0..mine)
+        .map(|_| {
+            let (conn, responses) = scheduler.connect(Protocol::V1);
+            let requests = (0..cfg.requests_per_client)
+                .map(|_| {
+                    let event = events.next().expect("firehose is infinite");
+                    format!("0x{}", to_hex(&event.bytecode))
+                })
+                .collect();
+            Client {
+                conn,
+                responses,
+                pending: VecDeque::new(),
+                requests,
+                next: 0,
+            }
+        })
+        .collect()
+}
+
+/// Runs one generator thread's loop and returns its tally + latencies.
+fn generate(scheduler: &Scheduler, cfg: &LoadConfig, generator: usize) -> (Tally, Vec<f64>) {
+    let mut clients = build_clients(scheduler, cfg, generator);
+    let mut tally = Tally::default();
+    let mut latencies = Vec::new();
+    let admission = if cfg.open_loop {
+        Admission::Shed
+    } else {
+        Admission::Block
+    };
+    // The open-loop schedule: this generator owns a 1/generators slice of
+    // the total offered rate; request i is due at t0 + i/slice.
+    let per_gen_rate = cfg.rate / cfg.generators.max(1) as f64;
+    let start = Instant::now();
+    let mut released = 0usize;
+    let mut cursor = 0usize;
+    loop {
+        let mut live = false;
+        let mut progressed = false;
+        if cfg.open_loop {
+            // Release every request whose scheduled time has passed,
+            // round-robin across clients — offered load never waits for
+            // responses.
+            let due = if per_gen_rate.is_finite() {
+                ((start.elapsed().as_secs_f64() * per_gen_rate) as usize).saturating_add(1)
+            } else {
+                usize::MAX
+            };
+            let mut scanned = 0;
+            while released < due && scanned < clients.len() {
+                let index = cursor % clients.len();
+                let client = &mut clients[index];
+                cursor += 1;
+                if client.done_sending() {
+                    scanned += 1;
+                    continue;
+                }
+                scanned = 0;
+                if client.submit_next(admission, &mut tally) {
+                    released += 1;
+                    progressed = true;
+                }
+            }
+        }
+        for client in &mut clients {
+            if !cfg.open_loop && client.pending.is_empty() && !client.done_sending() {
+                // Closed loop: exactly one in flight per client.
+                client.submit_next(admission, &mut tally);
+                progressed = true;
+            }
+            let before = client.pending.len();
+            client.drain(&mut latencies, &mut tally);
+            progressed |= client.pending.len() != before;
+            live |= !client.done_sending() || !client.pending.is_empty();
+        }
+        if !live {
+            break;
+        }
+        if !progressed {
+            std::thread::yield_now();
+        }
+    }
+    (tally, latencies)
+}
+
+/// The unique bytecodes a [`run_load`] call with `cfg` can ever serve:
+/// the per-generator firehose streams are deterministic, so replaying
+/// them (dedup'd by code hash) yields exactly the run's working set —
+/// the set to pre-warm when a measurement wants pure cache-hit traffic,
+/// and the set to bit-check verdicts against afterwards.
+pub fn unique_codes(cfg: &LoadConfig) -> Vec<Vec<u8>> {
+    let mut digests: Vec<[u8; 32]> = Vec::new();
+    let mut codes: Vec<Vec<u8>> = Vec::new();
+    for generator in 0..cfg.generators.max(1) {
+        let mine = (0..cfg.clients)
+            .filter(|c| c % cfg.generators.max(1) == generator)
+            .count();
+        let firehose = ChainFirehose::generate(&FirehoseConfig {
+            templates: cfg.templates.max(1),
+            seed: cfg.seed.wrapping_add(generator as u64),
+            skew: cfg.skew,
+            ..FirehoseConfig::default()
+        });
+        for event in firehose.take(mine * cfg.requests_per_client) {
+            let digest = event.code_hash().0;
+            if !digests.contains(&digest) {
+                digests.push(digest);
+                codes.push(event.bytecode);
+            }
+        }
+    }
+    codes
+}
+
+/// Pre-warms every unique code the run will draw through one lossless
+/// connection, so a following [`run_load`] pass is cache-hit dominated.
+pub fn warm_caches(scheduler: &Scheduler, cfg: &LoadConfig) -> usize {
+    let codes = unique_codes(cfg);
+    let (mut conn, responses) = scheduler.connect(Protocol::V1);
+    for code in &codes {
+        conn.submit(&format!("0x{}", to_hex(code)), Admission::Block);
+    }
+    conn.finish();
+    assert_eq!(
+        responses.iter().count(),
+        codes.len(),
+        "warm-up must answer every unique code"
+    );
+    codes.len()
+}
+
+/// Linear-interpolated percentile over an already-sorted sample.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0) * (sorted.len() - 1) as f64;
+    let low = rank.floor() as usize;
+    let high = rank.ceil() as usize;
+    let frac = rank - low as f64;
+    sorted[low] + (sorted[high] - sorted[low]) * frac
+}
+
+/// Drives `scheduler` with `cfg.generators` concurrent load-generator
+/// threads and aggregates their tallies into one [`LoadReport`].
+pub fn run_load(scheduler: &Scheduler, cfg: &LoadConfig) -> LoadReport {
+    let start = Instant::now();
+    let per_generator: Vec<(Tally, Vec<f64>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.generators.max(1))
+            .map(|g| scope.spawn(move || generate(scheduler, cfg, g)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("generator thread"))
+            .collect()
+    });
+    let secs = start.elapsed().as_secs_f64();
+
+    let mut tally = Tally::default();
+    let mut latencies = Vec::new();
+    for (t, mut l) in per_generator {
+        tally.sent += t.sent;
+        tally.verdicts += t.verdicts;
+        tally.overloads += t.overloads;
+        tally.errors += t.errors;
+        tally.timeouts += t.timeouts;
+        tally.internals += t.internals;
+        latencies.append(&mut l);
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    LoadReport {
+        sent: tally.sent,
+        verdicts: tally.verdicts,
+        overloads: tally.overloads,
+        errors: tally.errors,
+        timeouts: tally.timeouts,
+        internals: tally.internals,
+        secs,
+        throughput: if secs > 0.0 {
+            tally.verdicts as f64 / secs
+        } else {
+            0.0
+        },
+        p50_ms: percentile(&latencies, 50.0),
+        p90_ms: percentile(&latencies, 90.0),
+        p99_ms: percentile(&latencies, 99.0),
+        p999_ms: percentile(&latencies, 99.9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phishinghook_serve::{fixture, SchedulerOptions};
+
+    fn scheduler(shards: usize) -> Scheduler {
+        Scheduler::new(
+            fixture::rf_scanner(),
+            &SchedulerOptions {
+                shards,
+                workers: 1,
+                batch: 8,
+                ..SchedulerOptions::default()
+            },
+        )
+    }
+
+    #[test]
+    fn closed_loop_accounts_for_every_request() {
+        let scheduler = scheduler(2);
+        let cfg = LoadConfig {
+            clients: 8,
+            generators: 2,
+            requests_per_client: 16,
+            open_loop: false,
+            ..LoadConfig::default()
+        };
+        let report = run_load(&scheduler, &cfg);
+        assert_eq!(report.sent, 8 * 16);
+        // Closed loop + Block: nothing is shed, nothing errors.
+        assert_eq!(report.verdicts, 8 * 16);
+        assert_eq!(
+            report.overloads + report.errors + report.timeouts + report.internals,
+            0
+        );
+        assert!(report.throughput > 0.0);
+        assert!(report.p50_ms <= report.p99_ms && report.p99_ms <= report.p999_ms);
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn open_loop_overload_is_typed_never_lost() {
+        let scheduler = scheduler(1);
+        let cfg = LoadConfig {
+            clients: 16,
+            generators: 2,
+            requests_per_client: 32,
+            rate: f64::INFINITY,
+            open_loop: true,
+            ..LoadConfig::default()
+        };
+        let report = run_load(&scheduler, &cfg);
+        // Every submit got exactly one response: a verdict or a typed
+        // overload — never a silent drop, never an untyped error.
+        assert_eq!(report.sent, 16 * 32);
+        assert_eq!(report.verdicts + report.overloads, report.sent);
+        assert_eq!(report.errors + report.timeouts + report.internals, 0);
+        assert!(report.verdicts > 0, "overload shed everything");
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn traffic_is_deterministic_per_seed() {
+        let cfg = LoadConfig::default();
+        let scheduler = scheduler(2);
+        let a: Vec<String> = build_clients(&scheduler, &cfg, 0)
+            .into_iter()
+            .flat_map(|c| c.requests)
+            .collect();
+        let b: Vec<String> = build_clients(&scheduler, &cfg, 0)
+            .into_iter()
+            .flat_map(|c| c.requests)
+            .collect();
+        assert_eq!(a, b);
+        // Distinct generators draw disjoint streams (different seeds).
+        let other: Vec<String> = build_clients(&scheduler, &cfg, 1)
+            .into_iter()
+            .flat_map(|c| c.requests)
+            .collect();
+        assert_ne!(a, other);
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 100.0), 4.0);
+        assert_eq!(percentile(&sorted, 50.0), 2.5);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+}

@@ -87,13 +87,14 @@ USAGE:
                                                trained on --train first)
   phishinghook scan     <dataset.csv> <hex…>   train Random Forest, classify bytecodes
   phishinghook serve    --model <snap-or-spec> [--train <dataset.csv>] [--proto v1|v2]
-                        [--batch <n>] [--workers <n>] [--queue-depth <n>]
-                        [--cache-bytes <n>] [--tcp <addr>] [--http <addr>]
-                        [--chain <dataset.csv>] [--max-conns <n>] [--accept <n>]
-                        [--deadline-ms <n>] [--drain-ms <n>] [--retry-attempts <n>]
+                        [--shards <n>] [--pin-cores] [--batch <n>] [--workers <n>]
+                        [--queue-depth <n>] [--cache-bytes <n>] [--tcp <addr>]
+                        [--http <addr>] [--chain <dataset.csv>] [--max-conns <n>]
+                        [--accept <n>] [--deadline-ms <n>] [--drain-ms <n>]
+                        [--retry-attempts <n>]
                         [--cache-first-pct <n>] [--cache-only-pct <n>]
-                        [--fault-panic-every <n>] [--fault-chain-permille <n>]
-                        [--fault-seed <n>]
+                        [--fault-panic-every <n>] [--fault-panic-shard <n>]
+                        [--fault-chain-permille <n>] [--fault-seed <n>]
                                                batched scoring daemon (stdin, TCP JSONL
                                                and/or HTTP gateway): cross-connection
                                                micro-batching, keccak-keyed verdict
@@ -116,13 +117,17 @@ verdict cache; the `stats` request line reports scheduler/cache counters.
 Prometheus GET /metrics) over the same scheduler and cache as the JSONL
 front-ends; --chain loads a dataset as the eth_getCode source so
 address-form requests ({\"address\":\"0x…\"}) resolve to deployed bytecode.
+--shards splits the scheduler into independent lanes (queue + workers +
+cache slice), routed by code-hash digest; --pin-cores pins each lane's
+workers to a core (best-effort, Linux). --workers counts per lane.
 Robustness: --deadline-ms answers requests that waited too long with a
 typed timeout (504 over HTTP); --drain-ms caps the shutdown drain;
 --retry-attempts bounds chain-lookup retries (decorrelated-jitter
 backoff); --cache-first-pct / --cache-only-pct set the queue-fill
 percentages where brownout degrades shedding traffic to cheapest-member
 and then cache-only scoring. The --fault-* flags arm the deterministic
-fault-injection plan (chaos testing only).
+fault-injection plan (chaos testing only); --fault-panic-shard confines
+the injected worker panics to one lane.
 ";
 
 /// Executes a CLI invocation, returning the text to print.
@@ -467,6 +472,8 @@ fn serve_cmd(args: &[String]) -> Result<String, CliError> {
             "--train" => train = Some(value()?),
             "--chain" => chain_path = Some(value()?),
             "--batch" => builder = builder.batch(numeric(value()?, "batch size")?),
+            "--shards" => builder = builder.shards(numeric(value()?, "shard count")?),
+            "--pin-cores" => builder = builder.pin_cores(true),
             "--workers" => builder = builder.workers(numeric(value()?, "worker count")?),
             "--queue-depth" => builder = builder.queue_depth(numeric(value()?, "queue depth")?),
             "--cache-bytes" => {
@@ -492,6 +499,9 @@ fn serve_cmd(args: &[String]) -> Result<String, CliError> {
             }
             "--fault-panic-every" => {
                 fault.worker_panic_every = numeric(value()?, "fault batch interval")? as u64;
+            }
+            "--fault-panic-shard" => {
+                fault.worker_panic_shard = Some(numeric(value()?, "fault shard index")?);
             }
             "--fault-chain-permille" => {
                 fault.chain_fail_permille = numeric(value()?, "fault rate (permille)")? as u32;
@@ -521,8 +531,11 @@ fn serve_cmd(args: &[String]) -> Result<String, CliError> {
         ))
     })?;
     if !fault.is_inert() {
+        let lane = fault
+            .worker_panic_shard
+            .map_or_else(|| "any lane".to_owned(), |s| format!("lane {s} only"));
         eprintln!(
-            "fault injection ON (seed {}): panic every {} batch(es), chain fail {}‰",
+            "fault injection ON (seed {}): panic every {} batch(es) ({lane}), chain fail {}‰",
             fault.seed, fault.worker_panic_every, fault.chain_fail_permille
         );
         builder = builder.fault(fault);
@@ -903,6 +916,42 @@ mod tests {
             "{err}"
         );
         let err = run(&args(&["watch", "--model", "rf", "--batch", "0"])).unwrap_err();
+        assert!(
+            err.to_string().contains("`batch` must be at least 1"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn serve_validates_shard_flags() {
+        // Zero lanes are refused by the typed config, before any model
+        // work happens.
+        let err = run(&args(&["serve", "--model", "x.snap", "--shards", "0"])).unwrap_err();
+        assert!(
+            err.to_string().contains("`shards` must be at least 1"),
+            "{err}"
+        );
+        let err = run(&args(&["serve", "--model", "x.snap", "--shards", "lots"])).unwrap_err();
+        assert!(err.to_string().contains("shard count"), "{err}");
+        let err = run(&args(&[
+            "serve",
+            "--model",
+            "x.snap",
+            "--fault-panic-shard",
+            "two",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("fault shard index"), "{err}");
+        // --pin-cores takes no value: the next flag must still parse.
+        let err = run(&args(&[
+            "serve",
+            "--model",
+            "x.snap",
+            "--pin-cores",
+            "--batch",
+            "0",
+        ]))
+        .unwrap_err();
         assert!(
             err.to_string().contains("`batch` must be at least 1"),
             "{err}"

@@ -1,0 +1,70 @@
+//! Best-effort CPU affinity for shard workers.
+//!
+//! Shard-per-core serving wants each lane's scoring threads parked on
+//! their own core so a shard's queue, cache slice and scratch matrices
+//! stay in one core's cache domain. Affinity is strictly an optimization:
+//! on Linux it is a raw `sched_setaffinity(2)` call (std already links
+//! libc, so no new dependency), and a failure — containers and cpusets
+//! routinely forbid it — is silently ignored. On every other platform
+//! [`pin_to_core`] is a documented no-op that reports `false`.
+
+/// The number of CPUs available to this process, at least 1. Shard → core
+/// assignment wraps modulo this, so oversubscribed layouts (more shards
+/// than cores) still pin deterministically.
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Pins the calling thread to `core` (an index into the affinity mask).
+/// Returns whether the kernel accepted the mask; `false` on non-Linux
+/// platforms, for out-of-range cores, or when the scheduler refuses.
+#[cfg(target_os = "linux")]
+pub fn pin_to_core(core: usize) -> bool {
+    // One u64 word covers 64 CPUs; 16 words cover 1024, the kernel's
+    // conventional CPU_SETSIZE. std links libc, so declaring the one
+    // symbol we need keeps the crate dependency-free.
+    const WORDS: usize = 16;
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+    if core >= WORDS * 64 {
+        return false;
+    }
+    let mut mask = [0u64; WORDS];
+    mask[core / 64] = 1u64 << (core % 64);
+    // pid 0 = the calling thread.
+    unsafe { sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr()) == 0 }
+}
+
+/// Pins the calling thread to `core`. Not supported off Linux: always
+/// returns `false` and changes nothing.
+#[cfg(not(target_os = "linux"))]
+pub fn pin_to_core(_core: usize) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn available_cores_is_positive() {
+        assert!(available_cores() >= 1);
+    }
+
+    #[test]
+    fn out_of_range_core_is_refused_not_crashed() {
+        assert!(!pin_to_core(1 << 20));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn pinning_to_core_zero_succeeds_on_linux() {
+        // Core 0 always exists; run in a scratch thread so this test's
+        // own scheduling is left untouched.
+        let pinned = std::thread::spawn(|| pin_to_core(0)).join().expect("join");
+        assert!(pinned, "sched_setaffinity(core 0) should succeed");
+    }
+}

@@ -158,6 +158,15 @@ impl VerdictCache {
         }
     }
 
+    /// Reads a cached verdict without counting a hit or miss and without
+    /// refreshing recency — observation-only access for the bit-equality
+    /// harness, which must not perturb the counters or the LRU order the
+    /// serving tests assert.
+    pub fn peek(&self, key: &Digest) -> Option<CachedVerdict> {
+        let lru = self.inner.lock().expect("cache lock");
+        lru.map.get(key).map(|&idx| lru.slab[idx].value.clone())
+    }
+
     /// Inserts (or refreshes) a verdict, evicting least-recently-used
     /// entries until the byte budget is respected.
     pub fn insert(&self, key: Digest, value: CachedVerdict) {

@@ -150,9 +150,24 @@ impl ServeConfigBuilder {
         self
     }
 
-    /// Scoring worker threads (≥ 1).
+    /// Scoring worker threads per shard (≥ 1).
     pub fn workers(mut self, workers: usize) -> Self {
         self.scheduler.workers = workers;
+        self
+    }
+
+    /// Independent serving lanes (≥ 1); each shard owns its own queue
+    /// slice, worker(s) and verdict-cache slice, routed by keccak digest
+    /// (see [`SchedulerOptions::shards`]).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.scheduler.shards = shards;
+        self
+    }
+
+    /// Pin shard workers to CPU cores, round-robin (best-effort on Linux,
+    /// a no-op elsewhere).
+    pub fn pin_cores(mut self, pin_cores: bool) -> Self {
+        self.scheduler.pin_cores = pin_cores;
         self
     }
 
@@ -266,6 +281,7 @@ impl ServeConfigBuilder {
         for (field, value) in [
             ("batch", self.scheduler.batch),
             ("workers", self.scheduler.workers),
+            ("shards", self.scheduler.shards),
             ("queue_depth", self.scheduler.queue_depth),
             ("max_outstanding", self.scheduler.max_outstanding),
         ] {
@@ -322,6 +338,8 @@ mod tests {
         let config = ServeConfig::builder()
             .batch(8)
             .workers(3)
+            .shards(4)
+            .pin_cores(true)
             .queue_depth(17)
             .linger_micros(250)
             .cache_bytes(0)
@@ -335,6 +353,8 @@ mod tests {
             .expect("valid");
         assert_eq!(config.scheduler().batch, 8);
         assert_eq!(config.scheduler().workers, 3);
+        assert_eq!(config.scheduler().shards, 4);
+        assert!(config.scheduler().pin_cores);
         assert_eq!(config.scheduler().queue_depth, 17);
         assert_eq!(config.scheduler().linger_micros, 250);
         assert_eq!(config.scheduler().cache_bytes, 0);
@@ -351,6 +371,7 @@ mod tests {
         for (field, builder) in [
             ("batch", ServeConfig::builder().batch(0)),
             ("workers", ServeConfig::builder().workers(0)),
+            ("shards", ServeConfig::builder().shards(0)),
             ("queue_depth", ServeConfig::builder().queue_depth(0)),
             ("max_outstanding", ServeConfig::builder().max_outstanding(0)),
         ] {

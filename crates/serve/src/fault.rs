@@ -37,6 +37,11 @@ pub struct FaultConfig {
     /// fires *inside* the supervised scoring closure, so it exercises the
     /// same `catch_unwind` + respawn path a real model bug would.
     pub worker_panic_every: u64,
+    /// Restrict injected worker panics to one shard's workers (`None` =
+    /// any shard). With a target set, only batches scored by that shard
+    /// count toward `worker_panic_every` — the chaos suite uses this to
+    /// prove a crashing lane never poisons its siblings.
+    pub worker_panic_shard: Option<usize>,
     /// Per-mille probability that a chain code lookup fails with a
     /// [`ChainError::Transient`] (0 = never, 1000 = always).
     pub chain_fail_permille: u32,
@@ -49,6 +54,7 @@ impl Default for FaultConfig {
         FaultConfig {
             seed: 0xFA_17,
             worker_panic_every: 0,
+            worker_panic_shard: None,
             chain_fail_permille: 0,
             chain_latency_micros: 0,
         }
@@ -102,12 +108,17 @@ impl FaultPlan {
         &self.config
     }
 
-    /// Called once per scored batch; true when this batch should panic.
-    /// Batches are numbered from 1, so `worker_panic_every = 3` panics
-    /// batches 3, 6, 9, … regardless of which worker drains them.
-    pub fn should_panic_batch(&self) -> bool {
+    /// Called once per scored batch with the scoring shard's index; true
+    /// when this batch should panic. Batches are numbered from 1, so
+    /// `worker_panic_every = 3` panics batches 3, 6, 9, … regardless of
+    /// which worker drains them. When `worker_panic_shard` targets a lane,
+    /// other shards' batches neither panic nor advance the counter.
+    pub fn should_panic_batch(&self, shard: usize) -> bool {
         let every = self.config.worker_panic_every;
         if every == 0 {
+            return false;
+        }
+        if self.config.worker_panic_shard.is_some_and(|t| t != shard) {
             return false;
         }
         let n = self.batches.fetch_add(1, Ordering::SeqCst) + 1;
@@ -196,7 +207,7 @@ mod tests {
         assert!(config.is_inert());
         let plan = FaultPlan::new(config);
         for _ in 0..100 {
-            assert!(!plan.should_panic_batch());
+            assert!(!plan.should_panic_batch(0));
             assert!(plan.chain_fault().is_none());
         }
         assert_eq!(plan.panics_injected(), 0);
@@ -209,12 +220,30 @@ mod tests {
             worker_panic_every: 3,
             ..Default::default()
         });
-        let fired: Vec<bool> = (0..9).map(|_| plan.should_panic_batch()).collect();
+        let fired: Vec<bool> = (0..9).map(|_| plan.should_panic_batch(0)).collect();
         assert_eq!(
             fired,
             [false, false, true, false, false, true, false, false, true]
         );
         assert_eq!(plan.panics_injected(), 3);
+    }
+
+    #[test]
+    fn shard_targeted_panics_skip_other_lanes_without_counting() {
+        let plan = FaultPlan::new(FaultConfig {
+            worker_panic_every: 2,
+            worker_panic_shard: Some(1),
+            ..Default::default()
+        });
+        // Shard 0 batches never fire and never advance the schedule...
+        for _ in 0..10 {
+            assert!(!plan.should_panic_batch(0));
+        }
+        // ...so shard 1 still sees its own batches 1, 2, 3, 4 → panics on
+        // exactly the even ones.
+        let fired: Vec<bool> = (0..4).map(|_| plan.should_panic_batch(1)).collect();
+        assert_eq!(fired, [false, true, false, true]);
+        assert_eq!(plan.panics_injected(), 2);
     }
 
     #[test]

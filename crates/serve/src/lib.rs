@@ -12,14 +12,17 @@
 //! | [`queue`] | Bounded blocking MPMC queue — the admission-control primitive |
 //! | [`cache`] | Keccak-keyed LRU verdict cache with a byte budget |
 //! | [`metrics`] | Lock-free counters + latency histograms, consistent snapshots, Prometheus text |
-//! | [`scheduler`] | Cross-connection micro-batching scheduler + ordered response routing |
+//! | [`scheduler`] | Sharded micro-batching scheduler + ordered response routing |
+//! | [`affinity`] | Best-effort core pinning for shard workers (Linux; no-op elsewhere) |
 //! | [`proto`] | Wire framings v1/v2, hardened against adversarial input |
 //! | [`http`] | std-only HTTP/1.1 parsing and response writing |
 //! | [`router`] | The HTTP gateway: `/predict`, `/healthz`, `/metrics` over the scheduler |
 //! | [`config`] | The typed [`ServeConfig`] builder — one config for every front-end |
 //! | [`serve`] | stdin/TCP/HTTP session loops, overload shedding, graceful drain |
+//! | [`nbio`] | Nonblocking-readiness JSONL transport: one thread for all connections |
 //! | [`fault`] | Deterministic fault injection: worker panics, chain faults, slow clients |
 //! | [`watch`] | The chain-watch firehose scenario, end to end |
+//! | [`fixture`] | Shared train-once test fixtures (scanners, probe corpora) |
 //!
 //! The serving invariants, all covered by tests in this crate:
 //!
@@ -37,12 +40,19 @@
 //!    [`FaultPlan`] injecting worker panics, chain
 //!    faults and slow clients, every submitted request still gets exactly
 //!    one typed response and the scheduler never wedges.
+//! 6. **Layout-independent verdicts** — sharding the scheduler
+//!    ([`SchedulerOptions::shards`]) never changes a verdict:
+//!    sharded outputs are `f64::to_bits`-identical to the 1-shard path
+//!    for any shard count.
 
+pub mod affinity;
 pub mod cache;
 pub mod config;
 pub mod fault;
+pub mod fixture;
 pub mod http;
 pub mod metrics;
+pub mod nbio;
 pub mod proto;
 pub mod queue;
 pub mod router;
@@ -58,68 +68,38 @@ pub use proto::{Protocol, MAX_LINE_BYTES, STATS_COMMAND};
 pub use queue::BoundedQueue;
 pub use router::serve_http;
 pub use scheduler::{
-    Admission, ConnReport, Connection, DegradationTier, Lifecycle, ResponseKind, Scheduler,
-    SchedulerOptions, SchedulerStats, StatsSnapshot, SubmitOutcome,
+    shard_of, Admission, ConnReport, Connection, DegradationTier, Lifecycle, PolledResponse,
+    ResponseKind, Responses, Scheduler, SchedulerOptions, SchedulerStats, ShardStats,
+    StatsSnapshot, SubmitOutcome,
 };
 pub use serve::{run, serve_lines, ServeReport, TcpLimits};
 #[allow(deprecated)]
 pub use serve::{serve_tcp, ServeOptions};
 pub use watch::{run_watch, WatchOptions, WatchReport};
 
-/// Shared fixtures for this crate's tests: training is the slow part, so
-/// every test module reuses one fitted scanner per model shape.
+/// Thin aliases over [`fixture`] for this crate's unit tests (the
+/// fixtures themselves are public so integration suites and the umbrella
+/// crate share the same train-once scanners).
 #[cfg(test)]
 pub(crate) mod testutil {
-    use phishinghook_data::{Corpus, CorpusConfig};
-    use phishinghook_evm::keccak::to_hex;
-    use phishinghook_models::{Detector, DetectorRegistry, Scanner};
-    use std::sync::OnceLock;
+    use phishinghook_models::Scanner;
+
+    /// The unit tests' probe-corpus seed (integration suites use others so
+    /// per-process cache state never aliases across suites).
+    const PROBE_SEED: u64 = 99;
 
     /// One fitted single-model (Random Forest) scanner shared by all tests.
     pub fn scanner() -> &'static Scanner {
-        static SCANNER: OnceLock<Scanner> = OnceLock::new();
-        SCANNER.get_or_init(|| {
-            let corpus = Corpus::generate(&CorpusConfig {
-                n_contracts: 80,
-                seed: 5,
-                ..Default::default()
-            });
-            let (codes, labels) = corpus.as_dataset();
-            let mut det = DetectorRegistry::global()
-                .build_str("rf:seed=7", 7)
-                .expect("valid spec");
-            det.fit(&codes, &labels);
-            Scanner::new(det).expect("fitted")
-        })
+        crate::fixture::rf_scanner()
     }
 
     /// A 2-member ensemble scanner for per-model wire assertions.
     pub fn ensemble_scanner() -> &'static Scanner {
-        static SCANNER: OnceLock<Scanner> = OnceLock::new();
-        SCANNER.get_or_init(|| {
-            let corpus = Corpus::generate(&CorpusConfig {
-                n_contracts: 80,
-                seed: 5,
-                ..Default::default()
-            });
-            let (codes, labels) = corpus.as_dataset();
-            let mut det = DetectorRegistry::global()
-                .build_str("ensemble:rf+lgbm:vote=soft", 7)
-                .expect("valid spec");
-            det.fit(&codes, &labels);
-            Scanner::new(det).expect("fitted")
-        })
+        crate::fixture::ensemble_scanner()
     }
 
     /// `n` held-out probe bytecodes plus their hex request lines.
     pub fn probe_lines(n: usize) -> (String, Vec<Vec<u8>>) {
-        let corpus = Corpus::generate(&CorpusConfig {
-            n_contracts: n,
-            seed: 99,
-            ..Default::default()
-        });
-        let codes: Vec<Vec<u8>> = corpus.records.into_iter().map(|r| r.bytecode).collect();
-        let text: String = codes.iter().map(|c| format!("0x{}\n", to_hex(c))).collect();
-        (text, codes)
+        crate::fixture::probe_lines(n, PROBE_SEED)
     }
 }

@@ -22,7 +22,7 @@
 //! next to the full Prometheus histogram.
 
 use crate::cache::CacheStats;
-use crate::scheduler::SchedulerStats;
+use crate::scheduler::{SchedulerStats, ShardStats};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -584,6 +584,97 @@ pub fn render_prometheus(snap: &MetricsSnapshot, model_name: &str, model_version
     out
 }
 
+/// Emits one `# HELP`/`# TYPE` header and a `{shard="i"}`-labelled sample
+/// per shard, reading each sample through `value`.
+fn shard_metric(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    kind: &str,
+    shards: &[ShardStats],
+    value: impl Fn(&ShardStats) -> Option<f64>,
+) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+    for stat in shards {
+        if let Some(v) = value(stat) {
+            out.push_str(&format!("{name}{{shard=\"{}\"}} {v}\n", stat.shard));
+        }
+    }
+}
+
+/// Renders the per-shard metric families (PR 8) in the Prometheus text
+/// exposition format: one `{shard="i"}`-labelled sample per lane for queue
+/// depth/capacity and the lane's slice of the verdict cache. Appended to
+/// [`render_prometheus`]'s aggregate output by the `/metrics` handler —
+/// the aggregate names stay unchanged so existing dashboards keep working,
+/// and the shard families make per-lane imbalance (a hot shard's queue
+/// filling while its neighbours idle) visible without new plumbing.
+pub fn render_prometheus_shards(shards: &[ShardStats]) -> String {
+    if shards.is_empty() {
+        return String::new();
+    }
+    let mut out = String::with_capacity(1024);
+    shard_metric(
+        &mut out,
+        "phishinghook_shard_queue_depth",
+        "Jobs in this shard's submit queue right now.",
+        "gauge",
+        shards,
+        |s| Some(s.queue_depth as f64),
+    );
+    shard_metric(
+        &mut out,
+        "phishinghook_shard_queue_capacity",
+        "Configured submit-queue capacity of this shard.",
+        "gauge",
+        shards,
+        |s| Some(s.queue_capacity as f64),
+    );
+    if shards.iter().any(|s| s.cache.is_some()) {
+        shard_metric(
+            &mut out,
+            "phishinghook_shard_cache_hits_total",
+            "Verdict-cache lookups answered from this shard's cache slice.",
+            "counter",
+            shards,
+            |s| s.cache.map(|c| c.hits as f64),
+        );
+        shard_metric(
+            &mut out,
+            "phishinghook_shard_cache_misses_total",
+            "Verdict-cache lookups on this shard that went to its workers.",
+            "counter",
+            shards,
+            |s| s.cache.map(|c| c.misses as f64),
+        );
+        shard_metric(
+            &mut out,
+            "phishinghook_shard_cache_evictions_total",
+            "Entries evicted from this shard's cache slice.",
+            "counter",
+            shards,
+            |s| s.cache.map(|c| c.evictions as f64),
+        );
+        shard_metric(
+            &mut out,
+            "phishinghook_shard_cache_entries",
+            "Entries currently resident in this shard's cache slice.",
+            "gauge",
+            shards,
+            |s| s.cache.map(|c| c.entries as f64),
+        );
+        shard_metric(
+            &mut out,
+            "phishinghook_shard_cache_bytes",
+            "Accounted bytes currently resident in this shard's cache slice.",
+            "gauge",
+            shards,
+            |s| s.cache.map(|c| c.bytes as f64),
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -745,6 +836,59 @@ mod tests {
         for line in &type_lines {
             assert!(seen.insert(*line), "duplicate {line}");
         }
+    }
+
+    #[test]
+    fn shard_families_are_labelled_per_lane() {
+        let shards = vec![
+            ShardStats {
+                shard: 0,
+                queue_depth: 3,
+                queue_capacity: 512,
+                cache: Some(CacheStats {
+                    hits: 5,
+                    misses: 2,
+                    evictions: 1,
+                    insertions: 3,
+                    entries: 2,
+                    bytes: 272,
+                    capacity_bytes: 4 << 20,
+                }),
+            },
+            ShardStats {
+                shard: 1,
+                queue_depth: 0,
+                queue_capacity: 512,
+                cache: Some(CacheStats::default()),
+            },
+        ];
+        let text = render_prometheus_shards(&shards);
+        for expected in [
+            "phishinghook_shard_queue_depth{shard=\"0\"} 3",
+            "phishinghook_shard_queue_depth{shard=\"1\"} 0",
+            "phishinghook_shard_queue_capacity{shard=\"0\"} 512",
+            "phishinghook_shard_cache_hits_total{shard=\"0\"} 5",
+            "phishinghook_shard_cache_hits_total{shard=\"1\"} 0",
+            "phishinghook_shard_cache_bytes{shard=\"0\"} 272",
+        ] {
+            assert!(text.contains(expected), "missing `{expected}` in:\n{text}");
+        }
+        // Each TYPE header appears once, above its labelled samples.
+        let type_lines: Vec<&str> = text.lines().filter(|l| l.starts_with("# TYPE ")).collect();
+        let mut seen = std::collections::HashSet::new();
+        for line in &type_lines {
+            assert!(seen.insert(*line), "duplicate {line}");
+        }
+        // Cache-off shards emit no cache families at all.
+        let off = render_prometheus_shards(&[ShardStats {
+            shard: 0,
+            queue_depth: 0,
+            queue_capacity: 8,
+            cache: None,
+        }]);
+        assert!(off.contains("phishinghook_shard_queue_depth{shard=\"0\"} 0"));
+        assert!(!off.contains("cache"));
+        assert!(render_prometheus_shards(&[]).is_empty());
     }
 
     #[test]

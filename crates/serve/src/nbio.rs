@@ -1,0 +1,471 @@
+//! Nonblocking-readiness JSONL transport: one event-loop thread for every
+//! TCP connection.
+//!
+//! The thread-per-connection accept loop costs one parked reader thread
+//! per socket — 10k mostly-idle chain watchers would cost 10k threads
+//! before the first request arrives. This module replaces it with a single
+//! loop over `std` nonblocking sockets: the listener and every accepted
+//! stream run with `set_nonblocking(true)`, `poll(2)` (a raw declaration —
+//! std already links libc) reports which sockets turned ready, and the
+//! loop sweeps write → route-responses → read over **only** the ready
+//! connections plus those still awaiting in-process responses (which poll
+//! cannot see). Each iteration is therefore O(ready + awaiting) socket
+//! work, not O(connections), and serving threads are O(shards +
+//! listeners) — both asserted by `tests/idle_conns.rs`.
+//!
+//! Two invariants keep a single-threaded loop safe against the scheduler's
+//! blocking seams:
+//!
+//! * **Submit never blocks.** [`Connection::submit`] blocks in the
+//!   flow-control window when a connection has
+//!   [`SchedulerOptions::max_outstanding`](crate::SchedulerOptions::max_outstanding)
+//!   responses outstanding; the loop stops *reading* a connection once its
+//!   own in-flight count reaches a cap strictly below that, so the window
+//!   can never park the loop (and with it, every other connection).
+//! * **Writes never buffer without bound.** Response bytes wait in a
+//!   per-connection buffer with a soft cap; past it the loop stops
+//!   draining that connection's responses and stops reading it — the
+//!   scheduler's window then backpressures the socket exactly like the
+//!   threaded transport did.
+
+use crate::proto::{self, Protocol};
+use crate::scheduler::{
+    Admission, Connection, PolledResponse, Responses, Scheduler, SubmitOutcome,
+};
+use crate::serve::{ServeReport, TcpLimits};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Instant;
+
+/// Stop draining responses into a connection's write buffer past this many
+/// pending bytes; the client must read before more responses render.
+const WRITE_BUFFER_SOFT_CAP: usize = 256 << 10;
+
+/// Per-`read(2)` scratch size.
+const READ_CHUNK: usize = 16 << 10;
+
+/// Never let one connection's in-flight count reach the scheduler window
+/// (where submit would block the loop), and keep a global fairness bound.
+const INFLIGHT_CAP: usize = 512;
+
+/// One tracked connection in the event loop.
+struct Conn {
+    stream: TcpStream,
+    peer: std::net::SocketAddr,
+    submit: Connection,
+    responses: Responses,
+    /// Partial request line (capped at `MAX_LINE_BYTES + 1` bytes).
+    rbuf: Vec<u8>,
+    /// True byte length of the line being accumulated (keeps counting past
+    /// the cap so the oversized rejection reports the real size).
+    line_len: usize,
+    /// Pending response bytes not yet accepted by the socket.
+    wbuf: Vec<u8>,
+    /// Consumed prefix of `wbuf` (compacted lazily).
+    wpos: usize,
+    /// Responses submitted but not yet routed back — the anti-wedge cap.
+    inflight: usize,
+    /// Client half-closed its write side: no more requests.
+    eof: bool,
+    /// `finish()` ran (exactly once, at EOF).
+    finished: bool,
+    /// The response stream closed: every response has been routed.
+    drained: bool,
+    /// Hard I/O error or vanished client: tear down without draining.
+    dead: bool,
+    t0: Instant,
+}
+
+impl Conn {
+    fn inflight_cap(&self) -> usize {
+        INFLIGHT_CAP.min(self.submit.max_outstanding()).max(1)
+    }
+
+    /// Whether the loop wants more request bytes from this socket.
+    fn wants_read(&self) -> bool {
+        !self.eof
+            && !self.dead
+            && self.inflight < self.inflight_cap()
+            && self.pending_write() < WRITE_BUFFER_SOFT_CAP
+    }
+
+    fn pending_write(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+
+    /// Flushes pending response bytes; returns bytes written.
+    fn pump_write(&mut self) -> usize {
+        let mut wrote = 0;
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.wpos += n;
+                    wrote += n;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+        } else if self.wpos > (64 << 10) {
+            self.wbuf.drain(..self.wpos);
+            self.wpos = 0;
+        }
+        wrote
+    }
+
+    /// Moves routed responses into the write buffer; returns lines moved.
+    fn pump_responses(&mut self) -> usize {
+        let mut moved = 0;
+        while self.pending_write() < WRITE_BUFFER_SOFT_CAP {
+            match self.responses.poll() {
+                PolledResponse::Ready(line, _) => {
+                    self.wbuf.extend_from_slice(line.as_bytes());
+                    self.wbuf.push(b'\n');
+                    self.inflight = self.inflight.saturating_sub(1);
+                    moved += 1;
+                }
+                PolledResponse::Empty => break,
+                PolledResponse::Closed => {
+                    self.drained = true;
+                    break;
+                }
+            }
+        }
+        moved
+    }
+
+    /// Reads request bytes and submits complete lines (shed admission);
+    /// returns bytes read.
+    fn pump_read(&mut self) -> usize {
+        let mut scratch = [0u8; READ_CHUNK];
+        let mut got = 0;
+        while self.wants_read() {
+            match self.stream.read(&mut scratch) {
+                Ok(0) => {
+                    self.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    got += n;
+                    self.ingest(&scratch[..n]);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        if self.eof && !self.finished {
+            // Trailing unterminated line: the capped reader semantics
+            // treat EOF as end-of-line when any bytes arrived.
+            if self.line_len > 0 {
+                self.end_line();
+            }
+            self.submit.finish();
+            self.finished = true;
+        }
+        got
+    }
+
+    /// Splits a chunk into request lines, keeping at most
+    /// `MAX_LINE_BYTES + 1` buffered bytes per line (the `+ 1` proves the
+    /// overflow; the oversized tail is discarded, framing preserved).
+    fn ingest(&mut self, mut chunk: &[u8]) {
+        while let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+            let (head, tail) = chunk.split_at(pos);
+            self.buffer_line_bytes(head);
+            self.end_line();
+            chunk = &tail[1..];
+        }
+        self.buffer_line_bytes(chunk);
+    }
+
+    fn buffer_line_bytes(&mut self, part: &[u8]) {
+        self.line_len += part.len();
+        let room = (proto::MAX_LINE_BYTES + 1).saturating_sub(self.rbuf.len());
+        self.rbuf.extend_from_slice(&part[..part.len().min(room)]);
+    }
+
+    /// Submits the accumulated line (or rejects it as oversized).
+    fn end_line(&mut self) {
+        let outcome = if self.line_len > proto::MAX_LINE_BYTES {
+            self.submit.reject_oversized(self.line_len)
+        } else {
+            let line = String::from_utf8_lossy(&self.rbuf).into_owned();
+            self.submit.submit(&line, Admission::Shed)
+        };
+        self.rbuf.clear();
+        self.line_len = 0;
+        match outcome {
+            SubmitOutcome::Ignored => {}
+            SubmitOutcome::Disconnected => self.dead = true,
+            _ => self.inflight += 1,
+        }
+    }
+
+    /// Finished serving: either torn down, or EOF reached with every
+    /// response routed and written.
+    fn complete(&self) -> bool {
+        self.dead || (self.eof && self.drained && self.pending_write() == 0)
+    }
+}
+
+#[cfg(unix)]
+mod park {
+    //! Readiness parking via a raw `poll(2)` declaration (std links libc).
+
+    use super::Conn;
+    use std::net::TcpListener;
+    use std::os::fd::AsRawFd;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    /// Waits until a tracked socket is ready or `timeout_ms` elapses, and
+    /// returns the indices of the connections poll reported ready (any
+    /// revents, so errors and hangups surface too). In-process response
+    /// channels cannot wake `poll`, so callers keep the timeout short
+    /// whenever responses are still in flight.
+    pub(super) fn wait(
+        listener: Option<&TcpListener>,
+        conns: &[Conn],
+        timeout_ms: i32,
+    ) -> Vec<usize> {
+        let mut fds: Vec<PollFd> = Vec::with_capacity(conns.len() + 1);
+        let mut owner: Vec<usize> = Vec::with_capacity(conns.len());
+        if let Some(listener) = listener {
+            fds.push(PollFd {
+                fd: listener.as_raw_fd(),
+                events: POLLIN,
+                revents: 0,
+            });
+            owner.push(usize::MAX); // sentinel: the accept pass handles it
+        }
+        for (index, conn) in conns.iter().enumerate() {
+            let mut events = 0i16;
+            if conn.wants_read() {
+                events |= POLLIN;
+            }
+            if conn.pending_write() > 0 {
+                events |= POLLOUT;
+            }
+            if events != 0 {
+                fds.push(PollFd {
+                    fd: conn.stream.as_raw_fd(),
+                    events,
+                    revents: 0,
+                });
+                owner.push(index);
+            }
+        }
+        if fds.is_empty() {
+            if timeout_ms > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(timeout_ms as u64));
+            }
+            return Vec::new();
+        }
+        let ready = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+        if ready <= 0 {
+            return Vec::new();
+        }
+        fds.iter()
+            .zip(&owner)
+            .filter(|(fd, &index)| fd.revents != 0 && index != usize::MAX)
+            .map(|(_, &index)| index)
+            .collect()
+    }
+}
+
+#[cfg(not(unix))]
+mod park {
+    //! Portable fallback: a short sleep, then sweep every connection.
+
+    use super::Conn;
+    use std::net::TcpListener;
+
+    pub(super) fn wait(
+        _listener: Option<&TcpListener>,
+        conns: &[Conn],
+        timeout_ms: i32,
+    ) -> Vec<usize> {
+        if timeout_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(
+                timeout_ms.clamp(1, 20) as u64
+            ));
+        }
+        (0..conns.len()).collect()
+    }
+}
+
+/// The nonblocking JSONL accept-and-serve loop: every connection is
+/// multiplexed onto the calling thread. Semantics match the old
+/// thread-per-connection loop — shed admission per request, `max_conns`
+/// refusals with one typed overload line, per-connection reports on
+/// stderr, aggregate report returned once `accept_total` connections have
+/// been accepted and drained (`None` serves forever).
+pub(crate) fn serve_nonblocking(
+    listener: &TcpListener,
+    scheduler: &Scheduler,
+    proto: Protocol,
+    limits: TcpLimits,
+) -> io::Result<ServeReport> {
+    listener.set_nonblocking(true)?;
+    let model = scheduler.model_name().to_owned();
+    let mut total = ServeReport::default();
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut accepted = 0usize;
+
+    let mut last_progress = 1usize;
+    loop {
+        let accepting = limits.accept_total.is_none_or(|m| accepted < m);
+        let mut progress = 0usize;
+
+        // Readiness first: a zero timeout just collects what is already
+        // ready while work is flowing; once an iteration moves nothing,
+        // park until a socket wakes us. Responses arrive over in-process
+        // channels that cannot wake poll(2), so tick fast while any are
+        // expected and slowly when fully idle (the 10k-idle-watchers case).
+        let awaiting: usize = conns
+            .iter()
+            .map(|c| c.inflight + usize::from(c.finished && !c.drained))
+            .sum();
+        let timeout_ms = if last_progress > 0 {
+            0
+        } else if awaiting > 0 {
+            1
+        } else {
+            250
+        };
+        let woken = park::wait(accepting.then_some(listener), &conns, timeout_ms);
+
+        // Accept every pending connection (or refuse it, typed).
+        let mut newly_accepted = 0usize;
+        while accepting && limits.accept_total.is_none_or(|m| accepted < m) {
+            match listener.accept() {
+                Ok((mut stream, peer)) => {
+                    accepted += 1;
+                    progress += 1;
+                    if limits.max_conns.is_some_and(|m| conns.len() >= m) {
+                        // Connection-level admission control: one typed
+                        // overload line, then close. The just-accepted
+                        // socket is still blocking (accept does not
+                        // inherit O_NONBLOCK), so the one-line write is
+                        // safe without buffering.
+                        let mut line = String::new();
+                        match proto {
+                            Protocol::V1 => proto::render_overload_v1(&mut line),
+                            Protocol::V2 => proto::render_overload_v2(&mut line, "connect"),
+                        }
+                        line.push('\n');
+                        let _ = stream.write_all(line.as_bytes());
+                        eprintln!(
+                            "[{peer}] refused: {} concurrent connection(s) reached",
+                            conns.len()
+                        );
+                        total.overloads += 1;
+                        scheduler.metrics().inc_overloads();
+                        continue;
+                    }
+                    stream.set_nonblocking(true)?;
+                    let (submit, responses) = scheduler.connect(proto);
+                    newly_accepted += 1;
+                    conns.push(Conn {
+                        stream,
+                        peer,
+                        submit,
+                        responses,
+                        rbuf: Vec::new(),
+                        line_len: 0,
+                        wbuf: Vec::new(),
+                        wpos: 0,
+                        inflight: 0,
+                        eof: false,
+                        finished: false,
+                        drained: false,
+                        dead: false,
+                        t0: Instant::now(),
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Sweep only the connections with something to do — poll-ready
+        // sockets, lanes still owed in-process responses, buffered writes,
+        // and the just-accepted batch: write → route responses → write →
+        // read. Idle watchers cost nothing here.
+        let first_new = conns.len() - newly_accepted;
+        let mut sweep = woken;
+        for (index, conn) in conns.iter().enumerate() {
+            if index >= first_new
+                || conn.inflight > 0
+                || (conn.finished && !conn.drained)
+                || conn.pending_write() > 0
+            {
+                sweep.push(index);
+            }
+        }
+        sweep.sort_unstable();
+        sweep.dedup();
+        for index in sweep {
+            let conn = &mut conns[index];
+            progress += conn.pump_write();
+            progress += conn.pump_responses();
+            if conn.pending_write() > 0 {
+                progress += conn.pump_write();
+            }
+            progress += conn.pump_read();
+        }
+
+        // Retire completed connections.
+        let mut i = 0;
+        while i < conns.len() {
+            if !conns[i].complete() {
+                i += 1;
+                continue;
+            }
+            let conn = conns.swap_remove(i);
+            let secs = conn.t0.elapsed().as_secs_f64();
+            let peer = conn.peer;
+            let id = conn.submit.id();
+            // Drop the submit/response halves first: dropping `submit`
+            // finishes the connection, so the report below is final.
+            drop(conn);
+            let report = ServeReport::from_conn(scheduler.take_report(id), secs);
+            eprint!("[{peer}] {}", report.render(&model));
+            total.absorb(&report);
+            progress += 1;
+        }
+
+        if conns.is_empty() && limits.accept_total.is_some_and(|m| accepted >= m) {
+            return Ok(total);
+        }
+        last_progress = progress;
+    }
+}

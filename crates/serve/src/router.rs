@@ -336,11 +336,12 @@ fn answer(scheduler: &Scheduler, conn: &mut Connection, req: HttpRequest) -> Opt
         }
         ("GET", "/metrics") => {
             let snap = scheduler.metrics_snapshot();
-            let text = metrics::render_prometheus(
+            let mut text = metrics::render_prometheus(
                 &snap,
                 scheduler.model_name(),
                 scheduler.model_version(),
             );
+            text.push_str(&metrics::render_prometheus_shards(&scheduler.shard_stats()));
             let outcome = conn.submit_rendered(text, false);
             if outcome == SubmitOutcome::Disconnected {
                 return None;
@@ -508,6 +509,11 @@ mod tests {
         );
         assert!(
             response.contains("phishinghook_http_requests_total"),
+            "{response}"
+        );
+        // Per-shard families ride along (one lane by default).
+        assert!(
+            response.contains("phishinghook_shard_queue_depth{shard=\"0\"}"),
             "{response}"
         );
 

@@ -52,6 +52,25 @@
 //! * **Fault injection** — an optional seeded
 //!   [`FaultPlan`] injects worker panics and
 //!   chain faults at exactly the seams above; `None` costs nothing.
+//!
+//! PR 8 shards the core. With [`SchedulerOptions::shards`] = N, the single
+//! `(queue, worker pool, cache)` triple becomes N independent lanes:
+//!
+//! ```text
+//!                      ┌─ shard 0: queue ─▶ workers ─▶ cache slice ─┐
+//!  conn readers ──────▶│  shard 1: queue ─▶ workers ─▶ cache slice  ├─▶ routers
+//!  (keccak digest      │  …                                         │
+//!   % N routing)       └─ shard N-1: …                              ┘
+//! ```
+//!
+//! Requests route by [`shard_of`] over the keccak-256 digest already
+//! computed for cache keying, so a given bytecode always lands on the same
+//! shard — its cache slice stays hot and no lock is shared across lanes.
+//! Workers are optionally core-pinned ([`SchedulerOptions::pin_cores`],
+//! best-effort on Linux, a no-op elsewhere). Because scoring is a pure
+//! function of the bytecode, verdicts are `f64::to_bits`-identical across
+//! every shard layout — asserted by the determinism harness in
+//! `tests/shard_determinism.rs` and by the bench binary.
 
 use crate::cache::{CacheStats, CachedVerdict, VerdictCache};
 use crate::fault::{FaultConfig, FaultPlan};
@@ -71,13 +90,27 @@ use std::time::{Duration, Instant};
 pub struct SchedulerOptions {
     /// Maximum rows per scored batch (≥ 1).
     pub batch: usize,
-    /// Scoring worker threads (≥ 1).
+    /// Scoring worker threads **per shard** (≥ 1).
     pub workers: usize,
-    /// Bounded submit-queue capacity — the admission-control knob.
+    /// Independent serving lanes (≥ 1). Each shard owns a bounded queue of
+    /// `queue_depth / shards` slots, `workers` scoring threads, and a
+    /// `cache_bytes / shards` slice of the verdict cache; requests route by
+    /// keccak digest ([`shard_of`]), so a given bytecode always lands on
+    /// the same shard and no queue or cache lock is shared across lanes.
+    pub shards: usize,
+    /// Pin each shard's workers to a CPU core (round-robin over the
+    /// available cores). Best-effort: on Linux a failed
+    /// `sched_setaffinity` is ignored; elsewhere this is a no-op.
+    pub pin_cores: bool,
+    /// Bounded submit-queue capacity — the admission-control knob. Split
+    /// evenly across shards (each lane gets `queue_depth / shards`,
+    /// rounded up).
     pub queue_depth: usize,
     /// How long a worker tops up a partial batch before flushing it (µs).
     pub linger_micros: u64,
-    /// Verdict-cache byte budget; `0` disables the cache.
+    /// Verdict-cache byte budget; `0` disables the cache. Split evenly
+    /// across shards — each lane owns a `cache_bytes / shards` slice keyed
+    /// by the digests that route to it, so slices never duplicate entries.
     pub cache_bytes: usize,
     /// Per-connection flow-control window: the maximum responses a
     /// connection may have outstanding (allocated but not yet received by
@@ -122,6 +155,8 @@ impl Default for SchedulerOptions {
         SchedulerOptions {
             batch: 64,
             workers: 1,
+            shards: 1,
+            pin_cores: false,
             queue_depth: 1024,
             linger_micros: 1000,
             cache_bytes: 8 << 20,
@@ -373,10 +408,35 @@ impl Responses {
         Some(line)
     }
 
+    /// Nonblocking receive that distinguishes "nothing yet" from "stream
+    /// ended" — what an event loop needs, where [`Responses::try_recv`]'s
+    /// single `None` would conflate an idle connection with a finished one.
+    pub fn poll(&self) -> PolledResponse {
+        match self.rx.try_recv() {
+            Ok((line, kind)) => {
+                self.window.release();
+                PolledResponse::Ready(line, kind)
+            }
+            Err(mpsc::TryRecvError::Empty) => PolledResponse::Empty,
+            Err(mpsc::TryRecvError::Disconnected) => PolledResponse::Closed,
+        }
+    }
+
     /// Iterates responses in request order until the stream ends.
     pub fn iter(&self) -> impl Iterator<Item = String> + '_ {
         std::iter::from_fn(|| self.recv())
     }
+}
+
+/// One [`Responses::poll`] outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolledResponse {
+    /// A routed response line and its transport-facing kind.
+    Ready(String, ResponseKind),
+    /// Nothing routed yet; the connection is still live.
+    Empty,
+    /// The stream ended: the connection finished and fully drained.
+    Closed,
 }
 
 impl std::fmt::Debug for Responses {
@@ -441,9 +501,42 @@ impl Router {
     }
 }
 
-struct Shared {
+/// Maps a keccak-256 digest to its serving lane: the first 8 digest bytes
+/// as a little-endian `u64`, modulo the shard count. Keccak output is
+/// uniformly distributed, so lanes load-balance without any extra hashing;
+/// with one shard every digest maps to lane 0.
+pub fn shard_of(digest: &Digest, n_shards: usize) -> usize {
+    if n_shards <= 1 {
+        return 0;
+    }
+    let mut prefix = [0u8; 8];
+    prefix.copy_from_slice(&digest.0[..8]);
+    (u64::from_le_bytes(prefix) % n_shards as u64) as usize
+}
+
+/// One serving lane: a bounded queue and a verdict-cache slice, owned
+/// exclusively by this shard's workers and the submitters that route here.
+struct Shard {
     queue: crate::queue::BoundedQueue<Job>,
     cache: Option<VerdictCache>,
+}
+
+/// Live per-shard observability, exported as `shard="<i>"`-labelled
+/// Prometheus families and by [`Scheduler::shard_stats`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardStats {
+    /// The shard index (the `shard_of` routing target).
+    pub shard: usize,
+    /// Jobs queued on this shard right now.
+    pub queue_depth: u64,
+    /// This shard's queue capacity.
+    pub queue_capacity: u64,
+    /// This shard's cache-slice counters (`None` when the cache is off).
+    pub cache: Option<CacheStats>,
+}
+
+struct Shared {
+    shards: Vec<Shard>,
     router: Router,
     /// Model names in per-model order — fixed for the process lifetime.
     names: Vec<String>,
@@ -474,26 +567,91 @@ struct Shared {
 }
 
 impl Shared {
+    /// Jobs queued across every shard.
+    fn queue_len(&self) -> usize {
+        self.shards.iter().map(|s| s.queue.len()).sum()
+    }
+
+    /// Total queue capacity across every shard.
+    fn queue_capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.queue.capacity()).sum()
+    }
+
+    /// Cache counters summed across every shard's slice (`None` when the
+    /// cache is disabled). Slices never share keys — a digest routes to
+    /// exactly one shard — so plain sums stay exact.
+    fn cache_stats(&self) -> Option<CacheStats> {
+        self.shards[0].cache.as_ref()?;
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            let stats = shard.cache.as_ref().map(VerdictCache::stats)?;
+            total.hits += stats.hits;
+            total.misses += stats.misses;
+            total.evictions += stats.evictions;
+            total.insertions += stats.insertions;
+            total.entries += stats.entries;
+            total.bytes += stats.bytes;
+            total.capacity_bytes += stats.capacity_bytes;
+        }
+        Some(total)
+    }
+
     fn metrics_snapshot(&self) -> MetricsSnapshot {
         self.metrics.snapshot(
-            self.queue.len() as u64,
-            self.queue.capacity() as u64,
-            self.cache.as_ref().map(VerdictCache::stats),
+            self.queue_len() as u64,
+            self.queue_capacity() as u64,
+            self.cache_stats(),
         )
     }
 
-    /// The brownout tier for the current queue fill, also pushed to the
-    /// metrics tier gauge / degraded-time clock as a side effect.
-    fn current_tier(&self) -> DegradationTier {
-        let fill = self.queue.len() * 100;
-        let cap = self.queue.capacity();
-        let tier = if fill >= self.cache_only_pct as usize * cap {
+    /// Per-shard depth/capacity/cache view for `/metrics` and the CLI.
+    fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| ShardStats {
+                shard: i,
+                queue_depth: shard.queue.len() as u64,
+                queue_capacity: shard.queue.capacity() as u64,
+                cache: shard.cache.as_ref().map(VerdictCache::stats),
+            })
+            .collect()
+    }
+
+    /// The brownout tier a queue at `len` of `cap` slots sits in. Pure —
+    /// callers that report the tier push it to the gauge themselves.
+    fn tier_from_fill(&self, len: usize, cap: usize) -> DegradationTier {
+        let fill = len * 100;
+        if fill >= self.cache_only_pct as usize * cap {
             DegradationTier::CacheOnly
         } else if fill >= self.cache_first_pct as usize * cap {
             DegradationTier::CacheFirst
         } else {
             DegradationTier::Full
-        };
+        }
+    }
+
+    /// The brownout tier for one shard's current fill, pushed to the
+    /// metrics tier gauge / degraded-time clock as a side effect — each
+    /// lane degrades on its own backlog, so one hot shard browning out
+    /// never sheds traffic from its idle siblings.
+    fn tier_for(&self, shard: usize) -> DegradationTier {
+        let queue = &self.shards[shard].queue;
+        let tier = self.tier_from_fill(queue.len(), queue.capacity());
+        self.metrics.set_tier(tier as u8);
+        tier
+    }
+
+    /// The deepest brownout tier across all shards (the process-level
+    /// answer `/healthz` and the CLI report), also pushed to the gauge.
+    fn current_tier(&self) -> DegradationTier {
+        let tier = (0..self.shards.len())
+            .map(|i| {
+                let queue = &self.shards[i].queue;
+                self.tier_from_fill(queue.len(), queue.capacity())
+            })
+            .max()
+            .unwrap_or(DegradationTier::Full);
         self.metrics.set_tier(tier as u8);
         tier
     }
@@ -556,9 +714,21 @@ impl Scheduler {
         opts: &SchedulerOptions,
         chain: Option<SharedChain>,
     ) -> Self {
+        let n_shards = opts.shards.max(1);
+        // Each lane gets an even split of the queue and cache budgets —
+        // rounded up for queues (so `shards > queue_depth` still admits),
+        // rounded down for caches (a 0-byte slice disables caching, which
+        // keeps `cache_bytes: 0` meaning "off" for any shard count).
+        let lane_depth = opts.queue_depth.max(1).div_ceil(n_shards);
+        let lane_cache_bytes = opts.cache_bytes / n_shards;
+        let shards = (0..n_shards)
+            .map(|_| Shard {
+                queue: crate::queue::BoundedQueue::new(lane_depth),
+                cache: (lane_cache_bytes > 0).then(|| VerdictCache::new(lane_cache_bytes)),
+            })
+            .collect();
         let shared = Arc::new(Shared {
-            queue: crate::queue::BoundedQueue::new(opts.queue_depth.max(1)),
-            cache: (opts.cache_bytes > 0).then(|| VerdictCache::new(opts.cache_bytes)),
+            shards,
             router: Router {
                 conns: Mutex::new(HashMap::new()),
                 next_id: AtomicU64::new(0),
@@ -583,21 +753,31 @@ impl Scheduler {
         });
         let batch = opts.batch.max(1);
         let linger = Duration::from_micros(opts.linger_micros);
-        let workers = (0..opts.workers.max(1))
-            .map(|_| {
+        let workers_per_shard = opts.workers.max(1);
+        let pin = opts.pin_cores;
+        let cores = crate::affinity::available_cores();
+        let mut workers = Vec::with_capacity(n_shards * workers_per_shard);
+        for shard_idx in 0..n_shards {
+            for w in 0..workers_per_shard {
                 let shared = Arc::clone(&shared);
                 let seed = scanner.worker();
+                let core = (shard_idx * workers_per_shard + w) % cores;
                 // Supervisor: a clean (queue-closed) exit ends the thread;
                 // a panicked batch respawns a fresh Arc-sharing sibling —
-                // fresh scratch state, same shared model.
-                std::thread::spawn(move || loop {
-                    let worker = seed.worker();
-                    if worker_loop(&shared, worker, batch, linger) {
-                        return;
+                // fresh scratch state, same shared model, same shard.
+                workers.push(std::thread::spawn(move || {
+                    if pin {
+                        crate::affinity::pin_to_core(core);
                     }
-                })
-            })
-            .collect();
+                    loop {
+                        let worker = seed.worker();
+                        if worker_loop(&shared, shard_idx, worker, batch, linger) {
+                            return;
+                        }
+                    }
+                }));
+            }
+        }
         Scheduler { shared, workers }
     }
 
@@ -673,6 +853,26 @@ impl Scheduler {
         &self.shared.metrics
     }
 
+    /// The number of serving lanes (≥ 1).
+    pub fn shards(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// Per-shard queue depth/capacity and cache-slice counters, one entry
+    /// per lane in routing order (what `/metrics` labels `shard="i"`).
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shared.shard_stats()
+    }
+
+    /// Reads the cached verdict for `digest` from whichever shard's cache
+    /// slice owns it, without perturbing hit/miss counters or LRU order.
+    /// `None` when the cache is off or the digest is not resident — the
+    /// observation hook for the bit-equality harness.
+    pub fn cached_verdict(&self, digest: &Digest) -> Option<CachedVerdict> {
+        let shard = &self.shared.shards[shard_of(digest, self.shared.shards.len())];
+        shard.cache.as_ref()?.peek(digest)
+    }
+
     /// Marks the scheduler as draining: `/healthz` flips to 503, and when
     /// a drain budget is configured ([`SchedulerOptions::drain_ms`]),
     /// jobs still queued past the budget answer typed timeouts instead of
@@ -730,7 +930,9 @@ impl Scheduler {
     }
 
     fn shutdown_in_place(&mut self) {
-        self.shared.queue.close();
+        for shard in &self.shared.shards {
+            shard.queue.close();
+        }
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -791,6 +993,13 @@ impl Connection {
     /// This connection's id (the key for [`Scheduler::take_report`]).
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// The scheduler's per-connection flow-control window — the poll loop
+    /// caps its own in-flight count below this so [`Connection::submit`]
+    /// can never block a single-threaded event loop in `Window::claim`.
+    pub(crate) fn max_outstanding(&self) -> usize {
+        self.shared.max_outstanding
     }
 
     /// Decodes one request line under the connection's protocol and routes
@@ -959,9 +1168,15 @@ impl Connection {
         };
 
         // The verdict cache sits in front of the queue: a redeployed
-        // bytecode never occupies a batch slot.
-        let hash = self.shared.cache.as_ref().map(|_| Digest::of(&code));
-        if let (Some(cache), Some(hash)) = (&self.shared.cache, hash) {
+        // bytecode never occupies a batch slot. The digest doubles as the
+        // shard router, so it is computed whenever either consumer needs
+        // it (cache off + 1 shard skips the hash entirely).
+        let n_shards = self.shared.shards.len();
+        let cache_on = self.shared.shards[0].cache.is_some();
+        let hash = (cache_on || n_shards > 1).then(|| Digest::of(&code));
+        let shard_idx = hash.as_ref().map_or(0, |h| shard_of(h, n_shards));
+        let shard = &self.shared.shards[shard_idx];
+        if let (Some(cache), Some(hash)) = (&shard.cache, hash) {
             if let Some(verdict) = cache.lookup(&hash) {
                 let line = render_verdict(
                     self.proto,
@@ -989,7 +1204,8 @@ impl Connection {
         // Brownout ladder: the tier is computed on every admission (keeps
         // the gauge and degraded-time clock honest) but only applied to
         // lossy shed-mode submissions — Block is the lossless bulk path.
-        let tier = self.shared.current_tier();
+        // Each shard degrades on its own queue fill.
+        let tier = self.shared.tier_for(shard_idx);
         let degraded = match admission {
             Admission::Block => false,
             Admission::Shed => match tier {
@@ -1027,8 +1243,8 @@ impl Connection {
         // `submitted` increment is still pending (see `Metrics::snapshot`).
         self.shared.metrics.inc_submitted();
         let refused = match admission {
-            Admission::Block => self.shared.queue.push(job).err(),
-            Admission::Shed => self.shared.queue.try_push(job).err().map(|e| match e {
+            Admission::Block => shard.queue.push(job).err(),
+            Admission::Shed => shard.queue.try_push(job).err().map(|e| match e {
                 crate::queue::PushError::Full(job) | crate::queue::PushError::Closed(job) => job,
             }),
         };
@@ -1152,24 +1368,32 @@ fn answer_timeout(shared: &Shared, job: &Job) {
         .complete(job.conn, job.seq, out, Settle::Timeout);
 }
 
-/// One worker: drain the queue into batches (flush on size or linger
-/// deadline), score through the shared model, insert into the cache, route
-/// responses. Returns `true` on the clean exit (queue closed **and**
-/// drained) and `false` after a caught scoring panic — the supervisor in
-/// [`Scheduler::with_chain`] respawns a fresh sibling in that case, after
-/// every job of the poisoned batch was answered with a typed internal
-/// error. Requests that out-waited their deadline (or a bounded drain's
-/// budget) answer typed timeouts at dequeue without being scored.
-fn worker_loop(shared: &Shared, mut scanner: Scanner, batch: usize, linger: Duration) -> bool {
+/// One worker, bound to one shard: drain that shard's queue into batches
+/// (flush on size or linger deadline), score through the shared model,
+/// insert into the shard's cache slice, route responses. Returns `true` on
+/// the clean exit (queue closed **and** drained) and `false` after a
+/// caught scoring panic — the supervisor in [`Scheduler::with_chain`]
+/// respawns a fresh sibling on the same shard in that case, after every
+/// job of the poisoned batch was answered with a typed internal error.
+/// Requests that out-waited their deadline (or a bounded drain's budget)
+/// answer typed timeouts at dequeue without being scored.
+fn worker_loop(
+    shared: &Shared,
+    shard_idx: usize,
+    mut scanner: Scanner,
+    batch: usize,
+    linger: Duration,
+) -> bool {
+    let shard = &shared.shards[shard_idx];
     loop {
-        let Some(first) = shared.queue.pop() else {
+        let Some(first) = shard.queue.pop() else {
             return true; // shutdown sentinel: closed and drained
         };
         let mut jobs = vec![first];
         if batch > 1 {
             let deadline = Instant::now() + linger;
             while jobs.len() < batch {
-                match shared.queue.pop_until(deadline) {
+                match shard.queue.pop_until(deadline) {
                     crate::queue::Popped::Item(job) => jobs.push(job),
                     crate::queue::Popped::TimedOut | crate::queue::Popped::Closed => break,
                 }
@@ -1201,7 +1425,7 @@ fn worker_loop(shared: &Shared, mut scanner: Scanner, batch: usize, linger: Dura
         let degraded_rows: Vec<usize> = (0..jobs.len()).filter(|&i| jobs[i].degraded).collect();
         let scored = std::panic::catch_unwind(AssertUnwindSafe(|| {
             if let Some(plan) = &shared.fault {
-                if plan.should_panic_batch() {
+                if plan.should_panic_batch(shard_idx) {
                     panic!("{}", crate::fault::INJECTED_PANIC);
                 }
             }
@@ -1252,7 +1476,7 @@ fn worker_loop(shared: &Shared, mut scanner: Scanner, batch: usize, linger: Dura
             for (m, (_, probs)) in per_model.iter().enumerate() {
                 member_probas[m] = probs[row];
             }
-            if let (Some(cache), Some(hash)) = (&shared.cache, job.hash) {
+            if let (Some(cache), Some(hash)) = (&shard.cache, job.hash) {
                 cache.insert(
                     hash,
                     CachedVerdict {

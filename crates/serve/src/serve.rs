@@ -29,10 +29,8 @@ use crate::proto::{self, Protocol};
 use crate::scheduler::{Admission, ConnReport, Scheduler, SchedulerOptions};
 use phishinghook_data::SharedChain;
 use phishinghook_models::Scanner;
-use std::io::{self, BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::io::{self, BufRead, Write};
+use std::net::TcpListener;
 use std::time::Instant;
 
 /// Options of one serving process: scheduler tuning plus wire framing.
@@ -289,84 +287,17 @@ pub fn serve_tcp(
     tcp_listener_loop(listener, scheduler, proto, limits)
 }
 
-/// The JSONL TCP accept loop behind [`serve_tcp`] and [`run`].
+/// The JSONL TCP accept loop behind [`serve_tcp`] and [`run`]. Since PR 8
+/// this is the nonblocking event loop in [`crate::nbio`]: every
+/// connection is multiplexed onto this one thread, so serving threads are
+/// O(shards + listeners) rather than O(connections).
 pub(crate) fn tcp_listener_loop(
     listener: &TcpListener,
     scheduler: &Scheduler,
     proto: Protocol,
     limits: TcpLimits,
 ) -> io::Result<ServeReport> {
-    let model = scheduler.model_name();
-    let mut total = ServeReport::default();
-    let live = AtomicUsize::new(0);
-    let mut accepted = 0usize;
-    std::thread::scope(|scope| -> io::Result<()> {
-        // Reports are aggregated only in the bounded (test/CI) case: a
-        // forever-running daemon must not accumulate one report per
-        // connection in a channel nobody drains.
-        let channel = limits.accept_total.map(|_| mpsc::channel::<ServeReport>());
-        let report_tx = channel.as_ref().map(|(tx, _)| tx);
-        while limits.accept_total.is_none_or(|m| accepted < m) {
-            let (mut stream, peer) = listener.accept()?;
-            accepted += 1;
-            if limits
-                .max_conns
-                .is_some_and(|m| live.load(Ordering::SeqCst) >= m)
-            {
-                // Admission control at the connection level: one typed
-                // overload line, then close — never a silent new thread.
-                let mut line = String::new();
-                match proto {
-                    Protocol::V1 => proto::render_overload_v1(&mut line),
-                    Protocol::V2 => proto::render_overload_v2(&mut line, "connect"),
-                }
-                line.push('\n');
-                let _ = stream.write_all(line.as_bytes());
-                eprintln!(
-                    "[{peer}] refused: {} concurrent connection(s) reached",
-                    live.load(Ordering::SeqCst)
-                );
-                total.overloads += 1;
-                scheduler.metrics().inc_overloads();
-                continue;
-            }
-            live.fetch_add(1, Ordering::SeqCst);
-            let live = &live;
-            let report_tx = report_tx.cloned();
-            scope.spawn(move || {
-                let outcome = serve_connection(scheduler, proto, &stream);
-                live.fetch_sub(1, Ordering::SeqCst);
-                match outcome {
-                    Ok(report) => {
-                        eprint!("[{peer}] {}", report.render(model));
-                        if let Some(tx) = report_tx {
-                            let _ = tx.send(report);
-                        }
-                    }
-                    Err(e) => eprintln!("[{peer}] connection error: {e}"),
-                }
-            });
-        }
-        if let Some((tx, rx)) = channel {
-            drop(tx);
-            for report in rx {
-                total.absorb(&report);
-            }
-        }
-        Ok(())
-    })?;
-    Ok(total)
-}
-
-/// Serves one accepted TCP stream (split into buffered read and write
-/// halves) to EOF, with shed-mode admission.
-fn serve_connection(
-    scheduler: &Scheduler,
-    proto: Protocol,
-    stream: &TcpStream,
-) -> io::Result<ServeReport> {
-    let reader = BufReader::new(stream.try_clone()?);
-    serve_session(scheduler, proto, Admission::Shed, reader, stream)
+    crate::nbio::serve_nonblocking(listener, scheduler, proto, limits)
 }
 
 /// Runs a whole serving process from one validated [`ServeConfig`]: spawn
@@ -412,8 +343,9 @@ pub fn run(
     let http_listener = config.http().map(TcpListener::bind).transpose()?;
     if let Some(listener) = &tcp_listener {
         eprintln!(
-            "serving {model} on tcp://{} ({proto:?}, batch {}, {} worker(s), queue {}, cache {} bytes{})",
+            "serving {model} on tcp://{} ({proto:?}, {} shard(s), batch {}, {} worker(s)/shard, queue {}, cache {} bytes{})",
             listener.local_addr()?,
+            config.scheduler().shards,
             config.scheduler().batch,
             config.scheduler().workers,
             config.scheduler().queue_depth,
@@ -463,6 +395,7 @@ mod tests {
     use super::*;
     use crate::testutil::{ensemble_scanner, probe_lines, scanner};
     use phishinghook_evm::keccak::to_hex;
+    use std::net::TcpStream;
 
     fn serve_with(scanner: &Scanner, input: &str, opts: &ServeOptions) -> (String, ServeReport) {
         let scheduler = Scheduler::new(scanner, &opts.scheduler);

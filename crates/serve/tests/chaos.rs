@@ -7,42 +7,28 @@
 //! Every fault here is seeded: a failure reproduces by rerunning the
 //! test, not by rerunning it a thousand times.
 
-use phishinghook_data::{Corpus, CorpusConfig, RetryPolicy, SharedChain};
-use phishinghook_evm::keccak::to_hex;
-use phishinghook_models::{Detector, DetectorRegistry, Scanner};
+use phishinghook_data::{RetryPolicy, SharedChain};
+use phishinghook_evm::keccak::{to_hex, Digest};
+use phishinghook_models::Scanner;
 use phishinghook_serve::fault::drip;
 use phishinghook_serve::{
-    serve_http, Admission, FaultConfig, Protocol, Scheduler, SchedulerOptions, SubmitOutcome,
-    TcpLimits,
+    serve_http, shard_of, Admission, FaultConfig, Protocol, Scheduler, SchedulerOptions,
+    SubmitOutcome, TcpLimits,
 };
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-fn fitted_scanner() -> Scanner {
-    let corpus = Corpus::generate(&CorpusConfig {
-        n_contracts: 80,
-        seed: 5,
-        ..Default::default()
-    });
-    let (codes, labels) = corpus.as_dataset();
-    let mut det = DetectorRegistry::global()
-        .build_str("rf:seed=7", 7)
-        .expect("valid spec");
-    det.fit(&codes, &labels);
-    Scanner::new(det).expect("fitted")
+/// The chaos suite's probe-corpus seed (distinct per suite so per-process
+/// cache state never aliases across suites).
+const PROBE_SEED: u64 = 99;
+
+fn fitted_scanner() -> &'static Scanner {
+    phishinghook_serve::fixture::rf_scanner()
 }
 
 fn probes(n: usize) -> Vec<Vec<u8>> {
-    Corpus::generate(&CorpusConfig {
-        n_contracts: n,
-        seed: 99,
-        ..Default::default()
-    })
-    .records
-    .into_iter()
-    .map(|r| r.bytecode)
-    .collect()
+    phishinghook_serve::fixture::probe_lines(n, PROBE_SEED).1
 }
 
 #[test]
@@ -72,11 +58,11 @@ fn every_submission_gets_exactly_one_typed_response_under_chaos() {
             worker_panic_every: 5,
             chain_fail_permille: 200,
             chain_latency_micros: 50,
+            ..FaultConfig::default()
         }),
         ..SchedulerOptions::default()
     };
-    let scanner = fitted_scanner();
-    let scheduler = Scheduler::with_chain(&scanner, &opts, Some(chain));
+    let scheduler = Scheduler::with_chain(fitted_scanner(), &opts, Some(chain));
 
     // Four concurrent clients, each mixing healthy bytecode, resolvable
     // and unresolvable addresses, and outright garbage — under lossless
@@ -163,9 +149,119 @@ fn every_submission_gets_exactly_one_typed_response_under_chaos() {
 }
 
 #[test]
+fn shard_targeted_panics_blast_only_that_lane() {
+    // A seeded FaultPlan panicking *every* batch on shard 2 of 4: requests
+    // routed to shard 2 answer typed internal errors, every other lane
+    // keeps answering verdicts, and the blast radius never crosses lanes.
+    const SHARDS: usize = 4;
+    const TARGET: usize = 2;
+    let opts = SchedulerOptions {
+        shards: SHARDS,
+        batch: 1,
+        workers: 1,
+        cache_bytes: 0,
+        fault: Some(FaultConfig {
+            worker_panic_every: 1,
+            worker_panic_shard: Some(TARGET),
+            ..FaultConfig::default()
+        }),
+        ..SchedulerOptions::default()
+    };
+    let scheduler = Scheduler::new(fitted_scanner(), &opts);
+    let codes = probes(32);
+    let expect_shard: Vec<usize> = codes
+        .iter()
+        .map(|code| shard_of(&Digest::of(code), SHARDS))
+        .collect();
+    assert!(
+        expect_shard.iter().any(|&s| s == TARGET),
+        "probe corpus never routes to the target shard"
+    );
+    assert!(
+        expect_shard.iter().any(|&s| s != TARGET),
+        "probe corpus only routes to the target shard"
+    );
+
+    let (mut conn, rx) = scheduler.connect(Protocol::V2);
+    for code in &codes {
+        let outcome = conn.submit(&format!("0x{}", to_hex(code)), Admission::Block);
+        assert_eq!(outcome, SubmitOutcome::Queued, "{outcome:?}");
+    }
+    conn.finish();
+    let responses: Vec<String> = rx.iter().collect();
+    assert_eq!(responses.len(), codes.len());
+    for (i, line) in responses.iter().enumerate() {
+        if expect_shard[i] == TARGET {
+            assert!(
+                line.contains("\"code\":\"internal\""),
+                "shard {TARGET} probe {i} should have panicked: {line}"
+            );
+        } else {
+            assert!(
+                line.contains("\"verdict\""),
+                "shard {} probe {i} caught another lane's panic: {line}",
+                expect_shard[i]
+            );
+        }
+    }
+
+    let plan = scheduler.fault_plan().expect("fault plan armed");
+    let target_jobs = expect_shard.iter().filter(|&&s| s == TARGET).count() as u64;
+    assert_eq!(plan.panics_injected(), target_jobs);
+    assert_eq!(
+        scheduler.metrics_snapshot().robustness.worker_panics,
+        target_jobs
+    );
+    scheduler.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_every_shard_within_the_drain_budget() {
+    // Load all four lanes, then shut down with a 2s drain budget: every
+    // admitted request still answers (verdict or typed timeout — nothing
+    // vanishes), and the drain completes promptly across all N queues.
+    const SHARDS: usize = 4;
+    let opts = SchedulerOptions {
+        shards: SHARDS,
+        batch: 4,
+        workers: 1,
+        queue_depth: 64,
+        cache_bytes: 0,
+        drain_ms: 2_000,
+        ..SchedulerOptions::default()
+    };
+    let scheduler = Scheduler::new(fitted_scanner(), &opts);
+    assert_eq!(scheduler.shards(), SHARDS);
+    let codes = probes(40);
+    let (mut conn, rx) = scheduler.connect(Protocol::V2);
+    for code in &codes {
+        assert_eq!(
+            conn.submit(&format!("0x{}", to_hex(code)), Admission::Block),
+            SubmitOutcome::Queued
+        );
+    }
+    conn.finish();
+    scheduler.begin_drain();
+    let t0 = Instant::now();
+    let responses: Vec<String> = rx.iter().collect();
+    let stats = scheduler.shutdown();
+    let elapsed = t0.elapsed();
+    assert_eq!(responses.len(), codes.len(), "a drained request vanished");
+    for line in &responses {
+        assert!(
+            line.contains("\"verdict\"") || line.contains("\"code\":\"timeout\""),
+            "untyped drain response: {line}"
+        );
+    }
+    assert_eq!(stats.scheduler.queue_depth, 0, "a shard queue kept jobs");
+    // Generous bound: the 2s budget plus scheduling slack, far below a
+    // wedged-lane hang.
+    assert!(elapsed < Duration::from_secs(10), "drain took {elapsed:?}");
+}
+
+#[test]
 fn slow_fragmented_and_vanishing_clients_do_not_wedge_the_gateway() {
-    let scanner = fitted_scanner();
-    let scheduler = Scheduler::new(&scanner, &SchedulerOptions::default());
+    let scheduler = Scheduler::new(fitted_scanner(), &SchedulerOptions::default());
     let codes = probes(1);
     let body = format!("{{\"bytecode\":\"0x{}\"}}", to_hex(&codes[0]));
     let request = format!(

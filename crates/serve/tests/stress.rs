@@ -1,0 +1,171 @@
+//! Concurrency stress for the sharded lanes' building blocks: the bounded
+//! queue must neither lose nor duplicate items at racy capacities, the
+//! per-shard cache counters must stay arithmetically consistent under
+//! contention, and the scheduler's aggregate stats must always equal the
+//! sum of its per-shard stats.
+
+use phishinghook_evm::keccak::Digest;
+use phishinghook_serve::{
+    entry_bytes, fixture, serve_lines, BoundedQueue, CachedVerdict, Protocol, Scheduler,
+    SchedulerOptions, VerdictCache,
+};
+use std::sync::Mutex;
+
+/// This suite's probe-corpus seed (distinct per suite so per-process cache
+/// state never aliases across suites).
+const PROBE_SEED: u64 = 71;
+
+#[test]
+fn racy_queue_capacities_never_lose_or_duplicate_items() {
+    const PRODUCERS: u64 = 4;
+    const CONSUMERS: usize = 3;
+    const PER_PRODUCER: u64 = 2_000;
+    // Capacity 1 serialises every handoff; capacity == producer count sits
+    // right on the full/empty boundary both sides race across.
+    for capacity in [1usize, PRODUCERS as usize] {
+        let queue = BoundedQueue::new(capacity);
+        let collected = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            let producers: Vec<_> = (0..PRODUCERS)
+                .map(|p| {
+                    let queue = &queue;
+                    scope.spawn(move || {
+                        for seq in (p * PER_PRODUCER)..((p + 1) * PER_PRODUCER) {
+                            queue.push(seq).expect("queue closed under producers");
+                        }
+                    })
+                })
+                .collect();
+            for _ in 0..CONSUMERS {
+                let queue = &queue;
+                let collected = &collected;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    while let Some(seq) = queue.pop() {
+                        local.push(seq);
+                    }
+                    collected.lock().expect("collector").extend(local);
+                });
+            }
+            // Close only after every producer has pushed its range: the
+            // consumers then drain the remainder and see the shutdown
+            // sentinel (pop -> None), ending the scope.
+            for producer in producers {
+                producer.join().expect("producer");
+            }
+            queue.close();
+        });
+        let mut total = collected.into_inner().expect("collector");
+        total.sort_unstable();
+        let expected: Vec<u64> = (0..PRODUCERS * PER_PRODUCER).collect();
+        assert_eq!(
+            total, expected,
+            "capacity {capacity}: sequence numbers lost or duplicated"
+        );
+    }
+}
+
+#[test]
+fn cache_counters_stay_consistent_under_contention() {
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 2_000;
+    // Room for ~8 single-model entries: every thread forces evictions.
+    let cache = VerdictCache::new(entry_bytes(1) * 8);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let cache = &cache;
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    let key = Digest::of(&(t * PER_THREAD + i).to_le_bytes());
+                    cache.insert(
+                        key,
+                        CachedVerdict {
+                            proba: 0.5,
+                            per_model: vec![0.5],
+                        },
+                    );
+                    // Interleave reads racing the other threads' evictions.
+                    let probe = Digest::of(&(i % 64).to_le_bytes());
+                    let _ = cache.lookup(&probe);
+                }
+            });
+        }
+    });
+    let stats = cache.stats();
+    let inserted = THREADS * PER_THREAD;
+    assert_eq!(stats.insertions, inserted, "an insert was dropped");
+    assert!(
+        stats.evictions <= stats.insertions,
+        "more evictions ({}) than insertions ({})",
+        stats.evictions,
+        stats.insertions
+    );
+    // Every key was unique, so residency is exactly the difference.
+    assert_eq!(stats.entries, inserted - stats.evictions);
+    assert_eq!(stats.entries as usize, cache.len());
+    assert!(
+        stats.bytes <= stats.capacity_bytes,
+        "byte budget exceeded: {} > {}",
+        stats.bytes,
+        stats.capacity_bytes
+    );
+    assert_eq!(
+        stats.hits + stats.misses,
+        THREADS * PER_THREAD,
+        "a lookup went uncounted"
+    );
+}
+
+#[test]
+fn aggregate_stats_are_the_sum_of_shard_stats() {
+    const SHARDS: usize = 4;
+    let opts = SchedulerOptions {
+        shards: SHARDS,
+        workers: 1,
+        queue_depth: 64,
+        ..SchedulerOptions::default()
+    };
+    let scheduler = Scheduler::new(fixture::rf_scanner(), &opts);
+    let (input, _) = fixture::probe_lines(20, PROBE_SEED);
+    // Four concurrent sessions over the same stream: lanes fill and drain
+    // while other threads snapshot.
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let scheduler = &scheduler;
+            let input = input.as_bytes();
+            scope.spawn(move || {
+                let mut out = Vec::new();
+                serve_lines(scheduler, Protocol::V2, input, &mut out).expect("serves");
+            });
+        }
+        // Racy mid-flight snapshots: per-shard capacities must always sum
+        // to the configured aggregate, whatever the queues hold.
+        for _ in 0..50 {
+            let stats = scheduler.shard_stats();
+            assert_eq!(stats.len(), SHARDS);
+            let capacity: u64 = stats.iter().map(|s| s.queue_capacity).sum();
+            assert_eq!(capacity, scheduler.metrics_snapshot().queue_capacity);
+        }
+    });
+    let snap = scheduler.metrics_snapshot();
+    let shard_stats = scheduler.shard_stats();
+    let cache = snap.cache.expect("cache on");
+    let summed = shard_stats
+        .iter()
+        .map(|s| s.cache.expect("per-shard cache on"))
+        .fold((0u64, 0u64, 0u64, 0u64), |acc, c| {
+            (
+                acc.0 + c.hits,
+                acc.1 + c.misses,
+                acc.2 + c.insertions,
+                acc.3 + c.entries,
+            )
+        });
+    assert_eq!(cache.hits, summed.0);
+    assert_eq!(cache.misses, summed.1);
+    assert_eq!(cache.insertions, summed.2);
+    assert_eq!(cache.entries, summed.3);
+    let depth: u64 = shard_stats.iter().map(|s| s.queue_depth).sum();
+    assert_eq!(depth, 0, "all lanes drained");
+    scheduler.shutdown();
+}

@@ -2,40 +2,22 @@
 //! scheduler's headline guarantees (cross-connection sharing, bit-identical
 //! caching, ordering, graceful drain) exercised end to end on a small model.
 
-use phishinghook::data::{Corpus, CorpusConfig};
 use phishinghook::evm::keccak::to_hex;
-use phishinghook::models::{Detector, DetectorRegistry, Scanner};
+use phishinghook::models::Scanner;
 use phishinghook::serve::{
     run_watch, serve_lines, Protocol, Scheduler, SchedulerOptions, WatchOptions,
 };
-use std::sync::OnceLock;
+
+/// This suite's probe-corpus seed (distinct per suite so per-process cache
+/// state never aliases across suites).
+const PROBE_SEED: u64 = 91;
 
 fn scanner() -> &'static Scanner {
-    static SCANNER: OnceLock<Scanner> = OnceLock::new();
-    SCANNER.get_or_init(|| {
-        let corpus = Corpus::generate(&CorpusConfig {
-            n_contracts: 80,
-            seed: 5,
-            ..Default::default()
-        });
-        let (codes, labels) = corpus.as_dataset();
-        let mut det = DetectorRegistry::global()
-            .build_str("rf:seed=7", 7)
-            .expect("valid spec");
-        det.fit(&codes, &labels);
-        Scanner::new(det).expect("fitted")
-    })
+    phishinghook::serve::fixture::rf_scanner()
 }
 
 fn probes(n: usize) -> (String, Vec<Vec<u8>>) {
-    let corpus = Corpus::generate(&CorpusConfig {
-        n_contracts: n,
-        seed: 91,
-        ..Default::default()
-    });
-    let codes: Vec<Vec<u8>> = corpus.records.into_iter().map(|r| r.bytecode).collect();
-    let text: String = codes.iter().map(|c| format!("0x{}\n", to_hex(c))).collect();
-    (text, codes)
+    phishinghook::serve::fixture::probe_lines(n, PROBE_SEED)
 }
 
 #[test]
