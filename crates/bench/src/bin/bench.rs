@@ -18,7 +18,7 @@ use phishinghook_bench::seed_paths;
 use phishinghook_data::{Corpus, CorpusConfig};
 use phishinghook_evm::disasm::disasm_iter;
 use phishinghook_evm::keccak::{from_hex, to_hex, Digest};
-use phishinghook_features::HistogramExtractor;
+use phishinghook_features::{HistogramExtractor, TraceExtractor};
 use phishinghook_ml::classical::forest::ForestConfig;
 use phishinghook_ml::{Classifier, RandomForest};
 use phishinghook_models::{Detector, DetectorRegistry, Scanner};
@@ -168,6 +168,25 @@ fn main() {
         fused_extract_secs * 1e3,
         seed_extract_secs / fused_extract_secs,
         refs.len() as f64 / fused_extract_secs
+    );
+
+    // --- Dynamic channel: selector-driven trace extraction. ---
+    // One "trace" is one contract fully explored: scan the dispatcher for
+    // selectors, execute each under the explorer's gas/step budget on the
+    // simulated chain, reduce to the 20 trace columns. The cost is EVM
+    // execution, not byte scanning, so it is reported next to the static
+    // fused path it rides alongside in `features=hist+trace` specs.
+    let tracer = TraceExtractor::new();
+    let trace_secs = measure(reps, || tracer.transform(&refs));
+    let traces_per_sec = refs.len() as f64 / trace_secs;
+    let trace_cost_x = trace_secs / fused_extract_secs;
+    println!(
+        "dynamic    trace   {:>10.3} ms   {:>10.0} traces/s   ({:.1}x the fused static path, {} cols, {} gas/run)",
+        trace_secs * 1e3,
+        traces_per_sec,
+        trace_cost_x,
+        tracer.n_features(),
+        tracer.gas_per_run,
     );
 
     // --- Forest inference: seed per-row walk vs. batch blocks. ---
@@ -692,6 +711,15 @@ fn main() {
     "speedup": {extract_speedup},
     "fused_contracts_per_sec": {fused_cps}
   }},
+  "dynamic": {{
+    "columns": {trace_columns},
+    "gas_per_run": {trace_gas},
+    "steps_per_run": {trace_steps},
+    "max_selectors": {trace_max_selectors},
+    "extract_secs": {trace_secs},
+    "traces_per_sec": {traces_per_sec},
+    "cost_vs_static_x": {trace_cost_x}
+  }},
   "inference": {{
     "per_row_secs": {seed_infer},
     "batch_secs": {batch_infer},
@@ -792,6 +820,13 @@ fn main() {
         fused_extract = json_f(fused_extract_secs),
         extract_speedup = json_f(seed_extract_secs / fused_extract_secs),
         fused_cps = json_f(refs.len() as f64 / fused_extract_secs),
+        trace_columns = tracer.n_features(),
+        trace_gas = tracer.gas_per_run,
+        trace_steps = tracer.steps_per_run,
+        trace_max_selectors = tracer.max_selectors,
+        trace_secs = json_f(trace_secs),
+        traces_per_sec = json_f(traces_per_sec),
+        trace_cost_x = json_f(trace_cost_x),
         seed_infer = json_f(seed_infer_secs),
         batch_infer = json_f(batch_infer_secs),
         infer_speedup = json_f(seed_infer_secs / batch_infer_secs),

@@ -135,25 +135,20 @@ impl Client {
 
     /// Drains every response routed so far, classifying and timing each.
     fn drain(&mut self, latencies: &mut Vec<f64>, tally: &mut Tally) {
-        loop {
-            match self.responses.poll() {
-                PolledResponse::Ready(_, kind) => {
-                    let submitted = self
-                        .pending
-                        .pop_front()
-                        .expect("response without a pending submit");
-                    match kind {
-                        ResponseKind::Verdict => {
-                            tally.verdicts += 1;
-                            latencies.push(submitted.elapsed().as_secs_f64() * 1e3);
-                        }
-                        ResponseKind::Overload => tally.overloads += 1,
-                        ResponseKind::Timeout => tally.timeouts += 1,
-                        ResponseKind::Internal => tally.internals += 1,
-                        ResponseKind::Error | ResponseKind::Inline => tally.errors += 1,
-                    }
+        while let PolledResponse::Ready(_, kind) = self.responses.poll() {
+            let submitted = self
+                .pending
+                .pop_front()
+                .expect("response without a pending submit");
+            match kind {
+                ResponseKind::Verdict => {
+                    tally.verdicts += 1;
+                    latencies.push(submitted.elapsed().as_secs_f64() * 1e3);
                 }
-                PolledResponse::Empty | PolledResponse::Closed => break,
+                ResponseKind::Overload => tally.overloads += 1,
+                ResponseKind::Timeout => tally.timeouts += 1,
+                ResponseKind::Internal => tally.internals += 1,
+                ResponseKind::Error | ResponseKind::Inline => tally.errors += 1,
             }
         }
     }

@@ -9,10 +9,14 @@
 use phishinghook_core::cv::stratified_kfold;
 use phishinghook_core::metrics::BinaryMetrics;
 use phishinghook_data::csv::{from_csv, to_csv};
-use phishinghook_data::{ContractRecord, Corpus, CorpusConfig, Label, RetryPolicy, SharedChain};
+use phishinghook_data::{
+    ContractRecord, Corpus, CorpusConfig, Label, RetryPolicy, Scenario, SharedChain,
+};
 use phishinghook_evm::disasm::{disassemble, to_csv as disasm_csv};
 use phishinghook_evm::keccak::from_hex;
-use phishinghook_models::{AnyDetector, Detector, DetectorRegistry, Scanner, SpecError};
+use phishinghook_models::{
+    AnyDetector, Detector, DetectorRegistry, FeatureSet, Scanner, SpecError,
+};
 use phishinghook_persist::PersistError;
 use phishinghook_serve::{ConfigError, FaultConfig, Protocol, ServeConfig, WatchOptions};
 use std::fmt;
@@ -78,7 +82,8 @@ phishinghook — opcode-based phishing detection for EVM bytecode
 
 USAGE:
   phishinghook disasm   <hex | ->              disassemble bytecode (BDM)
-  phishinghook generate <n> <out.csv> [seed]   emit a synthetic labeled dataset
+  phishinghook generate <n> <out.csv> [seed] [--scenario mixed|honeypot]
+                                               emit a synthetic labeled dataset
   phishinghook eval     <dataset.csv> [folds]  cross-validate the 7 HSC models
   phishinghook train    <dataset.csv> [--model <spec>] [--seed <n>] [--save <out.snap>]
                                                fit a spec-built detector, snapshot it
@@ -108,8 +113,15 @@ USAGE:
 --model takes a detector spec or a snapshot file. Spec grammar:
   rf | knn | svm | lr | xgb | lgbm | catboost          one HSC
   <family>:seed=<n>                                    explicit seed
-  ensemble:<f>+<f>[+…][:vote=soft|hard|weighted[:weights=w,…]][:seed=<n>]
+  <family>:features=hist|trace|hist+trace              feature channels
+  ensemble:<f>+<f>[+…][:vote=soft|hard|weighted[:weights=w,…]]
+          [:features=…][:seed=<n>]
 Legacy names (random-forest, logistic-regression, …) remain aliases.
+features= picks what the model trains on: static opcode histograms
+(default), dynamic execution-trace features from the dispatcher explorer,
+or both concatenated. generate --scenario honeypot emits rigged/twin
+contract pairs whose histograms are identical across classes — static
+detectors sit at chance there; features=hist+trace does not.
 serve speaks versioned JSONL by default; --proto v1 keeps the legacy
 tab-separated framing for old clients. --cache-bytes 0 disables the
 verdict cache; the `stats` request line reports scheduler/cache counters.
@@ -174,21 +186,46 @@ fn disasm(payload: Option<&str>) -> Result<String, CliError> {
 }
 
 fn generate(args: &[String]) -> Result<String, CliError> {
-    let (Some(n), Some(path)) = (args.first(), args.get(1)) else {
+    let mut positional: Vec<&String> = Vec::new();
+    let mut scenario = Scenario::Mixed;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--scenario" {
+            let v = iter
+                .next()
+                .ok_or_else(|| CliError::Usage(USAGE.to_owned()))?;
+            scenario = v
+                .parse()
+                .map_err(|e| CliError::Usage(format!("{e}\n\n{USAGE}")))?;
+        } else {
+            positional.push(arg);
+        }
+    }
+    let (Some(n), Some(path)) = (positional.first(), positional.get(1)) else {
         return Err(CliError::Usage(USAGE.to_owned()));
     };
     let n: usize = n
         .parse()
         .map_err(|_| CliError::Usage(format!("`{n}` is not a sample count\n\n{USAGE}")))?;
-    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0xC0FFEE);
+    let seed: u64 = positional
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FFEE);
     let corpus = Corpus::generate(&CorpusConfig {
         n_contracts: n,
         seed,
+        scenario,
         ..Default::default()
     });
     std::fs::write(path, to_csv(&corpus.records))?;
+    // The default scenario keeps the historical banner; non-default ones
+    // name themselves so a dataset's provenance is visible in logs.
+    let tag = match scenario {
+        Scenario::Mixed => String::new(),
+        s => format!("{s} "),
+    };
     Ok(format!(
-        "wrote {} contracts ({} phishing / {} benign) to {path}\n",
+        "wrote {} {tag}contracts ({} phishing / {} benign) to {path}\n",
         corpus.records.len(),
         corpus.phishing().count(),
         corpus.benign().count()
@@ -251,6 +288,16 @@ fn eval(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Human spelling of a detector's feature width, naming the channels so a
+/// `features=trace` model's banner does not claim opcode features.
+fn feature_desc(n: usize, features: FeatureSet) -> String {
+    match features {
+        FeatureSet::Histogram => format!("{n} opcode features"),
+        FeatureSet::Trace => format!("{n} trace features"),
+        FeatureSet::HistogramTrace => format!("{n} opcode+trace features"),
+    }
+}
+
 /// Resolves a `--model` argument: an existing file loads as a snapshot (of
 /// either kind); anything else must parse as a detector spec, which is then
 /// trained on `--train <dataset.csv>`.
@@ -270,9 +317,9 @@ fn scanner_from_model_arg(
         }
         let scanner = Scanner::load(model)?;
         let banner = format!(
-            "loaded {} snapshot ({} opcode features) from {model}\n",
+            "loaded {} snapshot ({}) from {model}\n",
             scanner.model_name(),
-            scanner.n_features(),
+            feature_desc(scanner.n_features(), scanner.model().features()),
         );
         return Ok((scanner, banner));
     }
@@ -345,17 +392,16 @@ fn train(args: &[String]) -> Result<String, CliError> {
     det.fit(&codes, &labels);
     let train_secs = t0.elapsed().as_secs_f64();
 
-    let n_features = det.extractor().map_or(0, |e| e.n_features());
     let members = match &det {
         AnyDetector::Hsc(_) => String::new(),
         AnyDetector::Ensemble(e) => format!(" [{} members]", e.members().len()),
     };
     let mut out = format!(
-        "trained {}{members} on {} labeled contracts in {:.2}s ({} opcode features)\n",
+        "trained {}{members} on {} labeled contracts in {:.2}s ({})\n",
         det.name(),
         records.len(),
         train_secs,
-        n_features,
+        feature_desc(det.n_features(), det.features()),
     );
     if let Some(path) = save {
         let bytes = det.to_snapshot_bytes();
@@ -992,6 +1038,40 @@ mod tests {
         assert!(out.contains("watch report"), "{out}");
         assert!(out.contains("60 deploy event(s)"), "{out}");
         assert!(out.contains("hit rate"), "{out}");
+    }
+
+    #[test]
+    fn generate_honeypot_scenario_and_train_trace_spec() {
+        let dir = std::env::temp_dir().join("phishinghook-cli-test8");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let csv = dir.join("hp.csv");
+        let csv_str = csv.to_str().unwrap();
+        let out = run(&args(&[
+            "generate",
+            "40",
+            csv_str,
+            "3",
+            "--scenario",
+            "honeypot",
+        ]))
+        .expect("generates");
+        assert!(out.contains("wrote 40 honeypot contracts"), "{out}");
+
+        // A trace-bearing spec trains on it and the banner names the
+        // channels rather than claiming opcode features.
+        let out = run(&args(&[
+            "train",
+            csv_str,
+            "--model",
+            "rf:features=hist+trace",
+        ]))
+        .expect("trains");
+        assert!(out.contains("trained Random Forest"), "{out}");
+        assert!(out.contains("opcode+trace features"), "{out}");
+
+        // Unknown scenarios are usage errors that say so.
+        let err = run(&args(&["generate", "40", csv_str, "--scenario", "mainnet"])).unwrap_err();
+        assert!(err.to_string().contains("unknown scenario"), "{err}");
     }
 
     #[test]

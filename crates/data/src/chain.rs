@@ -8,6 +8,7 @@
 //! shaped exactly like the real one.
 
 use crate::contract::{ContractRecord, Label};
+use phishinghook_evm::{CallOutcome, CallParams, Host, Interpreter, U256};
 use phishinghook_ml::SplitMix;
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
@@ -272,6 +273,88 @@ impl CodeSource for SharedChain {
     }
 }
 
+/// Truncates an EVM word to a 20-byte account address (the low 20 bytes,
+/// big-endian) — how `CALL`/`BALANCE`/`EXTCODE*` operands map onto the
+/// chain's address space.
+pub fn word_to_address(word: &U256) -> Address {
+    let bytes = word.to_be_bytes();
+    bytes[12..].try_into().expect("20 bytes")
+}
+
+/// An EVM [`Host`] backed by a [`SimulatedChain`]: the dynamic-analysis
+/// channel's view of the world.
+///
+/// With this host plugged into the interpreter (or the dispatcher
+/// explorer), `BALANCE`/`EXTCODESIZE`/`EXTCODECOPY`/`EXTCODEHASH` observe
+/// the chain's real deployed code, and `CALL`-family opcodes *execute* the
+/// callee one bounded frame deep instead of returning the historical
+/// simulated success. Every deployed contract is served with a uniform
+/// nonzero balance (`contract_balance`) so honeypot bait like
+/// `require(balance(target) > 0)` behaves as it would on mainnet.
+#[derive(Debug, Clone)]
+pub struct ChainHost<'a> {
+    chain: &'a SimulatedChain,
+    /// Balance reported for every deployed contract.
+    pub contract_balance: U256,
+    /// Gas budget for each nested callee frame.
+    pub callee_gas: u64,
+    /// Step budget for each nested callee frame.
+    pub callee_steps: u64,
+    depth: u32,
+}
+
+/// Deepest nested call frame [`ChainHost`] executes before reporting
+/// failure (mirrors `phishinghook_evm::host::MAX_CALL_DEPTH`).
+const CHAIN_HOST_MAX_DEPTH: u32 = 3;
+
+impl<'a> ChainHost<'a> {
+    /// A host over `chain` with default callee budgets.
+    pub fn new(chain: &'a SimulatedChain) -> Self {
+        ChainHost {
+            chain,
+            contract_balance: U256::from_u64(1_000_000_000),
+            callee_gas: 100_000,
+            callee_steps: 20_000,
+            depth: 0,
+        }
+    }
+}
+
+impl Host for ChainHost<'_> {
+    fn balance(&self, addr: &U256) -> Option<U256> {
+        let code = self.chain.eth_get_code(word_to_address(addr));
+        (!code.is_empty()).then_some(self.contract_balance)
+    }
+
+    fn code(&self, addr: &U256) -> Option<Vec<u8>> {
+        self.chain.code_at(word_to_address(addr))
+    }
+
+    fn call(&mut self, params: &CallParams) -> CallOutcome {
+        let Some(code) = self.code(&params.target) else {
+            // Value transfer into an EOA: succeeds, returns nothing.
+            return CallOutcome::simulated_success();
+        };
+        if self.depth >= CHAIN_HOST_MAX_DEPTH {
+            return CallOutcome::failure();
+        }
+        self.depth += 1;
+        let mut interp = Interpreter::new();
+        interp.gas_limit = self.callee_gas.min(params.gas.max(1));
+        interp.step_limit = self.callee_steps;
+        interp.env.address = params.target;
+        interp.env.callvalue = params.value;
+        interp.env.calldata = params.input.clone();
+        let result = interp.run_with_host(&code, self);
+        self.depth -= 1;
+        CallOutcome {
+            success: result.status.is_ok(),
+            returndata: result.output,
+            gas_used: result.gas_used,
+        }
+    }
+}
+
 /// An etherscan.io-style labeling oracle with configurable flag noise.
 ///
 /// `miss_rate` is the probability that a phishing contract is *not* flagged
@@ -523,6 +606,56 @@ mod tests {
         );
         assert_eq!(out, Err(ChainError::Transient("fault 4".into())));
         assert_eq!(calls, 4, "max_attempts bounds the calls");
+    }
+
+    #[test]
+    fn chain_host_serves_code_and_balances() {
+        let records = [record(1, Label::Benign)];
+        let chain = SimulatedChain::from_records(&records);
+        let host = ChainHost::new(&chain);
+        let deployed = {
+            let mut w = [0u8; 32];
+            w[12..].copy_from_slice(&[1; 20]);
+            U256::from_be_bytes(&w)
+        };
+        assert_eq!(host.code(&deployed), Some(vec![0x60, 0x80, 1]));
+        assert_eq!(host.balance(&deployed), Some(host.contract_balance));
+        assert_eq!(host.code(&U256::from_u64(0x99)), None, "EOA has no code");
+        assert_eq!(host.balance(&U256::from_u64(0x99)), None);
+    }
+
+    #[test]
+    fn chain_host_executes_deployed_callees() {
+        use phishinghook_evm::Asm;
+        // Deploy a callee at address 0x...07 that returns the word 99.
+        let mut callee = Asm::new();
+        callee.push_u64(99).push_u64(0).op("MSTORE");
+        callee.push_u64(32).push_u64(0).op("RETURN");
+        let mut chain = SimulatedChain::new();
+        let mut addr = [0u8; 20];
+        addr[19] = 0x07;
+        chain.deploy(addr, callee.assemble().unwrap());
+
+        // Caller: CALL 0x07, copy the 32-byte result out, return it.
+        let mut caller = Asm::new();
+        caller.push_u64(32).push_u64(0); // retLen retOff
+        caller.push_u64(0).push_u64(0).push_u64(0); // argsLen argsOff value
+        caller.push_u64(0x07).push_u64(50_000).op("CALL").op("POP");
+        caller.push_u64(32).push_u64(0).op("RETURN");
+
+        let mut host = ChainHost::new(&chain);
+        let mut interp = Interpreter::new();
+        let r = interp.run_with_host(&caller.assemble().unwrap(), &mut host);
+        assert!(r.status.is_ok(), "{:?}", r.status);
+        assert_eq!(U256::from_be_bytes(&r.output), U256::from_u64(99));
+    }
+
+    #[test]
+    fn word_to_address_truncates_high_bytes() {
+        let mut w = [0xFFu8; 32];
+        w[12..].copy_from_slice(&[0xAB; 20]);
+        assert_eq!(word_to_address(&U256::from_be_bytes(&w)), [0xAB; 20]);
+        assert_eq!(word_to_address(&U256::ZERO), [0; 20]);
     }
 
     #[test]

@@ -34,6 +34,50 @@ pub const OBTAINED_PROFILE: [f64; Month::COUNT] = [
     800.0,
 ];
 
+/// Which contract population [`Corpus::generate`] draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scenario {
+    /// The paper's synthetic stand-in: seven benign and six phishing
+    /// families sharing the gadget vocabulary.
+    #[default]
+    Mixed,
+    /// The honeypot scenario: rigged/twin pairs from
+    /// [`crate::honeypot`] whose opcode histograms are identical across
+    /// classes — static detectors sit at chance, the dynamic channel does
+    /// not.
+    Honeypot,
+}
+
+impl Scenario {
+    /// The CLI token for this scenario.
+    pub fn token(self) -> &'static str {
+        match self {
+            Scenario::Mixed => "mixed",
+            Scenario::Honeypot => "honeypot",
+        }
+    }
+}
+
+impl std::str::FromStr for Scenario {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "mixed" => Ok(Scenario::Mixed),
+            "honeypot" => Ok(Scenario::Honeypot),
+            other => Err(format!(
+                "unknown scenario `{other}` (expected `mixed` or `honeypot`)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
 /// Configuration for [`Corpus::generate`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct CorpusConfig {
@@ -52,6 +96,8 @@ pub struct CorpusConfig {
     /// When `true`, benign samples follow the phishing monthly profile
     /// (the paper's time-resistance dataset construction).
     pub benign_months_match_phishing: bool,
+    /// Which contract population to generate.
+    pub scenario: Scenario,
 }
 
 impl Default for CorpusConfig {
@@ -62,6 +108,7 @@ impl Default for CorpusConfig {
             duplicate_factor: 5.0,
             hard_example_rate: 0.30,
             benign_months_match_phishing: false,
+            scenario: Scenario::Mixed,
         }
     }
 }
@@ -220,9 +267,10 @@ fn unique_record(
     // Resample on hash collision so the deduplicated dataset really is
     // duplicate-free (proxy targets may collide otherwise).
     for _attempt in 0..64 {
-        let (bytecode, family) = match label {
-            Label::Benign => generate_benign(rng, month, config),
-            Label::Phishing => generate_phishing(rng, month, config),
+        let (bytecode, family) = match (config.scenario, label) {
+            (Scenario::Honeypot, _) => crate::honeypot::generate(rng, label),
+            (Scenario::Mixed, Label::Benign) => generate_benign(rng, month, config),
+            (Scenario::Mixed, Label::Phishing) => generate_phishing(rng, month, config),
         };
         let record = ContractRecord {
             address: derive_address(&bytecode, *nonce),
@@ -940,6 +988,40 @@ mod tests {
         let c = small(400, 9);
         let families: HashSet<&'static str> = c.records.iter().map(|r| r.family).collect();
         assert!(families.len() >= 8, "only {families:?}");
+    }
+
+    #[test]
+    fn honeypot_scenario_generates_paired_families() {
+        let c = Corpus::generate(&CorpusConfig {
+            n_contracts: 80,
+            seed: 21,
+            scenario: Scenario::Honeypot,
+            ..Default::default()
+        });
+        assert_eq!(c.records.len(), 80);
+        assert_eq!(c.phishing().count(), 40);
+        for r in &c.records {
+            match r.label {
+                Label::Phishing => assert!(r.family.starts_with("hp-"), "{}", r.family),
+                Label::Benign => assert!(r.family.starts_with("tw-"), "{}", r.family),
+            }
+        }
+        // Determinism holds for the scenario too.
+        let again = Corpus::generate(&CorpusConfig {
+            n_contracts: 80,
+            seed: 21,
+            scenario: Scenario::Honeypot,
+            ..Default::default()
+        });
+        assert_eq!(c.records, again.records);
+    }
+
+    #[test]
+    fn scenario_tokens_round_trip() {
+        for s in [Scenario::Mixed, Scenario::Honeypot] {
+            assert_eq!(s.token().parse::<Scenario>(), Ok(s));
+        }
+        assert!("bogus".parse::<Scenario>().is_err());
     }
 
     #[test]

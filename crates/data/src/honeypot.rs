@@ -1,0 +1,344 @@
+//! Honeypot scenario generation: contracts that static histograms cannot
+//! separate but execution traces can.
+//!
+//! "The Art of The Scam" (PAPERS.md) documents honeypot contracts engineered
+//! to *look* like they pay out while the payout path is unreachable: a
+//! storage gate that is never satisfied, an owner check against an
+//! uninitialised struct field, an escape hatch only the deployer can reach.
+//! These scams are invisible to opcode-occurrence features by construction —
+//! the trap lives in *operands and reachability*, not opcode mix.
+//!
+//! This module makes that failure mode measurable. Every honeypot family is
+//! generated as a **pair**: the rigged contract and a benign twin whose
+//! opcode sequence is *identical instruction for instruction* — only the
+//! `PUSH` immediates differ (a gate constant that can never match storage
+//! versus one that always does; an address mask that redirects the payout
+//! versus one that passes the caller through). An opcode histogram of a
+//! rigged contract and its twin are therefore equal, pinning any static
+//! detector at chance on this scenario, while the dispatcher explorer sees
+//! the difference immediately: the twin's payout `CALL`/`SELFDESTRUCT`
+//! executes and targets the caller, the honeypot's reverts or pays a
+//! stranger.
+//!
+//! Four families, following the paper's taxonomy:
+//!
+//! | family | trap |
+//! |--------|------|
+//! | `hidden-state`  | withdraw gated on a storage word no deposit ever writes |
+//! | `uninit-struct` | claim checks an uninitialised struct field against a nonzero constant |
+//! | `owner-skim`    | exit's `SELFDESTRUCT` sits behind an unsatisfiable owner gate |
+//! | `redirect`      | payout executes, but an `AND`/`OR` mask swaps the recipient |
+
+use crate::contract::Label;
+use crate::templates::{metadata_trailer, selectors};
+use phishinghook_evm::asm::Asm;
+use phishinghook_ml::SplitMix;
+
+/// The four honeypot families of the scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HoneypotFamily {
+    /// Withdraw gated on a storage slot no entry point ever satisfies.
+    HiddenState,
+    /// Claim compares an uninitialised struct field to a nonzero constant.
+    UninitStruct,
+    /// `SELFDESTRUCT` escape hatch behind an unsatisfiable owner gate.
+    OwnerSkim,
+    /// Reachable payout whose recipient is mask-redirected away from the
+    /// caller.
+    Redirect,
+}
+
+impl HoneypotFamily {
+    /// All families, in a fixed order.
+    pub const ALL: [HoneypotFamily; 4] = [
+        HoneypotFamily::HiddenState,
+        HoneypotFamily::UninitStruct,
+        HoneypotFamily::OwnerSkim,
+        HoneypotFamily::Redirect,
+    ];
+
+    /// Corpus family tag: `hp-*` for the rigged contract, `tw-*` for its
+    /// benign twin.
+    pub fn tag(self, rigged: bool) -> &'static str {
+        match (self, rigged) {
+            (HoneypotFamily::HiddenState, true) => "hp-hidden-state",
+            (HoneypotFamily::HiddenState, false) => "tw-hidden-state",
+            (HoneypotFamily::UninitStruct, true) => "hp-uninit-struct",
+            (HoneypotFamily::UninitStruct, false) => "tw-uninit-struct",
+            (HoneypotFamily::OwnerSkim, true) => "hp-owner-skim",
+            (HoneypotFamily::OwnerSkim, false) => "tw-owner-skim",
+            (HoneypotFamily::Redirect, true) => "hp-redirect",
+            (HoneypotFamily::Redirect, false) => "tw-redirect",
+        }
+    }
+}
+
+/// Generates one honeypot-scenario contract: rigged when `label` is
+/// phishing, the benign twin otherwise. Returns `(bytecode, family_tag)`.
+pub fn generate(rng: &mut SplitMix, label: Label) -> (Vec<u8>, &'static str) {
+    let family = HoneypotFamily::ALL[rng.below(HoneypotFamily::ALL.len())];
+    let rigged = label == Label::Phishing;
+    (build(rng, family, rigged), family.tag(rigged))
+}
+
+/// Builds one contract of `family`. The emitted *opcode sequence* is a pure
+/// function of the rng draws — `rigged` only changes `PUSH` immediates, so
+/// a rigged contract and a twin built from the same draws disassemble to
+/// the same mnemonic stream.
+pub fn build(rng: &mut SplitMix, family: HoneypotFamily, rigged: bool) -> Vec<u8> {
+    let mut asm = Asm::new();
+
+    // Solidity free-memory-pointer preamble.
+    asm.push(&[0x80]).push(&[0x40]).op("MSTORE");
+
+    // Selectors: a deposit-shaped bait, the family's payout, a view-shaped
+    // noise function. Drawn from the same benign pools for both classes.
+    let mut pool = selectors::vault();
+    pool.extend(selectors::erc20());
+    pool.sort_unstable();
+    pool.dedup();
+    rng.shuffle(&mut pool);
+    let (bait_sel, payout_sel, view_sel) = (pool[0], pool[1], pool[2]);
+
+    // Dispatcher (same shape as `ContractSpec::build`).
+    asm.push(&[0x04]).op("CALLDATASIZE").op("LT");
+    asm.jumpi("fallback");
+    asm.op("PUSH0").op("CALLDATALOAD").push(&[0xE0]).op("SHR");
+    for (sel, lbl) in [
+        (bait_sel, "fn_bait"),
+        (payout_sel, "fn_payout"),
+        (view_sel, "fn_view"),
+    ] {
+        asm.op("DUP1").push_selector(sel).op("EQ");
+        asm.jumpi(lbl);
+    }
+    asm.op("POP");
+    asm.jump("fallback");
+
+    // Bait: store the deposited amount, log it, return true. Writes slot
+    // `bait_slot` — never the gate slot the payout checks.
+    let bait_slot = 1 + (rng.below(4) as u8);
+    asm.label("fn_bait");
+    asm.op("POP");
+    junk(&mut asm, rng);
+    asm.push(&[0x04]).op("CALLDATALOAD");
+    asm.push(&[bait_slot]).op("SSTORE");
+    asm.push(&[0x2A]).op("PUSH0").op("MSTORE");
+    let mut topic = [0u8; 32];
+    topic[24..].copy_from_slice(&rng.next_u64().to_be_bytes());
+    asm.push(&topic).push(&[0x20]).op("PUSH0").op("LOG1");
+    asm.push(&[0x01]).op("PUSH0").op("MSTORE");
+    asm.push(&[0x20]).op("PUSH0").op("RETURN");
+
+    // Payout: the family-specific (possibly trapped) path.
+    asm.label("fn_payout");
+    asm.op("POP");
+    junk(&mut asm, rng);
+    emit_payout(&mut asm, rng, family, rigged);
+
+    // View: return a storage word.
+    asm.label("fn_view");
+    asm.op("POP");
+    junk(&mut asm, rng);
+    asm.push(&[rng.below(8) as u8]).op("SLOAD");
+    asm.op("PUSH0").op("MSTORE");
+    asm.push(&[0x20]).op("PUSH0").op("RETURN");
+
+    asm.label("fallback");
+    asm.op("STOP");
+
+    if rng.unit() < 0.8 {
+        asm.raw(&[0xFE]);
+        asm.raw(&metadata_trailer(rng.next_u64()));
+    }
+    asm.assemble().expect("honeypot templates always assemble")
+}
+
+/// 0–3 rounds of push-push-op-pop arithmetic noise, identical in shape for
+/// both classes (per-sample variety without class signal).
+fn junk(asm: &mut Asm, rng: &mut SplitMix) {
+    for _ in 0..rng.below(4) {
+        let a = 1 + (rng.below(255) as u8);
+        let b = 1 + (rng.below(255) as u8);
+        asm.push(&[a]).push(&[b]);
+        asm.op(match rng.below(4) {
+            0 => "ADD",
+            1 => "XOR",
+            2 => "AND",
+            _ => "OR",
+        });
+        asm.op("POP");
+    }
+}
+
+/// The full-balance `CALL` payout to whatever target word is on the stack
+/// top when invoked... — here, always `CALLER`-derived; callers of this
+/// helper push nothing, it emits the canonical withdraw-all sequence with
+/// the recipient produced by `recipient`.
+fn emit_call_payout(asm: &mut Asm, recipient: impl FnOnce(&mut Asm)) {
+    asm.op("PUSH0").op("PUSH0").op("PUSH0").op("PUSH0");
+    asm.op("SELFBALANCE");
+    recipient(asm);
+    asm.op("GAS").op("CALL").op("POP").op("STOP");
+}
+
+fn emit_payout(asm: &mut Asm, rng: &mut SplitMix, family: HoneypotFamily, rigged: bool) {
+    match family {
+        // withdraw(): `if (SLOAD(gate) == K) pay caller; else revert`.
+        // Twin: K = 0 matches fresh storage. Rigged: K is a magic word no
+        // entry point ever stores.
+        HoneypotFamily::HiddenState => {
+            let gate_slot = 5 + (rng.below(3) as u8); // disjoint from bait's 1..=4
+                                                      // Draw unconditionally so rigged/twin consume the same rng
+                                                      // stream (all later draws stay aligned across the pair).
+            let magic = 1 + (rng.below(255) as u8);
+            let k = if rigged { magic } else { 0 };
+            asm.push(&[gate_slot]).op("SLOAD");
+            asm.push(&[k]).op("EQ");
+            asm.jumpi("pay");
+            asm.op("PUSH0").op("PUSH0").op("REVERT");
+            asm.label("pay");
+            emit_call_payout(asm, |a| {
+                a.op("CALLER");
+            });
+        }
+        // claim(): `if (owner_field - V != 0) fail; pay caller`. The struct
+        // field (slot 0) is uninitialised, so SLOAD gives 0: the twin's
+        // V = 0 falls through to the payout, the rigged V never does.
+        HoneypotFamily::UninitStruct => {
+            let magic = 1 + (rng.below(255) as u8);
+            let v = if rigged { magic } else { 0 };
+            asm.push(&[0x00]).op("SLOAD");
+            asm.push(&[v]).op("SUB");
+            asm.jumpi("fail");
+            emit_call_payout(asm, |a| {
+                a.op("CALLER");
+            });
+            asm.label("fail");
+            asm.op("PUSH0").op("PUSH0").op("REVERT");
+        }
+        // exit(): `if (SLOAD(owner_slot) == W) selfdestruct(caller)`. The
+        // twin's W = 0 makes the hatch public; the rigged W means only a
+        // deployer who pre-seeded storage (nobody, here) can leave.
+        HoneypotFamily::OwnerSkim => {
+            let owner_slot = rng.below(2) as u8;
+            let magic = 1 + (rng.below(255) as u8);
+            let w = if rigged { magic } else { 0 };
+            asm.push(&[owner_slot]).op("SLOAD");
+            asm.push(&[w]).op("EQ");
+            asm.jumpi("skim");
+            asm.op("PUSH0").op("PUSH0").op("REVERT");
+            asm.label("skim");
+            asm.op("CALLER").op("SELFDESTRUCT");
+        }
+        // payout(): always executes, but the recipient is
+        // `(CALLER & m1) | m2`. Twin: m1 = all-ones, m2 = 0 — identity.
+        // Rigged: m1 = 0, m2 = the operator's address — the caller funds a
+        // stranger while the bytecode shape screams "withdraw to sender".
+        HoneypotFamily::Redirect => {
+            let mut m1 = [0u8; 32];
+            let mut m2 = [0u8; 32];
+            // Operator address drawn unconditionally (rng stream alignment).
+            let mut operator = [0u8; 20];
+            for byte in &mut operator {
+                *byte = (rng.next_u64() & 0xFF) as u8;
+            }
+            if rigged {
+                m2[12..].copy_from_slice(&operator);
+                m2[31] |= 1; // never the zero address
+            } else {
+                for byte in &mut m1[12..] {
+                    *byte = 0xFF;
+                }
+            }
+            emit_call_payout(asm, |a| {
+                a.op("CALLER");
+                a.push(&m1);
+                a.op("AND");
+                a.push(&m2);
+                a.op("OR");
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phishinghook_evm::disasm::disassemble;
+    use phishinghook_evm::{Explorer, Status};
+
+    fn mnemonics(code: &[u8]) -> Vec<&'static str> {
+        disassemble(code).iter().map(|i| i.mnemonic()).collect()
+    }
+
+    #[test]
+    fn rigged_and_twin_share_an_opcode_sequence() {
+        // The core property: same rng draws, same mnemonic stream — static
+        // histograms are blind to the difference.
+        for family in HoneypotFamily::ALL {
+            let a = build(&mut SplitMix::new(42), family, true);
+            let b = build(&mut SplitMix::new(42), family, false);
+            assert_eq!(
+                mnemonics(&a),
+                mnemonics(&b),
+                "{family:?} pair diverges statically"
+            );
+            assert_ne!(a, b, "{family:?} pair must differ in immediates");
+        }
+    }
+
+    #[test]
+    fn traces_separate_every_pair() {
+        // The twin reaches a value transfer (or selfdestruct) to the
+        // caller; the honeypot never does.
+        let explorer = Explorer::default();
+        for family in HoneypotFamily::ALL {
+            for seed in 0..5u64 {
+                let rigged = build(&mut SplitMix::new(seed), family, true);
+                let twin = build(&mut SplitMix::new(seed), family, false);
+                let pays = |code: &[u8]| {
+                    let t = explorer.explore(code);
+                    t.calls().any(|c| c.transfers_value && c.to_caller)
+                        || t.selfdestructs().any(|s| s.to_caller)
+                };
+                assert!(pays(&twin), "{family:?}/{seed}: twin must pay the caller");
+                assert!(!pays(&rigged), "{family:?}/{seed}: honeypot must not");
+            }
+        }
+    }
+
+    #[test]
+    fn every_honeypot_executes_cleanly() {
+        // All entry points terminate in Success/Revert/SelfDestructed —
+        // never a structural halt — under the explorer's budgets.
+        let explorer = Explorer::default();
+        for family in HoneypotFamily::ALL {
+            for rigged in [true, false] {
+                for seed in 100..110u64 {
+                    let code = build(&mut SplitMix::new(seed), family, rigged);
+                    let trace = explorer.explore(&code);
+                    assert_eq!(trace.selectors_total, 3, "{family:?}");
+                    for run in &trace.runs {
+                        assert!(
+                            matches!(
+                                run.status,
+                                Status::Success | Status::Revert | Status::SelfDestructed
+                            ),
+                            "{family:?} rigged={rigged} seed={seed}: {:?}",
+                            run.status
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generate_tags_follow_the_label() {
+        let (_, tag) = generate(&mut SplitMix::new(1), Label::Phishing);
+        assert!(tag.starts_with("hp-"), "{tag}");
+        let (_, tag) = generate(&mut SplitMix::new(1), Label::Benign);
+        assert!(tag.starts_with("tw-"), "{tag}");
+    }
+}

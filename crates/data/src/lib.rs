@@ -34,12 +34,14 @@ pub mod contract;
 pub mod corpus;
 pub mod csv;
 pub mod firehose;
+pub mod honeypot;
 pub mod templates;
 
 pub use chain::{
-    extract_labeled_bytecodes, Address, ChainError, CodeSource, LabelOracle, RetryPolicy,
-    SharedChain, SimulatedChain,
+    extract_labeled_bytecodes, word_to_address, Address, ChainError, ChainHost, CodeSource,
+    LabelOracle, RetryPolicy, SharedChain, SimulatedChain,
 };
 pub use contract::{ContractRecord, Label, Month};
-pub use corpus::{Corpus, CorpusConfig};
+pub use corpus::{Corpus, CorpusConfig, Scenario};
 pub use firehose::{ChainFirehose, DeployEvent, FirehoseConfig};
+pub use honeypot::HoneypotFamily;

@@ -1,0 +1,313 @@
+//! The pluggable external-state interface behind the interpreter.
+//!
+//! The interpreter models one contract's stack, memory, storage and gas
+//! precisely, but everything *outside* the executing account — callee code,
+//! foreign balances, the effects of `CALL` — is the [`Host`]'s business.
+//! [`NullHost`] preserves the historical "simulated success" semantics
+//! (calls succeed with empty return data, foreign accounts are empty), so
+//! corpus validation keeps its exact behavior; richer hosts (e.g. one backed
+//! by a simulated chain's code store) let the same interpreter observe real
+//! callee state, which is what the dynamic-analysis feature channel runs on.
+//!
+//! Beyond answering state queries, a host receives *observation hooks*
+//! (`on_storage_read`, `on_storage_write`, `on_selfdestruct`, `on_log`) as
+//! the interpreter executes. The default implementations are no-ops; the
+//! dispatcher explorer layers a recording host over any inner host to build
+//! execution traces without the interpreter knowing traces exist.
+
+use crate::u256::U256;
+
+/// Which `CALL`-family opcode produced a [`CallParams`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CallKind {
+    /// `CALL` (0xF1) — new frame, value transfer allowed.
+    Call,
+    /// `CALLCODE` (0xF2) — callee code, caller's storage (legacy).
+    CallCode,
+    /// `DELEGATECALL` (0xF4) — callee code, caller's full context.
+    DelegateCall,
+    /// `STATICCALL` (0xFA) — read-only frame, no value.
+    StaticCall,
+}
+
+impl CallKind {
+    /// `true` for the kinds that carry a `value` stack argument.
+    pub fn has_value(self) -> bool {
+        matches!(self, CallKind::Call | CallKind::CallCode)
+    }
+}
+
+/// One outbound message call, as the interpreter hands it to the host.
+#[derive(Debug, Clone)]
+pub struct CallParams {
+    /// Program counter of the call opcode (for trace recording).
+    pub pc: usize,
+    /// Which opcode initiated the call.
+    pub kind: CallKind,
+    /// Gas the caller forwards (already capped by the 63/64 rule).
+    pub gas: u64,
+    /// Callee address.
+    pub target: U256,
+    /// Wei transferred (`U256::ZERO` for `DELEGATECALL`/`STATICCALL`).
+    pub value: U256,
+    /// Call input read from the caller's memory.
+    pub input: Vec<u8>,
+}
+
+/// What a host reports back for one message call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallOutcome {
+    /// `true` pushes 1 on the caller's stack, `false` pushes 0.
+    pub success: bool,
+    /// Return data (drives `RETURNDATASIZE`/`RETURNDATACOPY` and the
+    /// caller-memory copy-out).
+    pub returndata: Vec<u8>,
+    /// Gas the callee consumed; charged to the caller, capped at the
+    /// forwarded amount by well-behaved hosts.
+    pub gas_used: u64,
+}
+
+impl CallOutcome {
+    /// The historical stub outcome: success, no return data, no gas.
+    pub fn simulated_success() -> Self {
+        CallOutcome {
+            success: true,
+            returndata: Vec::new(),
+            gas_used: 0,
+        }
+    }
+
+    /// A failed call with no return data.
+    pub fn failure() -> Self {
+        CallOutcome {
+            success: false,
+            returndata: Vec::new(),
+            gas_used: 0,
+        }
+    }
+}
+
+/// External state and call execution behind the interpreter.
+///
+/// Every method has a default that reproduces the historical simulated
+/// semantics, so `impl Host for MyHost {}` is a valid (null) host and
+/// implementors override only what they model.
+pub trait Host {
+    /// Balance of `addr`, or `None` to fall back to the environment's
+    /// configured balance (the historical behavior).
+    fn balance(&self, addr: &U256) -> Option<U256> {
+        let _ = addr;
+        None
+    }
+
+    /// Deployed code of `addr` (`None` = empty account, the historical
+    /// behavior for every address).
+    fn code(&self, addr: &U256) -> Option<Vec<u8>> {
+        let _ = addr;
+        None
+    }
+
+    /// Executes one outbound message call.
+    ///
+    /// The default reproduces the stub semantics: unconditional success with
+    /// empty return data and zero additional gas.
+    fn call(&mut self, params: &CallParams) -> CallOutcome {
+        let _ = params;
+        CallOutcome::simulated_success()
+    }
+
+    /// Observation hook: an `SLOAD` at `pc` read `key`.
+    fn on_storage_read(&mut self, pc: usize, key: &U256) {
+        let _ = (pc, key);
+    }
+
+    /// Observation hook: an `SSTORE` at `pc` wrote `key`.
+    fn on_storage_write(&mut self, pc: usize, key: &U256) {
+        let _ = (pc, key);
+    }
+
+    /// Observation hook: a `SELFDESTRUCT` at `pc` paying `beneficiary`.
+    fn on_selfdestruct(&mut self, pc: usize, beneficiary: &U256) {
+        let _ = (pc, beneficiary);
+    }
+
+    /// Observation hook: a `LOGn` at `pc` with `topics` topics.
+    fn on_log(&mut self, pc: usize, topics: usize) {
+        let _ = (pc, topics);
+    }
+}
+
+/// The do-nothing host: simulated-success calls, empty foreign accounts.
+///
+/// [`crate::Interpreter::run`] uses this implicitly, so code that never
+/// mentions hosts sees the exact pre-host semantics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullHost;
+
+impl Host for NullHost {}
+
+/// An in-memory host mapping addresses to code and balances.
+///
+/// This is the simplest *stateful* host: enough to unit-test the
+/// interpreter's `EXTCODE*`/`BALANCE`/`CALL` wiring without dragging a
+/// chain simulation into this crate. Calls into accounts with code execute
+/// the callee one level deep on a budgeted sub-interpreter; calls into
+/// empty accounts behave like plain value transfers (success, no data).
+#[derive(Debug, Clone, Default)]
+pub struct MemoryHost {
+    accounts: Vec<(U256, Vec<u8>, U256)>,
+    /// Gas budget for each nested callee frame.
+    pub callee_gas: u64,
+    /// Step budget for each nested callee frame.
+    pub callee_steps: u64,
+    depth: u32,
+}
+
+/// Maximum nested call depth [`MemoryHost`] will execute before reporting
+/// failure (honeypots love unbounded recursion; the explorer does not).
+pub const MAX_CALL_DEPTH: u32 = 3;
+
+impl MemoryHost {
+    /// Creates an empty host with default callee budgets.
+    pub fn new() -> Self {
+        MemoryHost {
+            accounts: Vec::new(),
+            callee_gas: 100_000,
+            callee_steps: 20_000,
+            depth: 0,
+        }
+    }
+
+    /// Registers an account with deployed `code` and a `balance`.
+    pub fn insert(&mut self, addr: U256, code: Vec<u8>, balance: U256) {
+        if let Some(slot) = self.accounts.iter_mut().find(|(a, _, _)| *a == addr) {
+            slot.1 = code;
+            slot.2 = balance;
+        } else {
+            self.accounts.push((addr, code, balance));
+        }
+    }
+
+    fn find(&self, addr: &U256) -> Option<&(U256, Vec<u8>, U256)> {
+        self.accounts.iter().find(|(a, _, _)| a == addr)
+    }
+}
+
+impl Host for MemoryHost {
+    fn balance(&self, addr: &U256) -> Option<U256> {
+        self.find(addr).map(|(_, _, b)| *b)
+    }
+
+    fn code(&self, addr: &U256) -> Option<Vec<u8>> {
+        self.find(addr)
+            .filter(|(_, c, _)| !c.is_empty())
+            .map(|(_, c, _)| c.clone())
+    }
+
+    fn call(&mut self, params: &CallParams) -> CallOutcome {
+        let Some(code) = self.code(&params.target) else {
+            // Plain transfer into an empty account: succeeds, returns nothing.
+            return CallOutcome::simulated_success();
+        };
+        if self.depth >= MAX_CALL_DEPTH {
+            return CallOutcome::failure();
+        }
+        self.depth += 1;
+        let mut interp = crate::interp::Interpreter::new();
+        interp.gas_limit = self.callee_gas.min(params.gas.max(1));
+        interp.step_limit = self.callee_steps;
+        interp.env.address = params.target;
+        interp.env.callvalue = params.value;
+        interp.env.calldata = params.input.clone();
+        let result = interp.run_with_host(&code, self);
+        self.depth -= 1;
+        CallOutcome {
+            success: result.status.is_ok(),
+            returndata: result.output,
+            gas_used: result.gas_used,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::interp::{Interpreter, Status};
+
+    #[test]
+    fn null_host_defaults_are_simulated_semantics() {
+        let mut host = NullHost;
+        assert_eq!(host.balance(&U256::ONE), None);
+        assert_eq!(host.code(&U256::ONE), None);
+        let outcome = host.call(&CallParams {
+            pc: 0,
+            kind: CallKind::Call,
+            gas: 1000,
+            target: U256::ONE,
+            value: U256::ZERO,
+            input: Vec::new(),
+        });
+        assert_eq!(outcome, CallOutcome::simulated_success());
+    }
+
+    #[test]
+    fn memory_host_serves_code_and_balance() {
+        let mut host = MemoryHost::new();
+        host.insert(U256::from_u64(0xAA), vec![0x00], U256::from_u64(500));
+        assert_eq!(
+            host.balance(&U256::from_u64(0xAA)),
+            Some(U256::from_u64(500))
+        );
+        assert_eq!(host.code(&U256::from_u64(0xAA)), Some(vec![0x00]));
+        assert_eq!(host.code(&U256::from_u64(0xBB)), None);
+    }
+
+    #[test]
+    fn memory_host_executes_callee_and_returns_its_output() {
+        // Callee: return a 32-byte word holding 42.
+        let mut callee = Asm::new();
+        callee.push_u64(42).push_u64(0).op("MSTORE");
+        callee.push_u64(32).push_u64(0).op("RETURN");
+        let mut host = MemoryHost::new();
+        host.insert(
+            U256::from_u64(0xCAFE),
+            callee.assemble().unwrap(),
+            U256::ZERO,
+        );
+
+        // Caller: CALL the callee, copy 32 bytes of returndata to memory,
+        // return them.
+        let mut caller = Asm::new();
+        caller.push_u64(32).push_u64(0); // retLen, retOff
+        caller.push_u64(0).push_u64(0); // argsLen, argsOff
+        caller.push_u64(0); // value
+        caller.push_u64(0xCAFE); // target
+        caller.push_u64(50_000); // gas
+        caller.op("CALL").op("POP");
+        caller.push_u64(32).push_u64(0).op("RETURN");
+        let mut interp = Interpreter::new();
+        let r = interp.run_with_host(&caller.assemble().unwrap(), &mut host);
+        assert_eq!(r.status, Status::Success);
+        assert_eq!(U256::from_be_bytes(&r.output), U256::from_u64(42));
+    }
+
+    #[test]
+    fn memory_host_bounds_recursive_calls() {
+        // A contract that calls itself forever must bottom out at
+        // MAX_CALL_DEPTH, not overflow the Rust stack.
+        let mut asm = Asm::new();
+        asm.push_u64(0).push_u64(0).push_u64(0).push_u64(0);
+        asm.push_u64(0)
+            .push_u64(0x5E1F)
+            .push_u64(100_000)
+            .op("CALL");
+        asm.op("POP").op("STOP");
+        let code = asm.assemble().unwrap();
+        let mut host = MemoryHost::new();
+        host.insert(U256::from_u64(0x5E1F), code.clone(), U256::ZERO);
+        let mut interp = Interpreter::new();
+        let r = interp.run_with_host(&code, &mut host);
+        assert!(r.status.is_ok(), "{:?}", r.status);
+    }
+}

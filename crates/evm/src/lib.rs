@@ -19,6 +19,12 @@
 //!   generator to build realistic runtime bytecode.
 //! * [`interp`] — a compact stack-machine interpreter with gas metering, used
 //!   to sanity-check that generated contracts actually execute.
+//! * [`host`] / [`explorer`] — the dynamic-analysis layer: a pluggable
+//!   [`host::Host`] serving external state (callee code, balances, message
+//!   calls) behind the interpreter, and a dispatcher [`explorer::Explorer`]
+//!   that recovers the `PUSH4/EQ/JUMPI` selector table and executes each
+//!   entry point under a hard budget, producing a structured
+//!   [`explorer::Trace`] for the trace feature extractors.
 //! * [`u256`] / [`keccak`] — 256-bit words and keccak-256 hashing (used for
 //!   interpreter arithmetic and for bytecode deduplication).
 //!
@@ -37,6 +43,8 @@
 
 pub mod asm;
 pub mod disasm;
+pub mod explorer;
+pub mod host;
 pub mod interp;
 pub mod keccak;
 pub mod opcode;
@@ -44,7 +52,11 @@ pub mod u256;
 
 pub use asm::Asm;
 pub use disasm::{disasm_iter, disassemble, DisasmIter, Instruction, Op};
-pub use interp::{ExecutionResult, Halt, Interpreter};
+pub use explorer::{
+    scan_selectors, CallSite, Explorer, ExplorerConfig, SelectorRun, SelfdestructSite, Trace,
+};
+pub use host::{CallKind, CallOutcome, CallParams, Host, MemoryHost, NullHost};
+pub use interp::{Env, ExecutionResult, Halt, Interpreter, Status};
 pub use keccak::{keccak256, Digest};
 pub use opcode::{mnemonic_str, Gas, OpTable, OpcodeInfo, ShanghaiRegistry, N_MNEMONICS};
 pub use u256::U256;

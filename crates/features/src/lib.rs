@@ -11,17 +11,20 @@
 //! | [`ngram`] | SCSGuard | 3-byte ("6 hex chars") bigram vocabulary |
 //! | [`tokenize`](mod@tokenize) | GPT-2α/β, T5α/β | byte tokens, truncation (α) vs sliding window (β) |
 //! | [`escort`] | ESCORT | hashed bytecode embedding + vulnerability pseudo-labels |
+//! | [`trace`] | any HSC/ensemble via `features=` | dynamic execution-trace features (beyond the paper) |
 
 pub mod escort;
 pub mod histogram;
 pub mod image;
 pub mod ngram;
 pub mod tokenize;
+pub mod trace;
 
 pub use histogram::HistogramExtractor;
 pub use image::{freq_image, r2d2_image, FreqLookup};
 pub use ngram::BigramVocab;
 pub use tokenize::{token_windows, tokenize, TokenWindows, Tokenization};
+pub use trace::{TraceExtractor, TRACE_COLUMNS};
 
 /// Resolves a mnemonic string back to its interned `&'static str` from the
 /// opcode registry — the restore-side inverse of storing `&'static str`

@@ -2,7 +2,7 @@
 //! shared per-fold feature store that lets detectors of one family reuse
 //! each other's extraction work.
 
-use phishinghook_features::HistogramExtractor;
+use phishinghook_features::{HistogramExtractor, TraceExtractor};
 use phishinghook_ml::Matrix;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -49,14 +49,33 @@ pub struct HistogramFeatures {
     pub build_secs: f64,
 }
 
+/// Shared dynamic-trace features for one fold: the (stateless) extractor
+/// plus the transformed train and test matrices. The trace channel has no
+/// fitted vocabulary — its columns are fixed — but the per-contract
+/// exploration is the expensive part, so the matrices are what's shared.
+#[derive(Debug, Clone)]
+pub struct TraceFeatures {
+    /// The extractor the matrices were produced with (default explorer
+    /// budgets).
+    pub extractor: TraceExtractor,
+    /// Training-split trace-feature matrix.
+    pub train: Matrix,
+    /// Test-split trace-feature matrix.
+    pub test: Matrix,
+    /// Wall-clock seconds the one-time exploration took (both transforms).
+    pub build_secs: f64,
+}
+
 /// Shared feature store for one cross-validation fold.
 ///
 /// The evaluation pipeline builds one `FoldFeatures` per (run, fold) cell
 /// and hands it to every detector via [`Detector::fit_fold`] /
 /// [`Detector::predict_fold`]. Family-level extraction (e.g. the opcode
-/// histograms all seven HSCs consume) is computed lazily, exactly once, on
-/// first request — so seven HSC detectors share one disassembly pass and
-/// one pair of feature matrices instead of redoing the work seven times.
+/// histograms all seven HSCs consume, or the dynamic execution traces any
+/// `features=trace`-bearing detector consumes) is computed lazily, exactly
+/// once, on first request — so seven HSC detectors share one disassembly
+/// pass and one pair of feature matrices instead of redoing the work seven
+/// times.
 ///
 /// Everything derived from data is fitted on the *training* split only,
 /// preserving the fold-hygiene contract of [`Detector::fit`].
@@ -65,6 +84,8 @@ pub struct FoldFeatures<'a> {
     test: &'a [&'a [u8]],
     histogram: OnceLock<HistogramFeatures>,
     histogram_hits: AtomicUsize,
+    trace: OnceLock<TraceFeatures>,
+    trace_hits: AtomicUsize,
 }
 
 impl<'a> FoldFeatures<'a> {
@@ -76,6 +97,8 @@ impl<'a> FoldFeatures<'a> {
             test,
             histogram: OnceLock::new(),
             histogram_hits: AtomicUsize::new(0),
+            trace: OnceLock::new(),
+            trace_hits: AtomicUsize::new(0),
         }
     }
 
@@ -115,6 +138,34 @@ impl<'a> FoldFeatures<'a> {
         (
             self.histogram_hits.load(Ordering::Relaxed),
             self.histogram.get().map_or(0.0, |h| h.build_secs),
+        )
+    }
+
+    /// The fold's dynamic-trace features, explored on first call (default
+    /// explorer budgets) and shared by every subsequent caller.
+    pub fn trace(&self) -> &TraceFeatures {
+        self.trace_hits.fetch_add(1, Ordering::Relaxed);
+        self.trace.get_or_init(|| {
+            let t0 = std::time::Instant::now();
+            let extractor = TraceExtractor::new();
+            let train = extractor.transform(self.train);
+            let test = extractor.transform(self.test);
+            TraceFeatures {
+                extractor,
+                train,
+                test,
+                build_secs: t0.elapsed().as_secs_f64(),
+            }
+        })
+    }
+
+    /// `(access count so far, one-time build seconds)` for the trace
+    /// family — the trace-channel analogue of
+    /// [`FoldFeatures::histogram_usage`].
+    pub fn trace_usage(&self) -> (usize, f64) {
+        (
+            self.trace_hits.load(Ordering::Relaxed),
+            self.trace.get().map_or(0.0, |t| t.build_secs),
         )
     }
 }

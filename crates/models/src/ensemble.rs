@@ -24,7 +24,7 @@
 
 use crate::detector::{Category, Detector, FoldFeatures};
 use crate::hsc::HscDetector;
-use crate::spec::{HscKind, SpecError, Vote};
+use crate::spec::{FeatureSet, HscKind, SpecError, Vote};
 use phishinghook_features::HistogramExtractor;
 use phishinghook_ml::Matrix;
 use phishinghook_persist::{PersistError, Reader, Restore, Snapshot, Writer};
@@ -79,6 +79,12 @@ fn canonical_name(members: &[HscDetector], vote: &Vote) -> String {
             }
         }
     }
+    // Same canonical-order rule as `DetectorSpec`'s Display: the default
+    // feature set is omitted, anything else renders after the vote.
+    let features = members[0].features();
+    if features != FeatureSet::default() {
+        write!(name, ":features={}", features.token()).expect("write to String");
+    }
     name
 }
 
@@ -88,7 +94,9 @@ impl EnsembleDetector {
     /// # Errors
     /// [`SpecError::EmptyEnsemble`] with no members;
     /// [`SpecError::WeightCount`] when a weighted vote's weight count does
-    /// not match the member count.
+    /// not match the member count; [`SpecError::MixedFeatureSets`] when
+    /// members disagree on their feature channels (they all score one
+    /// shared feature matrix).
     pub fn new(members: Vec<HscDetector>, vote: Vote) -> Result<Self, SpecError> {
         if members.is_empty() {
             return Err(SpecError::EmptyEnsemble);
@@ -100,6 +108,12 @@ impl EnsembleDetector {
                     members: members.len(),
                 });
             }
+        }
+        if members
+            .iter()
+            .any(|m| m.features() != members[0].features())
+        {
+            return Err(SpecError::MixedFeatureSets);
         }
         Ok(EnsembleDetector {
             name: canonical_name(&members, &vote),
@@ -118,14 +132,39 @@ impl EnsembleDetector {
         &self.vote
     }
 
-    /// `true` once every member has a fitted histogram vocabulary.
+    /// `true` once every member is fitted.
     pub fn is_fitted(&self) -> bool {
         self.members.iter().all(HscDetector::is_fitted)
     }
 
-    /// The shared fitted extractor (every member holds an identical one).
+    /// The shared fitted histogram extractor, when the feature set carries
+    /// that channel (every member holds an identical one).
     pub fn extractor(&self) -> Option<&HistogramExtractor> {
         self.members.first().and_then(HscDetector::extractor)
+    }
+
+    /// The feature channels this ensemble's members train and score on
+    /// ([`EnsembleDetector::new`] guarantees they agree).
+    pub fn features(&self) -> FeatureSet {
+        self.members[0].features()
+    }
+
+    /// Width of the shared feature rows every member scores.
+    ///
+    /// # Panics
+    /// Panics when called before [`Detector::fit`].
+    pub fn n_features(&self) -> usize {
+        self.members[0].n_features()
+    }
+
+    /// Streams the shared feature rows of `codes` into `out`
+    /// (`codes.len() × n_features()`) — extraction happens once regardless
+    /// of member count.
+    ///
+    /// # Panics
+    /// Panics before fit, or on an `out` shape mismatch.
+    pub fn featurize_into(&self, codes: &[&[u8]], out: &mut Matrix) {
+        self.members[0].featurize_into(codes, out);
     }
 
     /// Combines per-member class-1 probabilities for one row position.
@@ -228,8 +267,8 @@ impl Detector for EnsembleDetector {
     }
 
     fn predict(&self, codes: &[&[u8]]) -> Vec<usize> {
-        let extractor = self.extractor().expect("predict before fit");
-        let x = extractor.transform(codes);
+        assert!(self.is_fitted(), "predict before fit");
+        let x = self.members[0].featurize(codes);
         self.predict_proba(&x)
             .into_iter()
             .map(|p| usize::from(p >= 0.5))
@@ -243,8 +282,8 @@ impl Detector for EnsembleDetector {
     }
 
     fn predict_fold(&self, fold: &FoldFeatures<'_>) -> Vec<usize> {
-        let features = fold.histogram();
-        self.predict_proba(&features.test)
+        let x = self.members[0].fold_test_matrix(fold);
+        self.predict_proba(&x)
             .into_iter()
             .map(|p| usize::from(p >= 0.5))
             .collect()
@@ -324,14 +363,22 @@ impl Restore for EnsembleDetector {
             let member = HscDetector::from_snapshot_bytes(r.take_bytes()?)?;
             members.push(member);
         }
-        // Members must agree on their feature vocabulary: scoring shares one
-        // extracted matrix across all of them, so a width/column mismatch
-        // would silently permute features at request time.
-        let first = members[0].extractor();
+        // Members must agree on their feature extraction: scoring shares one
+        // extracted matrix across all of them, so a vocabulary, budget or
+        // channel mismatch would silently permute features at request time.
+        let first_hist = members[0].extractor();
+        let first_trace = members[0].trace_extractor();
         for member in &members[1..] {
-            if member.extractor() != first {
+            if member.extractor() != first_hist {
                 return Err(PersistError::Malformed(format!(
                     "ensemble member `{}` disagrees with `{}` on the histogram vocabulary",
+                    member.name(),
+                    members[0].name(),
+                )));
+            }
+            if member.trace_extractor() != first_trace {
+                return Err(PersistError::Malformed(format!(
+                    "ensemble member `{}` disagrees with `{}` on the trace extractor",
                     member.name(),
                     members[0].name(),
                 )));
@@ -534,6 +581,44 @@ mod tests {
             }
             other => panic!("expected WrongKind, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn mixed_member_feature_sets_are_rejected() {
+        let members = vec![
+            HscDetector::random_forest(1).with_features(FeatureSet::HistogramTrace),
+            HscDetector::knn(),
+        ];
+        assert_eq!(
+            EnsembleDetector::new(members, Vote::Soft).unwrap_err(),
+            SpecError::MixedFeatureSets
+        );
+    }
+
+    #[test]
+    fn feature_set_rides_the_canonical_name_and_round_trips() {
+        let det = fitted("ensemble:rf+lgbm:vote=soft:features=hist+trace");
+        assert_eq!(det.name(), "ensemble:rf+lgbm:vote=soft:features=hist+trace");
+        assert_eq!(det.features(), FeatureSet::HistogramTrace);
+        // The name parses back to a spec that rebuilds the same shape.
+        let spec: crate::DetectorSpec = det.name().parse().expect("name is a valid spec");
+        assert_eq!(spec.to_string(), det.name());
+
+        // Shared featurization scores identically through the snapshot.
+        let (codes, labels) = corpus();
+        let probes: Vec<&[u8]> = codes[80..].iter().map(Vec::as_slice).collect();
+        let back =
+            EnsembleDetector::from_snapshot_bytes(&det.to_snapshot_bytes()).expect("restores");
+        assert_eq!(back.name(), det.name());
+        assert_eq!(back.predict(&probes), det.predict(&probes));
+        // And it actually classifies (the corpus is not honeypot-hard).
+        let correct = det
+            .predict(&probes)
+            .iter()
+            .zip(&labels[80..])
+            .filter(|(a, b)| a == b)
+            .count();
+        assert!(correct as f64 / probes.len() as f64 > 0.6);
     }
 
     #[test]

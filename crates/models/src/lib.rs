@@ -23,7 +23,7 @@ pub mod scoring;
 pub mod spec;
 pub mod vision;
 
-pub use detector::{Category, Detector, FoldFeatures, HistogramFeatures};
+pub use detector::{Category, Detector, FoldFeatures, HistogramFeatures, TraceFeatures};
 pub use ensemble::EnsembleDetector;
 pub use escort_model::{EscortConfig, EscortDetector};
 #[allow(deprecated)]
@@ -34,7 +34,8 @@ pub use scanner::{AnyDetector, ResolveError, ScanReport, ScanRequest, Scanner, T
 #[allow(deprecated)]
 pub use scoring::ScoringEngine;
 pub use spec::{
-    DetectorRegistry, DetectorSpec, FamilyInfo, HscKind, HscSpec, SpecError, Vote, HSC_KINDS,
+    DetectorRegistry, DetectorSpec, FamilyInfo, FeatureSet, HscKind, HscSpec, SpecError, Vote,
+    HSC_KINDS,
 };
 pub use vision::{VisionConfig, VisionDetector};
 

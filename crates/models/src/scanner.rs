@@ -76,12 +76,43 @@ impl AnyDetector {
         }
     }
 
-    /// The fitted histogram extractor (shared by all members for an
-    /// ensemble).
+    /// The fitted histogram extractor, when the feature set carries that
+    /// channel (shared by all members for an ensemble).
     pub fn extractor(&self) -> Option<&HistogramExtractor> {
         match self {
             AnyDetector::Hsc(d) => d.extractor(),
             AnyDetector::Ensemble(d) => d.extractor(),
+        }
+    }
+
+    /// The feature channels the detector trains and scores on.
+    pub fn features(&self) -> crate::spec::FeatureSet {
+        match self {
+            AnyDetector::Hsc(d) => d.features(),
+            AnyDetector::Ensemble(d) => d.features(),
+        }
+    }
+
+    /// Width of the fitted feature rows.
+    ///
+    /// # Panics
+    /// Panics when called before [`Detector::fit`].
+    pub fn n_features(&self) -> usize {
+        match self {
+            AnyDetector::Hsc(d) => d.n_features(),
+            AnyDetector::Ensemble(d) => d.n_features(),
+        }
+    }
+
+    /// Streams the feature rows of `codes` (per the fitted feature set)
+    /// into `out`, which must be `codes.len() × n_features()`.
+    ///
+    /// # Panics
+    /// Panics before fit, or on an `out` shape mismatch.
+    pub fn featurize_into(&self, codes: &[&[u8]], out: &mut Matrix) {
+        match self {
+            AnyDetector::Hsc(d) => d.featurize_into(codes, out),
+            AnyDetector::Ensemble(d) => d.featurize_into(codes, out),
         }
     }
 
@@ -488,26 +519,17 @@ impl Scanner {
         }
     }
 
-    /// Width of the feature vocabulary the scanner scores with.
+    /// Width of the feature rows the scanner scores with (across every
+    /// channel of the model's feature set).
     pub fn n_features(&self) -> usize {
-        self.extractor().n_features()
-    }
-
-    fn extractor(&self) -> &HistogramExtractor {
-        self.model
-            .extractor()
-            .expect("Scanner::new rejects unfitted detectors")
+        self.model.n_features()
     }
 
     /// Streams a batch into the scratch matrix (resized, not reallocated,
     /// while batch sizes are stable).
     fn transform_batch(&mut self, codes: &[&[u8]]) {
-        let extractor = self
-            .model
-            .extractor()
-            .expect("Scanner::new rejects unfitted detectors");
-        self.scratch.resize(codes.len(), extractor.n_features());
-        extractor.transform_into(codes, &mut self.scratch);
+        self.scratch.resize(codes.len(), self.model.n_features());
+        self.model.featurize_into(codes, &mut self.scratch);
     }
 
     /// Combined class-1 probability per bytecode — the raw hot path, same
@@ -881,6 +903,30 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn trace_feature_specs_serve_through_the_scanner() {
+        // The serving hot path must generalize past histograms: a
+        // `features=` spec scores through the same scratch-matrix batch
+        // path and survives the snapshot round trip bit-identically.
+        for spec in ["rf:features=trace", "lr:features=hist+trace"] {
+            let det = fitted(spec);
+            let expected_width = det.n_features();
+            let bytes = det.to_snapshot_bytes();
+            let mut scanner = Scanner::new(det).expect("fitted");
+            assert_eq!(scanner.n_features(), expected_width, "{spec}");
+            let (codes, _) = corpus();
+            let probes: Vec<&[u8]> = codes[60..66].iter().map(Vec::as_slice).collect();
+            let a = scanner.score_batch(&probes);
+            let mut restored = Scanner::from_snapshot_bytes(&bytes).expect("decodes");
+            let b = restored.score_batch(&probes);
+            assert_eq!(
+                a.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+                "{spec}"
+            );
         }
     }
 

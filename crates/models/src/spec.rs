@@ -17,11 +17,18 @@
 //! spec      := family [":" option]*                      single HSC
 //!            | "ensemble" ":" family ("+" family)+ [":" option]*
 //! option    := "seed=" u64
+//!            | "features=" ("hist" | "trace" | "hist+trace")
 //!            | "vote=" ("soft" | "hard" | "weighted")    ensembles only
 //!            | "weights=" f64 ("," f64)*                 vote=weighted only
 //! family    := "rf" | "knn" | "svm" | "lr" | "xgb" | "lgbm" | "catboost"
 //!              (plus the aliases listed by [`DetectorRegistry::families`])
 //! ```
+//!
+//! `features=` picks the feature channels the detector trains on: `hist`
+//! (the default — static opcode histograms), `trace` (dynamic
+//! execution-trace features from the dispatcher explorer), or `hist+trace`
+//! (both, column-concatenated). Any family or ensemble composes with any
+//! feature set.
 //!
 //! Family tokens are case-insensitive and accept spaces/underscores for
 //! dashes, so the paper's Table II spellings (`"Random Forest"`) parse too.
@@ -152,6 +159,83 @@ impl Vote {
     }
 }
 
+/// Which feature channels a detector trains and scores on — the spec
+/// grammar's `features=` axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FeatureSet {
+    /// Static opcode-occurrence histograms (the paper's HSC features; the
+    /// default).
+    #[default]
+    Histogram,
+    /// Dynamic execution-trace features from the dispatcher explorer
+    /// ([`phishinghook_features::TraceExtractor`]).
+    Trace,
+    /// Both channels, column-concatenated (histogram columns first).
+    HistogramTrace,
+}
+
+impl FeatureSet {
+    /// Canonical spec token: `"hist"`, `"trace"`, or `"hist+trace"`.
+    pub fn token(self) -> &'static str {
+        match self {
+            FeatureSet::Histogram => "hist",
+            FeatureSet::Trace => "trace",
+            FeatureSet::HistogramTrace => "hist+trace",
+        }
+    }
+
+    /// `true` when the set includes the static histogram channel.
+    pub fn includes_histogram(self) -> bool {
+        matches!(self, FeatureSet::Histogram | FeatureSet::HistogramTrace)
+    }
+
+    /// `true` when the set includes the dynamic trace channel.
+    pub fn includes_trace(self) -> bool {
+        matches!(self, FeatureSet::Trace | FeatureSet::HistogramTrace)
+    }
+
+    /// Parses a `features=` value (case-insensitive; `histogram` is an
+    /// alias for `hist`, and `trace+hist` normalizes to `hist+trace`).
+    fn parse(value: &str) -> Result<Self, SpecError> {
+        let bad = |reason: &str| SpecError::BadValue {
+            option: "features",
+            value: value.to_owned(),
+            reason: reason.to_owned(),
+        };
+        let mut hist = false;
+        let mut trace = false;
+        for part in value.split('+') {
+            match part.trim().to_ascii_lowercase().as_str() {
+                "hist" | "histogram" => {
+                    if hist {
+                        return Err(bad("`hist` listed twice"));
+                    }
+                    hist = true;
+                }
+                "trace" => {
+                    if trace {
+                        return Err(bad("`trace` listed twice"));
+                    }
+                    trace = true;
+                }
+                _ => return Err(bad("expected `hist`, `trace` or `hist+trace`")),
+            }
+        }
+        match (hist, trace) {
+            (true, false) => Ok(FeatureSet::Histogram),
+            (false, true) => Ok(FeatureSet::Trace),
+            (true, true) => Ok(FeatureSet::HistogramTrace),
+            (false, false) => Err(bad("expected `hist`, `trace` or `hist+trace`")),
+        }
+    }
+}
+
+impl fmt::Display for FeatureSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
 /// A single-HSC spec: family plus an optional explicit seed.
 ///
 /// Without an explicit seed, building substitutes a caller-provided default
@@ -163,6 +247,9 @@ pub struct HscSpec {
     pub kind: HscKind,
     /// Explicit seed, if the spec carried `seed=…`.
     pub seed: Option<u64>,
+    /// Which feature channels to train on (`features=…`; defaults to
+    /// static histograms).
+    pub features: FeatureSet,
 }
 
 /// A parsed, validated detector description.
@@ -178,6 +265,8 @@ pub enum DetectorSpec {
         vote: Vote,
         /// Explicit base seed for member decorrelation, if given.
         seed: Option<u64>,
+        /// Feature channels shared by every member.
+        features: FeatureSet,
     },
 }
 
@@ -198,11 +287,19 @@ impl DetectorSpec {
 
 impl fmt::Display for DetectorSpec {
     /// Renders the canonical form: lowercase tokens, options in
-    /// `vote`, `weights`, `seed` order. `parse(to_string()) == self`.
+    /// `vote`, `weights`, `features`, `seed` order (defaults omitted).
+    /// `parse(to_string()) == self`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DetectorSpec::Hsc(HscSpec { kind, seed }) => {
+            DetectorSpec::Hsc(HscSpec {
+                kind,
+                seed,
+                features,
+            }) => {
                 write!(f, "{}", kind.token())?;
+                if *features != FeatureSet::default() {
+                    write!(f, ":features={}", features.token())?;
+                }
                 if let Some(seed) = seed {
                     write!(f, ":seed={seed}")?;
                 }
@@ -212,6 +309,7 @@ impl fmt::Display for DetectorSpec {
                 members,
                 vote,
                 seed,
+                features,
             } => {
                 write!(f, "ensemble:")?;
                 for (i, member) in members.iter().enumerate() {
@@ -231,6 +329,9 @@ impl fmt::Display for DetectorSpec {
                         // back to the same value, so weights round-trip.
                         write!(f, "{w}")?;
                     }
+                }
+                if *features != FeatureSet::default() {
+                    write!(f, ":features={}", features.token())?;
                 }
                 if let Some(seed) = seed {
                     write!(f, ":seed={seed}")?;
@@ -278,6 +379,9 @@ pub enum SpecError {
         /// Number of ensemble members.
         members: usize,
     },
+    /// Ensemble members were constructed with differing feature sets (they
+    /// must all score one shared feature matrix).
+    MixedFeatureSets,
 }
 
 impl fmt::Display for SpecError {
@@ -303,6 +407,10 @@ impl fmt::Display for SpecError {
                 f,
                 "weights count {weights} does not match member count {members}"
             ),
+            SpecError::MixedFeatureSets => write!(
+                f,
+                "ensemble members disagree on their feature set (all members must share one)"
+            ),
         }
     }
 }
@@ -315,6 +423,7 @@ struct Options {
     seed: Option<u64>,
     vote: Option<&'static str>,
     weights: Option<Vec<f64>>,
+    features: Option<FeatureSet>,
 }
 
 impl Options {
@@ -379,6 +488,12 @@ impl Options {
                 }
                 self.weights = Some(weights);
             }
+            "features" => {
+                if self.features.is_some() {
+                    return Err(SpecError::DuplicateOption("features"));
+                }
+                self.features = Some(FeatureSet::parse(value)?);
+            }
             other => return Err(SpecError::UnknownOption(other.to_owned())),
         }
         Ok(())
@@ -439,6 +554,7 @@ impl FromStr for DetectorSpec {
                 members,
                 vote,
                 seed: opts.seed,
+                features: opts.features.unwrap_or_default(),
             })
         } else {
             let kind = HscKind::parse_token(head)?;
@@ -461,6 +577,7 @@ impl FromStr for DetectorSpec {
             Ok(DetectorSpec::Hsc(HscSpec {
                 kind,
                 seed: opts.seed,
+                features: opts.features.unwrap_or_default(),
             }))
         }
     }
@@ -523,7 +640,13 @@ impl DetectorRegistry {
     pub fn hsc_specs(&self) -> Vec<DetectorSpec> {
         HSC_KINDS
             .into_iter()
-            .map(|kind| DetectorSpec::Hsc(HscSpec { kind, seed: None }))
+            .map(|kind| {
+                DetectorSpec::Hsc(HscSpec {
+                    kind,
+                    seed: None,
+                    features: FeatureSet::Histogram,
+                })
+            })
             .collect()
     }
 
@@ -548,19 +671,27 @@ impl DetectorRegistry {
     /// the base seed this way).
     pub fn build(&self, spec: &DetectorSpec, default_seed: u64) -> AnyDetector {
         match spec {
-            DetectorSpec::Hsc(HscSpec { kind, seed }) => {
+            DetectorSpec::Hsc(HscSpec {
+                kind,
+                seed,
+                features,
+            }) => {
                 let seed = seed.unwrap_or(default_seed ^ kind.seed_offset());
-                AnyDetector::Hsc(self.build_hsc(*kind, seed))
+                AnyDetector::Hsc(self.build_hsc(*kind, seed).with_features(*features))
             }
             DetectorSpec::Ensemble {
                 members,
                 vote,
                 seed,
+                features,
             } => {
                 let base = seed.unwrap_or(default_seed);
                 let members: Vec<HscDetector> = members
                     .iter()
-                    .map(|&kind| self.build_hsc(kind, base ^ kind.seed_offset()))
+                    .map(|&kind| {
+                        self.build_hsc(kind, base ^ kind.seed_offset())
+                            .with_features(*features)
+                    })
                     .collect();
                 AnyDetector::Ensemble(
                     EnsembleDetector::new(members, vote.clone())
@@ -616,6 +747,7 @@ mod tests {
                 members: vec![HscKind::RandomForest, HscKind::Lightgbm, HscKind::Catboost],
                 vote: Vote::Soft,
                 seed: None,
+                features: FeatureSet::Histogram,
             }
         );
         assert_eq!(spec.to_string(), "ensemble:rf+lgbm+catboost:vote=soft");
@@ -630,6 +762,65 @@ mod tests {
             "ensemble:rf+lgbm:vote=weighted:weights=2,1:seed=9"
         );
         assert_eq!(parse(&weighted.to_string()), weighted);
+    }
+
+    #[test]
+    fn feature_set_axis_parses_and_round_trips() {
+        // Default (hist) is omitted from the canonical form.
+        assert_eq!(parse("rf:features=hist").to_string(), "rf");
+        assert_eq!(parse("rf:features=histogram"), parse("rf"));
+        // Non-default feature sets render and round-trip.
+        for (text, canonical) in [
+            ("rf:features=trace", "rf:features=trace"),
+            ("rf:features=TRACE:seed=3", "rf:features=trace:seed=3"),
+            ("rf:features=hist+trace", "rf:features=hist+trace"),
+            ("rf:features=trace+hist", "rf:features=hist+trace"),
+            (
+                "ensemble:rf+lgbm:vote=hard:features=hist+trace",
+                "ensemble:rf+lgbm:vote=hard:features=hist+trace",
+            ),
+            (
+                "ensemble:rf+lgbm:features=trace:seed=5",
+                "ensemble:rf+lgbm:vote=soft:features=trace:seed=5",
+            ),
+        ] {
+            let spec = parse(text);
+            assert_eq!(spec.to_string(), canonical, "{text}");
+            assert_eq!(parse(&spec.to_string()), spec, "{text}");
+        }
+        let DetectorSpec::Hsc(spec) = parse("rf:features=hist+trace") else {
+            panic!("single spec")
+        };
+        assert_eq!(spec.features, FeatureSet::HistogramTrace);
+        assert!(spec.features.includes_histogram());
+        assert!(spec.features.includes_trace());
+        assert!(!FeatureSet::Trace.includes_histogram());
+    }
+
+    #[test]
+    fn bad_feature_sets_are_typed_errors() {
+        let err = |s: &str| s.parse::<DetectorSpec>().unwrap_err();
+        for bad in [
+            "rf:features=",
+            "rf:features=image",
+            "rf:features=hist+hist",
+            "rf:features=trace+trace+hist",
+        ] {
+            assert!(
+                matches!(
+                    err(bad),
+                    SpecError::BadValue {
+                        option: "features",
+                        ..
+                    }
+                ),
+                "{bad}"
+            );
+        }
+        assert_eq!(
+            err("rf:features=trace:features=hist"),
+            SpecError::DuplicateOption("features")
+        );
     }
 
     #[test]

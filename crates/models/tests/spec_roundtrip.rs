@@ -3,7 +3,7 @@
 //! (`parse(display(spec)) == spec`), and arbitrary input strings never
 //! panic the parser — they either parse or return a typed [`SpecError`].
 
-use phishinghook_models::{DetectorSpec, HscKind, HscSpec, SpecError, Vote, HSC_KINDS};
+use phishinghook_models::{DetectorSpec, FeatureSet, HscKind, HscSpec, SpecError, Vote, HSC_KINDS};
 use proptest::prelude::*;
 
 /// Maps an arbitrary draw to one of the seven families.
@@ -12,14 +12,21 @@ fn kind_from(raw: u64) -> HscKind {
 }
 
 /// Builds a valid spec from raw fuzz material: `shape` picks single vs.
-/// ensemble and the vote rule, `members` picks families (and, for singles,
-/// whether a seed is present), `seed` is the explicit seed value.
+/// ensemble, the vote rule and the feature set, `members` picks families
+/// (and, for singles, whether a seed is present), `seed` is the explicit
+/// seed value.
 fn spec_from(shape: u8, members: &[u64], seed: u64) -> DetectorSpec {
     let with_seed = shape & 0x10 != 0;
+    let features = match (shape >> 5) % 3 {
+        0 => FeatureSet::Histogram,
+        1 => FeatureSet::Trace,
+        _ => FeatureSet::HistogramTrace,
+    };
     if shape & 1 == 0 {
         DetectorSpec::Hsc(HscSpec {
             kind: kind_from(members[0]),
             seed: with_seed.then_some(seed),
+            features,
         })
     } else {
         let kinds: Vec<HscKind> = members.iter().map(|&m| kind_from(m)).collect();
@@ -37,6 +44,7 @@ fn spec_from(shape: u8, members: &[u64], seed: u64) -> DetectorSpec {
             members: kinds,
             vote,
             seed: with_seed.then_some(seed),
+            features,
         }
     }
 }

@@ -174,7 +174,7 @@ fn shard_targeted_panics_blast_only_that_lane() {
         .map(|code| shard_of(&Digest::of(code), SHARDS))
         .collect();
     assert!(
-        expect_shard.iter().any(|&s| s == TARGET),
+        expect_shard.contains(&TARGET),
         "probe corpus never routes to the target shard"
     );
     assert!(

@@ -300,6 +300,117 @@ fn ensemble_snapshot_corruption_is_rejected_with_typed_errors() {
     assert!(phishinghook::models::Scanner::from_snapshot_bytes(snapshot).is_ok());
 }
 
+// --- Trace-channel snapshots ------------------------------------------------
+
+/// `(probes, in-memory scanner, restored scanner, raw snapshot)` per
+/// trace-bearing spec, trained once on a honeypot corpus (the scenario the
+/// dynamic channel exists for).
+struct TraceFixture {
+    probes: Vec<Vec<u8>>,
+    pairs: Vec<(
+        String,
+        phishinghook::models::Scanner,
+        phishinghook::models::Scanner,
+        Vec<u8>,
+    )>,
+}
+
+fn trace_fixture() -> &'static TraceFixture {
+    static FIXTURE: OnceLock<TraceFixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let corpus = Corpus::generate(&CorpusConfig {
+            n_contracts: 80,
+            seed: 37,
+            scenario: phishinghook::data::Scenario::Honeypot,
+            ..Default::default()
+        });
+        let codes: Vec<Vec<u8>> = corpus.records.iter().map(|r| r.bytecode.clone()).collect();
+        let labels: Vec<usize> = corpus.records.iter().map(|r| r.label.as_index()).collect();
+        let refs: Vec<&[u8]> = codes.iter().map(Vec::as_slice).collect();
+        let pairs = ["rf:features=trace", "lr:features=hist+trace"]
+            .into_iter()
+            .map(|spec| {
+                let mut det = DetectorRegistry::global()
+                    .build_str(spec, 7)
+                    .expect("valid spec");
+                det.fit(&refs[..50], &labels[..50]);
+                let bytes = det.to_snapshot_bytes();
+                assert_eq!(bytes, det.to_snapshot_bytes(), "{spec}: deterministic");
+                let restored = phishinghook::models::Scanner::from_snapshot_bytes(&bytes)
+                    .unwrap_or_else(|e| panic!("{spec} snapshot failed to restore: {e}"));
+                let original = phishinghook::models::Scanner::new(det).expect("fitted");
+                (spec.to_owned(), original, restored, bytes)
+            })
+            .collect();
+        TraceFixture {
+            probes: codes[50..].to_vec(),
+            pairs,
+        }
+    })
+}
+
+#[test]
+fn trace_detectors_round_trip_bit_identically_on_held_out_honeypots() {
+    let fx = trace_fixture();
+    let refs: Vec<&[u8]> = fx.probes.iter().map(Vec::as_slice).collect();
+    for (spec, original, restored, _) in &fx.pairs {
+        let a = original.worker().score_batch(&refs);
+        let b = restored.worker().score_batch(&refs);
+        assert_eq!(bits(&a), bits(&b), "{spec}: restored scores diverge");
+        assert_eq!(restored.n_features(), original.n_features(), "{spec}");
+        assert_eq!(
+            restored.model().features(),
+            original.model().features(),
+            "{spec}"
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn trace_round_trip_holds_on_arbitrary_bytecodes(
+        code in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        // Adversarial inputs run through the *explorer* here, not just the
+        // disassembler — the restored extractor must replay the exact same
+        // execution budgets and land on the same bits.
+        let fx = trace_fixture();
+        let batch: [&[u8]; 1] = [code.as_slice()];
+        for (spec, original, restored, _) in &fx.pairs {
+            let a = original.worker().score_batch(&batch);
+            let b = restored.worker().score_batch(&batch);
+            prop_assert_eq!(bits(&a), bits(&b), "{}", spec);
+        }
+    }
+}
+
+#[test]
+fn trace_snapshot_corruption_is_rejected_with_typed_errors() {
+    for (spec, _, _, snapshot) in &trace_fixture().pairs {
+        // Bit flip → checksum. The flip lands in the payload's back half,
+        // where the appended feature-set tag and trace extractor live.
+        let mut corrupt = snapshot.clone();
+        let at = snapshot.len() - 9;
+        corrupt[at] ^= 0x20;
+        assert!(
+            matches!(
+                phishinghook::models::Scanner::from_snapshot_bytes(&corrupt),
+                Err(PersistError::ChecksumMismatch { .. })
+            ),
+            "{spec}"
+        );
+        // Truncation anywhere, including inside the trailing trace fields.
+        for keep in [snapshot.len() / 2, snapshot.len() - 4] {
+            let err =
+                phishinghook::models::Scanner::from_snapshot_bytes(&snapshot[..keep]).unwrap_err();
+            assert!(
+                matches!(err, PersistError::Truncated { .. }),
+                "{spec} keeping {keep}: {err:?}"
+            );
+        }
+    }
+}
+
 #[test]
 fn the_envelope_kind_is_the_documented_one() {
     let fx = fixture();
