@@ -30,6 +30,7 @@ use std::time::Instant;
 
 struct Args {
     quick: bool,
+    check_readme: bool,
     contracts: usize,
     out: String,
 }
@@ -37,8 +38,10 @@ struct Args {
 fn parse_args() -> Args {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let quick = argv.iter().any(|a| a == "--quick");
+    let check_readme = argv.iter().any(|a| a == "--check-readme");
     let mut args = Args {
         quick,
+        check_readme,
         contracts: if quick { 96 } else { 512 },
         out: "BENCH_pipeline.json".to_owned(),
     };
@@ -113,8 +116,109 @@ fn json_f(v: f64) -> String {
     }
 }
 
+/// Extracts the numeric value of `"key": <number>` inside the first
+/// occurrence of `"section"` in the bench JSON (which this binary itself
+/// wrote, so the layout is fixed: sections are top-level objects and keys
+/// are unique within one).
+fn json_number(doc: &str, section: &str, key: &str) -> f64 {
+    let start = doc
+        .find(&format!("\"{section}\""))
+        .unwrap_or_else(|| panic!("section `{section}` missing from bench JSON"));
+    let tail = &doc[start..];
+    let k = tail
+        .find(&format!("\"{key}\""))
+        .unwrap_or_else(|| panic!("key `{key}` missing from section `{section}`"));
+    let tail = &tail[k..];
+    let colon = tail.find(':').expect("key is followed by a colon");
+    let rest = tail[colon + 1..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end]
+        .parse()
+        .unwrap_or_else(|_| panic!("`{section}.{key}` is not a number"))
+}
+
+/// README spelling of a throughput: `"205k"` for 205,254/s — the same
+/// rounding the Performance tables use, so the check below can demand an
+/// exact substring.
+fn readme_k(v: f64) -> String {
+    format!("{:.0}k", v / 1000.0)
+}
+
+/// `--check-readme`: asserts the README's Performance tables quote the
+/// committed `BENCH_pipeline.json`. CI runs this after the perf-smoke
+/// floors so a regenerated benchmark cannot land without the README rows
+/// being resynced. Exits non-zero listing every stale anchor.
+fn check_readme(bench_path: &str) {
+    let doc = std::fs::read_to_string(bench_path)
+        .unwrap_or_else(|e| panic!("cannot read {bench_path}: {e}"));
+    let readme = std::fs::read_to_string("README.md")
+        .unwrap_or_else(|e| panic!("cannot read README.md: {e}"));
+
+    let anchors = [
+        (
+            "inference.batch_rows_per_sec",
+            format!(
+                "{} rows/s",
+                readme_k(json_number(&doc, "inference", "batch_rows_per_sec"))
+            ),
+        ),
+        (
+            "inference_quant.batch_rows_per_sec",
+            format!(
+                "{} rows/s",
+                readme_k(json_number(&doc, "inference_quant", "batch_rows_per_sec"))
+            ),
+        ),
+        (
+            "inference_quant.speedup_vs_f64",
+            format!(
+                "{:.1}×",
+                json_number(&doc, "inference_quant", "speedup_vs_f64")
+            ),
+        ),
+        (
+            "pipeline.contracts_per_sec",
+            format!(
+                "{} contracts/s",
+                readme_k(json_number(&doc, "pipeline", "contracts_per_sec"))
+            ),
+        ),
+        (
+            "serve.contracts_per_sec",
+            format!(
+                "{} contracts/s",
+                readme_k(json_number(&doc, "serve", "contracts_per_sec"))
+            ),
+        ),
+    ];
+    let stale: Vec<String> = anchors
+        .iter()
+        .filter(|(_, needle)| !readme.contains(needle.as_str()))
+        .map(|(what, needle)| format!("  {what}: README.md does not contain `{needle}`"))
+        .collect();
+    if stale.is_empty() {
+        println!(
+            "README.md quotes {bench_path} ({} anchors verified)",
+            anchors.len()
+        );
+    } else {
+        eprintln!("README.md is out of sync with {bench_path}:");
+        for line in &stale {
+            eprintln!("{line}");
+        }
+        eprintln!("regenerate with: cargo run --release -p phishinghook-bench --bin bench, then update the README tables");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = parse_args();
+    if args.check_readme {
+        check_readme(&args.out);
+        return;
+    }
     let reps = if args.quick { 2 } else { 5 };
 
     println!("PhishingHook pipeline benchmark");
@@ -207,6 +311,37 @@ fn main() {
         batch_infer_secs * 1e3,
         seed_infer_secs / batch_infer_secs,
         x.rows() as f64 / batch_infer_secs
+    );
+
+    // --- Quantized inference: the same forest through the u16 engine. ---
+    // Thresholds are binned per feature at fit time, nodes repacked into
+    // 8-byte cache-line-dense records, and the lockstep walk compares u16s;
+    // bins come from the model's own split thresholds, so the output is
+    // bit-identical to the f64 arena (asserted here on every row).
+    let quant_probs = forest
+        .predict_proba_batch_quantized(&x)
+        .expect("a fitted forest carries its quantized mirror");
+    let f64_probs = forest.predict_proba_batch(&x);
+    assert!(
+        quant_probs
+            .iter()
+            .zip(&f64_probs)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "quantized walk must reproduce the f64 reference bit-for-bit"
+    );
+    let quant_infer_secs = measure(reps, || {
+        forest
+            .predict_proba_batch_quantized(&x)
+            .expect("quantized mirror present")
+    });
+    let quant_bins = forest.quant_bins().unwrap_or(0);
+    let quant_speedup = batch_infer_secs / quant_infer_secs;
+    println!(
+        "inference  quant   {:>10.3} ms   ({:>6.2}x the f64 batch)   {:.0} rows/s   {} bins/feature, bit-identical",
+        quant_infer_secs * 1e3,
+        quant_speedup,
+        x.rows() as f64 / quant_infer_secs,
+        quant_bins,
     );
 
     // --- End-to-end serving path: raw bytecode -> probabilities. ---
@@ -727,6 +862,14 @@ fn main() {
     "batch_rows_per_sec": {batch_rps},
     "n_trees": 100
   }},
+  "inference_quant": {{
+    "batch_secs": {quant_infer},
+    "batch_rows_per_sec": {quant_rps},
+    "speedup_vs_f64": {quant_speedup},
+    "bins_per_feature": {quant_bins},
+    "bit_identical": true,
+    "n_trees": 100
+  }},
   "pipeline": {{
     "secs": {pipeline},
     "contracts_per_sec": {cps},
@@ -831,6 +974,10 @@ fn main() {
         batch_infer = json_f(batch_infer_secs),
         infer_speedup = json_f(seed_infer_secs / batch_infer_secs),
         batch_rps = json_f(x.rows() as f64 / batch_infer_secs),
+        quant_infer = json_f(quant_infer_secs),
+        quant_rps = json_f(x.rows() as f64 / quant_infer_secs),
+        quant_speedup = json_f(quant_speedup),
+        quant_bins = quant_bins,
         pipeline = json_f(pipeline_secs),
         cps = json_f(contracts_per_sec),
         mbps = json_f(mb_per_sec),

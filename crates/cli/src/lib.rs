@@ -298,6 +298,21 @@ fn feature_desc(n: usize, features: FeatureSet) -> String {
     }
 }
 
+/// Human spelling of a scoring engine: the quantized u16 walk with its bin
+/// width, or the f64 reference arena (`quantize=off`, or a model family
+/// with no tree mirror).
+fn engine_parts_desc(quantize: bool, quant_bins: Option<usize>) -> String {
+    match (quantize, quant_bins) {
+        (true, Some(bins)) => format!("quantized engine, {bins} bins/feature"),
+        _ => "f64 reference engine".to_owned(),
+    }
+}
+
+/// [`engine_parts_desc`] for the scanner a serve/scan surface runs.
+fn engine_desc(scanner: &Scanner) -> String {
+    engine_parts_desc(scanner.quantize(), scanner.quant_bins())
+}
+
 /// Resolves a `--model` argument: an existing file loads as a snapshot (of
 /// either kind); anything else must parse as a detector spec, which is then
 /// trained on `--train <dataset.csv>`.
@@ -317,9 +332,10 @@ fn scanner_from_model_arg(
         }
         let scanner = Scanner::load(model)?;
         let banner = format!(
-            "loaded {} snapshot ({}) from {model}\n",
+            "loaded {} snapshot ({}; {}) from {model}\n",
             scanner.model_name(),
             feature_desc(scanner.n_features(), scanner.model().features()),
+            engine_desc(&scanner),
         );
         return Ok((scanner, banner));
     }
@@ -336,12 +352,14 @@ fn scanner_from_model_arg(
     let codes: Vec<&[u8]> = records.iter().map(|r| r.bytecode.as_slice()).collect();
     let labels: Vec<usize> = records.iter().map(|r| r.label.as_index()).collect();
     det.fit(&codes, &labels);
+    let scanner = Scanner::new(det)?;
     let banner = format!(
-        "trained {} on {} labeled contracts from {path}\n",
-        det.name(),
+        "trained {} on {} labeled contracts from {path} ({})\n",
+        scanner.model_name(),
         records.len(),
+        engine_desc(&scanner),
     );
-    Ok((Scanner::new(det)?, banner))
+    Ok((scanner, banner))
 }
 
 fn train(args: &[String]) -> Result<String, CliError> {
@@ -397,11 +415,12 @@ fn train(args: &[String]) -> Result<String, CliError> {
         AnyDetector::Ensemble(e) => format!(" [{} members]", e.members().len()),
     };
     let mut out = format!(
-        "trained {}{members} on {} labeled contracts in {:.2}s ({})\n",
+        "trained {}{members} on {} labeled contracts in {:.2}s ({}; {})\n",
         det.name(),
         records.len(),
         train_secs,
         feature_desc(det.n_features(), det.features()),
+        engine_parts_desc(det.quantize(), det.quant_bins()),
     );
     if let Some(path) = save {
         let bytes = det.to_snapshot_bytes();

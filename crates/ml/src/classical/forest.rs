@@ -6,6 +6,7 @@
 //! [`std::thread::scope`]; determinism is preserved because each tree's
 //! RNG seed is derived from the forest seed and the tree index.
 
+use crate::classical::quant::{FeatureBins, NanRoute, QuantNodes};
 use crate::classical::tree::{DecisionTree, TreeConfig};
 use crate::classical::SplitMix;
 use crate::matrix::Matrix;
@@ -44,11 +45,22 @@ impl Default for ForestConfig {
     }
 }
 
+/// Quantized mirror of the whole forest: one [`FeatureBins`] shared by
+/// every member tree (their thresholds are pooled per feature), so a batch
+/// quantizes once and every packed tree walks the same `u16` matrix.
+/// Derived state — rebuilt at fit and restore time, never persisted.
+#[derive(Debug, Clone)]
+struct ForestQuant {
+    bins: FeatureBins,
+    trees: Vec<QuantNodes>,
+}
+
 /// A fitted random forest.
 #[derive(Debug, Clone)]
 pub struct RandomForest {
     config: ForestConfig,
     trees: Vec<DecisionTree>,
+    quant: Option<ForestQuant>,
 }
 
 impl RandomForest {
@@ -57,6 +69,7 @@ impl RandomForest {
         RandomForest {
             config,
             trees: Vec::new(),
+            quant: None,
         }
     }
 
@@ -134,6 +147,99 @@ impl RandomForest {
         }
     }
 
+    /// Minimum rows a quantized scoring thread must own before it is worth
+    /// spawning: below this the scoped-thread spawn outweighs the fused
+    /// quantize-and-walk work it offloads.
+    const QUANT_ROWS_PER_THREAD: usize = 64;
+
+    /// Batch probabilities via the quantized fast path, or `None` when a
+    /// feature exceeded the bin budget at fit time.
+    ///
+    /// Each worker thread *fuses* the two stages over its own row shard:
+    /// it quantizes exactly the rows it will walk (so the `u16` rows are
+    /// L1/L2-hot when the walk reads them, and the transform parallelizes
+    /// with zero extra spawns), then accumulates every tree over them.
+    /// Because a row's probability is its tree-ordered sum regardless of
+    /// how rows are sharded into threads or blocks, and the shared bins
+    /// come from the trees' own thresholds, the result is bit-identical to
+    /// [`RandomForest::predict_proba_batch`] for any thread count —
+    /// including the f64 path's own sharding.
+    pub fn predict_proba_batch_quantized(&self, x: &Matrix) -> Option<Vec<f64>> {
+        assert!(!self.trees.is_empty(), "predict before fit");
+        let quant = self.quant.as_ref()?;
+        let n = x.rows();
+        let mut out = vec![0.0; n];
+        // Sharding never changes the result (each row's sum is tree-ordered
+        // regardless of which thread owns it), so the quantized path is free
+        // to clamp by the cores actually present — configured thread counts
+        // above that are pure spawn overhead.
+        let hw = std::thread::available_parallelism().map_or(usize::MAX, usize::from);
+        let threads = self
+            .config
+            .threads
+            .max(1)
+            .min(hw)
+            .min(n.div_ceil(Self::QUANT_ROWS_PER_THREAD).max(1));
+        if threads == 1 {
+            Self::quantize_and_accumulate(quant, x, 0, &mut out);
+        } else {
+            let rows_per_thread = n.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (t, chunk) in out.chunks_mut(rows_per_thread).enumerate() {
+                    scope.spawn(move || {
+                        Self::quantize_and_accumulate(quant, x, t * rows_per_thread, chunk)
+                    });
+                }
+            });
+        }
+        let k = self.trees.len() as f64;
+        for p in &mut out {
+            *p /= k;
+        }
+        Some(out)
+    }
+
+    /// Rows per quantized inference block, smaller than [`Self::INFER_BLOCK`]
+    /// on purpose: every tree walk re-reads the block's `u16` rows at random
+    /// columns, so the block must stay L1-resident across the whole forest
+    /// (128 rows × ~144 cols × 2 bytes ≈ 36 KiB) — the f64 path's 256-row
+    /// blocks would spill it to L2 at double the bytes per value.
+    const QUANT_BLOCK: usize = 128;
+
+    /// Quantized twin of [`RandomForest::accumulate_blocks`], fused with
+    /// the transform: quantizes rows `lo..lo + out.len()` and accumulates
+    /// every tree over them in [`Self::QUANT_BLOCK`]-sized blocks.
+    fn quantize_and_accumulate(quant: &ForestQuant, x: &Matrix, lo: usize, out: &mut [f64]) {
+        for (b, block) in out.chunks_mut(Self::QUANT_BLOCK).enumerate() {
+            let start = lo + b * Self::QUANT_BLOCK;
+            let q = quant.bins.quantize_row_range(x, start, start + block.len());
+            for tree in &quant.trees {
+                tree.accumulate_rows(&q, 0, block.len(), block);
+            }
+        }
+    }
+
+    /// Widest per-feature bin count of the quantized mirror, or `None`
+    /// when quantization is unavailable (unfitted, or over budget).
+    pub fn quant_bins(&self) -> Option<usize> {
+        self.quant.as_ref().map(|q| q.bins.max_bins())
+    }
+
+    /// Rebuilds the shared-bin quantized mirror from the fitted trees
+    /// (fit + restore).
+    fn rebuild_quant(&mut self) {
+        self.quant = None;
+        let Some(d) = self.n_features() else { return };
+        let mut per_feature = vec![Vec::new(); d];
+        for tree in &self.trees {
+            tree.collect_split_thresholds(&mut per_feature);
+        }
+        self.quant = FeatureBins::from_split_thresholds(per_feature, NanRoute::Right).map(|bins| {
+            let trees = self.trees.iter().map(|t| t.quant_nodes(&bins)).collect();
+            ForestQuant { bins, trees }
+        });
+    }
+
     fn train_one(&self, x: &Matrix, y: &[usize], tree_idx: usize) -> DecisionTree {
         let n = x.rows();
         let mut rng = SplitMix::new(self.config.seed ^ (tree_idx as u64).wrapping_mul(0x9E37));
@@ -164,24 +270,25 @@ impl Classifier for RandomForest {
         let threads = self.config.threads.max(1);
         if threads == 1 || n_trees < 4 {
             self.trees = (0..n_trees).map(|t| self.train_one(x, y, t)).collect();
-            return;
+        } else {
+            let mut trees: Vec<Option<DecisionTree>> = vec![None; n_trees];
+            let this = &*self;
+            std::thread::scope(|scope| {
+                for (chunk_id, chunk) in trees.chunks_mut(n_trees.div_ceil(threads)).enumerate() {
+                    let chunk_size = n_trees.div_ceil(threads);
+                    scope.spawn(move || {
+                        for (k, slot) in chunk.iter_mut().enumerate() {
+                            *slot = Some(this.train_one(x, y, chunk_id * chunk_size + k));
+                        }
+                    });
+                }
+            });
+            self.trees = trees
+                .into_iter()
+                .map(|t| t.expect("all trees trained"))
+                .collect();
         }
-        let mut trees: Vec<Option<DecisionTree>> = vec![None; n_trees];
-        let this = &*self;
-        std::thread::scope(|scope| {
-            for (chunk_id, chunk) in trees.chunks_mut(n_trees.div_ceil(threads)).enumerate() {
-                let chunk_size = n_trees.div_ceil(threads);
-                scope.spawn(move || {
-                    for (k, slot) in chunk.iter_mut().enumerate() {
-                        *slot = Some(this.train_one(x, y, chunk_id * chunk_size + k));
-                    }
-                });
-            }
-        });
-        self.trees = trees
-            .into_iter()
-            .map(|t| t.expect("all trees trained"))
-            .collect();
+        self.rebuild_quant();
     }
 
     fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
@@ -232,10 +339,13 @@ impl Snapshot for RandomForest {
 
 impl Restore for RandomForest {
     fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
-        Ok(RandomForest {
+        let mut forest = RandomForest {
             config: ForestConfig::restore(r)?,
             trees: Vec::restore(r)?,
-        })
+            quant: None,
+        };
+        forest.rebuild_quant();
+        Ok(forest)
     }
 }
 
@@ -433,6 +543,66 @@ mod tests {
         assert_eq!(
             a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
             b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn quantized_batch_is_bit_identical_to_f64_path() {
+        let (x, y) = blobs(300, 31);
+        let mut rf = RandomForest::new(ForestConfig {
+            n_trees: 12,
+            threads: 3,
+            ..ForestConfig::default()
+        });
+        rf.fit(&x, &y);
+        let f64_path = rf.predict_proba_batch(&x);
+        let quant = rf
+            .predict_proba_batch_quantized(&x)
+            .expect("within bin budget");
+        assert_eq!(
+            f64_path.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            quant.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        assert!(rf.quant_bins().expect("quantized") >= 2);
+    }
+
+    #[test]
+    fn quantized_batch_is_thread_count_invariant() {
+        let (x, y) = blobs(600, 32);
+        let mut rf = RandomForest::new(ForestConfig {
+            n_trees: 7,
+            seed: 3,
+            ..ForestConfig::default()
+        });
+        rf.fit(&x, &y);
+        let mut baseline: Option<Vec<f64>> = None;
+        for threads in [1, 2, 5] {
+            let mut cfg = rf.clone();
+            cfg.config.threads = threads;
+            let probs = cfg.predict_proba_batch_quantized(&x).expect("quantized");
+            match &baseline {
+                None => baseline = Some(probs),
+                Some(b) => assert_eq!(&probs, b, "threads = {threads}"),
+            }
+        }
+        assert_eq!(baseline.unwrap(), rf.predict_proba_batch(&x));
+    }
+
+    #[test]
+    fn restored_forest_rebuilds_the_quantized_mirror() {
+        use phishinghook_persist::{from_envelope, to_envelope};
+        let (x, y) = blobs(80, 33);
+        let mut rf = RandomForest::new(ForestConfig {
+            n_trees: 5,
+            ..ForestConfig::default()
+        });
+        rf.fit(&x, &y);
+        let bytes = to_envelope("forest", &rf);
+        let back: RandomForest = from_envelope("forest", &bytes).expect("round-trips");
+        assert_eq!(back.quant_bins(), rf.quant_bins());
+        assert_eq!(
+            back.predict_proba_batch_quantized(&x).expect("quantized"),
+            rf.predict_proba_batch_quantized(&x).expect("quantized"),
         );
     }
 

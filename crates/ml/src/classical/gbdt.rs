@@ -14,6 +14,7 @@
 //!   one shared split condition per level, leaves indexed by the condition
 //!   bit-vector.
 
+use crate::classical::quant::{FeatureBins, NanRoute, QuantNodeDesc, QuantNodes, QuantOblivious};
 use crate::classical::SplitMix;
 use crate::matrix::Matrix;
 use crate::Classifier;
@@ -97,6 +98,27 @@ struct RegTree {
 }
 
 impl RegTree {
+    /// The arena in the quantizer's neutral descriptor form.
+    fn quant_desc(&self) -> Vec<QuantNodeDesc> {
+        self.nodes
+            .iter()
+            .map(|node| match *node {
+                RegNode::Leaf { weight } => QuantNodeDesc::Leaf { value: weight },
+                RegNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => QuantNodeDesc::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                },
+            })
+            .collect()
+    }
+
     fn predict_row(&self, row: &[f64]) -> f64 {
         let mut i = 0;
         loop {
@@ -154,12 +176,29 @@ impl BoostTree {
     }
 }
 
+/// Quantized mirror of one boosted tree.
+#[derive(Debug, Clone)]
+enum QuantBoostTree {
+    Reg(QuantNodes),
+    Oblivious(QuantOblivious),
+}
+
+/// Quantized mirror of the whole booster: shared bins over every tree's
+/// thresholds plus the repacked trees. Derived state — rebuilt at fit and
+/// restore time, never persisted.
+#[derive(Debug, Clone)]
+struct GbdtQuant {
+    bins: FeatureBins,
+    trees: Vec<QuantBoostTree>,
+}
+
 /// A fitted gradient-boosting classifier.
 #[derive(Debug, Clone)]
 pub struct GradientBoosting {
     config: GbdtConfig,
     base_score: f64,
     trees: Vec<BoostTree>,
+    quant: Option<GbdtQuant>,
 }
 
 impl GradientBoosting {
@@ -169,6 +208,7 @@ impl GradientBoosting {
             config,
             base_score: 0.0,
             trees: Vec::new(),
+            quant: None,
         }
     }
 
@@ -221,6 +261,114 @@ impl GradientBoosting {
         x.iter_rows()
             .map(|row| self.base_score + self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>())
             .collect()
+    }
+
+    /// Batch probabilities via the quantized fast path, or `None` when
+    /// quantization is unavailable (over the bin budget, or a crafted
+    /// snapshot mixing tree families). Trees accumulate in order starting
+    /// from zero with the base score added afterwards — the same floating-
+    /// point association as the private `raw_scores` reference path — so the
+    /// result is bit-identical to [`Classifier::predict_proba`].
+    pub fn predict_proba_quantized(&self, x: &Matrix) -> Option<Vec<f64>> {
+        assert!(
+            !self.trees.is_empty() || self.base_score != 0.0,
+            "predict before fit"
+        );
+        let quant = self.quant.as_ref()?;
+        let q = quant.bins.quantize_matrix(x);
+        let mut acc = vec![0.0; x.rows()];
+        // Block the rows so a block's accumulator stays in cache while
+        // every tree adds into it (same shape as the forest's fast path).
+        const BLOCK: usize = 256;
+        let mut lo = 0;
+        for block in acc.chunks_mut(BLOCK) {
+            let hi = lo + block.len();
+            for tree in &quant.trees {
+                match tree {
+                    QuantBoostTree::Reg(t) => t.accumulate_rows(&q, lo, hi, block),
+                    QuantBoostTree::Oblivious(t) => t.accumulate_rows(&q, lo, hi, block),
+                }
+            }
+            lo = hi;
+        }
+        Some(
+            acc.into_iter()
+                .map(|s| sigmoid(self.base_score + s))
+                .collect(),
+        )
+    }
+
+    /// Widest per-feature bin count of the quantized mirror, or `None`
+    /// when quantization is unavailable.
+    pub fn quant_bins(&self) -> Option<usize> {
+        self.quant.as_ref().map(|q| q.bins.max_bins())
+    }
+
+    /// Rebuilds the quantized mirror from the fitted trees (fit + restore).
+    fn rebuild_quant(&mut self) {
+        self.quant = None;
+        // NaN routing differs by family: `v <= t` trees send NaN right,
+        // oblivious `v > t` conditions send it left. One booster only ever
+        // fits one family; a crafted snapshot mixing them stays on the f64
+        // path rather than sharing a wrongly-routed matrix.
+        let all_reg = self.trees.iter().all(|t| matches!(t, BoostTree::Reg(_)));
+        let all_oblivious = self
+            .trees
+            .iter()
+            .all(|t| matches!(t, BoostTree::Oblivious(_)));
+        if !all_reg && !all_oblivious {
+            return;
+        }
+        let nan_route = if all_reg {
+            NanRoute::Right
+        } else {
+            NanRoute::Left
+        };
+        // The packed layout stores feature ids as u16 (trees never store a
+        // feature count, so a crafted snapshot could exceed that).
+        if self
+            .max_feature_index()
+            .is_some_and(|m| m > usize::from(u16::MAX))
+        {
+            return;
+        }
+        let d = self.max_feature_index().map_or(0, |m| m + 1);
+        let mut per_feature = vec![Vec::new(); d];
+        for tree in &self.trees {
+            match tree {
+                BoostTree::Reg(t) => {
+                    for node in &t.nodes {
+                        if let RegNode::Split {
+                            feature, threshold, ..
+                        } = *node
+                        {
+                            per_feature[feature].push(threshold);
+                        }
+                    }
+                }
+                BoostTree::Oblivious(t) => {
+                    for &(feature, threshold) in &t.conditions {
+                        per_feature[feature].push(threshold);
+                    }
+                }
+            }
+        }
+        let Some(bins) = FeatureBins::from_split_thresholds(per_feature, nan_route) else {
+            return;
+        };
+        let trees = self
+            .trees
+            .iter()
+            .map(|tree| match tree {
+                BoostTree::Reg(t) => {
+                    QuantBoostTree::Reg(QuantNodes::from_arena(&t.quant_desc(), &bins))
+                }
+                BoostTree::Oblivious(t) => QuantBoostTree::Oblivious(
+                    QuantOblivious::from_conditions(&t.conditions, t.leaf_weights.clone(), &bins),
+                ),
+            })
+            .collect();
+        self.quant = Some(GbdtQuant { bins, trees });
     }
 }
 
@@ -379,6 +527,7 @@ impl Classifier for GradientBoosting {
             }
             self.trees.push(tree);
         }
+        self.rebuild_quant();
     }
 
     fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
@@ -587,11 +736,14 @@ impl Snapshot for GradientBoosting {
 
 impl Restore for GradientBoosting {
     fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
-        Ok(GradientBoosting {
+        let mut model = GradientBoosting {
             config: GbdtConfig::restore(r)?,
             base_score: r.take_f64()?,
             trees: Vec::restore(r)?,
-        })
+            quant: None,
+        };
+        model.rebuild_quant();
+        Ok(model)
     }
 }
 
@@ -1122,6 +1274,68 @@ mod tests {
             for p in m.predict_proba(&x) {
                 assert!((0.0..=1.0).contains(&p) && p.is_finite());
             }
+        }
+    }
+
+    #[test]
+    fn quantized_path_is_bit_identical_per_variant() {
+        let (x, y) = blobs(150, 41);
+        for variant in [
+            BoostVariant::Exact,
+            BoostVariant::Histogram,
+            BoostVariant::Oblivious,
+        ] {
+            let mut m = GradientBoosting::new(GbdtConfig {
+                variant,
+                n_rounds: 20,
+                ..GbdtConfig::default()
+            });
+            m.fit(&x, &y);
+            // Evaluate on perturbed rows, including NaN and out-of-range.
+            let mut rows: Vec<Vec<f64>> = x.iter_rows().map(<[f64]>::to_vec).collect();
+            for (i, row) in rows.iter_mut().enumerate() {
+                if i % 9 == 0 {
+                    row[i % 2] = f64::NAN;
+                }
+                if i % 6 == 0 {
+                    row[(i + 1) % 2] = 1e12;
+                }
+            }
+            let xe = Matrix::from_rows(&rows);
+            let f64_path = m.predict_proba(&xe);
+            let quant = m.predict_proba_quantized(&xe).expect("within bin budget");
+            assert_eq!(
+                f64_path.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                quant.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{variant:?}"
+            );
+            assert!(m.quant_bins().expect("quantized") >= 2, "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn restored_booster_rebuilds_the_quantized_mirror() {
+        use phishinghook_persist::{from_envelope, to_envelope};
+        let (x, y) = blobs(60, 42);
+        for variant in [
+            BoostVariant::Exact,
+            BoostVariant::Histogram,
+            BoostVariant::Oblivious,
+        ] {
+            let mut m = GradientBoosting::new(GbdtConfig {
+                variant,
+                n_rounds: 8,
+                ..GbdtConfig::default()
+            });
+            m.fit(&x, &y);
+            let bytes = to_envelope("gbdt", &m);
+            let back: GradientBoosting = from_envelope("gbdt", &bytes).expect("round-trips");
+            assert_eq!(back.quant_bins(), m.quant_bins(), "{variant:?}");
+            assert_eq!(
+                back.predict_proba_quantized(&x).expect("quantized"),
+                m.predict_proba_quantized(&x).expect("quantized"),
+                "{variant:?}"
+            );
         }
     }
 }

@@ -5,6 +5,7 @@ pub mod forest;
 pub mod gbdt;
 pub mod knn;
 pub mod linear;
+pub mod quant;
 pub mod svm;
 pub mod tree;
 

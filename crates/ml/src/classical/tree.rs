@@ -4,6 +4,7 @@
 //! (Random Forest, 93.63% accuracy). The tree structure is public — the
 //! statistics crate walks it to compute TreeSHAP values (the paper's Fig. 9).
 
+use crate::classical::quant::{FeatureBins, NanRoute, QuantNodeDesc, QuantNodes};
 use crate::classical::SplitMix;
 use crate::matrix::Matrix;
 use crate::Classifier;
@@ -152,12 +153,23 @@ impl FlatNodes {
     }
 }
 
+/// Quantized mirror of one tree: the model-derived bins plus the packed
+/// node layout. Derived state like [`FlatNodes`] — rebuilt at fit and
+/// restore time, never persisted. `None` when a feature exceeds the bin
+/// budget (the f64 path then remains the only one).
+#[derive(Debug, Clone)]
+struct QuantTree {
+    bins: FeatureBins,
+    nodes: QuantNodes,
+}
+
 /// A fitted CART classification tree.
 #[derive(Debug, Clone)]
 pub struct DecisionTree {
     config: TreeConfig,
     nodes: Vec<Node>,
     flat: FlatNodes,
+    quant: Option<QuantTree>,
     n_features: usize,
 }
 
@@ -168,6 +180,7 @@ impl DecisionTree {
             config,
             nodes: Vec::new(),
             flat: FlatNodes::default(),
+            quant: None,
             n_features: 0,
         }
     }
@@ -305,6 +318,77 @@ impl DecisionTree {
         out
     }
 
+    /// Batch probabilities via the quantized fast path, or `None` when the
+    /// tree exceeded the per-feature bin budget at fit time. Binning on the
+    /// tree's own thresholds makes the result bit-identical to
+    /// [`DecisionTree::predict_proba_batch`] (see
+    /// [`crate::classical::quant`]).
+    pub fn predict_proba_batch_quantized(&self, x: &Matrix) -> Option<Vec<f64>> {
+        assert!(!self.nodes.is_empty(), "predict before fit");
+        let quant = self.quant.as_ref()?;
+        let q = quant.bins.quantize_matrix(x);
+        let mut out = vec![0.0; x.rows()];
+        quant.nodes.accumulate_rows(&q, 0, x.rows(), &mut out);
+        Some(out)
+    }
+
+    /// Widest per-feature bin count of the quantized mirror, or `None`
+    /// when quantization is unavailable (unfitted, or over budget).
+    pub fn quant_bins(&self) -> Option<usize> {
+        self.quant.as_ref().map(|q| q.bins.max_bins())
+    }
+
+    /// Appends every split threshold into `per_feature[feature]` (used to
+    /// derive shared bins — per tree here, per ensemble in the forest).
+    pub(crate) fn collect_split_thresholds(&self, per_feature: &mut [Vec<f64>]) {
+        for node in &self.nodes {
+            if let Node::Split {
+                feature, threshold, ..
+            } = *node
+            {
+                per_feature[feature].push(threshold);
+            }
+        }
+    }
+
+    /// The arena in the quantizer's neutral descriptor form.
+    fn quant_desc(&self) -> Vec<QuantNodeDesc> {
+        self.nodes
+            .iter()
+            .map(|node| match *node {
+                Node::Leaf { proba, .. } => QuantNodeDesc::Leaf { value: proba },
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => QuantNodeDesc::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                },
+            })
+            .collect()
+    }
+
+    /// Repacks this tree against externally shared bins (the forest builds
+    /// one [`FeatureBins`] over all member trees so a batch quantizes once).
+    pub(crate) fn quant_nodes(&self, bins: &FeatureBins) -> QuantNodes {
+        QuantNodes::from_arena(&self.quant_desc(), bins)
+    }
+
+    /// Rebuilds the quantized mirror from the arena (fit + restore).
+    fn rebuild_quant(&mut self) {
+        let mut per_feature = vec![Vec::new(); self.n_features];
+        self.collect_split_thresholds(&mut per_feature);
+        self.quant = FeatureBins::from_split_thresholds(per_feature, NanRoute::Right).map(|bins| {
+            let nodes = self.quant_nodes(&bins);
+            QuantTree { bins, nodes }
+        });
+    }
+
     /// Fits with externally chosen sample indices (used by bagging).
     pub(crate) fn fit_indices(&mut self, x: &Matrix, y: &[usize], indices: &[usize]) {
         assert_eq!(x.rows(), y.len(), "x rows must match label count");
@@ -315,6 +399,7 @@ impl DecisionTree {
         let mut idx = indices.to_vec();
         self.build(x, y, &mut idx, 0, &mut rng);
         self.flat = FlatNodes::from_arena(&self.nodes);
+        self.rebuild_quant();
     }
 
     /// Recursively builds the subtree over `indices`, returning its node id.
@@ -572,12 +657,15 @@ impl Restore for DecisionTree {
             }
         }
         let flat = FlatNodes::from_arena(&nodes);
-        Ok(DecisionTree {
+        let mut tree = DecisionTree {
             config,
             nodes,
             flat,
+            quant: None,
             n_features,
-        })
+        };
+        tree.rebuild_quant();
+        Ok(tree)
     }
 }
 
@@ -735,6 +823,31 @@ mod tests {
             tree.fit(&x, &y);
             for p in tree.predict_proba(&x) {
                 prop_assert!((0.0..=1.0).contains(&p));
+            }
+        }
+
+        #[test]
+        fn quantized_batch_is_bit_identical_to_arena_walk(seed in any::<u64>()) {
+            // The quantized path bins on the tree's own thresholds, so it
+            // must agree with the arena walk bit-for-bit — including NaN
+            // rows (route right) and values far outside the training range
+            // (clamped at transform time).
+            let mut rng = crate::classical::SplitMix::new(seed);
+            let mut rows: Vec<Vec<f64>> =
+                (0..48).map(|_| vec![rng.unit(), rng.unit(), rng.unit()]).collect();
+            let y: Vec<usize> = (0..48).map(|_| rng.below(2)).collect();
+            let train = Matrix::from_rows(&rows);
+            let mut tree = DecisionTree::with_defaults();
+            tree.fit(&train, &y);
+            // Corrupt some evaluation rows: NaN and out-of-range values.
+            for (i, row) in rows.iter_mut().enumerate() {
+                if i % 7 == 0 { row[i % 3] = f64::NAN; }
+                if i % 5 == 0 { row[(i + 1) % 3] = 1e9 * if i % 2 == 0 { 1.0 } else { -1.0 }; }
+            }
+            let x = Matrix::from_rows(&rows);
+            let quant = tree.predict_proba_batch_quantized(&x).expect("within bin budget");
+            for (i, row) in x.iter_rows().enumerate() {
+                prop_assert_eq!(quant[i], tree.predict_row_arena(row), "row {}", i);
             }
         }
 

@@ -80,6 +80,10 @@ pub struct HscDetector {
     extractor: Option<HistogramExtractor>,
     features: FeatureSet,
     trace: Option<TraceExtractor>,
+    /// Score through the model's quantized mirror when it has one (tree
+    /// models; default on). Runtime execution config, not model identity:
+    /// never persisted, and snapshots restore with the default.
+    quantize: bool,
 }
 
 impl HscDetector {
@@ -96,6 +100,7 @@ impl HscDetector {
             extractor: None,
             features: FeatureSet::Histogram,
             trace: None,
+            quantize: true,
         }
     }
 
@@ -107,6 +112,7 @@ impl HscDetector {
             extractor: None,
             features: FeatureSet::Histogram,
             trace: None,
+            quantize: true,
         }
     }
 
@@ -121,6 +127,7 @@ impl HscDetector {
             extractor: None,
             features: FeatureSet::Histogram,
             trace: None,
+            quantize: true,
         }
     }
 
@@ -132,6 +139,7 @@ impl HscDetector {
             extractor: None,
             features: FeatureSet::Histogram,
             trace: None,
+            quantize: true,
         }
     }
 
@@ -147,6 +155,7 @@ impl HscDetector {
             extractor: None,
             features: FeatureSet::Histogram,
             trace: None,
+            quantize: true,
         }
     }
 
@@ -162,6 +171,7 @@ impl HscDetector {
             extractor: None,
             features: FeatureSet::Histogram,
             trace: None,
+            quantize: true,
         }
     }
 
@@ -178,6 +188,7 @@ impl HscDetector {
             extractor: None,
             features: FeatureSet::Histogram,
             trace: None,
+            quantize: true,
         }
     }
 
@@ -205,6 +216,31 @@ impl HscDetector {
     /// The feature channels this detector trains and scores on.
     pub fn features(&self) -> FeatureSet {
         self.features
+    }
+
+    /// Enables or disables the quantized scoring path (builder-style — the
+    /// registry applies a spec's `quantize=` option here). Unlike
+    /// [`HscDetector::with_features`] this is pure execution config: it
+    /// does not clear fitted state, so it can toggle a loaded snapshot.
+    pub fn with_quantize(mut self, quantize: bool) -> Self {
+        self.quantize = quantize;
+        self
+    }
+
+    /// Whether this detector scores through the quantized mirror when the
+    /// backing model has one.
+    pub fn quantize(&self) -> bool {
+        self.quantize
+    }
+
+    /// Widest per-feature bin count of the backing model's quantized
+    /// mirror; `None` for non-tree models or before fit.
+    pub fn quant_bins(&self) -> Option<usize> {
+        match &self.model {
+            HscModel::RandomForest(m) => m.quant_bins(),
+            HscModel::Boosted(m) => m.quant_bins(),
+            _ => None,
+        }
     }
 
     /// The trace extractor fitted alongside the model (`None` until fit,
@@ -347,7 +383,14 @@ impl Detector for HscDetector {
 
     fn predict(&self, codes: &[&[u8]]) -> Vec<usize> {
         let x = self.featurize(codes);
-        self.model.as_classifier().predict(&x)
+        // Route through `predict_proba` so the quantize toggle applies to
+        // one-shot prediction exactly as it does to batch serving. The
+        // verdict contract (same side of 0.5) is what the quantized path
+        // guarantees; here it is in fact bit-identical.
+        self.predict_proba(&x)
+            .into_iter()
+            .map(|p| usize::from(p >= 0.5))
+            .collect()
     }
 
     fn fit_fold(&mut self, fold: &crate::FoldFeatures<'_>, labels: &[usize]) {
@@ -535,6 +578,9 @@ impl Restore for HscDetector {
             extractor,
             features,
             trace,
+            // Execution config, not model identity: snapshots never carry
+            // it, and a restored detector starts with the default (on).
+            quantize: true,
         })
     }
 }
@@ -553,6 +599,26 @@ impl HscDetector {
     /// serving hot path: with a reused scratch matrix it scores a batch
     /// without allocating per-contract rows.
     pub fn predict_proba(&self, x: &phishinghook_ml::Matrix) -> Vec<f64> {
+        if self.quantize {
+            // Quantized fast path for tree models. Falls through to the f64
+            // walk when the model has no mirror (non-tree, or over the bin
+            // budget); when the mirror exists its probabilities are
+            // bit-identical to the reference (see
+            // `phishinghook_ml::classical::quant`).
+            match &self.model {
+                HscModel::RandomForest(m) => {
+                    if let Some(p) = m.predict_proba_batch_quantized(x) {
+                        return p;
+                    }
+                }
+                HscModel::Boosted(m) => {
+                    if let Some(p) = m.predict_proba_quantized(x) {
+                        return p;
+                    }
+                }
+                _ => {}
+            }
+        }
         self.model.as_classifier().predict_proba(x)
     }
 

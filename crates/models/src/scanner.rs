@@ -93,6 +93,34 @@ impl AnyDetector {
         }
     }
 
+    /// Sets whether tree models score through the quantized engine.
+    /// Runtime execution config — does not clear fitted state and is never
+    /// persisted.
+    #[must_use]
+    pub fn with_quantize(self, quantize: bool) -> Self {
+        match self {
+            AnyDetector::Hsc(d) => AnyDetector::Hsc(d.with_quantize(quantize)),
+            AnyDetector::Ensemble(d) => AnyDetector::Ensemble(d.with_quantize(quantize)),
+        }
+    }
+
+    /// `true` when tree models score through the quantized engine.
+    pub fn quantize(&self) -> bool {
+        match self {
+            AnyDetector::Hsc(d) => d.quantize(),
+            AnyDetector::Ensemble(d) => d.quantize(),
+        }
+    }
+
+    /// Widest per-feature bin count across the fitted quantized mirrors,
+    /// when any underlying model carries one.
+    pub fn quant_bins(&self) -> Option<usize> {
+        match self {
+            AnyDetector::Hsc(d) => d.quant_bins(),
+            AnyDetector::Ensemble(d) => d.quant_bins(),
+        }
+    }
+
     /// Width of the fitted feature rows.
     ///
     /// # Panics
@@ -509,6 +537,17 @@ impl Scanner {
     /// `"<snapshot-kind>/v<format-version>"`, e.g. `"hsc-detector/v1"`.
     pub fn model_version(&self) -> &str {
         &self.model_version
+    }
+
+    /// `true` when tree models score through the quantized engine.
+    pub fn quantize(&self) -> bool {
+        self.model.quantize()
+    }
+
+    /// Widest per-feature bin count across the model's fitted quantized
+    /// mirrors, when it carries one.
+    pub fn quant_bins(&self) -> Option<usize> {
+        self.model.quant_bins()
     }
 
     /// Number of underlying models (ensemble member count; 1 for singles).

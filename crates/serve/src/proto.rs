@@ -343,8 +343,19 @@ pub fn render_internal_v1(out: &mut String) {
     out.push_str(INTERNAL_DETAIL);
 }
 
+/// Execution-engine facts the `stats` command reports alongside the
+/// counters: whether tree models score through the quantized engine and the
+/// widest per-feature bin count of the fitted quantized mirror.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineInfo {
+    /// `true` when the quantized scoring path is enabled.
+    pub quantize: bool,
+    /// Widest per-feature bin count (`None` for non-tree models).
+    pub quant_bins: Option<usize>,
+}
+
 /// Renders the v2 `stats` command response (without trailing newline).
-pub fn render_stats_v2(out: &mut String, stats: &StatsSnapshot) {
+pub fn render_stats_v2(out: &mut String, stats: &StatsSnapshot, engine: EngineInfo) {
     let s = &stats.scheduler;
     let _ = write!(
         out,
@@ -355,7 +366,18 @@ pub fn render_stats_v2(out: &mut String, stats: &StatsSnapshot) {
         Some(c) => render_cache_stats_json(out, c),
         None => out.push_str("null"),
     }
-    out.push_str("}}");
+    let _ = write!(
+        out,
+        ",\"engine\":{{\"quantize\":{},\"quant_bins\":",
+        engine.quantize
+    );
+    match engine.quant_bins {
+        Some(bins) => {
+            let _ = write!(out, "{bins}");
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str("}}}");
 }
 
 fn render_cache_stats_json(out: &mut String, c: &CacheStats) {
@@ -368,14 +390,25 @@ fn render_cache_stats_json(out: &mut String, c: &CacheStats) {
 }
 
 /// Renders the v1 `stats` command response: one `stats\tkey=value\t…` line.
-pub fn render_stats_v1(out: &mut String, stats: &StatsSnapshot) {
+/// Engine fields ride at the end so older clients that read a fixed prefix
+/// keep parsing.
+pub fn render_stats_v1(out: &mut String, stats: &StatsSnapshot, engine: EngineInfo) {
     let s = &stats.scheduler;
     let c = stats.cache.unwrap_or_default();
     let _ = write!(
         out,
-        "stats\thits={}\tmisses={}\tevictions={}\tentries={}\tsubmitted={}\tscored={}\terrors={}\toverloads={}\tbatches={}",
-        c.hits, c.misses, c.evictions, c.entries, s.submitted, s.scored, s.errors, s.overloads,
-        s.batches
+        "stats\thits={}\tmisses={}\tevictions={}\tentries={}\tsubmitted={}\tscored={}\terrors={}\toverloads={}\tbatches={}\tquantize={}\tquant_bins={}",
+        c.hits,
+        c.misses,
+        c.evictions,
+        c.entries,
+        s.submitted,
+        s.scored,
+        s.errors,
+        s.overloads,
+        s.batches,
+        if engine.quantize { "on" } else { "off" },
+        engine.quant_bins.unwrap_or(0),
     );
 }
 
@@ -762,8 +795,12 @@ mod tests {
                 capacity_bytes: 1024,
             }),
         };
+        let engine = EngineInfo {
+            quantize: true,
+            quant_bins: Some(256),
+        };
         let mut v2 = String::new();
-        render_stats_v2(&mut v2, &snapshot);
+        render_stats_v2(&mut v2, &snapshot, engine);
         assert!(
             v2.starts_with("{\"proto\":2,\"stats\":{\"scheduler\":{"),
             "{v2}"
@@ -771,22 +808,37 @@ mod tests {
         assert!(v2.contains("\"submitted\":10"), "{v2}");
         assert!(v2.contains("\"cache\":{\"hits\":4,\"misses\":6"), "{v2}");
         assert!(v2.contains("\"hit_rate\":0.400000"), "{v2}");
+        assert!(
+            v2.ends_with(",\"engine\":{\"quantize\":true,\"quant_bins\":256}}}"),
+            "{v2}"
+        );
         let mut v1 = String::new();
-        render_stats_v1(&mut v1, &snapshot);
+        render_stats_v1(&mut v1, &snapshot, engine);
         assert!(v1.starts_with("stats\thits=4\tmisses=6"), "{v1}");
         assert!(v1.contains("scored=8"), "{v1}");
+        assert!(v1.ends_with("\tquantize=on\tquant_bins=256"), "{v1}");
 
-        // Cache disabled: v2 renders null, v1 renders zeros.
+        // Cache disabled: v2 renders null, v1 renders zeros. A model with
+        // no quantized mirror reports null/0 bins.
         let disabled = StatsSnapshot {
             cache: None,
             ..snapshot
         };
+        let no_mirror = EngineInfo {
+            quantize: false,
+            quant_bins: None,
+        };
         let mut v2 = String::new();
-        render_stats_v2(&mut v2, &disabled);
+        render_stats_v2(&mut v2, &disabled, no_mirror);
         assert!(v2.contains("\"cache\":null"), "{v2}");
+        assert!(
+            v2.ends_with(",\"engine\":{\"quantize\":false,\"quant_bins\":null}}}"),
+            "{v2}"
+        );
         let mut v1 = String::new();
-        render_stats_v1(&mut v1, &disabled);
+        render_stats_v1(&mut v1, &disabled, no_mirror);
         assert!(v1.contains("hits=0"), "{v1}");
+        assert!(v1.ends_with("\tquantize=off\tquant_bins=0"), "{v1}");
     }
 
     proptest! {

@@ -542,6 +542,11 @@ struct Shared {
     names: Vec<String>,
     model_version: String,
     model_name: String,
+    /// Whether tree models score through the quantized engine.
+    quantize: bool,
+    /// Widest per-feature bin count across the model's quantized mirrors
+    /// (`None` for non-tree models or `quantize=off` reporting no mirror).
+    quant_bins: Option<usize>,
     max_outstanding: usize,
     /// Every serving counter, behind one consistent snapshot path.
     metrics: Metrics,
@@ -736,6 +741,8 @@ impl Scheduler {
             names: scanner.model_names(),
             model_version: scanner.model_version().to_owned(),
             model_name: scanner.model_name().to_owned(),
+            quantize: scanner.quantize(),
+            quant_bins: scanner.quant_bins(),
             max_outstanding: opts.max_outstanding.max(1),
             metrics: Metrics::new(),
             chain,
@@ -920,6 +927,17 @@ impl Scheduler {
         &self.shared.model_version
     }
 
+    /// `true` when tree models score through the quantized engine.
+    pub fn quantize(&self) -> bool {
+        self.shared.quantize
+    }
+
+    /// Widest per-feature bin count across the served model's quantized
+    /// mirrors (`None` for non-tree models).
+    pub fn quant_bins(&self) -> Option<usize> {
+        self.shared.quant_bins
+    }
+
     /// Graceful shutdown: closes the queue (the shutdown sentinel), lets
     /// the workers drain and score every already-admitted job, joins them,
     /// and returns the final counters. In-flight requests are never
@@ -1021,10 +1039,14 @@ impl Connection {
         };
         if trimmed == proto::STATS_COMMAND {
             let snapshot = self.shared.stats();
+            let engine = proto::EngineInfo {
+                quantize: self.shared.quantize,
+                quant_bins: self.shared.quant_bins,
+            };
             let mut out = String::new();
             match self.proto {
-                Protocol::V1 => proto::render_stats_v1(&mut out, &snapshot),
-                Protocol::V2 => proto::render_stats_v2(&mut out, &snapshot),
+                Protocol::V1 => proto::render_stats_v1(&mut out, &snapshot, engine),
+                Protocol::V2 => proto::render_stats_v2(&mut out, &snapshot, engine),
             }
             self.shared
                 .router
